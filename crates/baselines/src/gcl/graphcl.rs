@@ -1,0 +1,51 @@
+//! GraphCL (You et al., NeurIPS 2020): contrast two views produced by
+//! randomly chosen augmentations from the four-op pool (node dropping, edge
+//! perturbation, attribute masking, subgraph) at strength 0.2.
+
+use crate::common::{pretrain_two_view, GclConfig, TrainedEncoder};
+use rand::Rng;
+use sgcl_graph::augment::{self, AugmentKind};
+use sgcl_graph::Graph;
+
+/// Pre-trains a GraphCL model. Per graph and step, two augmentation kinds
+/// are drawn uniformly from the pool (the paper's untuned default; per-
+/// dataset tuning is what JOAO later automated).
+pub fn pretrain_graphcl(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
+    pretrain_two_view(
+        config,
+        graphs,
+        |g, rng| {
+            let ka = AugmentKind::POOL[rng.gen_range(0..AugmentKind::POOL.len())];
+            let kb = AugmentKind::POOL[rng.gen_range(0..AugmentKind::POOL.len())];
+            (augment::apply(g, ka, rng), augment::apply(g, kb, rng))
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_data::{Scale, TuDataset};
+    use sgcl_gnn::{EncoderConfig, EncoderKind};
+
+    #[test]
+    fn graphcl_trains_and_embeds() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+        let config = GclConfig {
+            epochs: 2,
+            batch_size: 16,
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: ds.feature_dim(),
+                hidden_dim: 16,
+                num_layers: 2,
+            },
+            ..GclConfig::paper_unsupervised(ds.feature_dim())
+        };
+        let model = pretrain_graphcl(config, &ds.graphs, 0);
+        let emb = model.embed(&ds.graphs);
+        assert_eq!(emb.rows(), ds.len());
+        assert!(emb.all_finite());
+    }
+}

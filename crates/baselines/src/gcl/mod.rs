@@ -1,0 +1,15 @@
+//! Self-supervised GCL baselines (Table III rows 4–10, Table IV).
+
+pub mod adgcl;
+pub mod graphcl;
+pub mod infograph;
+pub mod joao;
+pub mod learnable;
+pub mod simgrace;
+
+pub use adgcl::pretrain_adgcl;
+pub use graphcl::pretrain_graphcl;
+pub use infograph::{pretrain_infograph, pretrain_infomax};
+pub use joao::pretrain_joao;
+pub use learnable::{pretrain_autogcl, pretrain_rgcl};
+pub use simgrace::pretrain_simgrace;

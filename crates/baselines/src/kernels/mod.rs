@@ -1,0 +1,10 @@
+//! Traditional graph-kernel baselines (Table III rows 1–3): each kernel is
+//! realised as an explicit feature map fed to the workspace's linear SVM.
+
+pub mod dgk;
+pub mod gl;
+pub mod wl;
+
+pub use dgk::dgk_features;
+pub use gl::graphlet_features;
+pub use wl::wl_features;

@@ -1,0 +1,22 @@
+//! # sgcl-baselines
+//!
+//! Every method the SGCL paper compares against, implemented on the same
+//! substrate so comparisons are apples-to-apples:
+//!
+//! * [`kernels`] — GL (graphlet), WL (Weisfeiler–Lehman subtree), and DGK
+//!   (deep graph kernel) explicit feature maps for the linear SVM;
+//! * [`gcl`] — InfoGraph, GraphCL, JOAOv2, AD-GCL, SimGRACE, RGCL, and
+//!   AutoGCL self-supervised pre-trainers;
+//! * [`pretrain`] — AttrMasking, ContextPred, GAE, and the no-pre-train
+//!   control;
+//! * [`common`] — the shared [`TrainedEncoder`](common::TrainedEncoder)
+//!   handle and two-view contrastive training loop.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod gcl;
+pub mod kernels;
+pub mod pretrain;
+
+pub use common::{GclConfig, TrainedEncoder};

@@ -1,0 +1,231 @@
+//! Non-contrastive pre-training strategies used as baselines in Tables IV
+//! and VI: attribute masking, context prediction, graph autoencoding, and
+//! the no-pre-train control.
+
+use crate::common::{GclConfig, TrainedEncoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_graph::{Graph, GraphBatch};
+use sgcl_gnn::{ClassifierHead, GnnEncoder};
+use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
+use std::rc::Rc;
+
+/// A randomly initialised encoder — the "No Pre-Train" rows.
+pub fn no_pretrain(config: GclConfig, seed: u64) -> TrainedEncoder {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let encoder = GnnEncoder::new("nopretrain.enc", &mut store, config.encoder, &mut rng);
+    TrainedEncoder { store, encoder, pooling: config.pooling }
+}
+
+/// AttrMasking (Hu et al., ICLR 2020): mask a fraction of node features and
+/// train the encoder to predict the masked nodes' discrete tags from their
+/// contextual representations.
+pub fn pretrain_attr_masking(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    const MASK_RATE: f64 = 0.15;
+    let num_types = graphs
+        .iter()
+        .flat_map(|g| g.node_tags.iter().copied())
+        .max()
+        .map_or(2, |m| m as usize + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let encoder = GnnEncoder::new("attrmask.enc", &mut store, config.encoder, &mut rng);
+    let head = ClassifierHead::linear(
+        "attrmask.head",
+        &mut store,
+        config.encoder.hidden_dim,
+        num_types,
+        &mut rng,
+    );
+    let mut opt = Adam::new(config.lr);
+    let n = graphs.len();
+    let bs = config.batch_size.min(n).max(2);
+
+    for _epoch in 0..config.epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for chunk in order.chunks(bs) {
+            let anchors: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
+            let batch = GraphBatch::new(&anchors);
+            // choose masked nodes and zero their feature rows
+            let total = batch.total_nodes();
+            let mut features = batch.features.clone();
+            let mut masked_idx = Vec::new();
+            let mut masked_tags = Vec::new();
+            for (gi, g) in anchors.iter().enumerate() {
+                let off = batch.graph_nodes(gi).start;
+                for i in 0..g.num_nodes() {
+                    if rng.gen_bool(MASK_RATE) {
+                        masked_idx.push(off + i);
+                        masked_tags.push(g.node_tags[i] as usize);
+                        for v in features.row_mut(off + i) {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
+            if masked_idx.is_empty() {
+                continue;
+            }
+            let _ = total;
+            let mut tape = Tape::new();
+            let fvar = tape.constant(features);
+            let h = encoder.forward_from(&mut tape, &store, &batch, fvar, None);
+            let picked = tape.gather_rows(h, Rc::new(masked_idx));
+            let logits = head.forward(&mut tape, &store, picked);
+            let loss = tape.softmax_cross_entropy(logits, Rc::new(masked_tags));
+            store.backward(&tape, loss);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+    }
+    TrainedEncoder { store, encoder, pooling: config.pooling }
+}
+
+/// ContextPred (Hu et al., ICLR 2020), simplified to its core signal:
+/// classify whether a node pair is a true neighbourhood pair (within one
+/// hop) or a random negative, from the dot product of their
+/// representations.
+pub fn pretrain_context_pred(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let encoder = GnnEncoder::new("ctxpred.enc", &mut store, config.encoder, &mut rng);
+    let mut opt = Adam::new(config.lr);
+    let n = graphs.len();
+    let bs = config.batch_size.min(n).max(2);
+
+    for _epoch in 0..config.epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for chunk in order.chunks(bs) {
+            let anchors: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
+            let batch = GraphBatch::new(&anchors);
+            // sample positive (edge) and negative (random same-graph) pairs
+            let mut src = Vec::new();
+            let mut dst = Vec::new();
+            let mut labels = Vec::new();
+            for (gi, g) in anchors.iter().enumerate() {
+                let off = batch.graph_nodes(gi).start;
+                let m = g.num_edges();
+                if m == 0 || g.num_nodes() < 3 {
+                    continue;
+                }
+                for _ in 0..m.min(16) {
+                    let &(u, v) = &g.edges()[rng.gen_range(0..m)];
+                    src.push(off + u as usize);
+                    dst.push(off + v as usize);
+                    labels.push(1.0f32);
+                    // negative: random non-adjacent-ish pair
+                    let a = rng.gen_range(0..g.num_nodes());
+                    let b = rng.gen_range(0..g.num_nodes());
+                    src.push(off + a);
+                    dst.push(off + b);
+                    labels.push(0.0);
+                }
+            }
+            if labels.len() < 2 {
+                continue;
+            }
+            let e = labels.len();
+            let mut tape = Tape::new();
+            let h = encoder.forward(&mut tape, &store, &batch, None);
+            let hu = tape.gather_rows(h, Rc::new(src));
+            let hv = tape.gather_rows(h, Rc::new(dst));
+            let prod = tape.hadamard(hu, hv);
+            let logits = tape.row_sums(prod); // e × 1 dot products
+            let targets = Rc::new(Matrix::from_vec(e, 1, labels));
+            let mask = Rc::new(Matrix::ones(e, 1));
+            let loss = tape.bce_with_logits(logits, targets, mask);
+            store.backward(&tape, loss);
+            store.clip_grad_norm(5.0);
+            opt.step(&mut store);
+        }
+    }
+    TrainedEncoder { store, encoder, pooling: config.pooling }
+}
+
+/// Graph autoencoder (Kipf & Welling, 2016): reconstruct the adjacency from
+/// node-representation dot products, trained on sampled edges and
+/// non-edges — Table VI's "GAE" row.
+pub fn pretrain_gae(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
+    // GAE's training signal is the same edge-vs-non-edge discrimination as
+    // our simplified ContextPred; reuse it with a different stream.
+    pretrain_context_pred(config, graphs, seed ^ 0x6AE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_data::{Scale, TuDataset};
+    use sgcl_gnn::{EncoderConfig, EncoderKind};
+
+    fn tiny(input_dim: usize) -> GclConfig {
+        GclConfig {
+            epochs: 2,
+            batch_size: 16,
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim,
+                hidden_dim: 16,
+                num_layers: 2,
+            },
+            ..GclConfig::paper_unsupervised(input_dim)
+        }
+    }
+
+    #[test]
+    fn no_pretrain_embeds() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+        let model = no_pretrain(tiny(ds.feature_dim()), 0);
+        assert!(model.embed(&ds.graphs).all_finite());
+    }
+
+    #[test]
+    fn attr_masking_trains() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 1);
+        let model = pretrain_attr_masking(tiny(ds.feature_dim()), &ds.graphs, 0);
+        assert!(model.embed(&ds.graphs).all_finite());
+    }
+
+    #[test]
+    fn context_pred_trains() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
+        let model = pretrain_context_pred(tiny(ds.feature_dim()), &ds.graphs, 0);
+        assert!(model.embed(&ds.graphs).all_finite());
+    }
+
+    #[test]
+    fn gae_trains() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 3);
+        let model = pretrain_gae(tiny(ds.feature_dim()), &ds.graphs, 0);
+        assert!(model.embed(&ds.graphs).all_finite());
+    }
+
+    #[test]
+    fn pretraining_changes_weights() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 4);
+        let cfg = tiny(ds.feature_dim());
+        let fresh = no_pretrain(cfg, 9);
+        let before = fresh.store.snapshot();
+        let trained = pretrain_attr_masking(cfg, &ds.graphs, 9);
+        // first registered tensors correspond (same architecture, same rng
+        // stream seeds differ though) — just assert training moved weights
+        // relative to its own init by retraining with 0 epochs
+        let mut zero_cfg = cfg;
+        zero_cfg.epochs = 0;
+        let untrained = pretrain_attr_masking(zero_cfg, &ds.graphs, 0);
+        let a = trained.embed(&ds.graphs);
+        let b = untrained.embed(&ds.graphs);
+        assert!(a.max_abs_diff(&b) > 1e-6);
+        let _ = before;
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench of the augmentation operators: Lipschitz graph
+//! augmentation vs GraphCL's four random ops. The paper's complexity claim
+//! is that Lipschitz augmentation costs the same as random node dropping
+//! (`O(2Bρ|V|log|V|)`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::augmentation::{complement_augment, lipschitz_augment};
+use sgcl_data::{Scale, TuDataset};
+use sgcl_graph::augment::{self, AugmentKind};
+
+fn bench_augmentations(c: &mut Criterion) {
+    let ds = TuDataset::Proteins.generate(Scale::Standard, 0);
+    let graph = ds
+        .graphs
+        .iter()
+        .max_by_key(|g| g.num_nodes())
+        .expect("non-empty dataset")
+        .clone();
+    let keep_prob: Vec<f32> = (0..graph.num_nodes())
+        .map(|i| if i % 3 == 0 { 1.0 } else { 0.4 })
+        .collect();
+
+    let mut group = c.benchmark_group("augmentation");
+    group.bench_function("lipschitz_augment", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| lipschitz_augment(&graph, &keep_prob, 0.9, &mut rng))
+    });
+    group.bench_function("complement_augment", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| complement_augment(&graph, &keep_prob, 0.9, &mut rng))
+    });
+    for kind in AugmentKind::POOL {
+        group.bench_function(format!("graphcl_{kind:?}"), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| augment::apply(&graph, kind, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_augmentations
+}
+criterion_main!(benches);

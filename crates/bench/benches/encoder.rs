@@ -1,0 +1,58 @@
+//! Criterion bench of the four GNN encoders (forward and forward+backward)
+//! on a realistic mini-batch — the three-tower cost model of §V.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_data::{Scale, TuDataset};
+use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling};
+use sgcl_graph::GraphBatch;
+use sgcl_tensor::{ParamStore, Tape};
+
+fn bench_encoders(c: &mut Criterion) {
+    let ds = TuDataset::Proteins.generate(Scale::Quick, 0);
+    let refs: Vec<_> = ds.graphs.iter().take(32).collect();
+    let batch = GraphBatch::new(&refs);
+    let mut group = c.benchmark_group("encoder");
+
+    for kind in EncoderKind::ALL {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let enc = GnnEncoder::new(
+            "bench",
+            &mut store,
+            EncoderConfig {
+                kind,
+                input_dim: ds.feature_dim(),
+                hidden_dim: 32,
+                num_layers: 3,
+            },
+            &mut rng,
+        );
+        group.bench_function(format!("{}_forward", kind.name()), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let h = enc.forward(&mut tape, &store, &batch, None);
+                tape.value(h).sum()
+            })
+        });
+        group.bench_function(format!("{}_fwd_bwd", kind.name()), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let h = enc.forward(&mut tape, &store, &batch, None);
+                let pooled = Pooling::Sum.apply(&mut tape, &batch, h);
+                let loss = tape.mean_all(pooled);
+                store.backward(&tape, loss);
+                store.zero_grads();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoders
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench verifying the §V complexity claim: the attention
+//! approximation of the Lipschitz constant generator is asymptotically
+//! cheaper than the exact mask mechanism (one pass vs one pass per node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::lipschitz::{LipschitzGenerator, LipschitzMode};
+use sgcl_data::synthetic::{Background, Motif, SyntheticSpec};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::GraphBatch;
+use sgcl_tensor::ParamStore;
+
+fn bench_lipschitz_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lipschitz_generator");
+    for &n in &[10usize, 20, 40, 80] {
+        let spec = SyntheticSpec {
+            name: "bench".into(),
+            num_graphs: 1,
+            motifs: vec![Motif::Cycle(5)],
+            avg_nodes: n,
+            node_jitter: 0,
+            background: Background::ErdosRenyi(0.1),
+            num_node_types: 8,
+            tag_noise: 0.0,
+            attach_edges: 2,
+            motif_copies: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let graph = spec.generate_one(0, &mut rng);
+        let batch = GraphBatch::new(&[&graph]);
+        let mut store = ParamStore::new();
+        let gen = LipschitzGenerator::new(
+            "bench",
+            &mut store,
+            EncoderConfig { kind: EncoderKind::Gin, input_dim: 8, hidden_dim: 32, num_layers: 3 },
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::new("exact_mask", n), &n, |b, _| {
+            b.iter(|| gen.node_constants(&store, &batch, &[&graph], LipschitzMode::ExactMask))
+        });
+        group.bench_with_input(BenchmarkId::new("attention_approx", n), &n, |b, _| {
+            b.iter(|| gen.node_constants(&store, &batch, &[&graph], LipschitzMode::AttentionApprox))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lipschitz_modes
+}
+criterion_main!(benches);

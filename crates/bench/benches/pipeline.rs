@@ -1,0 +1,70 @@
+//! Criterion bench of end-to-end pipeline stages: contrastive losses
+//! (the `O(2B²d)` term of §V), the SVM evaluator, and the WL kernel —
+//! everything a full Table III cell exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_baselines::kernels::wl_features;
+use sgcl_core::losses::{complement_loss, semantic_info_nce};
+use sgcl_data::{Scale, TuDataset};
+use sgcl_eval::svm::{MulticlassSvm, SvmConfig};
+use sgcl_tensor::{Matrix, Tape};
+
+fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+}
+
+fn bench_losses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("losses");
+    for &b_size in &[32usize, 128] {
+        let za = random_embeddings(b_size, 32, 0);
+        let zp = random_embeddings(b_size, 32, 1);
+        let zc = random_embeddings(b_size, 32, 2);
+        group.bench_function(format!("info_nce_B{b_size}"), |bch| {
+            bch.iter(|| {
+                let mut tape = Tape::new();
+                let a = tape.constant(za.clone());
+                let p = tape.constant(zp.clone());
+                let l = semantic_info_nce(&mut tape, a, p, 0.2);
+                tape.scalar(l)
+            })
+        });
+        group.bench_function(format!("complement_loss_B{b_size}"), |bch| {
+            bch.iter(|| {
+                let mut tape = Tape::new();
+                let a = tape.constant(za.clone());
+                let p = tape.constant(zp.clone());
+                let cm = tape.constant(zc.clone());
+                let l = complement_loss(&mut tape, a, p, cm, 0.2);
+                tape.scalar(l)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 200;
+    let x = random_embeddings(n, 32, 4);
+    let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+    c.bench_function("svm_train_200x32", |b| {
+        b.iter(|| MulticlassSvm::train(&x, &labels, 2, SvmConfig::default(), &mut rng))
+    });
+}
+
+fn bench_wl(c: &mut Criterion) {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+    c.bench_function("wl_features_mutag_quick", |b| {
+        b.iter(|| wl_features(&ds.graphs, 3))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_losses, bench_svm, bench_wl
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Design-choice ablations beyond the paper's Table V — the decisions
+//! DESIGN.md §4 documents:
+//!
+//! * exact perturbation-mask vs attention-approximated Lipschitz constants
+//!   in end-to-end pre-training (the paper trains with the approximation);
+//! * the concrete relaxation (keep-probability feature weighting) that
+//!   routes gradients into `f_q` — on vs off;
+//! * the ρ drop-count convention: keep-ratio (ours) vs literal Definition 3
+//!   (drop ρ|V| nodes).
+//!
+//! ```text
+//! cargo run --release -p sgcl-bench --bin design_ablations [-- --quick --seed N]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_bench::{pm, print_table, sgcl_config, HarnessOpts};
+use sgcl_core::lipschitz::LipschitzMode;
+use sgcl_core::{Ablation, SgclModel};
+use sgcl_data::TuDataset;
+use sgcl_eval::metrics::mean_std;
+use sgcl_eval::svm_cross_validate;
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let start = Instant::now();
+    println!(
+        "Design-choice ablations ({} mode)\n",
+        if opts.quick { "quick" } else { "standard" }
+    );
+
+    struct Variant {
+        name: &'static str,
+        mode: LipschitzMode,
+        no_relax: bool,
+        rho: f32,
+    }
+    let variants = [
+        Variant {
+            name: "SGCL (default: approx, relaxation, rho=keep 0.9)",
+            mode: LipschitzMode::AttentionApprox,
+            no_relax: false,
+            rho: 0.9,
+        },
+        Variant {
+            name: "exact-mask Lipschitz",
+            mode: LipschitzMode::ExactMask,
+            no_relax: false,
+            rho: 0.9,
+        },
+        Variant {
+            name: "no concrete relaxation (f_q frozen path)",
+            mode: LipschitzMode::AttentionApprox,
+            no_relax: true,
+            rho: 0.9,
+        },
+        Variant {
+            name: "literal Definition 3 (drop 90% of nodes)",
+            mode: LipschitzMode::AttentionApprox,
+            no_relax: false,
+            rho: 0.1, // our keep-ratio 0.1 == dropping 90 %
+        },
+    ];
+
+    let datasets = [TuDataset::Mutag, TuDataset::Proteins];
+    let folds = if opts.quick { 5 } else { 10 };
+    let mut rows = Vec::new();
+    for v in &variants {
+        let mut row = vec![v.name.to_string()];
+        for &dsk in &datasets {
+            let t = Instant::now();
+            let mut accs = Vec::new();
+            for &seed in &opts.seeds() {
+                let ds = dsk.generate(opts.scale(), seed);
+                let mut config = sgcl_config(&ds, &opts);
+                config.lipschitz_mode = v.mode;
+                config.rho = v.rho;
+                config.ablation = Ablation { no_relaxation: v.no_relax, ..Default::default() };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut model = SgclModel::new(config, &mut rng);
+                model.pretrain(&ds.graphs, seed);
+                let emb = model.embed(&ds.graphs);
+                accs.push(svm_cross_validate(&emb, &ds.labels(), ds.num_classes, folds, seed).mean);
+            }
+            let (mean, std) = mean_std(&accs);
+            row.push(pm(mean, std));
+            eprintln!("  {} / {}: {} ({:.1}s)", v.name, dsk.name(), pm(mean, std), t.elapsed().as_secs_f64());
+        }
+        rows.push(row);
+    }
+
+    let mut headers: Vec<String> = vec!["Design variant".into()];
+    headers.extend(datasets.iter().map(|d| d.name().to_string()));
+    println!();
+    print_table(&headers, &rows);
+    println!("\nexpected shape: default ≈ exact-mask (validating the §V approximation),");
+    println!("no-relaxation slightly weaker (f_q untrained), literal-Definition-3 collapses");
+    println!("(dropping 90% of nodes destroys semantics — supporting our ρ reading).");
+    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,85 @@
+//! Internal diagnostic: ablation-level comparison of SGCL variants against
+//! GraphCL at matched budgets, plus alignment statistics between the
+//! Lipschitz-protected node set and the ground-truth semantic mask. Not part
+//! of the paper reproduction; used to validate harness configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_baselines::gcl::pretrain_graphcl;
+use sgcl_bench::{gcl_config, sgcl_config, HarnessOpts};
+use sgcl_core::lipschitz::LipschitzGenerator;
+use sgcl_core::{Ablation, SgclModel};
+use sgcl_data::TuDataset;
+use sgcl_eval::svm_cross_validate;
+use sgcl_graph::GraphBatch;
+
+/// Fraction of protected (C = 1) nodes that are truly semantic, and the
+/// recall of semantic nodes, averaged over graphs.
+fn alignment(model: &SgclModel, ds: &sgcl_data::Dataset) -> (f64, f64) {
+    let (mut prec, mut rec, mut n) = (0.0, 0.0, 0);
+    for g in ds.graphs.iter().take(50) {
+        let batch = GraphBatch::new(&[g]);
+        let k = model.generator.node_constants(
+            &model.store,
+            &batch,
+            &[g],
+            model.config.lipschitz_mode,
+        );
+        let c = LipschitzGenerator::binarize(&batch, &k);
+        let mask = g.semantic_mask.as_ref().unwrap();
+        let tp = c.iter().zip(mask).filter(|&(&ci, &m)| ci == 1.0 && m).count();
+        let protected = c.iter().filter(|&&ci| ci == 1.0).count();
+        let sem = mask.iter().filter(|&&m| m).count();
+        if protected > 0 && sem > 0 {
+            prec += tp as f64 / protected as f64;
+            rec += tp as f64 / sem as f64;
+            n += 1;
+        }
+    }
+    (prec / n.max(1) as f64, rec / n.max(1) as f64)
+}
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let variants: [(&str, Option<Ablation>, f32); 5] = [
+        ("SGCL-full", Some(Ablation::default()), 0.01),
+        ("SGCL-noSRL", Some(Ablation { no_srl: true, ..Default::default() }), 0.01),
+        ("SGCL-noLGA", Some(Ablation { no_lga: true, no_srl: true, ..Default::default() }), 0.01),
+        ("SGCL-random", Some(Ablation { random_augment: true, ..Default::default() }), 0.01),
+        ("GraphCL", None, 0.0),
+    ];
+    for dsk in [TuDataset::Mutag, TuDataset::Proteins, TuDataset::Collab] {
+        let ds = dsk.generate(opts.scale(), opts.seed);
+        let labels = ds.labels();
+        let folds = if opts.quick { 5 } else { 10 };
+        print!("{:<10}", dsk.name());
+        for &(name, ablation, lc) in &variants {
+            let mut accs = Vec::new();
+            for &seed in &opts.seeds() {
+                let acc = match ablation {
+                    Some(ab) => {
+                        let mut cfg = sgcl_config(&ds, &opts);
+                        cfg.ablation = ab;
+                        cfg.lambda_c = lc;
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let mut model = SgclModel::new(cfg, &mut rng);
+                        model.pretrain(&ds.graphs, seed);
+                        if name == "SGCL-full" && seed == opts.seeds()[0] {
+                            let (p, r) = alignment(&model, &ds);
+                            eprintln!("\n  [{}] protection precision {p:.3} recall {r:.3}", dsk.name());
+                        }
+                        svm_cross_validate(&model.embed(&ds.graphs), &labels, ds.num_classes, folds, seed).mean
+                    }
+                    None => {
+                        let m = pretrain_graphcl(gcl_config(&ds, &opts), &ds.graphs, seed);
+                        svm_cross_validate(&m.embed(&ds.graphs), &labels, ds.num_classes, folds, seed).mean
+                    }
+                };
+                accs.push(acc);
+            }
+            let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+            print!("  {name} {:.2}%", mean * 100.0);
+        }
+        println!();
+    }
+}

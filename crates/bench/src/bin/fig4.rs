@@ -1,0 +1,108 @@
+//! Figure 4: hyperparameter sensitivity of SGCL (λ_c, λ_W, ρ, τ) in the
+//! unsupervised protocol, averaged over PROTEINS-, DD-, and IMDB-B-like
+//! datasets.
+//!
+//! ```text
+//! cargo run --release -p sgcl-bench --bin fig4 [-- --quick --seed N --out fig4.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_bench::{print_table, sgcl_config, HarnessOpts};
+use sgcl_core::SgclModel;
+use sgcl_data::TuDataset;
+use sgcl_eval::metrics::mean_std;
+use sgcl_eval::svm_cross_validate;
+use std::time::Instant;
+
+/// One sensitivity sweep: parameter name, values, and a config mutator.
+struct Sweep {
+    name: &'static str,
+    values: Vec<f32>,
+    set: fn(&mut sgcl_core::SgclConfig, f32),
+}
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let start = Instant::now();
+    println!(
+        "Figure 4 reproduction — hyperparameter sensitivity, unsupervised ({} mode)\n",
+        if opts.quick { "quick" } else { "standard" }
+    );
+
+    let sweeps = [
+        Sweep {
+            name: "lambda_c",
+            values: vec![0.0001, 0.001, 0.005, 0.01, 0.05, 0.1],
+            set: |c, v| c.lambda_c = v,
+        },
+        Sweep {
+            name: "lambda_W",
+            values: vec![0.001, 0.01, 0.05, 0.1, 0.2, 0.5],
+            set: |c, v| c.lambda_w = v,
+        },
+        Sweep {
+            name: "rho",
+            values: vec![0.5, 0.6, 0.7, 0.8, 0.9],
+            set: |c, v| c.rho = v,
+        },
+        Sweep {
+            name: "tau",
+            values: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            set: |c, v| c.tau = v,
+        },
+    ];
+    let datasets = [TuDataset::Proteins, TuDataset::Dd, TuDataset::ImdbB];
+    let folds = if opts.quick { 5 } else { 10 };
+
+    let mut json_sweeps = serde_json::Map::new();
+    for sweep in &sweeps {
+        println!("── sensitivity w.r.t. {} ──", sweep.name);
+        let mut rows = Vec::new();
+        let mut series = Vec::new();
+        for &v in &sweep.values {
+            let t = Instant::now();
+            let mut per_seed = Vec::new();
+            for &seed in &opts.seeds() {
+                let mut accs = Vec::new();
+                for &dsk in &datasets {
+                    let ds = dsk.generate(opts.scale(), seed);
+                    let mut config = sgcl_config(&ds, &opts);
+                    (sweep.set)(&mut config, v);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut model = SgclModel::new(config, &mut rng);
+                    model.pretrain(&ds.graphs, seed);
+                    let emb = model.embed(&ds.graphs);
+                    accs.push(
+                        svm_cross_validate(&emb, &ds.labels(), ds.num_classes, folds, seed).mean,
+                    );
+                }
+                per_seed.push(accs.iter().sum::<f64>() / accs.len() as f64);
+            }
+            let (mean, std) = mean_std(&per_seed);
+            rows.push(vec![
+                format!("{v}"),
+                format!("{:.2}", mean * 100.0),
+                format!("{:.2}", std * 100.0),
+            ]);
+            series.push(serde_json::json!({"value": v, "mean": mean, "std": std}));
+            eprintln!("  {} = {v}: {:.2}% ({:.1}s)", sweep.name, mean * 100.0, t.elapsed().as_secs_f64());
+        }
+        print_table(
+            &[sweep.name.to_string(), "avg acc %".into(), "std".into()],
+            &rows,
+        );
+        println!();
+        json_sweeps.insert(sweep.name.to_string(), serde_json::Value::Array(series));
+    }
+
+    println!("paper: λ_c peaks near 0.01 and degrades at 0.05–0.1; λ_W peaks at 0.01 and");
+    println!("paper: collapses when over-weighted; ρ has the flattest curve (best ≈ 0.9);");
+    println!("paper: τ is U-shaped with the best value at 0.2.");
+    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+
+    opts.write_json(&serde_json::json!({
+        "experiment": "fig4",
+        "sweeps": json_sweeps,
+    }));
+}

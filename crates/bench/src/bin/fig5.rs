@@ -1,0 +1,144 @@
+//! Figure 5: hyperparameter sensitivity of SGCL (λ_c, λ_W, ρ, τ) in the
+//! transfer-learning protocol (ZINC-like pre-training → BBBP-like and
+//! SIDER-like fine-tuning).
+//!
+//! ```text
+//! cargo run --release -p sgcl-bench --bin fig5 [-- --quick --seed N --out fig5.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_bench::{print_table, transfer_config, HarnessOpts};
+use sgcl_core::lipschitz::LipschitzMode;
+use sgcl_core::{Ablation, SgclConfig, SgclModel};
+use sgcl_data::molecules::{zinc_like, NUM_ATOM_TYPES};
+use sgcl_data::splits::scaffold_split;
+use sgcl_data::MolDataset;
+use sgcl_eval::metrics::mean_std;
+use sgcl_eval::{finetune_multitask, FineTuneConfig};
+use sgcl_gnn::Pooling;
+use std::time::Instant;
+
+struct Sweep {
+    name: &'static str,
+    values: Vec<f32>,
+    set: fn(&mut SgclConfig, f32),
+}
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let start = Instant::now();
+    println!(
+        "Figure 5 reproduction — hyperparameter sensitivity, transfer ({} mode)\n",
+        if opts.quick { "quick" } else { "standard" }
+    );
+
+    let sweeps = [
+        Sweep {
+            name: "lambda_c",
+            values: vec![0.0001, 0.001, 0.01, 0.05, 0.1],
+            set: |c, v| c.lambda_c = v,
+        },
+        Sweep {
+            name: "lambda_W",
+            values: vec![0.001, 0.01, 0.1, 0.5],
+            set: |c, v| c.lambda_w = v,
+        },
+        Sweep {
+            name: "rho",
+            values: vec![0.5, 0.7, 0.9],
+            set: |c, v| c.rho = v,
+        },
+        Sweep {
+            name: "tau",
+            values: vec![0.1, 0.2, 0.3, 0.5],
+            set: |c, v| c.tau = v,
+        },
+    ];
+    let tasks = [MolDataset::Bbbp, MolDataset::Sider];
+    let base = transfer_config(NUM_ATOM_TYPES, &opts);
+    let ft = FineTuneConfig {
+        epochs: if opts.quick { 8 } else { 20 },
+        ..FineTuneConfig::default()
+    };
+    let corpus_size = if opts.quick { 150 } else { 600 };
+    let mol_size = |d: MolDataset| if opts.quick { d.num_molecules() / 3 } else { d.num_molecules() };
+
+    let mut json_sweeps = serde_json::Map::new();
+    for sweep in &sweeps {
+        println!("── sensitivity w.r.t. {} ──", sweep.name);
+        let mut rows = Vec::new();
+        let mut series = Vec::new();
+        for &v in &sweep.values {
+            let t = Instant::now();
+            let mut per_seed = Vec::new();
+            for &seed in &opts.seeds() {
+                let corpus = {
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0x21AC);
+                    zinc_like(corpus_size, &mut rng)
+                };
+                let mut config = SgclConfig {
+                    encoder: base.encoder,
+                    tau: base.tau,
+                    lr: base.lr,
+                    epochs: base.epochs,
+                    batch_size: base.batch_size,
+                    pooling: base.pooling,
+                    lambda_c: 0.01,
+                    lambda_w: 0.01,
+                    rho: 0.9,
+                    lipschitz_mode: LipschitzMode::AttentionApprox,
+                    ablation: Ablation::default(),
+                };
+                (sweep.set)(&mut config, v);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut model = SgclModel::new(config, &mut rng);
+                model.pretrain(&corpus, seed);
+                let mut aucs = Vec::new();
+                for &dsk in &tasks {
+                    let ds = dsk.generate_sized(mol_size(dsk), seed);
+                    let (train, _valid, test) = scaffold_split(&ds.graphs, 0.8, 0.1);
+                    if let Some(auc) = finetune_multitask(
+                        &model.encoder,
+                        &model.store,
+                        Pooling::Sum,
+                        &ds.graphs,
+                        &train,
+                        &test,
+                        dsk.num_tasks(),
+                        ft,
+                        seed,
+                    ) {
+                        aucs.push(auc);
+                    }
+                }
+                if !aucs.is_empty() {
+                    per_seed.push(aucs.iter().sum::<f64>() / aucs.len() as f64);
+                }
+            }
+            let (mean, std) = mean_std(&per_seed);
+            rows.push(vec![
+                format!("{v}"),
+                format!("{:.2}", mean * 100.0),
+                format!("{:.2}", std * 100.0),
+            ]);
+            series.push(serde_json::json!({"value": v, "mean": mean, "std": std}));
+            eprintln!("  {} = {v}: {:.2}% ({:.1}s)", sweep.name, mean * 100.0, t.elapsed().as_secs_f64());
+        }
+        print_table(
+            &[sweep.name.to_string(), "avg ROC-AUC %".into(), "std".into()],
+            &rows,
+        );
+        println!();
+        json_sweeps.insert(sweep.name.to_string(), serde_json::Value::Array(series));
+    }
+
+    println!("paper: the transfer curves mirror Figure 4 — interior optima near λ_c = 0.01,");
+    println!("paper: λ_W = 0.01, ρ = 0.9, τ = 0.2, with over-regularisation hurting most.");
+    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+
+    opts.write_json(&serde_json::json!({
+        "experiment": "fig5",
+        "sweeps": json_sweeps,
+    }));
+}

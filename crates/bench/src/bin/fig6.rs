@@ -1,0 +1,77 @@
+//! Figure 6: accuracy of SGCL with different encoder architectures (GCN,
+//! GraphSAGE, GAT, GIN) on four TU-like datasets, unsupervised protocol.
+//!
+//! ```text
+//! cargo run --release -p sgcl-bench --bin fig6 [-- --quick --seed N --out fig6.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_bench::{pm, print_table, sgcl_config, HarnessOpts};
+use sgcl_core::SgclModel;
+use sgcl_data::TuDataset;
+use sgcl_eval::metrics::mean_std;
+use sgcl_eval::svm_cross_validate;
+use sgcl_gnn::EncoderKind;
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let start = Instant::now();
+    println!(
+        "Figure 6 reproduction — encoder architectures ({} mode)\n",
+        if opts.quick { "quick" } else { "standard" }
+    );
+
+    let datasets = [
+        TuDataset::Mutag,
+        TuDataset::Proteins,
+        TuDataset::Dd,
+        TuDataset::ImdbB,
+    ];
+    let folds = if opts.quick { 5 } else { 10 };
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for kind in EncoderKind::ALL {
+        let mut row = vec![kind.name().to_string()];
+        let mut json_ds = serde_json::Map::new();
+        for &dsk in &datasets {
+            let t = Instant::now();
+            let mut accs = Vec::new();
+            for &seed in &opts.seeds() {
+                let ds = dsk.generate(opts.scale(), seed);
+                let mut config = sgcl_config(&ds, &opts);
+                config.encoder.kind = kind;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut model = SgclModel::new(config, &mut rng);
+                model.pretrain(&ds.graphs, seed);
+                let emb = model.embed(&ds.graphs);
+                accs.push(svm_cross_validate(&emb, &ds.labels(), ds.num_classes, folds, seed).mean);
+            }
+            let (mean, std) = mean_std(&accs);
+            row.push(pm(mean, std));
+            json_ds.insert(
+                dsk.name().to_string(),
+                serde_json::json!({"mean": mean, "std": std}),
+            );
+            eprintln!("  {} / {}: {} ({:.1}s)", kind.name(), dsk.name(), pm(mean, std), t.elapsed().as_secs_f64());
+        }
+        json.insert(kind.name().to_string(), serde_json::Value::Object(json_ds));
+        rows.push(row);
+    }
+
+    let mut headers: Vec<String> = vec!["Encoder".into()];
+    headers.extend(datasets.iter().map(|d| d.name().to_string()));
+    println!();
+    print_table(&headers, &rows);
+
+    println!("\npaper: GIN slightly ahead of GCN/GraphSAGE/GAT on every dataset, and SGCL is");
+    println!("paper: robust — all four encoders land within a few points of each other.");
+    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+
+    opts.write_json(&serde_json::json!({
+        "experiment": "fig6",
+        "encoders": json,
+    }));
+}

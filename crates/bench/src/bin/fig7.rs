@@ -1,0 +1,122 @@
+//! Figure 7: visualisation of per-node augmentation scores on
+//! MNIST-superpixel-like digits 1, 2, 6 — SGCL's Lipschitz constants vs
+//! RGCL's node probabilities, rendered as ASCII heat-grids (darker glyph =
+//! higher keep score). The paper's claim: SGCL's score distribution tracks
+//! the original digit strokes more faithfully.
+//!
+//! ```text
+//! cargo run --release -p sgcl-bench --bin fig7 [-- --quick --seed N --out fig7.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_bench::HarnessOpts;
+use sgcl_core::{SgclConfig, SgclModel};
+use sgcl_core::trainer::Ablation;
+use sgcl_data::superpixel::{digits_dataset, generate_digit, render_ascii, Digit};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use std::time::Instant;
+
+/// Spearman-free monotone agreement: mean score of on-stroke nodes minus
+/// mean score of background nodes, normalised by the score range. Positive
+/// and large ⇒ scores follow the digit.
+fn stroke_contrast(scores: &[f32], on_stroke: &[bool]) -> f64 {
+    let (mut s_sum, mut s_n, mut b_sum, mut b_n) = (0.0f64, 0usize, 0.0f64, 0usize);
+    for (&s, &m) in scores.iter().zip(on_stroke) {
+        if m {
+            s_sum += s as f64;
+            s_n += 1;
+        } else {
+            b_sum += s as f64;
+            b_n += 1;
+        }
+    }
+    let lo = scores.iter().copied().fold(f32::INFINITY, f32::min) as f64;
+    let hi = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let range = (hi - lo).max(1e-9);
+    ((s_sum / s_n.max(1) as f64) - (b_sum / b_n.max(1) as f64)) / range
+}
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let start = Instant::now();
+    println!(
+        "Figure 7 reproduction — Lipschitz-score visualisation on superpixel digits ({} mode)\n",
+        if opts.quick { "quick" } else { "standard" }
+    );
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let per_digit = if opts.quick { 8 } else { 20 };
+    let train_set = digits_dataset(per_digit, &mut rng);
+    let train_graphs: Vec<_> = train_set.iter().map(|s| s.graph.clone()).collect();
+
+    let config = SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: 3,
+            hidden_dim: 32,
+            num_layers: 3,
+        },
+        epochs: if opts.quick { 5 } else { 15 },
+        batch_size: 16,
+        ..SgclConfig::paper_unsupervised(3)
+    };
+
+    println!("pre-training SGCL on {} digit graphs…", train_graphs.len());
+    let mut sgcl = SgclModel::new(config, &mut rng);
+    sgcl.pretrain(&train_graphs, opts.seed);
+
+    println!("pre-training RGCL-style generator (probability-only, no Lipschitz)…\n");
+    let mut rgcl_config = config;
+    rgcl_config.ablation = Ablation { random_augment: false, no_lga: true, no_srl: true, ..Default::default() };
+    let mut rgcl = SgclModel::new(rgcl_config, &mut rng);
+    rgcl.pretrain(&train_graphs, opts.seed ^ 1);
+
+    let (w, h) = (30, 15);
+    let mut json_digits = serde_json::Map::new();
+    for digit in Digit::ALL {
+        let sp = generate_digit(digit, 45, 20, 4, &mut rng);
+        let intensity: Vec<f32> = sp.nodes.iter().map(|n| n.intensity).collect();
+        let sgcl_scores = sgcl.node_scores(&sp.graph);
+        let rgcl_scores = rgcl.keep_probabilities(&sp.graph);
+        let on_stroke: Vec<bool> = sp.nodes.iter().map(|n| n.on_stroke).collect();
+
+        println!("════ digit '{}' ════", digit.glyph());
+        println!("original view (intensity):");
+        println!("{}", render_ascii(&sp, &intensity, w, h));
+        println!("SGCL (Lipschitz constant per node):");
+        println!("{}", render_ascii(&sp, &sgcl_scores, w, h));
+        println!("RGCL (node keep-probability):");
+        println!("{}", render_ascii(&sp, &rgcl_scores, w, h));
+
+        let c_sgcl = stroke_contrast(&sgcl_scores, &on_stroke);
+        let c_rgcl = stroke_contrast(&rgcl_scores, &on_stroke);
+        println!(
+            "stroke contrast (higher = closer to the original view): SGCL {c_sgcl:.3}, RGCL {c_rgcl:.3}\n"
+        );
+
+        json_digits.insert(
+            digit.glyph().to_string(),
+            serde_json::json!({
+                "sgcl_contrast": c_sgcl,
+                "rgcl_contrast": c_rgcl,
+                "nodes": sp.nodes.iter().zip(&sgcl_scores).zip(&rgcl_scores).map(
+                    |((n, &s), &r)| serde_json::json!({
+                        "x": n.x, "y": n.y, "intensity": n.intensity,
+                        "on_stroke": n.on_stroke, "sgcl": s, "rgcl": r,
+                    })
+                ).collect::<Vec<_>>(),
+            }),
+        );
+    }
+
+    println!("paper: both methods highlight the digit's central stroke nodes, but SGCL's");
+    println!("paper: Lipschitz distribution stays closer to the original view than RGCL's");
+    println!("paper: probability distribution (higher stroke contrast).");
+    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+
+    opts.write_json(&serde_json::json!({
+        "experiment": "fig7",
+        "digits": json_digits,
+    }));
+}

@@ -1,0 +1,375 @@
+//! # sgcl-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! SGCL paper's evaluation. Each `[[bin]]` target prints the paper-style
+//! rows plus a `paper:` reference line; all binaries accept `--quick`
+//! (reduced sizes/epochs/seeds) and `--seed N`, and write machine-readable
+//! JSON next to their stdout output when `--out <path>` is given.
+//!
+//! | Binary  | Reproduces |
+//! |---------|------------|
+//! | `table3`| Unsupervised accuracy on 8 TU-like datasets (Table III) |
+//! | `table4`| Transfer-learning ROC-AUC on 8 MoleculeNet-like tasks (Table IV) |
+//! | `table5`| Ablation study (Table V) |
+//! | `table6`| Semi-supervised label rates (Table VI) |
+//! | `fig4`  | Hyperparameter sensitivity, unsupervised (Figure 4) |
+//! | `fig5`  | Hyperparameter sensitivity, transfer (Figure 5) |
+//! | `fig6`  | Encoder architectures (Figure 6) |
+//! | `fig7`  | Lipschitz-score visualisation on superpixel digits (Figure 7) |
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_baselines::common::GclConfig;
+use sgcl_baselines::gcl::{
+    pretrain_adgcl, pretrain_autogcl, pretrain_graphcl, pretrain_infograph, pretrain_joao,
+    pretrain_rgcl, pretrain_simgrace,
+};
+use sgcl_baselines::kernels::{dgk_features, graphlet_features, wl_features};
+use sgcl_baselines::TrainedEncoder;
+use sgcl_core::lipschitz::LipschitzMode;
+use sgcl_core::{SgclConfig, SgclModel};
+use sgcl_data::synthetic::Dataset;
+use sgcl_data::Scale;
+use sgcl_eval::svm_cross_validate;
+use sgcl_gnn::{EncoderConfig, EncoderKind, Pooling};
+
+/// Options shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Reduced sizes / epochs / seed counts for smoke runs.
+    pub quick: bool,
+    /// Base random seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub out: Option<String>,
+}
+
+impl HarnessOpts {
+    /// Parses `--quick`, `--seed N`, `--out PATH` from `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = Self { quick: false, seed: 0, out: None };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out = Some(args.get(i).expect("--out needs a path").clone());
+                }
+                other => eprintln!("warning: unknown argument {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Dataset scale for this run.
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::Quick
+        } else {
+            Scale::Standard
+        }
+    }
+
+    /// Random seeds for repeated runs (paper: 5; standard: 3; quick: 2).
+    pub fn seeds(&self) -> Vec<u64> {
+        let k = if self.quick { 2 } else { 3 };
+        (0..k).map(|i| self.seed + i).collect()
+    }
+
+    /// Pre-training epochs.
+    pub fn epochs(&self) -> usize {
+        if self.quick {
+            6
+        } else {
+            20
+        }
+    }
+
+    /// Writes a JSON document to `--out` if given.
+    pub fn write_json(&self, value: &serde_json::Value) {
+        if let Some(path) = &self.out {
+            std::fs::write(path, serde_json::to_string_pretty(value).expect("serialise"))
+                .unwrap_or_else(|e| eprintln!("warning: could not write {path}: {e}"));
+            println!("\nresults written to {path}");
+        }
+    }
+}
+
+/// Every method of Table III, in row order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Graphlet kernel.
+    Gl,
+    /// Weisfeiler–Lehman subtree kernel.
+    Wl,
+    /// Deep graph kernel.
+    Dgk,
+    /// InfoGraph.
+    InfoGraph,
+    /// GraphCL.
+    GraphCl,
+    /// JOAOv2.
+    JoaoV2,
+    /// AD-GCL.
+    AdGcl,
+    /// SimGRACE.
+    SimGrace,
+    /// RGCL.
+    Rgcl,
+    /// AutoGCL.
+    AutoGcl,
+    /// SGCL (ours).
+    Sgcl,
+}
+
+impl Method {
+    /// Table III's row order.
+    pub const TABLE3: [Method; 11] = [
+        Method::Gl,
+        Method::Wl,
+        Method::Dgk,
+        Method::InfoGraph,
+        Method::GraphCl,
+        Method::JoaoV2,
+        Method::AdGcl,
+        Method::SimGrace,
+        Method::Rgcl,
+        Method::AutoGcl,
+        Method::Sgcl,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Gl => "GL",
+            Method::Wl => "WL",
+            Method::Dgk => "DGK",
+            Method::InfoGraph => "InfoGraph",
+            Method::GraphCl => "GraphCL",
+            Method::JoaoV2 => "JOAOv2",
+            Method::AdGcl => "AD-GCL",
+            Method::SimGrace => "SimGrace",
+            Method::Rgcl => "RGCL",
+            Method::AutoGcl => "AutoGCL",
+            Method::Sgcl => "SGCL (Ours)",
+        }
+    }
+
+    /// True for the kernel methods (no pre-training stage).
+    pub fn is_kernel(self) -> bool {
+        matches!(self, Method::Gl | Method::Wl | Method::Dgk)
+    }
+}
+
+/// Baseline GCL configuration for a dataset under the harness options.
+pub fn gcl_config(ds: &Dataset, opts: &HarnessOpts) -> GclConfig {
+    GclConfig {
+        epochs: opts.epochs(),
+        batch_size: 64,
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: ds.feature_dim(),
+            hidden_dim: 32,
+            num_layers: 3,
+        },
+        ..GclConfig::paper_unsupervised(ds.feature_dim())
+    }
+}
+
+/// SGCL configuration for a dataset under the harness options.
+pub fn sgcl_config(ds: &Dataset, opts: &HarnessOpts) -> SgclConfig {
+    SgclConfig {
+        epochs: opts.epochs(),
+        batch_size: 64,
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: ds.feature_dim(),
+            hidden_dim: 32,
+            num_layers: 3,
+        },
+        lipschitz_mode: LipschitzMode::AttentionApprox,
+        ..SgclConfig::paper_unsupervised(ds.feature_dim())
+    }
+}
+
+/// Pre-trains `method` on the dataset's graphs and returns graph embeddings
+/// (kernel methods return their explicit feature maps instead).
+pub fn method_embeddings(
+    method: Method,
+    ds: &Dataset,
+    opts: &HarnessOpts,
+    seed: u64,
+) -> sgcl_tensor::Matrix {
+    match method {
+        Method::Gl => graphlet_features(&ds.graphs),
+        Method::Wl => wl_features(&ds.graphs, 3),
+        Method::Dgk => dgk_features(&ds.graphs, 3),
+        Method::InfoGraph => {
+            pretrain_infograph(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs)
+        }
+        Method::GraphCl => {
+            pretrain_graphcl(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs)
+        }
+        Method::JoaoV2 => {
+            pretrain_joao(gcl_config(ds, opts), &ds.graphs, seed).0.embed(&ds.graphs)
+        }
+        Method::AdGcl => pretrain_adgcl(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs),
+        Method::SimGrace => {
+            pretrain_simgrace(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs)
+        }
+        Method::Rgcl => pretrain_rgcl(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs),
+        Method::AutoGcl => {
+            pretrain_autogcl(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs)
+        }
+        Method::Sgcl => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model = SgclModel::new(sgcl_config(ds, opts), &mut rng);
+            model.pretrain(&ds.graphs, seed);
+            model.embed(&ds.graphs)
+        }
+    }
+}
+
+/// Full unsupervised protocol for one `(method, dataset, seed)` triple:
+/// pre-train (or compute kernel features), then SVM + 10-fold CV accuracy.
+pub fn unsupervised_accuracy(method: Method, ds: &Dataset, opts: &HarnessOpts, seed: u64) -> f64 {
+    let emb = method_embeddings(method, ds, opts, seed);
+    let labels = ds.labels();
+    let folds = if opts.quick { 5 } else { 10 };
+    svm_cross_validate(&emb, &labels, ds.num_classes, folds, seed).mean
+}
+
+/// Pre-trains `method` as a transferable encoder on an unlabelled molecule
+/// corpus (Table IV / V / VI path). Kernel methods are not transferable and
+/// panic.
+pub fn pretrain_transferable(
+    method: Method,
+    corpus: &[sgcl_graph::Graph],
+    config: GclConfig,
+    seed: u64,
+) -> TrainedEncoder {
+    match method {
+        Method::InfoGraph => pretrain_infograph(config, corpus, seed),
+        Method::GraphCl => pretrain_graphcl(config, corpus, seed),
+        Method::JoaoV2 => pretrain_joao(config, corpus, seed).0,
+        Method::AdGcl => pretrain_adgcl(config, corpus, seed),
+        Method::SimGrace => pretrain_simgrace(config, corpus, seed),
+        Method::Rgcl => pretrain_rgcl(config, corpus, seed),
+        Method::AutoGcl => pretrain_autogcl(config, corpus, seed),
+        Method::Sgcl => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sgcl = SgclConfig {
+                encoder: config.encoder,
+                tau: config.tau,
+                lr: config.lr,
+                epochs: config.epochs,
+                batch_size: config.batch_size,
+                pooling: config.pooling,
+                ..SgclConfig::paper_unsupervised(config.encoder.input_dim)
+            };
+            let mut model = SgclModel::new(sgcl, &mut rng);
+            model.pretrain(corpus, seed);
+            TrainedEncoder { store: model.store, encoder: model.encoder, pooling: config.pooling }
+        }
+        _ => panic!("{} is not a transferable pre-trainer", method.name()),
+    }
+}
+
+/// Prints a fixed-width table: `headers` then one row per entry, first
+/// column left-aligned, the rest right-aligned.
+pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{cell:<w$}"));
+            } else {
+                s.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        s
+    };
+    println!("{}", line(headers));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// `mean±std` as the paper prints it (percent).
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{:.2}±{:.2}", mean * 100.0, std * 100.0)
+}
+
+/// Transfer-protocol configuration (the paper's 5-layer/300-dim encoder,
+/// width scaled to stay CPU-tractable — uniform across methods).
+pub fn transfer_config(input_dim: usize, opts: &HarnessOpts) -> GclConfig {
+    GclConfig {
+        epochs: if opts.quick { 4 } else { 12 },
+        batch_size: 64,
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim,
+            hidden_dim: if opts.quick { 32 } else { 64 },
+            num_layers: if opts.quick { 3 } else { 5 },
+        },
+        tau: 0.2,
+        lr: 1e-3,
+        pooling: Pooling::Sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_data::TuDataset;
+
+    #[test]
+    fn kernel_methods_flagged() {
+        assert!(Method::Gl.is_kernel());
+        assert!(Method::Wl.is_kernel());
+        assert!(Method::Dgk.is_kernel());
+        assert!(!Method::Sgcl.is_kernel());
+    }
+
+    #[test]
+    fn table3_order_matches_paper() {
+        assert_eq!(Method::TABLE3.len(), 11);
+        assert_eq!(Method::TABLE3[0].name(), "GL");
+        assert_eq!(Method::TABLE3[10].name(), "SGCL (Ours)");
+    }
+
+    #[test]
+    fn kernel_accuracy_beats_chance_on_mutag_like() {
+        let opts = HarnessOpts { quick: true, seed: 0, out: None };
+        let ds = TuDataset::Mutag.generate(opts.scale(), 0);
+        let acc = unsupervised_accuracy(Method::Wl, &ds, &opts, 0);
+        assert!(acc > 0.55, "WL accuracy {acc}");
+    }
+
+    #[test]
+    fn pm_formats_percent() {
+        assert_eq!(pm(0.8974, 0.0099), "89.74±0.99");
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal dependency-free argument parsing for the `sgcl` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and
+/// `--flag` switches.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses from an iterator of arguments (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter.next().unwrap_or_default();
+        let mut out = Args { command, ..Default::default() };
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            // value present iff the next token doesn't start with --
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    if out.options.insert(key.to_string(), v).is_some() {
+                        return Err(format!("duplicate option --{key}"));
+                    }
+                }
+                _ => out.flags.push(key.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from `std::env::args` (skipping the program name).
+    pub fn from_env() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Typed option with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    /// Boolean switch.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Args, String> {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = parse(&["pretrain", "--epochs", "20", "--quick", "--data", "x.json"]).unwrap();
+        assert_eq!(a.command, "pretrain");
+        assert_eq!(a.get("epochs"), Some("20"));
+        assert_eq!(a.get("data"), Some("x.json"));
+        assert!(a.flag("quick"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let a = parse(&["x", "--n", "5"]).unwrap();
+        assert_eq!(a.get_parse("n", 0usize).unwrap(), 5);
+        assert_eq!(a.get_parse("m", 7usize).unwrap(), 7);
+        assert!(a.get_parse::<usize>("n", 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["x", "stray"]).is_err());
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(a.get_parse::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&["x"]).unwrap();
+        assert!(a.require("data").is_err());
+        let b = parse(&["x", "--data", "f"]).unwrap();
+        assert_eq!(b.require("data").unwrap(), "f");
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command, "");
+    }
+}

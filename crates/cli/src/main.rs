@@ -1,0 +1,238 @@
+//! `sgcl` — command-line interface for the SGCL reproduction.
+//!
+//! ```text
+//! sgcl generate  --dataset mutag --scale quick --seed 0 --out ds.json
+//! sgcl pretrain  --data ds.json --epochs 20 --out model.json
+//! sgcl embed     --model model.json --data ds.json --out emb.csv
+//! sgcl evaluate  --model model.json --data ds.json --folds 10
+//! sgcl scores    --model model.json --data ds.json --graph 0
+//! sgcl stats     --data ds.json
+//! ```
+
+mod args;
+
+use args::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
+use sgcl_data::io::{load_dataset, save_dataset};
+use sgcl_data::synthetic::Dataset;
+use sgcl_data::{Scale, TuDataset};
+use sgcl_eval::svm_cross_validate;
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::metrics::dataset_stats;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "sgcl — Semantic-aware Graph Contrastive Learning (ICDE 2024 reproduction)
+
+USAGE: sgcl <COMMAND> [OPTIONS]
+
+COMMANDS:
+  generate   Generate a synthetic dataset
+             --dataset <mutag|dd|proteins|nci1|collab|rdt-b|rdt-m-5k|imdb-b>
+             --scale <quick|standard|full>   (default standard)
+             --seed <N>                      (default 0)
+             --out <FILE>
+  pretrain   Pre-train SGCL on a dataset
+             --data <FILE>  --out <FILE>
+             --epochs <N> (40)  --batch <N> (128)  --hidden <N> (32)
+             --layers <N> (3)   --rho <F> (0.9)    --tau <F> (0.2)
+             --lambda-c <F> (0.01)  --lambda-w <F> (0.01)  --seed <N> (0)
+  embed      Write graph embeddings as CSV
+             --model <FILE>  --data <FILE>  --out <FILE>
+  evaluate   SVM + k-fold cross-validated accuracy of the embeddings
+             --model <FILE>  --data <FILE>  --folds <N> (10)  --seed <N> (0)
+  scores     Per-node Lipschitz constants and keep-probabilities of one graph
+             --model <FILE>  --data <FILE>  --graph <N> (0)
+  stats      Dataset summary statistics
+             --data <FILE>
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "pretrain" => cmd_pretrain(&args),
+        "embed" => cmd_embed(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "scores" => cmd_scores(&args),
+        "stats" => cmd_stats(&args),
+        "" | "help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<TuDataset, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "mutag" => TuDataset::Mutag,
+        "dd" => TuDataset::Dd,
+        "proteins" => TuDataset::Proteins,
+        "nci1" => TuDataset::Nci1,
+        "collab" => TuDataset::Collab,
+        "rdt-b" => TuDataset::RdtB,
+        "rdt-m-5k" => TuDataset::RdtM5k,
+        "imdb-b" => TuDataset::ImdbB,
+        other => return Err(format!("unknown dataset {other:?}")),
+    })
+}
+
+fn parse_scale(name: &str) -> Result<Scale, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "quick" => Scale::Quick,
+        "standard" => Scale::Standard,
+        "full" => Scale::Full,
+        other => return Err(format!("unknown scale {other:?}")),
+    })
+}
+
+fn load(args: &Args) -> Result<Dataset, String> {
+    load_dataset(Path::new(args.require("data")?))
+}
+
+fn load_model(args: &Args, ds: &Dataset) -> Result<SgclModel, String> {
+    let ckpt = Checkpoint::load(Path::new(args.require("model")?))?;
+    let config = SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: ckpt.input_dim,
+            hidden_dim: ckpt.hidden_dim,
+            num_layers: ckpt.num_layers,
+        },
+        ..SgclConfig::paper_unsupervised(ckpt.input_dim)
+    };
+    if ds.feature_dim() != ckpt.input_dim {
+        return Err(format!(
+            "dataset feature dim {} != model input dim {}",
+            ds.feature_dim(),
+            ckpt.input_dim
+        ));
+    }
+    ckpt.restore(config)
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let ds_kind = parse_dataset(args.require("dataset")?)?;
+    let scale = parse_scale(args.get("scale").unwrap_or("standard"))?;
+    let seed = args.get_parse("seed", 0u64)?;
+    let out = args.require("out")?;
+    let ds = ds_kind.generate(scale, seed);
+    save_dataset(&ds, Path::new(out)).map_err(|e| format!("write {out}: {e}"))?;
+    let stats = dataset_stats(&ds.graphs);
+    println!(
+        "wrote {out}: {} graphs, {:.1} avg nodes, {:.1} avg edges, {} classes",
+        stats.num_graphs, stats.avg_nodes, stats.avg_edges, stats.num_classes
+    );
+    Ok(())
+}
+
+fn cmd_pretrain(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let out = args.require("out")?;
+    let seed = args.get_parse("seed", 0u64)?;
+    let config = SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: ds.feature_dim(),
+            hidden_dim: args.get_parse("hidden", 32usize)?,
+            num_layers: args.get_parse("layers", 3usize)?,
+        },
+        epochs: args.get_parse("epochs", 40usize)?,
+        batch_size: args.get_parse("batch", 128usize)?,
+        rho: args.get_parse("rho", 0.9f32)?,
+        tau: args.get_parse("tau", 0.2f32)?,
+        lambda_c: args.get_parse("lambda-c", 0.01f32)?,
+        lambda_w: args.get_parse("lambda-w", 0.01f32)?,
+        ..SgclConfig::paper_unsupervised(ds.feature_dim())
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = SgclModel::new(config, &mut rng);
+    println!("pre-training on {} graphs for {} epochs…", ds.len(), config.epochs);
+    let stats = model.pretrain(&ds.graphs, seed);
+    for (e, s) in stats.iter().enumerate() {
+        if e % 5 == 0 || e + 1 == stats.len() {
+            println!("  epoch {e:>3}: loss {:.4}", s.loss);
+        }
+    }
+    Checkpoint::capture(&model)
+        .save(Path::new(out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn cmd_embed(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let model = load_model(args, &ds)?;
+    let out = args.require("out")?;
+    let emb = model.embed(&ds.graphs);
+    let mut csv = String::new();
+    for r in 0..emb.rows() {
+        let row: Vec<String> = emb.row(r).iter().map(|v| format!("{v}")).collect();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    std::fs::write(out, csv).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} × {} embeddings to {out}", emb.rows(), emb.cols());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    if ds.num_classes < 2 {
+        return Err("evaluate needs a labelled classification dataset".into());
+    }
+    let model = load_model(args, &ds)?;
+    let folds = args.get_parse("folds", 10usize)?;
+    let seed = args.get_parse("seed", 0u64)?;
+    let emb = model.embed(&ds.graphs);
+    let result = svm_cross_validate(&emb, &ds.labels(), ds.num_classes, folds, seed);
+    println!("SVM {}-fold CV accuracy: {}", folds, result.display_percent());
+    Ok(())
+}
+
+fn cmd_scores(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let model = load_model(args, &ds)?;
+    let idx = args.get_parse("graph", 0usize)?;
+    let g = ds.graphs.get(idx).ok_or_else(|| format!("graph index {idx} out of range"))?;
+    let k = model.node_scores(g);
+    let p = model.keep_probabilities(g);
+    println!("graph {idx}: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!("node  degree  tag  K (Lipschitz)  P (keep)");
+    let deg = g.degrees();
+    for i in 0..g.num_nodes() {
+        println!(
+            "{:>4}  {:>6}  {:>3}  {:>13.4}  {:>8.4}",
+            i, deg[i], g.node_tags[i], k[i], p[i]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let stats = dataset_stats(&ds.graphs);
+    println!("name:        {}", ds.name);
+    println!("graphs:      {}", stats.num_graphs);
+    println!("avg nodes:   {:.2}", stats.avg_nodes);
+    println!("avg edges:   {:.2}", stats.avg_edges);
+    println!("avg density: {:.4}", stats.avg_density);
+    println!("classes:     {}", stats.num_classes);
+    println!("feature dim: {}", ds.feature_dim());
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Lipschitz graph augmentation (§IV-C).
+//!
+//! Given per-node keep-probabilities `P(V)` (Eq. 18), the augmentation
+//! `Ĝ = Φ(G, k, P(V))` (Eq. 19) drops `k` nodes sampled with weight
+//! `1 − P(v)` — semantic-related nodes have `P = 1` and are never dropped —
+//! while the complement sample `Ĝᶜ = Φ(G, k, 1 − P(V))` (Eq. 20) drops with
+//! weight `P(v)`, deliberately destroying semantic structure to serve as an
+//! extra negative.
+//!
+//! **ρ convention** (see DESIGN.md §4): Definition 3 calls `ρ|V|` the number
+//! of dropped nodes, yet the paper tunes ρ to 0.9 and argues large ρ is good
+//! *because semantic-unrelated nodes also contribute to pre-training* —
+//! consistent only with ρ as the **keep** ratio. We therefore drop
+//! `round((1 − ρ)·|V|)` nodes.
+
+use rand::Rng;
+use sgcl_graph::augment::{drop_nodes_weighted, DropResult};
+use sgcl_graph::Graph;
+
+/// Number of nodes dropped from a graph of size `n` at keep-ratio `rho`.
+pub fn drop_count(n: usize, rho: f32) -> usize {
+    (((1.0 - rho) * n as f32).round() as usize).min(n.saturating_sub(1))
+}
+
+/// Eq. 19: generates the semantic-aware contrastive sample `Ĝ` by dropping
+/// `round((1−ρ)|V|)` nodes with weights `1 − P(v)`.
+pub fn lipschitz_augment(
+    g: &Graph,
+    keep_prob: &[f32],
+    rho: f32,
+    rng: &mut impl Rng,
+) -> DropResult {
+    assert_eq!(keep_prob.len(), g.num_nodes(), "probability length mismatch");
+    let weights: Vec<f32> = keep_prob.iter().map(|&p| (1.0 - p).max(0.0)).collect();
+    drop_nodes_weighted(g, drop_count(g.num_nodes(), rho), &weights, rng)
+}
+
+/// Eq. 20: generates the semantic-unaware complement sample `Ĝᶜ` by
+/// dropping with weights `P(v)` (destroying semantic-related nodes).
+pub fn complement_augment(
+    g: &Graph,
+    keep_prob: &[f32],
+    rho: f32,
+    rng: &mut impl Rng,
+) -> DropResult {
+    assert_eq!(keep_prob.len(), g.num_nodes(), "probability length mismatch");
+    drop_nodes_weighted(g, drop_count(g.num_nodes(), rho), keep_prob, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgcl_tensor::Matrix;
+
+    fn graph(n: usize) -> Graph {
+        let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::new(n, edges, Matrix::eye(n))
+    }
+
+    #[test]
+    fn drop_count_convention() {
+        // ρ = 0.9 on 20 nodes → drop 2
+        assert_eq!(drop_count(20, 0.9), 2);
+        assert_eq!(drop_count(10, 0.5), 5);
+        // never drops everything
+        assert_eq!(drop_count(3, 0.0), 2);
+        assert_eq!(drop_count(1, 0.0), 0);
+    }
+
+    #[test]
+    fn semantic_nodes_never_dropped() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = graph(10);
+        // nodes 0..4 semantic (P = 1), rest droppable
+        let p = vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.3, 0.3, 0.3, 0.3, 0.3];
+        for _ in 0..30 {
+            let r = lipschitz_augment(&g, &p, 0.7, &mut rng);
+            for i in 0..5 {
+                assert!(!r.dropped[i], "semantic node {i} was dropped");
+            }
+            assert_eq!(r.dropped.iter().filter(|&&d| d).count(), 3);
+        }
+    }
+
+    #[test]
+    fn complement_prefers_semantic_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = graph(10);
+        let p = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        for _ in 0..30 {
+            let r = complement_augment(&g, &p, 0.7, &mut rng);
+            // the 3 drops must all hit the P = 1 nodes (weights elsewhere = 0)
+            assert!(r.dropped[0] && r.dropped[1] && r.dropped[2]);
+        }
+    }
+
+    #[test]
+    fn rho_09_drops_ten_percent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = graph(20);
+        let p = vec![0.5; 20];
+        let r = lipschitz_augment(&g, &p, 0.9, &mut rng);
+        assert_eq!(r.graph.num_nodes(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability length")]
+    fn rejects_bad_prob_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = graph(5);
+        let _ = lipschitz_augment(&g, &[0.5; 3], 0.9, &mut rng);
+    }
+
+    #[test]
+    fn all_semantic_falls_back_gracefully() {
+        // if every node has P = 1 the drop weights are all zero; the sampler
+        // falls back to uniform so augmentation still produces a sample
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = graph(10);
+        let r = lipschitz_augment(&g, &[1.0; 10], 0.8, &mut rng);
+        assert_eq!(r.graph.num_nodes(), 8);
+    }
+}

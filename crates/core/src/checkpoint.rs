@@ -1,0 +1,204 @@
+//! Model checkpointing: serialise a trained [`SgclModel`]'s parameters to
+//! JSON and restore them into a freshly built model of the same
+//! configuration. The tape/optimiser state is not persisted — checkpoints
+//! capture the weights a downstream user needs for embedding/fine-tuning.
+
+use crate::trainer::{SgclConfig, SgclModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sgcl_tensor::Matrix;
+
+/// A serialisable snapshot of a trained model's parameters.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Parameter names in registration order (sanity-checked on load).
+    pub names: Vec<String>,
+    /// Parameter values in registration order.
+    pub values: Vec<Matrix>,
+    /// Encoder hyperparameters needed to rebuild the architecture.
+    pub hidden_dim: usize,
+    /// Number of message-passing layers.
+    pub num_layers: usize,
+    /// Input feature dimension.
+    pub input_dim: usize,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Captures the model's parameters.
+    pub fn capture(model: &SgclModel) -> Self {
+        let names = model
+            .store
+            .ids()
+            .map(|id| model.store.name(id).to_string())
+            .collect();
+        Self {
+            version: CHECKPOINT_VERSION,
+            names,
+            values: model.store.snapshot(),
+            hidden_dim: model.config.encoder.hidden_dim,
+            num_layers: model.config.encoder.num_layers,
+            input_dim: model.config.encoder.input_dim,
+        }
+    }
+
+    /// Serialises to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialisation cannot fail")
+    }
+
+    /// Parses a JSON checkpoint.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let c: Checkpoint =
+            serde_json::from_str(s).map_err(|e| format!("invalid checkpoint JSON: {e}"))?;
+        if c.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                c.version
+            ));
+        }
+        if c.names.len() != c.values.len() {
+            return Err("checkpoint name/value length mismatch".into());
+        }
+        Ok(c)
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        Self::from_json(&s)
+    }
+
+    /// Rebuilds a model with `config` and restores these weights.
+    ///
+    /// # Errors
+    /// Fails when the architecture in `config` does not match the
+    /// checkpoint (parameter count, names, or shapes differ).
+    pub fn restore(&self, config: SgclConfig) -> Result<SgclModel, String> {
+        if config.encoder.hidden_dim != self.hidden_dim
+            || config.encoder.num_layers != self.num_layers
+            || config.encoder.input_dim != self.input_dim
+        {
+            return Err(format!(
+                "architecture mismatch: checkpoint {}x{} (in {}), config {}x{} (in {})",
+                self.hidden_dim,
+                self.num_layers,
+                self.input_dim,
+                config.encoder.hidden_dim,
+                config.encoder.num_layers,
+                config.encoder.input_dim
+            ));
+        }
+        // the RNG seed is irrelevant — weights are overwritten below
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = SgclModel::new(config, &mut rng);
+        if model.store.len() != self.values.len() {
+            return Err(format!(
+                "parameter count mismatch: model {} vs checkpoint {}",
+                model.store.len(),
+                self.values.len()
+            ));
+        }
+        for (id, name) in model.store.ids().zip(&self.names) {
+            if model.store.name(id) != name {
+                return Err(format!(
+                    "parameter name mismatch at {}: {} vs {}",
+                    id.index(),
+                    model.store.name(id),
+                    name
+                ));
+            }
+        }
+        model.store.restore(&self.values);
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_data::{Scale, TuDataset};
+    use sgcl_gnn::{EncoderConfig, EncoderKind};
+
+    fn tiny_config(input_dim: usize) -> SgclConfig {
+        SgclConfig {
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim,
+                hidden_dim: 16,
+                num_layers: 2,
+            },
+            epochs: 2,
+            batch_size: 16,
+            ..SgclConfig::paper_unsupervised(input_dim)
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_embeddings() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+        let config = tiny_config(ds.feature_dim());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = SgclModel::new(config, &mut rng);
+        model.pretrain(&ds.graphs, 1);
+        let before = model.embed(&ds.graphs);
+
+        let ckpt = Checkpoint::capture(&model);
+        let json = ckpt.to_json();
+        let restored = Checkpoint::from_json(&json)
+            .expect("parse")
+            .restore(config)
+            .expect("restore");
+        let after = restored.embed(&ds.graphs);
+        assert_eq!(before, after, "embeddings changed across checkpoint roundtrip");
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let config = tiny_config(7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SgclModel::new(config, &mut rng);
+        let ckpt = Checkpoint::capture(&model);
+        let mut wrong = config;
+        wrong.encoder.hidden_dim = 32;
+        assert!(ckpt.restore(wrong).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_json_and_version() {
+        assert!(Checkpoint::from_json("not json").is_err());
+        let config = tiny_config(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SgclModel::new(config, &mut rng);
+        let mut ckpt = Checkpoint::capture(&model);
+        ckpt.version = 99;
+        let json = ckpt.to_json();
+        assert!(Checkpoint::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let config = tiny_config(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = SgclModel::new(config, &mut rng);
+        let ckpt = Checkpoint::capture(&model);
+        let dir = std::env::temp_dir().join("sgcl_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save(&path).expect("save");
+        let loaded = Checkpoint::load(&path).expect("load");
+        assert_eq!(loaded.names, ckpt.names);
+        assert_eq!(loaded.values.len(), ckpt.values.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,460 @@
+//! The Lipschitz constant generator (§IV-B, Figure 3).
+//!
+//! For every node `v_r` of an anchor graph the generator computes
+//! `K_r = D_R(G, Ĝ_r) / D_T(G, Ĝ_r)` (Eq. 11): how much the GNN
+//! representation of the graph moves when `v_r` is dropped, normalised by
+//! the topology change. Large `K_r` ⇒ semantic-related node.
+//!
+//! Two modes are provided, matching the paper:
+//!
+//! * [`LipschitzMode::ExactMask`] — the literal mask mechanism of
+//!   Eq. 13–14: one masked forward pass per node,
+//!   `O((|V||E|² + |V|)·l_q·B)` in the paper's accounting;
+//! * [`LipschitzMode::AttentionApprox`] — the §V optimisation: a single
+//!   pass computes attention weights (Vaswani-style) and *deletes each
+//!   node's aggregated contribution* in closed form,
+//!   `O((|E|² + |V|² + |V|)·l_q·B)`.
+//!
+//! The generator also owns Eq. 18's learnable probability head: the
+//! differentiable part `δ(h_i wᵢᵀ)` through which the generator GNN `f_q`
+//! receives gradients.
+
+use rand::Rng;
+use sgcl_graph::{Graph, GraphBatch};
+use sgcl_tensor::{stable_sigmoid, Initializer, Matrix, ParamId, ParamStore, Tape, Var};
+use sgcl_gnn::{EncoderConfig, GnnEncoder};
+use std::rc::Rc;
+
+/// How to compute per-node Lipschitz constants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LipschitzMode {
+    /// Exact perturbation-mask mechanism (Eq. 13–14): one masked forward
+    /// pass per node.
+    ExactMask,
+    /// One-pass attention approximation (§V): subtract each node's
+    /// attention-weighted contribution from its neighbours.
+    AttentionApprox,
+}
+
+/// The Lipschitz constant generator: the GNN tower `f_q`, the attention
+/// parameters of the §V approximation, and Eq. 18's probability head.
+pub struct LipschitzGenerator {
+    /// The generator GNN `f_q` (same architecture as `f_k`, separate
+    /// parameters — §VI-A3).
+    pub encoder: GnnEncoder,
+    att_src: ParamId,
+    att_dst: ParamId,
+    prob_weight: ParamId,
+}
+
+impl LipschitzGenerator {
+    /// Registers `f_q` and the auxiliary parameters in `store`.
+    pub fn new(
+        name: &str,
+        store: &mut ParamStore,
+        config: EncoderConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let encoder = GnnEncoder::new(&format!("{name}.fq"), store, config, rng);
+        let d = config.hidden_dim;
+        let att_src = store.register(
+            format!("{name}.att_src"),
+            d,
+            1,
+            Initializer::XavierUniform,
+            rng,
+        );
+        let att_dst = store.register(
+            format!("{name}.att_dst"),
+            d,
+            1,
+            Initializer::XavierUniform,
+            rng,
+        );
+        let prob_weight = store.register(
+            format!("{name}.prob_w"),
+            d,
+            1,
+            Initializer::XavierUniform,
+            rng,
+        );
+        Self { encoder, att_src, att_dst, prob_weight }
+    }
+
+    /// Hidden dimension of `f_q`.
+    pub fn hidden_dim(&self) -> usize {
+        self.encoder.output_dim()
+    }
+
+    /// Computes the Lipschitz constant matrix `K_V` (Eq. 15) for every node
+    /// of the batch. Runs outside any gradient tape (the constants are
+    /// treated as semantic attribute *scores*; gradients to `f_q` flow
+    /// through Eq. 18 instead — see [`Self::augmentation_prob`]).
+    pub fn node_constants(
+        &self,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        graphs: &[&Graph],
+        mode: LipschitzMode,
+    ) -> Vec<f32> {
+        assert_eq!(batch.num_graphs, graphs.len(), "batch/graph count mismatch");
+        match mode {
+            LipschitzMode::ExactMask => self.exact_constants(store, batch, graphs),
+            LipschitzMode::AttentionApprox => self.approx_constants(store, batch, graphs),
+        }
+    }
+
+    /// Exact mask mechanism: for each node `r`, rerun `f_q` with `m_r`
+    /// zeroing that node (Eq. 13–14) and measure
+    /// `D_R = ‖H⁽ˡ⁾ − Ĥ_r⁽ˡ⁾‖_F` over the node's own graph (Eq. 12).
+    fn exact_constants(
+        &self,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        graphs: &[&Graph],
+    ) -> Vec<f32> {
+        let n = batch.total_nodes();
+        let mut tape = Tape::new();
+        let full = self.encoder.forward(&mut tape, store, batch, None);
+        let full_h = tape.value(full).clone();
+
+        let mut constants = vec![0.0f32; n];
+        for (gi, g) in graphs.iter().enumerate() {
+            let range = batch.graph_nodes(gi);
+            let degrees = g.degrees();
+            for local in 0..g.num_nodes() {
+                let global = range.start + local;
+                let mut mask = Matrix::ones(n, 1);
+                mask.set(global, 0, 0.0);
+                let mut t = Tape::new();
+                let masked = self.encoder.forward(&mut t, store, batch, Some(Rc::new(mask)));
+                let masked_h = t.value(masked);
+                // D_R restricted to this graph's rows
+                let mut d_r = 0.0f32;
+                for r in range.clone() {
+                    for (a, b) in full_h.row(r).iter().zip(masked_h.row(r)) {
+                        let d = a - b;
+                        d_r += d * d;
+                    }
+                }
+                let d_r = d_r.sqrt();
+                let d_t = ((2 * degrees[local]) as f32).sqrt().max(1.0);
+                constants[global] = d_r / d_t;
+            }
+        }
+        constants
+    }
+
+    /// §V attention approximation: one `f_q` pass, attention weights over
+    /// directed edges, and each node's contribution deleted in closed form:
+    /// `D_R(G, Ĝ_r)² ≈ ‖h_r‖² + Σ_{i∈N(r)} (α_{r→i} ‖h_r‖)²`.
+    fn approx_constants(
+        &self,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        graphs: &[&Graph],
+    ) -> Vec<f32> {
+        let n = batch.total_nodes();
+        let mut tape = Tape::new();
+        let h = self.encoder.forward(&mut tape, store, batch, None);
+        let hm = tape.value(h).clone();
+
+        // attention scores on directed edges src→dst, normalised over the
+        // incoming edges of each dst (plus a self edge, Vaswani-style)
+        let a_s = store.value(self.att_src);
+        let a_d = store.value(self.att_dst);
+        let score = |i: usize, a: &Matrix| -> f32 {
+            hm.row(i).iter().zip(a.as_slice()).map(|(&x, &w)| x * w).sum()
+        };
+        let src = &batch.edge_src;
+        let dst = &batch.edge_dst;
+        let e = src.len();
+        // softmax over incoming edges per dst, including an implicit self edge
+        let mut max_per_dst = vec![f32::NEG_INFINITY; n];
+        let mut edge_logit = vec![0.0f32; e];
+        let mut self_logit = vec![0.0f32; n];
+        for i in 0..n {
+            self_logit[i] = score(i, a_s) + score(i, a_d);
+            max_per_dst[i] = self_logit[i];
+        }
+        for k in 0..e {
+            let l = score(src[k], a_s) + score(dst[k], a_d);
+            edge_logit[k] = l;
+            if l > max_per_dst[dst[k]] {
+                max_per_dst[dst[k]] = l;
+            }
+        }
+        let mut denom = vec![0.0f32; n];
+        for i in 0..n {
+            denom[i] = (self_logit[i] - max_per_dst[i]).exp();
+        }
+        for k in 0..e {
+            denom[dst[k]] += (edge_logit[k] - max_per_dst[dst[k]]).exp();
+        }
+        // contribution of r to each neighbour i: α_{r→i}·‖h_r‖
+        let norms: Vec<f32> = (0..n)
+            .map(|i| hm.row(i).iter().map(|&v| v * v).sum::<f32>().sqrt())
+            .collect();
+        let mut d_r_sq: Vec<f32> = norms.iter().map(|&v| v * v).collect();
+        for k in 0..e {
+            let alpha = (edge_logit[k] - max_per_dst[dst[k]]).exp() / denom[dst[k]].max(1e-12);
+            let c = alpha * norms[src[k]];
+            d_r_sq[src[k]] += c * c;
+        }
+
+        let mut constants = vec![0.0f32; n];
+        for (gi, g) in graphs.iter().enumerate() {
+            let range = batch.graph_nodes(gi);
+            let degrees = g.degrees();
+            for local in 0..g.num_nodes() {
+                let global = range.start + local;
+                let d_t = ((2 * degrees[local]) as f32).sqrt().max(1.0);
+                constants[global] = d_r_sq[global].sqrt() / d_t;
+            }
+        }
+        constants
+    }
+
+    /// Per-graph semantic threshold `K̄` (Eq. 16) and binary constants `C`
+    /// (Eq. 17). Returns one 0/1 flag per node of the batch.
+    pub fn binarize(batch: &GraphBatch, constants: &[f32]) -> Vec<f32> {
+        assert_eq!(constants.len(), batch.total_nodes(), "constant length");
+        let mut out = vec![0.0f32; constants.len()];
+        for gi in 0..batch.num_graphs {
+            let range = batch.graph_nodes(gi);
+            let mean: f32 = constants[range.clone()].iter().sum::<f32>()
+                / (range.len().max(1)) as f32;
+            for i in range {
+                out[i] = if constants[i] >= mean { 1.0 } else { 0.0 };
+            }
+        }
+        out
+    }
+
+    /// Records Eq. 18 on the tape: `P(v_i) = C_i + (1 − C_i)·δ(h_i wᵀ)`,
+    /// where `h` is a fresh `f_q` forward (differentiable — this is the path
+    /// through which `f_q` and `w` train). Returns the `total_nodes × 1`
+    /// keep-probability column.
+    pub fn augmentation_prob(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        binary_c: &[f32],
+    ) -> Var {
+        assert_eq!(binary_c.len(), batch.total_nodes(), "C length mismatch");
+        let h = self.encoder.forward(tape, store, batch, None);
+        let w = store.leaf(tape, self.prob_weight);
+        let logits = tape.matmul(h, w); // n × 1
+        let sig = tape.sigmoid(logits);
+        let n = binary_c.len();
+        let c = Rc::new(Matrix::from_vec(n, 1, binary_c.to_vec()));
+        let one_minus_c = Rc::new(c.map(|v| 1.0 - v));
+        let gated = tape.hadamard_const(sig, one_minus_c);
+        let cv = tape.constant((*c).clone());
+        tape.add(cv, gated)
+    }
+
+    /// Value-level version of [`Self::augmentation_prob`] for the sampling
+    /// path (no tape): returns `P(v_i)` per node.
+    pub fn augmentation_prob_values(
+        &self,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        binary_c: &[f32],
+    ) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let h = self.encoder.forward(&mut tape, store, batch, None);
+        let hm = tape.value(h);
+        let w = store.value(self.prob_weight);
+        binary_c
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let logit: f32 = hm
+                    .row(i)
+                    .iter()
+                    .zip(w.as_slice())
+                    .map(|(&x, &wv)| x * wv)
+                    .sum();
+                c + (1.0 - c) * stable_sigmoid(logit)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgcl_gnn::EncoderKind;
+
+    fn setup(input_dim: usize) -> (ParamStore, LipschitzGenerator) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let gen = LipschitzGenerator::new(
+            "gen",
+            &mut store,
+            EncoderConfig { kind: EncoderKind::Gin, input_dim, hidden_dim: 16, num_layers: 2 },
+            &mut rng,
+        );
+        (store, gen)
+    }
+
+    fn star_graph(leaves: usize) -> Graph {
+        let edges = (1..=leaves as u32).map(|i| (0, i)).collect();
+        let n = leaves + 1;
+        Graph::new(n, edges, Matrix::eye(n))
+    }
+
+    #[test]
+    fn exact_constants_finite_positive() {
+        let g = star_graph(5);
+        let batch = GraphBatch::new(&[&g]);
+        let (store, gen) = setup(6);
+        let k = gen.node_constants(&store, &batch, &[&g], LipschitzMode::ExactMask);
+        assert_eq!(k.len(), 6);
+        assert!(k.iter().all(|&v| v.is_finite() && v >= 0.0));
+        assert!(k.iter().any(|&v| v > 0.0), "all-zero constants");
+    }
+
+    #[test]
+    fn approx_constants_finite_positive() {
+        let g = star_graph(5);
+        let batch = GraphBatch::new(&[&g]);
+        let (store, gen) = setup(6);
+        let k = gen.node_constants(&store, &batch, &[&g], LipschitzMode::AttentionApprox);
+        assert_eq!(k.len(), 6);
+        assert!(k.iter().all(|&v| v.is_finite() && v >= 0.0));
+    }
+
+    #[test]
+    fn hub_moves_representation_more_than_leaf() {
+        // dropping the hub of a star must change the representation more
+        // than dropping one leaf (the premise behind Eq. 11)
+        let g = star_graph(6);
+        let batch = GraphBatch::new(&[&g]);
+        let (store, gen) = setup(7);
+        // D_R = K_r * D_T by construction; recover it
+        let k = gen.node_constants(&store, &batch, &[&g], LipschitzMode::ExactMask);
+        let deg = g.degrees();
+        let d_r: Vec<f32> = k
+            .iter()
+            .enumerate()
+            .map(|(i, &kv)| kv * ((2 * deg[i]) as f32).sqrt().max(1.0))
+            .collect();
+        let leaf_max = d_r[1..].iter().copied().fold(0.0f32, f32::max);
+        assert!(
+            d_r[0] > leaf_max,
+            "hub D_R {} should exceed leaf max {leaf_max}",
+            d_r[0]
+        );
+    }
+
+    #[test]
+    fn exact_and_approx_agree_on_hub_vs_leaves() {
+        // both modes should give the star hub the largest raw representation
+        // distance; compare *rankings* not magnitudes
+        let g = star_graph(8);
+        let batch = GraphBatch::new(&[&g]);
+        let (store, gen) = setup(9);
+        for mode in [LipschitzMode::ExactMask, LipschitzMode::AttentionApprox] {
+            let k = gen.node_constants(&store, &batch, &[&g], mode);
+            let deg = g.degrees();
+            let d_r: Vec<f32> = k
+                .iter()
+                .enumerate()
+                .map(|(i, &kv)| kv * ((2 * deg[i]) as f32).sqrt().max(1.0))
+                .collect();
+            let hub_rank = d_r.iter().filter(|&&v| v > d_r[0]).count();
+            assert_eq!(hub_rank, 0, "{mode:?}: hub not top-ranked: {d_r:?}");
+        }
+    }
+
+    #[test]
+    fn constants_respect_batch_boundaries() {
+        // identical graphs in one batch must get identical constants
+        let g = star_graph(4);
+        let batch = GraphBatch::new(&[&g, &g]);
+        let (store, gen) = setup(5);
+        for mode in [LipschitzMode::ExactMask, LipschitzMode::AttentionApprox] {
+            let k = gen.node_constants(&store, &batch, &[&g, &g], mode);
+            for i in 0..5 {
+                assert!(
+                    (k[i] - k[5 + i]).abs() < 1e-4,
+                    "{mode:?}: node {i}: {} vs {}",
+                    k[i],
+                    k[5 + i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binarize_uses_per_graph_mean() {
+        let g = star_graph(3);
+        let batch = GraphBatch::new(&[&g, &g]);
+        // graph 0 constants: [10, 1, 1, 1] (mean 3.25) → [1, 0, 0, 0]
+        // graph 1 constants: [2, 2, 2, 2] (mean 2)     → all 1
+        let k = vec![10.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0];
+        let c = LipschitzGenerator::binarize(&batch, &k);
+        assert_eq!(c, vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn augmentation_prob_is_one_for_semantic_nodes() {
+        let g = star_graph(4);
+        let batch = GraphBatch::new(&[&g]);
+        let (store, gen) = setup(5);
+        let c = vec![1.0, 0.0, 0.0, 1.0, 0.0];
+        let p = gen.augmentation_prob_values(&store, &batch, &c);
+        assert_eq!(p.len(), 5);
+        // C_i = 1 ⇒ P = 1 exactly (Eq. 18)
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!((p[3] - 1.0).abs() < 1e-6);
+        // C_i = 0 ⇒ P = sigmoid ∈ (0, 1)
+        for &i in &[1usize, 2, 4] {
+            assert!(p[i] > 0.0 && p[i] < 1.0, "p[{i}] = {}", p[i]);
+        }
+    }
+
+    #[test]
+    fn augmentation_prob_tape_matches_values() {
+        let g = star_graph(4);
+        let batch = GraphBatch::new(&[&g]);
+        let (store, gen) = setup(5);
+        let c = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        let vals = gen.augmentation_prob_values(&store, &batch, &c);
+        let mut tape = Tape::new();
+        let p = gen.augmentation_prob(&mut tape, &store, &batch, &c);
+        let tape_vals = tape.value(p);
+        for (i, &v) in vals.iter().enumerate() {
+            assert!((tape_vals.get(i, 0) - v).abs() < 1e-5, "node {i}");
+        }
+    }
+
+    #[test]
+    fn augmentation_prob_trains_fq() {
+        // gradients must reach f_q's parameters through Eq. 18
+        let g = star_graph(4);
+        let batch = GraphBatch::new(&[&g]);
+        let (mut store, gen) = setup(5);
+        let c = vec![0.0; 5]; // all learnable
+        let mut tape = Tape::new();
+        let p = gen.augmentation_prob(&mut tape, &store, &batch, &c);
+        let loss = tape.sum_all(p);
+        store.backward(&tape, loss);
+        assert!(store.grad_norm() > 0.0, "no gradient reached the generator");
+    }
+
+    #[test]
+    fn isolated_node_constant_is_finite() {
+        // isolated node: D_T floor of 1.0 must keep K finite
+        let g = Graph::new(3, vec![(0, 1)], Matrix::eye(3));
+        let batch = GraphBatch::new(&[&g]);
+        let (store, gen) = setup(3);
+        let k = gen.node_constants(&store, &batch, &[&g], LipschitzMode::ExactMask);
+        assert!(k[2].is_finite());
+    }
+}

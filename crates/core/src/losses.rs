@@ -1,0 +1,228 @@
+//! Semantic-aware contrastive losses (§IV-D).
+//!
+//! * [`semantic_info_nce`] — Eq. 24: the InfoNCE-style loss whose
+//!   denominator sums over *negatives only* (`j ≠ i`), pulling each anchor
+//!   `z_{G_i}` towards its own sample `z_{Ĝ_i}` and away from the samples of
+//!   other graphs;
+//! * [`complement_loss`] — Eq. 25: treats the semantic-unaware samples `Ĝᶜ`
+//!   as an extra negative set;
+//! * [`weight_norm_regulariser`] — Eq. 26: `Θ_W = ‖W‖`, bounding the weight
+//!   term of Theorem 1.
+//!
+//! Representations are L2-normalised before the dot products so `τ` has the
+//! usual cosine-similarity semantics.
+
+use sgcl_tensor::{ParamId, ParamStore, Tape, Var};
+use std::rc::Rc;
+
+/// Eq. 24. `z_anchor` and `z_pos` are `B × d` with row `i` of `z_pos` the
+/// contrastive sample of anchor `i`. Returns the scalar mean loss
+/// `L_s = −log( exp(zᵢᵀẑᵢ/τ) / Σ_{j≠i} exp(zᵢᵀẑⱼ/τ) )`.
+pub fn semantic_info_nce(tape: &mut Tape, z_anchor: Var, z_pos: Var, tau: f32) -> Var {
+    let b = tape.value(z_anchor).rows();
+    assert_eq!(tape.value(z_pos).rows(), b, "anchor/positive batch mismatch");
+    let za = tape.row_l2_normalize(z_anchor);
+    let zp = tape.row_l2_normalize(z_pos);
+    let sim = tape.matmul_nt(za, zp);
+    let logits = tape.scale(sim, 1.0 / tau);
+    if b < 2 {
+        // no negatives: fall back to pulling the positive (alignment only)
+        let d = tape.diag(logits);
+        let neg = tape.scale(d, -1.0);
+        return tape.mean_all(neg);
+    }
+    // L_i = logsumexp_{j≠i}(l_ij) − l_ii, computed stably:
+    // cosine/τ is bounded by 1/τ, so exp() is safe without max-shifting
+    let e = tape.exp(logits);
+    let row = tape.row_sums(e); // Σ_j e_ij
+    let e_diag = tape.diag(e);
+    let denom = tape.sub(row, e_diag); // Σ_{j≠i}
+    let log_denom = tape.ln(denom);
+    let l_diag = tape.diag(logits);
+    let per_row = tape.sub(log_denom, l_diag);
+    tape.mean_all(per_row)
+}
+
+/// Eq. 25. `z_comp` holds the complement samples (`B × d`). Returns
+/// `L_c = −log( exp(zᵢᵀẑᵢ/τ) / (exp(zᵢᵀẑᵢ/τ) + Σ_c exp(zᵢᵀẑᶜ/τ)) )`,
+/// i.e. a softmax cross-entropy whose positive column is the own sample and
+/// whose negative columns are every complement sample in the batch.
+pub fn complement_loss(tape: &mut Tape, z_anchor: Var, z_pos: Var, z_comp: Var, tau: f32) -> Var {
+    let b = tape.value(z_anchor).rows();
+    assert_eq!(tape.value(z_pos).rows(), b, "anchor/positive batch mismatch");
+    assert_eq!(tape.value(z_comp).rows(), b, "anchor/complement batch mismatch");
+    let za = tape.row_l2_normalize(z_anchor);
+    let zp = tape.row_l2_normalize(z_pos);
+    let zc = tape.row_l2_normalize(z_comp);
+    let sim_pos_full = tape.matmul_nt(za, zp);
+    let sim_pos_scaled = tape.scale(sim_pos_full, 1.0 / tau);
+    let pos_col = tape.diag(sim_pos_scaled); // B × 1
+    let sim_comp = tape.matmul_nt(za, zc);
+    let comp_logits = tape.scale(sim_comp, 1.0 / tau); // B × B negatives
+    let logits = tape.concat_cols(pos_col, comp_logits); // B × (1 + B)
+    let targets = Rc::new(vec![0usize; b]);
+    tape.softmax_cross_entropy(logits, targets)
+}
+
+/// Eq. 26/27's regulariser `λ_W·Θ_W`. `Θ_W` is implemented as the sum of the
+/// Frobenius norms of the listed weight matrices (equivalent to the paper's
+/// single stacked-matrix norm up to a √ factor — both bound `‖W‖` of
+/// Theorem 1 and both shrink every weight).
+pub fn weight_norm_regulariser(
+    tape: &mut Tape,
+    store: &ParamStore,
+    weights: &[ParamId],
+) -> Var {
+    assert!(!weights.is_empty(), "no weights to regularise");
+    let mut total: Option<Var> = None;
+    for &id in weights {
+        let w = store.leaf(tape, id);
+        let n = tape.frobenius_norm(w);
+        total = Some(match total {
+            Some(t) => tape.add(t, n),
+            None => n,
+        });
+    }
+    total.expect("non-empty weights")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_tensor::Matrix;
+
+    /// Orthogonal anchors with positives aligned to them.
+    fn aligned_pair(b: usize, d: usize) -> (Matrix, Matrix) {
+        let mut z = Matrix::zeros(b, d);
+        for i in 0..b {
+            z.set(i, i % d, 1.0);
+        }
+        (z.clone(), z)
+    }
+
+    #[test]
+    fn info_nce_low_when_aligned() {
+        // anchors perfectly aligned with their own positives and orthogonal
+        // to others → loss far below the uniform value ln(B−1)
+        let (za, zp) = aligned_pair(4, 4);
+        let mut tape = Tape::new();
+        let a = tape.constant(za);
+        let p = tape.constant(zp);
+        let loss = semantic_info_nce(&mut tape, a, p, 0.2);
+        let v = tape.scalar(loss);
+        // uniform-similarity baseline would be ln(3) ≈ 1.10
+        assert!(v < 0.0, "aligned loss should be strongly negative-logit, got {v}");
+    }
+
+    #[test]
+    fn info_nce_high_when_misaligned() {
+        // positives aligned to the WRONG anchors → higher loss than aligned
+        let (za, zp) = aligned_pair(4, 4);
+        let mut shifted = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            shifted.set(i, (i + 1) % 4, 1.0);
+        }
+        let mut t1 = Tape::new();
+        let a1 = t1.constant(za.clone());
+        let p1 = t1.constant(zp);
+        let l1 = semantic_info_nce(&mut t1, a1, p1, 0.2);
+        let good = t1.scalar(l1);
+        let mut t2 = Tape::new();
+        let a2 = t2.constant(za);
+        let p2 = t2.constant(shifted);
+        let l2 = semantic_info_nce(&mut t2, a2, p2, 0.2);
+        let bad = t2.scalar(l2);
+        assert!(bad > good + 1.0, "bad {bad} vs good {good}");
+    }
+
+    #[test]
+    fn info_nce_single_graph_fallback() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[1.0, 0.0]]));
+        let p = tape.constant(Matrix::from_rows(&[&[1.0, 0.0]]));
+        let loss = semantic_info_nce(&mut tape, a, p, 0.2);
+        // perfectly aligned single pair → -1/τ
+        assert!((tape.scalar(loss) + 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn info_nce_is_differentiable() {
+        use sgcl_tensor::ParamId;
+        let mut tape = Tape::new();
+        let a = tape.param(
+            Matrix::from_rows(&[&[0.5, 0.2], &[-0.1, 0.9], &[0.3, -0.4]]),
+            ParamId::new(0),
+        );
+        let p = tape.constant(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.7, 0.7]]));
+        let loss = semantic_info_nce(&mut tape, a, p, 0.2);
+        let mut got = false;
+        tape.backward(loss, &mut |_, g| {
+            got = true;
+            assert!(g.all_finite());
+        });
+        assert!(got);
+    }
+
+    #[test]
+    fn complement_loss_decreases_when_comp_far() {
+        let (za, zp) = aligned_pair(3, 6);
+        // complements orthogonal to anchors → low loss
+        let mut far = Matrix::zeros(3, 6);
+        for i in 0..3 {
+            far.set(i, 3 + i, 1.0);
+        }
+        let mut t1 = Tape::new();
+        let (a, p, c) = (t1.constant(za.clone()), t1.constant(zp.clone()), t1.constant(far));
+        let l_far = {
+            let l = complement_loss(&mut t1, a, p, c, 0.2);
+            t1.scalar(l)
+        };
+        // complements identical to anchors → high loss
+        let mut t2 = Tape::new();
+        let (a, p, c) = (t2.constant(za.clone()), t2.constant(zp), t2.constant(za));
+        let l_near = {
+            let l = complement_loss(&mut t2, a, p, c, 0.2);
+            t2.scalar(l)
+        };
+        assert!(l_near > l_far + 0.5, "near {l_near} vs far {l_far}");
+    }
+
+    #[test]
+    fn complement_loss_nonnegative() {
+        let (za, zp) = aligned_pair(4, 4);
+        let mut tape = Tape::new();
+        let (a, p, c) = (
+            tape.constant(za.clone()),
+            tape.constant(zp),
+            tape.constant(za),
+        );
+        let l = complement_loss(&mut tape, a, p, c, 0.5);
+        assert!(tape.scalar(l) >= 0.0);
+    }
+
+    #[test]
+    fn regulariser_matches_manual_norms() {
+        let mut store = ParamStore::new();
+        let a = store.register_value("a", Matrix::full(1, 2, 3.0)); // ‖·‖ = √18
+        let b = store.register_value("b", Matrix::full(1, 1, 4.0)); // ‖·‖ = 4
+        let mut tape = Tape::new();
+        let reg = weight_norm_regulariser(&mut tape, &store, &[a, b]);
+        assert!((tape.scalar(reg) - (18.0f32.sqrt() + 4.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn regulariser_shrinks_weights() {
+        use sgcl_tensor::{Adam, Optimizer};
+        let mut store = ParamStore::new();
+        let w = store.register_value("w", Matrix::full(2, 2, 1.0));
+        let mut opt = Adam::new(0.05);
+        let before = store.value(w).frobenius_norm();
+        for _ in 0..50 {
+            let mut tape = Tape::new();
+            let reg = weight_norm_regulariser(&mut tape, &store, &[w]);
+            store.backward(&tape, reg);
+            opt.step(&mut store);
+        }
+        assert!(store.value(w).frobenius_norm() < before * 0.5);
+    }
+}

@@ -1,0 +1,465 @@
+//! The SGCL model and its pre-training loop (Figure 2's full pipeline).
+//!
+//! One training step:
+//!
+//! 1. the Lipschitz constant generator computes `K_V` for the batch
+//!    (Eq. 11–15) and the per-graph threshold binarises it (Eq. 16–17);
+//! 2. Eq. 18 produces keep-probabilities `P(V)` — the differentiable path
+//!    through which `f_q` trains;
+//! 3. Lipschitz graph augmentation samples `Ĝ` (Eq. 19) and the complement
+//!    `Ĝᶜ` (Eq. 20);
+//! 4. the encoder tower `f_k` + projection head embeds anchors (with
+//!    Lipschitz-weighted pooling, Eq. 21), samples (Eq. 22) and complements
+//!    (Eq. 23);
+//! 5. the final loss `L = E[L_s + λ_c L_c] + λ_W Θ_W` (Eq. 27) is
+//!    backpropagated through both towers and Adam updates all parameters.
+//!
+//! Ablation toggles reproduce every row of Table V.
+
+use crate::augmentation::{complement_augment, lipschitz_augment};
+use crate::lipschitz::{LipschitzGenerator, LipschitzMode};
+use crate::losses::{complement_loss, semantic_info_nce, weight_norm_regulariser};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_graph::augment::drop_nodes_uniform;
+use sgcl_graph::{Graph, GraphBatch};
+use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling, ProjectionHead};
+use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
+use std::rc::Rc;
+
+/// Ablation switches matching Table V's rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Ablation {
+    /// `SGCL w/o VG`: replace Lipschitz graph augmentation with uniform
+    /// random node dropping (no view generator at all).
+    pub random_augment: bool,
+    /// `SGCL w/o LGA`: keep the learnable view generator but drop the
+    /// Lipschitz binarisation — node dropping depends only on the learned
+    /// probability distribution (the RGCL/AutoGCL regime).
+    pub no_lga: bool,
+    /// `SGCL w/o SRL`: pool anchors without Lipschitz attribute scores.
+    pub no_srl: bool,
+    /// Design-choice ablation (not in the paper's Table V): disable the
+    /// concrete relaxation that weights sample features by keep-probability,
+    /// cutting the gradient path from the loss back into `f_q`.
+    pub no_relaxation: bool,
+}
+
+/// Hyperparameters of SGCL (§VI-A3 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct SgclConfig {
+    /// Encoder architecture shared by `f_q` and `f_k` (separate parameters).
+    pub encoder: EncoderConfig,
+    /// Keep ratio ρ (paper best: 0.9 — drops 10 % of nodes).
+    pub rho: f32,
+    /// InfoNCE temperature τ (paper best: 0.2).
+    pub tau: f32,
+    /// Complement-loss weight λ_c (paper best: 0.01).
+    pub lambda_c: f32,
+    /// Weight-norm regulariser λ_W (paper best: 0.01).
+    pub lambda_w: f32,
+    /// Learning rate (paper: 0.001).
+    pub lr: f32,
+    /// Pre-training epochs (paper: 40 unsupervised / 80 transfer).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 128).
+    pub batch_size: usize,
+    /// Lipschitz computation mode.
+    pub lipschitz_mode: LipschitzMode,
+    /// Readout.
+    pub pooling: Pooling,
+    /// Ablation switches.
+    pub ablation: Ablation,
+}
+
+impl SgclConfig {
+    /// Paper defaults for the unsupervised protocol on a dataset with the
+    /// given input feature dimension.
+    pub fn paper_unsupervised(input_dim: usize) -> Self {
+        Self {
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim,
+                hidden_dim: 32,
+                num_layers: 3,
+            },
+            rho: 0.9,
+            tau: 0.2,
+            lambda_c: 0.01,
+            lambda_w: 0.01,
+            lr: 1e-3,
+            epochs: 40,
+            batch_size: 128,
+            lipschitz_mode: LipschitzMode::AttentionApprox,
+            pooling: Pooling::Sum,
+            ablation: Ablation::default(),
+        }
+    }
+
+    /// Paper defaults for the transfer protocol (deeper/wider encoder; the
+    /// hidden dim is scaled from 300 to 64 to stay CPU-tractable — uniform
+    /// across methods, see DESIGN.md).
+    pub fn paper_transfer(input_dim: usize) -> Self {
+        Self {
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim,
+                hidden_dim: 64,
+                num_layers: 5,
+            },
+            epochs: 80,
+            ..Self::paper_unsupervised(input_dim)
+        }
+    }
+}
+
+/// The full SGCL model: generator tower, encoder tower, projection head,
+/// and one parameter store holding everything.
+pub struct SgclModel {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// The Lipschitz constant generator (owns `f_q`).
+    pub generator: LipschitzGenerator,
+    /// The representation encoder `f_k`.
+    pub encoder: GnnEncoder,
+    /// The 2-layer projection head (discarded for downstream evaluation).
+    pub proj: ProjectionHead,
+    /// Hyperparameters.
+    pub config: SgclConfig,
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Mean total loss over the epoch's batches.
+    pub loss: f32,
+    /// Mean semantic InfoNCE component.
+    pub loss_s: f32,
+    /// Mean complement component (0 when λ_c = 0).
+    pub loss_c: f32,
+}
+
+impl SgclModel {
+    /// Builds a fresh model.
+    pub fn new(config: SgclConfig, rng: &mut impl Rng) -> Self {
+        let mut store = ParamStore::new();
+        let generator = LipschitzGenerator::new("sgcl", &mut store, config.encoder, rng);
+        let encoder = GnnEncoder::new("sgcl.fk", &mut store, config.encoder, rng);
+        let proj = ProjectionHead::new("sgcl.proj", &mut store, config.encoder.hidden_dim, rng);
+        Self { store, generator, encoder, proj, config }
+    }
+
+    /// Pre-trains on an unlabelled graph collection. Returns per-epoch stats.
+    pub fn pretrain(&mut self, graphs: &[Graph], seed: u64) -> Vec<EpochStats> {
+        assert!(!graphs.is_empty(), "cannot pretrain on an empty collection");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(self.config.lr);
+        let n = graphs.len();
+        let bs = self.config.batch_size.min(n).max(2);
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        for _epoch in 0..self.config.epochs {
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let (mut tl, mut ts, mut tc, mut batches) = (0.0f64, 0.0f64, 0.0f64, 0usize);
+            for chunk in order.chunks(bs) {
+                if chunk.len() < 2 {
+                    continue; // InfoNCE needs at least one negative
+                }
+                let batch_graphs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
+                let (l, ls, lc) = self.train_step(&mut opt, &batch_graphs, &mut rng);
+                tl += l as f64;
+                ts += ls as f64;
+                tc += lc as f64;
+                batches += 1;
+            }
+            let b = batches.max(1) as f64;
+            stats.push(EpochStats {
+                loss: (tl / b) as f32,
+                loss_s: (ts / b) as f32,
+                loss_c: (tc / b) as f32,
+            });
+        }
+        stats
+    }
+
+    /// One optimisation step on a batch. Returns `(total, L_s, L_c)`.
+    fn train_step(
+        &mut self,
+        opt: &mut Adam,
+        graphs: &[&Graph],
+        rng: &mut impl Rng,
+    ) -> (f32, f32, f32) {
+        let cfg = self.config;
+        let batch = GraphBatch::new(graphs);
+        let mut tape = Tape::new();
+
+        // --- steps 1–2: Lipschitz constants and keep-probabilities ---
+        let (k_v, p_values, p_var) = if cfg.ablation.random_augment {
+            (vec![1.0f32; batch.total_nodes()], vec![0.5f32; batch.total_nodes()], None)
+        } else {
+            let k = self.generator.node_constants(
+                &self.store,
+                &batch,
+                graphs,
+                cfg.lipschitz_mode,
+            );
+            let c = if cfg.ablation.no_lga {
+                vec![0.0f32; batch.total_nodes()] // pure learnable generator
+            } else {
+                LipschitzGenerator::binarize(&batch, &k)
+            };
+            let p_var = self
+                .generator
+                .augmentation_prob(&mut tape, &self.store, &batch, &c);
+            let p_values: Vec<f32> = tape.value(p_var).as_slice().to_vec();
+            (k, p_values, Some(p_var))
+        };
+
+        // --- step 3: sample Ĝ and Ĝᶜ per graph ---
+        let mut hat_graphs = Vec::with_capacity(graphs.len());
+        let mut hat_kept_global: Vec<usize> = Vec::new();
+        let mut comp_graphs = Vec::with_capacity(graphs.len());
+        for (gi, g) in graphs.iter().enumerate() {
+            let range = batch.graph_nodes(gi);
+            let probs = &p_values[range.clone()];
+            let hat = if cfg.ablation.random_augment {
+                drop_nodes_uniform(g, crate::augmentation::drop_count(g.num_nodes(), cfg.rho), rng)
+            } else {
+                lipschitz_augment(g, probs, cfg.rho, rng)
+            };
+            hat_kept_global.extend(hat.kept.iter().map(|&local| range.start + local));
+            hat_graphs.push(hat.graph);
+            if cfg.lambda_c > 0.0 {
+                let comp = if cfg.ablation.random_augment {
+                    drop_nodes_uniform(
+                        g,
+                        crate::augmentation::drop_count(g.num_nodes(), cfg.rho),
+                        rng,
+                    )
+                } else {
+                    complement_augment(g, probs, cfg.rho, rng)
+                };
+                comp_graphs.push(comp.graph);
+            }
+        }
+
+        // --- step 4: embed anchors, samples, complements ---
+        // anchors: Eq. 21 — Lipschitz-weighted pooling
+        let h_anchor = self.encoder.forward(&mut tape, &self.store, &batch, None);
+        let pooled_anchor = if cfg.ablation.no_srl || cfg.ablation.random_augment {
+            cfg.pooling.apply(&mut tape, &batch, h_anchor)
+        } else {
+            let w = tape.constant(Matrix::from_vec(k_v.len(), 1, k_v.clone()));
+            cfg.pooling.apply_weighted(&mut tape, &batch, h_anchor, w)
+        };
+        let z_anchor = self.proj.forward(&mut tape, &self.store, pooled_anchor);
+
+        // samples: Eq. 22 — features weighted by keep-probability (concrete
+        // relaxation routing gradients back into f_q; see DESIGN.md §4)
+        let hat_batch = GraphBatch::from_graphs(&hat_graphs);
+        let hat_features = tape.constant(hat_batch.features.clone());
+        let hat_features = match p_var.filter(|_| !cfg.ablation.no_relaxation) {
+            Some(p) => {
+                let p_kept = tape.gather_rows(p, Rc::new(hat_kept_global));
+                tape.scale_rows(hat_features, p_kept)
+            }
+            None => hat_features,
+        };
+        let h_hat =
+            self.encoder
+                .forward_from(&mut tape, &self.store, &hat_batch, hat_features, None);
+        let pooled_hat = cfg.pooling.apply(&mut tape, &hat_batch, h_hat);
+        let z_hat = self.proj.forward(&mut tape, &self.store, pooled_hat);
+
+        // --- step 5: losses ---
+        let l_s = semantic_info_nce(&mut tape, z_anchor, z_hat, cfg.tau);
+        let mut total = l_s;
+        let mut l_c_value = 0.0f32;
+        if cfg.lambda_c > 0.0 {
+            let comp_batch = GraphBatch::from_graphs(&comp_graphs);
+            let h_comp = self.encoder.forward(&mut tape, &self.store, &comp_batch, None);
+            let pooled_comp = cfg.pooling.apply(&mut tape, &comp_batch, h_comp);
+            let z_comp = self.proj.forward(&mut tape, &self.store, pooled_comp);
+            let l_c = complement_loss(&mut tape, z_anchor, z_hat, z_comp, cfg.tau);
+            l_c_value = tape.scalar(l_c);
+            let scaled = tape.scale(l_c, cfg.lambda_c);
+            total = tape.add(total, scaled);
+        }
+        if cfg.lambda_w > 0.0 {
+            let weights = self.store.ids_where(|n| n.ends_with(".w"));
+            let reg = weight_norm_regulariser(&mut tape, &self.store, &weights);
+            let scaled = tape.scale(reg, cfg.lambda_w);
+            total = tape.add(total, scaled);
+        }
+
+        let total_value = tape.scalar(total);
+        let l_s_value = tape.scalar(l_s);
+        self.store.backward(&tape, total);
+        self.store.clip_grad_norm(5.0);
+        opt.step(&mut self.store);
+        (total_value, l_s_value, l_c_value)
+    }
+
+    /// Embeds graphs with the trained encoder `f_k` (pooled, **without** the
+    /// projection head — the downstream convention of §VI-A3). Processes in
+    /// chunks to bound memory.
+    pub fn embed(&self, graphs: &[Graph]) -> Matrix {
+        let chunks: Vec<Matrix> = graphs
+            .chunks(256)
+            .map(|chunk| {
+                let batch = GraphBatch::from_graphs(chunk);
+                let mut tape = Tape::new();
+                let h = self.encoder.forward(&mut tape, &self.store, &batch, None);
+                let pooled = self.config.pooling.apply(&mut tape, &batch, h);
+                tape.value(pooled).clone()
+            })
+            .collect();
+        let refs: Vec<&Matrix> = chunks.iter().collect();
+        Matrix::vstack(&refs)
+    }
+
+    /// Per-node Lipschitz constants of a single graph (Figure 7 scores).
+    pub fn node_scores(&self, graph: &Graph) -> Vec<f32> {
+        let batch = GraphBatch::new(&[graph]);
+        self.generator
+            .node_constants(&self.store, &batch, &[graph], self.config.lipschitz_mode)
+    }
+
+    /// Per-node keep-probabilities `P(V)` of a single graph (Eq. 18).
+    pub fn keep_probabilities(&self, graph: &Graph) -> Vec<f32> {
+        let batch = GraphBatch::new(&[graph]);
+        let k = self.generator.node_constants(
+            &self.store,
+            &batch,
+            &[graph],
+            self.config.lipschitz_mode,
+        );
+        let c = LipschitzGenerator::binarize(&batch, &k);
+        self.generator.augmentation_prob_values(&self.store, &batch, &c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_data::{Scale, TuDataset};
+
+    fn tiny_config(input_dim: usize) -> SgclConfig {
+        SgclConfig {
+            epochs: 3,
+            batch_size: 16,
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim,
+                hidden_dim: 16,
+                num_layers: 2,
+            },
+            ..SgclConfig::paper_unsupervised(input_dim)
+        }
+    }
+
+    #[test]
+    fn pretrain_runs_and_reports_stats() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = SgclModel::new(tiny_config(ds.feature_dim()), &mut rng);
+        let stats = model.pretrain(&ds.graphs, 1);
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert!(s.loss.is_finite());
+            assert!(s.loss_s.is_finite());
+        }
+    }
+
+    #[test]
+    fn pretraining_reduces_loss() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = tiny_config(ds.feature_dim());
+        cfg.epochs = 10;
+        let mut model = SgclModel::new(cfg, &mut rng);
+        let stats = model.pretrain(&ds.graphs, 2);
+        let first = stats[0].loss;
+        let last = stats.last().unwrap().loss;
+        assert!(last < first, "loss did not decrease: {first} → {last}");
+    }
+
+    #[test]
+    fn embed_shapes() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SgclModel::new(tiny_config(ds.feature_dim()), &mut rng);
+        let emb = model.embed(&ds.graphs);
+        assert_eq!(emb.rows(), ds.len());
+        assert_eq!(emb.cols(), 16);
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn ablations_all_train() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 3);
+        for (ra, nl, ns, nr, lc, lw) in [
+            (true, false, false, false, 0.01f32, 0.01f32), // w/o VG
+            (false, true, false, false, 0.01, 0.01),       // w/o LGA
+            (false, false, true, false, 0.01, 0.01),       // w/o SRL
+            (false, false, false, true, 0.01, 0.01),       // design: w/o relaxation
+            (false, false, false, false, 0.0, 0.01),       // w/o L_c
+            (false, false, false, false, 0.01, 0.0),       // w/o L_W
+        ] {
+            let mut cfg = tiny_config(ds.feature_dim());
+            cfg.epochs = 2;
+            cfg.ablation =
+                Ablation { random_augment: ra, no_lga: nl, no_srl: ns, no_relaxation: nr };
+            cfg.lambda_c = lc;
+            cfg.lambda_w = lw;
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut model = SgclModel::new(cfg, &mut rng);
+            let stats = model.pretrain(&ds.graphs, 5);
+            assert!(stats.iter().all(|s| s.loss.is_finite()));
+        }
+    }
+
+    #[test]
+    fn semantic_nodes_get_higher_keep_probability() {
+        // after pre-training, motif nodes should have higher mean keep
+        // probability than background nodes (the paper's core claim)
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cfg = tiny_config(ds.feature_dim());
+        cfg.epochs = 6;
+        let mut model = SgclModel::new(cfg, &mut rng);
+        model.pretrain(&ds.graphs, 6);
+        let (mut sem, mut bg, mut ns, mut nb) = (0.0f64, 0.0f64, 0usize, 0usize);
+        for g in ds.graphs.iter().take(30) {
+            let p = model.keep_probabilities(g);
+            let mask = g.semantic_mask.as_ref().unwrap();
+            for (i, &m) in mask.iter().enumerate() {
+                if m {
+                    sem += p[i] as f64;
+                    ns += 1;
+                } else {
+                    bg += p[i] as f64;
+                    nb += 1;
+                }
+            }
+        }
+        let (sem, bg) = (sem / ns as f64, bg / nb as f64);
+        assert!(
+            sem > bg,
+            "semantic keep-prob {sem:.3} should exceed background {bg:.3}"
+        );
+    }
+
+    #[test]
+    fn node_scores_match_graph_size() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = SgclModel::new(tiny_config(ds.feature_dim()), &mut rng);
+        let g = &ds.graphs[0];
+        assert_eq!(model.node_scores(g).len(), g.num_nodes());
+        assert_eq!(model.keep_probabilities(g).len(), g.num_nodes());
+    }
+}

@@ -1,0 +1,36 @@
+//! # sgcl-data
+//!
+//! Synthetic dataset generators simulating the paper's evaluation corpora
+//! (none of which are available offline — see DESIGN.md §3 for the
+//! substitution argument):
+//!
+//! * [`tu_like`] — eight motif-planted stand-ins for the TU datasets of
+//!   Table I (MUTAG/DD/PROTEINS/NCI1/COLLAB/RDT-B/RDT-M-5K/IMDB-B);
+//! * [`molecules`] — a ZINC-like valence-plausible molecule generator with
+//!   scaffold ids and plantable functional groups;
+//! * [`moleculenet`] — eight MoleculeNet-like multi-task binary
+//!   classification datasets (Table II), including the deliberately
+//!   out-of-distribution CLINTOX-like preset;
+//! * [`superpixel`] — MNIST-superpixel-like digit graphs for Figure 7;
+//! * [`splits`] — holdout, stratified k-fold, label-rate, and scaffold
+//!   splits;
+//! * [`io`] — stable JSON dataset (de)serialisation for reproducibility and
+//!   for loading user-provided graph collections.
+//!
+//! Every generator is deterministic given a seed, and every synthetic graph
+//! records ground-truth `semantic_mask` flags so augmentation quality can be
+//! evaluated directly.
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod molecules;
+pub mod moleculenet;
+pub mod splits;
+pub mod superpixel;
+pub mod synthetic;
+pub mod tu_like;
+
+pub use moleculenet::MolDataset;
+pub use synthetic::{Background, Dataset, Motif, SyntheticSpec};
+pub use tu_like::{Scale, TuDataset};

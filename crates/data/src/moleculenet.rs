@@ -1,0 +1,280 @@
+//! MoleculeNet-like multi-task binary classification datasets (Table II).
+//!
+//! Each dataset generates ZINC-like molecules and labels task `t` positive
+//! iff functional group `t` (from the dataset's own group vocabulary) was
+//! planted. Label noise and missing labels mirror MoleculeNet's sparse
+//! annotation; the ClinTox-like preset shifts the atom-type vocabulary to
+//! reproduce the out-of-distribution failure the paper reports on CLINTOX.
+
+use crate::molecules::{generate_molecule, FunctionalGroup, MoleculeConfig};
+use crate::synthetic::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_graph::{Graph, GraphLabel};
+
+/// The eight downstream tasks of Table IV, in column order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MolDataset {
+    /// Blood–brain-barrier penetration (1 task).
+    Bbbp,
+    /// Toxicology assays (12 tasks).
+    Tox21,
+    /// High-throughput toxicology (16 tasks here; 617 in the original).
+    Toxcast,
+    /// Adverse drug reactions (8 tasks here; 27 in the original).
+    Sider,
+    /// Clinical-trial toxicity (2 tasks) — generated with a shifted atom
+    /// vocabulary to reproduce the paper's OOD observation.
+    Clintox,
+    /// PubChem bioassays (8 tasks here; 17 in the original).
+    Muv,
+    /// HIV replication inhibition (1 task).
+    Hiv,
+    /// BACE-1 inhibition (1 task).
+    Bace,
+}
+
+impl MolDataset {
+    /// All eight datasets in Table IV order.
+    pub const ALL: [MolDataset; 8] = [
+        MolDataset::Bbbp,
+        MolDataset::Tox21,
+        MolDataset::Toxcast,
+        MolDataset::Sider,
+        MolDataset::Clintox,
+        MolDataset::Muv,
+        MolDataset::Hiv,
+        MolDataset::Bace,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MolDataset::Bbbp => "BBBP",
+            MolDataset::Tox21 => "TOX21",
+            MolDataset::Toxcast => "TOXCAST",
+            MolDataset::Sider => "SIDER",
+            MolDataset::Clintox => "CLINTOX",
+            MolDataset::Muv => "MUV",
+            MolDataset::Hiv => "HIV",
+            MolDataset::Bace => "BACE",
+        }
+    }
+
+    /// Number of binary tasks (scaled down from Table II where the original
+    /// count is impractical on CPU).
+    pub fn num_tasks(self) -> usize {
+        match self {
+            MolDataset::Bbbp | MolDataset::Hiv | MolDataset::Bace => 1,
+            MolDataset::Clintox => 2,
+            MolDataset::Sider | MolDataset::Muv => 8,
+            MolDataset::Tox21 => 12,
+            MolDataset::Toxcast => 16,
+        }
+    }
+
+    /// Number of molecules at standard scale.
+    pub fn num_molecules(self) -> usize {
+        match self {
+            MolDataset::Bbbp => 300,
+            MolDataset::Tox21 => 400,
+            MolDataset::Toxcast => 400,
+            MolDataset::Sider => 240,
+            MolDataset::Clintox => 240,
+            MolDataset::Muv => 400,
+            MolDataset::Hiv => 400,
+            MolDataset::Bace => 240,
+        }
+    }
+
+    /// Offset into the canonical functional-group vocabulary, so different
+    /// datasets key on (partially) different chemistry.
+    fn group_offset(self) -> usize {
+        match self {
+            MolDataset::Bbbp => 0,
+            MolDataset::Tox21 => 1,
+            MolDataset::Toxcast => 2,
+            MolDataset::Sider => 3,
+            MolDataset::Clintox => 4,
+            MolDataset::Muv => 5,
+            MolDataset::Hiv => 6,
+            MolDataset::Bace => 7,
+        }
+    }
+
+    /// Atom-tag shift: ClinTox-like is deliberately out-of-distribution
+    /// relative to the ZINC-like pre-training corpus.
+    fn tag_shift(self) -> u32 {
+        if self == MolDataset::Clintox {
+            6
+        } else {
+            0
+        }
+    }
+
+    /// Probability a task label is missing (MoleculeNet-style sparsity).
+    fn missing_rate(self) -> f64 {
+        match self {
+            MolDataset::Toxcast | MolDataset::Muv => 0.3,
+            MolDataset::Tox21 | MolDataset::Sider => 0.15,
+            _ => 0.0,
+        }
+    }
+
+    /// Generates the dataset deterministically.
+    pub fn generate(self, seed: u64) -> Dataset {
+        self.generate_sized(self.num_molecules(), seed)
+    }
+
+    /// Generates `n` molecules with multi-task labels.
+    pub fn generate_sized(self, n: usize, seed: u64) -> Dataset {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let tasks = self.num_tasks();
+        let groups: Vec<FunctionalGroup> = (0..tasks)
+            .map(|t| FunctionalGroup::canonical(self.group_offset() + t))
+            .collect();
+        let config = MoleculeConfig { tag_shift: self.tag_shift(), ..MoleculeConfig::default() };
+        let label_noise = 0.05;
+        let missing = self.missing_rate();
+
+        let graphs: Vec<Graph> = (0..n)
+            .map(|_| {
+                // decide which groups to plant: each with probability ~0.4 so
+                // positives are a substantial minority per task
+                let planted: Vec<bool> = (0..tasks).map(|_| rng.gen_bool(0.4)).collect();
+                let chosen: Vec<&FunctionalGroup> = planted
+                    .iter()
+                    .zip(&groups)
+                    .filter(|&(&p, _)| p)
+                    .map(|(_, g)| g)
+                    .collect();
+                let mut g = generate_molecule(&config, &chosen, &mut rng);
+                let labels: Vec<Option<bool>> = planted
+                    .iter()
+                    .map(|&p| {
+                        if missing > 0.0 && rng.gen_bool(missing) {
+                            None
+                        } else {
+                            let y = if rng.gen_bool(label_noise) { !p } else { p };
+                            Some(y)
+                        }
+                    })
+                    .collect();
+                g.label = GraphLabel::MultiTask(labels);
+                g
+            })
+            .collect();
+
+        Dataset { name: self.name().to_string(), graphs, num_classes: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate() {
+        for ds in MolDataset::ALL {
+            let d = ds.generate_sized(40, 0);
+            assert_eq!(d.len(), 40, "{}", ds.name());
+            for g in &d.graphs {
+                match &g.label {
+                    GraphLabel::MultiTask(l) => assert_eq!(l.len(), ds.num_tasks()),
+                    other => panic!("{}: expected MultiTask, got {other:?}", ds.name()),
+                }
+                assert!(g.scaffold.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn task_counts_match_spec() {
+        assert_eq!(MolDataset::Tox21.num_tasks(), 12);
+        assert_eq!(MolDataset::Bbbp.num_tasks(), 1);
+        assert_eq!(MolDataset::Clintox.num_tasks(), 2);
+    }
+
+    #[test]
+    fn labels_balanced_roughly() {
+        let d = MolDataset::Hiv.generate_sized(200, 1);
+        let pos = d
+            .graphs
+            .iter()
+            .filter(|g| matches!(&g.label, GraphLabel::MultiTask(l) if l[0] == Some(true)))
+            .count();
+        // plant rate 0.4 ± noise → between 20% and 60%
+        assert!(pos > 40 && pos < 120, "positives {pos}/200");
+    }
+
+    #[test]
+    fn toxcast_has_missing_labels() {
+        let d = MolDataset::Toxcast.generate_sized(100, 2);
+        let missing: usize = d
+            .graphs
+            .iter()
+            .map(|g| match &g.label {
+                GraphLabel::MultiTask(l) => l.iter().filter(|v| v.is_none()).count(),
+                _ => 0,
+            })
+            .sum();
+        assert!(missing > 100, "expected many missing labels, got {missing}");
+    }
+
+    #[test]
+    fn clintox_is_shifted() {
+        // ClinTox-like molecules should have a different tag histogram than
+        // BBBP-like ones (the OOD simulation)
+        let ct = MolDataset::Clintox.generate_sized(50, 3);
+        let bb = MolDataset::Bbbp.generate_sized(50, 3);
+        let hist = |d: &Dataset| {
+            let mut h = vec![0usize; 16];
+            for g in &d.graphs {
+                for &t in &g.node_tags {
+                    h[t as usize] += 1;
+                }
+            }
+            h
+        };
+        let hc = hist(&ct);
+        let hb = hist(&bb);
+        // carbon (tag 0) dominates BBBP; in ClinTox it is shifted to tag 6
+        assert!(hb[0] > hc[0], "BBBP carbon {} vs ClinTox {}", hb[0], hc[0]);
+        assert!(hc[6] > hb[6]);
+    }
+
+    #[test]
+    fn planted_groups_match_positive_labels() {
+        // with zero label noise impossible to check (noise fixed at 5%), but
+        // positive-labelled graphs should usually contain semantic nodes
+        let d = MolDataset::Bbbp.generate_sized(100, 4);
+        let mut consistent = 0;
+        let mut total = 0;
+        for g in &d.graphs {
+            if let GraphLabel::MultiTask(l) = &g.label {
+                if let Some(y) = l[0] {
+                    total += 1;
+                    let has_group = g.semantic_mask.as_ref().unwrap().iter().any(|&m| m);
+                    if has_group == y {
+                        consistent += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            consistent as f64 > 0.85 * total as f64,
+            "{consistent}/{total} consistent"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = MolDataset::Sider.generate_sized(30, 5);
+        let b = MolDataset::Sider.generate_sized(30, 5);
+        for (x, y) in a.graphs.iter().zip(&b.graphs) {
+            assert_eq!(x.edges(), y.edges());
+            assert_eq!(x.label, y.label);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Train/test splitting utilities: random holdout, stratified k-fold
+//! cross-validation, label-rate subsampling (semi-supervised Table VI), and
+//! scaffold splits (transfer-learning Table IV).
+
+use rand::Rng;
+use sgcl_graph::Graph;
+
+/// Shuffles `0..n` with the given RNG (Fisher–Yates).
+pub fn shuffled_indices(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Random holdout split: returns `(train, test)` index sets with
+/// `test_fraction` of the data in the test set (at least 1 element each when
+/// `n ≥ 2`).
+pub fn holdout(n: usize, test_fraction: f64, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+    let idx = shuffled_indices(n, rng);
+    let n_test = (((n as f64) * test_fraction).round() as usize).clamp(1.min(n), n.saturating_sub(1).max(1));
+    let test = idx[..n_test.min(n)].to_vec();
+    let train = idx[n_test.min(n)..].to_vec();
+    (train, test)
+}
+
+/// Stratified k-fold cross-validation: folds have near-equal size and
+/// near-equal class proportions. Returns `k` folds of test indices.
+pub fn stratified_k_fold(labels: &[usize], k: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for c in 0..n_classes {
+        let mut members: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        // shuffle within class
+        for i in (1..members.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            members.swap(i, j);
+        }
+        for (pos, &m) in members.iter().enumerate() {
+            folds[pos % k].push(m);
+        }
+    }
+    folds
+}
+
+/// Train/test pairs from k folds: fold `i` is the test set, the rest train.
+pub fn folds_to_splits(folds: &[Vec<usize>]) -> Vec<(Vec<usize>, Vec<usize>)> {
+    (0..folds.len())
+        .map(|i| {
+            let test = folds[i].clone();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Subsamples `rate` of the train indices, stratified by label — the
+/// semi-supervised label-rate protocol of Table VI. Keeps at least one
+/// example per class present in `train`.
+pub fn label_rate_subsample(
+    train: &[usize],
+    labels: &[usize],
+    rate: f64,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out = Vec::new();
+    for c in 0..n_classes {
+        let mut members: Vec<usize> =
+            train.iter().copied().filter(|&i| labels[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        for i in (1..members.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            members.swap(i, j);
+        }
+        let keep = (((members.len() as f64) * rate).round() as usize).max(1);
+        out.extend(members.into_iter().take(keep));
+    }
+    out
+}
+
+/// Scaffold split for molecule datasets: groups by scaffold id, sorts groups
+/// largest-first, and fills train → valid → test in that order (the standard
+/// MoleculeNet out-of-distribution protocol — test scaffolds are the rare
+/// ones never seen in training). Returns `(train, valid, test)`.
+pub fn scaffold_split(
+    graphs: &[Graph],
+    frac_train: f64,
+    frac_valid: f64,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, g) in graphs.iter().enumerate() {
+        groups.entry(g.scaffold.unwrap_or(u32::MAX)).or_default().push(i);
+    }
+    let mut sorted: Vec<Vec<usize>> = groups.into_values().collect();
+    sorted.sort_by_key(|g| std::cmp::Reverse(g.len()));
+
+    let n = graphs.len() as f64;
+    let train_cap = (n * frac_train).round() as usize;
+    let valid_cap = (n * (frac_train + frac_valid)).round() as usize;
+    let (mut train, mut valid, mut test) = (Vec::new(), Vec::new(), Vec::new());
+    for group in sorted {
+        if train.len() + group.len() <= train_cap || train.is_empty() {
+            train.extend(group);
+        } else if train.len() + valid.len() + group.len() <= valid_cap || valid.is_empty() {
+            valid.extend(group);
+        } else {
+            test.extend(group);
+        }
+    }
+    (train, valid, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgcl_tensor::Matrix;
+
+    #[test]
+    fn holdout_partitions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, test) = holdout(100, 0.1, &mut rng);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 10);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 60 of class 0, 40 of class 1
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 60)).collect();
+        let folds = stratified_k_fold(&labels, 10, &mut rng);
+        assert_eq!(folds.len(), 10);
+        for f in &folds {
+            assert_eq!(f.len(), 10);
+            let c1 = f.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(c1, 4, "fold class balance off");
+        }
+        // folds partition the data
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_to_splits_cover() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let labels = vec![0usize; 20];
+        let folds = stratified_k_fold(&labels, 5, &mut rng);
+        let splits = folds_to_splits(&folds);
+        assert_eq!(splits.len(), 5);
+        for (train, test) in &splits {
+            assert_eq!(train.len(), 16);
+            assert_eq!(test.len(), 4);
+            assert!(train.iter().all(|i| !test.contains(i)));
+        }
+    }
+
+    #[test]
+    fn label_rate_keeps_all_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let train: Vec<usize> = (0..100).collect();
+        let sub = label_rate_subsample(&train, &labels, 0.01, &mut rng);
+        // 1% of 25 per class rounds to 0 but min 1 per class
+        assert_eq!(sub.len(), 4);
+        let classes: std::collections::HashSet<usize> = sub.iter().map(|&i| labels[i]).collect();
+        assert_eq!(classes.len(), 4);
+    }
+
+    #[test]
+    fn label_rate_ten_percent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let train: Vec<usize> = (0..200).collect();
+        let sub = label_rate_subsample(&train, &labels, 0.1, &mut rng);
+        assert_eq!(sub.len(), 20);
+    }
+
+    #[test]
+    fn scaffold_split_separates_scaffolds() {
+        let mut graphs = Vec::new();
+        for s in 0..10u32 {
+            // scaffold s has 10 - s members (varied sizes)
+            for _ in 0..(10 - s) {
+                let mut g = Graph::new(2, vec![(0, 1)], Matrix::zeros(2, 1));
+                g.scaffold = Some(s);
+                graphs.push(g);
+            }
+        }
+        let (train, valid, test) = scaffold_split(&graphs, 0.8, 0.1);
+        assert_eq!(train.len() + valid.len() + test.len(), graphs.len());
+        assert!(!train.is_empty() && !test.is_empty());
+        // no scaffold appears in two splits
+        let scaff = |idx: &Vec<usize>| -> std::collections::HashSet<u32> {
+            idx.iter().map(|&i| graphs[i].scaffold.unwrap()).collect()
+        };
+        let (st, sv, ss) = (scaff(&train), scaff(&valid), scaff(&test));
+        assert!(st.is_disjoint(&ss), "train/test share a scaffold");
+        assert!(st.is_disjoint(&sv), "train/valid share a scaffold");
+        // big scaffolds land in train (OOD protocol)
+        assert!(st.contains(&0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut idx = shuffled_indices(50, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,308 @@
+//! MNIST-superpixel-like digit graphs for the Figure 7 visualisation.
+//!
+//! The paper visualises per-node augmentation scores on superpixel graphs of
+//! the digits 1, 2, and 6. We rasterise stroke templates into "superpixel"
+//! nodes: on-stroke nodes carry high intensity (semantic), off-stroke
+//! background nodes carry low intensity, and nodes are wired by k-nearest
+//! neighbours in image space — the same construction as the original
+//! MNIST-superpixel pipeline, minus the SLIC segmentation we cannot run
+//! without the image data.
+
+use rand::Rng;
+use sgcl_graph::Graph;
+use sgcl_tensor::Matrix;
+
+/// The digits Figure 7 visualises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Digit {
+    /// Digit "1".
+    One,
+    /// Digit "2".
+    Two,
+    /// Digit "6".
+    Six,
+}
+
+impl Digit {
+    /// All three digits, in Figure 7 order.
+    pub const ALL: [Digit; 3] = [Digit::One, Digit::Two, Digit::Six];
+
+    /// Class index used as the graph label.
+    pub fn class(self) -> usize {
+        match self {
+            Digit::One => 0,
+            Digit::Two => 1,
+            Digit::Six => 2,
+        }
+    }
+
+    /// Display character.
+    pub fn glyph(self) -> char {
+        match self {
+            Digit::One => '1',
+            Digit::Two => '2',
+            Digit::Six => '6',
+        }
+    }
+
+    /// Stroke template as polylines in the unit square (y grows upward).
+    fn strokes(self) -> Vec<Vec<(f32, f32)>> {
+        match self {
+            Digit::One => vec![
+                vec![(0.5, 0.1), (0.5, 0.9)],
+                vec![(0.35, 0.72), (0.5, 0.9)],
+            ],
+            Digit::Two => vec![vec![
+                (0.28, 0.72),
+                (0.42, 0.86),
+                (0.62, 0.86),
+                (0.7, 0.68),
+                (0.32, 0.16),
+                (0.74, 0.16),
+            ]],
+            Digit::Six => vec![vec![
+                (0.66, 0.86),
+                (0.42, 0.7),
+                (0.3, 0.46),
+                (0.34, 0.24),
+                (0.54, 0.14),
+                (0.7, 0.28),
+                (0.62, 0.46),
+                (0.36, 0.42),
+            ]],
+        }
+    }
+}
+
+/// A superpixel node with its image-space position (kept alongside the graph
+/// for rendering).
+#[derive(Clone, Copy, Debug)]
+pub struct SuperpixelNode {
+    /// x position in `[0, 1]`.
+    pub x: f32,
+    /// y position in `[0, 1]`.
+    pub y: f32,
+    /// Intensity in `[0, 1]` (stroke ≈ 1, background ≈ 0).
+    pub intensity: f32,
+    /// True when the node lies on a stroke.
+    pub on_stroke: bool,
+}
+
+/// A digit graph plus the geometry needed to render it.
+pub struct SuperpixelGraph {
+    /// The graph: features are `[intensity, x, y]`, label is the digit class,
+    /// `semantic_mask` flags the on-stroke nodes.
+    pub graph: Graph,
+    /// Per-node geometry, aligned with graph node indices.
+    pub nodes: Vec<SuperpixelNode>,
+    /// The digit.
+    pub digit: Digit,
+}
+
+/// Generates one superpixel graph for `digit` with roughly `stroke_nodes`
+/// on-stroke superpixels and `background_nodes` off-stroke ones, wired by
+/// `k`-nearest-neighbour edges.
+pub fn generate_digit(
+    digit: Digit,
+    stroke_nodes: usize,
+    background_nodes: usize,
+    k: usize,
+    rng: &mut impl Rng,
+) -> SuperpixelGraph {
+    let strokes = digit.strokes();
+    // total polyline length for proportional sampling
+    let seg_lengths: Vec<(usize, usize, f32)> = strokes
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| {
+            s.windows(2).enumerate().map(move |(pi, w)| {
+                let (dx, dy) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+                (si, pi, (dx * dx + dy * dy).sqrt())
+            })
+        })
+        .collect();
+    let total_len: f32 = seg_lengths.iter().map(|&(_, _, l)| l).sum();
+
+    let mut nodes = Vec::with_capacity(stroke_nodes + background_nodes);
+    for _ in 0..stroke_nodes {
+        // pick a segment proportional to its length, then a point on it
+        let mut t = rng.gen_range(0.0..total_len);
+        let &(si, pi, _) = seg_lengths
+            .iter()
+            .find(|&&(_, _, l)| {
+                if t < l {
+                    true
+                } else {
+                    t -= l;
+                    false
+                }
+            })
+            .unwrap_or(seg_lengths.last().expect("digit has strokes"));
+        let a = strokes[si][pi];
+        let b = strokes[si][pi + 1];
+        let u: f32 = rng.gen_range(0.0..1.0);
+        let jx: f32 = rng.gen_range(-0.02..0.02);
+        let jy: f32 = rng.gen_range(-0.02..0.02);
+        nodes.push(SuperpixelNode {
+            x: (a.0 + u * (b.0 - a.0) + jx).clamp(0.0, 1.0),
+            y: (a.1 + u * (b.1 - a.1) + jy).clamp(0.0, 1.0),
+            intensity: rng.gen_range(0.75..1.0),
+            on_stroke: true,
+        });
+    }
+    for _ in 0..background_nodes {
+        nodes.push(SuperpixelNode {
+            x: rng.gen_range(0.0..1.0),
+            y: rng.gen_range(0.0..1.0),
+            intensity: rng.gen_range(0.0..0.15),
+            on_stroke: false,
+        });
+    }
+
+    // k-nearest-neighbour edges in image space
+    let n = nodes.len();
+    let mut edges = Vec::with_capacity(n * k);
+    for i in 0..n {
+        let mut dists: Vec<(usize, f32)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = nodes[i].x - nodes[j].x;
+                let dy = nodes[i].y - nodes[j].y;
+                (j, dx * dx + dy * dy)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        for &(j, _) in dists.iter().take(k.min(dists.len())) {
+            edges.push((i as u32, j as u32));
+        }
+    }
+
+    let mut features = Matrix::zeros(n, 3);
+    for (i, nd) in nodes.iter().enumerate() {
+        features.set(i, 0, nd.intensity);
+        features.set(i, 1, nd.x);
+        features.set(i, 2, nd.y);
+    }
+    let mut graph = Graph::new(n, edges, features).with_class(digit.class());
+    graph.semantic_mask = Some(nodes.iter().map(|nd| nd.on_stroke).collect());
+    SuperpixelGraph { graph, nodes, digit }
+}
+
+/// Generates a small labelled dataset of all three digits (`per_digit`
+/// graphs each) for training the Figure 7 models.
+pub fn digits_dataset(per_digit: usize, rng: &mut impl Rng) -> Vec<SuperpixelGraph> {
+    let mut out = Vec::with_capacity(per_digit * 3);
+    for _ in 0..per_digit {
+        for d in Digit::ALL {
+            out.push(generate_digit(d, 45, 20, 4, rng));
+        }
+    }
+    out
+}
+
+/// Renders per-node scores as an ASCII heat-grid (darker character = higher
+/// score), the textual analogue of Figure 7's colour maps.
+pub fn render_ascii(sp: &SuperpixelGraph, scores: &[f32], width: usize, height: usize) -> String {
+    assert_eq!(scores.len(), sp.nodes.len(), "score length mismatch");
+    let lo = scores.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let ramp = [' ', '.', ':', '+', '*', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (nd, &s) in sp.nodes.iter().zip(scores) {
+        let gx = ((nd.x * (width - 1) as f32).round() as usize).min(width - 1);
+        // flip y so the digit appears upright
+        let gy = (((1.0 - nd.y) * (height - 1) as f32).round() as usize).min(height - 1);
+        let t = if hi > lo { (s - lo) / (hi - lo) } else { 0.5 };
+        let c = ramp[((t * (ramp.len() - 1) as f32).round() as usize).min(ramp.len() - 1)];
+        // keep the darker glyph when nodes collide
+        let existing = ramp.iter().position(|&r| r == grid[gy][gx]).unwrap_or(0);
+        let new = ramp.iter().position(|&r| r == c).unwrap_or(0);
+        if new > existing {
+            grid[gy][gx] = c;
+        }
+    }
+    let mut s = String::with_capacity((width + 1) * height);
+    for row in grid {
+        s.extend(row);
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn digit_graph_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for d in Digit::ALL {
+            let sp = generate_digit(d, 40, 15, 4, &mut rng);
+            assert_eq!(sp.graph.num_nodes(), 55);
+            assert_eq!(sp.graph.feature_dim(), 3);
+            assert_eq!(sp.graph.label.class(), Some(d.class()));
+            assert_eq!(sp.nodes.len(), 55);
+            // kNN wiring produces at least k edges per node pre-dedup
+            assert!(sp.graph.num_edges() >= 55);
+        }
+    }
+
+    #[test]
+    fn stroke_nodes_marked_semantic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sp = generate_digit(Digit::Six, 30, 10, 3, &mut rng);
+        let mask = sp.graph.semantic_mask.as_ref().unwrap();
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 30);
+        for (i, nd) in sp.nodes.iter().enumerate() {
+            assert_eq!(mask[i], nd.on_stroke);
+            if nd.on_stroke {
+                assert!(nd.intensity > 0.5);
+            } else {
+                assert!(nd.intensity < 0.2);
+            }
+        }
+    }
+
+    #[test]
+    fn digit_one_is_vertical() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sp = generate_digit(Digit::One, 40, 0, 3, &mut rng);
+        // stroke x coordinates concentrate near 0.5
+        let mean_x: f32 =
+            sp.nodes.iter().map(|n| n.x).sum::<f32>() / sp.nodes.len() as f32;
+        assert!((mean_x - 0.48).abs() < 0.1, "mean x {mean_x}");
+        let spread_y = sp.nodes.iter().map(|n| n.y).fold(f32::NEG_INFINITY, f32::max)
+            - sp.nodes.iter().map(|n| n.y).fold(f32::INFINITY, f32::min);
+        assert!(spread_y > 0.5, "digit 1 should span vertically, got {spread_y}");
+    }
+
+    #[test]
+    fn dataset_covers_all_digits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = digits_dataset(2, &mut rng);
+        assert_eq!(ds.len(), 6);
+        let classes: Vec<usize> = ds.iter().map(|s| s.digit.class()).collect();
+        assert!(classes.contains(&0) && classes.contains(&1) && classes.contains(&2));
+    }
+
+    #[test]
+    fn ascii_render_shows_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sp = generate_digit(Digit::Two, 40, 10, 3, &mut rng);
+        let scores: Vec<f32> = sp.nodes.iter().map(|n| n.intensity).collect();
+        let art = render_ascii(&sp, &scores, 24, 12);
+        assert_eq!(art.lines().count(), 12);
+        // high-intensity stroke chars must appear
+        assert!(art.contains('@') || art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "score length")]
+    fn ascii_render_rejects_bad_scores() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sp = generate_digit(Digit::One, 10, 5, 3, &mut rng);
+        let _ = render_ascii(&sp, &[0.0; 3], 10, 10);
+    }
+}

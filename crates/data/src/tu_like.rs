@@ -1,0 +1,290 @@
+//! Synthetic stand-ins for the eight TU benchmark datasets of Table I.
+//!
+//! Real TUDataset files are not available offline, so each preset mirrors its
+//! namesake's *family characteristics* — molecule vs social network, node
+//! count, sparsity, class count — while planting class-defining motifs so
+//! that semantic-aware augmentation has ground truth to exploit (see
+//! DESIGN.md §3). Sizes are scaled down uniformly (same factor for every
+//! method) to keep CPU pre-training tractable; `Scale::Full` restores
+//! Table I's graph counts where feasible.
+
+use crate::synthetic::{Background, Dataset, Motif, SyntheticSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Global scaling of dataset sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for unit tests and `--quick` runs.
+    Quick,
+    /// Default experiment sizes (scaled-down Table I).
+    Standard,
+    /// Largest sizes — closest to Table I's graph counts.
+    Full,
+}
+
+impl Scale {
+    fn graphs(self, standard: usize) -> usize {
+        match self {
+            Scale::Quick => (standard / 4).max(24),
+            Scale::Standard => standard,
+            Scale::Full => standard * 2,
+        }
+    }
+
+    fn nodes(self, standard: usize) -> usize {
+        match self {
+            Scale::Quick => (standard * 2 / 3).max(8),
+            Scale::Standard | Scale::Full => standard,
+        }
+    }
+}
+
+/// The eight TU-like dataset identifiers, in Table III's column order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuDataset {
+    /// Mutagenicity-like small molecules (2 classes).
+    Mutag,
+    /// Enzyme-vs-non-enzyme protein-like graphs (2 classes, large).
+    Dd,
+    /// Protein-like graphs (2 classes).
+    Proteins,
+    /// Chemical-compound-like sparse graphs (2 classes, low density).
+    Nci1,
+    /// Scientific-collaboration-like dense graphs (3 classes).
+    Collab,
+    /// Reddit-thread-like sparse graphs (2 classes).
+    RdtB,
+    /// Reddit-thread-like sparse graphs (5 classes).
+    RdtM5k,
+    /// Movie-collaboration-like dense ego-nets (2 classes).
+    ImdbB,
+}
+
+impl TuDataset {
+    /// All eight datasets in Table III order.
+    pub const ALL: [TuDataset; 8] = [
+        TuDataset::Mutag,
+        TuDataset::Dd,
+        TuDataset::Proteins,
+        TuDataset::Nci1,
+        TuDataset::Collab,
+        TuDataset::RdtB,
+        TuDataset::RdtM5k,
+        TuDataset::ImdbB,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TuDataset::Mutag => "MUTAG",
+            TuDataset::Dd => "DD",
+            TuDataset::Proteins => "PROTEINS",
+            TuDataset::Nci1 => "NCI1",
+            TuDataset::Collab => "COLLAB",
+            TuDataset::RdtB => "RDT-B",
+            TuDataset::RdtM5k => "RDT-M-5K",
+            TuDataset::ImdbB => "IMDB-B",
+        }
+    }
+
+    /// The generator specification for this dataset at the given scale.
+    pub fn spec(self, scale: Scale) -> SyntheticSpec {
+        match self {
+            TuDataset::Mutag => SyntheticSpec {
+                name: "MUTAG-like".into(),
+                num_graphs: scale.graphs(188),
+                motifs: vec![Motif::Cycle(6), Motif::Star(4)],
+                avg_nodes: scale.nodes(18),
+                node_jitter: 4,
+                background: Background::ErdosRenyi(0.12),
+                num_node_types: 7,
+                tag_noise: 0.05,
+                attach_edges: 2,
+                motif_copies: 1,
+            },
+            TuDataset::Dd => SyntheticSpec {
+                name: "DD-like".into(),
+                num_graphs: scale.graphs(200),
+                motifs: vec![Motif::FusedCycles(6), Motif::Bipartite(3, 4)],
+                avg_nodes: scale.nodes(56),
+                node_jitter: 12,
+                background: Background::ErdosRenyi(0.05),
+                num_node_types: 10,
+                tag_noise: 0.08,
+                attach_edges: 3,
+                motif_copies: 2,
+            },
+            TuDataset::Proteins => SyntheticSpec {
+                name: "PROTEINS-like".into(),
+                num_graphs: scale.graphs(280),
+                motifs: vec![Motif::Cycle(8), Motif::Path(8)],
+                avg_nodes: scale.nodes(30),
+                node_jitter: 8,
+                background: Background::ErdosRenyi(0.08),
+                num_node_types: 3,
+                tag_noise: 0.08,
+                attach_edges: 2,
+                motif_copies: 1,
+            },
+            TuDataset::Nci1 => SyntheticSpec {
+                name: "NCI1-like".into(),
+                num_graphs: scale.graphs(360),
+                motifs: vec![Motif::Cycle(5), Motif::Cycle(6)],
+                avg_nodes: scale.nodes(26),
+                node_jitter: 6,
+                // NCI1 has very low density — tree-like chemistry
+                background: Background::Tree,
+                num_node_types: 12,
+                tag_noise: 0.10,
+                attach_edges: 1,
+                motif_copies: 1,
+            },
+            TuDataset::Collab => SyntheticSpec {
+                name: "COLLAB-like".into(),
+                num_graphs: scale.graphs(300),
+                motifs: vec![Motif::Clique(6), Motif::Wheel(7), Motif::Bipartite(4, 4)],
+                avg_nodes: scale.nodes(40),
+                node_jitter: 10,
+                // densest dataset in Table I; two motif copies so the class
+                // signal isn't drowned by the hub-dominated background
+                background: Background::PreferentialAttachment(4),
+                num_node_types: 4,
+                tag_noise: 0.10,
+                attach_edges: 3,
+                motif_copies: 2,
+            },
+            TuDataset::RdtB => SyntheticSpec {
+                name: "RDT-B-like".into(),
+                num_graphs: scale.graphs(220),
+                motifs: vec![Motif::Star(9), Motif::Path(9)],
+                avg_nodes: scale.nodes(48),
+                node_jitter: 12,
+                background: Background::Tree,
+                num_node_types: 2,
+                tag_noise: 0.05,
+                attach_edges: 2,
+                motif_copies: 1,
+            },
+            TuDataset::RdtM5k => SyntheticSpec {
+                name: "RDT-M-5K-like".into(),
+                num_graphs: scale.graphs(280),
+                motifs: vec![
+                    Motif::Star(8),
+                    Motif::Path(8),
+                    Motif::Cycle(8),
+                    Motif::Bipartite(3, 5),
+                    Motif::FusedCycles(5),
+                ],
+                avg_nodes: scale.nodes(48),
+                node_jitter: 12,
+                background: Background::Tree,
+                num_node_types: 2,
+                tag_noise: 0.05,
+                attach_edges: 2,
+                motif_copies: 1,
+            },
+            TuDataset::ImdbB => SyntheticSpec {
+                name: "IMDB-B-like".into(),
+                num_graphs: scale.graphs(300),
+                motifs: vec![Motif::Clique(5), Motif::Bipartite(3, 3)],
+                avg_nodes: scale.nodes(20),
+                node_jitter: 5,
+                background: Background::PreferentialAttachment(3),
+                num_node_types: 3,
+                tag_noise: 0.10,
+                attach_edges: 2,
+                motif_copies: 2,
+            },
+        }
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(self, scale: Scale, seed: u64) -> Dataset {
+        let spec = self.spec(scale);
+        // mix the dataset identity into the seed so different datasets don't
+        // share random streams
+        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let graphs = spec.generate(&mut rng);
+        Dataset { name: self.name().to_string(), graphs, num_classes: spec.num_classes() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_graph::metrics::dataset_stats;
+
+    #[test]
+    fn all_presets_generate() {
+        for ds in TuDataset::ALL {
+            let d = ds.generate(Scale::Quick, 0);
+            assert!(!d.is_empty(), "{}", ds.name());
+            assert!(d.num_classes >= 2);
+            let stats = dataset_stats(&d.graphs);
+            assert_eq!(stats.num_classes, d.num_classes, "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn collab_denser_than_nci1() {
+        // Table I: COLLAB is the densest, NCI1 among the sparsest — the
+        // presets must preserve that ordering (the paper's AD-GCL analysis
+        // hinges on it)
+        let collab = TuDataset::Collab.generate(Scale::Standard, 0);
+        let nci1 = TuDataset::Nci1.generate(Scale::Standard, 0);
+        let dc = dataset_stats(&collab.graphs).avg_density;
+        let dn = dataset_stats(&nci1.graphs).avg_density;
+        assert!(dc > 1.5 * dn, "COLLAB density {dc} vs NCI1 {dn}");
+    }
+
+    #[test]
+    fn rdt_m5k_has_five_classes() {
+        let d = TuDataset::RdtM5k.generate(Scale::Quick, 1);
+        assert_eq!(d.num_classes, 5);
+    }
+
+    #[test]
+    fn scale_ordering() {
+        let q = TuDataset::Mutag.generate(Scale::Quick, 0).len();
+        let s = TuDataset::Mutag.generate(Scale::Standard, 0).len();
+        let f = TuDataset::Mutag.generate(Scale::Full, 0).len();
+        assert!(q < s && s < f, "{q} {s} {f}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TuDataset::Proteins.generate(Scale::Quick, 42);
+        let b = TuDataset::Proteins.generate(Scale::Quick, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.graphs.iter().zip(&b.graphs) {
+            assert_eq!(x.edges(), y.edges());
+        }
+        let c = TuDataset::Proteins.generate(Scale::Quick, 43);
+        let differs = a
+            .graphs
+            .iter()
+            .zip(&c.graphs)
+            .any(|(x, y)| x.edges() != y.edges());
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn every_graph_has_semantic_mask() {
+        let d = TuDataset::ImdbB.generate(Scale::Quick, 0);
+        for g in &d.graphs {
+            let m = g.semantic_mask.as_ref().expect("mask missing");
+            assert!(m.iter().any(|&b| b), "motif empty");
+            assert!(m.iter().any(|&b| !b), "no background");
+        }
+    }
+
+    #[test]
+    fn node_counts_track_table1_ordering() {
+        // DD graphs are the largest; MUTAG the smallest (Table I)
+        let dd = dataset_stats(&TuDataset::Dd.generate(Scale::Standard, 0).graphs).avg_nodes;
+        let mutag =
+            dataset_stats(&TuDataset::Mutag.generate(Scale::Standard, 0).graphs).avg_nodes;
+        assert!(dd > 2.0 * mutag, "DD {dd} vs MUTAG {mutag}");
+    }
+}

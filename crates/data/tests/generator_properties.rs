@@ -1,0 +1,154 @@
+//! Property-based tests for the synthetic generators: structural and
+//! semantic invariants that must hold for every seed and parameterisation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_data::molecules::{generate_molecule, FunctionalGroup, MoleculeConfig, NUM_ATOM_TYPES};
+use sgcl_data::splits::{scaffold_split, stratified_k_fold};
+use sgcl_data::synthetic::{Background, Motif, SyntheticSpec};
+use sgcl_data::{Scale, TuDataset};
+use sgcl_graph::GraphLabel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated graph is structurally valid: edges in range, features
+    /// one-hot, semantic mask covering exactly the motif copies.
+    #[test]
+    fn generated_graphs_are_valid(
+        seed in 0u64..1000,
+        class in 0usize..2,
+        copies in 1usize..4,
+        bg in 0usize..3,
+    ) {
+        let spec = SyntheticSpec {
+            name: "prop".into(),
+            num_graphs: 1,
+            motifs: vec![Motif::Cycle(5), Motif::Star(4)],
+            avg_nodes: 18,
+            node_jitter: 3,
+            background: match bg {
+                0 => Background::ErdosRenyi(0.1),
+                1 => Background::PreferentialAttachment(3),
+                _ => Background::Tree,
+            },
+            num_node_types: 6,
+            tag_noise: 0.1,
+            attach_edges: 2,
+            motif_copies: copies,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = spec.generate_one(class, &mut rng);
+        // edge endpoints valid (Graph::new asserts, but double-check shape)
+        for &(u, v) in g.edges() {
+            prop_assert!((u as usize) < g.num_nodes());
+            prop_assert!((v as usize) < g.num_nodes());
+            prop_assert!(u < v);
+        }
+        // one-hot features
+        for i in 0..g.num_nodes() {
+            let row = g.features.row(i);
+            prop_assert_eq!(row.iter().filter(|&&v| v == 1.0).count(), 1);
+            prop_assert_eq!(row.iter().filter(|&&v| v == 0.0).count(), row.len() - 1);
+        }
+        // semantic mask = motif copies
+        let mask = g.semantic_mask.as_ref().unwrap();
+        let expected = spec.motifs[class].size() * copies;
+        prop_assert_eq!(mask.iter().filter(|&&m| m).count(), expected);
+        prop_assert_eq!(g.label.clone(), GraphLabel::Class(class));
+        // motif edges actually present: semantic subgraph has enough edges
+        let sem_edges = g
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| mask[u as usize] && mask[v as usize])
+            .count();
+        prop_assert!(sem_edges >= spec.motifs[class].edges().len() * copies);
+    }
+
+    /// Molecules are connected, valence-plausible, and scaffold-tagged.
+    #[test]
+    fn molecules_are_plausible(seed in 0u64..1000, n_groups in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let groups: Vec<FunctionalGroup> =
+            (0..n_groups).map(FunctionalGroup::canonical).collect();
+        let refs: Vec<&FunctionalGroup> = groups.iter().collect();
+        let g = generate_molecule(&MoleculeConfig::default(), &refs, &mut rng);
+        prop_assert!(g.is_connected(), "molecule disconnected");
+        prop_assert!(g.scaffold.is_some());
+        prop_assert!(g.node_tags.iter().all(|&t| (t as usize) < NUM_ATOM_TYPES));
+        // tree decorations respect valence 4; ring atoms can reach ~6
+        prop_assert!(g.degrees().into_iter().max().unwrap() <= 7);
+        // semantic count equals total group size
+        let sem = g.semantic_mask.as_ref().unwrap().iter().filter(|&&m| m).count();
+        let expected: usize = groups.iter().map(|f| f.motif.size()).sum();
+        prop_assert_eq!(sem, expected);
+    }
+
+    /// Stratified folds partition the index set and balance classes within 1.
+    #[test]
+    fn stratified_folds_partition(
+        n in 20usize..120,
+        k in 2usize..8,
+        classes in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let folds = stratified_k_fold(&labels, k, &mut rng);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        for c in 0..classes {
+            let per_fold: Vec<usize> = folds
+                .iter()
+                .map(|f| f.iter().filter(|&&i| labels[i] == c).count())
+                .collect();
+            let (mn, mx) = (
+                *per_fold.iter().min().unwrap(),
+                *per_fold.iter().max().unwrap(),
+            );
+            prop_assert!(mx - mn <= 1, "class {c} imbalance {per_fold:?}");
+        }
+    }
+
+    /// Scaffold splits never leak a scaffold across splits.
+    #[test]
+    fn scaffold_split_disjoint(seed in 0u64..200, n in 30usize..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graphs = sgcl_data::molecules::zinc_like(n, &mut rng);
+        let (train, valid, test) = scaffold_split(&graphs, 0.7, 0.15);
+        prop_assert_eq!(train.len() + valid.len() + test.len(), n);
+        let scaff = |idx: &[usize]| -> std::collections::HashSet<u32> {
+            idx.iter().map(|&i| graphs[i].scaffold.unwrap()).collect()
+        };
+        let (st, sv, ss) = (scaff(&train), scaff(&valid), scaff(&test));
+        prop_assert!(st.is_disjoint(&sv));
+        prop_assert!(st.is_disjoint(&ss));
+        prop_assert!(sv.is_disjoint(&ss));
+    }
+}
+
+/// Dataset-level sanity across the whole zoo (non-proptest, one pass).
+#[test]
+fn zoo_statistics_within_spec() {
+    for dsk in TuDataset::ALL {
+        let spec = dsk.spec(Scale::Quick);
+        let ds = dsk.generate(Scale::Quick, 7);
+        assert_eq!(ds.num_classes, spec.num_classes(), "{}", dsk.name());
+        // average node count within ±50 % of the spec target
+        let avg: f64 =
+            ds.graphs.iter().map(|g| g.num_nodes() as f64).sum::<f64>() / ds.len() as f64;
+        let target = spec.avg_nodes as f64;
+        assert!(
+            avg > 0.5 * target && avg < 1.8 * target,
+            "{}: avg nodes {avg} vs target {target}",
+            dsk.name()
+        );
+        // every class present
+        let mut classes: Vec<usize> = ds.graphs.iter().filter_map(|g| g.label.class()).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes.len(), ds.num_classes, "{}", dsk.name());
+    }
+}

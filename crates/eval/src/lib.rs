@@ -1,0 +1,24 @@
+//! # sgcl-eval
+//!
+//! Downstream evaluation for the SGCL reproduction:
+//!
+//! * [`svm`] — linear SVM via dual coordinate descent (LIBLINEAR algorithm),
+//!   one-vs-rest multiclass;
+//! * [`metrics`] — accuracy, tie-aware ROC-AUC, mean±std, average ranks
+//!   (the `A.R.` columns of Tables III/IV);
+//! * [`protocol`] — the unsupervised protocol: frozen embeddings → SVM →
+//!   stratified 10-fold cross-validation, repeated over seeds;
+//! * [`finetune`] — supervised fine-tuning of a pre-trained encoder:
+//!   single-label (semi-supervised, Table VI) and multi-task BCE with
+//!   per-task ROC-AUC (transfer, Table IV).
+
+#![warn(missing_docs)]
+
+pub mod finetune;
+pub mod metrics;
+pub mod protocol;
+pub mod svm;
+
+pub use finetune::{finetune_classify, finetune_multitask, FineTuneConfig};
+pub use protocol::{svm_cross_validate, svm_cross_validate_repeated, CvResult};
+pub use svm::{BinarySvm, MulticlassSvm, SvmConfig};

@@ -1,0 +1,216 @@
+//! Classification metrics: accuracy, ROC-AUC (rank-based, tie-aware), and
+//! mean ± std aggregation helpers for the paper's `xx.xx ± y.yy` tables.
+
+/// Fraction of predictions equal to the labels.
+pub fn accuracy(pred: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(pred.len(), labels.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(labels).filter(|&(&p, &l)| p == l).count() as f64 / pred.len() as f64
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with average
+/// ranks for ties. Returns `None` when either class is absent.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    // average ranks over tie groups (1-based ranks)
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|&(_, &l)| l)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Some(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// Mean ROC-AUC over multiple tasks, skipping tasks where either class is
+/// missing (the MoleculeNet convention). `per_task` holds
+/// `(scores, labels)` pairs.
+pub fn mean_multitask_auc(per_task: &[(Vec<f32>, Vec<bool>)]) -> Option<f64> {
+    let aucs: Vec<f64> = per_task
+        .iter()
+        .filter_map(|(s, l)| roc_auc(s, l))
+        .collect();
+    if aucs.is_empty() {
+        None
+    } else {
+        Some(aucs.iter().sum::<f64>() / aucs.len() as f64)
+    }
+}
+
+/// Sample mean and standard deviation (n−1 denominator; 0 for n < 2).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Average rank of each method across datasets (the `A.R.` column of
+/// Tables III/IV): `scores[m][d]` is method `m`'s score on dataset `d`;
+/// higher is better; `None` marks unavailable entries, which are skipped for
+/// that dataset. Rank 1 = best.
+pub fn average_ranks(scores: &[Vec<Option<f64>>]) -> Vec<f64> {
+    let n_methods = scores.len();
+    if n_methods == 0 {
+        return Vec::new();
+    }
+    let n_datasets = scores[0].len();
+    let mut rank_sums = vec![0.0f64; n_methods];
+    let mut rank_counts = vec![0usize; n_methods];
+    for d in 0..n_datasets {
+        let mut present: Vec<(usize, f64)> = scores
+            .iter()
+            .enumerate()
+            .filter_map(|(m, row)| row[d].map(|s| (m, s)))
+            .collect();
+        present.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        // average ranks over ties
+        let mut i = 0;
+        while i < present.len() {
+            let mut j = i;
+            while j + 1 < present.len() && present[j + 1].1 == present[i].1 {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &(m, _) in &present[i..=j] {
+                rank_sums[m] += avg;
+                rank_counts[m] += 1;
+            }
+            i = j + 1;
+        }
+    }
+    rank_sums
+        .iter()
+        .zip(&rank_counts)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { f64::NAN })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let scores = [0.1f32, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn auc_inverted_ranking() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // all scores tied → AUC = 0.5 by average ranks
+        let scores = [0.5f32; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let auc = roc_auc(&scores, &labels).unwrap();
+        assert!((auc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_none_when_single_class() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), None);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[false, false]), None);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8>0.6)+(0.8>0.2)+(0.4<0.6:0)+(0.4>0.2) = 3/4
+        let scores = [0.8f32, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels).unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multitask_auc_skips_degenerate_tasks() {
+        let tasks = vec![
+            (vec![0.9f32, 0.1], vec![true, false]), // AUC 1
+            (vec![0.9f32, 0.1], vec![true, true]),  // skipped
+            (vec![0.1f32, 0.9], vec![true, false]), // AUC 0
+        ];
+        assert_eq!(mean_multitask_auc(&tasks), Some(0.5));
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn average_ranks_simple() {
+        // method 0 best everywhere, method 2 worst everywhere
+        let scores = vec![
+            vec![Some(0.9), Some(0.8)],
+            vec![Some(0.5), Some(0.6)],
+            vec![Some(0.1), Some(0.2)],
+        ];
+        let ar = average_ranks(&scores);
+        assert_eq!(ar, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn average_ranks_with_missing() {
+        // method 1 missing on dataset 0 → ranked only on dataset 1
+        let scores = vec![
+            vec![Some(0.9), Some(0.1)],
+            vec![None, Some(0.9)],
+        ];
+        let ar = average_ranks(&scores);
+        assert_eq!(ar[0], (1.0 + 2.0) / 2.0);
+        assert_eq!(ar[1], 1.0);
+    }
+
+    #[test]
+    fn average_ranks_ties() {
+        let scores = vec![vec![Some(0.5)], vec![Some(0.5)], vec![Some(0.1)]];
+        let ar = average_ranks(&scores);
+        assert_eq!(ar[0], 1.5);
+        assert_eq!(ar[1], 1.5);
+        assert_eq!(ar[2], 3.0);
+    }
+}

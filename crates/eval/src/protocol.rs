@@ -1,0 +1,187 @@
+//! The paper's unsupervised evaluation protocol (§VI-B): embed every graph
+//! with the frozen pre-trained encoder, train an SVM on the embeddings, and
+//! report 10-fold cross-validated accuracy, repeated over seeds.
+
+use crate::metrics::mean_std;
+use crate::svm::{MulticlassSvm, SvmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_data::splits::{folds_to_splits, stratified_k_fold};
+use sgcl_tensor::Matrix;
+
+/// Result of one cross-validated evaluation.
+#[derive(Clone, Debug)]
+pub struct CvResult {
+    /// Mean accuracy over folds (and seeds when repeated).
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Per-fold (or per-seed) accuracies.
+    pub per_run: Vec<f64>,
+}
+
+impl CvResult {
+    /// Paper-style `xx.xx ± y.yy` percentage string.
+    pub fn display_percent(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+/// K-fold cross-validated SVM accuracy on fixed embeddings.
+pub fn svm_cross_validate(
+    embeddings: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    k: usize,
+    seed: u64,
+) -> CvResult {
+    assert_eq!(embeddings.rows(), labels.len(), "embedding/label mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let folds = stratified_k_fold(labels, k, &mut rng);
+    let mut accs = Vec::with_capacity(k);
+    for (train_idx, test_idx) in folds_to_splits(&folds) {
+        if test_idx.is_empty() || train_idx.is_empty() {
+            continue;
+        }
+        let x_train = embeddings.select_rows(&train_idx);
+        let y_train: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+        let x_test = embeddings.select_rows(&test_idx);
+        let y_test: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+        let svm = MulticlassSvm::train(
+            &normalize(&x_train),
+            &y_train,
+            num_classes,
+            SvmConfig::default(),
+            &mut rng,
+        );
+        accs.push(svm.accuracy(&normalize_like(&x_test, &x_train), &y_test));
+    }
+    let (mean, std) = mean_std(&accs);
+    CvResult { mean, std, per_run: accs }
+}
+
+/// Repeats [`svm_cross_validate`] over several seeds and aggregates — the
+/// paper's "repeat each experiment five times with different random seeds".
+pub fn svm_cross_validate_repeated(
+    embeddings: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    k: usize,
+    seeds: &[u64],
+) -> CvResult {
+    let per_run: Vec<f64> = seeds
+        .iter()
+        .map(|&s| svm_cross_validate(embeddings, labels, num_classes, k, s).mean)
+        .collect();
+    let (mean, std) = mean_std(&per_run);
+    CvResult { mean, std, per_run }
+}
+
+/// Column-standardises `x` (zero mean, unit variance per feature) — SVM
+/// conditioning for raw sum-pooled embeddings.
+fn normalize(x: &Matrix) -> Matrix {
+    let (mu, sigma) = column_stats(x);
+    apply_standardise(x, &mu, &sigma)
+}
+
+/// Standardises `x` with the statistics of `reference` (train-set stats
+/// applied to the test set — no leakage).
+fn normalize_like(x: &Matrix, reference: &Matrix) -> Matrix {
+    let (mu, sigma) = column_stats(reference);
+    apply_standardise(x, &mu, &sigma)
+}
+
+fn column_stats(x: &Matrix) -> (Vec<f32>, Vec<f32>) {
+    let n = x.rows().max(1) as f32;
+    let d = x.cols();
+    let mut mu = vec![0.0f32; d];
+    for r in 0..x.rows() {
+        for (m, &v) in mu.iter_mut().zip(x.row(r)) {
+            *m += v;
+        }
+    }
+    for m in &mut mu {
+        *m /= n;
+    }
+    let mut sigma = vec![0.0f32; d];
+    for r in 0..x.rows() {
+        for ((s, &v), &m) in sigma.iter_mut().zip(x.row(r)).zip(&mu) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut sigma {
+        *s = (*s / n).sqrt().max(1e-6);
+    }
+    (mu, sigma)
+}
+
+fn apply_standardise(x: &Matrix, mu: &[f32], sigma: &[f32]) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        for ((v, &m), &s) in out.row_mut(r).iter_mut().zip(mu).zip(sigma) {
+            *v = (*v - m) / s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Embeddings with cluster structure matching the labels.
+    fn clustered(n: usize, d: usize, classes: usize, noise: f32) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut data = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            for j in 0..d {
+                let center = if j == c { 3.0 } else { 0.0 };
+                data.push(center + rng.gen_range(-noise..noise));
+            }
+            labels.push(c);
+        }
+        (Matrix::from_vec(n, d, data), labels)
+    }
+
+    #[test]
+    fn cv_high_accuracy_on_separable_embeddings() {
+        let (x, y) = clustered(100, 4, 2, 0.5);
+        let r = svm_cross_validate(&x, &y, 2, 10, 0);
+        assert!(r.mean > 0.95, "accuracy {}", r.mean);
+        assert_eq!(r.per_run.len(), 10);
+    }
+
+    #[test]
+    fn cv_chance_level_on_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 120;
+        let data: Vec<f32> = (0..n * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let x = Matrix::from_vec(n, 4, data);
+        let r = svm_cross_validate(&x, &labels, 2, 10, 2);
+        assert!(r.mean > 0.3 && r.mean < 0.7, "noise accuracy {}", r.mean);
+    }
+
+    #[test]
+    fn repeated_cv_aggregates_seeds() {
+        let (x, y) = clustered(60, 3, 3, 0.6);
+        let r = svm_cross_validate_repeated(&x, &y, 3, 5, &[0, 1, 2]);
+        assert_eq!(r.per_run.len(), 3);
+        assert!(r.mean > 0.9);
+        // display string format
+        let s = r.display_percent();
+        assert!(s.contains('±'), "{s}");
+    }
+
+    #[test]
+    fn more_noise_lowers_accuracy() {
+        let (x1, y1) = clustered(100, 4, 2, 0.3);
+        let (x2, y2) = clustered(100, 4, 2, 4.0);
+        let a1 = svm_cross_validate(&x1, &y1, 2, 5, 3).mean;
+        let a2 = svm_cross_validate(&x2, &y2, 2, 5, 3).mean;
+        assert!(a1 > a2, "{a1} vs {a2}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Linear support vector machine trained by dual coordinate descent
+//! (Hsieh et al., ICML 2008 — the LIBLINEAR algorithm), with one-vs-rest
+//! multiclass. This is the "non-linear SVM classifier" stage of the paper's
+//! unsupervised protocol applied to frozen graph embeddings; on ≤64-dim
+//! embeddings a linear SVM with the bias-augmentation trick is the standard
+//! reproduction choice.
+
+use rand::Rng;
+use sgcl_tensor::Matrix;
+
+/// Hyperparameters of the SVM solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SvmConfig {
+    /// Soft-margin cost `C`.
+    pub c: f32,
+    /// Maximum passes over the data.
+    pub max_passes: usize,
+    /// Stop when the largest projected gradient in a pass falls below this.
+    pub tol: f32,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self { c: 1.0, max_passes: 200, tol: 1e-3 }
+    }
+}
+
+/// A trained binary SVM: `decision(x) = w·x + b`.
+#[derive(Clone, Debug)]
+pub struct BinarySvm {
+    /// Weight vector.
+    pub w: Vec<f32>,
+    /// Bias.
+    pub b: f32,
+}
+
+impl BinarySvm {
+    /// Trains on rows of `x` with labels `y ∈ {-1, +1}` using dual
+    /// coordinate descent with L1 hinge loss.
+    pub fn train(x: &Matrix, y: &[i8], config: SvmConfig, rng: &mut impl Rng) -> Self {
+        let n = x.rows();
+        let d = x.cols();
+        assert_eq!(y.len(), n, "label length mismatch");
+        assert!(y.iter().all(|&v| v == 1 || v == -1), "labels must be ±1");
+        // bias via feature augmentation: implicit constant-1 feature
+        let mut w = vec![0.0f32; d];
+        let mut b = 0.0f32;
+        let mut alpha = vec![0.0f32; n];
+        // Q_ii = x_i·x_i + 1 (the +1 from the bias feature)
+        let q: Vec<f32> = (0..n)
+            .map(|i| x.row(i).iter().map(|&v| v * v).sum::<f32>() + 1.0)
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _pass in 0..config.max_passes {
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut max_pg = 0.0f32;
+            for &i in &order {
+                let xi = x.row(i);
+                let yi = y[i] as f32;
+                let wx: f32 = w.iter().zip(xi).map(|(&a, &b)| a * b).sum::<f32>() + b;
+                let g = yi * wx - 1.0;
+                // projected gradient for box constraint [0, C]
+                let pg = if alpha[i] <= 0.0 {
+                    g.min(0.0)
+                } else if alpha[i] >= config.c {
+                    g.max(0.0)
+                } else {
+                    g
+                };
+                max_pg = max_pg.max(pg.abs());
+                if pg.abs() > 1e-12 {
+                    let old = alpha[i];
+                    alpha[i] = (old - g / q[i]).clamp(0.0, config.c);
+                    let delta = (alpha[i] - old) * yi;
+                    for (wv, &xv) in w.iter_mut().zip(xi) {
+                        *wv += delta * xv;
+                    }
+                    b += delta;
+                }
+            }
+            if max_pg < config.tol {
+                break;
+            }
+        }
+        Self { w, b }
+    }
+
+    /// Signed decision value for one sample.
+    pub fn decision(&self, x: &[f32]) -> f32 {
+        self.w.iter().zip(x).map(|(&w, &v)| w * v).sum::<f32>() + self.b
+    }
+
+    /// Predicted label in `{-1, +1}`.
+    pub fn predict(&self, x: &[f32]) -> i8 {
+        if self.decision(x) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+/// One-vs-rest multiclass SVM.
+pub struct MulticlassSvm {
+    classifiers: Vec<BinarySvm>,
+}
+
+impl MulticlassSvm {
+    /// Trains `num_classes` one-vs-rest binary machines.
+    pub fn train(
+        x: &Matrix,
+        labels: &[usize],
+        num_classes: usize,
+        config: SvmConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(x.rows(), labels.len(), "label length mismatch");
+        assert!(num_classes >= 2, "need at least two classes");
+        let classifiers = (0..num_classes)
+            .map(|c| {
+                let y: Vec<i8> = labels.iter().map(|&l| if l == c { 1 } else { -1 }).collect();
+                BinarySvm::train(x, &y, config, rng)
+            })
+            .collect();
+        Self { classifiers }
+    }
+
+    /// Predicts the class with the largest decision value.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        self.classifiers
+            .iter()
+            .enumerate()
+            .map(|(c, m)| (c, m.decision(x)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite decisions"))
+            .map(|(c, _)| c)
+            .expect("at least one classifier")
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        assert_eq!(x.rows(), labels.len());
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..x.rows())
+            .filter(|&i| self.predict(x.row(i)) == labels[i])
+            .count();
+        correct as f64 / labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable_2d(n: usize, rng: &mut StdRng) -> (Matrix, Vec<i8>) {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = if i % 2 == 0 { 1i8 } else { -1 };
+            let cx = if cls == 1 { 2.0 } else { -2.0 };
+            data.push(cx + rng.gen_range(-0.5f32..0.5));
+            data.push(rng.gen_range(-1.0f32..1.0));
+            y.push(cls);
+        }
+        (Matrix::from_vec(n, 2, data), y)
+    }
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, y) = separable_2d(100, &mut rng);
+        let svm = BinarySvm::train(&x, &y, SvmConfig::default(), &mut rng);
+        let correct = (0..100).filter(|&i| svm.predict(x.row(i)) == y[i]).count();
+        assert_eq!(correct, 100, "separable data not separated");
+    }
+
+    #[test]
+    fn bias_handles_offset_data() {
+        // both classes on the same side of the origin — needs the bias
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 60;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let cls = if i % 2 == 0 { 1i8 } else { -1 };
+            data.push(if cls == 1 { 5.0 } else { 3.0 } + rng.gen_range(-0.3f32..0.3));
+            y.push(cls);
+        }
+        let x = Matrix::from_vec(n, 1, data);
+        let svm = BinarySvm::train(&x, &y, SvmConfig::default(), &mut rng);
+        let correct = (0..n).filter(|&i| svm.predict(x.row(i)) == y[i]).count();
+        assert!(correct >= n - 2, "{correct}/{n}");
+    }
+
+    #[test]
+    fn multiclass_three_blobs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 150;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(0.0f32, 3.0f32), (3.0, -2.0), (-3.0, -2.0)];
+        for i in 0..n {
+            let c = i % 3;
+            data.push(centers[c].0 + rng.gen_range(-0.8f32..0.8));
+            data.push(centers[c].1 + rng.gen_range(-0.8f32..0.8));
+            labels.push(c);
+        }
+        let x = Matrix::from_vec(n, 2, data);
+        let svm = MulticlassSvm::train(&x, &labels, 3, SvmConfig::default(), &mut rng);
+        assert!(svm.accuracy(&x, &labels) > 0.95);
+    }
+
+    #[test]
+    fn noisy_data_does_not_crash_and_beats_chance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, mut y) = separable_2d(100, &mut rng);
+        // flip 10% of labels
+        for i in 0..10 {
+            y[i] = -y[i];
+        }
+        let svm = BinarySvm::train(&x, &y, SvmConfig { c: 0.5, ..Default::default() }, &mut rng);
+        let correct = (0..100).filter(|&i| svm.predict(x.row(i)) == y[i]).count();
+        assert!(correct > 70, "{correct}/100");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn rejects_bad_labels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Matrix::ones(2, 2);
+        let _ = BinarySvm::train(&x, &[0, 1], SvmConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let (x, y) = separable_2d(50, &mut r1);
+        let m1 = BinarySvm::train(&x, &y, SvmConfig::default(), &mut StdRng::seed_from_u64(9));
+        let m2 = BinarySvm::train(&x, &y, SvmConfig::default(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(m1.w, m2.w);
+        assert_eq!(m1.b, m2.b);
+    }
+}

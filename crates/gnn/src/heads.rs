@@ -1,0 +1,112 @@
+//! Projection and classification heads attached to pooled graph
+//! representations.
+
+use crate::linear::{Activation, Mlp};
+use rand::Rng;
+use sgcl_tensor::{ParamId, ParamStore, Tape, Var};
+
+/// The 2-layer MLP projection head `Proj(·)` of Eq. 21–23 (GraphCL
+/// convention). Thrown away after pre-training.
+pub struct ProjectionHead {
+    mlp: Mlp,
+}
+
+impl ProjectionHead {
+    /// Builds a `dim → dim → dim` projection (the paper keeps widths equal).
+    pub fn new(name: &str, store: &mut ParamStore, dim: usize, rng: &mut impl Rng) -> Self {
+        Self { mlp: Mlp::new(name, store, &[dim, dim, dim], Activation::Relu, rng) }
+    }
+
+    /// Projects pooled representations into the contrastive latent space.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, z: Var) -> Var {
+        self.mlp.forward(tape, store, z)
+    }
+
+    /// Weight ids (for the `‖W‖` regulariser).
+    pub fn weight_ids(&self) -> Vec<ParamId> {
+        self.mlp.weight_ids()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.mlp.out_dim()
+    }
+}
+
+/// A linear (optionally one-hidden-layer) classifier for fine-tuning a
+/// pre-trained encoder on a downstream task.
+pub struct ClassifierHead {
+    mlp: Mlp,
+}
+
+impl ClassifierHead {
+    /// Linear classifier `dim → classes`.
+    pub fn linear(
+        name: &str,
+        store: &mut ParamStore,
+        dim: usize,
+        classes: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self { mlp: Mlp::new(name, store, &[dim, classes], Activation::Identity, rng) }
+    }
+
+    /// MLP classifier `dim → hidden → classes`.
+    pub fn with_hidden(
+        name: &str,
+        store: &mut ParamStore,
+        dim: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self { mlp: Mlp::new(name, store, &[dim, hidden, classes], Activation::Relu, rng) }
+    }
+
+    /// Produces logits.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, z: Var) -> Var {
+        self.mlp.forward(tape, store, z)
+    }
+
+    /// Number of output classes / tasks.
+    pub fn num_outputs(&self) -> usize {
+        self.mlp.out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgcl_tensor::Matrix;
+
+    #[test]
+    fn projection_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let proj = ProjectionHead::new("proj", &mut store, 16, &mut rng);
+        assert_eq!(proj.out_dim(), 16);
+        assert_eq!(proj.weight_ids().len(), 2);
+        let mut tape = Tape::new();
+        let z = tape.constant(Matrix::ones(5, 16));
+        let p = proj.forward(&mut tape, &store, z);
+        assert_eq!(tape.value(p).shape(), (5, 16));
+    }
+
+    #[test]
+    fn classifier_heads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = ClassifierHead::linear("c", &mut store, 8, 3, &mut rng);
+        let deep = ClassifierHead::with_hidden("d", &mut store, 8, 16, 2, &mut rng);
+        assert_eq!(lin.num_outputs(), 3);
+        assert_eq!(deep.num_outputs(), 2);
+        let mut tape = Tape::new();
+        let z = tape.constant(Matrix::ones(4, 8));
+        let l1 = lin.forward(&mut tape, &store, z);
+        let l2 = deep.forward(&mut tape, &store, z);
+        assert_eq!(tape.value(l1).shape(), (4, 3));
+        assert_eq!(tape.value(l2).shape(), (4, 2));
+    }
+}

@@ -1,0 +1,24 @@
+//! # sgcl-gnn
+//!
+//! GNN building blocks on the `sgcl-tensor` autograd substrate:
+//!
+//! * [`GnnEncoder`] with four architectures ([`EncoderKind`]): GIN (the
+//!   paper's default), GCN, GraphSAGE, and GAT — the Figure 6 sweep;
+//! * the perturbation-mask mechanism of Eq. 13–14 (mask a node out of
+//!   message passing without rebuilding the batch);
+//! * [`Pooling`] readouts (sum / mean / max) with optional per-node weights
+//!   for Eq. 21's Lipschitz-weighted anchors;
+//! * [`ProjectionHead`] / [`ClassifierHead`] and the generic [`Linear`] /
+//!   [`Mlp`] layers they are made of.
+
+#![warn(missing_docs)]
+
+pub mod encoder;
+pub mod heads;
+pub mod linear;
+pub mod pooling;
+
+pub use encoder::{EncoderConfig, EncoderKind, GnnEncoder};
+pub use heads::{ClassifierHead, ProjectionHead};
+pub use linear::{Activation, Linear, Mlp};
+pub use pooling::Pooling;

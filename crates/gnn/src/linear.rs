@@ -1,0 +1,192 @@
+//! Dense layers: [`Linear`] and the multi-layer perceptron [`Mlp`] used by
+//! GIN's update function, projection heads, and classifier heads.
+
+use rand::Rng;
+use sgcl_tensor::{Initializer, ParamId, ParamStore, Tape, Var};
+
+/// A fully connected layer `y = x·W + b`.
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters in `store` (Xavier weights, zero bias).
+    pub fn new(
+        name: &str,
+        store: &mut ParamStore,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.register(
+            format!("{name}.w"),
+            in_dim,
+            out_dim,
+            Initializer::XavierUniform,
+            rng,
+        );
+        let b = store.register(format!("{name}.b"), 1, out_dim, Initializer::Zeros, rng);
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = store.leaf(tape, self.w);
+        let b = store.leaf(tape, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_bias(xw, b)
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter id (for norm regularisation / inspection).
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter id.
+    pub fn bias_id(&self) -> ParamId {
+        self.b
+    }
+}
+
+/// Nonlinearity between MLP layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No nonlinearity.
+    Identity,
+}
+
+/// A stack of [`Linear`] layers with an activation between (not after) them.
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[32, 32, 32]` gives
+    /// two linear layers `32→32→32` with one hidden activation.
+    pub fn new(
+        name: &str,
+        store: &mut ParamStore,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(&format!("{name}.{i}"), store, w[0], w[1], rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// Applies the MLP on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i < last {
+                h = match self.activation {
+                    Activation::Relu => tape.relu(h),
+                    Activation::Tanh => tape.tanh(h),
+                    Activation::Identity => h,
+                };
+            }
+        }
+        h
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Weight parameter ids of all layers.
+    pub fn weight_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().map(|l| l.weight_id()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgcl_tensor::{Adam, Matrix, Optimizer};
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new("l", &mut store, 4, 3, &mut rng);
+        assert_eq!(lin.in_dim(), 4);
+        assert_eq!(lin.out_dim(), 3);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(5, 4));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new("m", &mut store, &[2, 8, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let targets = std::rc::Rc::new(vec![0usize, 1, 1, 0]);
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let logits = mlp.forward(&mut tape, &store, xv);
+            let loss = tape.softmax_cross_entropy(logits, targets.clone());
+            final_loss = tape.scalar(loss);
+            store.backward(&tape, loss);
+            opt.step(&mut store);
+        }
+        assert!(final_loss < 0.05, "XOR not learned, loss {final_loss}");
+    }
+
+    #[test]
+    fn mlp_dims_and_weight_ids() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new("m", &mut store, &[3, 5, 7], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 3);
+        assert_eq!(mlp.out_dim(), 7);
+        assert_eq!(mlp.weight_ids().len(), 2);
+        assert_eq!(store.len(), 4); // 2 weights + 2 biases
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_rejects_single_dim() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let _ = Mlp::new("m", &mut store, &[3], Activation::Relu, &mut rng);
+    }
+}

@@ -1,0 +1,123 @@
+//! Graph-level readout: sum / mean / max pooling over a batch's node
+//! representations, plus the optional per-node weighting used by Eq. 21
+//! (Lipschitz-weighted anchor pooling).
+
+use sgcl_graph::GraphBatch;
+use sgcl_tensor::{Tape, Var};
+
+/// Readout function `Pooling(·)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pooling {
+    /// Sum of node representations (the paper's default).
+    Sum,
+    /// Mean of node representations.
+    Mean,
+    /// Component-wise max.
+    Max,
+}
+
+impl Pooling {
+    /// Pools node representations `h` (`total_nodes × d`) into graph-level
+    /// representations (`num_graphs × d`).
+    pub fn apply(self, tape: &mut Tape, batch: &GraphBatch, h: Var) -> Var {
+        match self {
+            Pooling::Sum => {
+                tape.scatter_add_rows(h, batch.node_graph.clone(), batch.num_graphs)
+            }
+            Pooling::Mean => {
+                let sum = tape.scatter_add_rows(h, batch.node_graph.clone(), batch.num_graphs);
+                let inv = tape.constant(batch.inv_graph_sizes());
+                tape.scale_rows(sum, inv)
+            }
+            Pooling::Max => tape.segment_max(h, batch.node_graph.clone(), batch.num_graphs),
+        }
+    }
+
+    /// Pools after scaling each node row by `weights` (`total_nodes × 1`) —
+    /// Eq. 21's `f_k(H, A) ⊙ K_V` readout for anchor graphs.
+    pub fn apply_weighted(self, tape: &mut Tape, batch: &GraphBatch, h: Var, weights: Var) -> Var {
+        let scaled = tape.scale_rows(h, weights);
+        self.apply(tape, batch, scaled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_graph::Graph;
+    use sgcl_tensor::Matrix;
+
+    fn batch() -> GraphBatch {
+        let a = Graph::new(2, vec![(0, 1)], Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = Graph::new(3, vec![(0, 1)], Matrix::from_rows(&[&[5.0, 0.0], &[1.0, 1.0], &[0.0, 2.0]]));
+        GraphBatch::new(&[&a, &b])
+    }
+
+    #[test]
+    fn sum_pooling() {
+        let b = batch();
+        let mut tape = Tape::new();
+        let h = tape.constant(b.features.clone());
+        let p = Pooling::Sum.apply(&mut tape, &b, h);
+        assert_eq!(
+            tape.value(p),
+            &Matrix::from_rows(&[&[4.0, 6.0], &[6.0, 3.0]])
+        );
+    }
+
+    #[test]
+    fn mean_pooling() {
+        let b = batch();
+        let mut tape = Tape::new();
+        let h = tape.constant(b.features.clone());
+        let p = Pooling::Mean.apply(&mut tape, &b, h);
+        assert_eq!(
+            tape.value(p),
+            &Matrix::from_rows(&[&[2.0, 3.0], &[2.0, 1.0]])
+        );
+    }
+
+    #[test]
+    fn max_pooling() {
+        let b = batch();
+        let mut tape = Tape::new();
+        let h = tape.constant(b.features.clone());
+        let p = Pooling::Max.apply(&mut tape, &b, h);
+        assert_eq!(
+            tape.value(p),
+            &Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 2.0]])
+        );
+    }
+
+    #[test]
+    fn weighted_sum_pooling_matches_manual() {
+        let b = batch();
+        let mut tape = Tape::new();
+        let h = tape.constant(b.features.clone());
+        let w = tape.constant(Matrix::col_vector(vec![1.0, 0.0, 2.0, 1.0, 0.5]));
+        let p = Pooling::Sum.apply_weighted(&mut tape, &b, h, w);
+        assert_eq!(
+            tape.value(p),
+            &Matrix::from_rows(&[&[1.0, 2.0], &[11.0, 2.0]])
+        );
+    }
+
+    #[test]
+    fn pooling_is_differentiable() {
+        use sgcl_tensor::ParamId;
+        let b = batch();
+        for pool in [Pooling::Sum, Pooling::Mean, Pooling::Max] {
+            let mut tape = Tape::new();
+            let h = tape.param(b.features.clone(), ParamId::new(0));
+            let p = pool.apply(&mut tape, &b, h);
+            let loss = tape.sum_all(p);
+            let mut got = false;
+            tape.backward(loss, &mut |_, g| {
+                got = true;
+                assert!(g.all_finite());
+                assert_eq!(g.shape(), (5, 2));
+            });
+            assert!(got, "{pool:?} produced no gradient");
+        }
+    }
+}

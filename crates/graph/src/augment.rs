@@ -1,0 +1,400 @@
+//! Graph augmentation operations.
+//!
+//! Implements Definition 3's augmentation operator `Φ(G, k, P(V))` in its
+//! three cases — drop one named node, drop `k` nodes uniformly, drop `k`
+//! nodes by a probability profile — plus GraphCL's other three op families
+//! (edge perturbation, attribute masking, random-walk subgraph) needed by
+//! the baselines.
+//!
+//! Convention used throughout the workspace: a node's augmentation
+//! probability `P(v)` is its probability of being **kept** (Eq. 18 assigns
+//! probability 1 to semantic-related nodes, which the paper retains), so
+//! dropping samples nodes with weight `1 − P(v)`.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Which of GraphCL's augmentation families to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AugmentKind {
+    /// Drop nodes and their incident edges.
+    NodeDrop,
+    /// Randomly delete and insert edges.
+    EdgePerturb,
+    /// Mask node attributes with zeros.
+    AttrMask,
+    /// Keep a random-walk induced subgraph.
+    Subgraph,
+    /// Leave the graph unchanged (identity view).
+    Identity,
+}
+
+impl AugmentKind {
+    /// All non-identity kinds (the JOAO augmentation pool).
+    pub const POOL: [AugmentKind; 4] = [
+        AugmentKind::NodeDrop,
+        AugmentKind::EdgePerturb,
+        AugmentKind::AttrMask,
+        AugmentKind::Subgraph,
+    ];
+}
+
+/// Result of a node-dropping augmentation: the sample, which original nodes
+/// were kept, and the dropped mask on the original indexing.
+pub struct DropResult {
+    /// The augmented graph `Ĝ`.
+    pub graph: Graph,
+    /// New-index → old-index mapping of surviving nodes.
+    pub kept: Vec<usize>,
+    /// `dropped[i]` is true when original node `i` was removed.
+    pub dropped: Vec<bool>,
+}
+
+/// Drops exactly `drop_count` nodes sampled **without replacement** with
+/// weights `w[i]` (zero-weight nodes are never dropped unless all weights
+/// are zero, in which case sampling falls back to uniform). At least one
+/// node always survives.
+///
+/// This is `Φ(G, k, P(V))` with `w = 1 − P(V)`; pass uniform weights for
+/// `Φ(G, k, 1)` (random dropping, case 2 of Definition 3).
+pub fn drop_nodes_weighted(
+    g: &Graph,
+    drop_count: usize,
+    drop_weights: &[f32],
+    rng: &mut impl Rng,
+) -> DropResult {
+    assert_eq!(drop_weights.len(), g.num_nodes(), "weight length mismatch");
+    let n = g.num_nodes();
+    let drop_count = drop_count.min(n.saturating_sub(1));
+    let mut dropped = vec![false; n];
+    if drop_count > 0 {
+        let mut weights: Vec<f32> = drop_weights.iter().map(|&w| w.max(0.0)).collect();
+        let total: f32 = weights.iter().sum();
+        if total <= 1e-12 {
+            weights.fill(1.0);
+        }
+        // sequential weighted sampling without replacement
+        let mut remaining: f32 = weights.iter().sum();
+        for _ in 0..drop_count {
+            let mut t = rng.gen_range(0.0..remaining.max(1e-12));
+            let mut chosen = usize::MAX;
+            for (i, &w) in weights.iter().enumerate() {
+                if dropped[i] || w <= 0.0 {
+                    continue;
+                }
+                if t < w {
+                    chosen = i;
+                    break;
+                }
+                t -= w;
+            }
+            if chosen == usize::MAX {
+                // numerical fallback: first undropped positive-weight node,
+                // else first undropped node
+                chosen = (0..n)
+                    .find(|&i| !dropped[i] && weights[i] > 0.0)
+                    .or_else(|| (0..n).find(|&i| !dropped[i]))
+                    .expect("drop_count < n guarantees a survivor");
+            }
+            dropped[chosen] = true;
+            remaining -= weights[chosen];
+            weights[chosen] = 0.0;
+        }
+    }
+    let keep: Vec<bool> = dropped.iter().map(|&d| !d).collect();
+    let (graph, kept) = g.induced_subgraph(&keep);
+    DropResult { graph, kept, dropped }
+}
+
+/// Drops `drop_count` nodes uniformly at random — GraphCL's NodeDrop and
+/// case (2) of Definition 3.
+pub fn drop_nodes_uniform(g: &Graph, drop_count: usize, rng: &mut impl Rng) -> DropResult {
+    let w = vec![1.0f32; g.num_nodes()];
+    drop_nodes_weighted(g, drop_count, &w, rng)
+}
+
+/// Drops one specific node — case (1) of Definition 3, `Φ(G, 1, v_r)`.
+pub fn drop_single_node(g: &Graph, node: usize) -> DropResult {
+    assert!(node < g.num_nodes(), "node {node} out of range");
+    let mut keep = vec![true; g.num_nodes()];
+    keep[node] = false;
+    let (graph, kept) = g.induced_subgraph(&keep);
+    let mut dropped = vec![false; g.num_nodes()];
+    dropped[node] = true;
+    DropResult { graph, kept, dropped }
+}
+
+/// Edge perturbation: removes `ratio·|E|` random edges and inserts the same
+/// number of random non-edges (GraphCL EdgePerturb, AD-GCL's edge dropping
+/// uses ratio with zero insertions via [`perturb_edges_drop_only`]).
+pub fn perturb_edges(g: &Graph, ratio: f32, rng: &mut impl Rng) -> Graph {
+    let m = g.num_edges();
+    let k = ((m as f32) * ratio).round() as usize;
+    let mut edges: Vec<(u32, u32)> = g.edges().to_vec();
+    // remove k random edges
+    for _ in 0..k.min(edges.len()) {
+        let i = rng.gen_range(0..edges.len());
+        edges.swap_remove(i);
+    }
+    // add k random new edges
+    let n = g.num_nodes();
+    if n >= 2 {
+        let existing: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < k && attempts < 20 * k + 20 {
+            attempts += 1;
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u == v {
+                continue;
+            }
+            let e = if u < v { (u, v) } else { (v, u) };
+            if !existing.contains(&e) && !edges.contains(&e) {
+                edges.push(e);
+                added += 1;
+            }
+        }
+    }
+    let mut out = Graph::new(n, edges, g.features.clone()).with_tags(g.node_tags.clone());
+    out.label = g.label.clone();
+    out.scaffold = g.scaffold;
+    out.semantic_mask = g.semantic_mask.clone();
+    out
+}
+
+/// Pure edge dropping (no insertions) — the augmentation family AD-GCL
+/// optimises over.
+pub fn perturb_edges_drop_only(g: &Graph, drop_probs: &[f32], rng: &mut impl Rng) -> Graph {
+    assert_eq!(drop_probs.len(), g.num_edges(), "edge prob length mismatch");
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .iter()
+        .zip(drop_probs)
+        .filter(|&(_, &p)| rng.gen_range(0.0f32..1.0) >= p)
+        .map(|(&e, _)| e)
+        .collect();
+    let mut out = Graph::new(g.num_nodes(), edges, g.features.clone()).with_tags(g.node_tags.clone());
+    out.label = g.label.clone();
+    out.scaffold = g.scaffold;
+    out.semantic_mask = g.semantic_mask.clone();
+    out
+}
+
+/// Attribute masking: zeroes the feature rows of `ratio·|V|` random nodes
+/// (GraphCL AttrMask).
+pub fn mask_attributes(g: &Graph, ratio: f32, rng: &mut impl Rng) -> Graph {
+    let n = g.num_nodes();
+    let k = ((n as f32) * ratio).round() as usize;
+    let mut out = g.clone();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        let j = rng.gen_range(i..n);
+        order.swap(i, j);
+    }
+    for &i in order.iter().take(k.min(n)) {
+        for v in out.features.row_mut(i) {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Random-walk induced subgraph keeping about `keep_ratio·|V|` nodes
+/// (GraphCL Subgraph).
+pub fn random_walk_subgraph(g: &Graph, keep_ratio: f32, rng: &mut impl Rng) -> DropResult {
+    let n = g.num_nodes();
+    let target = (((n as f32) * keep_ratio).round() as usize).clamp(1, n);
+    let adj = g.adjacency_lists();
+    let mut keep = vec![false; n];
+    let mut current = rng.gen_range(0..n);
+    keep[current] = true;
+    let mut count = 1;
+    let mut steps = 0;
+    while count < target && steps < 10 * n + 50 {
+        steps += 1;
+        if adj[current].is_empty() {
+            current = rng.gen_range(0..n); // teleport out of isolated nodes
+        } else {
+            current = adj[current][rng.gen_range(0..adj[current].len())] as usize;
+        }
+        if !keep[current] {
+            keep[current] = true;
+            count += 1;
+        }
+    }
+    // pad with random nodes if the walk stalled in a small component
+    while count < target {
+        let i = rng.gen_range(0..n);
+        if !keep[i] {
+            keep[i] = true;
+            count += 1;
+        }
+    }
+    let (graph, kept) = g.induced_subgraph(&keep);
+    let dropped = keep.iter().map(|&k| !k).collect();
+    DropResult { graph, kept, dropped }
+}
+
+/// Applies an [`AugmentKind`] with GraphCL's default strength (ratio 0.2).
+pub fn apply(g: &Graph, kind: AugmentKind, rng: &mut impl Rng) -> Graph {
+    const RATIO: f32 = 0.2;
+    match kind {
+        AugmentKind::NodeDrop => {
+            let k = ((g.num_nodes() as f32) * RATIO).round() as usize;
+            drop_nodes_uniform(g, k, rng).graph
+        }
+        AugmentKind::EdgePerturb => perturb_edges(g, RATIO, rng),
+        AugmentKind::AttrMask => mask_attributes(g, RATIO, rng),
+        AugmentKind::Subgraph => random_walk_subgraph(g, 1.0 - RATIO, rng).graph,
+        AugmentKind::Identity => g.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgcl_tensor::Matrix;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::new(n, edges, Matrix::eye(n))
+    }
+
+    #[test]
+    fn drop_uniform_removes_exact_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = path_graph(10);
+        let r = drop_nodes_uniform(&g, 3, &mut rng);
+        assert_eq!(r.graph.num_nodes(), 7);
+        assert_eq!(r.kept.len(), 7);
+        assert_eq!(r.dropped.iter().filter(|&&d| d).count(), 3);
+    }
+
+    #[test]
+    fn drop_never_removes_all_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = path_graph(4);
+        let r = drop_nodes_uniform(&g, 100, &mut rng);
+        assert_eq!(r.graph.num_nodes(), 1);
+    }
+
+    #[test]
+    fn zero_weight_nodes_survive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = path_graph(6);
+        // nodes 0..3 undroppable, 3..6 certain candidates
+        let w = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        for _ in 0..20 {
+            let r = drop_nodes_weighted(&g, 3, &w, &mut rng);
+            assert!(!r.dropped[0] && !r.dropped[1] && !r.dropped[2]);
+            assert!(r.dropped[3] && r.dropped[4] && r.dropped[5]);
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = path_graph(5);
+        let r = drop_nodes_weighted(&g, 2, &[0.0; 5], &mut rng);
+        assert_eq!(r.graph.num_nodes(), 3);
+    }
+
+    #[test]
+    fn weighted_drop_prefers_heavy_nodes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = path_graph(10);
+        let mut w = vec![0.01f32; 10];
+        w[7] = 100.0;
+        let mut hits = 0;
+        for _ in 0..50 {
+            let r = drop_nodes_weighted(&g, 1, &w, &mut rng);
+            if r.dropped[7] {
+                hits += 1;
+            }
+        }
+        assert!(hits > 45, "expected node 7 dropped nearly always, got {hits}/50");
+    }
+
+    #[test]
+    fn drop_single_node_case() {
+        let g = path_graph(5);
+        let r = drop_single_node(&g, 2);
+        assert_eq!(r.graph.num_nodes(), 4);
+        assert!(r.dropped[2]);
+        // path splits into two components
+        assert!(!r.graph.is_connected());
+    }
+
+    #[test]
+    fn perturb_edges_preserves_counts_roughly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = path_graph(20);
+        let p = perturb_edges(&g, 0.2, &mut rng);
+        assert_eq!(p.num_nodes(), 20);
+        // edge count within ±k of the original (insertions may collide)
+        let m0 = g.num_edges() as i64;
+        let m1 = p.num_edges() as i64;
+        assert!((m0 - m1).abs() <= 4, "edges {m0} → {m1}");
+    }
+
+    #[test]
+    fn edge_drop_only_respects_probabilities() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = path_graph(10);
+        // prob 1 on every edge → everything dropped
+        let all = perturb_edges_drop_only(&g, &vec![1.0; g.num_edges()], &mut rng);
+        assert_eq!(all.num_edges(), 0);
+        // prob 0 → untouched
+        let none = perturb_edges_drop_only(&g, &vec![0.0; g.num_edges()], &mut rng);
+        assert_eq!(none.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn attr_mask_zeroes_rows() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = path_graph(10);
+        let m = mask_attributes(&g, 0.3, &mut rng);
+        let zero_rows = (0..10)
+            .filter(|&i| m.features.row(i).iter().all(|&v| v == 0.0))
+            .count();
+        assert_eq!(zero_rows, 3);
+        // topology untouched
+        assert_eq!(m.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn subgraph_is_connected_ish_and_sized() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = path_graph(20);
+        let r = random_walk_subgraph(&g, 0.5, &mut rng);
+        assert_eq!(r.graph.num_nodes(), 10);
+    }
+
+    #[test]
+    fn apply_dispatches_every_kind() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = path_graph(10);
+        for kind in AugmentKind::POOL {
+            let a = apply(&g, kind, &mut rng);
+            assert!(a.num_nodes() >= 1);
+        }
+        let id = apply(&g, AugmentKind::Identity, &mut rng);
+        assert_eq!(id.num_nodes(), g.num_nodes());
+        assert_eq!(id.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn dropped_mask_consistent_with_kept() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = path_graph(12);
+        let r = drop_nodes_uniform(&g, 4, &mut rng);
+        for (new, &old) in r.kept.iter().enumerate() {
+            assert!(!r.dropped[old]);
+            // features moved correctly
+            assert_eq!(r.graph.features.row(new), g.features.row(old));
+        }
+    }
+}

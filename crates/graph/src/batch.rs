@@ -1,0 +1,241 @@
+//! Block-diagonal batching of graphs for mini-batch GNN training.
+//!
+//! A [`GraphBatch`] stacks the node features of `B` graphs into one matrix
+//! and merges their adjacencies into one block-diagonal CSR, so a whole
+//! batch is encoded with a single message-passing pass. `node_graph` maps
+//! every row back to its graph for segment pooling, and the directed edge
+//! arrays (`edge_src`/`edge_dst`) feed attention-style layers (GAT, the
+//! Lipschitz generator's attention approximation).
+
+use crate::graph::Graph;
+use sgcl_tensor::{CsrMatrix, Matrix};
+use std::rc::Rc;
+
+/// A batch of graphs merged into one disconnected super-graph.
+pub struct GraphBatch {
+    /// Stacked node features (`total_nodes × d`).
+    pub features: Matrix,
+    /// Block-diagonal adjacency without self-loops.
+    pub adj: Rc<CsrMatrix>,
+    /// Block-diagonal adjacency with self-loops (GCN convention).
+    pub adj_self_loops: Rc<CsrMatrix>,
+    /// Graph index of every node row.
+    pub node_graph: Rc<Vec<usize>>,
+    /// Start offset of each graph's nodes; length `num_graphs + 1`.
+    pub node_offsets: Vec<usize>,
+    /// Directed edge sources (both directions of every undirected edge).
+    pub edge_src: Rc<Vec<usize>>,
+    /// Directed edge destinations, aligned with `edge_src`.
+    pub edge_dst: Rc<Vec<usize>>,
+    /// Number of graphs in the batch.
+    pub num_graphs: usize,
+}
+
+impl GraphBatch {
+    /// Builds a batch from a slice of graphs (at least one, all sharing the
+    /// feature dimension).
+    pub fn new(graphs: &[&Graph]) -> Self {
+        assert!(!graphs.is_empty(), "GraphBatch::new: empty batch");
+        let d = graphs[0].feature_dim();
+        let total_nodes: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let total_dir_edges: usize = graphs.iter().map(|g| g.num_edges() * 2).sum();
+
+        let mut features = Matrix::zeros(total_nodes, d);
+        let mut node_graph = Vec::with_capacity(total_nodes);
+        let mut node_offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut triplets = Vec::with_capacity(total_dir_edges);
+        let mut triplets_loops = Vec::with_capacity(total_dir_edges + total_nodes);
+        let mut edge_src = Vec::with_capacity(total_dir_edges);
+        let mut edge_dst = Vec::with_capacity(total_dir_edges);
+
+        let mut offset = 0usize;
+        node_offsets.push(0);
+        for (gi, g) in graphs.iter().enumerate() {
+            assert_eq!(g.feature_dim(), d, "feature dim mismatch in batch");
+            for i in 0..g.num_nodes() {
+                features.row_mut(offset + i).copy_from_slice(g.features.row(i));
+                node_graph.push(gi);
+                triplets_loops.push((offset + i, offset + i, 1.0));
+            }
+            for &(u, v) in g.edges() {
+                let (u, v) = (offset + u as usize, offset + v as usize);
+                triplets.push((u, v, 1.0));
+                triplets.push((v, u, 1.0));
+                triplets_loops.push((u, v, 1.0));
+                triplets_loops.push((v, u, 1.0));
+                edge_src.push(u);
+                edge_dst.push(v);
+                edge_src.push(v);
+                edge_dst.push(u);
+            }
+            offset += g.num_nodes();
+            node_offsets.push(offset);
+        }
+
+        Self {
+            features,
+            adj: Rc::new(CsrMatrix::from_triplets(total_nodes, total_nodes, triplets)),
+            adj_self_loops: Rc::new(CsrMatrix::from_triplets(
+                total_nodes,
+                total_nodes,
+                triplets_loops,
+            )),
+            node_graph: Rc::new(node_graph),
+            node_offsets,
+            edge_src: Rc::new(edge_src),
+            edge_dst: Rc::new(edge_dst),
+            num_graphs: graphs.len(),
+        }
+    }
+
+    /// Convenience constructor from owned graphs.
+    pub fn from_graphs(graphs: &[Graph]) -> Self {
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        Self::new(&refs)
+    }
+
+    /// Total number of nodes across the batch.
+    pub fn total_nodes(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Number of directed edges across the batch.
+    pub fn total_directed_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// Node index range of graph `g`.
+    pub fn graph_nodes(&self, g: usize) -> std::ops::Range<usize> {
+        self.node_offsets[g]..self.node_offsets[g + 1]
+    }
+
+    /// Number of nodes in graph `g`.
+    pub fn graph_size(&self, g: usize) -> usize {
+        self.node_offsets[g + 1] - self.node_offsets[g]
+    }
+
+    /// Column vector of `1/|V_g|` replicated per node — multiplying a
+    /// segment-sum by this realises mean pooling.
+    pub fn inv_graph_sizes(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.num_graphs, 1);
+        for g in 0..self.num_graphs {
+            m.set(g, 0, 1.0 / self.graph_size(g).max(1) as f32);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn tri() -> Graph {
+        Graph::new(3, vec![(0, 1), (1, 2), (2, 0)], Matrix::eye(3))
+    }
+
+    fn pair() -> Graph {
+        Graph::new(2, vec![(0, 1)], Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]))
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let (a, b) = (tri(), pair());
+        let batch = GraphBatch::new(&[&a, &b]);
+        assert_eq!(batch.num_graphs, 2);
+        assert_eq!(batch.total_nodes(), 5);
+        assert_eq!(batch.total_directed_edges(), 8);
+        assert_eq!(batch.node_offsets, vec![0, 3, 5]);
+        assert_eq!(batch.graph_size(0), 3);
+        assert_eq!(batch.graph_size(1), 2);
+        assert_eq!(batch.graph_nodes(1), 3..5);
+    }
+
+    #[test]
+    fn adjacency_is_block_diagonal() {
+        let (a, b) = (tri(), pair());
+        let batch = GraphBatch::new(&[&a, &b]);
+        let dense = batch.adj.to_dense();
+        // no cross-graph edges
+        for i in 0..3 {
+            for j in 3..5 {
+                assert_eq!(dense.get(i, j), 0.0);
+                assert_eq!(dense.get(j, i), 0.0);
+            }
+        }
+        // second block contains the pair edge
+        assert_eq!(dense.get(3, 4), 1.0);
+        assert_eq!(dense.get(4, 3), 1.0);
+    }
+
+    #[test]
+    fn self_loop_adjacency_has_diagonal() {
+        let batch = GraphBatch::new(&[&tri()]);
+        let dense = batch.adj_self_loops.to_dense();
+        for i in 0..3 {
+            assert_eq!(dense.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn node_graph_segments() {
+        let (a, b) = (tri(), pair());
+        let batch = GraphBatch::new(&[&a, &b]);
+        assert_eq!(&*batch.node_graph, &vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn features_stacked_in_order() {
+        let (a, b) = (tri(), pair());
+        let batch = GraphBatch::new(&[&a, &b]);
+        assert_eq!(batch.features.get(0, 0), 1.0); // identity row of tri
+        assert_eq!(batch.features.get(3, 0), 1.0); // first row of pair
+        assert_eq!(batch.features.get(4, 1), 1.0);
+    }
+
+    #[test]
+    fn edge_arrays_offset_correctly() {
+        let (a, b) = (tri(), pair());
+        let batch = GraphBatch::new(&[&a, &b]);
+        // the pair's edge must reference global ids 3 and 4
+        let has_pair_edge = batch
+            .edge_src
+            .iter()
+            .zip(batch.edge_dst.iter())
+            .any(|(&s, &d)| s == 3 && d == 4);
+        assert!(has_pair_edge);
+    }
+
+    #[test]
+    fn inv_graph_sizes() {
+        let (a, b) = (tri(), pair());
+        let batch = GraphBatch::new(&[&a, &b]);
+        let inv = batch.inv_graph_sizes();
+        assert!((inv.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((inv.get(1, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = GraphBatch::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim mismatch")]
+    fn dim_mismatch_panics() {
+        let a = tri();
+        let b = Graph::new(2, vec![(0, 1)], Matrix::zeros(2, 7));
+        let _ = GraphBatch::new(&[&a, &b]);
+    }
+
+    #[test]
+    fn singleton_nodes_graph() {
+        // graph with no edges batches fine
+        let g = Graph::new(3, vec![], Matrix::zeros(3, 2));
+        let batch = GraphBatch::new(&[&g]);
+        assert_eq!(batch.total_directed_edges(), 0);
+        assert_eq!(batch.adj.nnz(), 0);
+        assert_eq!(batch.adj_self_loops.nnz(), 3);
+    }
+}

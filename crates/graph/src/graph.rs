@@ -1,0 +1,398 @@
+//! The core [`Graph`] type: undirected attributed graphs with optional
+//! labels, discrete node tags, scaffold ids, and (for synthetic data)
+//! ground-truth semantic masks.
+
+use serde::{Deserialize, Serialize};
+use sgcl_tensor::{CsrMatrix, Matrix};
+
+/// Label attached to a graph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GraphLabel {
+    /// Unlabelled (pre-training corpora such as the ZINC-like set).
+    None,
+    /// Single-class label for graph classification.
+    Class(usize),
+    /// Multi-task binary labels; `None` marks a missing task label, matching
+    /// MoleculeNet's sparse annotation.
+    MultiTask(Vec<Option<bool>>),
+}
+
+impl GraphLabel {
+    /// The class index, if this is a `Class` label.
+    pub fn class(&self) -> Option<usize> {
+        match self {
+            GraphLabel::Class(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// An undirected attributed graph.
+///
+/// Invariants:
+/// * edges are canonical: `u < v`, no self-loops, no duplicates;
+/// * `features.rows() == num_nodes`;
+/// * `node_tags.len() == num_nodes`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<(u32, u32)>,
+    /// Initial node representation `H ∈ R^{|V| × d⁰}`.
+    pub features: Matrix,
+    /// Discrete node types (atom types / degree tags) used by graph kernels
+    /// and attribute masking.
+    pub node_tags: Vec<u32>,
+    /// Graph-level label.
+    pub label: GraphLabel,
+    /// Scaffold identifier (molecule generators) for scaffold splits.
+    pub scaffold: Option<u32>,
+    /// Ground-truth "semantic-related" flags — only populated by synthetic
+    /// generators, used to *evaluate* augmenters, never read by models.
+    pub semantic_mask: Option<Vec<bool>>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; edges are canonicalised
+    /// (self-loops removed, duplicates merged, endpoints ordered).
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is `>= num_nodes` or if
+    /// `features.rows() != num_nodes`.
+    pub fn new(num_nodes: usize, edges: Vec<(u32, u32)>, features: Matrix) -> Self {
+        assert_eq!(
+            features.rows(),
+            num_nodes,
+            "feature rows {} != num_nodes {num_nodes}",
+            features.rows()
+        );
+        let mut canon: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        for &(u, v) in &canon {
+            assert!(
+                (v as usize) < num_nodes,
+                "edge ({u},{v}) out of range for {num_nodes} nodes"
+            );
+        }
+        canon.sort_unstable();
+        canon.dedup();
+        Self {
+            num_nodes,
+            edges: canon,
+            features,
+            node_tags: vec![0; num_nodes],
+            label: GraphLabel::None,
+            scaffold: None,
+            semantic_mask: None,
+        }
+    }
+
+    /// Builder-style: sets the class label.
+    pub fn with_class(mut self, class: usize) -> Self {
+        self.label = GraphLabel::Class(class);
+        self
+    }
+
+    /// Builder-style: sets discrete node tags.
+    ///
+    /// # Panics
+    /// Panics if `tags.len() != num_nodes`.
+    pub fn with_tags(mut self, tags: Vec<u32>) -> Self {
+        assert_eq!(tags.len(), self.num_nodes, "tag length mismatch");
+        self.node_tags = tags;
+        self
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Canonical undirected edge list (`u < v`).
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Feature dimension `d⁰`.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Node degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_nodes];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Adjacency lists.
+    pub fn adjacency_lists(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.num_nodes];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        adj
+    }
+
+    /// Symmetric CSR adjacency. With `self_loops`, the diagonal is 1.
+    pub fn adjacency(&self, self_loops: bool) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.edges.len() * 2 + self.num_nodes);
+        for &(u, v) in &self.edges {
+            triplets.push((u as usize, v as usize, 1.0));
+            triplets.push((v as usize, u as usize, 1.0));
+        }
+        if self_loops {
+            for i in 0..self.num_nodes {
+                triplets.push((i, i, 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(self.num_nodes, self.num_nodes, triplets)
+    }
+
+    /// Graph density `2|E| / (|V|(|V|−1))`; 0 for graphs with < 2 nodes.
+    pub fn density(&self) -> f64 {
+        if self.num_nodes < 2 {
+            return 0.0;
+        }
+        let n = self.num_nodes as f64;
+        2.0 * self.edges.len() as f64 / (n * (n - 1.0))
+    }
+
+    /// Induced subgraph on the nodes where `keep[i]` is true. Returns the
+    /// subgraph and the mapping from new index → old index. Labels,
+    /// scaffold, tags, and semantic masks are carried over.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<usize>) {
+        assert_eq!(keep.len(), self.num_nodes, "keep mask length mismatch");
+        let mapping: Vec<usize> = (0..self.num_nodes).filter(|&i| keep[i]).collect();
+        let mut new_of_old = vec![usize::MAX; self.num_nodes];
+        for (new, &old) in mapping.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| keep[u as usize] && keep[v as usize])
+            .map(|&(u, v)| (new_of_old[u as usize] as u32, new_of_old[v as usize] as u32))
+            .collect();
+        let features = self.features.select_rows(&mapping);
+        let node_tags = mapping.iter().map(|&i| self.node_tags[i]).collect();
+        let semantic_mask = self
+            .semantic_mask
+            .as_ref()
+            .map(|m| mapping.iter().map(|&i| m[i]).collect());
+        let g = Graph {
+            num_nodes: mapping.len(),
+            edges,
+            features,
+            node_tags,
+            label: self.label.clone(),
+            scaffold: self.scaffold,
+            semantic_mask,
+        };
+        (g, mapping)
+    }
+
+    /// Number of edges incident to the node set `dropped` (each edge counted
+    /// once). This is the edge mass removed by dropping those nodes.
+    pub fn incident_edges(&self, dropped: &[bool]) -> usize {
+        assert_eq!(dropped.len(), self.num_nodes);
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| dropped[u as usize] || dropped[v as usize])
+            .count()
+    }
+
+    /// Topology distance `D_T(G, Ĝ) = ‖A − Â‖_F` (Eq. 5) for the sample
+    /// obtained by dropping the flagged nodes: every removed undirected edge
+    /// contributes two unit entries of `A`, so the norm is
+    /// `√(2 · incident_edges)`. Returns at least 1.0 so Lipschitz ratios
+    /// stay finite when isolated nodes are dropped.
+    pub fn topology_distance(&self, dropped: &[bool]) -> f32 {
+        let removed = self.incident_edges(dropped);
+        ((2 * removed) as f32).sqrt().max(1.0)
+    }
+
+    /// Connected components as a label per node (BFS).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let adj = self.adjacency_lists();
+        let mut comp = vec![usize::MAX; self.num_nodes];
+        let mut next = 0;
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..self.num_nodes {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = next;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if comp[v as usize] == usize::MAX {
+                        comp[v as usize] = next;
+                        queue.push_back(v as usize);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// True when the graph is connected (single component; empty graphs count
+    /// as connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().iter().max().map_or(true, |&m| m == 0)
+    }
+
+    /// Replaces features with one-hot encodings of the node tags, using
+    /// `num_types` columns (tags are clamped into range).
+    pub fn one_hot_features_from_tags(&mut self, num_types: usize) {
+        let mut f = Matrix::zeros(self.num_nodes, num_types);
+        for (i, &t) in self.node_tags.iter().enumerate() {
+            f.set(i, (t as usize).min(num_types - 1), 1.0);
+        }
+        self.features = f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1-2 triangle, 3 hangs off 2
+        Graph::new(
+            4,
+            vec![(0, 1), (1, 2), (2, 0), (2, 3)],
+            Matrix::eye(4),
+        )
+    }
+
+    #[test]
+    fn canonicalises_edges() {
+        let g = Graph::new(3, vec![(1, 0), (0, 1), (2, 2), (2, 1)], Matrix::zeros(3, 1));
+        assert_eq!(g.num_edges(), 2); // dup merged, self-loop dropped
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let _ = Graph::new(2, vec![(0, 5)], Matrix::zeros(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn rejects_feature_mismatch() {
+        let _ = Graph::new(3, vec![], Matrix::zeros(2, 1));
+    }
+
+    #[test]
+    fn degrees_and_density() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.degrees(), vec![2, 2, 3, 1]);
+        assert!((g.density() - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle_plus_tail();
+        let a = g.adjacency(false).to_dense();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(a.get(i, j), a.get(j, i));
+            }
+            assert_eq!(a.get(i, i), 0.0);
+        }
+        let a_loop = g.adjacency(true).to_dense();
+        for i in 0..4 {
+            assert_eq!(a_loop.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_edges() {
+        let g = triangle_plus_tail();
+        let (sub, mapping) = g.induced_subgraph(&[true, false, true, true]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(mapping, vec![0, 2, 3]);
+        // surviving edges: (0,2) → (0,1), (2,3) → (1,2)
+        assert_eq!(sub.edges(), &[(0, 1), (1, 2)]);
+        // features follow the mapping
+        assert_eq!(sub.features.get(1, 2), 1.0);
+    }
+
+    #[test]
+    fn induced_subgraph_carries_metadata() {
+        let mut g = triangle_plus_tail().with_class(1).with_tags(vec![5, 6, 7, 8]);
+        g.semantic_mask = Some(vec![true, true, true, false]);
+        g.scaffold = Some(42);
+        let (sub, _) = g.induced_subgraph(&[false, true, true, true]);
+        assert_eq!(sub.label, GraphLabel::Class(1));
+        assert_eq!(sub.node_tags, vec![6, 7, 8]);
+        assert_eq!(sub.semantic_mask, Some(vec![true, true, false]));
+        assert_eq!(sub.scaffold, Some(42));
+    }
+
+    #[test]
+    fn incident_edges_counts_once() {
+        let g = triangle_plus_tail();
+        // dropping node 2 removes edges (1,2),(2,0),(2,3)
+        assert_eq!(g.incident_edges(&[false, false, true, false]), 3);
+        // dropping 0 and 1 removes (0,1),(1,2),(2,0) — (0,1) counted once
+        assert_eq!(g.incident_edges(&[true, true, false, false]), 3);
+    }
+
+    #[test]
+    fn topology_distance_closed_form() {
+        let g = triangle_plus_tail();
+        // drop node 3 (degree 1): D_T = sqrt(2)
+        let d = g.topology_distance(&[false, false, false, true]);
+        assert!((d - 2.0f32.sqrt()).abs() < 1e-6);
+        // drop nothing → floor at 1.0
+        assert_eq!(g.topology_distance(&[false; 4]), 1.0);
+    }
+
+    #[test]
+    fn connected_components_split() {
+        let g = Graph::new(5, vec![(0, 1), (2, 3)], Matrix::zeros(5, 1));
+        let comp = g.connected_components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!g.is_connected());
+        assert!(triangle_plus_tail().is_connected());
+    }
+
+    #[test]
+    fn one_hot_features() {
+        let mut g = Graph::new(3, vec![(0, 1)], Matrix::zeros(3, 1)).with_tags(vec![0, 2, 9]);
+        g.one_hot_features_from_tags(3);
+        assert_eq!(g.features.get(0, 0), 1.0);
+        assert_eq!(g.features.get(1, 2), 1.0);
+        assert_eq!(g.features.get(2, 2), 1.0); // clamped
+        assert_eq!(g.features.row(0)[1], 0.0);
+    }
+
+    #[test]
+    fn label_class_accessor() {
+        assert_eq!(GraphLabel::Class(3).class(), Some(3));
+        assert_eq!(GraphLabel::None.class(), None);
+        assert_eq!(GraphLabel::MultiTask(vec![Some(true)]).class(), None);
+    }
+}

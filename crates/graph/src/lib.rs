@@ -1,0 +1,23 @@
+//! # sgcl-graph
+//!
+//! Graph data structures and augmentation operators for the SGCL
+//! reproduction:
+//!
+//! * [`Graph`] — undirected attributed graphs with labels, node tags,
+//!   scaffolds, and (synthetic-only) ground-truth semantic masks;
+//! * [`GraphBatch`] — block-diagonal mini-batching for single-pass GNN
+//!   encoding of many graphs;
+//! * [`augment`] — Definition 3's node-dropping operator in all three cases
+//!   plus GraphCL's edge-perturbation / attribute-masking / subgraph ops;
+//! * [`metrics`] — dataset statistics, topology distances, and semantic
+//!   preservation scores.
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod batch;
+pub mod graph;
+pub mod metrics;
+
+pub use batch::GraphBatch;
+pub use graph::{Graph, GraphLabel};

@@ -1,0 +1,135 @@
+//! Dataset- and graph-level statistics (Table I / Table II style summaries)
+//! and distances between graphs and their augmented samples.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph collection, mirroring the columns of the
+/// paper's Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of graphs.
+    pub num_graphs: usize,
+    /// Mean node count.
+    pub avg_nodes: f64,
+    /// Mean undirected edge count.
+    pub avg_edges: f64,
+    /// Mean density.
+    pub avg_density: f64,
+    /// Number of distinct class labels (0 when unlabelled).
+    pub num_classes: usize,
+}
+
+/// Computes [`DatasetStats`] over a slice of graphs.
+pub fn dataset_stats(graphs: &[Graph]) -> DatasetStats {
+    let n = graphs.len();
+    if n == 0 {
+        return DatasetStats {
+            num_graphs: 0,
+            avg_nodes: 0.0,
+            avg_edges: 0.0,
+            avg_density: 0.0,
+            num_classes: 0,
+        };
+    }
+    let avg_nodes = graphs.iter().map(|g| g.num_nodes() as f64).sum::<f64>() / n as f64;
+    let avg_edges = graphs.iter().map(|g| g.num_edges() as f64).sum::<f64>() / n as f64;
+    let avg_density = graphs.iter().map(|g| g.density()).sum::<f64>() / n as f64;
+    let mut classes: Vec<usize> = graphs.iter().filter_map(|g| g.label.class()).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    DatasetStats {
+        num_graphs: n,
+        avg_nodes,
+        avg_edges,
+        avg_density,
+        num_classes: classes.len(),
+    }
+}
+
+/// `ε‖A‖_∞` of Theorem 1: the maximum topology distance over a graph set
+/// under dropping the flagged nodes per graph.
+pub fn max_topology_distance(graphs: &[Graph], dropped: &[Vec<bool>]) -> f32 {
+    assert_eq!(graphs.len(), dropped.len(), "length mismatch");
+    graphs
+        .iter()
+        .zip(dropped)
+        .map(|(g, d)| g.topology_distance(d))
+        .fold(0.0f32, f32::max)
+}
+
+/// Fraction of ground-truth semantic nodes preserved by a drop mask —
+/// the evaluation metric for augmentation quality on synthetic data
+/// (only graphs with a `semantic_mask` contribute).
+pub fn semantic_preservation(graph: &Graph, dropped: &[bool]) -> Option<f64> {
+    let mask = graph.semantic_mask.as_ref()?;
+    let total = mask.iter().filter(|&&m| m).count();
+    if total == 0 {
+        return None;
+    }
+    let kept = mask
+        .iter()
+        .zip(dropped)
+        .filter(|&(&m, &d)| m && !d)
+        .count();
+    Some(kept as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_tensor::Matrix;
+
+    fn make(n: usize, edges: Vec<(u32, u32)>, class: usize) -> Graph {
+        Graph::new(n, edges, Matrix::zeros(n, 1)).with_class(class)
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let s = dataset_stats(&[]);
+        assert_eq!(s.num_graphs, 0);
+        assert_eq!(s.num_classes, 0);
+    }
+
+    #[test]
+    fn stats_basic() {
+        let gs = vec![
+            make(3, vec![(0, 1), (1, 2)], 0),
+            make(5, vec![(0, 1)], 1),
+        ];
+        let s = dataset_stats(&gs);
+        assert_eq!(s.num_graphs, 2);
+        assert!((s.avg_nodes - 4.0).abs() < 1e-9);
+        assert!((s.avg_edges - 1.5).abs() < 1e-9);
+        assert_eq!(s.num_classes, 2);
+    }
+
+    #[test]
+    fn max_topology_distance_over_set() {
+        let gs = vec![
+            make(3, vec![(0, 1), (1, 2)], 0),
+            make(3, vec![(0, 1), (1, 2), (0, 2)], 0),
+        ];
+        // drop the hub of the path (deg 2) and one triangle node (deg 2)
+        let masks = vec![vec![false, true, false], vec![true, false, false]];
+        let d = max_topology_distance(&gs, &masks);
+        assert!((d - 2.0).abs() < 1e-6); // sqrt(2*2)
+    }
+
+    #[test]
+    fn semantic_preservation_counts() {
+        let mut g = make(4, vec![(0, 1), (1, 2), (2, 3)], 0);
+        g.semantic_mask = Some(vec![true, true, false, false]);
+        // drop one semantic node → 1/2 preserved
+        let p = semantic_preservation(&g, &[true, false, false, false]).unwrap();
+        assert!((p - 0.5).abs() < 1e-9);
+        // drop only background → fully preserved
+        let p2 = semantic_preservation(&g, &[false, false, true, true]).unwrap();
+        assert!((p2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semantic_preservation_none_without_mask() {
+        let g = make(3, vec![(0, 1)], 0);
+        assert!(semantic_preservation(&g, &[false, false, false]).is_none());
+    }
+}

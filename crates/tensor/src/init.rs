@@ -1,0 +1,107 @@
+//! Weight initialisation schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// How to fill a freshly registered parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Initializer {
+    /// All zeros (biases).
+    Zeros,
+    /// All equal to the given constant.
+    Constant(f32),
+    /// Uniform in `[lo, hi)`.
+    Uniform(f32, f32),
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = √(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Kaiming/He uniform for ReLU nets: `U(-a, a)` with `a = √(6 / fan_in)`.
+    KaimingUniform,
+    /// Gaussian `N(0, std²)` via Box–Muller.
+    Normal(f32),
+}
+
+impl Initializer {
+    /// Samples a `rows × cols` matrix.
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        let n = rows * cols;
+        let data: Vec<f32> = match self {
+            Initializer::Zeros => vec![0.0; n],
+            Initializer::Constant(c) => vec![c; n],
+            Initializer::Uniform(lo, hi) => (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
+            Initializer::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..a)).collect()
+            }
+            Initializer::KaimingUniform => {
+                let a = (6.0 / rows.max(1) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..a)).collect()
+            }
+            Initializer::Normal(std) => (0..n)
+                .map(|_| {
+                    let u1: f32 = rng.gen_range(1e-7f32..1.0);
+                    let u2: f32 = rng.gen_range(0.0f32..1.0);
+                    std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                })
+                .collect(),
+        };
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Initializer::Zeros
+            .sample(3, 3, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(Initializer::Constant(1.5)
+            .sample(2, 2, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Initializer::XavierUniform.sample(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a));
+        // not degenerate
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn kaiming_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Initializer::KaimingUniform.sample(8, 4, &mut rng);
+        let a = (6.0f32 / 8.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn normal_mean_and_std_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Initializer::Normal(2.0).sample(100, 100, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / (m.len() - 1) as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Initializer::XavierUniform.sample(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = Initializer::XavierUniform.sample(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

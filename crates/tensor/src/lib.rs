@@ -1,0 +1,58 @@
+//! # sgcl-tensor
+//!
+//! Minimal dense/sparse linear algebra and reverse-mode automatic
+//! differentiation — the numerical substrate for the SGCL reproduction.
+//!
+//! The crate provides exactly what graph contrastive learning on CPU needs
+//! and nothing more:
+//!
+//! * [`Matrix`] — flat row-major `f32` matrices with BLAS-like kernels;
+//! * [`CsrMatrix`] — CSR sparse matrices for adjacency message passing
+//!   (`spmm` forward, `spmm_t` backward);
+//! * [`Tape`] / [`Var`] — an arena-based autograd tape with a closed op set
+//!   covering GNN layers, segment pooling/softmax, and contrastive losses;
+//! * [`ParamStore`] + [`Adam`]/[`Sgd`] — parameter storage and optimisers;
+//! * [`Initializer`] — Xavier/Kaiming/Normal weight initialisation.
+//!
+//! ## Example
+//!
+//! ```
+//! use sgcl_tensor::{Matrix, Tape, ParamStore, Initializer, Adam, Optimizer};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let w = store.register("w", 2, 1, Initializer::XavierUniform, &mut rng);
+//! let mut opt = Adam::new(0.1);
+//!
+//! // fit w to minimise ||X·w - y||²
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+//! let y = Matrix::col_vector(vec![2.0, -1.0, 1.0]);
+//! for _ in 0..300 {
+//!     let mut tape = Tape::new();
+//!     let xv = tape.constant(x.clone());
+//!     let yv = tape.constant(y.clone());
+//!     let wv = store.leaf(&mut tape, w);
+//!     let pred = tape.matmul(xv, wv);
+//!     let err = tape.sub(pred, yv);
+//!     let sq = tape.hadamard(err, err);
+//!     let loss = tape.mean_all(sq);
+//!     store.backward(&tape, loss);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(w).get(0, 0) - 2.0).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod matrix;
+pub mod optim;
+pub mod sparse;
+pub mod tape;
+
+pub use init::Initializer;
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, ParamStore, Sgd};
+pub use sparse::CsrMatrix;
+pub use tape::{stable_sigmoid, stable_softplus, ParamId, Tape, Var};

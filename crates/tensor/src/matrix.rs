@@ -1,0 +1,632 @@
+//! Dense row-major `f32` matrix with the small set of BLAS-like kernels the
+//! rest of the workspace needs.
+//!
+//! Design notes (following the Rust Performance Book):
+//! * storage is a single flat `Vec<f32>` — no per-row allocation;
+//! * hot kernels (`matmul`) use the i-k-j loop order so the innermost loop
+//!   streams contiguously over both the right operand row and the output row;
+//! * in-place variants (`add_assign`, `scale_in_place`, …) are provided so the
+//!   autograd backward pass can accumulate without temporaries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+///
+/// Invariant: `data.len() == rows * cols` at all times.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices (test convenience).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Self::from_vec(1, n, data)
+    }
+
+    /// A `n × 1` column vector.
+    pub fn col_vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Self::from_vec(n, 1, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs` using the cache-friendly i-k-j ordering.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let o_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: {}x{} ᵀ· {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let n = rhs.cols;
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &rhs.data[k * n..(k + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: {}x{} · {}x{}ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let b_row = &rhs.data[j * self.cols..(j + 1) * self.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum; shapes must match.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference; shapes must match.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product; shapes must match.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a * b)
+    }
+
+    /// In-place element-wise accumulation `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * rhs` (axpy).
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scaled copy `alpha * self`.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// In-place scaling.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Fills the matrix with zeros, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise zip-map into a new matrix; shapes must match.
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Adds a `1 × cols` bias row to every row.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "add_row_broadcast: bias must be 1×cols");
+        assert_eq!(bias.cols, self.cols, "add_row_broadcast: col mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (o, &b) in row.iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies each row `i` by scalar `w[i]` (`w` is `rows × 1`).
+    pub fn scale_rows(&self, w: &Matrix) -> Matrix {
+        assert_eq!(w.cols, 1, "scale_rows: weights must be rows×1");
+        assert_eq!(w.rows, self.rows, "scale_rows: row mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let s = w.data[r];
+            for v in &mut out.data[r * out.cols..(r + 1) * out.cols] {
+                *v *= s;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`NaN` for empty matrices).
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Column sums as a `1 × cols` row vector.
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &v) in out.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Row sums as a `rows × 1` column vector.
+    pub fn row_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Frobenius norm `√(Σ v²)`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>()
+    }
+
+    /// L2-normalises each row in place; zero rows are left untouched.
+    pub fn l2_normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+
+    /// Maximum element (`-inf` for empty matrices).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`+inf` for empty matrices).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Selects the given rows into a new matrix (gather).
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (o, &i) in idx.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Stacks matrices vertically; all must share the column count.
+    pub fn vstack(mats: &[&Matrix]) -> Matrix {
+        if mats.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = mats[0].cols;
+        let rows: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "vstack: column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Max absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            write!(f, "  [")?;
+            let max_cols = 8.min(self.cols);
+            for c in 0..max_cols {
+                write!(f, "{:9.4}", self.get(r, c))?;
+                if c + 1 < max_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > max_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let o = Matrix::ones(3, 2);
+        assert!(o.as_slice().iter().all(|&v| v == 1.0));
+        let f = Matrix::full(2, 2, 2.5);
+        assert_eq!(f.sum(), 10.0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::eye(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, 2.0], &[0.0, 1.0, -1.0], &[2.0, 2.0, 0.0]]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 1.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(b.sub(&a), Matrix::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, 10.0]]));
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 3.0]]);
+        a.add_assign(&b);
+        assert_eq!(a, Matrix::from_rows(&[&[3.0, 4.0]]));
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::from_rows(&[&[4.0, 5.5]]));
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::row_vector(vec![10.0, 20.0]);
+        assert_eq!(
+            x.add_row_broadcast(&b),
+            Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]])
+        );
+    }
+
+    #[test]
+    fn scale_rows_by_weights() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let w = Matrix::col_vector(vec![2.0, 0.5]);
+        assert_eq!(
+            x.scale_rows(&w),
+            Matrix::from_rows(&[&[2.0, 4.0], &[1.5, 2.0]])
+        );
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.col_sums(), Matrix::row_vector(vec![4.0, 6.0]));
+        assert_eq!(m.row_sums(), Matrix::col_vector(vec![3.0, 7.0]));
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.min(), 1.0);
+    }
+
+    #[test]
+    fn frobenius_norm_of_3_4_vector() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert!((m.frobenius_norm_sq() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_rows_makes_unit_rows() {
+        let mut m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        m.l2_normalize_rows();
+        assert!((m.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((m.get(0, 1) - 0.8).abs() < 1e-6);
+        // zero row untouched
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s, Matrix::from_rows(&[&[3.0, 3.0], &[1.0, 1.0]]));
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::ones(2, 2);
+        assert!(m.all_finite());
+        m.set(1, 1, f32::NAN);
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn max_abs_diff_is_linf() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0]]);
+        let b = Matrix::from_rows(&[&[1.5, 2.0]]);
+        assert_eq!(a.max_abs_diff(&b), 3.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Parameter storage and first-order optimisers (SGD with momentum, Adam).
+//!
+//! Parameters live in a [`ParamStore`]; each training step records a fresh
+//! [`Tape`](crate::tape::Tape), inserts parameter leaves via
+//! [`ParamStore::leaf`], and after `backward` calls [`Optimizer::step`].
+
+use crate::init::Initializer;
+use crate::matrix::Matrix;
+use crate::tape::{ParamId, Tape, Var};
+use rand::Rng;
+
+#[derive(Clone)]
+struct Param {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// A named collection of trainable matrices with gradient buffers.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter initialised by `init`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        init: Initializer,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        let value = init.sample(rows, cols, rng);
+        self.register_value(name, value)
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn register_value(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad: Matrix::zeros(r, c),
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (checkpoint loading, perturbation baselines).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Current gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Ids of all parameters, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Ids of parameters whose name satisfies `pred` (e.g. all `.w` weight
+    /// matrices, excluding biases, for norm regularisation).
+    pub fn ids_where(&self, pred: impl Fn(&str) -> bool) -> Vec<ParamId> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| pred(&p.name))
+            .map(|(i, _)| ParamId(i))
+            .collect()
+    }
+
+    /// Records this parameter as a leaf on `tape` (value is cloned).
+    pub fn leaf(&self, tape: &mut Tape, id: ParamId) -> Var {
+        tape.param(self.params[id.0].value.clone(), id)
+    }
+
+    /// Zeroes every gradient buffer (keeping allocations).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Runs `tape.backward(root)` accumulating parameter gradients here.
+    pub fn backward(&mut self, tape: &Tape, root: Var) {
+        let params = &mut self.params;
+        tape.backward(root, &mut |id: ParamId, g: &Matrix| {
+            params[id.0].grad.add_assign(g);
+        });
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.frobenius_norm_sq())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                p.grad.scale_in_place(s);
+            }
+        }
+    }
+
+    /// Frobenius norm of all parameter values — the paper's `‖W‖` (Eq. 26).
+    pub fn weight_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.value.frobenius_norm_sq())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Snapshot of all parameter values (checkpointing / SimGRACE).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restores a snapshot taken with [`ParamStore::snapshot`].
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.params.len(), "snapshot length mismatch");
+        for (p, s) in self.params.iter_mut().zip(snapshot) {
+            assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch");
+            p.value = s.clone();
+        }
+    }
+
+    /// Adds Gaussian noise `N(0, sigma²·std_per_param²)` to every weight —
+    /// the SimGRACE encoder-perturbation primitive.
+    pub fn perturb_gaussian(&mut self, sigma: f32, rng: &mut impl Rng) {
+        for p in &mut self.params {
+            let n = p.value.len() as f32;
+            let std = if n > 0.0 {
+                p.value.frobenius_norm() / n.sqrt()
+            } else {
+                0.0
+            };
+            for v in p.value.as_mut_slice() {
+                let u1: f32 = rng.gen_range(1e-7..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                *v += sigma * std * z;
+            }
+        }
+    }
+}
+
+/// Optimisers that update a [`ParamStore`] from its accumulated gradients.
+pub trait Optimizer {
+    /// Applies one update step, then zeroes the gradients.
+    fn step(&mut self, store: &mut ParamStore);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum and decoupled weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.velocity.len() != store.params.len() {
+            self.velocity = store
+                .params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+        }
+        for (p, v) in store.params.iter_mut().zip(&mut self.velocity) {
+            if self.weight_decay > 0.0 {
+                p.grad.axpy(self.weight_decay, &p.value);
+            }
+            if self.momentum > 0.0 {
+                v.scale_in_place(self.momentum);
+                v.add_assign(&p.grad);
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, &p.grad);
+            }
+            p.grad.fill_zero();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional weight decay.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adam with L2 weight decay added to the gradient.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        let mut a = Self::new(lr);
+        a.weight_decay = weight_decay;
+        a
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.m.len() != store.params.len() {
+            self.m = store
+                .params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in store.params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            if self.weight_decay > 0.0 {
+                p.grad.axpy(self.weight_decay, &p.value);
+            }
+            for ((w, g), (mi, vi)) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.grad.fill_zero();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_loss(store: &ParamStore, id: ParamId) -> (Tape, Var) {
+        // loss = sum((w - 3)^2)
+        let mut t = Tape::new();
+        let w = store.leaf(&mut t, id);
+        let target = t.constant(Matrix::full(
+            store.value(id).rows(),
+            store.value(id).cols(),
+            3.0,
+        ));
+        let d = t.sub(w, target);
+        let sq = t.hadamard(d, d);
+        let loss = t.sum_all(sq);
+        (t, loss)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let id = store.register("w", 2, 2, Initializer::Uniform(-1.0, 1.0), &mut rng);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let (tape, loss) = quadratic_loss(&store, id);
+            store.backward(&tape, loss);
+            opt.step(&mut store);
+        }
+        for &v in store.value(id).as_slice() {
+            assert!((v - 3.0).abs() < 1e-3, "SGD did not converge: {v}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let id = store.register("w", 3, 1, Initializer::Uniform(-2.0, 2.0), &mut rng);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..500 {
+            let (tape, loss) = quadratic_loss(&store, id);
+            store.backward(&tape, loss);
+            opt.step(&mut store);
+        }
+        for &v in store.value(id).as_slice() {
+            assert!((v - 3.0).abs() < 1e-2, "Adam did not converge: {v}");
+        }
+    }
+
+    #[test]
+    fn momentum_sgd_converges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let id = store.register("w", 2, 1, Initializer::Uniform(-1.0, 1.0), &mut rng);
+        let mut opt = Sgd::with_momentum(0.02, 0.9, 0.0);
+        for _ in 0..300 {
+            let (tape, loss) = quadratic_loss(&store, id);
+            store.backward(&tape, loss);
+            opt.step(&mut store);
+        }
+        for &v in store.value(id).as_slice() {
+            assert!((v - 3.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn grad_clipping_bounds_norm() {
+        let mut store = ParamStore::new();
+        let id = store.register_value("w", Matrix::ones(2, 2));
+        let (tape, loss) = {
+            let mut t = Tape::new();
+            let w = store.leaf(&mut t, id);
+            let s = t.scale(w, 100.0);
+            let l = t.sum_all(s);
+            (t, l)
+        };
+        store.backward(&tape, loss);
+        assert!(store.grad_norm() > 10.0);
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-4);
+        let _ = store.grad(id);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut store = ParamStore::new();
+        let id = store.register_value("w", Matrix::ones(1, 1));
+        let (tape, loss) = quadratic_loss(&store, id);
+        store.backward(&tape, loss);
+        assert!(store.grad_norm() > 0.0);
+        store.zero_grads();
+        assert_eq!(store.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let id = store.register("w", 2, 2, Initializer::XavierUniform, &mut rng);
+        let snap = store.snapshot();
+        let before = store.value(id).clone();
+        store.perturb_gaussian(0.5, &mut rng);
+        assert!(store.value(id).max_abs_diff(&before) > 0.0);
+        store.restore(&snap);
+        assert_eq!(store.value(id), &before);
+    }
+
+    #[test]
+    fn weight_norm_matches_manual() {
+        let mut store = ParamStore::new();
+        store.register_value("a", Matrix::full(1, 2, 3.0));
+        store.register_value("b", Matrix::full(1, 1, 4.0)); // norm = sqrt(9+9+16)
+        assert!((store.weight_norm() - (34.0f32).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn num_weights_counts_scalars() {
+        let mut store = ParamStore::new();
+        store.register_value("a", Matrix::zeros(3, 4));
+        store.register_value("b", Matrix::zeros(2, 2));
+        assert_eq!(store.num_weights(), 16);
+        assert_eq!(store.len(), 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! Compressed-sparse-row matrices for graph adjacency.
+//!
+//! Message passing in every GNN layer is the product `A · H` of a sparse
+//! adjacency with a dense feature matrix, plus the transposed product
+//! `Aᵀ · dY` on the backward pass. CSR gives both in O(nnz · d).
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in CSR format with `f32` values.
+///
+/// Invariants:
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`;
+/// * `row_ptr` is non-decreasing;
+/// * every entry of `col_idx` is `< cols`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from COO triplets `(row, col, value)`.
+    /// Duplicate coordinates are summed.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Self {
+        let mut entries: Vec<(usize, usize, f32)> = triplets.into_iter().collect();
+        for &(r, c, _) in &entries {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // merge duplicates
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// An all-zero sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `r`.
+    #[inline]
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Dense copy (tests / tiny graphs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+
+    /// Sparse-dense product `self · rhs` (the message-passing kernel).
+    pub fn spmm(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows(), "spmm: inner dimension mismatch");
+        let d = rhs.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let o_row = &mut out.as_mut_slice()[r * d..(r + 1) * d];
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let b_row = &rhs.as_slice()[c * d..(c + 1) * d];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse-dense product `selfᵀ · rhs` (the backward kernel),
+    /// computed by scattering — the transpose is never materialised.
+    pub fn spmm_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows(), "spmm_t: dimension mismatch");
+        let d = rhs.cols();
+        let mut out = Matrix::zeros(self.cols, d);
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let b_row = &rhs.as_slice()[r * d..(r + 1) * d];
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let o_row = &mut out.as_mut_slice()[c * d..(c + 1) * d];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a copy whose stored values are all replaced by `value`
+    /// (used to turn an adjacency into an unweighted mask).
+    pub fn with_uniform_values(&self, value: f32) -> Self {
+        let mut c = self.clone();
+        c.values.fill(value);
+        c
+    }
+
+    /// Row-normalises stored values so each row sums to 1 (empty rows stay zero).
+    pub fn row_normalized(&self) -> Self {
+        let mut c = self.clone();
+        for r in 0..self.rows {
+            let lo = c.row_ptr[r];
+            let hi = c.row_ptr[r + 1];
+            let s: f32 = c.values[lo..hi].iter().sum();
+            if s.abs() > 1e-12 {
+                for v in &mut c.values[lo..hi] {
+                    *v /= s;
+                }
+            }
+        }
+        c
+    }
+
+    /// Symmetric GCN normalisation `D^{-1/2} (A) D^{-1/2}` computed from the
+    /// stored structure (degrees = row sums of absolute values).
+    pub fn sym_normalized(&self) -> Self {
+        let mut deg = vec![0.0f32; self.rows.max(self.cols)];
+        for r in 0..self.rows {
+            for (_, v) in self.row_iter(r) {
+                deg[r] += v.abs();
+            }
+        }
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 1e-12 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let mut c = self.clone();
+        for r in 0..self.rows {
+            let lo = c.row_ptr[r];
+            let hi = c.row_ptr[r + 1];
+            for k in lo..hi {
+                let col = c.col_idx[k] as usize;
+                c.values[k] *= inv_sqrt[r] * inv_sqrt[col];
+            }
+        }
+        c
+    }
+
+    /// Mutable access to the stored values (structure is fixed).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Immutable access to the stored values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Frobenius norm of the stored values.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.values.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[0 2 0], [1 0 3]]
+        CsrMatrix::from_triplets(2, 3, vec![(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0)])
+    }
+
+    #[test]
+    fn from_triplets_builds_csr() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_nnz(0), 1);
+        assert_eq!(m.row_nnz(1), 2);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense().get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let d = sample().to_dense();
+        assert_eq!(
+            d,
+            Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 3.0]])
+        );
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let s = sample();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(s.spmm(&x), s.to_dense().matmul(&x));
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_transpose_product() {
+        let s = sample();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(s.spmm_t(&x), s.to_dense().transpose().matmul(&x));
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let n = sample().row_normalized();
+        for r in 0..n.rows() {
+            let s: f32 = n.row_iter(r).map(|(_, v)| v).sum();
+            if n.row_nnz(r) > 0 {
+                assert!((s - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sym_normalized_symmetric_adjacency() {
+        // path graph 0-1-2 with self loops (GCN style)
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+            ],
+        );
+        let n = a.sym_normalized();
+        // degrees: 2, 3, 2 → entry (0,1) = 1/sqrt(2*3)
+        let dense = n.to_dense();
+        assert!((dense.get(0, 1) - 1.0 / (6.0f32).sqrt()).abs() < 1e-6);
+        assert!((dense.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_values_mask() {
+        let m = sample().with_uniform_values(1.0);
+        assert!(m.values().iter().all(|&v| v == 1.0));
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_spmm() {
+        let z = CsrMatrix::zeros(3, 3);
+        let x = Matrix::ones(3, 2);
+        assert_eq!(z.spmm(&x), Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn frobenius_norm_counts_values() {
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 3.0), (1, 1, 4.0)]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,1029 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! The tape is an arena of nodes (`Vec<Node>`); a [`Var`] is just an index
+//! into it, so recording an op is one `push` and no reference counting.
+//! Forward evaluation is eager — each builder method computes the value
+//! immediately — and [`Tape::backward`] walks the arena once in reverse,
+//! dispatching on a closed [`Op`] enum (no boxed closures, per the
+//! perf-book's advice on dynamic dispatch in hot paths).
+//!
+//! Parameters live outside the tape in a [`ParamStore`](crate::optim::ParamStore);
+//! a fresh tape is recorded per training step and gradients are accumulated
+//! back into the store by parameter id.
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+use std::rc::Rc;
+
+/// Handle to a tape node. Only valid for the tape that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Identifier of a parameter inside a `ParamStore`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Creates a `ParamId` from a raw index. Normally ids are handed out by
+    /// a `ParamStore`; this constructor exists for tests and serialisation.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Raw index (for serialisation / debugging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The closed set of differentiable operations.
+enum Op {
+    /// Constant or parameter leaf. `param` links back to the store slot.
+    Leaf { param: Option<ParamId> },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Hadamard(Var, Var),
+    HadamardConst(Var, Rc<Matrix>),
+    Scale(Var, f32),
+    MatMul(Var, Var),
+    /// `A · Bᵀ` — used for similarity matrices in contrastive losses.
+    MatMulNt(Var, Var),
+    AddBias(Var, Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Softplus(Var),
+    /// Sparse-dense product `S · H` where `S` is a fixed (non-differentiable)
+    /// CSR matrix such as a graph adjacency.
+    Spmm(Rc<CsrMatrix>, Var),
+    /// Row `i` of the output is `w[i] * x[i, :]`; both inputs get gradients.
+    ScaleRows { x: Var, w: Var },
+    /// `out[i, :] = x[idx[i], :]`.
+    GatherRows(Var, Rc<Vec<usize>>),
+    /// `out[idx[i], :] += x[i, :]`, output has `n_out` rows.
+    ScatterAddRows { x: Var, idx: Rc<Vec<usize>>, n_out: usize },
+    /// Softmax of an `n × 1` score column within groups given by `seg`.
+    SegmentSoftmax { x: Var, seg: Rc<Vec<usize>> },
+    /// Per-segment max over rows; `arg` holds the winning row per (segment, col).
+    SegmentMax { x: Var, arg: Vec<u32> },
+    Exp(Var),
+    Ln(Var),
+    /// Extracts the main diagonal of a square matrix as an `n × 1` column.
+    DiagExtract(Var),
+    RowL2Normalize(Var),
+    RowSums(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    FrobNorm(Var),
+    ConcatCols(Var, Var),
+    /// Mean over rows of `-log softmax(x)[target]`; `probs` cached at forward.
+    SoftmaxCrossEntropy { x: Var, targets: Rc<Vec<usize>>, probs: Matrix },
+    /// Masked binary cross-entropy with logits, averaged over observed labels.
+    BceWithLogits { x: Var, targets: Rc<Matrix>, mask: Rc<Matrix> },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A single-use computation tape.
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(64) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Scalar value of a `1 × 1` node.
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar() on non-scalar node");
+        m.as_slice()[0]
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a non-differentiable constant.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Records a parameter leaf whose gradient flows back to `id` in the store.
+    pub fn param(&mut self, value: Matrix, id: ParamId) -> Var {
+        self.push(value, Op::Leaf { param: Some(id) })
+    }
+
+    /// `a + b` (element-wise).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `a - b` (element-wise).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// `a ⊙ b` (element-wise).
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    /// `a ⊙ c` with a constant mask/matrix `c` (no gradient for `c`).
+    pub fn hadamard_const(&mut self, a: Var, c: Rc<Matrix>) -> Var {
+        let v = self.value(a).hadamard(&c);
+        self.push(v, Op::HadamardConst(a, c))
+    }
+
+    /// `alpha · a`.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).scale(alpha);
+        self.push(v, Op::Scale(a, alpha))
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Matrix product `a · bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.push(v, Op::MatMulNt(a, b))
+    }
+
+    /// Adds a `1 × d` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let v = self.value(x).add_row_broadcast(self.value(bias));
+        self.push(v, Op::AddBias(x, bias))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|t| t.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Leaky ReLU with negative slope `slope`.
+    pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
+        let v = self.value(x).map(|t| if t > 0.0 { t } else { slope * t });
+        self.push(v, Op::LeakyRelu(x, slope))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(stable_sigmoid);
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f32::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    /// Softplus `ρ(x) = ln(eˣ + 1)` — the function of the paper's Lemma 2.
+    pub fn softplus(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(stable_softplus);
+        self.push(v, Op::Softplus(x))
+    }
+
+    /// Sparse-dense product `s · h` (message passing). `s` is fixed.
+    pub fn spmm(&mut self, s: Rc<CsrMatrix>, h: Var) -> Var {
+        let v = s.spmm(self.value(h));
+        self.push(v, Op::Spmm(s, h))
+    }
+
+    /// Scales row `i` of `x` by the scalar `w[i]` (`w` is `n × 1`).
+    pub fn scale_rows(&mut self, x: Var, w: Var) -> Var {
+        let v = self.value(x).scale_rows(self.value(w));
+        self.push(v, Op::ScaleRows { x, w })
+    }
+
+    /// Gathers rows: `out[i] = x[idx[i]]`.
+    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<usize>>) -> Var {
+        let v = self.value(x).select_rows(&idx);
+        self.push(v, Op::GatherRows(x, idx))
+    }
+
+    /// Scatter-add rows: `out[idx[i]] += x[i]`, producing `n_out` rows.
+    pub fn scatter_add_rows(&mut self, x: Var, idx: Rc<Vec<usize>>, n_out: usize) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.rows(), idx.len(), "scatter_add_rows: index length mismatch");
+        let d = xm.cols();
+        let mut out = Matrix::zeros(n_out, d);
+        for (i, &t) in idx.iter().enumerate() {
+            debug_assert!(t < n_out);
+            let src = xm.row(i);
+            let dst = &mut out.as_mut_slice()[t * d..(t + 1) * d];
+            for (o, &s) in dst.iter_mut().zip(src) {
+                *o += s;
+            }
+        }
+        self.push(out, Op::ScatterAddRows { x, idx, n_out })
+    }
+
+    /// Softmax of an `n × 1` score column within groups. Rows sharing a
+    /// segment id sum to one after the op. Used for GAT attention and the
+    /// attention approximation of the Lipschitz generator.
+    pub fn segment_softmax(&mut self, x: Var, seg: Rc<Vec<usize>>) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.cols(), 1, "segment_softmax expects an n×1 score column");
+        assert_eq!(xm.rows(), seg.len(), "segment_softmax: segment length mismatch");
+        let v = segment_softmax_forward(xm.as_slice(), &seg);
+        let out = Matrix::from_vec(xm.rows(), 1, v);
+        self.push(out, Op::SegmentSoftmax { x, seg })
+    }
+
+    /// Per-segment max pooling: `out[g, c] = max over rows i with seg[i]==g`.
+    /// Empty segments yield zero rows.
+    pub fn segment_max(&mut self, x: Var, seg: Rc<Vec<usize>>, n_seg: usize) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.rows(), seg.len(), "segment_max: segment length mismatch");
+        let d = xm.cols();
+        let mut out = Matrix::full(n_seg, d, f32::NEG_INFINITY);
+        let mut arg = vec![u32::MAX; n_seg * d];
+        for (i, &g) in seg.iter().enumerate() {
+            let row = xm.row(i);
+            for (c, &v) in row.iter().enumerate() {
+                if v > out.get(g, c) {
+                    out.set(g, c, v);
+                    arg[g * d + c] = i as u32;
+                }
+            }
+        }
+        // empty segments → 0 rather than -inf
+        for v in out.as_mut_slice() {
+            if *v == f32::NEG_INFINITY {
+                *v = 0.0;
+            }
+        }
+        self.push(out, Op::SegmentMax { x, arg })
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f32::exp);
+        self.push(v, Op::Exp(x))
+    }
+
+    /// Element-wise natural logarithm (inputs clamped to `1e-12` for
+    /// stability — callers feed strictly positive values).
+    pub fn ln(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|t| t.max(1e-12).ln());
+        self.push(v, Op::Ln(x))
+    }
+
+    /// Main diagonal of a square matrix as an `n × 1` column.
+    pub fn diag(&mut self, x: Var) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.rows(), xm.cols(), "diag expects a square matrix");
+        let n = xm.rows();
+        let v = Matrix::from_vec(n, 1, (0..n).map(|i| xm.get(i, i)).collect());
+        self.push(v, Op::DiagExtract(x))
+    }
+
+    /// L2-normalises each row (zero rows stay zero).
+    pub fn row_l2_normalize(&mut self, x: Var) -> Var {
+        let mut v = self.value(x).clone();
+        v.l2_normalize_rows();
+        self.push(v, Op::RowL2Normalize(x))
+    }
+
+    /// Row sums as an `n × 1` column.
+    pub fn row_sums(&mut self, x: Var) -> Var {
+        let v = self.value(x).row_sums();
+        self.push(v, Op::RowSums(x))
+    }
+
+    /// Sum of all elements (scalar node).
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// Mean of all elements (scalar node).
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Frobenius norm `‖x‖` (scalar node) — the paper's `Θ_W` regulariser.
+    pub fn frobenius_norm(&mut self, x: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value(x).frobenius_norm()]);
+        self.push(v, Op::FrobNorm(x))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let am = self.value(a);
+        let bm = self.value(b);
+        assert_eq!(am.rows(), bm.rows(), "concat_cols: row mismatch");
+        let (n, ca, cb) = (am.rows(), am.cols(), bm.cols());
+        let mut out = Matrix::zeros(n, ca + cb);
+        for r in 0..n {
+            out.row_mut(r)[..ca].copy_from_slice(am.row(r));
+            out.row_mut(r)[ca..].copy_from_slice(bm.row(r));
+        }
+        self.push(out, Op::ConcatCols(a, b))
+    }
+
+    /// Mean over rows of the cross-entropy between `softmax(x[i])` and
+    /// `targets[i]`. This is the InfoNCE kernel when `x` is a similarity
+    /// matrix and `targets[i]` indexes the positive column.
+    pub fn softmax_cross_entropy(&mut self, x: Var, targets: Rc<Vec<usize>>) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.rows(), targets.len(), "softmax_cross_entropy: target length");
+        let mut probs = Matrix::zeros(xm.rows(), xm.cols());
+        let mut loss = 0.0f64;
+        for r in 0..xm.rows() {
+            let row = xm.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for &v in row {
+                z += (v - m).exp();
+            }
+            let p_row = probs.row_mut(r);
+            for (c, &v) in row.iter().enumerate() {
+                p_row[c] = (v - m).exp() / z;
+            }
+            let t = targets[r];
+            debug_assert!(t < xm.cols());
+            loss -= (p_row[t].max(1e-12) as f64).ln();
+        }
+        let n = xm.rows().max(1) as f64;
+        let out = Matrix::from_vec(1, 1, vec![(loss / n) as f32]);
+        self.push(out, Op::SoftmaxCrossEntropy { x, targets, probs })
+    }
+
+    /// Masked multi-label binary cross-entropy with logits, averaged over the
+    /// observed (mask = 1) entries. Used for MoleculeNet-style multi-task
+    /// fine-tuning where some task labels are missing.
+    pub fn bce_with_logits(&mut self, x: Var, targets: Rc<Matrix>, mask: Rc<Matrix>) -> Var {
+        let xm = self.value(x);
+        assert_eq!(xm.shape(), targets.shape(), "bce: target shape");
+        assert_eq!(xm.shape(), mask.shape(), "bce: mask shape");
+        let denom: f32 = mask.sum().max(1.0);
+        let mut loss = 0.0f64;
+        for ((&l, &t), &m) in xm
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .zip(mask.as_slice())
+        {
+            if m > 0.0 {
+                // stable: softplus(l) - t*l = max(l,0) - t*l + ln(1+e^{-|l|})
+                let sp = l.max(0.0) - t * l + (-l.abs()).exp().ln_1p();
+                loss += (m * sp) as f64;
+            }
+        }
+        let out = Matrix::from_vec(1, 1, vec![(loss / denom as f64) as f32]);
+        self.push(out, Op::BceWithLogits { x, targets, mask })
+    }
+
+    /// Runs the backward pass from scalar node `root` (seeded with 1.0) and
+    /// returns the per-node gradients. Parameter gradients are *also*
+    /// accumulated into `param_grads` keyed by `ParamId` (see
+    /// [`crate::optim::ParamStore::accumulate`]).
+    pub fn backward(&self, root: Var, param_grads: &mut dyn FnMut(ParamId, &Matrix)) {
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward root must be a scalar node"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[root.0] = Some(Matrix::ones(1, 1));
+
+        for i in (0..=root.0).rev() {
+            let Some(gy) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Leaf { param } => {
+                    if let Some(id) = param {
+                        param_grads(*id, &gy);
+                    }
+                }
+                Op::Add(a, b) => {
+                    accum(&mut grads, *a, &gy);
+                    accum(&mut grads, *b, &gy);
+                }
+                Op::Sub(a, b) => {
+                    accum(&mut grads, *a, &gy);
+                    accum_scaled(&mut grads, *b, &gy, -1.0);
+                }
+                Op::Hadamard(a, b) => {
+                    let ga = gy.hadamard(self.value(*b));
+                    let gb = gy.hadamard(self.value(*a));
+                    accum_owned(&mut grads, *a, ga);
+                    accum_owned(&mut grads, *b, gb);
+                }
+                Op::HadamardConst(a, c) => {
+                    accum_owned(&mut grads, *a, gy.hadamard(c));
+                }
+                Op::Scale(a, alpha) => {
+                    accum_scaled(&mut grads, *a, &gy, *alpha);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = gy.matmul_nt(self.value(*b));
+                    let gb = self.value(*a).matmul_tn(&gy);
+                    accum_owned(&mut grads, *a, ga);
+                    accum_owned(&mut grads, *b, gb);
+                }
+                Op::MatMulNt(a, b) => {
+                    let ga = gy.matmul(self.value(*b));
+                    let gb = gy.matmul_tn(self.value(*a));
+                    accum_owned(&mut grads, *a, ga);
+                    accum_owned(&mut grads, *b, gb);
+                }
+                Op::AddBias(x, bias) => {
+                    accum(&mut grads, *x, &gy);
+                    accum_owned(&mut grads, *bias, gy.col_sums());
+                }
+                Op::Relu(x) => {
+                    let g = gy.zip_map(self.value(*x), |g, v| if v > 0.0 { g } else { 0.0 });
+                    accum_owned(&mut grads, *x, g);
+                }
+                Op::LeakyRelu(x, s) => {
+                    let s = *s;
+                    let g = gy.zip_map(self.value(*x), |g, v| if v > 0.0 { g } else { s * g });
+                    accum_owned(&mut grads, *x, g);
+                }
+                Op::Sigmoid(x) => {
+                    let y = &self.nodes[i].value;
+                    let g = gy.zip_map(y, |g, y| g * y * (1.0 - y));
+                    accum_owned(&mut grads, *x, g);
+                }
+                Op::Tanh(x) => {
+                    let y = &self.nodes[i].value;
+                    let g = gy.zip_map(y, |g, y| g * (1.0 - y * y));
+                    accum_owned(&mut grads, *x, g);
+                }
+                Op::Softplus(x) => {
+                    let g = gy.zip_map(self.value(*x), |g, v| g * stable_sigmoid(v));
+                    accum_owned(&mut grads, *x, g);
+                }
+                Op::Spmm(s, h) => {
+                    accum_owned(&mut grads, *h, s.spmm_t(&gy));
+                }
+                Op::ScaleRows { x, w } => {
+                    let xm = self.value(*x);
+                    let wm = self.value(*w);
+                    accum_owned(&mut grads, *x, gy.scale_rows(wm));
+                    let mut gw = Matrix::zeros(wm.rows(), 1);
+                    for r in 0..xm.rows() {
+                        let mut acc = 0.0f32;
+                        for (&xv, &gv) in xm.row(r).iter().zip(gy.row(r)) {
+                            acc += xv * gv;
+                        }
+                        gw.set(r, 0, acc);
+                    }
+                    accum_owned(&mut grads, *w, gw);
+                }
+                Op::GatherRows(x, idx) => {
+                    let xm = self.value(*x);
+                    let d = xm.cols();
+                    let mut gx = Matrix::zeros(xm.rows(), d);
+                    for (r, &src) in idx.iter().enumerate() {
+                        let g_row = gy.row(r);
+                        let dst = &mut gx.as_mut_slice()[src * d..(src + 1) * d];
+                        for (o, &g) in dst.iter_mut().zip(g_row) {
+                            *o += g;
+                        }
+                    }
+                    accum_owned(&mut grads, *x, gx);
+                }
+                Op::ScatterAddRows { x, idx, n_out } => {
+                    debug_assert_eq!(gy.rows(), *n_out);
+                    accum_owned(&mut grads, *x, gy.select_rows(idx));
+                }
+                Op::SegmentSoftmax { x, seg } => {
+                    let y = &self.nodes[i].value;
+                    let g = segment_softmax_backward(y.as_slice(), gy.as_slice(), seg);
+                    accum_owned(&mut grads, *x, Matrix::from_vec(y.rows(), 1, g));
+                }
+                Op::SegmentMax { x, arg } => {
+                    let xm = self.value(*x);
+                    let d = xm.cols();
+                    let mut gx = Matrix::zeros(xm.rows(), d);
+                    for (gi, &a) in arg.iter().enumerate() {
+                        if a != u32::MAX {
+                            let (g, c) = (gi / d, gi % d);
+                            let v = gx.get(a as usize, c) + gy.get(g, c);
+                            gx.set(a as usize, c, v);
+                        }
+                    }
+                    accum_owned(&mut grads, *x, gx);
+                }
+                Op::Exp(x) => {
+                    let y = &self.nodes[i].value;
+                    accum_owned(&mut grads, *x, gy.hadamard(y));
+                }
+                Op::Ln(x) => {
+                    let g = gy.zip_map(self.value(*x), |g, v| g / v.max(1e-12));
+                    accum_owned(&mut grads, *x, g);
+                }
+                Op::DiagExtract(x) => {
+                    let n = self.value(*x).rows();
+                    let mut gx = Matrix::zeros(n, n);
+                    for r in 0..n {
+                        gx.set(r, r, gy.get(r, 0));
+                    }
+                    accum_owned(&mut grads, *x, gx);
+                }
+                Op::RowL2Normalize(x) => {
+                    let xm = self.value(*x);
+                    let y = &self.nodes[i].value;
+                    let mut gx = Matrix::zeros(xm.rows(), xm.cols());
+                    for r in 0..xm.rows() {
+                        let norm = xm.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
+                        if norm <= 1e-12 {
+                            continue;
+                        }
+                        let dot: f32 = y.row(r).iter().zip(gy.row(r)).map(|(&a, &b)| a * b).sum();
+                        for (c, o) in gx.row_mut(r).iter_mut().enumerate() {
+                            *o = (gy.get(r, c) - y.get(r, c) * dot) / norm;
+                        }
+                    }
+                    accum_owned(&mut grads, *x, gx);
+                }
+                Op::RowSums(x) => {
+                    let xm = self.value(*x);
+                    let mut gx = Matrix::zeros(xm.rows(), xm.cols());
+                    for r in 0..xm.rows() {
+                        let g = gy.get(r, 0);
+                        for o in gx.row_mut(r) {
+                            *o = g;
+                        }
+                    }
+                    accum_owned(&mut grads, *x, gx);
+                }
+                Op::SumAll(x) => {
+                    let g = gy.as_slice()[0];
+                    let xm = self.value(*x);
+                    accum_owned(&mut grads, *x, Matrix::full(xm.rows(), xm.cols(), g));
+                }
+                Op::MeanAll(x) => {
+                    let xm = self.value(*x);
+                    let g = gy.as_slice()[0] / xm.len().max(1) as f32;
+                    accum_owned(&mut grads, *x, Matrix::full(xm.rows(), xm.cols(), g));
+                }
+                Op::FrobNorm(x) => {
+                    let xm = self.value(*x);
+                    let norm = self.nodes[i].value.as_slice()[0].max(1e-12);
+                    accum_owned(&mut grads, *x, xm.scale(gy.as_slice()[0] / norm));
+                }
+                Op::ConcatCols(a, b) => {
+                    let (ca, cb) = (self.value(*a).cols(), self.value(*b).cols());
+                    let n = gy.rows();
+                    let mut ga = Matrix::zeros(n, ca);
+                    let mut gb = Matrix::zeros(n, cb);
+                    for r in 0..n {
+                        ga.row_mut(r).copy_from_slice(&gy.row(r)[..ca]);
+                        gb.row_mut(r).copy_from_slice(&gy.row(r)[ca..]);
+                    }
+                    accum_owned(&mut grads, *a, ga);
+                    accum_owned(&mut grads, *b, gb);
+                }
+                Op::SoftmaxCrossEntropy { x, targets, probs } => {
+                    let scale = gy.as_slice()[0] / targets.len().max(1) as f32;
+                    let mut gx = probs.scale(scale);
+                    for (r, &t) in targets.iter().enumerate() {
+                        let v = gx.get(r, t) - scale;
+                        gx.set(r, t, v);
+                    }
+                    accum_owned(&mut grads, *x, gx);
+                }
+                Op::BceWithLogits { x, targets, mask } => {
+                    let denom = mask.sum().max(1.0);
+                    let scale = gy.as_slice()[0] / denom;
+                    let xm = self.value(*x);
+                    let mut gx = Matrix::zeros(xm.rows(), xm.cols());
+                    for (((o, &l), &t), &m) in gx
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(xm.as_slice())
+                        .zip(targets.as_slice())
+                        .zip(mask.as_slice())
+                    {
+                        if m > 0.0 {
+                            *o = scale * m * (stable_sigmoid(l) - t);
+                        }
+                    }
+                    accum_owned(&mut grads, *x, gx);
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + eˣ)`.
+#[inline]
+pub fn stable_softplus(x: f32) -> f32 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+fn segment_softmax_forward(x: &[f32], seg: &[usize]) -> Vec<f32> {
+    let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
+    let mut max = vec![f32::NEG_INFINITY; n_seg];
+    for (&v, &g) in x.iter().zip(seg) {
+        if v > max[g] {
+            max[g] = v;
+        }
+    }
+    let mut sum = vec![0.0f32; n_seg];
+    let mut out = vec![0.0f32; x.len()];
+    for ((&v, &g), o) in x.iter().zip(seg).zip(&mut out) {
+        let e = (v - max[g]).exp();
+        *o = e;
+        sum[g] += e;
+    }
+    for (o, &g) in out.iter_mut().zip(seg) {
+        *o /= sum[g].max(1e-12);
+    }
+    out
+}
+
+fn segment_softmax_backward(y: &[f32], gy: &[f32], seg: &[usize]) -> Vec<f32> {
+    let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
+    let mut dot = vec![0.0f32; n_seg];
+    for ((&yv, &gv), &g) in y.iter().zip(gy).zip(seg) {
+        dot[g] += yv * gv;
+    }
+    y.iter()
+        .zip(gy)
+        .zip(seg)
+        .map(|((&yv, &gv), &g)| yv * (gv - dot[g]))
+        .collect()
+}
+
+fn accum(grads: &mut [Option<Matrix>], v: Var, g: &Matrix) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+fn accum_scaled(grads: &mut [Option<Matrix>], v: Var, g: &Matrix, alpha: f32) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.axpy(alpha, g),
+        slot @ None => *slot = Some(g.scale(alpha)),
+    }
+}
+
+fn accum_owned(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite difference of `f` at `x` in coordinate `(r, c)`.
+    fn numeric_grad(
+        x: &Matrix,
+        r: usize,
+        c: usize,
+        f: &dyn Fn(&Matrix) -> f32,
+    ) -> f32 {
+        let eps = 1e-3f32;
+        let mut xp = x.clone();
+        xp.set(r, c, x.get(r, c) + eps);
+        let mut xm = x.clone();
+        xm.set(r, c, x.get(r, c) - eps);
+        (f(&xp) - f(&xm)) / (2.0 * eps)
+    }
+
+    /// Checks the analytic gradient of `build` (returns scalar loss var from a
+    /// single param leaf) against finite differences for every coordinate.
+    fn check_grad(x0: Matrix, build: impl Fn(&mut Tape, Var) -> Var) {
+        let f = |x: &Matrix| -> f32 {
+            let mut t = Tape::new();
+            let v = t.param(x.clone(), ParamId(0));
+            let loss = build(&mut t, v);
+            t.scalar(loss)
+        };
+        let mut t = Tape::new();
+        let v = t.param(x0.clone(), ParamId(0));
+        let loss = build(&mut t, v);
+        let mut analytic: Option<Matrix> = None;
+        t.backward(loss, &mut |_, g| analytic = Some(g.clone()));
+        let analytic = analytic.expect("no gradient produced");
+        for r in 0..x0.rows() {
+            for c in 0..x0.cols() {
+                let num = numeric_grad(&x0, r, c, &f);
+                let ana = analytic.get(r, c);
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + num.abs().max(ana.abs())),
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    fn test_input() -> Matrix {
+        Matrix::from_rows(&[&[0.5, -1.2, 0.3], &[1.1, 0.2, -0.7]])
+    }
+
+    #[test]
+    fn grad_sum_of_relu() {
+        check_grad(test_input(), |t, x| {
+            let r = t.relu(x);
+            t.sum_all(r)
+        });
+    }
+
+    #[test]
+    fn grad_mean_of_sigmoid() {
+        check_grad(test_input(), |t, x| {
+            let s = t.sigmoid(x);
+            t.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_tanh_softplus_chain() {
+        check_grad(test_input(), |t, x| {
+            let a = t.tanh(x);
+            let b = t.softplus(a);
+            t.sum_all(b)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        check_grad(test_input(), |t, x| {
+            let w = t.constant(Matrix::from_rows(&[&[0.3, -0.1], &[0.2, 0.4], &[-0.5, 0.6]]));
+            let y = t.matmul(x, w);
+            let y2 = t.relu(y);
+            t.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_nt() {
+        check_grad(test_input(), |t, x| {
+            let y = t.matmul_nt(x, x);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_hadamard_and_scale() {
+        check_grad(test_input(), |t, x| {
+            let h = t.hadamard(x, x);
+            let s = t.scale(h, 0.5);
+            t.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_add_bias() {
+        // gradient wrt bias checked by making the bias the parameter
+        check_grad(Matrix::row_vector(vec![0.1, -0.2, 0.3]), |t, b| {
+            let x = t.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+            let y = t.add_bias(x, b);
+            let y2 = t.sigmoid(y);
+            t.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn grad_spmm() {
+        let adj = Rc::new(CsrMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 0.5)],
+        ));
+        check_grad(Matrix::from_rows(&[&[0.5, -1.0], &[0.3, 0.8]]), move |t, x| {
+            let y = t.spmm(adj.clone(), x);
+            let y2 = t.tanh(y);
+            t.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn grad_scale_rows_wrt_x() {
+        check_grad(test_input(), |t, x| {
+            let w = t.constant(Matrix::col_vector(vec![2.0, -0.5]));
+            let y = t.scale_rows(x, w);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_scale_rows_wrt_w() {
+        check_grad(Matrix::col_vector(vec![0.7, -0.3]), |t, w| {
+            let x = t.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+            let y = t.scale_rows(x, w);
+            let y2 = t.sigmoid(y);
+            t.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        check_grad(test_input(), |t, x| {
+            let idx = Rc::new(vec![1usize, 0, 1]);
+            let g = t.gather_rows(x, idx);
+            let back = t.scatter_add_rows(g, Rc::new(vec![0usize, 1, 0]), 2);
+            let y = t.tanh(back);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_segment_softmax() {
+        check_grad(Matrix::col_vector(vec![0.3, -0.5, 1.2, 0.1]), |t, x| {
+            let seg = Rc::new(vec![0usize, 0, 1, 1]);
+            let sm = t.segment_softmax(x, seg);
+            let sq = t.hadamard(sm, sm);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_segment_max() {
+        // strictly distinct entries so the argmax is stable under ±eps
+        check_grad(Matrix::from_rows(&[&[0.9, -1.0], &[0.1, 2.0], &[3.0, 0.0]]), |t, x| {
+            let seg = Rc::new(vec![0usize, 0, 1]);
+            let y = t.segment_max(x, seg, 2);
+            let y2 = t.sigmoid(y);
+            t.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn grad_exp_ln_chain() {
+        check_grad(test_input(), |t, x| {
+            let e = t.exp(x);
+            let l = t.ln(e); // identity, but exercises both backwards
+            let s = t.hadamard(l, l);
+            t.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_diag() {
+        check_grad(
+            Matrix::from_rows(&[&[1.0, 0.3], &[-0.2, 2.0]]),
+            |t, x| {
+                let d = t.diag(x);
+                let sq = t.hadamard(d, d);
+                t.sum_all(sq)
+            },
+        );
+    }
+
+    #[test]
+    fn diag_values() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let d = t.diag(x);
+        assert_eq!(t.value(d), &Matrix::col_vector(vec![1.0, 4.0]));
+    }
+
+    #[test]
+    fn grad_row_l2_normalize() {
+        check_grad(test_input(), |t, x| {
+            let y = t.row_l2_normalize(x);
+            let w = t.constant(Matrix::from_rows(&[&[0.2, 0.7, -0.4], &[1.0, 0.1, 0.3]]));
+            let p = t.hadamard(y, w);
+            t.sum_all(p)
+        });
+    }
+
+    #[test]
+    fn grad_row_sums_and_frobenius() {
+        check_grad(test_input(), |t, x| {
+            let rs = t.row_sums(x);
+            let n = t.frobenius_norm(rs);
+            n
+        });
+    }
+
+    #[test]
+    fn grad_concat_cols() {
+        check_grad(test_input(), |t, x| {
+            let c = t.concat_cols(x, x);
+            let y = t.tanh(c);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_cross_entropy() {
+        check_grad(test_input(), |t, x| {
+            t.softmax_cross_entropy(x, Rc::new(vec![0usize, 2]))
+        });
+    }
+
+    #[test]
+    fn grad_bce_with_logits() {
+        let targets = Rc::new(Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]));
+        let mask = Rc::new(Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 1.0]]));
+        check_grad(test_input(), move |t, x| {
+            t.bce_with_logits(x, targets.clone(), mask.clone())
+        });
+    }
+
+    #[test]
+    fn softmax_cross_entropy_value_uniform() {
+        // uniform logits over k classes → loss = ln k
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::zeros(4, 3));
+        let loss = t.softmax_cross_entropy(x, Rc::new(vec![0, 1, 2, 0]));
+        assert!((t.scalar(loss) - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_group() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::col_vector(vec![1.0, 2.0, 3.0, -1.0, 0.0]));
+        let seg = Rc::new(vec![0usize, 0, 0, 1, 1]);
+        let y = t.segment_softmax(x, seg);
+        let v = t.value(y).as_slice();
+        assert!((v[0] + v[1] + v[2] - 1.0).abs() < 1e-6);
+        assert!((v[3] + v[4] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_reuse() {
+        // y = x + x → dy/dx = 2
+        let mut t = Tape::new();
+        let x = t.param(Matrix::ones(1, 1), ParamId(7));
+        let y = t.add(x, x);
+        let loss = t.sum_all(y);
+        let mut got = None;
+        t.backward(loss, &mut |id, g| {
+            assert_eq!(id, ParamId(7));
+            got = Some(g.clone());
+        });
+        assert_eq!(got.unwrap().as_slice()[0], 2.0);
+    }
+
+    #[test]
+    fn backward_ignores_nodes_after_root() {
+        let mut t = Tape::new();
+        let x = t.param(Matrix::ones(1, 1), ParamId(0));
+        let loss = t.sum_all(x);
+        let _later = t.scale(x, 100.0); // recorded after root; must not affect grad
+        let mut got = None;
+        t.backward(loss, &mut |_, g| got = Some(g.clone()));
+        assert_eq!(got.unwrap().as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn stable_sigmoid_extremes() {
+        assert!(stable_sigmoid(100.0) > 0.999);
+        assert!(stable_sigmoid(-100.0) < 1e-3);
+        assert!((stable_sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(stable_sigmoid(-1000.0).is_finite());
+        assert!(stable_softplus(1000.0).is_finite());
+        assert!(stable_softplus(-1000.0) >= 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use sgcl_tensor::{CsrMatrix, Matrix, ParamId, Tape};
+use std::rc::Rc;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn matrix_pair_same_shape(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        (
+            proptest::collection::vec(-3.0f32..3.0, r * c),
+            proptest::collection::vec(-3.0f32..3.0, r * c),
+        )
+            .prop_map(move |(a, b)| (Matrix::from_vec(r, c, a), Matrix::from_vec(r, c, b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_commutes((a, b) in matrix_pair_same_shape(8)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn hadamard_commutes((a, b) in matrix_pair_same_shape(8)) {
+        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop(m in small_matrix(8)) {
+        let i = Matrix::eye(m.cols());
+        prop_assert_eq!(m.matmul(&i), m);
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistent_with_transpose((a, b) in matrix_pair_same_shape(6)) {
+        // aᵀ·b via matmul_tn equals explicit transpose product
+        let lhs = a.matmul_tn(&b);
+        let rhs = a.transpose().matmul(&b);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+        let lhs2 = a.matmul_nt(&b);
+        let rhs2 = a.matmul(&b.transpose());
+        prop_assert!(lhs2.max_abs_diff(&rhs2) < 1e-4);
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality((a, b) in matrix_pair_same_shape(8)) {
+        let sum = a.add(&b);
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+    }
+
+    #[test]
+    fn l2_normalized_rows_are_unit_or_zero(m in small_matrix(8)) {
+        let mut n = m.clone();
+        n.l2_normalize_rows();
+        for r in 0..n.rows() {
+            let norm = n.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
+            prop_assert!(norm < 1e-4 || (norm - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn csr_spmm_matches_dense(
+        entries in proptest::collection::vec((0usize..6, 0usize..6, -2.0f32..2.0), 0..20),
+        dense in small_matrix(6),
+    ) {
+        // build a 6×k sparse and a k×d dense with compatible inner dim
+        let k = dense.rows();
+        let filtered: Vec<_> = entries.into_iter()
+            .map(|(r, c, v)| (r, c % k, v))
+            .collect();
+        let s = CsrMatrix::from_triplets(6, k, filtered);
+        let got = s.spmm(&dense);
+        let expect = s.to_dense().matmul(&dense);
+        prop_assert!(got.max_abs_diff(&expect) < 1e-4);
+        // and the transposed kernel
+        let dense_t = Matrix::ones(6, 3);
+        let got_t = s.spmm_t(&dense_t);
+        let expect_t = s.to_dense().transpose().matmul(&dense_t);
+        prop_assert!(got_t.max_abs_diff(&expect_t) < 1e-4);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_nonnegative(m in small_matrix(6)) {
+        let mut tape = Tape::new();
+        let x = tape.constant(m.clone());
+        let targets: Vec<usize> = (0..m.rows()).map(|r| r % m.cols()).collect();
+        let loss = tape.softmax_cross_entropy(x, Rc::new(targets));
+        prop_assert!(tape.scalar(loss) >= -1e-6);
+    }
+
+    #[test]
+    fn backward_produces_finite_grads(m in small_matrix(6)) {
+        // a representative composite graph must never emit NaN/Inf grads
+        let mut tape = Tape::new();
+        let x = tape.param(m.clone(), ParamId::new(0));
+        let s = tape.sigmoid(x);
+        let h = tape.hadamard(s, s);
+        let n = tape.row_l2_normalize(h);
+        let sim = tape.matmul_nt(n, n);
+        let targets: Vec<usize> = (0..m.rows()).map(|r| r % m.rows()).collect();
+        let loss = tape.softmax_cross_entropy(sim, Rc::new(targets));
+        let mut ok = true;
+        tape.backward(loss, &mut |_, g| ok &= g.all_finite());
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn scatter_gather_preserve_mass(m in small_matrix(6)) {
+        // scatter-add of all rows to one target then gather back sums correctly
+        let mut tape = Tape::new();
+        let x = tape.constant(m.clone());
+        let idx = Rc::new(vec![0usize; m.rows()]);
+        let s = tape.scatter_add_rows(x, idx, 1);
+        let total: f32 = tape.value(s).as_slice().iter().sum();
+        prop_assert!((total - m.sum()).abs() < 1e-3 * (1.0 + m.sum().abs()));
+    }
+}

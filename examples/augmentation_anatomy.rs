@@ -1,0 +1,102 @@
+//! Anatomy of Lipschitz graph augmentation: build one graph with a known
+//! semantic motif, walk through every stage of the SGCL pipeline —
+//! Lipschitz constants (exact vs attention-approximated), the per-graph
+//! threshold, binarisation, keep-probabilities, and the sampled views — and
+//! measure how well each augmenter preserves the semantic nodes compared to
+//! random dropping.
+//!
+//! ```text
+//! cargo run --release --example augmentation_anatomy
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl::core::augmentation::{complement_augment, lipschitz_augment};
+use sgcl::core::lipschitz::{LipschitzGenerator, LipschitzMode};
+use sgcl::data::synthetic::{Background, Motif, SyntheticSpec};
+use sgcl::gnn::{EncoderConfig, EncoderKind};
+use sgcl::graph::metrics::semantic_preservation;
+use sgcl::graph::{augment, GraphBatch};
+use sgcl::tensor::ParamStore;
+
+fn main() {
+    let spec = SyntheticSpec {
+        name: "demo".into(),
+        num_graphs: 1,
+        motifs: vec![Motif::Cycle(6)],
+        avg_nodes: 20,
+        node_jitter: 0,
+        background: Background::ErdosRenyi(0.12),
+        num_node_types: 6,
+        tag_noise: 0.0,
+        attach_edges: 2,
+        motif_copies: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let graph = spec.generate_one(0, &mut rng);
+    let mask = graph.semantic_mask.clone().expect("synthetic ground truth");
+    println!(
+        "graph: {} nodes ({} semantic), {} edges",
+        graph.num_nodes(),
+        mask.iter().filter(|&&m| m).count(),
+        graph.num_edges()
+    );
+
+    // 1. Lipschitz constants in both modes (untrained generator — the
+    //    *structural* signal is already visible).
+    let mut store = ParamStore::new();
+    let gen = LipschitzGenerator::new(
+        "demo",
+        &mut store,
+        EncoderConfig { kind: EncoderKind::Gin, input_dim: 6, hidden_dim: 32, num_layers: 3 },
+        &mut rng,
+    );
+    let batch = GraphBatch::new(&[&graph]);
+    let k_exact = gen.node_constants(&store, &batch, &[&graph], LipschitzMode::ExactMask);
+    let k_approx = gen.node_constants(&store, &batch, &[&graph], LipschitzMode::AttentionApprox);
+
+    println!("\nnode  semantic  K(exact)  K(approx)");
+    for i in 0..graph.num_nodes() {
+        println!(
+            "{:>4}  {:>8}  {:>8.4}  {:>9.4}",
+            i,
+            if mask[i] { "yes" } else { "-" },
+            k_exact[i],
+            k_approx[i]
+        );
+    }
+
+    // 2. Eq. 16–18: threshold, binarise, keep-probabilities.
+    let c = LipschitzGenerator::binarize(&batch, &k_exact);
+    let p = gen.augmentation_prob_values(&store, &batch, &c);
+    let mean_k: f32 = k_exact.iter().sum::<f32>() / k_exact.len() as f32;
+    println!("\nsemantic threshold K̄ = {mean_k:.4}");
+    println!(
+        "binary C: {} nodes protected (P = 1), {} learnable",
+        c.iter().filter(|&&v| v == 1.0).count(),
+        c.iter().filter(|&&v| v == 0.0).count()
+    );
+
+    // 3. Sample views and measure semantic preservation vs random dropping.
+    let rho = 0.7; // drop 30 % to make the difference visible
+    let trials = 200;
+    let mut pres_lip = 0.0;
+    let mut pres_rand = 0.0;
+    let mut pres_comp = 0.0;
+    for _ in 0..trials {
+        let lip = lipschitz_augment(&graph, &p, rho, &mut rng);
+        pres_lip += semantic_preservation(&graph, &lip.dropped).expect("mask present");
+        let comp = complement_augment(&graph, &p, rho, &mut rng);
+        pres_comp += semantic_preservation(&graph, &comp.dropped).expect("mask present");
+        let rand = augment::drop_nodes_uniform(
+            &graph,
+            sgcl::core::augmentation::drop_count(graph.num_nodes(), rho),
+            &mut rng,
+        );
+        pres_rand += semantic_preservation(&graph, &rand.dropped).expect("mask present");
+    }
+    println!("\nsemantic preservation over {trials} samples at ρ = {rho} (fraction of motif kept):");
+    println!("  Lipschitz augmentation Ĝ : {:.3}", pres_lip / trials as f64);
+    println!("  random node dropping     : {:.3}", pres_rand / trials as f64);
+    println!("  complement samples Ĝᶜ    : {:.3}  (deliberately destroys semantics)", pres_comp / trials as f64);
+}

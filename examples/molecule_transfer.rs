@@ -1,0 +1,98 @@
+//! Transfer learning on molecules: pre-train SGCL on a ZINC-like corpus,
+//! then fine-tune on a BBBP-like multi-task dataset under a scaffold split —
+//! the Table IV protocol end to end, including a comparison against a
+//! no-pre-train control.
+//!
+//! ```text
+//! cargo run --release --example molecule_transfer
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl::core::{SgclConfig, SgclModel};
+use sgcl::data::molecules::{zinc_like, NUM_ATOM_TYPES};
+use sgcl::data::splits::scaffold_split;
+use sgcl::data::MolDataset;
+use sgcl::eval::{finetune_multitask, FineTuneConfig};
+use sgcl::gnn::{EncoderConfig, EncoderKind, Pooling};
+use sgcl::tensor::ParamStore;
+
+fn main() {
+    // 1. An unlabelled pre-training corpus of valence-plausible molecules.
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus = zinc_like(300, &mut rng);
+    println!("pre-training corpus: {} molecules", corpus.len());
+
+    // 2. Pre-train SGCL (5-layer GIN in the paper; 3×32 here for the demo).
+    let config = SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: NUM_ATOM_TYPES,
+            hidden_dim: 32,
+            num_layers: 3,
+        },
+        epochs: 8,
+        batch_size: 64,
+        ..SgclConfig::paper_transfer(NUM_ATOM_TYPES)
+    };
+    let mut model = SgclModel::new(config, &mut rng);
+    println!("pre-training SGCL…");
+    model.pretrain(&corpus, 7);
+
+    // 3. A BBBP-like downstream task, split by scaffold so the test set is
+    //    out-of-distribution (the MoleculeNet convention).
+    let ds = MolDataset::Bbbp.generate_sized(300, 7);
+    let (train_full, valid, test) = scaffold_split(&ds.graphs, 0.8, 0.1);
+    // label scarcity is where pre-training pays off: keep only 50 labelled
+    // training molecules (the paper's gains likewise concentrate in the
+    // low-label regime)
+    let train: Vec<usize> = train_full.into_iter().take(50).collect();
+    println!(
+        "downstream {}: {} labelled train / {} valid / {} test (scaffold split)",
+        ds.name,
+        train.len(),
+        valid.len(),
+        test.len()
+    );
+
+    // 4. Fine-tune the pre-trained encoder and an untrained control.
+    let ft = FineTuneConfig { epochs: 10, ..Default::default() };
+    let auc_pretrained = finetune_multitask(
+        &model.encoder,
+        &model.store,
+        Pooling::Sum,
+        &ds.graphs,
+        &train,
+        &test,
+        MolDataset::Bbbp.num_tasks(),
+        ft,
+        1,
+    )
+    .expect("both classes present");
+
+    let (fresh_store, fresh_encoder) = {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut store = ParamStore::new();
+        let enc = sgcl::gnn::GnnEncoder::new("fresh", &mut store, config.encoder, &mut rng);
+        (store, enc)
+    };
+    let auc_scratch = finetune_multitask(
+        &fresh_encoder,
+        &fresh_store,
+        Pooling::Sum,
+        &ds.graphs,
+        &train,
+        &test,
+        MolDataset::Bbbp.num_tasks(),
+        ft,
+        1,
+    )
+    .expect("both classes present");
+
+    println!("\ntest ROC-AUC  (SGCL pre-trained): {:.2}%", auc_pretrained * 100.0);
+    println!("test ROC-AUC  (no pre-training) : {:.2}%", auc_scratch * 100.0);
+    println!(
+        "pre-training gain: {:+.2} points",
+        (auc_pretrained - auc_scratch) * 100.0
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: pre-train SGCL on a MUTAG-like dataset, inspect what the
+//! Lipschitz constant generator learned, and evaluate the embeddings with
+//! the paper's SVM + cross-validation protocol.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl::core::{SgclConfig, SgclModel};
+use sgcl::data::{Scale, TuDataset};
+use sgcl::eval::svm_cross_validate;
+use sgcl::graph::metrics::dataset_stats;
+
+fn main() {
+    // 1. A dataset. Real TU files aren't bundled; the generator plants a
+    //    class-defining motif in every graph and records ground truth about
+    //    which nodes are semantic-related.
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 42);
+    let stats = dataset_stats(&ds.graphs);
+    println!(
+        "dataset {}: {} graphs, {:.1} avg nodes, {:.1} avg edges, {} classes",
+        ds.name, stats.num_graphs, stats.avg_nodes, stats.avg_edges, stats.num_classes
+    );
+
+    // 2. Pre-train SGCL with the paper's defaults (shrunk epochs for a demo).
+    let mut config = SgclConfig::paper_unsupervised(ds.feature_dim());
+    config.epochs = 10;
+    config.batch_size = 32;
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = SgclModel::new(config, &mut rng);
+    println!("\npre-training ({} epochs)…", config.epochs);
+    let stats = model.pretrain(&ds.graphs, 0);
+    for (e, s) in stats.iter().enumerate().step_by(3) {
+        println!("  epoch {:>2}: loss {:.4} (L_s {:.4}, L_c {:.4})", e, s.loss, s.loss_s, s.loss_c);
+    }
+
+    // 3. What did the Lipschitz generator learn? Semantic (motif) nodes
+    //    should get higher keep-probabilities than background nodes,
+    //    averaged over the dataset.
+    let (mut sem, mut bg, mut ns, mut nb) = (0.0f64, 0.0f64, 0usize, 0usize);
+    for g in &ds.graphs {
+        let probs = model.keep_probabilities(g);
+        let mask = g.semantic_mask.as_ref().expect("synthetic ground truth");
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                sem += probs[i] as f64;
+                ns += 1;
+            } else {
+                bg += probs[i] as f64;
+                nb += 1;
+            }
+        }
+    }
+    println!(
+        "\nmean keep-probability: semantic nodes {:.3}, background nodes {:.3}",
+        sem / ns as f64,
+        bg / nb as f64,
+    );
+
+    // 4. The unsupervised protocol: frozen embeddings → SVM → 10-fold CV.
+    let emb = model.embed(&ds.graphs);
+    let result = svm_cross_validate(&emb, &ds.labels(), ds.num_classes, 10, 0);
+    println!("\nSVM 10-fold CV accuracy: {}", result.display_percent());
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the SGCL paper's evaluation.
+# Results (text + JSON) are written to experiments/.
+#
+# Usage:
+#   ./run_experiments.sh            # standard scale (hours on one core)
+#   ./run_experiments.sh --quick    # smoke scale (minutes)
+set -euo pipefail
+MODE="${1:-}"
+mkdir -p experiments
+cargo build --release -p sgcl-bench
+
+for exp in table3 table4 table5 table6 fig4 fig5 fig6 fig7; do
+    echo "=== $exp $MODE ==="
+    cargo run --release -p sgcl-bench --bin "$exp" -- $MODE \
+        --out "experiments/$exp.json" 2>&1 | tee "experiments/$exp.txt"
+done
+
+echo "=== criterion microbenches ==="
+cargo bench --workspace 2>&1 | tee experiments/criterion.txt

@@ -1,0 +1,28 @@
+//! # sgcl
+//!
+//! Umbrella crate for the SGCL reproduction — *Semantic-aware Graph
+//! Contrastive Learning with Lipschitz Graph Augmentation* (ICDE 2024) —
+//! re-exporting the workspace's crates under one roof:
+//!
+//! * [`tensor`] — matrices, sparse ops, autograd, optimisers;
+//! * [`graph`] — graph structures, batching, augmentation operators;
+//! * [`data`] — synthetic TU-like / ZINC-like / MoleculeNet-like /
+//!   superpixel dataset generators;
+//! * [`gnn`] — GIN/GCN/GraphSAGE/GAT encoders, pooling, heads;
+//! * [`core`] — the SGCL method: Lipschitz constant generator, Lipschitz
+//!   graph augmentation, semantic-aware contrastive learning;
+//! * [`baselines`] — graph kernels and every GCL baseline of the paper;
+//! * [`eval`] — SVM, cross-validation, ROC-AUC, fine-tuning.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the full system inventory.
+
+pub use sgcl_baselines as baselines;
+pub use sgcl_core as core;
+pub use sgcl_data as data;
+pub use sgcl_eval as eval;
+pub use sgcl_gnn as gnn;
+pub use sgcl_graph as graph;
+pub use sgcl_tensor as tensor;
+
+pub use sgcl_core::{Ablation, SgclConfig, SgclModel};

@@ -1,0 +1,100 @@
+//! Cross-crate integration tests: the full SGCL pipeline from synthetic
+//! data through pre-training to downstream evaluation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl::core::{SgclConfig, SgclModel};
+use sgcl::data::{Scale, TuDataset};
+use sgcl::eval::svm_cross_validate;
+use sgcl::gnn::{EncoderConfig, EncoderKind};
+
+fn small_config(input_dim: usize) -> SgclConfig {
+    SgclConfig {
+        encoder: EncoderConfig { kind: EncoderKind::Gin, input_dim, hidden_dim: 16, num_layers: 2 },
+        epochs: 8,
+        batch_size: 24,
+        ..SgclConfig::paper_unsupervised(input_dim)
+    }
+}
+
+#[test]
+fn unsupervised_pipeline_beats_chance() {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = SgclModel::new(small_config(ds.feature_dim()), &mut rng);
+    model.pretrain(&ds.graphs, 0);
+    let emb = model.embed(&ds.graphs);
+    let acc = svm_cross_validate(&emb, &ds.labels(), ds.num_classes, 5, 0).mean;
+    assert!(acc > 0.6, "pipeline accuracy {acc} not above chance");
+}
+
+#[test]
+fn pretraining_improves_over_random_encoder() {
+    // embeddings after contrastive pre-training should classify at least as
+    // well as a randomly initialised encoder of the same architecture
+    let ds = TuDataset::ImdbB.generate(Scale::Quick, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut trained = SgclModel::new(small_config(ds.feature_dim()), &mut rng);
+    let mut rng2 = StdRng::seed_from_u64(1);
+    let random = SgclModel::new(small_config(ds.feature_dim()), &mut rng2);
+    trained.pretrain(&ds.graphs, 1);
+    let acc_trained =
+        svm_cross_validate(&trained.embed(&ds.graphs), &ds.labels(), ds.num_classes, 5, 0).mean;
+    let acc_random =
+        svm_cross_validate(&random.embed(&ds.graphs), &ds.labels(), ds.num_classes, 5, 0).mean;
+    // allow noise, but a collapse (big regression) is a real bug
+    assert!(
+        acc_trained > acc_random - 0.1,
+        "pre-training collapsed embeddings: {acc_trained} vs random {acc_random}"
+    );
+}
+
+#[test]
+fn full_determinism_across_runs() {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = SgclModel::new(small_config(ds.feature_dim()), &mut rng);
+        model.pretrain(&ds.graphs, 7);
+        model.embed(&ds.graphs)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seeds must give bit-identical embeddings");
+}
+
+#[test]
+fn epoch_losses_trend_downward() {
+    let ds = TuDataset::Proteins.generate(Scale::Quick, 3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut config = small_config(ds.feature_dim());
+    config.epochs = 12;
+    let mut model = SgclModel::new(config, &mut rng);
+    let stats = model.pretrain(&ds.graphs, 3);
+    let first3: f32 = stats[..3].iter().map(|s| s.loss).sum::<f32>() / 3.0;
+    let last3: f32 = stats[stats.len() - 3..].iter().map(|s| s.loss).sum::<f32>() / 3.0;
+    assert!(
+        last3 < first3,
+        "loss did not decrease: first {first3:.3} vs last {last3:.3}"
+    );
+}
+
+#[test]
+fn works_on_every_tu_dataset() {
+    // smoke the whole data zoo through 2 epochs of SGCL
+    for (i, dsk) in TuDataset::ALL.into_iter().enumerate() {
+        let ds = dsk.generate(Scale::Quick, i as u64);
+        let mut rng = StdRng::seed_from_u64(i as u64);
+        let mut config = small_config(ds.feature_dim());
+        config.epochs = 2;
+        let mut model = SgclModel::new(config, &mut rng);
+        let stats = model.pretrain(&ds.graphs, i as u64);
+        assert!(
+            stats.iter().all(|s| s.loss.is_finite()),
+            "{}: non-finite loss",
+            dsk.name()
+        );
+        let emb = model.embed(&ds.graphs);
+        assert!(emb.all_finite(), "{}: non-finite embeddings", dsk.name());
+    }
+}

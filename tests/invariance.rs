@@ -1,0 +1,143 @@
+//! Permutation-invariance and batching-consistency tests — the structural
+//! guarantees a GNN library must provide, checked end to end across crates.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl::gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling};
+use sgcl::graph::{Graph, GraphBatch};
+use sgcl::tensor::{Matrix, ParamStore, Tape};
+
+fn build_encoder(kind: EncoderKind, input_dim: usize, seed: u64) -> (ParamStore, GnnEncoder) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let enc = GnnEncoder::new(
+        "inv",
+        &mut store,
+        EncoderConfig { kind, input_dim, hidden_dim: 8, num_layers: 2 },
+        &mut rng,
+    );
+    (store, enc)
+}
+
+fn pooled_embedding(
+    enc: &GnnEncoder,
+    store: &ParamStore,
+    graphs: &[&Graph],
+    pooling: Pooling,
+) -> Matrix {
+    let batch = GraphBatch::new(graphs);
+    let mut tape = Tape::new();
+    let h = enc.forward(&mut tape, store, &batch, None);
+    let p = pooling.apply(&mut tape, &batch, h);
+    tape.value(p).clone()
+}
+
+/// Applies a node permutation to a graph.
+fn permute(g: &Graph, perm: &[usize]) -> Graph {
+    let n = g.num_nodes();
+    assert_eq!(perm.len(), n);
+    let mut inv = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| (inv[u as usize] as u32, inv[v as usize] as u32))
+        .collect();
+    let features = g.features.select_rows(perm);
+    let tags = perm.iter().map(|&i| g.node_tags[i]).collect();
+    Graph::new(n, edges, features).with_tags(tags)
+}
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (3usize..10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as u32, 0..n as u32), 2..20),
+            proptest::collection::vec(0u32..4, n),
+        )
+            .prop_map(move |(edges, tags)| {
+                let mut g = Graph::new(n, edges, Matrix::zeros(n, 4)).with_tags(tags);
+                g.one_hot_features_from_tags(4);
+                g
+            })
+    })
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pooled graph embeddings are invariant to node relabelling for every
+    /// encoder architecture and every pooling.
+    #[test]
+    fn pooled_embeddings_permutation_invariant(g in arbitrary_graph(), seed in 0u64..100, rot in 1usize..7) {
+        // rotation permutation derived from `rot` (a valid permutation for
+        // any node count, exercising non-trivial relabelling)
+        let n = g.num_nodes();
+        let perm: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        let pg = permute(&g, &perm);
+        for kind in [EncoderKind::Gin, EncoderKind::Gcn, EncoderKind::Sage] {
+            let (store, enc) = build_encoder(kind, 4, seed);
+            for pooling in [Pooling::Sum, Pooling::Mean, Pooling::Max] {
+                let a = pooled_embedding(&enc, &store, &[&g], pooling);
+                let b = pooled_embedding(&enc, &store, &[&pg], pooling);
+                prop_assert!(
+                    a.max_abs_diff(&b) < 1e-3,
+                    "{kind:?}/{pooling:?} not permutation invariant: diff {}",
+                    a.max_abs_diff(&b)
+                );
+            }
+        }
+    }
+
+    /// Encoding graphs in one batch equals encoding them separately.
+    #[test]
+    fn batching_is_consistent(g1 in arbitrary_graph(), g2 in arbitrary_graph(), seed in 0u64..100) {
+        let (store, enc) = build_encoder(EncoderKind::Gin, 4, seed);
+        let together = pooled_embedding(&enc, &store, &[&g1, &g2], Pooling::Sum);
+        let alone1 = pooled_embedding(&enc, &store, &[&g1], Pooling::Sum);
+        let alone2 = pooled_embedding(&enc, &store, &[&g2], Pooling::Sum);
+        for c in 0..together.cols() {
+            prop_assert!((together.get(0, c) - alone1.get(0, c)).abs() < 1e-3);
+            prop_assert!((together.get(1, c) - alone2.get(0, c)).abs() < 1e-3);
+        }
+    }
+
+    /// Batch order does not change per-graph embeddings.
+    #[test]
+    fn batch_order_irrelevant(g1 in arbitrary_graph(), g2 in arbitrary_graph(), seed in 0u64..100) {
+        let (store, enc) = build_encoder(EncoderKind::Gin, 4, seed);
+        let ab = pooled_embedding(&enc, &store, &[&g1, &g2], Pooling::Sum);
+        let ba = pooled_embedding(&enc, &store, &[&g2, &g1], Pooling::Sum);
+        for c in 0..ab.cols() {
+            prop_assert!((ab.get(0, c) - ba.get(1, c)).abs() < 1e-3);
+            prop_assert!((ab.get(1, c) - ba.get(0, c)).abs() < 1e-3);
+        }
+    }
+}
+
+/// GAT is also permutation invariant (separate test: attention softmax
+/// introduces slightly larger numerical noise).
+#[test]
+fn gat_permutation_invariance() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = {
+        let mut g = Graph::new(
+            6,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+            Matrix::zeros(6, 4),
+        )
+        .with_tags(vec![0, 1, 2, 3, 0, 1]);
+        g.one_hot_features_from_tags(4);
+        g
+    };
+    let perm = vec![3usize, 5, 0, 1, 4, 2];
+    let pg = permute(&g, &perm);
+    let (store, enc) = build_encoder(EncoderKind::Gat, 4, 9);
+    let a = pooled_embedding(&enc, &store, &[&g], Pooling::Sum);
+    let b = pooled_embedding(&enc, &store, &[&pg], Pooling::Sum);
+    assert!(a.max_abs_diff(&b) < 1e-3, "GAT diff {}", a.max_abs_diff(&b));
+    let _ = &mut rng;
+}

@@ -1,0 +1,153 @@
+//! Property-based integration tests: Theorem 1's bound under random masked
+//! perturbations, and structural invariants of the augmentation pipeline.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl::core::augmentation::{drop_count, lipschitz_augment};
+use sgcl::core::theory::{proof_representation_distance, theorem1_sides};
+use sgcl::data::synthetic::{Background, Motif, SyntheticSpec};
+use sgcl::graph::Graph;
+use sgcl::tensor::Matrix;
+
+fn spec(avg_nodes: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "prop".into(),
+        num_graphs: 1,
+        motifs: vec![Motif::Cycle(5)],
+        avg_nodes,
+        node_jitter: 2,
+        background: Background::ErdosRenyi(0.15),
+        num_node_types: 5,
+        tag_noise: 0.1,
+        attach_edges: 2,
+        motif_copies: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 in the monotone masked setting: uniformly shrinking all
+    /// positive representations (the masked-node limit) keeps
+    /// |ΔCE| ≤ K_G·N·(1+K_ρ)·ε‖A‖_∞·‖W‖.
+    #[test]
+    fn theorem1_bound_holds(
+        seed in 0u64..500,
+        shrink in 0.05f32..0.95,
+        w0 in 0.05f32..0.5,
+        w1 in 0.05f32..0.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = spec(12).generate_one(0, &mut rng);
+        let n = g.num_nodes();
+        // positive representations (the paper's sigmoid-model regime)
+        let h = Matrix::from_vec(
+            n,
+            2,
+            (0..n * 2).map(|i| 0.1 + ((seed as usize + i * 37) % 90) as f32 / 100.0).collect(),
+        );
+        let h_hat = h.scale(shrink);
+        let w = [w0, w1];
+        // D_T from dropping the node with the largest degree
+        let deg = g.degrees();
+        let max_node = (0..n).max_by_key(|&i| deg[i]).unwrap();
+        let mut dropped = vec![false; n];
+        dropped[max_node] = true;
+        let d_t = g.topology_distance(&dropped);
+        let (lhs, rhs) = theorem1_sides(&[&g], &[&h], &[&h_hat], &w, &[d_t]);
+        prop_assert!(lhs.is_finite() && rhs.is_finite());
+        prop_assert!(lhs <= rhs + 1e-4, "bound violated: {lhs} > {rhs}");
+    }
+
+    /// The proof's representation distance is homogeneous and zero iff the
+    /// representations agree in column sums.
+    #[test]
+    fn proof_distance_properties(seed in 0u64..200, scale in 0.1f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = spec(10).generate_one(0, &mut rng);
+        let n = g.num_nodes();
+        let h = Matrix::from_vec(n, 3, (0..n * 3).map(|i| (i % 7) as f32 / 7.0 - 0.4).collect());
+        prop_assert!(proof_representation_distance(&h, &h) < 1e-6);
+        let diff = proof_representation_distance(&h, &Matrix::zeros(n, 3));
+        let scaled = proof_representation_distance(&h.scale(scale), &Matrix::zeros(n, 3));
+        prop_assert!((scaled - scale * diff).abs() < 1e-3 * (1.0 + scaled.abs()));
+    }
+
+    /// Lipschitz augmentation never drops protected (P = 1) nodes and drops
+    /// exactly `round((1−ρ)|V|)` nodes.
+    #[test]
+    fn augmentation_invariants(
+        seed in 0u64..500,
+        rho in 0.5f32..0.95,
+        protect_every in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = spec(16).generate_one(0, &mut rng);
+        let n = g.num_nodes();
+        let p: Vec<f32> = (0..n)
+            .map(|i| if i % protect_every == 0 { 1.0 } else { 0.3 })
+            .collect();
+        let expected_drops = drop_count(n, rho);
+        let protected = p.iter().filter(|&&v| v >= 1.0).count();
+        let r = lipschitz_augment(&g, &p, rho, &mut rng);
+        prop_assert_eq!(r.dropped.iter().filter(|&&d| d).count(), expected_drops);
+        // protected nodes survive whenever enough unprotected nodes exist
+        if n - protected >= expected_drops {
+            for (i, &pi) in p.iter().enumerate() {
+                if pi >= 1.0 {
+                    prop_assert!(!r.dropped[i], "protected node {i} dropped");
+                }
+            }
+        }
+        // the sample is a valid graph over the survivors
+        prop_assert_eq!(r.graph.num_nodes(), n - expected_drops);
+        for &(u, v) in r.graph.edges() {
+            prop_assert!((u as usize) < r.graph.num_nodes());
+            prop_assert!((v as usize) < r.graph.num_nodes());
+        }
+    }
+
+    /// Induced subgraphs never invent edges: every sample edge maps back to
+    /// an anchor edge under the kept-index mapping.
+    #[test]
+    fn samples_are_induced_subgraphs(seed in 0u64..300, rho in 0.5f32..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = spec(14).generate_one(0, &mut rng);
+        let p = vec![0.5f32; g.num_nodes()];
+        let r = lipschitz_augment(&g, &p, rho, &mut rng);
+        let anchor_edges: std::collections::HashSet<(u32, u32)> =
+            g.edges().iter().copied().collect();
+        for &(u, v) in r.graph.edges() {
+            let (ou, ov) = (r.kept[u as usize] as u32, r.kept[v as usize] as u32);
+            let e = if ou < ov { (ou, ov) } else { (ov, ou) };
+            prop_assert!(anchor_edges.contains(&e), "edge {e:?} not in anchor");
+        }
+    }
+}
+
+/// Non-proptest: the Theorem-1 LHS/RHS relationship degrades gracefully as
+/// N grows (bound is linear in N).
+#[test]
+fn theorem1_rhs_linear_in_n() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let graphs: Vec<Graph> = (0..4).map(|_| spec(10).generate_one(0, &mut rng)).collect();
+    let hs: Vec<Matrix> = graphs
+        .iter()
+        .map(|g| Matrix::full(g.num_nodes(), 2, 0.3))
+        .collect();
+    let h_hats: Vec<Matrix> = hs.iter().map(|h| h.scale(0.5)).collect();
+    let w = [0.2, 0.3];
+    let refs1: Vec<&Graph> = graphs.iter().take(2).collect();
+    let h1: Vec<&Matrix> = hs.iter().take(2).collect();
+    let hh1: Vec<&Matrix> = h_hats.iter().take(2).collect();
+    let d_t1 = vec![2.0f32; 2];
+    let (_, rhs2) = theorem1_sides(&refs1, &h1, &hh1, &w, &d_t1);
+    let refs: Vec<&Graph> = graphs.iter().collect();
+    let h_all: Vec<&Matrix> = hs.iter().collect();
+    let hh_all: Vec<&Matrix> = h_hats.iter().collect();
+    let d_t = vec![2.0f32; 4];
+    let (_, rhs4) = theorem1_sides(&refs, &h_all, &hh_all, &w, &d_t);
+    // K_G identical across the two sets (same construction) → rhs scales with N
+    assert!(rhs4 > rhs2 * 1.5, "rhs2 {rhs2} vs rhs4 {rhs4}");
+}
