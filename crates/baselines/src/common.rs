@@ -6,8 +6,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sgcl_core::losses::semantic_info_nce;
-use sgcl_graph::{Graph, GraphBatch};
 use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling, ProjectionHead};
+use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
 
 /// A pre-trained encoder ready for downstream evaluation (embedding or
@@ -94,7 +94,12 @@ where
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let encoder = GnnEncoder::new("baseline.enc", &mut store, config.encoder, &mut rng);
-    let proj = ProjectionHead::new("baseline.proj", &mut store, config.encoder.hidden_dim, &mut rng);
+    let proj = ProjectionHead::new(
+        "baseline.proj",
+        &mut store,
+        config.encoder.hidden_dim,
+        &mut rng,
+    );
     let mut opt = Adam::new(config.lr);
     let n = graphs.len();
     let bs = config.batch_size.min(n).max(2);
@@ -134,7 +139,11 @@ where
             opt.step(&mut store);
         }
     }
-    TrainedEncoder { store, encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store,
+        encoder,
+        pooling: config.pooling,
+    }
 }
 
 /// Pre-training loss probe used by tests: one epoch's mean InfoNCE under a
@@ -154,7 +163,10 @@ where
     let mut rng = StdRng::seed_from_u64(seed);
     let mut total = 0.0f64;
     let mut batches = 0usize;
-    for chunk in (0..graphs.len()).collect::<Vec<_>>().chunks(config.batch_size.max(2)) {
+    for chunk in (0..graphs.len())
+        .collect::<Vec<_>>()
+        .chunks(config.batch_size.max(2))
+    {
         if chunk.len() < 2 {
             continue;
         }

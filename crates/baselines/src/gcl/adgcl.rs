@@ -12,9 +12,9 @@ use crate::common::{GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sgcl_core::losses::semantic_info_nce;
+use sgcl_gnn::{GnnEncoder, Linear, ProjectionHead};
 use sgcl_graph::augment::perturb_edges_drop_only;
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_gnn::{GnnEncoder, Linear, ProjectionHead};
 use sgcl_tensor::{stable_sigmoid, Adam, Optimizer, ParamStore, Tape};
 use std::rc::Rc;
 
@@ -28,7 +28,12 @@ pub fn pretrain_adgcl(config: GclConfig, graphs: &[Graph], seed: u64) -> Trained
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let encoder = GnnEncoder::new("adgcl.enc", &mut store, config.encoder, &mut rng);
-    let proj = ProjectionHead::new("adgcl.proj", &mut store, config.encoder.hidden_dim, &mut rng);
+    let proj = ProjectionHead::new(
+        "adgcl.proj",
+        &mut store,
+        config.encoder.hidden_dim,
+        &mut rng,
+    );
     // scorer: shares the encoder's node reps; one linear layer on the
     // concatenated endpoint embeddings scores each edge
     let scorer = Linear::new(
@@ -138,12 +143,15 @@ pub fn pretrain_adgcl(config: GclConfig, graphs: &[Graph], seed: u64) -> Trained
                 let logits = scorer.forward(&mut tape2, &store, cat); // e × 1
                 let p_raw = tape2.sigmoid(logits);
                 let p = tape2.scale(p_raw, MAX_DROP); // drop prob per edge
-                // log-likelihood: Σ d·ln p + (1−d)·ln(1−p)
+                                                      // log-likelihood: Σ d·ln p + (1−d)·ln(1−p)
                 let e = flat_decisions.len();
                 let d_mask = Rc::new(sgcl_tensor::Matrix::from_vec(
                     e,
                     1,
-                    flat_decisions.iter().map(|&d| if d { 1.0 } else { 0.0 }).collect(),
+                    flat_decisions
+                        .iter()
+                        .map(|&d| if d { 1.0 } else { 0.0 })
+                        .collect(),
                 ));
                 let not_d = Rc::new(d_mask.map(|v| 1.0 - v));
                 let ln_p = tape2.ln(p);
@@ -170,7 +178,11 @@ pub fn pretrain_adgcl(config: GclConfig, graphs: &[Graph], seed: u64) -> Trained
             }
         }
     }
-    TrainedEncoder { store, encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store,
+        encoder,
+        pooling: config.pooling,
+    }
 }
 
 #[cfg(test)]

@@ -10,8 +10,8 @@
 use crate::common::{GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sgcl_graph::{Graph, GraphBatch};
 use sgcl_gnn::{GnnEncoder, ProjectionHead};
+use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
 use std::rc::Rc;
 
@@ -21,10 +21,18 @@ pub fn pretrain_infograph(config: GclConfig, graphs: &[Graph], seed: u64) -> Tra
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let encoder = GnnEncoder::new("infograph.enc", &mut store, config.encoder, &mut rng);
-    let proj_local =
-        ProjectionHead::new("infograph.local", &mut store, config.encoder.hidden_dim, &mut rng);
-    let proj_global =
-        ProjectionHead::new("infograph.global", &mut store, config.encoder.hidden_dim, &mut rng);
+    let proj_local = ProjectionHead::new(
+        "infograph.local",
+        &mut store,
+        config.encoder.hidden_dim,
+        &mut rng,
+    );
+    let proj_global = ProjectionHead::new(
+        "infograph.global",
+        &mut store,
+        config.encoder.hidden_dim,
+        &mut rng,
+    );
     let mut opt = Adam::new(config.lr);
     let n = graphs.len();
     let bs = config.batch_size.min(n).max(2);
@@ -51,8 +59,8 @@ pub fn pretrain_infograph(config: GclConfig, graphs: &[Graph], seed: u64) -> Tra
             let global = proj_global.forward(&mut tape, &store, pooled);
             // scores T[i][g] = local_i · global_g
             let scores = tape.matmul_nt(local, global); // total × B
-            // JSD estimator: E_pos[−sp(−T)]  maximised, E_neg[sp(T)] minimised
-            // → loss = E_pos[sp(−T)] + E_neg[sp(T)]
+                                                        // JSD estimator: E_pos[−sp(−T)]  maximised, E_neg[sp(T)] minimised
+                                                        // → loss = E_pos[sp(−T)] + E_neg[sp(T)]
             let mut pos_mask = Matrix::zeros(total, b);
             for (i, &g) in batch.node_graph.iter().enumerate() {
                 pos_mask.set(i, g, 1.0);
@@ -75,7 +83,11 @@ pub fn pretrain_infograph(config: GclConfig, graphs: &[Graph], seed: u64) -> Tra
             opt.step(&mut store);
         }
     }
-    TrainedEncoder { store, encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store,
+        encoder,
+        pooling: config.pooling,
+    }
 }
 
 /// Deep-Graph-Infomax-style pre-training for Table VI's "Infomax" row —

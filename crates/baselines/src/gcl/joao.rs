@@ -95,7 +95,10 @@ pub fn pretrain_joao(
             let b = augment::apply(g, kb, rng);
             {
                 let mut c = counter_for_sampler.borrow_mut();
-                let idx_a = AugmentKind::POOL.iter().position(|&k| k == ka).expect("in pool");
+                let idx_a = AugmentKind::POOL
+                    .iter()
+                    .position(|&k| k == ka)
+                    .expect("in pool");
                 let diff_a = (g.num_edges() as f32 - a.num_edges() as f32).abs()
                     / g.num_edges().max(1) as f32;
                 c.1[idx_a] += diff_a;
@@ -104,7 +107,11 @@ pub fn pretrain_joao(
                 if c.0 % 64 == 0 {
                     let mut means = [0.0f32; 4];
                     for i in 0..4 {
-                        means[i] = if c.2[i] > 0 { c.1[i] / c.2[i] as f32 } else { 0.0 };
+                        means[i] = if c.2[i] > 0 {
+                            c.1[i] / c.2[i] as f32
+                        } else {
+                            0.0
+                        };
                     }
                     state_for_sampler.borrow_mut().update(&means, 1.0);
                     c.1 = [0.0; 4];
@@ -166,6 +173,10 @@ mod tests {
         let emb = model.embed(&ds.graphs);
         assert!(emb.all_finite());
         let sum: f32 = state.probs.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-4, "distribution drifted: {:?}", state.probs);
+        assert!(
+            (sum - 1.0).abs() < 1e-4,
+            "distribution drifted: {:?}",
+            state.probs
+        );
     }
 }

@@ -15,8 +15,8 @@
 use crate::common::{GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgcl_core::{Ablation, SgclConfig, SgclModel};
 use sgcl_core::lipschitz::LipschitzMode;
+use sgcl_core::{Ablation, SgclConfig, SgclModel};
 use sgcl_graph::Graph;
 
 fn to_sgcl_config(config: GclConfig) -> SgclConfig {
@@ -38,23 +38,41 @@ fn to_sgcl_config(config: GclConfig) -> SgclConfig {
 /// Pre-trains an RGCL model.
 pub fn pretrain_rgcl(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
     let mut sgcl = to_sgcl_config(config);
-    sgcl.ablation = Ablation { random_augment: false, no_lga: true, no_srl: true, ..Default::default() };
+    sgcl.ablation = Ablation {
+        random_augment: false,
+        no_lga: true,
+        no_srl: true,
+        ..Default::default()
+    };
     sgcl.lambda_c = 0.01; // rationale/environment complement negatives
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = SgclModel::new(sgcl, &mut rng);
     model.pretrain(graphs, seed);
-    TrainedEncoder { store: model.store, encoder: model.encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store: model.store,
+        encoder: model.encoder,
+        pooling: config.pooling,
+    }
 }
 
 /// Pre-trains an AutoGCL model.
 pub fn pretrain_autogcl(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
     let mut sgcl = to_sgcl_config(config);
-    sgcl.ablation = Ablation { random_augment: false, no_lga: true, no_srl: true, ..Default::default() };
+    sgcl.ablation = Ablation {
+        random_augment: false,
+        no_lga: true,
+        no_srl: true,
+        ..Default::default()
+    };
     sgcl.lambda_c = 0.0; // AutoGCL has no complement negative set
     let mut rng = StdRng::seed_from_u64(seed ^ 0xA7);
     let mut model = SgclModel::new(sgcl, &mut rng);
     model.pretrain(graphs, seed);
-    TrainedEncoder { store: model.store, encoder: model.encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store: model.store,
+        encoder: model.encoder,
+        pooling: config.pooling,
+    }
 }
 
 #[cfg(test)]

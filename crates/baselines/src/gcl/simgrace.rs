@@ -7,8 +7,8 @@ use crate::common::{GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sgcl_core::losses::semantic_info_nce;
-use sgcl_graph::{Graph, GraphBatch};
 use sgcl_gnn::{GnnEncoder, ProjectionHead};
+use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{Adam, Optimizer, ParamStore, Tape};
 
 /// Perturbation magnitude η of the paper (noise std = η · per-tensor weight
@@ -21,7 +21,12 @@ pub fn pretrain_simgrace(config: GclConfig, graphs: &[Graph], seed: u64) -> Trai
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let encoder = GnnEncoder::new("simgrace.enc", &mut store, config.encoder, &mut rng);
-    let proj = ProjectionHead::new("simgrace.proj", &mut store, config.encoder.hidden_dim, &mut rng);
+    let proj = ProjectionHead::new(
+        "simgrace.proj",
+        &mut store,
+        config.encoder.hidden_dim,
+        &mut rng,
+    );
     let mut opt = Adam::new(config.lr);
     let n = graphs.len();
     let bs = config.batch_size.min(n).max(2);
@@ -61,7 +66,11 @@ pub fn pretrain_simgrace(config: GclConfig, graphs: &[Graph], seed: u64) -> Trai
             opt.step(&mut store);
         }
     }
-    TrainedEncoder { store, encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store,
+        encoder,
+        pooling: config.pooling,
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,11 @@ pub fn graphlet_features(graphs: &[Graph]) -> Matrix {
         let mut triangles = 0f64;
         for &(u, v) in g.edges() {
             let (su, sv) = (&adj[u as usize], &adj[v as usize]);
-            let (small, large) = if su.len() < sv.len() { (su, v) } else { (sv, u) };
+            let (small, large) = if su.len() < sv.len() {
+                (su, v)
+            } else {
+                (sv, u)
+            };
             for &w in small {
                 if w == u || w == v {
                     continue;
@@ -54,7 +58,11 @@ pub fn graphlet_features(graphs: &[Graph]) -> Matrix {
         let one_edge = (m * (n - 2.0) - 2.0 * wedges - 3.0 * triangles).max(0.0);
 
         // empty 3-sets: C(n,3) − the rest
-        let total3 = if n >= 3.0 { n * (n - 1.0) * (n - 2.0) / 6.0 } else { 0.0 };
+        let total3 = if n >= 3.0 {
+            n * (n - 1.0) * (n - 2.0) / 6.0
+        } else {
+            0.0
+        };
         let empty = (total3 - triangles - wedges - one_edge).max(0.0);
 
         // 3-stars: Σ C(deg, 3)
@@ -115,9 +123,21 @@ mod tests {
 
     #[test]
     fn distinguishes_dense_from_sparse() {
-        let clique = plain(5, vec![
-            (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),
-        ]);
+        let clique = plain(
+            5,
+            vec![
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
+        );
         let path = plain(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
         let f = graphlet_features(&[clique, path]);
         assert_ne!(f.row(0), f.row(1));

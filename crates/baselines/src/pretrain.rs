@@ -5,8 +5,8 @@
 use crate::common::{GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sgcl_graph::{Graph, GraphBatch};
 use sgcl_gnn::{ClassifierHead, GnnEncoder};
+use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
 use std::rc::Rc;
 
@@ -15,7 +15,11 @@ pub fn no_pretrain(config: GclConfig, seed: u64) -> TrainedEncoder {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let encoder = GnnEncoder::new("nopretrain.enc", &mut store, config.encoder, &mut rng);
-    TrainedEncoder { store, encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store,
+        encoder,
+        pooling: config.pooling,
+    }
 }
 
 /// AttrMasking (Hu et al., ICLR 2020): mask a fraction of node features and
@@ -84,7 +88,11 @@ pub fn pretrain_attr_masking(config: GclConfig, graphs: &[Graph], seed: u64) -> 
             opt.step(&mut store);
         }
     }
-    TrainedEncoder { store, encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store,
+        encoder,
+        pooling: config.pooling,
+    }
 }
 
 /// ContextPred (Hu et al., ICLR 2020), simplified to its core signal:
@@ -150,7 +158,11 @@ pub fn pretrain_context_pred(config: GclConfig, graphs: &[Graph], seed: u64) -> 
             opt.step(&mut store);
         }
     }
-    TrainedEncoder { store, encoder, pooling: config.pooling }
+    TrainedEncoder {
+        store,
+        encoder,
+        pooling: config.pooling,
+    }
 }
 
 /// Graph autoencoder (Kipf & Welling, 2016): reconstruct the adjacency from

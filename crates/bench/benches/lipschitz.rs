@@ -33,7 +33,12 @@ fn bench_lipschitz_modes(c: &mut Criterion) {
         let gen = LipschitzGenerator::new(
             "bench",
             &mut store,
-            EncoderConfig { kind: EncoderKind::Gin, input_dim: 8, hidden_dim: 32, num_layers: 3 },
+            EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: 8,
+                hidden_dim: 32,
+                num_layers: 3,
+            },
             &mut rng,
         );
         group.bench_with_input(BenchmarkId::new("exact_mask", n), &n, |b, _| {

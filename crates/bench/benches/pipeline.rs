@@ -13,7 +13,11 @@ use sgcl_tensor::{Matrix, Tape};
 
 fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    Matrix::from_vec(
+        n,
+        d,
+        (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
 }
 
 fn bench_losses(c: &mut Criterion) {

@@ -76,7 +76,10 @@ fn main() {
                 let mut config = sgcl_config(&ds, &opts);
                 config.lipschitz_mode = v.mode;
                 config.rho = v.rho;
-                config.ablation = Ablation { no_relaxation: v.no_relax, ..Default::default() };
+                config.ablation = Ablation {
+                    no_relaxation: v.no_relax,
+                    ..Default::default()
+                };
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut model = SgclModel::new(config, &mut rng);
                 model.pretrain(&ds.graphs, seed);
@@ -85,7 +88,13 @@ fn main() {
             }
             let (mean, std) = mean_std(&accs);
             row.push(pm(mean, std));
-            eprintln!("  {} / {}: {} ({:.1}s)", v.name, dsk.name(), pm(mean, std), t.elapsed().as_secs_f64());
+            eprintln!(
+                "  {} / {}: {} ({:.1}s)",
+                v.name,
+                dsk.name(),
+                pm(mean, std),
+                t.elapsed().as_secs_f64()
+            );
         }
         rows.push(row);
     }

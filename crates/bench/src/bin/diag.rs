@@ -19,15 +19,17 @@ fn alignment(model: &SgclModel, ds: &sgcl_data::Dataset) -> (f64, f64) {
     let (mut prec, mut rec, mut n) = (0.0, 0.0, 0);
     for g in ds.graphs.iter().take(50) {
         let batch = GraphBatch::new(&[g]);
-        let k = model.generator.node_constants(
-            &model.store,
-            &batch,
-            &[g],
-            model.config.lipschitz_mode,
-        );
+        let k =
+            model
+                .generator
+                .node_constants(&model.store, &batch, &[g], model.config.lipschitz_mode);
         let c = LipschitzGenerator::binarize(&batch, &k);
         let mask = g.semantic_mask.as_ref().unwrap();
-        let tp = c.iter().zip(mask).filter(|&(&ci, &m)| ci == 1.0 && m).count();
+        let tp = c
+            .iter()
+            .zip(mask)
+            .filter(|&(&ci, &m)| ci == 1.0 && m)
+            .count();
         let protected = c.iter().filter(|&&ci| ci == 1.0).count();
         let sem = mask.iter().filter(|&&m| m).count();
         if protected > 0 && sem > 0 {
@@ -43,9 +45,31 @@ fn main() {
     let opts = HarnessOpts::parse();
     let variants: [(&str, Option<Ablation>, f32); 5] = [
         ("SGCL-full", Some(Ablation::default()), 0.01),
-        ("SGCL-noSRL", Some(Ablation { no_srl: true, ..Default::default() }), 0.01),
-        ("SGCL-noLGA", Some(Ablation { no_lga: true, no_srl: true, ..Default::default() }), 0.01),
-        ("SGCL-random", Some(Ablation { random_augment: true, ..Default::default() }), 0.01),
+        (
+            "SGCL-noSRL",
+            Some(Ablation {
+                no_srl: true,
+                ..Default::default()
+            }),
+            0.01,
+        ),
+        (
+            "SGCL-noLGA",
+            Some(Ablation {
+                no_lga: true,
+                no_srl: true,
+                ..Default::default()
+            }),
+            0.01,
+        ),
+        (
+            "SGCL-random",
+            Some(Ablation {
+                random_augment: true,
+                ..Default::default()
+            }),
+            0.01,
+        ),
         ("GraphCL", None, 0.0),
     ];
     for dsk in [TuDataset::Mutag, TuDataset::Proteins, TuDataset::Collab] {
@@ -66,13 +90,30 @@ fn main() {
                         model.pretrain(&ds.graphs, seed);
                         if name == "SGCL-full" && seed == opts.seeds()[0] {
                             let (p, r) = alignment(&model, &ds);
-                            eprintln!("\n  [{}] protection precision {p:.3} recall {r:.3}", dsk.name());
+                            eprintln!(
+                                "\n  [{}] protection precision {p:.3} recall {r:.3}",
+                                dsk.name()
+                            );
                         }
-                        svm_cross_validate(&model.embed(&ds.graphs), &labels, ds.num_classes, folds, seed).mean
+                        svm_cross_validate(
+                            &model.embed(&ds.graphs),
+                            &labels,
+                            ds.num_classes,
+                            folds,
+                            seed,
+                        )
+                        .mean
                     }
                     None => {
                         let m = pretrain_graphcl(gcl_config(&ds, &opts), &ds.graphs, seed);
-                        svm_cross_validate(&m.embed(&ds.graphs), &labels, ds.num_classes, folds, seed).mean
+                        svm_cross_validate(
+                            &m.embed(&ds.graphs),
+                            &labels,
+                            ds.num_classes,
+                            folds,
+                            seed,
+                        )
+                        .mean
                     }
                 };
                 accs.push(acc);

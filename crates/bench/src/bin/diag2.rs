@@ -17,11 +17,18 @@ fn stats(model: &SgclModel, ds: &sgcl_data::Dataset) -> (f64, f64, f64, f64) {
     let (mut n, mut ns, mut nb) = (0, 0, 0);
     for g in ds.graphs.iter().take(40) {
         let batch = GraphBatch::new(&[g]);
-        let k = model.generator.node_constants(&model.store, &batch, &[g], model.config.lipschitz_mode);
+        let k =
+            model
+                .generator
+                .node_constants(&model.store, &batch, &[g], model.config.lipschitz_mode);
         let c = LipschitzGenerator::binarize(&batch, &k);
         let p = model.keep_probabilities(g);
         let mask = g.semantic_mask.as_ref().unwrap();
-        let tp = c.iter().zip(mask).filter(|&(&ci, &m)| ci == 1.0 && m).count();
+        let tp = c
+            .iter()
+            .zip(mask)
+            .filter(|&(&ci, &m)| ci == 1.0 && m)
+            .count();
         let protected = c.iter().filter(|&&ci| ci == 1.0).count();
         let sem = mask.iter().filter(|&&m| m).count();
         if protected > 0 && sem > 0 {
@@ -39,7 +46,12 @@ fn stats(model: &SgclModel, ds: &sgcl_data::Dataset) -> (f64, f64, f64, f64) {
             }
         }
     }
-    (prec / n as f64, rec / n as f64, p_sem / ns as f64, p_bg / nb as f64)
+    (
+        prec / n as f64,
+        rec / n as f64,
+        p_sem / ns as f64,
+        p_bg / nb as f64,
+    )
 }
 
 fn main() {

@@ -86,7 +86,12 @@ fn main() {
                 format!("{:.2}", std * 100.0),
             ]);
             series.push(serde_json::json!({"value": v, "mean": mean, "std": std}));
-            eprintln!("  {} = {v}: {:.2}% ({:.1}s)", sweep.name, mean * 100.0, t.elapsed().as_secs_f64());
+            eprintln!(
+                "  {} = {v}: {:.2}% ({:.1}s)",
+                sweep.name,
+                mean * 100.0,
+                t.elapsed().as_secs_f64()
+            );
         }
         print_table(
             &[sweep.name.to_string(), "avg acc %".into(), "std".into()],

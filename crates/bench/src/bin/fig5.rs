@@ -62,7 +62,13 @@ fn main() {
         ..FineTuneConfig::default()
     };
     let corpus_size = if opts.quick { 150 } else { 600 };
-    let mol_size = |d: MolDataset| if opts.quick { d.num_molecules() / 3 } else { d.num_molecules() };
+    let mol_size = |d: MolDataset| {
+        if opts.quick {
+            d.num_molecules() / 3
+        } else {
+            d.num_molecules()
+        }
+    };
 
     let mut json_sweeps = serde_json::Map::new();
     for sweep in &sweeps {
@@ -123,7 +129,12 @@ fn main() {
                 format!("{:.2}", std * 100.0),
             ]);
             series.push(serde_json::json!({"value": v, "mean": mean, "std": std}));
-            eprintln!("  {} = {v}: {:.2}% ({:.1}s)", sweep.name, mean * 100.0, t.elapsed().as_secs_f64());
+            eprintln!(
+                "  {} = {v}: {:.2}% ({:.1}s)",
+                sweep.name,
+                mean * 100.0,
+                t.elapsed().as_secs_f64()
+            );
         }
         print_table(
             &[sweep.name.to_string(), "avg ROC-AUC %".into(), "std".into()],

@@ -55,7 +55,13 @@ fn main() {
                 dsk.name().to_string(),
                 serde_json::json!({"mean": mean, "std": std}),
             );
-            eprintln!("  {} / {}: {} ({:.1}s)", kind.name(), dsk.name(), pm(mean, std), t.elapsed().as_secs_f64());
+            eprintln!(
+                "  {} / {}: {} ({:.1}s)",
+                kind.name(),
+                dsk.name(),
+                pm(mean, std),
+                t.elapsed().as_secs_f64()
+            );
         }
         json.insert(kind.name().to_string(), serde_json::Value::Object(json_ds));
         rows.push(row);

@@ -11,8 +11,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgcl_bench::HarnessOpts;
-use sgcl_core::{SgclConfig, SgclModel};
 use sgcl_core::trainer::Ablation;
+use sgcl_core::{SgclConfig, SgclModel};
 use sgcl_data::superpixel::{digits_dataset, generate_digit, render_ascii, Digit};
 use sgcl_gnn::{EncoderConfig, EncoderKind};
 use std::time::Instant;
@@ -68,7 +68,12 @@ fn main() {
 
     println!("pre-training RGCL-style generator (probability-only, no Lipschitz)…\n");
     let mut rgcl_config = config;
-    rgcl_config.ablation = Ablation { random_augment: false, no_lga: true, no_srl: true, ..Default::default() };
+    rgcl_config.ablation = Ablation {
+        random_augment: false,
+        no_lga: true,
+        no_srl: true,
+        ..Default::default()
+    };
     let mut rgcl = SgclModel::new(rgcl_config, &mut rng);
     rgcl.pretrain(&train_graphs, opts.seed ^ 1);
 

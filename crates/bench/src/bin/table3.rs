@@ -60,7 +60,10 @@ fn main() {
                 t.elapsed().as_secs_f64()
             );
         }
-        json_methods.insert(method.name().to_string(), serde_json::Value::Object(json_ds));
+        json_methods.insert(
+            method.name().to_string(),
+            serde_json::Value::Object(json_ds),
+        );
         rows.push(row);
     }
 
@@ -75,7 +78,9 @@ fn main() {
     println!();
     print_table(&headers, &rows);
 
-    println!("\npaper: SGCL wins 6/8 datasets with A.R. 1.5; GCL methods beat kernels on most datasets;");
+    println!(
+        "\npaper: SGCL wins 6/8 datasets with A.R. 1.5; GCL methods beat kernels on most datasets;"
+    );
     println!("paper: expected shape — SGCL best average rank, RGCL/AutoGCL competitive, kernels weakest overall.");
     println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
 

@@ -7,10 +7,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgcl_bench::{pm, pretrain_transferable, print_table, transfer_config, HarnessOpts, Method};
 use sgcl_baselines::gcl::pretrain_graphcl;
 use sgcl_baselines::pretrain::{no_pretrain, pretrain_attr_masking, pretrain_context_pred};
 use sgcl_baselines::TrainedEncoder;
+use sgcl_bench::{pm, pretrain_transferable, print_table, transfer_config, HarnessOpts, Method};
 use sgcl_data::molecules::{zinc_like, NUM_ATOM_TYPES};
 use sgcl_data::splits::scaffold_split;
 use sgcl_data::MolDataset;
@@ -55,7 +55,13 @@ fn main() {
         epochs: if opts.quick { 8 } else { 20 },
         ..FineTuneConfig::default()
     };
-    let mol_size = |d: MolDataset| if opts.quick { d.num_molecules() / 3 } else { d.num_molecules() };
+    let mol_size = |d: MolDataset| {
+        if opts.quick {
+            d.num_molecules() / 3
+        } else {
+            d.num_molecules()
+        }
+    };
 
     let rows_spec = [
         Row::NoPretrain,
@@ -155,7 +161,9 @@ fn main() {
     print_table(&headers, &table_rows);
 
     println!("\npaper: SGCL best on 5/8 tasks with A.R. 1.8; expected shape — SGCL leads,");
-    println!("paper: CLINTOX is SGCL's weak spot (OOD atom vocabulary), No-Pre-Train is worst overall.");
+    println!(
+        "paper: CLINTOX is SGCL's weak spot (OOD atom vocabulary), No-Pre-Train is worst overall."
+    );
     println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
 
     opts.write_json(&serde_json::json!({

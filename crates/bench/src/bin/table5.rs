@@ -36,19 +36,34 @@ fn main() {
     let variants = [
         Variant {
             name: "SGCL w/o VG",
-            ablation: Ablation { random_augment: true, no_lga: false, no_srl: false, ..Default::default() },
+            ablation: Ablation {
+                random_augment: true,
+                no_lga: false,
+                no_srl: false,
+                ..Default::default()
+            },
             lambda_c: 0.01,
             lambda_w: 0.01,
         },
         Variant {
             name: "SGCL w/o LGA",
-            ablation: Ablation { random_augment: false, no_lga: true, no_srl: false, ..Default::default() },
+            ablation: Ablation {
+                random_augment: false,
+                no_lga: true,
+                no_srl: false,
+                ..Default::default()
+            },
             lambda_c: 0.01,
             lambda_w: 0.01,
         },
         Variant {
             name: "SGCL w/o SRL",
-            ablation: Ablation { random_augment: false, no_lga: false, no_srl: true, ..Default::default() },
+            ablation: Ablation {
+                random_augment: false,
+                no_lga: false,
+                no_srl: true,
+                ..Default::default()
+            },
             lambda_c: 0.01,
             lambda_w: 0.01,
         },
@@ -72,14 +87,25 @@ fn main() {
         },
     ];
 
-    let tasks = [MolDataset::Bbbp, MolDataset::Tox21, MolDataset::Sider, MolDataset::Hiv];
+    let tasks = [
+        MolDataset::Bbbp,
+        MolDataset::Tox21,
+        MolDataset::Sider,
+        MolDataset::Hiv,
+    ];
     let base = transfer_config(NUM_ATOM_TYPES, &opts);
     let ft = FineTuneConfig {
         epochs: if opts.quick { 8 } else { 20 },
         ..FineTuneConfig::default()
     };
     let corpus_size = if opts.quick { 200 } else { 800 };
-    let mol_size = |d: MolDataset| if opts.quick { d.num_molecules() / 3 } else { d.num_molecules() };
+    let mol_size = |d: MolDataset| {
+        if opts.quick {
+            d.num_molecules() / 3
+        } else {
+            d.num_molecules()
+        }
+    };
 
     let mut rows = Vec::new();
     let mut json_variants = serde_json::Map::new();
@@ -158,7 +184,9 @@ fn main() {
     println!();
     print_table(&headers, &rows);
 
-    println!("\npaper: Full SGCL > w/o LW > w/o SRL > w/o Lc > w/o LGA > w/o VG (approximate ordering);");
+    println!(
+        "\npaper: Full SGCL > w/o LW > w/o SRL > w/o Lc > w/o LGA > w/o VG (approximate ordering);"
+    );
     println!("paper: the view generator (VG) and Lipschitz augmentation (LGA) are the largest contributors.");
     println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
 

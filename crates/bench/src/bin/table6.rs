@@ -7,10 +7,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgcl_bench::{gcl_config, pm, pretrain_transferable, print_table, HarnessOpts, Method};
 use sgcl_baselines::gcl::pretrain_infomax;
 use sgcl_baselines::pretrain::{no_pretrain, pretrain_gae};
 use sgcl_baselines::TrainedEncoder;
+use sgcl_bench::{gcl_config, pm, pretrain_transferable, print_table, HarnessOpts, Method};
 use sgcl_data::splits::{holdout, label_rate_subsample};
 use sgcl_data::TuDataset;
 use sgcl_eval::metrics::mean_std;
@@ -110,7 +110,12 @@ fn main() {
                 label.to_string(),
                 serde_json::json!({"mean": mean, "std": std, "runs": accs}),
             );
-            eprintln!("  {} / {label}: {} ({:.1}s)", row.name(), pm(mean, std), t.elapsed().as_secs_f64());
+            eprintln!(
+                "  {} / {label}: {} ({:.1}s)",
+                row.name(),
+                pm(mean, std),
+                t.elapsed().as_secs_f64()
+            );
         }
         json_methods.insert(row.name(), serde_json::Value::Object(json_s));
         rows.push(trow);
@@ -122,7 +127,9 @@ fn main() {
     print_table(&headers, &rows);
 
     println!("\npaper: SGCL best at the 1% label rate on both datasets; at 10% SGCL wins NCI1 and");
-    println!("paper: AutoGCL (joint-training specialist) wins COLLAB; pre-training always beats none.");
+    println!(
+        "paper: AutoGCL (joint-training specialist) wins COLLAB; pre-training always beats none."
+    );
     println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
 
     opts.write_json(&serde_json::json!({

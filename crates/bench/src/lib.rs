@@ -50,7 +50,11 @@ impl HarnessOpts {
     /// Parses `--quick`, `--seed N`, `--out PATH` from `std::env::args`.
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut opts = Self { quick: false, seed: 0, out: None };
+        let mut opts = Self {
+            quick: false,
+            seed: 0,
+            out: None,
+        };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -100,8 +104,11 @@ impl HarnessOpts {
     /// Writes a JSON document to `--out` if given.
     pub fn write_json(&self, value: &serde_json::Value) {
         if let Some(path) = &self.out {
-            std::fs::write(path, serde_json::to_string_pretty(value).expect("serialise"))
-                .unwrap_or_else(|e| eprintln!("warning: could not write {path}: {e}"));
+            std::fs::write(
+                path,
+                serde_json::to_string_pretty(value).expect("serialise"),
+            )
+            .unwrap_or_else(|e| eprintln!("warning: could not write {path}: {e}"));
             println!("\nresults written to {path}");
         }
     }
@@ -222,9 +229,9 @@ pub fn method_embeddings(
         Method::GraphCl => {
             pretrain_graphcl(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs)
         }
-        Method::JoaoV2 => {
-            pretrain_joao(gcl_config(ds, opts), &ds.graphs, seed).0.embed(&ds.graphs)
-        }
+        Method::JoaoV2 => pretrain_joao(gcl_config(ds, opts), &ds.graphs, seed)
+            .0
+            .embed(&ds.graphs),
         Method::AdGcl => pretrain_adgcl(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs),
         Method::SimGrace => {
             pretrain_simgrace(gcl_config(ds, opts), &ds.graphs, seed).embed(&ds.graphs)
@@ -281,7 +288,11 @@ pub fn pretrain_transferable(
             };
             let mut model = SgclModel::new(sgcl, &mut rng);
             model.pretrain(corpus, seed);
-            TrainedEncoder { store: model.store, encoder: model.encoder, pooling: config.pooling }
+            TrainedEncoder {
+                store: model.store,
+                encoder: model.encoder,
+                pooling: config.pooling,
+            }
         }
         _ => panic!("{} is not a transferable pre-trainer", method.name()),
     }
@@ -362,7 +373,11 @@ mod tests {
 
     #[test]
     fn kernel_accuracy_beats_chance_on_mutag_like() {
-        let opts = HarnessOpts { quick: true, seed: 0, out: None };
+        let opts = HarnessOpts {
+            quick: true,
+            seed: 0,
+            out: None,
+        };
         let ds = TuDataset::Mutag.generate(opts.scale(), 0);
         let acc = unsupervised_accuracy(Method::Wl, &ds, &opts, 0);
         assert!(acc > 0.55, "WL accuracy {acc}");

@@ -1,5 +1,6 @@
 //! Minimal dependency-free argument parsing for the `sgcl` CLI.
 
+use sgcl_common::SgclError;
 use std::collections::HashMap;
 
 /// Parsed command line: a subcommand plus `--key value` options and
@@ -14,30 +15,41 @@ pub struct Args {
 
 impl Args {
     /// Parses from an iterator of arguments (without the program name).
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+    ///
+    /// # Errors
+    /// Returns [`SgclError::Usage`] on stray positionals or duplicate
+    /// options.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, SgclError> {
         let mut iter = args.into_iter().peekable();
         let command = iter.next().unwrap_or_default();
-        let mut out = Args { command, ..Default::default() };
+        let mut out = Args {
+            command,
+            ..Default::default()
+        };
         while let Some(arg) = iter.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument {arg:?}"));
+                return Err(SgclError::usage(format!(
+                    "unexpected positional argument {arg:?}"
+                )));
             };
             // value present iff the next token doesn't start with --
-            match iter.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    let v = iter.next().expect("peeked");
+            match iter.next_if(|v| !v.starts_with("--")) {
+                Some(v) => {
                     if out.options.insert(key.to_string(), v).is_some() {
-                        return Err(format!("duplicate option --{key}"));
+                        return Err(SgclError::usage(format!("duplicate option --{key}")));
                     }
                 }
-                _ => out.flags.push(key.to_string()),
+                None => out.flags.push(key.to_string()),
             }
         }
         Ok(out)
     }
 
     /// Parses from `std::env::args` (skipping the program name).
-    pub fn from_env() -> Result<Self, String> {
+    ///
+    /// # Errors
+    /// Same conditions as [`Args::parse`].
+    pub fn from_env() -> Result<Self, SgclError> {
         Self::parse(std::env::args().skip(1))
     }
 
@@ -47,15 +59,24 @@ impl Args {
     }
 
     /// Required string option.
-    pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    ///
+    /// # Errors
+    /// Returns [`SgclError::Usage`] when the option is absent.
+    pub fn require(&self, key: &str) -> Result<&str, SgclError> {
+        self.get(key)
+            .ok_or_else(|| SgclError::usage(format!("missing required option --{key}")))
     }
 
     /// Typed option with default.
-    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    ///
+    /// # Errors
+    /// Returns [`SgclError::Usage`] when the value does not parse as `T`.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, SgclError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| SgclError::usage(format!("invalid value for --{key}: {v:?}"))),
         }
     }
 
@@ -69,7 +90,7 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn parse(s: &[&str]) -> Result<Args, String> {
+    fn parse(s: &[&str]) -> Result<Args, SgclError> {
         Args::parse(s.iter().map(|s| s.to_string()))
     }
 
@@ -92,17 +113,23 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_input() {
-        assert!(parse(&["x", "stray"]).is_err());
-        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    fn rejects_bad_input_as_usage_errors() {
+        assert!(matches!(parse(&["x", "stray"]), Err(SgclError::Usage(_))));
+        assert!(matches!(
+            parse(&["x", "--a", "1", "--a", "2"]),
+            Err(SgclError::Usage(_))
+        ));
         let a = parse(&["x", "--n", "abc"]).unwrap();
-        assert!(a.get_parse::<usize>("n", 0).is_err());
+        assert!(matches!(
+            a.get_parse::<usize>("n", 0),
+            Err(SgclError::Usage(_))
+        ));
     }
 
     #[test]
     fn require_reports_missing() {
         let a = parse(&["x"]).unwrap();
-        assert!(a.require("data").is_err());
+        assert!(matches!(a.require("data"), Err(SgclError::Usage(_))));
         let b = parse(&["x", "--data", "f"]).unwrap();
         assert_eq!(b.require("data").unwrap(), "f");
     }

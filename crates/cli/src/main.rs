@@ -3,6 +3,7 @@
 //! ```text
 //! sgcl generate  --dataset mutag --scale quick --seed 0 --out ds.json
 //! sgcl pretrain  --data ds.json --epochs 20 --out model.json
+//! sgcl pretrain  --data ds.json --epochs 20 --out model.json --resume model.json
 //! sgcl embed     --model model.json --data ds.json --out emb.csv
 //! sgcl evaluate  --model model.json --data ds.json --folds 10
 //! sgcl scores    --model model.json --data ds.json --graph 0
@@ -14,7 +15,8 @@ mod args;
 use args::Args;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
+use sgcl_common::SgclError;
+use sgcl_core::{Checkpoint, GuardConfig, RecoveryPolicy, SgclConfig, SgclModel, TrainState};
 use sgcl_data::io::{load_dataset, save_dataset};
 use sgcl_data::synthetic::Dataset;
 use sgcl_data::{Scale, TuDataset};
@@ -34,11 +36,18 @@ COMMANDS:
              --scale <quick|standard|full>   (default standard)
              --seed <N>                      (default 0)
              --out <FILE>
-  pretrain   Pre-train SGCL on a dataset
+  pretrain   Pre-train SGCL on a dataset; writes a resumable checkpoint
+             after every epoch, so a killed run continues with --resume
              --data <FILE>  --out <FILE>
              --epochs <N> (40)  --batch <N> (128)  --hidden <N> (32)
              --layers <N> (3)   --rho <F> (0.9)    --tau <F> (0.2)
              --lambda-c <F> (0.01)  --lambda-w <F> (0.01)  --seed <N> (0)
+             --resume <FILE>    continue a v2 checkpoint bit-exactly
+                                (architecture and hyperparameters come from
+                                the checkpoint; only --epochs applies)
+             --max-retries <N> (3)     divergence-recovery attempts
+             --loss-limit <F> (1e6)    abort threshold on |loss|
+             --grad-limit <F> (1e6)    abort threshold on gradient norm
   embed      Write graph embeddings as CSV
              --model <FILE>  --data <FILE>  --out <FILE>
   evaluate   SVM + k-fold cross-validated accuracy of the embeddings
@@ -47,6 +56,10 @@ COMMANDS:
              --model <FILE>  --data <FILE>  --graph <N> (0)
   stats      Dataset summary statistics
              --data <FILE>
+
+EXIT CODES:
+  0 success   2 usage     3 I/O            4 parse/version
+  5 invalid data          6 artifact mismatch   7 training diverged
 ";
 
 fn main() -> ExitCode {
@@ -54,13 +67,15 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("\n{USAGE}");
-            ExitCode::FAILURE
+            if matches!(e, SgclError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), SgclError> {
     let args = Args::from_env()?;
     match args.command.as_str() {
         "generate" => cmd_generate(&args),
@@ -73,11 +88,11 @@ fn run() -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(SgclError::usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn parse_dataset(name: &str) -> Result<TuDataset, String> {
+fn parse_dataset(name: &str) -> Result<TuDataset, SgclError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "mutag" => TuDataset::Mutag,
         "dd" => TuDataset::Dd,
@@ -87,26 +102,26 @@ fn parse_dataset(name: &str) -> Result<TuDataset, String> {
         "rdt-b" => TuDataset::RdtB,
         "rdt-m-5k" => TuDataset::RdtM5k,
         "imdb-b" => TuDataset::ImdbB,
-        other => return Err(format!("unknown dataset {other:?}")),
+        other => return Err(SgclError::usage(format!("unknown dataset {other:?}"))),
     })
 }
 
-fn parse_scale(name: &str) -> Result<Scale, String> {
+fn parse_scale(name: &str) -> Result<Scale, SgclError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "quick" => Scale::Quick,
         "standard" => Scale::Standard,
         "full" => Scale::Full,
-        other => return Err(format!("unknown scale {other:?}")),
+        other => return Err(SgclError::usage(format!("unknown scale {other:?}"))),
     })
 }
 
-fn load(args: &Args) -> Result<Dataset, String> {
+fn load(args: &Args) -> Result<Dataset, SgclError> {
     load_dataset(Path::new(args.require("data")?))
 }
 
-fn load_model(args: &Args, ds: &Dataset) -> Result<SgclModel, String> {
-    let ckpt = Checkpoint::load(Path::new(args.require("model")?))?;
-    let config = SgclConfig {
+/// Rebuilds the encoder configuration a checkpoint was trained with.
+fn config_from_checkpoint(ckpt: &Checkpoint) -> SgclConfig {
+    SgclConfig {
         encoder: EncoderConfig {
             kind: EncoderKind::Gin,
             input_dim: ckpt.input_dim,
@@ -114,24 +129,37 @@ fn load_model(args: &Args, ds: &Dataset) -> Result<SgclModel, String> {
             num_layers: ckpt.num_layers,
         },
         ..SgclConfig::paper_unsupervised(ckpt.input_dim)
-    };
+    }
+}
+
+fn check_dims(ds: &Dataset, ckpt: &Checkpoint) -> Result<(), SgclError> {
     if ds.feature_dim() != ckpt.input_dim {
-        return Err(format!(
-            "dataset feature dim {} != model input dim {}",
-            ds.feature_dim(),
-            ckpt.input_dim
+        return Err(SgclError::mismatch(
+            "dataset vs model",
+            format!(
+                "dataset feature dim {} != model input dim {}",
+                ds.feature_dim(),
+                ckpt.input_dim
+            ),
         ));
     }
+    Ok(())
+}
+
+fn load_model(args: &Args, ds: &Dataset) -> Result<SgclModel, SgclError> {
+    let ckpt = Checkpoint::load(Path::new(args.require("model")?))?;
+    check_dims(ds, &ckpt)?;
+    let config = config_from_checkpoint(&ckpt);
     ckpt.restore(config)
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> Result<(), SgclError> {
     let ds_kind = parse_dataset(args.require("dataset")?)?;
     let scale = parse_scale(args.get("scale").unwrap_or("standard"))?;
     let seed = args.get_parse("seed", 0u64)?;
     let out = args.require("out")?;
     let ds = ds_kind.generate(scale, seed);
-    save_dataset(&ds, Path::new(out)).map_err(|e| format!("write {out}: {e}"))?;
+    save_dataset(&ds, Path::new(out))?;
     let stats = dataset_stats(&ds.graphs);
     println!(
         "wrote {out}: {} graphs, {:.1} avg nodes, {:.1} avg edges, {} classes",
@@ -140,42 +168,90 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_pretrain(args: &Args) -> Result<(), String> {
+fn cmd_pretrain(args: &Args) -> Result<(), SgclError> {
     let ds = load(args)?;
-    let out = args.require("out")?;
-    let seed = args.get_parse("seed", 0u64)?;
-    let config = SgclConfig {
-        encoder: EncoderConfig {
-            kind: EncoderKind::Gin,
-            input_dim: ds.feature_dim(),
-            hidden_dim: args.get_parse("hidden", 32usize)?,
-            num_layers: args.get_parse("layers", 3usize)?,
+    let out = args.require("out")?.to_string();
+    let epochs = args.get_parse("epochs", 40usize)?;
+    let policy = RecoveryPolicy {
+        guard: GuardConfig {
+            max_loss_abs: args.get_parse("loss-limit", GuardConfig::default().max_loss_abs)?,
+            max_grad_norm: args.get_parse("grad-limit", GuardConfig::default().max_grad_norm)?,
         },
-        epochs: args.get_parse("epochs", 40usize)?,
-        batch_size: args.get_parse("batch", 128usize)?,
-        rho: args.get_parse("rho", 0.9f32)?,
-        tau: args.get_parse("tau", 0.2f32)?,
-        lambda_c: args.get_parse("lambda-c", 0.01f32)?,
-        lambda_w: args.get_parse("lambda-w", 0.01f32)?,
-        ..SgclConfig::paper_unsupervised(ds.feature_dim())
+        max_retries: args.get_parse("max-retries", RecoveryPolicy::default().max_retries)?,
+        ..RecoveryPolicy::default()
     };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut model = SgclModel::new(config, &mut rng);
-    println!("pre-training on {} graphs for {} epochs…", ds.len(), config.epochs);
-    let stats = model.pretrain(&ds.graphs, seed);
-    for (e, s) in stats.iter().enumerate() {
-        if e % 5 == 0 || e + 1 == stats.len() {
-            println!("  epoch {e:>3}: loss {:.4}", s.loss);
+
+    let (mut model, state) = match args.get("resume") {
+        Some(ckpt_path) => {
+            let ckpt = Checkpoint::load(Path::new(ckpt_path))?;
+            let state = ckpt.train.clone().ok_or_else(|| {
+                SgclError::invalid_data(
+                    format!("resume {ckpt_path}"),
+                    "checkpoint carries no training state (weights-only or v1 file)",
+                )
+            })?;
+            check_dims(&ds, &ckpt)?;
+            // architecture and hyperparameters come from the checkpoint —
+            // anything else would break the bit-exactness guarantee
+            let config = SgclConfig {
+                epochs,
+                batch_size: state.batch_size,
+                rho: state.rho,
+                tau: state.tau,
+                lambda_c: state.lambda_c,
+                lambda_w: state.lambda_w,
+                ..config_from_checkpoint(&ckpt)
+            };
+            let model = ckpt.restore(config)?;
+            println!(
+                "resuming from {ckpt_path} at epoch {}/{} (lr {})",
+                state.next_epoch, epochs, state.optimizer.lr
+            );
+            (model, state)
         }
-    }
-    Checkpoint::capture(&model)
-        .save(Path::new(out))
-        .map_err(|e| format!("write {out}: {e}"))?;
+        None => {
+            let seed = args.get_parse("seed", 0u64)?;
+            let config = SgclConfig {
+                encoder: EncoderConfig {
+                    kind: EncoderKind::Gin,
+                    input_dim: ds.feature_dim(),
+                    hidden_dim: args.get_parse("hidden", 32usize)?,
+                    num_layers: args.get_parse("layers", 3usize)?,
+                },
+                epochs,
+                batch_size: args.get_parse("batch", 128usize)?,
+                rho: args.get_parse("rho", 0.9f32)?,
+                tau: args.get_parse("tau", 0.2f32)?,
+                lambda_c: args.get_parse("lambda-c", 0.01f32)?,
+                lambda_w: args.get_parse("lambda-w", 0.01f32)?,
+                ..SgclConfig::paper_unsupervised(ds.feature_dim())
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let state = TrainState::new(seed, &config);
+            (SgclModel::new(config, &mut rng), state)
+        }
+    };
+
+    println!("pre-training on {} graphs for {} epochs…", ds.len(), epochs);
+    let out_path = Path::new(&out);
+    let mut on_epoch = |m: &mut SgclModel, st: &TrainState| -> Result<(), SgclError> {
+        let e = st.next_epoch - 1;
+        if e % 5 == 0 || st.next_epoch == epochs {
+            if let Some(s) = st.stats.last() {
+                println!("  epoch {e:>3}: loss {:.4}", s.loss);
+            }
+        }
+        Checkpoint::capture_with_train(m, st.clone()).save(out_path)
+    };
+    let final_state = model.pretrain_resumable(&ds.graphs, state, &policy, Some(&mut on_epoch))?;
+    // the hook saves after every epoch; this covers the degenerate resume
+    // of an already-complete run, where the loop body never executes
+    Checkpoint::capture_with_train(&model, final_state).save(out_path)?;
     println!("checkpoint written to {out}");
     Ok(())
 }
 
-fn cmd_embed(args: &Args) -> Result<(), String> {
+fn cmd_embed(args: &Args) -> Result<(), SgclError> {
     let ds = load(args)?;
     let model = load_model(args, &ds)?;
     let out = args.require("out")?;
@@ -186,33 +262,47 @@ fn cmd_embed(args: &Args) -> Result<(), String> {
         csv.push_str(&row.join(","));
         csv.push('\n');
     }
-    std::fs::write(out, csv).map_err(|e| format!("write {out}: {e}"))?;
+    std::fs::write(out, csv).map_err(|e| SgclError::io(format!("write {out}"), e))?;
     println!("wrote {} × {} embeddings to {out}", emb.rows(), emb.cols());
     Ok(())
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
+fn cmd_evaluate(args: &Args) -> Result<(), SgclError> {
     let ds = load(args)?;
     if ds.num_classes < 2 {
-        return Err("evaluate needs a labelled classification dataset".into());
+        return Err(SgclError::invalid_data(
+            "evaluate",
+            "needs a labelled classification dataset (≥ 2 classes)",
+        ));
     }
     let model = load_model(args, &ds)?;
     let folds = args.get_parse("folds", 10usize)?;
     let seed = args.get_parse("seed", 0u64)?;
     let emb = model.embed(&ds.graphs);
     let result = svm_cross_validate(&emb, &ds.labels(), ds.num_classes, folds, seed);
-    println!("SVM {}-fold CV accuracy: {}", folds, result.display_percent());
+    println!(
+        "SVM {}-fold CV accuracy: {}",
+        folds,
+        result.display_percent()
+    );
     Ok(())
 }
 
-fn cmd_scores(args: &Args) -> Result<(), String> {
+fn cmd_scores(args: &Args) -> Result<(), SgclError> {
     let ds = load(args)?;
     let model = load_model(args, &ds)?;
     let idx = args.get_parse("graph", 0usize)?;
-    let g = ds.graphs.get(idx).ok_or_else(|| format!("graph index {idx} out of range"))?;
+    let g = ds
+        .graphs
+        .get(idx)
+        .ok_or_else(|| SgclError::usage(format!("graph index {idx} out of range")))?;
     let k = model.node_scores(g);
     let p = model.keep_probabilities(g);
-    println!("graph {idx}: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!(
+        "graph {idx}: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
     println!("node  degree  tag  K (Lipschitz)  P (keep)");
     let deg = g.degrees();
     for i in 0..g.num_nodes() {
@@ -224,7 +314,7 @@ fn cmd_scores(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), SgclError> {
     let ds = load(args)?;
     let stats = dataset_stats(&ds.graphs);
     println!("name:        {}", ds.name);

@@ -1,0 +1,386 @@
+//! # sgcl-common
+//!
+//! Workspace-wide infrastructure shared by every SGCL crate:
+//!
+//! * [`SgclError`] — the typed error enum threaded through `data`, `core`,
+//!   and `cli` instead of ad-hoc `Result<_, String>`. Hand-written
+//!   `Display`/`Error` impls keep the crate dependency-free (the build
+//!   environment has no network access, so `thiserror` is off the table).
+//! * [`FaultKind`] / [`FaultEvent`] / [`DivergenceReport`] — structured
+//!   descriptions of numerical faults detected by the training-runtime
+//!   guards and of the recovery attempts that followed.
+//! * [`write_atomic`] — crash-safe file writes (temp file + fsync + rename)
+//!   used for checkpoints and dataset files so a killed process never
+//!   leaves a truncated artifact behind.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Workspace-wide typed error. Every fallible load/save/train path returns
+/// this instead of `String`, so callers can match on the failure class and
+/// the CLI can map it to a stable exit code.
+#[derive(Debug)]
+pub enum SgclError {
+    /// Malformed command line (unknown option, missing argument, bad value).
+    Usage(String),
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What was being attempted (usually includes the path).
+        context: String,
+        /// The originating I/O error.
+        source: std::io::Error,
+    },
+    /// Syntactically invalid serialised data (JSON that does not parse, or
+    /// a value that does not deserialise into the expected shape).
+    Parse {
+        /// What was being parsed.
+        context: String,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// A file carries a format version this build does not support.
+    UnsupportedVersion {
+        /// Kind of artifact ("checkpoint", "dataset", …).
+        what: &'static str,
+        /// Version found in the file.
+        found: u32,
+        /// Lowest supported version.
+        min: u32,
+        /// Highest supported version.
+        max: u32,
+    },
+    /// Syntactically valid data that violates a semantic invariant
+    /// (out-of-bounds edge, mismatched feature shape, non-finite weights).
+    InvalidData {
+        /// What was being validated.
+        context: String,
+        /// The violated invariant.
+        message: String,
+    },
+    /// Two artifacts that must agree do not (checkpoint vs. model
+    /// architecture, dataset vs. model input dimension, …).
+    Mismatch {
+        /// What was being compared.
+        context: String,
+        /// The disagreement.
+        message: String,
+    },
+    /// Training diverged and the recovery policy exhausted its retry
+    /// budget; carries the full structured report.
+    Diverged(DivergenceReport),
+}
+
+impl SgclError {
+    /// Builds a [`SgclError::Usage`].
+    pub fn usage(message: impl Into<String>) -> Self {
+        SgclError::Usage(message.into())
+    }
+
+    /// Builds a [`SgclError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        SgclError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Builds a [`SgclError::Parse`] from any displayable parser error.
+    pub fn parse(context: impl Into<String>, message: impl fmt::Display) -> Self {
+        SgclError::Parse {
+            context: context.into(),
+            message: message.to_string(),
+        }
+    }
+
+    /// Builds a [`SgclError::InvalidData`].
+    pub fn invalid_data(context: impl Into<String>, message: impl fmt::Display) -> Self {
+        SgclError::InvalidData {
+            context: context.into(),
+            message: message.to_string(),
+        }
+    }
+
+    /// Builds a [`SgclError::Mismatch`].
+    pub fn mismatch(context: impl Into<String>, message: impl fmt::Display) -> Self {
+        SgclError::Mismatch {
+            context: context.into(),
+            message: message.to_string(),
+        }
+    }
+
+    /// Stable process exit code for this error class (0 is success, 1 is
+    /// reserved for unexpected panics):
+    ///
+    /// | code | class |
+    /// |------|-------|
+    /// | 2 | usage |
+    /// | 3 | I/O |
+    /// | 4 | parse / unsupported version |
+    /// | 5 | invalid data |
+    /// | 6 | artifact mismatch |
+    /// | 7 | training divergence |
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SgclError::Usage(_) => 2,
+            SgclError::Io { .. } => 3,
+            SgclError::Parse { .. } | SgclError::UnsupportedVersion { .. } => 4,
+            SgclError::InvalidData { .. } => 5,
+            SgclError::Mismatch { .. } => 6,
+            SgclError::Diverged(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for SgclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgclError::Usage(m) => write!(f, "{m}"),
+            SgclError::Io { context, source } => write!(f, "{context}: {source}"),
+            SgclError::Parse { context, message } => write!(f, "{context}: {message}"),
+            SgclError::UnsupportedVersion {
+                what,
+                found,
+                min,
+                max,
+            } => {
+                if min == max {
+                    write!(f, "unsupported {what} version {found} (expected {min})")
+                } else {
+                    write!(
+                        f,
+                        "unsupported {what} version {found} (supported {min}..={max})"
+                    )
+                }
+            }
+            SgclError::InvalidData { context, message } => write!(f, "{context}: {message}"),
+            SgclError::Mismatch { context, message } => write!(f, "{context}: {message}"),
+            SgclError::Diverged(report) => write!(f, "{report}"),
+        }
+    }
+}
+
+impl std::error::Error for SgclError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SgclError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The class of numerical fault a training-step guard detected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Loss was NaN/±inf or exceeded the configured magnitude limit.
+    Loss {
+        /// Offending loss value.
+        value: f32,
+    },
+    /// Global gradient norm was non-finite or exceeded the explosion limit.
+    Gradient {
+        /// Observed (pre-clip) global gradient norm.
+        norm: f32,
+        /// Configured explosion limit.
+        limit: f32,
+    },
+    /// One or more model parameters became non-finite.
+    Params,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Loss { value } => write!(f, "non-finite or exploding loss ({value})"),
+            FaultKind::Gradient { norm, limit } => {
+                write!(f, "gradient norm {norm} outside finite limit {limit}")
+            }
+            FaultKind::Params => write!(f, "non-finite model parameters"),
+        }
+    }
+}
+
+/// One detected fault and the recovery action taken.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Epoch in which the fault occurred.
+    pub epoch: usize,
+    /// Batch index within the epoch (best effort; the epoch is retried
+    /// wholesale).
+    pub batch: usize,
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Learning rate after the recovery decay was applied.
+    pub lr_after: f32,
+}
+
+/// Structured report of a training run that diverged beyond the recovery
+/// policy's retry budget. Returned inside [`SgclError::Diverged`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DivergenceReport {
+    /// Epoch of the final, unrecovered fault.
+    pub epoch: usize,
+    /// Batch index of the final fault.
+    pub batch: usize,
+    /// Kind of the final fault.
+    pub kind: FaultKind,
+    /// Number of recovery attempts that were performed before giving up.
+    pub retries: u32,
+    /// Learning rate at the start of the run.
+    pub initial_lr: f32,
+    /// Learning rate when the run was aborted.
+    pub final_lr: f32,
+    /// Every recovered fault that preceded the fatal one.
+    pub events: Vec<FaultEvent>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "training diverged at epoch {}, batch {}: {} \
+             (after {} recovery attempts, lr {} -> {})",
+            self.epoch, self.batch, self.kind, self.retries, self.initial_lr, self.final_lr
+        )
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the data goes to a temporary file
+/// in the same directory, is fsynced, and is then renamed over the target.
+/// A crash mid-write leaves either the old file or nothing — never a
+/// truncated artifact. The directory entry is fsynced best-effort.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SgclError> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| SgclError::invalid_data(path.display().to_string(), "not a file path"))?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let tmp = dir.join(format!("{file_name}.tmp.{}", std::process::id()));
+    let write_tmp = || -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write_tmp() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SgclError::io(format!("write {}", tmp.display()), e));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(SgclError::io(
+            format!("rename {} -> {}", tmp.display(), path.display()),
+            e,
+        ));
+    }
+    // fsync the directory so the rename itself is durable; opening a
+    // directory read-only for sync is Linux-specific, hence best-effort
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_every_variant() {
+        let io = SgclError::io(
+            "read x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(io.to_string().contains("read x"));
+        assert!(SgclError::usage("bad flag")
+            .to_string()
+            .contains("bad flag"));
+        assert!(SgclError::parse("p", "oops").to_string().contains("oops"));
+        assert!(SgclError::invalid_data("d", "broken")
+            .to_string()
+            .contains("broken"));
+        assert!(SgclError::mismatch("m", "differs")
+            .to_string()
+            .contains("differs"));
+        let v = SgclError::UnsupportedVersion {
+            what: "checkpoint",
+            found: 9,
+            min: 1,
+            max: 2,
+        };
+        assert!(v.to_string().contains("version 9"));
+        let report = DivergenceReport {
+            epoch: 3,
+            batch: 1,
+            kind: FaultKind::Loss { value: f32::NAN },
+            retries: 2,
+            initial_lr: 1e-3,
+            final_lr: 2.5e-4,
+            events: vec![],
+        };
+        let d = SgclError::Diverged(report);
+        assert!(d.to_string().contains("epoch 3"));
+    }
+
+    #[test]
+    fn exit_codes_are_stable_and_distinct() {
+        let io = SgclError::io("x", std::io::Error::new(std::io::ErrorKind::NotFound, "e"));
+        assert_eq!(SgclError::usage("u").exit_code(), 2);
+        assert_eq!(io.exit_code(), 3);
+        assert_eq!(SgclError::parse("p", "m").exit_code(), 4);
+        assert_eq!(SgclError::invalid_data("d", "m").exit_code(), 5);
+        assert_eq!(SgclError::mismatch("c", "m").exit_code(), 6);
+    }
+
+    #[test]
+    fn write_atomic_roundtrip_and_no_tmp_residue() {
+        let dir = std::env::temp_dir().join("sgcl_common_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").expect("write");
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // overwrite in place
+        write_atomic(&path, b"second").expect("overwrite");
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let residue: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(residue.is_empty(), "temp files left behind");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_reports_unwritable_target() {
+        // missing parent directory must surface as a typed Io error, not a
+        // panic
+        let bad = Path::new("/nonexistent_sgcl_dir_for_tests/out.json");
+        match write_atomic(bad, b"x") {
+            Err(SgclError::Io { .. }) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_kind_displays() {
+        assert!(FaultKind::Loss {
+            value: f32::INFINITY
+        }
+        .to_string()
+        .contains("loss"));
+        assert!(FaultKind::Gradient {
+            norm: 1e9,
+            limit: 1e6
+        }
+        .to_string()
+        .contains("gradient"));
+        assert!(FaultKind::Params.to_string().contains("parameters"));
+    }
+}

@@ -23,16 +23,20 @@ pub struct ProtectionAlignment {
 pub fn protection_alignment(model: &SgclModel, graphs: &[Graph]) -> ProtectionAlignment {
     let (mut prec, mut rec, mut n) = (0.0f64, 0.0f64, 0usize);
     for g in graphs {
-        let Some(mask) = g.semantic_mask.as_ref() else { continue };
+        let Some(mask) = g.semantic_mask.as_ref() else {
+            continue;
+        };
         let batch = GraphBatch::new(&[g]);
-        let k = model.generator.node_constants(
-            &model.store,
-            &batch,
-            &[g],
-            model.config.lipschitz_mode,
-        );
+        let k =
+            model
+                .generator
+                .node_constants(&model.store, &batch, &[g], model.config.lipschitz_mode);
         let c = LipschitzGenerator::binarize(&batch, &k);
-        let tp = c.iter().zip(mask).filter(|&(&ci, &m)| ci == 1.0 && m).count();
+        let tp = c
+            .iter()
+            .zip(mask)
+            .filter(|&(&ci, &m)| ci == 1.0 && m)
+            .count();
         let protected = c.iter().filter(|&&ci| ci == 1.0).count();
         let sem = mask.iter().filter(|&&m| m).count();
         if protected > 0 && sem > 0 {
@@ -53,7 +57,9 @@ pub fn protection_alignment(model: &SgclModel, graphs: &[Graph]) -> ProtectionAl
 pub fn keep_probability_gap(model: &SgclModel, graphs: &[Graph]) -> Option<(f64, f64)> {
     let (mut sem, mut bg, mut ns, mut nb) = (0.0f64, 0.0f64, 0usize, 0usize);
     for g in graphs {
-        let Some(mask) = g.semantic_mask.as_ref() else { continue };
+        let Some(mask) = g.semantic_mask.as_ref() else {
+            continue;
+        };
         let p = model.keep_probabilities(g);
         for (i, &m) in mask.iter().enumerate() {
             if m {

@@ -24,13 +24,12 @@ pub fn drop_count(n: usize, rho: f32) -> usize {
 
 /// Eq. 19: generates the semantic-aware contrastive sample `Ĝ` by dropping
 /// `round((1−ρ)|V|)` nodes with weights `1 − P(v)`.
-pub fn lipschitz_augment(
-    g: &Graph,
-    keep_prob: &[f32],
-    rho: f32,
-    rng: &mut impl Rng,
-) -> DropResult {
-    assert_eq!(keep_prob.len(), g.num_nodes(), "probability length mismatch");
+pub fn lipschitz_augment(g: &Graph, keep_prob: &[f32], rho: f32, rng: &mut impl Rng) -> DropResult {
+    assert_eq!(
+        keep_prob.len(),
+        g.num_nodes(),
+        "probability length mismatch"
+    );
     let weights: Vec<f32> = keep_prob.iter().map(|&p| (1.0 - p).max(0.0)).collect();
     drop_nodes_weighted(g, drop_count(g.num_nodes(), rho), &weights, rng)
 }
@@ -43,7 +42,11 @@ pub fn complement_augment(
     rho: f32,
     rng: &mut impl Rng,
 ) -> DropResult {
-    assert_eq!(keep_prob.len(), g.num_nodes(), "probability length mismatch");
+    assert_eq!(
+        keep_prob.len(),
+        g.num_nodes(),
+        "probability length mismatch"
+    );
     drop_nodes_weighted(g, drop_count(g.num_nodes(), rho), keep_prob, rng)
 }
 

@@ -1,15 +1,28 @@
-//! Model checkpointing: serialise a trained [`SgclModel`]'s parameters to
-//! JSON and restore them into a freshly built model of the same
-//! configuration. The tape/optimiser state is not persisted — checkpoints
-//! capture the weights a downstream user needs for embedding/fine-tuning.
+//! Model checkpointing: serialise a trained [`SgclModel`] to JSON and
+//! restore it into a freshly built model of the same configuration.
+//!
+//! Two flavours share one format:
+//!
+//! * **weights-only** (the v1 payload) — parameters plus the encoder
+//!   architecture, everything a downstream user needs for
+//!   embedding/fine-tuning;
+//! * **resumable** (new in v2) — additionally carries a
+//!   [`TrainState`]: optimizer moments, epoch counter, RNG derivation
+//!   state, and per-epoch stats, so a killed run restarts bit-exactly via
+//!   [`SgclModel::pretrain_resumable`].
+//!
+//! Version-1 files remain readable. Writes are atomic (temp file + fsync +
+//! rename), so a crash mid-save never leaves a truncated checkpoint.
 
-use crate::trainer::{SgclConfig, SgclModel};
+use crate::trainer::{SgclConfig, SgclModel, TrainState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use sgcl_common::{write_atomic, SgclError};
 use sgcl_tensor::Matrix;
 
-/// A serialisable snapshot of a trained model's parameters.
+/// A serialisable snapshot of a trained model's parameters, optionally
+/// with resumable-training state.
 #[derive(Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
@@ -24,14 +37,32 @@ pub struct Checkpoint {
     pub num_layers: usize,
     /// Input feature dimension.
     pub input_dim: usize,
+    /// Resumable-training state (v2); `None` for weights-only snapshots
+    /// and for every v1 file.
+    #[serde(default)]
+    pub train: Option<TrainState>,
 }
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Oldest checkpoint format version this build can still read.
+pub const MIN_CHECKPOINT_VERSION: u32 = 1;
 
 impl Checkpoint {
-    /// Captures the model's parameters.
+    /// Captures the model's parameters (weights-only snapshot).
     pub fn capture(model: &SgclModel) -> Self {
+        Self::capture_inner(model, None)
+    }
+
+    /// Captures the model's parameters together with resumable-training
+    /// state, producing a checkpoint that [`SgclModel::pretrain_resumable`]
+    /// can continue bit-exactly.
+    pub fn capture_with_train(model: &SgclModel, train: TrainState) -> Self {
+        Self::capture_inner(model, Some(train))
+    }
+
+    fn capture_inner(model: &SgclModel, train: Option<TrainState>) -> Self {
         let names = model
             .store
             .ids()
@@ -44,38 +75,88 @@ impl Checkpoint {
             hidden_dim: model.config.encoder.hidden_dim,
             num_layers: model.config.encoder.num_layers,
             input_dim: model.config.encoder.input_dim,
+            train,
         }
     }
 
     /// Serialises to a JSON string.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serialisation cannot fail")
-    }
-
-    /// Parses a JSON checkpoint.
-    pub fn from_json(s: &str) -> Result<Self, String> {
-        let c: Checkpoint =
-            serde_json::from_str(s).map_err(|e| format!("invalid checkpoint JSON: {e}"))?;
-        if c.version != CHECKPOINT_VERSION {
-            return Err(format!(
-                "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
-                c.version
+    ///
+    /// # Errors
+    /// Rejects non-finite weights or optimizer moments: `serde_json`
+    /// renders NaN/±inf as `null`, which would produce a checkpoint that
+    /// can never be read back.
+    pub fn to_json(&self) -> Result<String, SgclError> {
+        if !self.values.iter().all(Matrix::all_finite) {
+            return Err(SgclError::invalid_data(
+                "checkpoint",
+                "non-finite parameter values cannot be serialised",
             ));
         }
+        if let Some(t) = &self.train {
+            if !t.optimizer.all_finite() {
+                return Err(SgclError::invalid_data(
+                    "checkpoint",
+                    "non-finite optimizer state cannot be serialised",
+                ));
+            }
+        }
+        serde_json::to_string(self).map_err(|e| SgclError::parse("serialise checkpoint", e))
+    }
+
+    /// Parses a JSON checkpoint (v1 or v2).
+    pub fn from_json(s: &str) -> Result<Self, SgclError> {
+        let c: Checkpoint =
+            serde_json::from_str(s).map_err(|e| SgclError::parse("invalid checkpoint JSON", e))?;
+        if c.version < MIN_CHECKPOINT_VERSION || c.version > CHECKPOINT_VERSION {
+            return Err(SgclError::UnsupportedVersion {
+                what: "checkpoint",
+                found: c.version,
+                min: MIN_CHECKPOINT_VERSION,
+                max: CHECKPOINT_VERSION,
+            });
+        }
         if c.names.len() != c.values.len() {
-            return Err("checkpoint name/value length mismatch".into());
+            return Err(SgclError::invalid_data(
+                "checkpoint",
+                format!(
+                    "name/value length mismatch: {} names vs {} values",
+                    c.names.len(),
+                    c.values.len()
+                ),
+            ));
+        }
+        if let Some(t) = &c.train {
+            if t.optimizer.m.len() != t.optimizer.v.len() {
+                return Err(SgclError::invalid_data(
+                    "checkpoint",
+                    "corrupt optimizer state: first/second moment counts differ",
+                ));
+            }
+            if t.stats.len() != t.next_epoch {
+                return Err(SgclError::invalid_data(
+                    "checkpoint",
+                    format!(
+                        "corrupt training state: {} epoch stats for {} completed epochs",
+                        t.stats.len(),
+                        t.next_epoch
+                    ),
+                ));
+            }
         }
         Ok(c)
     }
 
-    /// Writes the checkpoint to a file.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+    /// Writes the checkpoint to a file atomically (temp file + fsync +
+    /// rename): a crash mid-write leaves the previous checkpoint intact.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SgclError> {
+        let json = self.to_json()?;
+        write_atomic(path, json.as_bytes())
     }
 
     /// Reads a checkpoint from a file.
-    pub fn load(path: &std::path::Path) -> Result<Self, String> {
-        let s = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    pub fn load(path: &std::path::Path) -> Result<Self, SgclError> {
+        let s = std::fs::read_to_string(path)
+            .map_err(|e| SgclError::io(format!("read {}", path.display()), e))?;
         Self::from_json(&s)
     }
 
@@ -84,38 +165,57 @@ impl Checkpoint {
     /// # Errors
     /// Fails when the architecture in `config` does not match the
     /// checkpoint (parameter count, names, or shapes differ).
-    pub fn restore(&self, config: SgclConfig) -> Result<SgclModel, String> {
+    pub fn restore(&self, config: SgclConfig) -> Result<SgclModel, SgclError> {
         if config.encoder.hidden_dim != self.hidden_dim
             || config.encoder.num_layers != self.num_layers
             || config.encoder.input_dim != self.input_dim
         {
-            return Err(format!(
-                "architecture mismatch: checkpoint {}x{} (in {}), config {}x{} (in {})",
-                self.hidden_dim,
-                self.num_layers,
-                self.input_dim,
-                config.encoder.hidden_dim,
-                config.encoder.num_layers,
-                config.encoder.input_dim
+            return Err(SgclError::mismatch(
+                "checkpoint architecture",
+                format!(
+                    "checkpoint {}x{} (in {}), config {}x{} (in {})",
+                    self.hidden_dim,
+                    self.num_layers,
+                    self.input_dim,
+                    config.encoder.hidden_dim,
+                    config.encoder.num_layers,
+                    config.encoder.input_dim
+                ),
             ));
         }
         // the RNG seed is irrelevant — weights are overwritten below
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = SgclModel::new(config, &mut rng);
         if model.store.len() != self.values.len() {
-            return Err(format!(
-                "parameter count mismatch: model {} vs checkpoint {}",
-                model.store.len(),
-                self.values.len()
+            return Err(SgclError::mismatch(
+                "checkpoint parameters",
+                format!(
+                    "parameter count mismatch: model {} vs checkpoint {}",
+                    model.store.len(),
+                    self.values.len()
+                ),
             ));
         }
-        for (id, name) in model.store.ids().zip(&self.names) {
+        for ((id, name), value) in model.store.ids().zip(&self.names).zip(&self.values) {
             if model.store.name(id) != name {
-                return Err(format!(
-                    "parameter name mismatch at {}: {} vs {}",
-                    id.index(),
-                    model.store.name(id),
-                    name
+                return Err(SgclError::mismatch(
+                    "checkpoint parameters",
+                    format!(
+                        "parameter name mismatch at {}: {} vs {}",
+                        id.index(),
+                        model.store.name(id),
+                        name
+                    ),
+                ));
+            }
+            if model.store.value(id).shape() != value.shape() {
+                return Err(SgclError::mismatch(
+                    "checkpoint parameters",
+                    format!(
+                        "parameter {name} shape mismatch: model {:?} vs checkpoint {:?}",
+                        model.store.value(id).shape(),
+                        value.shape()
+                    ),
                 ));
             }
         }
@@ -127,6 +227,7 @@ impl Checkpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::RecoveryPolicy;
     use sgcl_data::{Scale, TuDataset};
     use sgcl_gnn::{EncoderConfig, EncoderKind};
 
@@ -154,13 +255,16 @@ mod tests {
         let before = model.embed(&ds.graphs);
 
         let ckpt = Checkpoint::capture(&model);
-        let json = ckpt.to_json();
+        let json = ckpt.to_json().expect("serialise");
         let restored = Checkpoint::from_json(&json)
             .expect("parse")
             .restore(config)
             .expect("restore");
         let after = restored.embed(&ds.graphs);
-        assert_eq!(before, after, "embeddings changed across checkpoint roundtrip");
+        assert_eq!(
+            before, after,
+            "embeddings changed across checkpoint roundtrip"
+        );
     }
 
     #[test]
@@ -171,7 +275,10 @@ mod tests {
         let ckpt = Checkpoint::capture(&model);
         let mut wrong = config;
         wrong.encoder.hidden_dim = 32;
-        assert!(ckpt.restore(wrong).is_err());
+        assert!(matches!(
+            ckpt.restore(wrong),
+            Err(SgclError::Mismatch { .. })
+        ));
     }
 
     #[test]
@@ -182,8 +289,86 @@ mod tests {
         let model = SgclModel::new(config, &mut rng);
         let mut ckpt = Checkpoint::capture(&model);
         ckpt.version = 99;
-        let json = ckpt.to_json();
-        assert!(Checkpoint::from_json(&json).is_err());
+        let json = ckpt.to_json().expect("serialise");
+        assert!(matches!(
+            Checkpoint::from_json(&json),
+            Err(SgclError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn reads_version_1_files() {
+        // a v1 file is a v2 file without the `train` field and with
+        // version: 1 — both deltas must be accepted
+        let config = tiny_config(5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = SgclModel::new(config, &mut rng);
+        let json = Checkpoint::capture(&model).to_json().expect("serialise");
+        let v1 = json
+            .replace("\"version\":2", "\"version\":1")
+            .replace(",\"train\":null", "");
+        let parsed = Checkpoint::from_json(&v1).expect("v1 must stay readable");
+        assert_eq!(parsed.version, 1);
+        assert!(parsed.train.is_none());
+        assert!(parsed.restore(config).is_ok());
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error_not_a_panic() {
+        let config = tiny_config(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = SgclModel::new(config, &mut rng);
+        let json = Checkpoint::capture(&model).to_json().expect("serialise");
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(
+            Checkpoint::from_json(truncated),
+            Err(SgclError::Parse { .. })
+        ));
+        // and through the file path too
+        let dir = std::env::temp_dir().join("sgcl_ckpt_truncated_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, truncated).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            Checkpoint::load(std::path::Path::new("/nonexistent/sgcl.json")),
+            Err(SgclError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn refuses_to_serialise_poisoned_weights() {
+        let config = tiny_config(3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = SgclModel::new(config, &mut rng);
+        let mut ckpt = Checkpoint::capture(&model);
+        ckpt.values[0].as_mut_slice()[0] = f32::NAN;
+        assert!(matches!(ckpt.to_json(), Err(SgclError::InvalidData { .. })));
+    }
+
+    #[test]
+    fn train_state_roundtrips_exactly() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 1);
+        let config = tiny_config(ds.feature_dim());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = SgclModel::new(config, &mut rng);
+        let state = model
+            .pretrain_resumable(
+                &ds.graphs,
+                TrainState::new(3, &config),
+                &RecoveryPolicy::default(),
+                None,
+            )
+            .expect("train");
+        let ckpt = Checkpoint::capture_with_train(&model, state.clone());
+        let json = ckpt.to_json().expect("serialise");
+        let back = Checkpoint::from_json(&json).expect("parse");
+        assert_eq!(
+            back.train.as_ref(),
+            Some(&state),
+            "TrainState drifted across JSON"
+        );
     }
 
     #[test]

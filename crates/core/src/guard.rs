@@ -1,0 +1,140 @@
+//! Step-level numerical guards for the fault-tolerant training runtime.
+//!
+//! Contrastive pre-training is numerically fragile: a single poisoned batch
+//! or an exploding InfoNCE logit silently corrupts the encoder and every
+//! epoch after it (SimGRACE shows how sensitive GCL objectives are to
+//! encoder perturbations). The guards here make each optimisation step
+//! fail *loudly* instead:
+//!
+//! * the **loss guard** rejects NaN/±inf losses and losses whose magnitude
+//!   exceeds a configurable ceiling *before* backpropagation;
+//! * the **gradient guard** rejects non-finite or exploding global
+//!   gradient norms *before* the optimiser consumes them (gradient
+//!   clipping cannot help here — clipping a NaN norm is a no-op, so the
+//!   NaN would flow straight into Adam's moment estimates and poison the
+//!   run permanently);
+//! * the **parameter guard** verifies all weights are finite after an
+//!   epoch completes.
+//!
+//! A tripped guard yields a [`FaultKind`]; the recovery policy in
+//! [`crate::recovery`] decides what happens next (rollback + learning-rate
+//! backoff, or abort with a structured report).
+
+use sgcl_common::FaultKind;
+use sgcl_tensor::ParamStore;
+
+/// Thresholds for the per-step numerical guards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardConfig {
+    /// Maximum tolerated |loss|; NaN/±inf always trip the guard. The
+    /// default is far above any healthy InfoNCE value (ln of the batch
+    /// size plus small regularisers), so only true divergence trips it.
+    pub max_loss_abs: f32,
+    /// Maximum tolerated pre-clip global gradient norm; NaN/±inf always
+    /// trip the guard.
+    pub max_grad_norm: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            max_loss_abs: 1e6,
+            max_grad_norm: 1e6,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// Checks a scalar loss value before backpropagation.
+    pub fn check_loss(&self, value: f32) -> Result<(), FaultKind> {
+        if value.is_finite() && value.abs() <= self.max_loss_abs {
+            Ok(())
+        } else {
+            Err(FaultKind::Loss { value })
+        }
+    }
+
+    /// Checks the accumulated gradients before the optimiser step. A NaN
+    /// anywhere makes the global norm NaN, so the single norm reduction
+    /// covers both finiteness and explosion.
+    pub fn check_gradients(&self, store: &ParamStore) -> Result<(), FaultKind> {
+        let norm = store.grad_norm();
+        if norm.is_finite() && norm <= self.max_grad_norm {
+            Ok(())
+        } else {
+            Err(FaultKind::Gradient {
+                norm,
+                limit: self.max_grad_norm,
+            })
+        }
+    }
+
+    /// Checks that every model parameter is finite (post-epoch health
+    /// check).
+    pub fn check_params(&self, store: &ParamStore) -> Result<(), FaultKind> {
+        if store.params_all_finite() {
+            Ok(())
+        } else {
+            Err(FaultKind::Params)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgcl_tensor::Matrix;
+
+    #[test]
+    fn loss_guard_accepts_healthy_and_rejects_bad() {
+        let g = GuardConfig::default();
+        assert!(g.check_loss(3.72).is_ok());
+        assert!(g.check_loss(-0.5).is_ok());
+        assert!(matches!(
+            g.check_loss(f32::NAN),
+            Err(FaultKind::Loss { .. })
+        ));
+        assert!(g.check_loss(f32::INFINITY).is_err());
+        assert!(g.check_loss(f32::NEG_INFINITY).is_err());
+        let tight = GuardConfig {
+            max_loss_abs: 10.0,
+            ..g
+        };
+        assert!(tight.check_loss(11.0).is_err());
+        assert!(tight.check_loss(-11.0).is_err());
+    }
+
+    #[test]
+    fn gradient_guard_catches_nan_and_explosion() {
+        let g = GuardConfig {
+            max_grad_norm: 5.0,
+            ..GuardConfig::default()
+        };
+        let mut store = ParamStore::new();
+        let id = store.register_value("w", Matrix::ones(2, 2));
+        // zero gradients: fine
+        assert!(g.check_gradients(&store).is_ok());
+        // explode one gradient through a synthetic backward pass
+        let mut tape = sgcl_tensor::Tape::new();
+        let w = store.leaf(&mut tape, id);
+        let big = tape.scale(w, 100.0);
+        let loss = tape.sum_all(big);
+        store.backward(&tape, loss);
+        assert!(matches!(
+            g.check_gradients(&store),
+            Err(FaultKind::Gradient { .. })
+        ));
+        store.zero_grads();
+        assert!(g.check_gradients(&store).is_ok());
+    }
+
+    #[test]
+    fn param_guard_detects_poisoned_weight() {
+        let g = GuardConfig::default();
+        let mut store = ParamStore::new();
+        let id = store.register_value("w", Matrix::ones(1, 2));
+        assert!(g.check_params(&store).is_ok());
+        store.value_mut(id).as_mut_slice()[1] = f32::INFINITY;
+        assert!(matches!(g.check_params(&store), Err(FaultKind::Params)));
+    }
+}

@@ -12,6 +12,9 @@
 //!   the weight-norm regulariser (Eq. 26);
 //! * [`trainer`] — the three-tower model (`f_q`, `f_k`, projection) and the
 //!   full pre-training loop (Eq. 27), with ablation toggles for Table V;
+//! * [`guard`] / [`recovery`] — the fault-tolerant training runtime:
+//!   per-step finiteness/explosion guards, checkpoint rollback with
+//!   learning-rate backoff, and bit-exact resumable training;
 //! * [`theory`] — Definitions 1–5 and an empirical Theorem 1 bound checker.
 //!
 //! ## Quickstart
@@ -35,11 +38,16 @@
 pub mod analysis;
 pub mod augmentation;
 pub mod checkpoint;
+pub mod guard;
 pub mod lipschitz;
 pub mod losses;
+pub mod recovery;
 pub mod theory;
 pub mod trainer;
 
 pub use checkpoint::Checkpoint;
+pub use guard::GuardConfig;
 pub use lipschitz::{LipschitzGenerator, LipschitzMode};
-pub use trainer::{Ablation, EpochStats, SgclConfig, SgclModel};
+pub use recovery::{RecoveryPolicy, RecoveryState};
+pub use sgcl_common::{DivergenceReport, FaultEvent, FaultKind, SgclError};
+pub use trainer::{Ablation, EpochHook, EpochStats, SgclConfig, SgclModel, TrainState};

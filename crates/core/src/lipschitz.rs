@@ -20,9 +20,9 @@
 //! receives gradients.
 
 use rand::Rng;
+use sgcl_gnn::{EncoderConfig, GnnEncoder};
 use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{stable_sigmoid, Initializer, Matrix, ParamId, ParamStore, Tape, Var};
-use sgcl_gnn::{EncoderConfig, GnnEncoder};
 use std::rc::Rc;
 
 /// How to compute per-node Lipschitz constants.
@@ -78,7 +78,12 @@ impl LipschitzGenerator {
             Initializer::XavierUniform,
             rng,
         );
-        Self { encoder, att_src, att_dst, prob_weight }
+        Self {
+            encoder,
+            att_src,
+            att_dst,
+            prob_weight,
+        }
     }
 
     /// Hidden dimension of `f_q`.
@@ -127,7 +132,9 @@ impl LipschitzGenerator {
                 let mut mask = Matrix::ones(n, 1);
                 mask.set(global, 0, 0.0);
                 let mut t = Tape::new();
-                let masked = self.encoder.forward(&mut t, store, batch, Some(Rc::new(mask)));
+                let masked = self
+                    .encoder
+                    .forward(&mut t, store, batch, Some(Rc::new(mask)));
                 let masked_h = t.value(masked);
                 // D_R restricted to this graph's rows
                 let mut d_r = 0.0f32;
@@ -164,7 +171,11 @@ impl LipschitzGenerator {
         let a_s = store.value(self.att_src);
         let a_d = store.value(self.att_dst);
         let score = |i: usize, a: &Matrix| -> f32 {
-            hm.row(i).iter().zip(a.as_slice()).map(|(&x, &w)| x * w).sum()
+            hm.row(i)
+                .iter()
+                .zip(a.as_slice())
+                .map(|(&x, &w)| x * w)
+                .sum()
         };
         let src = &batch.edge_src;
         let dst = &batch.edge_dst;
@@ -222,8 +233,8 @@ impl LipschitzGenerator {
         let mut out = vec![0.0f32; constants.len()];
         for gi in 0..batch.num_graphs {
             let range = batch.graph_nodes(gi);
-            let mean: f32 = constants[range.clone()].iter().sum::<f32>()
-                / (range.len().max(1)) as f32;
+            let mean: f32 =
+                constants[range.clone()].iter().sum::<f32>() / (range.len().max(1)) as f32;
             for i in range {
                 out[i] = if constants[i] >= mean { 1.0 } else { 0.0 };
             }
@@ -296,7 +307,12 @@ mod tests {
         let gen = LipschitzGenerator::new(
             "gen",
             &mut store,
-            EncoderConfig { kind: EncoderKind::Gin, input_dim, hidden_dim: 16, num_layers: 2 },
+            EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim,
+                hidden_dim: 16,
+                num_layers: 2,
+            },
             &mut rng,
         );
         (store, gen)

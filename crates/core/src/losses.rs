@@ -20,7 +20,11 @@ use std::rc::Rc;
 /// `L_s = −log( exp(zᵢᵀẑᵢ/τ) / Σ_{j≠i} exp(zᵢᵀẑⱼ/τ) )`.
 pub fn semantic_info_nce(tape: &mut Tape, z_anchor: Var, z_pos: Var, tau: f32) -> Var {
     let b = tape.value(z_anchor).rows();
-    assert_eq!(tape.value(z_pos).rows(), b, "anchor/positive batch mismatch");
+    assert_eq!(
+        tape.value(z_pos).rows(),
+        b,
+        "anchor/positive batch mismatch"
+    );
     let za = tape.row_l2_normalize(z_anchor);
     let zp = tape.row_l2_normalize(z_pos);
     let sim = tape.matmul_nt(za, zp);
@@ -49,8 +53,16 @@ pub fn semantic_info_nce(tape: &mut Tape, z_anchor: Var, z_pos: Var, tau: f32) -
 /// whose negative columns are every complement sample in the batch.
 pub fn complement_loss(tape: &mut Tape, z_anchor: Var, z_pos: Var, z_comp: Var, tau: f32) -> Var {
     let b = tape.value(z_anchor).rows();
-    assert_eq!(tape.value(z_pos).rows(), b, "anchor/positive batch mismatch");
-    assert_eq!(tape.value(z_comp).rows(), b, "anchor/complement batch mismatch");
+    assert_eq!(
+        tape.value(z_pos).rows(),
+        b,
+        "anchor/positive batch mismatch"
+    );
+    assert_eq!(
+        tape.value(z_comp).rows(),
+        b,
+        "anchor/complement batch mismatch"
+    );
     let za = tape.row_l2_normalize(z_anchor);
     let zp = tape.row_l2_normalize(z_pos);
     let zc = tape.row_l2_normalize(z_comp);
@@ -68,11 +80,7 @@ pub fn complement_loss(tape: &mut Tape, z_anchor: Var, z_pos: Var, z_comp: Var, 
 /// Frobenius norms of the listed weight matrices (equivalent to the paper's
 /// single stacked-matrix norm up to a √ factor — both bound `‖W‖` of
 /// Theorem 1 and both shrink every weight).
-pub fn weight_norm_regulariser(
-    tape: &mut Tape,
-    store: &ParamStore,
-    weights: &[ParamId],
-) -> Var {
+pub fn weight_norm_regulariser(tape: &mut Tape, store: &ParamStore, weights: &[ParamId]) -> Var {
     assert!(!weights.is_empty(), "no weights to regularise");
     let mut total: Option<Var> = None;
     for &id in weights {
@@ -111,7 +119,10 @@ mod tests {
         let loss = semantic_info_nce(&mut tape, a, p, 0.2);
         let v = tape.scalar(loss);
         // uniform-similarity baseline would be ln(3) ≈ 1.10
-        assert!(v < 0.0, "aligned loss should be strongly negative-logit, got {v}");
+        assert!(
+            v < 0.0,
+            "aligned loss should be strongly negative-logit, got {v}"
+        );
     }
 
     #[test]
@@ -172,7 +183,11 @@ mod tests {
             far.set(i, 3 + i, 1.0);
         }
         let mut t1 = Tape::new();
-        let (a, p, c) = (t1.constant(za.clone()), t1.constant(zp.clone()), t1.constant(far));
+        let (a, p, c) = (
+            t1.constant(za.clone()),
+            t1.constant(zp.clone()),
+            t1.constant(far),
+        );
         let l_far = {
             let l = complement_loss(&mut t1, a, p, c, 0.2);
             t1.scalar(l)

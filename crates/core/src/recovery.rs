@@ -1,0 +1,196 @@
+//! Automatic divergence recovery for the training runtime.
+//!
+//! When a [`crate::guard`] trips mid-epoch, the [`RecoveryState`] rolls the
+//! model and optimiser back to the last good epoch boundary, decays the
+//! learning rate, and lets the trainer retry the epoch with a freshly
+//! (deterministically) reseeded batch sampler. The retry budget and decay
+//! factor are bounded by a [`RecoveryPolicy`]; once exhausted, recovery
+//! fails with [`SgclError::Diverged`] carrying a [`DivergenceReport`]
+//! (`sgcl_common::DivergenceReport`) that lists every fault observed.
+
+use crate::guard::GuardConfig;
+use sgcl_common::{DivergenceReport, FaultEvent, FaultKind, SgclError};
+use sgcl_tensor::{Adam, AdamState, Matrix, Optimizer, ParamStore};
+
+/// Bounds on the automatic divergence recovery behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Per-step numerical guard thresholds.
+    pub guard: GuardConfig,
+    /// Maximum number of rollback-and-retry attempts across the whole run
+    /// before aborting with a structured report.
+    pub max_retries: u32,
+    /// Multiplicative learning-rate decay applied on every recovery
+    /// (paper-default Adam lr 1e-3 halves to 5e-4, 2.5e-4, …).
+    pub lr_decay: f32,
+    /// Abort instead of retrying once the decayed learning rate would fall
+    /// below this floor.
+    pub min_lr: f32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            guard: GuardConfig::default(),
+            max_retries: 3,
+            lr_decay: 0.5,
+            min_lr: 1e-7,
+        }
+    }
+}
+
+/// In-memory rollback state: the last known-good parameter and optimiser
+/// snapshot, plus the history of faults recovered so far.
+pub struct RecoveryState {
+    policy: RecoveryPolicy,
+    params: Vec<Matrix>,
+    opt: AdamState,
+    retries: u32,
+    initial_lr: f32,
+    events: Vec<FaultEvent>,
+}
+
+impl RecoveryState {
+    /// Captures the current model/optimiser as the initial rollback point.
+    /// `retries_already` preloads the retry counter when resuming a run
+    /// that had already recovered from faults.
+    pub fn new(
+        policy: RecoveryPolicy,
+        store: &ParamStore,
+        opt: &Adam,
+        retries_already: u32,
+    ) -> Self {
+        Self {
+            policy,
+            params: store.snapshot(),
+            opt: opt.state(),
+            retries: retries_already,
+            initial_lr: opt.learning_rate(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Records a completed healthy epoch as the new rollback point.
+    pub fn record_good(&mut self, store: &ParamStore, opt: &Adam) {
+        self.params = store.snapshot();
+        self.opt = opt.state();
+    }
+
+    /// Total recovery attempts performed (including any preloaded count).
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Faults recovered so far.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Handles a detected fault: rolls `store`/`opt` back to the last good
+    /// snapshot and decays the learning rate, or — when the retry budget
+    /// or learning-rate floor is exhausted — returns
+    /// [`SgclError::Diverged`] with the full report.
+    pub fn recover(
+        &mut self,
+        store: &mut ParamStore,
+        opt: &mut Adam,
+        kind: FaultKind,
+        epoch: usize,
+        batch: usize,
+    ) -> Result<(), SgclError> {
+        self.retries += 1;
+        let new_lr = self.opt.lr * self.policy.lr_decay;
+        if self.retries > self.policy.max_retries || new_lr < self.policy.min_lr {
+            return Err(SgclError::Diverged(DivergenceReport {
+                epoch,
+                batch,
+                kind,
+                retries: self.retries - 1,
+                initial_lr: self.initial_lr,
+                final_lr: self.opt.lr,
+                events: self.events.clone(),
+            }));
+        }
+        store.restore(&self.params);
+        store.zero_grads();
+        opt.restore_state(&self.opt);
+        opt.set_learning_rate(new_lr);
+        // remember the decayed rate so repeated faults keep decaying and so
+        // the snapshot stays consistent with the live optimiser
+        self.opt.lr = new_lr;
+        self.events.push(FaultEvent {
+            epoch,
+            batch,
+            kind,
+            lr_after: new_lr,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ParamStore, Adam) {
+        let mut store = ParamStore::new();
+        store.register_value("w", Matrix::ones(2, 2));
+        let opt = Adam::new(1e-3);
+        (store, opt)
+    }
+
+    #[test]
+    fn recover_rolls_back_and_decays_lr() {
+        let (mut store, mut opt) = setup();
+        let mut rs = RecoveryState::new(RecoveryPolicy::default(), &store, &opt, 0);
+        // poison the live weights, then recover
+        let id = store.ids().next().expect("one param");
+        store.value_mut(id).as_mut_slice()[0] = f32::NAN;
+        rs.recover(&mut store, &mut opt, FaultKind::Params, 2, 0)
+            .expect("within budget");
+        assert!(
+            store.params_all_finite(),
+            "rollback did not restore weights"
+        );
+        assert!((opt.learning_rate() - 5e-4).abs() < 1e-9);
+        assert_eq!(rs.retries(), 1);
+        assert_eq!(rs.events().len(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_divergence() {
+        let (mut store, mut opt) = setup();
+        let policy = RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        };
+        let mut rs = RecoveryState::new(policy, &store, &opt, 0);
+        let kind = FaultKind::Loss { value: f32::NAN };
+        assert!(rs.recover(&mut store, &mut opt, kind, 0, 0).is_ok());
+        assert!(rs.recover(&mut store, &mut opt, kind, 0, 1).is_ok());
+        match rs.recover(&mut store, &mut opt, kind, 0, 2) {
+            Err(SgclError::Diverged(report)) => {
+                assert_eq!(report.retries, 2);
+                assert_eq!(report.events.len(), 2);
+                assert_eq!(report.epoch, 0);
+                assert!(report.final_lr < report.initial_lr);
+            }
+            other => panic!("expected divergence, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn lr_floor_aborts_early() {
+        let (mut store, mut opt) = setup();
+        let policy = RecoveryPolicy {
+            min_lr: 1e-3,
+            ..RecoveryPolicy::default()
+        };
+        let mut rs = RecoveryState::new(policy, &store, &opt, 0);
+        // first decay would take 1e-3 -> 5e-4 < floor: abort immediately
+        assert!(matches!(
+            rs.recover(&mut store, &mut opt, FaultKind::Params, 1, 0),
+            Err(SgclError::Diverged(_))
+        ));
+    }
+}

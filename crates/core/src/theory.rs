@@ -11,13 +11,7 @@ use sgcl_tensor::{stable_sigmoid, Matrix};
 
 /// Eq. 2: edge probability
 /// `P(e_ij) = δ((h_i/d_i + h_j/d_j)·wᵀ)` for one edge.
-pub fn edge_probability(
-    h_i: &[f32],
-    h_j: &[f32],
-    d_i: usize,
-    d_j: usize,
-    w: &[f32],
-) -> f32 {
+pub fn edge_probability(h_i: &[f32], h_j: &[f32], d_i: usize, d_j: usize, w: &[f32]) -> f32 {
     assert_eq!(h_i.len(), h_j.len());
     assert_eq!(h_i.len(), w.len());
     let logit: f32 = h_i
@@ -81,7 +75,11 @@ pub const K_RHO: f32 = 1.0;
 /// the masked formulation where anchor and sample share node set and
 /// degrees).
 pub fn proof_representation_distance(h: &Matrix, h_hat: &Matrix) -> f32 {
-    assert_eq!(h.shape(), h_hat.shape(), "masked formulation requires same shape");
+    assert_eq!(
+        h.shape(),
+        h_hat.shape(),
+        "masked formulation requires same shape"
+    );
     h.sub(h_hat).col_sums().frobenius_norm()
 }
 
@@ -180,10 +178,12 @@ mod tests {
         let d_t = g.topology_distance(&[false, false, true]);
         for c in [0.9f32, 0.5, 0.1] {
             let h_hat = h.scale(c);
-            let (lhs, rhs) =
-                theorem1_sides(&[&g], &[&h], &[&h_hat], &w, &[d_t]);
+            let (lhs, rhs) = theorem1_sides(&[&g], &[&h], &[&h_hat], &w, &[d_t]);
             assert!(lhs.is_finite() && rhs.is_finite());
-            assert!(lhs <= rhs + 1e-6, "Theorem 1 violated at c={c}: {lhs} > {rhs}");
+            assert!(
+                lhs <= rhs + 1e-6,
+                "Theorem 1 violated at c={c}: {lhs} > {rhs}"
+            );
         }
     }
 

@@ -17,14 +17,18 @@
 //! Ablation toggles reproduce every row of Table V.
 
 use crate::augmentation::{complement_augment, lipschitz_augment};
+use crate::guard::GuardConfig;
 use crate::lipschitz::{LipschitzGenerator, LipschitzMode};
 use crate::losses::{complement_loss, semantic_info_nce, weight_norm_regulariser};
+use crate::recovery::{RecoveryPolicy, RecoveryState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sgcl_common::{FaultKind, SgclError};
+use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::augment::drop_nodes_uniform;
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling, ProjectionHead};
-use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
+use sgcl_tensor::{Adam, AdamState, Matrix, Optimizer, ParamStore, Tape};
 use std::rc::Rc;
 
 /// Ablation switches matching Table V's rows.
@@ -129,7 +133,7 @@ pub struct SgclModel {
 }
 
 /// Per-epoch training statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EpochStats {
     /// Mean total loss over the epoch's batches.
     pub loss: f32,
@@ -139,6 +143,118 @@ pub struct EpochStats {
     pub loss_c: f32,
 }
 
+/// Serialisable progress of a resumable pre-training run (checkpoint v2
+/// payload). Restoring a model plus its `TrainState` and calling
+/// [`SgclModel::pretrain_resumable`] continues the run **bit-exactly**: the
+/// batch sampler derives each epoch's RNG from `(base_seed, epoch,
+/// retries_used)`, so a killed run and an uninterrupted one traverse
+/// identical batch orders and identical floating-point operations.
+///
+/// The hyperparameters that shape the optimisation trajectory (`rho`,
+/// `tau`, λ's, batch size) are recorded so a resume with a mismatched
+/// configuration is rejected instead of silently diverging.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainState {
+    /// Seed the per-epoch sampler RNGs are derived from.
+    pub base_seed: u64,
+    /// Next epoch to run (== number of completed epochs).
+    pub next_epoch: usize,
+    /// Divergence-recovery attempts consumed so far (see
+    /// [`RecoveryPolicy`]); part of the RNG derivation, so it must persist.
+    pub retries_used: u32,
+    /// Keep ratio ρ the run was started with.
+    pub rho: f32,
+    /// InfoNCE temperature τ.
+    pub tau: f32,
+    /// Complement-loss weight λ_c.
+    pub lambda_c: f32,
+    /// Weight-norm regulariser λ_W.
+    pub lambda_w: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimiser state at the last completed epoch (includes the current,
+    /// possibly recovery-decayed, learning rate).
+    pub optimizer: AdamState,
+    /// Stats of every completed epoch.
+    pub stats: Vec<EpochStats>,
+}
+
+impl TrainState {
+    /// Fresh state for a run that has not started yet.
+    pub fn new(base_seed: u64, config: &SgclConfig) -> Self {
+        Self {
+            base_seed,
+            next_epoch: 0,
+            retries_used: 0,
+            rho: config.rho,
+            tau: config.tau,
+            lambda_c: config.lambda_c,
+            lambda_w: config.lambda_w,
+            batch_size: config.batch_size,
+            optimizer: AdamState::fresh(config.lr),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Validates this state against the configuration of the model that is
+    /// about to continue it.
+    fn check_config(&self, config: &SgclConfig) -> Result<(), SgclError> {
+        let mismatches = [
+            ("rho", self.rho, config.rho),
+            ("tau", self.tau, config.tau),
+            ("lambda_c", self.lambda_c, config.lambda_c),
+            ("lambda_w", self.lambda_w, config.lambda_w),
+        ];
+        for (name, saved, current) in mismatches {
+            if saved != current {
+                return Err(SgclError::mismatch(
+                    "resume",
+                    format!(
+                        "hyperparameter {name} differs: checkpoint {saved} vs config {current}"
+                    ),
+                ));
+            }
+        }
+        if self.batch_size != config.batch_size {
+            return Err(SgclError::mismatch(
+                "resume",
+                format!(
+                    "batch size differs: checkpoint {} vs config {}",
+                    self.batch_size, config.batch_size
+                ),
+            ));
+        }
+        if self.stats.len() != self.next_epoch {
+            return Err(SgclError::invalid_data(
+                "resume",
+                format!(
+                    "corrupt training state: {} epoch stats for {} completed epochs",
+                    self.stats.len(),
+                    self.next_epoch
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch callback of [`SgclModel::pretrain_resumable`]: receives the
+/// model and the updated [`TrainState`] after every completed epoch. The
+/// CLI uses it to write a checkpoint per epoch; tests use it to inject
+/// faults. Returning an error aborts the run.
+pub type EpochHook<'a> = &'a mut dyn FnMut(&mut SgclModel, &TrainState) -> Result<(), SgclError>;
+
+/// Derives the deterministic per-epoch sampler seed (splitmix64 finaliser
+/// over the base seed, epoch index, and recovery generation).
+fn epoch_seed(base: u64, epoch: u64, generation: u64) -> u64 {
+    let mut z = base
+        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ generation.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl SgclModel {
     /// Builds a fresh model.
     pub fn new(config: SgclConfig, rng: &mut impl Rng) -> Self {
@@ -146,66 +262,204 @@ impl SgclModel {
         let generator = LipschitzGenerator::new("sgcl", &mut store, config.encoder, rng);
         let encoder = GnnEncoder::new("sgcl.fk", &mut store, config.encoder, rng);
         let proj = ProjectionHead::new("sgcl.proj", &mut store, config.encoder.hidden_dim, rng);
-        Self { store, generator, encoder, proj, config }
+        Self {
+            store,
+            generator,
+            encoder,
+            proj,
+            config,
+        }
     }
 
     /// Pre-trains on an unlabelled graph collection. Returns per-epoch stats.
+    ///
+    /// Runs with the default [`RecoveryPolicy`]: numerical faults roll the
+    /// model back to the last good epoch and retry with a decayed learning
+    /// rate. Healthy runs consume the RNG stream exactly as before, so
+    /// results are unchanged.
+    ///
+    /// # Panics
+    /// Panics if the collection is empty or the run diverges beyond the
+    /// default retry budget; use [`SgclModel::pretrain_recoverable`] for a
+    /// non-panicking variant.
     pub fn pretrain(&mut self, graphs: &[Graph], seed: u64) -> Vec<EpochStats> {
-        assert!(!graphs.is_empty(), "cannot pretrain on an empty collection");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut opt = Adam::new(self.config.lr);
-        let n = graphs.len();
-        let bs = self.config.batch_size.min(n).max(2);
-        let mut stats = Vec::with_capacity(self.config.epochs);
-        for _epoch in 0..self.config.epochs {
-            let mut order: Vec<usize> = (0..n).collect();
-            for i in (1..n).rev() {
-                let j = rng.gen_range(0..=i);
-                order.swap(i, j);
-            }
-            let (mut tl, mut ts, mut tc, mut batches) = (0.0f64, 0.0f64, 0.0f64, 0usize);
-            for chunk in order.chunks(bs) {
-                if chunk.len() < 2 {
-                    continue; // InfoNCE needs at least one negative
-                }
-                let batch_graphs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-                let (l, ls, lc) = self.train_step(&mut opt, &batch_graphs, &mut rng);
-                tl += l as f64;
-                ts += ls as f64;
-                tc += lc as f64;
-                batches += 1;
-            }
-            let b = batches.max(1) as f64;
-            stats.push(EpochStats {
-                loss: (tl / b) as f32,
-                loss_s: (ts / b) as f32,
-                loss_c: (tc / b) as f32,
-            });
+        match self.pretrain_recoverable(graphs, seed, &RecoveryPolicy::default()) {
+            Ok(stats) => stats,
+            Err(e) => panic!("unrecoverable training fault: {e}"),
         }
-        stats
     }
 
-    /// One optimisation step on a batch. Returns `(total, L_s, L_c)`.
+    /// Fault-tolerant pre-training with the legacy single-stream batch
+    /// sampler (bit-identical to historical [`SgclModel::pretrain`] results
+    /// on healthy runs).
+    ///
+    /// Each step is guarded (finite loss, finite/bounded gradient norm;
+    /// see [`GuardConfig`]); on a fault the model and optimiser roll back
+    /// to the last completed epoch, the learning rate decays, the sampler
+    /// is reseeded deterministically, and the epoch is retried. Exhausting
+    /// `policy.max_retries` yields [`SgclError::Diverged`] with a
+    /// structured report.
+    pub fn pretrain_recoverable(
+        &mut self,
+        graphs: &[Graph],
+        seed: u64,
+        policy: &RecoveryPolicy,
+    ) -> Result<Vec<EpochStats>, SgclError> {
+        if graphs.is_empty() {
+            return Err(SgclError::invalid_data(
+                "pretrain",
+                "empty graph collection",
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(self.config.lr);
+        let mut recovery = RecoveryState::new(*policy, &self.store, &opt, 0);
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        let mut epoch = 0;
+        while epoch < self.config.epochs {
+            match self.run_epoch(&mut opt, graphs, &mut rng, &policy.guard) {
+                Ok(s) => {
+                    stats.push(s);
+                    recovery.record_good(&self.store, &opt);
+                    epoch += 1;
+                }
+                Err((batch, kind)) => {
+                    recovery.recover(&mut self.store, &mut opt, kind, epoch, batch)?;
+                    // deterministic reseed for the retry: the faulted epoch
+                    // left the legacy stream mid-flight
+                    rng = StdRng::seed_from_u64(epoch_seed(
+                        seed,
+                        epoch as u64,
+                        recovery.retries() as u64,
+                    ));
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Fault-tolerant **resumable** pre-training: continues `state` up to
+    /// `config.epochs`, deriving each epoch's sampler RNG from
+    /// `(state.base_seed, epoch, state.retries_used)` so a killed run
+    /// restarts bit-exactly from its last checkpoint.
+    ///
+    /// `on_epoch` (if provided) fires after every completed epoch with the
+    /// model and the updated state — the hook used by the CLI to write a
+    /// checkpoint-v2 file per epoch, and by tests to inject faults. An
+    /// error returned from the hook aborts the run.
+    ///
+    /// Returns the final state (whose `stats` cover all completed epochs,
+    /// including those done before a resume).
+    pub fn pretrain_resumable(
+        &mut self,
+        graphs: &[Graph],
+        mut state: TrainState,
+        policy: &RecoveryPolicy,
+        mut on_epoch: Option<EpochHook<'_>>,
+    ) -> Result<TrainState, SgclError> {
+        if graphs.is_empty() {
+            return Err(SgclError::invalid_data(
+                "pretrain",
+                "empty graph collection",
+            ));
+        }
+        state.check_config(&self.config)?;
+        let mut opt = Adam::new(self.config.lr);
+        opt.restore_state(&state.optimizer);
+        let mut recovery = RecoveryState::new(*policy, &self.store, &opt, state.retries_used);
+        while state.next_epoch < self.config.epochs {
+            let mut rng = StdRng::seed_from_u64(epoch_seed(
+                state.base_seed,
+                state.next_epoch as u64,
+                state.retries_used as u64,
+            ));
+            match self.run_epoch(&mut opt, graphs, &mut rng, &policy.guard) {
+                Ok(s) => {
+                    state.stats.push(s);
+                    state.next_epoch += 1;
+                    state.optimizer = opt.state();
+                    recovery.record_good(&self.store, &opt);
+                    if let Some(cb) = on_epoch.as_mut() {
+                        cb(&mut *self, &state)?;
+                    }
+                }
+                Err((batch, kind)) => {
+                    recovery.recover(&mut self.store, &mut opt, kind, state.next_epoch, batch)?;
+                    state.retries_used = recovery.retries();
+                    state.optimizer = opt.state();
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// One full pass over `graphs`: shuffles with `rng`, trains on every
+    /// batch, and runs the post-epoch parameter health check. On a tripped
+    /// guard, returns the batch index and fault kind; the epoch's partial
+    /// updates are the caller's to roll back.
+    fn run_epoch(
+        &mut self,
+        opt: &mut Adam,
+        graphs: &[Graph],
+        rng: &mut StdRng,
+        guard: &GuardConfig,
+    ) -> Result<EpochStats, (usize, FaultKind)> {
+        let n = graphs.len();
+        let bs = self.config.batch_size.min(n).max(2);
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let (mut tl, mut ts, mut tc, mut batches) = (0.0f64, 0.0f64, 0.0f64, 0usize);
+        for (bi, chunk) in order.chunks(bs).enumerate() {
+            if chunk.len() < 2 {
+                continue; // InfoNCE needs at least one negative
+            }
+            let batch_graphs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
+            let (l, ls, lc) = self
+                .train_step(opt, &batch_graphs, rng, guard)
+                .map_err(|k| (bi, k))?;
+            tl += l as f64;
+            ts += ls as f64;
+            tc += lc as f64;
+            batches += 1;
+        }
+        guard.check_params(&self.store).map_err(|k| (batches, k))?;
+        let b = batches.max(1) as f64;
+        Ok(EpochStats {
+            loss: (tl / b) as f32,
+            loss_s: (ts / b) as f32,
+            loss_c: (tc / b) as f32,
+        })
+    }
+
+    /// One optimisation step on a batch. Returns `(total, L_s, L_c)`, or
+    /// the [`FaultKind`] a numerical guard tripped on — in which case the
+    /// model parameters and optimiser state are left untouched by this
+    /// step (the poisoned gradients are zeroed, never applied).
     fn train_step(
         &mut self,
         opt: &mut Adam,
         graphs: &[&Graph],
         rng: &mut impl Rng,
-    ) -> (f32, f32, f32) {
+        guard: &GuardConfig,
+    ) -> Result<(f32, f32, f32), FaultKind> {
         let cfg = self.config;
         let batch = GraphBatch::new(graphs);
         let mut tape = Tape::new();
 
         // --- steps 1–2: Lipschitz constants and keep-probabilities ---
         let (k_v, p_values, p_var) = if cfg.ablation.random_augment {
-            (vec![1.0f32; batch.total_nodes()], vec![0.5f32; batch.total_nodes()], None)
+            (
+                vec![1.0f32; batch.total_nodes()],
+                vec![0.5f32; batch.total_nodes()],
+                None,
+            )
         } else {
-            let k = self.generator.node_constants(
-                &self.store,
-                &batch,
-                graphs,
-                cfg.lipschitz_mode,
-            );
+            let k = self
+                .generator
+                .node_constants(&self.store, &batch, graphs, cfg.lipschitz_mode);
             let c = if cfg.ablation.no_lga {
                 vec![0.0f32; batch.total_nodes()] // pure learnable generator
             } else {
@@ -226,7 +480,11 @@ impl SgclModel {
             let range = batch.graph_nodes(gi);
             let probs = &p_values[range.clone()];
             let hat = if cfg.ablation.random_augment {
-                drop_nodes_uniform(g, crate::augmentation::drop_count(g.num_nodes(), cfg.rho), rng)
+                drop_nodes_uniform(
+                    g,
+                    crate::augmentation::drop_count(g.num_nodes(), cfg.rho),
+                    rng,
+                )
             } else {
                 lipschitz_augment(g, probs, cfg.rho, rng)
             };
@@ -280,7 +538,9 @@ impl SgclModel {
         let mut l_c_value = 0.0f32;
         if cfg.lambda_c > 0.0 {
             let comp_batch = GraphBatch::from_graphs(&comp_graphs);
-            let h_comp = self.encoder.forward(&mut tape, &self.store, &comp_batch, None);
+            let h_comp = self
+                .encoder
+                .forward(&mut tape, &self.store, &comp_batch, None);
             let pooled_comp = cfg.pooling.apply(&mut tape, &comp_batch, h_comp);
             let z_comp = self.proj.forward(&mut tape, &self.store, pooled_comp);
             let l_c = complement_loss(&mut tape, z_anchor, z_hat, z_comp, cfg.tau);
@@ -297,10 +557,20 @@ impl SgclModel {
 
         let total_value = tape.scalar(total);
         let l_s_value = tape.scalar(l_s);
+        // loss guard BEFORE backprop: a non-finite loss makes every
+        // gradient garbage, so don't even compute them
+        guard.check_loss(total_value)?;
         self.store.backward(&tape, total);
+        // gradient guard BEFORE clipping: clipping a NaN/inf norm is a
+        // no-op, and a single poisoned step would corrupt Adam's moment
+        // estimates for the rest of the run
+        if let Err(kind) = guard.check_gradients(&self.store) {
+            self.store.zero_grads();
+            return Err(kind);
+        }
         self.store.clip_grad_norm(5.0);
         opt.step(&mut self.store);
-        (total_value, l_s_value, l_c_value)
+        Ok((total_value, l_s_value, l_c_value))
     }
 
     /// Embeds graphs with the trained encoder `f_k` (pooled, **without** the
@@ -338,7 +608,8 @@ impl SgclModel {
             self.config.lipschitz_mode,
         );
         let c = LipschitzGenerator::binarize(&batch, &k);
-        self.generator.augmentation_prob_values(&self.store, &batch, &c)
+        self.generator
+            .augmentation_prob_values(&self.store, &batch, &c)
     }
 }
 
@@ -411,8 +682,12 @@ mod tests {
         ] {
             let mut cfg = tiny_config(ds.feature_dim());
             cfg.epochs = 2;
-            cfg.ablation =
-                Ablation { random_augment: ra, no_lga: nl, no_srl: ns, no_relaxation: nr };
+            cfg.ablation = Ablation {
+                random_augment: ra,
+                no_lga: nl,
+                no_srl: ns,
+                no_relaxation: nr,
+            };
             cfg.lambda_c = lc;
             cfg.lambda_w = lw;
             let mut rng = StdRng::seed_from_u64(4);

@@ -1,0 +1,183 @@
+//! Fault-injection and resumption tests for the fault-tolerant training
+//! runtime: a poisoned run must recover via rollback + learning-rate
+//! backoff, a killed run must resume bit-exactly from its checkpoint, and
+//! an unrecoverable run must abort with a structured divergence report.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::{Checkpoint, RecoveryPolicy, SgclConfig, SgclError, SgclModel, TrainState};
+use sgcl_data::{Scale, TuDataset};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+
+fn tiny_config(input_dim: usize, epochs: usize) -> SgclConfig {
+    SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim,
+            hidden_dim: 16,
+            num_layers: 2,
+        },
+        epochs,
+        batch_size: 16,
+        ..SgclConfig::paper_unsupervised(input_dim)
+    }
+}
+
+/// Sets one projection-head weight to NaN. The projection head sits on the
+/// loss path but not on the augmentation-sampling path, so the poison is
+/// guaranteed to surface as a non-finite loss at the next training step.
+fn poison_projection(model: &mut SgclModel) {
+    let id = model
+        .store
+        .ids()
+        .find(|&id| model.store.name(id).starts_with("sgcl.proj"))
+        .expect("projection parameters exist");
+    model.store.value_mut(id).as_mut_slice()[0] = f32::NAN;
+}
+
+#[test]
+fn injected_nan_recovers_and_completes() {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+    let cfg = tiny_config(ds.feature_dim(), 4);
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut model = SgclModel::new(cfg, &mut rng);
+
+    let mut poisoned = false;
+    let mut inject = |m: &mut SgclModel, st: &TrainState| -> Result<(), SgclError> {
+        // corrupt the weights once, after the first epoch's good snapshot
+        // has been recorded — the next step must trip the loss guard
+        if st.next_epoch == 1 && !poisoned {
+            poisoned = true;
+            poison_projection(m);
+        }
+        Ok(())
+    };
+    let state = model
+        .pretrain_resumable(
+            &ds.graphs,
+            TrainState::new(11, &cfg),
+            &RecoveryPolicy::default(),
+            Some(&mut inject),
+        )
+        .expect("run must recover from the injected NaN");
+
+    assert!(poisoned, "fault was never injected");
+    assert_eq!(
+        state.next_epoch, cfg.epochs,
+        "run did not complete all epochs"
+    );
+    assert_eq!(state.stats.len(), cfg.epochs);
+    assert!(state.retries_used >= 1, "recovery never triggered");
+    assert!(
+        state.optimizer.lr < cfg.lr,
+        "learning rate was not decayed: {} vs {}",
+        state.optimizer.lr,
+        cfg.lr
+    );
+    assert!(state.stats.iter().all(|s| s.loss.is_finite()));
+    assert!(
+        model.embed(&ds.graphs).all_finite(),
+        "recovered model is poisoned"
+    );
+}
+
+#[test]
+fn kill_and_resume_is_bit_exact() {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 1);
+    let policy = RecoveryPolicy::default();
+    let cfg_full = tiny_config(ds.feature_dim(), 6);
+
+    // reference: 6 epochs in one uninterrupted run
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut uninterrupted = SgclModel::new(cfg_full, &mut rng);
+    let state_ref = uninterrupted
+        .pretrain_resumable(&ds.graphs, TrainState::new(7, &cfg_full), &policy, None)
+        .expect("reference run");
+
+    // "killed" run: identical init, 3 epochs, checkpoint to JSON and back
+    // (the on-disk representation, so f32 JSON round-tripping is covered),
+    // then 3 more epochs in a restored model
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut first_half = SgclModel::new(tiny_config(ds.feature_dim(), 3), &mut rng);
+    let state_half = first_half
+        .pretrain_resumable(
+            &ds.graphs,
+            TrainState::new(7, &tiny_config(ds.feature_dim(), 3)),
+            &policy,
+            None,
+        )
+        .expect("first half");
+    assert_eq!(state_half.next_epoch, 3);
+
+    let json = Checkpoint::capture_with_train(&first_half, state_half)
+        .to_json()
+        .expect("serialise");
+    let ckpt = Checkpoint::from_json(&json).expect("parse");
+    let mut resumed = ckpt.restore(cfg_full).expect("restore");
+    let state_resumed = resumed
+        .pretrain_resumable(
+            &ds.graphs,
+            ckpt.train
+                .clone()
+                .expect("v2 checkpoint carries train state"),
+            &policy,
+            None,
+        )
+        .expect("second half");
+
+    // bit-exact: identical stats (f32 equality), identical optimizer
+    // state, identical embeddings
+    assert_eq!(
+        state_resumed, state_ref,
+        "resumed run drifted from the uninterrupted one"
+    );
+    assert_eq!(
+        resumed.embed(&ds.graphs),
+        uninterrupted.embed(&ds.graphs),
+        "embeddings differ after resume"
+    );
+}
+
+#[test]
+fn retry_budget_exhaustion_reports_divergence() {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
+    let cfg = tiny_config(ds.feature_dim(), 3);
+    let policy = RecoveryPolicy {
+        max_retries: 1,
+        ..RecoveryPolicy::default()
+    };
+    let mut rng = StdRng::seed_from_u64(20);
+    let mut model = SgclModel::new(cfg, &mut rng);
+
+    // poison after every completed epoch: the first fault recovers, the
+    // second exhausts the budget
+    let mut inject = |m: &mut SgclModel, _st: &TrainState| -> Result<(), SgclError> {
+        poison_projection(m);
+        Ok(())
+    };
+    let err = model
+        .pretrain_resumable(
+            &ds.graphs,
+            TrainState::new(21, &cfg),
+            &policy,
+            Some(&mut inject),
+        )
+        .expect_err("budget of 1 cannot absorb repeated faults");
+
+    assert_eq!(
+        err.exit_code(),
+        7,
+        "divergence must map to its own exit code"
+    );
+    match err {
+        SgclError::Diverged(report) => {
+            assert_eq!(report.retries, policy.max_retries);
+            assert_eq!(report.events.len(), policy.max_retries as usize);
+            assert!(
+                report.final_lr < report.initial_lr,
+                "no learning-rate decay recorded"
+            );
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}

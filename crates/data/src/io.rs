@@ -5,6 +5,7 @@
 
 use crate::synthetic::Dataset;
 use serde::{Deserialize, Serialize};
+use sgcl_common::{write_atomic, SgclError};
 use sgcl_graph::{Graph, GraphLabel};
 use sgcl_tensor::Matrix;
 use std::path::Path;
@@ -71,21 +72,48 @@ impl From<&Graph> for GraphRecord {
 }
 
 impl GraphRecord {
-    /// Converts back to an in-memory [`Graph`].
+    /// Converts back to an in-memory [`Graph`], validating every structural
+    /// invariant first — [`Graph::new`] panics on malformed input, and a
+    /// user-supplied file must never be able to crash the process.
     ///
     /// # Errors
-    /// Fails on inconsistent dimensions.
-    pub fn into_graph(self) -> Result<Graph, String> {
+    /// Fails on inconsistent dimensions, out-of-bounds edge endpoints, or
+    /// non-finite feature values.
+    pub fn into_graph(self) -> Result<Graph, SgclError> {
         if self.features.len() != self.num_nodes * self.feature_dim {
-            return Err(format!(
-                "feature length {} != {} × {}",
-                self.features.len(),
-                self.num_nodes,
-                self.feature_dim
+            return Err(SgclError::invalid_data(
+                "graph record",
+                format!(
+                    "feature length {} != num_nodes {} x feature_dim {}",
+                    self.features.len(),
+                    self.num_nodes,
+                    self.feature_dim
+                ),
             ));
         }
         if self.node_tags.len() != self.num_nodes {
-            return Err("node tag length mismatch".into());
+            return Err(SgclError::invalid_data(
+                "graph record",
+                format!(
+                    "node tag length {} != num_nodes {}",
+                    self.node_tags.len(),
+                    self.num_nodes
+                ),
+            ));
+        }
+        for &(u, v) in &self.edges {
+            if u as usize >= self.num_nodes || v as usize >= self.num_nodes {
+                return Err(SgclError::invalid_data(
+                    "graph record",
+                    format!("edge ({u},{v}) out of range for {} nodes", self.num_nodes),
+                ));
+            }
+        }
+        if let Some(bad) = self.features.iter().find(|f| !f.is_finite()) {
+            return Err(SgclError::invalid_data(
+                "graph record",
+                format!("non-finite feature value {bad}"),
+            ));
         }
         let features = Matrix::from_vec(self.num_nodes, self.feature_dim, self.features);
         let mut g = Graph::new(self.num_nodes, self.edges, features).with_tags(self.node_tags);
@@ -97,7 +125,14 @@ impl GraphRecord {
         g.scaffold = self.scaffold;
         if let Some(m) = self.semantic_mask {
             if m.len() != g.num_nodes() {
-                return Err("semantic mask length mismatch".into());
+                return Err(SgclError::invalid_data(
+                    "graph record",
+                    format!(
+                        "semantic mask length {} != num_nodes {}",
+                        m.len(),
+                        g.num_nodes()
+                    ),
+                ));
             }
             g.semantic_mask = Some(m);
         }
@@ -106,43 +141,77 @@ impl GraphRecord {
 }
 
 /// Serialises a dataset to JSON.
-pub fn dataset_to_json(ds: &Dataset) -> String {
+///
+/// # Errors
+/// Rejects non-finite feature values: `serde_json` renders NaN/±inf as
+/// `null`, which would produce a file that can never be loaded back.
+pub fn dataset_to_json(ds: &Dataset) -> Result<String, SgclError> {
+    for (i, g) in ds.graphs.iter().enumerate() {
+        if !g.features.all_finite() {
+            return Err(SgclError::invalid_data(
+                format!("dataset {}", ds.name),
+                format!("graph {i} has non-finite features"),
+            ));
+        }
+    }
     let file = DatasetFile {
         version: DATASET_FORMAT_VERSION,
         name: ds.name.clone(),
         num_classes: ds.num_classes,
         graphs: ds.graphs.iter().map(GraphRecord::from).collect(),
     };
-    serde_json::to_string(&file).expect("dataset serialisation cannot fail")
+    serde_json::to_string(&file).map_err(|e| SgclError::parse("serialise dataset", e))
 }
 
-/// Parses a dataset from JSON.
-pub fn dataset_from_json(s: &str) -> Result<Dataset, String> {
+/// Parses a dataset from JSON, fully validating every graph record (edge
+/// bounds, feature shapes, label ranges) so malformed files surface as
+/// typed errors instead of panics deep inside the pipeline.
+pub fn dataset_from_json(s: &str) -> Result<Dataset, SgclError> {
     let file: DatasetFile =
-        serde_json::from_str(s).map_err(|e| format!("invalid dataset JSON: {e}"))?;
+        serde_json::from_str(s).map_err(|e| SgclError::parse("invalid dataset JSON", e))?;
     if file.version != DATASET_FORMAT_VERSION {
-        return Err(format!(
-            "unsupported dataset format version {} (expected {DATASET_FORMAT_VERSION})",
-            file.version
-        ));
+        return Err(SgclError::UnsupportedVersion {
+            what: "dataset",
+            found: file.version,
+            min: DATASET_FORMAT_VERSION,
+            max: DATASET_FORMAT_VERSION,
+        });
     }
+    let num_classes = file.num_classes;
     let graphs = file
         .graphs
         .into_iter()
         .enumerate()
-        .map(|(i, r)| r.into_graph().map_err(|e| format!("graph {i}: {e}")))
+        .map(|(i, r)| {
+            if let (Some(c), true) = (r.class, num_classes > 0) {
+                if c >= num_classes {
+                    return Err(SgclError::invalid_data(
+                        format!("graph {i}"),
+                        format!("class label {c} out of range for {num_classes} classes"),
+                    ));
+                }
+            }
+            r.into_graph()
+                .map_err(|e| SgclError::invalid_data(format!("graph {i}"), e))
+        })
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Dataset { name: file.name, graphs, num_classes: file.num_classes })
+    Ok(Dataset {
+        name: file.name,
+        graphs,
+        num_classes,
+    })
 }
 
-/// Saves a dataset to a file.
-pub fn save_dataset(ds: &Dataset, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, dataset_to_json(ds))
+/// Saves a dataset to a file atomically (temp file + fsync + rename).
+pub fn save_dataset(ds: &Dataset, path: &Path) -> Result<(), SgclError> {
+    let json = dataset_to_json(ds)?;
+    write_atomic(path, json.as_bytes())
 }
 
 /// Loads a dataset from a file.
-pub fn load_dataset(path: &Path) -> Result<Dataset, String> {
-    let s = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+pub fn load_dataset(path: &Path) -> Result<Dataset, SgclError> {
+    let s = std::fs::read_to_string(path)
+        .map_err(|e| SgclError::io(format!("read {}", path.display()), e))?;
     dataset_from_json(&s)
 }
 
@@ -151,10 +220,24 @@ mod tests {
     use super::*;
     use crate::{MolDataset, Scale, TuDataset};
 
+    fn record(num_nodes: usize, edges: Vec<(u32, u32)>, features: Vec<f32>) -> GraphRecord {
+        GraphRecord {
+            num_nodes,
+            edges,
+            feature_dim: 2,
+            node_tags: vec![0; num_nodes],
+            features,
+            class: None,
+            multitask: None,
+            scaffold: None,
+            semantic_mask: None,
+        }
+    }
+
     #[test]
     fn roundtrip_classification_dataset() {
         let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
-        let json = dataset_to_json(&ds);
+        let json = dataset_to_json(&ds).expect("serialise");
         let back = dataset_from_json(&json).expect("parse");
         assert_eq!(back.name, ds.name);
         assert_eq!(back.num_classes, ds.num_classes);
@@ -172,7 +255,7 @@ mod tests {
     #[test]
     fn roundtrip_multitask_dataset() {
         let ds = MolDataset::Tox21.generate_sized(20, 1);
-        let json = dataset_to_json(&ds);
+        let json = dataset_to_json(&ds).expect("serialise");
         let back = dataset_from_json(&json).expect("parse");
         for (a, b) in ds.graphs.iter().zip(&back.graphs) {
             assert_eq!(a.label, b.label);
@@ -199,8 +282,65 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
-        let json = dataset_to_json(&ds).replace("\"version\":1", "\"version\":9");
-        assert!(dataset_from_json(&json).is_err());
+        let json = dataset_to_json(&ds)
+            .expect("serialise")
+            .replace("\"version\":1", "\"version\":9");
+        assert!(matches!(
+            dataset_from_json(&json),
+            Err(SgclError::UnsupportedVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_edges() {
+        // endpoint 3 does not exist in a 3-node graph: must be a typed
+        // error, not a panic inside Graph::new
+        let r = record(3, vec![(0, 3)], vec![0.0; 6]);
+        assert!(matches!(r.into_graph(), Err(SgclError::InvalidData { .. })));
+        let r = record(3, vec![(7, 1)], vec![0.0; 6]);
+        assert!(r.into_graph().is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_features() {
+        let mut feats = vec![0.0; 6];
+        feats[4] = f32::NAN;
+        let r = record(3, vec![(0, 1)], feats);
+        assert!(matches!(r.into_graph(), Err(SgclError::InvalidData { .. })));
+        // and on the save side, so an unreadable file is never produced
+        let mut ds = TuDataset::Mutag.generate(Scale::Quick, 5);
+        ds.graphs[0].features.as_mut_slice()[0] = f32::INFINITY;
+        assert!(dataset_to_json(&ds).is_err());
+    }
+
+    #[test]
+    fn rejects_class_label_out_of_range() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 4);
+        let json = dataset_to_json(&ds).expect("serialise");
+        // Mutag is binary: class 2 is out of range
+        let bad = json.replacen("\"class\":0", "\"class\":2", 1).replacen(
+            "\"class\":1",
+            "\"class\":2",
+            1,
+        );
+        assert!(matches!(
+            dataset_from_json(&bad),
+            Err(SgclError::InvalidData { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 6);
+        let json = dataset_to_json(&ds).expect("serialise");
+        assert!(matches!(
+            dataset_from_json(&json[..json.len() / 2]),
+            Err(SgclError::Parse { .. })
+        ));
+        assert!(matches!(
+            load_dataset(Path::new("/nonexistent/sgcl_ds.json")),
+            Err(SgclError::Io { .. })
+        ));
     }
 
     #[test]

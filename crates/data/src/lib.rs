@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod io;
-pub mod molecules;
 pub mod moleculenet;
+pub mod molecules;
 pub mod splits;
 pub mod superpixel;
 pub mod synthetic;

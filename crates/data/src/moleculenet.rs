@@ -134,7 +134,10 @@ impl MolDataset {
         let groups: Vec<FunctionalGroup> = (0..tasks)
             .map(|t| FunctionalGroup::canonical(self.group_offset() + t))
             .collect();
-        let config = MoleculeConfig { tag_shift: self.tag_shift(), ..MoleculeConfig::default() };
+        let config = MoleculeConfig {
+            tag_shift: self.tag_shift(),
+            ..MoleculeConfig::default()
+        };
         let label_noise = 0.05;
         let missing = self.missing_rate();
 
@@ -166,7 +169,11 @@ impl MolDataset {
             })
             .collect();
 
-        Dataset { name: self.name().to_string(), graphs, num_classes: 0 }
+        Dataset {
+            name: self.name().to_string(),
+            graphs,
+            num_classes: 0,
+        }
     }
 }
 

@@ -61,7 +61,11 @@ pub struct MoleculeConfig {
 
 impl Default for MoleculeConfig {
     fn default() -> Self {
-        Self { avg_atoms: 24, atom_jitter: 6, tag_shift: 0 }
+        Self {
+            avg_atoms: 24,
+            atom_jitter: 6,
+            tag_shift: 0,
+        }
     }
 }
 
@@ -132,7 +136,11 @@ pub fn generate_molecule(
         degree[anchor] += 1;
         degree.push(1);
         // decoration atoms: carbon-heavy distribution over tags 0..8
-        let t = if rng.gen_bool(0.7) { 0 } else { rng.gen_range(1..8) };
+        let t = if rng.gen_bool(0.7) {
+            0
+        } else {
+            rng.gen_range(1..8)
+        };
         tags.push(t);
         semantic.push(false);
     }
@@ -157,9 +165,14 @@ pub fn zinc_like(n: usize, rng: &mut impl Rng) -> Vec<Graph> {
     let groups: Vec<FunctionalGroup> = (0..10).map(FunctionalGroup::canonical).collect();
     (0..n)
         .map(|_| {
-            let k = if rng.gen_bool(0.5) { rng.gen_range(1..=2usize) } else { 0 };
-            let chosen: Vec<&FunctionalGroup> =
-                (0..k).map(|_| &groups[rng.gen_range(0..groups.len())]).collect();
+            let k = if rng.gen_bool(0.5) {
+                rng.gen_range(1..=2usize)
+            } else {
+                0
+            };
+            let chosen: Vec<&FunctionalGroup> = (0..k)
+                .map(|_| &groups[rng.gen_range(0..groups.len())])
+                .collect();
             generate_molecule(&config, &chosen, rng)
         })
         .collect()
@@ -175,7 +188,11 @@ mod tests {
     fn molecule_basics() {
         let mut rng = StdRng::seed_from_u64(0);
         let g = generate_molecule(&MoleculeConfig::default(), &[], &mut rng);
-        assert!(g.num_nodes() >= 18 && g.num_nodes() <= 31, "atoms {}", g.num_nodes());
+        assert!(
+            g.num_nodes() >= 18 && g.num_nodes() <= 31,
+            "atoms {}",
+            g.num_nodes()
+        );
         assert!(g.scaffold.is_some());
         assert_eq!(g.feature_dim(), NUM_ATOM_TYPES);
         assert!(g.is_connected());
@@ -211,7 +228,10 @@ mod tests {
     fn tag_shift_changes_distribution() {
         let mut rng = StdRng::seed_from_u64(3);
         let base = MoleculeConfig::default();
-        let shifted = MoleculeConfig { tag_shift: 5, ..base.clone() };
+        let shifted = MoleculeConfig {
+            tag_shift: 5,
+            ..base.clone()
+        };
         let g0 = generate_molecule(&base, &[], &mut StdRng::seed_from_u64(9));
         let g1 = generate_molecule(&shifted, &[], &mut StdRng::seed_from_u64(9));
         assert_ne!(g0.node_tags, g1.node_tags);
@@ -233,7 +253,10 @@ mod tests {
             .iter()
             .filter(|g| g.semantic_mask.as_ref().unwrap().iter().any(|&m| m))
             .count();
-        assert!(with_groups > 10 && with_groups < 40, "{with_groups}/50 with groups");
+        assert!(
+            with_groups > 10 && with_groups < 40,
+            "{with_groups}/50 with groups"
+        );
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub fn shuffled_indices(n: usize, rng: &mut impl Rng) -> Vec<usize> {
 /// `n ≥ 2`).
 pub fn holdout(n: usize, test_fraction: f64, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
     let idx = shuffled_indices(n, rng);
-    let n_test = (((n as f64) * test_fraction).round() as usize).clamp(1.min(n), n.saturating_sub(1).max(1));
+    let n_test =
+        (((n as f64) * test_fraction).round() as usize).clamp(1.min(n), n.saturating_sub(1).max(1));
     let test = idx[..n_test.min(n)].to_vec();
     let train = idx[n_test.min(n)..].to_vec();
     (train, test)
@@ -33,8 +34,7 @@ pub fn stratified_k_fold(labels: &[usize], k: usize, rng: &mut impl Rng) -> Vec<
     let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
     for c in 0..n_classes {
-        let mut members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
         // shuffle within class
         for i in (1..members.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -75,8 +75,7 @@ pub fn label_rate_subsample(
     let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
     let mut out = Vec::new();
     for c in 0..n_classes {
-        let mut members: Vec<usize> =
-            train.iter().copied().filter(|&i| labels[i] == c).collect();
+        let mut members: Vec<usize> = train.iter().copied().filter(|&i| labels[i] == c).collect();
         if members.is_empty() {
             continue;
         }
@@ -102,7 +101,10 @@ pub fn scaffold_split(
     use std::collections::BTreeMap;
     let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for (i, g) in graphs.iter().enumerate() {
-        groups.entry(g.scaffold.unwrap_or(u32::MAX)).or_default().push(i);
+        groups
+            .entry(g.scaffold.unwrap_or(u32::MAX))
+            .or_default()
+            .push(i);
     }
     let mut sorted: Vec<Vec<usize>> = groups.into_values().collect();
     sorted.sort_by_key(|g| std::cmp::Reverse(g.len()));

@@ -48,10 +48,7 @@ impl Digit {
     /// Stroke template as polylines in the unit square (y grows upward).
     fn strokes(self) -> Vec<Vec<(f32, f32)>> {
         match self {
-            Digit::One => vec![
-                vec![(0.5, 0.1), (0.5, 0.9)],
-                vec![(0.35, 0.72), (0.5, 0.9)],
-            ],
+            Digit::One => vec![vec![(0.5, 0.1), (0.5, 0.9)], vec![(0.35, 0.72), (0.5, 0.9)]],
             Digit::Two => vec![vec![
                 (0.28, 0.72),
                 (0.42, 0.86),
@@ -185,7 +182,11 @@ pub fn generate_digit(
     }
     let mut graph = Graph::new(n, edges, features).with_class(digit.class());
     graph.semantic_mask = Some(nodes.iter().map(|nd| nd.on_stroke).collect());
-    SuperpixelGraph { graph, nodes, digit }
+    SuperpixelGraph {
+        graph,
+        nodes,
+        digit,
+    }
 }
 
 /// Generates a small labelled dataset of all three digits (`per_digit`
@@ -270,12 +271,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let sp = generate_digit(Digit::One, 40, 0, 3, &mut rng);
         // stroke x coordinates concentrate near 0.5
-        let mean_x: f32 =
-            sp.nodes.iter().map(|n| n.x).sum::<f32>() / sp.nodes.len() as f32;
+        let mean_x: f32 = sp.nodes.iter().map(|n| n.x).sum::<f32>() / sp.nodes.len() as f32;
         assert!((mean_x - 0.48).abs() < 0.1, "mean x {mean_x}");
-        let spread_y = sp.nodes.iter().map(|n| n.y).fold(f32::NEG_INFINITY, f32::max)
+        let spread_y = sp
+            .nodes
+            .iter()
+            .map(|n| n.y)
+            .fold(f32::NEG_INFINITY, f32::max)
             - sp.nodes.iter().map(|n| n.y).fold(f32::INFINITY, f32::min);
-        assert!(spread_y > 0.5, "digit 1 should span vertically, got {spread_y}");
+        assert!(
+            spread_y > 0.5,
+            "digit 1 should span vertically, got {spread_y}"
+        );
     }
 
     #[test]

@@ -47,8 +47,7 @@ impl Motif {
     pub fn edges(self) -> Vec<(u32, u32)> {
         match self {
             Motif::Cycle(n) => {
-                let mut e: Vec<(u32, u32)> =
-                    (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+                let mut e: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
                 e.push((n as u32 - 1, 0));
                 e
             }
@@ -285,7 +284,11 @@ impl Dataset {
     pub fn labels(&self) -> Vec<usize> {
         self.graphs
             .iter()
-            .map(|g| g.label.class().expect("unlabelled graph in labelled dataset"))
+            .map(|g| {
+                g.label
+                    .class()
+                    .expect("unlabelled graph in labelled dataset")
+            })
             .collect()
     }
 
@@ -303,9 +306,9 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sgcl_graph::GraphLabel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sgcl_graph::GraphLabel;
 
     #[test]
     fn motif_sizes_and_edges() {
@@ -427,7 +430,11 @@ mod tests {
     fn dataset_helpers() {
         let mut rng = StdRng::seed_from_u64(5);
         let s = spec();
-        let ds = Dataset { name: s.name.clone(), graphs: s.generate(&mut rng), num_classes: 2 };
+        let ds = Dataset {
+            name: s.name.clone(),
+            graphs: s.generate(&mut rng),
+            num_classes: 2,
+        };
         assert_eq!(ds.len(), 30);
         assert!(!ds.is_empty());
         assert_eq!(ds.feature_dim(), 6);

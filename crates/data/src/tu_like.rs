@@ -204,9 +204,14 @@ impl TuDataset {
         let spec = self.spec(scale);
         // mix the dataset identity into the seed so different datasets don't
         // share random streams
-        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let graphs = spec.generate(&mut rng);
-        Dataset { name: self.name().to_string(), graphs, num_classes: spec.num_classes() }
+        Dataset {
+            name: self.name().to_string(),
+            graphs,
+            num_classes: spec.num_classes(),
+        }
     }
 }
 
@@ -283,8 +288,7 @@ mod tests {
     fn node_counts_track_table1_ordering() {
         // DD graphs are the largest; MUTAG the smallest (Table I)
         let dd = dataset_stats(&TuDataset::Dd.generate(Scale::Standard, 0).graphs).avg_nodes;
-        let mutag =
-            dataset_stats(&TuDataset::Mutag.generate(Scale::Standard, 0).graphs).avg_nodes;
+        let mutag = dataset_stats(&TuDataset::Mutag.generate(Scale::Standard, 0).graphs).avg_nodes;
         assert!(dd > 2.0 * mutag, "DD {dd} vs MUTAG {mutag}");
     }
 }

@@ -15,8 +15,8 @@
 use crate::metrics::{accuracy, mean_multitask_auc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sgcl_graph::{Graph, GraphBatch, GraphLabel};
 use sgcl_gnn::{ClassifierHead, GnnEncoder, Pooling};
+use sgcl_graph::{Graph, GraphBatch, GraphLabel};
 use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
 use std::rc::Rc;
 
@@ -33,7 +33,11 @@ pub struct FineTuneConfig {
 
 impl Default for FineTuneConfig {
     fn default() -> Self {
-        Self { epochs: 30, lr: 1e-3, batch_size: 64 }
+        Self {
+            epochs: 30,
+            lr: 1e-3,
+            batch_size: 64,
+        }
     }
 }
 
@@ -213,7 +217,12 @@ mod tests {
         let enc = GnnEncoder::new(
             "enc",
             &mut store,
-            EncoderConfig { kind: EncoderKind::Gin, input_dim, hidden_dim: 16, num_layers: 2 },
+            EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim,
+                hidden_dim: 16,
+                num_layers: 2,
+            },
             &mut rng,
         );
         (store, enc)
@@ -234,7 +243,10 @@ mod tests {
             &train,
             &test,
             ds.num_classes,
-            FineTuneConfig { epochs: 15, ..Default::default() },
+            FineTuneConfig {
+                epochs: 15,
+                ..Default::default()
+            },
             1,
         );
         assert!(acc > 0.6, "accuracy {acc}");
@@ -254,7 +266,10 @@ mod tests {
             &train,
             &test,
             1,
-            FineTuneConfig { epochs: 15, ..Default::default() },
+            FineTuneConfig {
+                epochs: 15,
+                ..Default::default()
+            },
             3,
         )
         .expect("AUC defined");
@@ -285,7 +300,10 @@ mod tests {
             &train,
             &test,
             ds.num_classes,
-            FineTuneConfig { epochs: 2, ..Default::default() },
+            FineTuneConfig {
+                epochs: 2,
+                ..Default::default()
+            },
             5,
         );
         let after = store.snapshot();

@@ -49,10 +49,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
 /// missing (the MoleculeNet convention). `per_task` holds
 /// `(scores, labels)` pairs.
 pub fn mean_multitask_auc(per_task: &[(Vec<f32>, Vec<bool>)]) -> Option<f64> {
-    let aucs: Vec<f64> = per_task
-        .iter()
-        .filter_map(|(s, l)| roc_auc(s, l))
-        .collect();
+    let aucs: Vec<f64> = per_task.iter().filter_map(|(s, l)| roc_auc(s, l)).collect();
     if aucs.is_empty() {
         None
     } else {
@@ -69,8 +66,8 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.len() < 2 {
         return (mean, 0.0);
     }
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / (values.len() - 1) as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
     (mean, var.sqrt())
 }
 
@@ -196,10 +193,7 @@ mod tests {
     #[test]
     fn average_ranks_with_missing() {
         // method 1 missing on dataset 0 → ranked only on dataset 1
-        let scores = vec![
-            vec![Some(0.9), Some(0.1)],
-            vec![None, Some(0.9)],
-        ];
+        let scores = vec![vec![Some(0.9), Some(0.1)], vec![None, Some(0.9)]];
         let ar = average_ranks(&scores);
         assert_eq!(ar[0], (1.0 + 2.0) / 2.0);
         assert_eq!(ar[1], 1.0);

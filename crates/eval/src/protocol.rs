@@ -57,7 +57,11 @@ pub fn svm_cross_validate(
         accs.push(svm.accuracy(&normalize_like(&x_test, &x_train), &y_test));
     }
     let (mean, std) = mean_std(&accs);
-    CvResult { mean, std, per_run: accs }
+    CvResult {
+        mean,
+        std,
+        per_run: accs,
+    }
 }
 
 /// Repeats [`svm_cross_validate`] over several seeds and aggregates — the

@@ -21,7 +21,11 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        Self { c: 1.0, max_passes: 200, tol: 1e-3 }
+        Self {
+            c: 1.0,
+            max_passes: 200,
+            tol: 1e-3,
+        }
     }
 }
 
@@ -121,7 +125,10 @@ impl MulticlassSvm {
         assert!(num_classes >= 2, "need at least two classes");
         let classifiers = (0..num_classes)
             .map(|c| {
-                let y: Vec<i8> = labels.iter().map(|&l| if l == c { 1 } else { -1 }).collect();
+                let y: Vec<i8> = labels
+                    .iter()
+                    .map(|&l| if l == c { 1 } else { -1 })
+                    .collect();
                 BinarySvm::train(x, &y, config, rng)
             })
             .collect();
@@ -224,7 +231,15 @@ mod tests {
         for i in 0..10 {
             y[i] = -y[i];
         }
-        let svm = BinarySvm::train(&x, &y, SvmConfig { c: 0.5, ..Default::default() }, &mut rng);
+        let svm = BinarySvm::train(
+            &x,
+            &y,
+            SvmConfig {
+                c: 0.5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let correct = (0..100).filter(|&i| svm.predict(x.row(i)) == y[i]).count();
         assert!(correct > 70, "{correct}/100");
     }

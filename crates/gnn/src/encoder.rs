@@ -62,15 +62,31 @@ pub struct EncoderConfig {
 impl EncoderConfig {
     /// The paper's unsupervised-learning configuration: 3-layer GIN, dim 32.
     pub fn paper_unsupervised(input_dim: usize) -> Self {
-        Self { kind: EncoderKind::Gin, input_dim, hidden_dim: 32, num_layers: 3 }
+        Self {
+            kind: EncoderKind::Gin,
+            input_dim,
+            hidden_dim: 32,
+            num_layers: 3,
+        }
     }
 }
 
 enum GnnLayer {
-    Gin { mlp: Mlp },
-    Gcn { lin: Linear },
-    Sage { self_lin: Linear, neigh_lin: Linear },
-    Gat { lin: Linear, att_src: ParamId, att_dst: ParamId },
+    Gin {
+        mlp: Mlp,
+    },
+    Gcn {
+        lin: Linear,
+    },
+    Sage {
+        self_lin: Linear,
+        neigh_lin: Linear,
+    },
+    Gat {
+        lin: Linear,
+        att_src: ParamId,
+        att_dst: ParamId,
+    },
 }
 
 /// A multi-layer GNN encoder producing node representations.
@@ -81,10 +97,19 @@ pub struct GnnEncoder {
 
 impl GnnEncoder {
     /// Registers all layer parameters in `store`.
-    pub fn new(name: &str, store: &mut ParamStore, config: EncoderConfig, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        name: &str,
+        store: &mut ParamStore,
+        config: EncoderConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
         let mut layers = Vec::with_capacity(config.num_layers);
         for l in 0..config.num_layers {
-            let in_dim = if l == 0 { config.input_dim } else { config.hidden_dim };
+            let in_dim = if l == 0 {
+                config.input_dim
+            } else {
+                config.hidden_dim
+            };
             let out = config.hidden_dim;
             let lname = format!("{name}.layer{l}");
             let layer = match config.kind {
@@ -187,7 +212,10 @@ impl GnnEncoder {
                     let out = lin.forward(tape, store, agg);
                     tape.relu(out)
                 }
-                GnnLayer::Sage { self_lin, neigh_lin } => {
+                GnnLayer::Sage {
+                    self_lin,
+                    neigh_lin,
+                } => {
                     // h' = ReLU(W₁ h + W₂ mean_{j∈N(i)} h_j)
                     let mean_adj = Rc::new(batch.adj.row_normalized());
                     let agg = tape.spmm(mean_adj, h);
@@ -196,9 +224,11 @@ impl GnnEncoder {
                     let sum = tape.add(hs, hn);
                     tape.relu(sum)
                 }
-                GnnLayer::Gat { lin, att_src, att_dst } => {
-                    self.gat_layer(tape, store, batch, h, lin, *att_src, *att_dst)
-                }
+                GnnLayer::Gat {
+                    lin,
+                    att_src,
+                    att_dst,
+                } => self.gat_layer(tape, store, batch, h, lin, *att_src, *att_dst),
             };
             h = apply_mask(tape, h);
         }
@@ -253,7 +283,11 @@ mod tests {
 
     fn sample_batch() -> GraphBatch {
         let a = Graph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)], Matrix::eye(4));
-        let b = Graph::new(3, vec![(0, 1), (1, 2)], Matrix::eye(4).select_rows(&[0, 1, 2]));
+        let b = Graph::new(
+            3,
+            vec![(0, 1), (1, 2)],
+            Matrix::eye(4).select_rows(&[0, 1, 2]),
+        );
         GraphBatch::new(&[&a, &b])
     }
 
@@ -263,7 +297,12 @@ mod tests {
         let enc = GnnEncoder::new(
             "enc",
             &mut store,
-            EncoderConfig { kind, input_dim: 4, hidden_dim: 8, num_layers: 2 },
+            EncoderConfig {
+                kind,
+                input_dim: 4,
+                hidden_dim: 8,
+                num_layers: 2,
+            },
             &mut rng,
         );
         (store, enc)
@@ -350,7 +389,12 @@ mod tests {
             let enc = GnnEncoder::new(
                 "enc",
                 &mut store,
-                EncoderConfig { kind, input_dim: 4, hidden_dim: 8, num_layers: 2 },
+                EncoderConfig {
+                    kind,
+                    input_dim: 4,
+                    hidden_dim: 8,
+                    num_layers: 2,
+                },
                 &mut rng,
             );
             let head = Linear::new("head", &mut store, 8, 2, &mut rng);
@@ -390,6 +434,10 @@ mod tests {
         let h = enc.forward(&mut tape, &store, &batch, None);
         let out = tape.value(h);
         // all nodes share identical inputs → identical outputs regardless of degree
-        assert!(out.row(0).iter().zip(out.row(2)).all(|(&a, &b)| (a - b).abs() < 1e-5));
+        assert!(out
+            .row(0)
+            .iter()
+            .zip(out.row(2))
+            .all(|(&a, &b)| (a - b).abs() < 1e-5));
     }
 }

@@ -14,7 +14,9 @@ pub struct ProjectionHead {
 impl ProjectionHead {
     /// Builds a `dim → dim → dim` projection (the paper keeps widths equal).
     pub fn new(name: &str, store: &mut ParamStore, dim: usize, rng: &mut impl Rng) -> Self {
-        Self { mlp: Mlp::new(name, store, &[dim, dim, dim], Activation::Relu, rng) }
+        Self {
+            mlp: Mlp::new(name, store, &[dim, dim, dim], Activation::Relu, rng),
+        }
     }
 
     /// Projects pooled representations into the contrastive latent space.
@@ -48,7 +50,9 @@ impl ClassifierHead {
         classes: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        Self { mlp: Mlp::new(name, store, &[dim, classes], Activation::Identity, rng) }
+        Self {
+            mlp: Mlp::new(name, store, &[dim, classes], Activation::Identity, rng),
+        }
     }
 
     /// MLP classifier `dim → hidden → classes`.
@@ -60,7 +64,9 @@ impl ClassifierHead {
         classes: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        Self { mlp: Mlp::new(name, store, &[dim, hidden, classes], Activation::Relu, rng) }
+        Self {
+            mlp: Mlp::new(name, store, &[dim, hidden, classes], Activation::Relu, rng),
+        }
     }
 
     /// Produces logits.

@@ -29,7 +29,12 @@ impl Linear {
             rng,
         );
         let b = store.register(format!("{name}.b"), 1, out_dim, Initializer::Zeros, rng);
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer on the tape.

@@ -21,9 +21,7 @@ impl Pooling {
     /// representations (`num_graphs × d`).
     pub fn apply(self, tape: &mut Tape, batch: &GraphBatch, h: Var) -> Var {
         match self {
-            Pooling::Sum => {
-                tape.scatter_add_rows(h, batch.node_graph.clone(), batch.num_graphs)
-            }
+            Pooling::Sum => tape.scatter_add_rows(h, batch.node_graph.clone(), batch.num_graphs),
             Pooling::Mean => {
                 let sum = tape.scatter_add_rows(h, batch.node_graph.clone(), batch.num_graphs);
                 let inv = tape.constant(batch.inv_graph_sizes());
@@ -48,8 +46,16 @@ mod tests {
     use sgcl_tensor::Matrix;
 
     fn batch() -> GraphBatch {
-        let a = Graph::new(2, vec![(0, 1)], Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
-        let b = Graph::new(3, vec![(0, 1)], Matrix::from_rows(&[&[5.0, 0.0], &[1.0, 1.0], &[0.0, 2.0]]));
+        let a = Graph::new(
+            2,
+            vec![(0, 1)],
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+        );
+        let b = Graph::new(
+            3,
+            vec![(0, 1)],
+            Matrix::from_rows(&[&[5.0, 0.0], &[1.0, 1.0], &[0.0, 2.0]]),
+        );
         GraphBatch::new(&[&a, &b])
     }
 

@@ -103,7 +103,11 @@ pub fn drop_nodes_weighted(
     }
     let keep: Vec<bool> = dropped.iter().map(|&d| !d).collect();
     let (graph, kept) = g.induced_subgraph(&keep);
-    DropResult { graph, kept, dropped }
+    DropResult {
+        graph,
+        kept,
+        dropped,
+    }
 }
 
 /// Drops `drop_count` nodes uniformly at random — GraphCL's NodeDrop and
@@ -121,7 +125,11 @@ pub fn drop_single_node(g: &Graph, node: usize) -> DropResult {
     let (graph, kept) = g.induced_subgraph(&keep);
     let mut dropped = vec![false; g.num_nodes()];
     dropped[node] = true;
-    DropResult { graph, kept, dropped }
+    DropResult {
+        graph,
+        kept,
+        dropped,
+    }
 }
 
 /// Edge perturbation: removes `ratio·|E|` random edges and inserts the same
@@ -174,7 +182,8 @@ pub fn perturb_edges_drop_only(g: &Graph, drop_probs: &[f32], rng: &mut impl Rng
         .filter(|&(_, &p)| rng.gen_range(0.0f32..1.0) >= p)
         .map(|(&e, _)| e)
         .collect();
-    let mut out = Graph::new(g.num_nodes(), edges, g.features.clone()).with_tags(g.node_tags.clone());
+    let mut out =
+        Graph::new(g.num_nodes(), edges, g.features.clone()).with_tags(g.node_tags.clone());
     out.label = g.label.clone();
     out.scaffold = g.scaffold;
     out.semantic_mask = g.semantic_mask.clone();
@@ -233,7 +242,11 @@ pub fn random_walk_subgraph(g: &Graph, keep_ratio: f32, rng: &mut impl Rng) -> D
     }
     let (graph, kept) = g.induced_subgraph(&keep);
     let dropped = keep.iter().map(|&k| !k).collect();
-    DropResult { graph, kept, dropped }
+    DropResult {
+        graph,
+        kept,
+        dropped,
+    }
 }
 
 /// Applies an [`AugmentKind`] with GraphCL's default strength (ratio 0.2).
@@ -315,7 +328,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 45, "expected node 7 dropped nearly always, got {hits}/50");
+        assert!(
+            hits > 45,
+            "expected node 7 dropped nearly always, got {hits}/50"
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl GraphBatch {
         for (gi, g) in graphs.iter().enumerate() {
             assert_eq!(g.feature_dim(), d, "feature dim mismatch in batch");
             for i in 0..g.num_nodes() {
-                features.row_mut(offset + i).copy_from_slice(g.features.row(i));
+                features
+                    .row_mut(offset + i)
+                    .copy_from_slice(g.features.row(i));
                 node_graph.push(gi);
                 triplets_loops.push((offset + i, offset + i, 1.0));
             }
@@ -135,7 +137,11 @@ mod tests {
     }
 
     fn pair() -> Graph {
-        Graph::new(2, vec![(0, 1)], Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]))
+        Graph::new(
+            2,
+            vec![(0, 1)],
+            Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]),
+        )
     }
 
     #[test]

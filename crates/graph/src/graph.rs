@@ -255,7 +255,10 @@ impl Graph {
     /// True when the graph is connected (single component; empty graphs count
     /// as connected).
     pub fn is_connected(&self) -> bool {
-        self.connected_components().iter().max().map_or(true, |&m| m == 0)
+        self.connected_components()
+            .iter()
+            .max()
+            .map_or(true, |&m| m == 0)
     }
 
     /// Replaces features with one-hot encodings of the node tags, using
@@ -275,11 +278,7 @@ mod tests {
 
     fn triangle_plus_tail() -> Graph {
         // 0-1-2 triangle, 3 hangs off 2
-        Graph::new(
-            4,
-            vec![(0, 1), (1, 2), (2, 0), (2, 3)],
-            Matrix::eye(4),
-        )
+        Graph::new(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)], Matrix::eye(4))
     }
 
     #[test]
@@ -338,7 +337,9 @@ mod tests {
 
     #[test]
     fn induced_subgraph_carries_metadata() {
-        let mut g = triangle_plus_tail().with_class(1).with_tags(vec![5, 6, 7, 8]);
+        let mut g = triangle_plus_tail()
+            .with_class(1)
+            .with_tags(vec![5, 6, 7, 8]);
         g.semantic_mask = Some(vec![true, true, true, false]);
         g.scaffold = Some(42);
         let (sub, _) = g.induced_subgraph(&[false, true, true, true]);

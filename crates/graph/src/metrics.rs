@@ -66,11 +66,7 @@ pub fn semantic_preservation(graph: &Graph, dropped: &[bool]) -> Option<f64> {
     if total == 0 {
         return None;
     }
-    let kept = mask
-        .iter()
-        .zip(dropped)
-        .filter(|&(&m, &d)| m && !d)
-        .count();
+    let kept = mask.iter().zip(dropped).filter(|&(&m, &d)| m && !d).count();
     Some(kept as f64 / total as f64)
 }
 
@@ -92,10 +88,7 @@ mod tests {
 
     #[test]
     fn stats_basic() {
-        let gs = vec![
-            make(3, vec![(0, 1), (1, 2)], 0),
-            make(5, vec![(0, 1)], 1),
-        ];
+        let gs = vec![make(3, vec![(0, 1), (1, 2)], 0), make(5, vec![(0, 1)], 1)];
         let s = dataset_stats(&gs);
         assert_eq!(s.num_graphs, 2);
         assert!((s.avg_nodes - 4.0).abs() < 1e-9);

@@ -92,7 +92,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = Initializer::Normal(2.0).sample(100, 100, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / (m.len() - 1) as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());

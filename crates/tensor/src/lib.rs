@@ -53,6 +53,6 @@ pub mod tape;
 
 pub use init::Initializer;
 pub use matrix::Matrix;
-pub use optim::{Adam, Optimizer, ParamStore, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, ParamStore, Sgd, SgdState};
 pub use sparse::CsrMatrix;
 pub use tape::{stable_sigmoid, stable_softplus, ParamId, Tape, Var};

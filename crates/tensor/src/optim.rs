@@ -8,6 +8,7 @@ use crate::init::Initializer;
 use crate::matrix::Matrix;
 use crate::tape::{ParamId, Tape, Var};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 #[derive(Clone)]
 struct Param {
@@ -159,11 +160,28 @@ impl ParamStore {
 
     /// Restores a snapshot taken with [`ParamStore::snapshot`].
     pub fn restore(&mut self, snapshot: &[Matrix]) {
-        assert_eq!(snapshot.len(), self.params.len(), "snapshot length mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.params.len(),
+            "snapshot length mismatch"
+        );
         for (p, s) in self.params.iter_mut().zip(snapshot) {
             assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch");
             p.value = s.clone();
         }
+    }
+
+    /// True when every parameter value is finite (no NaN/±inf) — the
+    /// post-step health check of the training-runtime guards.
+    pub fn params_all_finite(&self) -> bool {
+        self.params.iter().all(|p| p.value.all_finite())
+    }
+
+    /// True when every accumulated gradient is finite. A single NaN in any
+    /// buffer makes [`ParamStore::grad_norm`] NaN as well, but this query
+    /// is the explicit form.
+    pub fn grads_all_finite(&self) -> bool {
+        self.params.iter().all(|p| p.grad.all_finite())
     }
 
     /// Adds Gaussian noise `N(0, sigma²·std_per_param²)` to every weight —
@@ -196,6 +214,51 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
+/// Serialisable snapshot of an [`Sgd`] optimiser's mutable state (the
+/// momentum/decay hyperparameters are configuration, not state).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SgdState {
+    /// Learning rate at snapshot time.
+    pub lr: f32,
+    /// Per-parameter momentum buffers (empty before the first step).
+    pub velocity: Vec<Matrix>,
+}
+
+/// Serialisable snapshot of an [`Adam`] optimiser's mutable state: restore
+/// it into a fresh `Adam` to continue a run bit-exactly. The β/ε/decay
+/// hyperparameters are configuration and are not part of the state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdamState {
+    /// Learning rate at snapshot time (after any schedule/recovery decay).
+    pub lr: f32,
+    /// Bias-correction step counter.
+    pub t: u64,
+    /// First-moment estimates, one per parameter (empty before the first
+    /// step — [`Adam::step`] lazily initialises them).
+    pub m: Vec<Matrix>,
+    /// Second-moment estimates, one per parameter.
+    pub v: Vec<Matrix>,
+}
+
+impl AdamState {
+    /// State of a fresh optimiser that has not taken a step yet.
+    pub fn fresh(lr: f32) -> Self {
+        Self {
+            lr,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// True when every moment estimate is finite.
+    pub fn all_finite(&self) -> bool {
+        self.lr.is_finite()
+            && self.m.iter().all(Matrix::all_finite)
+            && self.v.iter().all(Matrix::all_finite)
+    }
+}
+
 /// Stochastic gradient descent with optional momentum and weight decay.
 pub struct Sgd {
     lr: f32,
@@ -207,12 +270,36 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum and decoupled weight decay.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Snapshot of the mutable optimiser state for checkpointing.
+    pub fn state(&self) -> SgdState {
+        SgdState {
+            lr: self.lr,
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken with [`Sgd::state`].
+    pub fn restore_state(&mut self, s: &SgdState) {
+        self.lr = s.lr;
+        self.velocity = s.velocity.clone();
     }
 }
 
@@ -281,6 +368,26 @@ impl Adam {
         let mut a = Self::new(lr);
         a.weight_decay = weight_decay;
         a
+    }
+
+    /// Snapshot of the mutable optimiser state (`lr`, step counter,
+    /// moments) for checkpointing / rollback.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken with [`Adam::state`]; continuing from it
+    /// reproduces the original run bit-exactly.
+    pub fn restore_state(&mut self, s: &AdamState) {
+        self.lr = s.lr;
+        self.t = s.t;
+        self.m = s.m.clone();
+        self.v = s.v.clone();
     }
 }
 
@@ -444,6 +551,76 @@ mod tests {
         store.register_value("a", Matrix::full(1, 2, 3.0));
         store.register_value("b", Matrix::full(1, 1, 4.0)); // norm = sqrt(9+9+16)
         assert!((store.weight_norm() - (34.0f32).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_state_restore_is_bit_exact() {
+        // run A: 60 uninterrupted steps; run B: 30 steps, snapshot
+        // (params + optimiser), restore into fresh buffers, 30 more —
+        // both must land on bitwise-identical weights
+        let run = |split: Option<usize>| -> Vec<f32> {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut store = ParamStore::new();
+            let id = store.register("w", 3, 2, Initializer::Uniform(-1.0, 1.0), &mut rng);
+            let mut opt = Adam::new(0.05);
+            for step in 0..60 {
+                if let Some(k) = split {
+                    if step == k {
+                        let params = store.snapshot();
+                        let opt_state = opt.state();
+                        // "new process": fresh store + optimiser, restored
+                        let mut store2 = ParamStore::new();
+                        store2.register_value("w", Matrix::zeros(3, 2));
+                        store2.restore(&params);
+                        store = store2;
+                        opt = Adam::new(0.123); // lr overwritten by restore
+                        opt.restore_state(&opt_state);
+                    }
+                }
+                let (tape, loss) = quadratic_loss(&store, id);
+                store.backward(&tape, loss);
+                opt.step(&mut store);
+            }
+            store.value(id).as_slice().to_vec()
+        };
+        assert_eq!(run(None), run(Some(30)), "Adam state restore drifted");
+    }
+
+    #[test]
+    fn sgd_state_roundtrip() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        let mut store = ParamStore::new();
+        let id = store.register_value("w", Matrix::ones(2, 2));
+        let (tape, loss) = quadratic_loss(&store, id);
+        store.backward(&tape, loss);
+        opt.step(&mut store);
+        let s = opt.state();
+        assert_eq!(s.velocity.len(), 1);
+        let mut opt2 = Sgd::with_momentum(0.5, 0.9, 0.0);
+        opt2.restore_state(&s);
+        assert_eq!(opt2.learning_rate(), 0.1);
+        assert_eq!(opt2.state(), s);
+    }
+
+    #[test]
+    fn finiteness_queries_detect_poison() {
+        let mut store = ParamStore::new();
+        let id = store.register_value("w", Matrix::ones(2, 2));
+        assert!(store.params_all_finite());
+        assert!(store.grads_all_finite());
+        store.value_mut(id).as_mut_slice()[0] = f32::NAN;
+        assert!(!store.params_all_finite());
+        let snap = vec![Matrix::ones(2, 2)];
+        store.restore(&snap);
+        assert!(store.params_all_finite());
+    }
+
+    #[test]
+    fn fresh_adam_state_is_empty_and_finite() {
+        let s = AdamState::fresh(1e-3);
+        assert_eq!(s.t, 0);
+        assert!(s.m.is_empty() && s.v.is_empty());
+        assert!(s.all_finite());
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl CsrMatrix {
     ) -> Self {
         let mut entries: Vec<(usize, usize, f32)> = triplets.into_iter().collect();
         for &(r, c, _) in &entries {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of {rows}x{cols}"
+            );
         }
         entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         // merge duplicates
@@ -53,7 +56,13 @@ impl CsrMatrix {
         }
         let col_idx = merged.iter().map(|&(_, c, _)| c as u32).collect();
         let values = merged.iter().map(|&(_, _, v)| v).collect();
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// An all-zero sparse matrix.
@@ -250,10 +259,7 @@ mod tests {
     #[test]
     fn to_dense_roundtrip() {
         let d = sample().to_dense();
-        assert_eq!(
-            d,
-            Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 3.0]])
-        );
+        assert_eq!(d, Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 3.0]]));
     }
 
     #[test]

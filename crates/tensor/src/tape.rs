@@ -39,7 +39,9 @@ impl ParamId {
 /// The closed set of differentiable operations.
 enum Op {
     /// Constant or parameter leaf. `param` links back to the store slot.
-    Leaf { param: Option<ParamId> },
+    Leaf {
+        param: Option<ParamId>,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Hadamard(Var, Var),
@@ -58,15 +60,28 @@ enum Op {
     /// CSR matrix such as a graph adjacency.
     Spmm(Rc<CsrMatrix>, Var),
     /// Row `i` of the output is `w[i] * x[i, :]`; both inputs get gradients.
-    ScaleRows { x: Var, w: Var },
+    ScaleRows {
+        x: Var,
+        w: Var,
+    },
     /// `out[i, :] = x[idx[i], :]`.
     GatherRows(Var, Rc<Vec<usize>>),
     /// `out[idx[i], :] += x[i, :]`, output has `n_out` rows.
-    ScatterAddRows { x: Var, idx: Rc<Vec<usize>>, n_out: usize },
+    ScatterAddRows {
+        x: Var,
+        idx: Rc<Vec<usize>>,
+        n_out: usize,
+    },
     /// Softmax of an `n × 1` score column within groups given by `seg`.
-    SegmentSoftmax { x: Var, seg: Rc<Vec<usize>> },
+    SegmentSoftmax {
+        x: Var,
+        seg: Rc<Vec<usize>>,
+    },
     /// Per-segment max over rows; `arg` holds the winning row per (segment, col).
-    SegmentMax { x: Var, arg: Vec<u32> },
+    SegmentMax {
+        x: Var,
+        arg: Vec<u32>,
+    },
     Exp(Var),
     Ln(Var),
     /// Extracts the main diagonal of a square matrix as an `n × 1` column.
@@ -78,9 +93,17 @@ enum Op {
     FrobNorm(Var),
     ConcatCols(Var, Var),
     /// Mean over rows of `-log softmax(x)[target]`; `probs` cached at forward.
-    SoftmaxCrossEntropy { x: Var, targets: Rc<Vec<usize>>, probs: Matrix },
+    SoftmaxCrossEntropy {
+        x: Var,
+        targets: Rc<Vec<usize>>,
+        probs: Matrix,
+    },
     /// Masked binary cross-entropy with logits, averaged over observed labels.
-    BceWithLogits { x: Var, targets: Rc<Matrix>, mask: Rc<Matrix> },
+    BceWithLogits {
+        x: Var,
+        targets: Rc<Matrix>,
+        mask: Rc<Matrix>,
+    },
 }
 
 struct Node {
@@ -102,7 +125,9 @@ impl Default for Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(64) }
+        Self {
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     /// Number of recorded nodes.
@@ -241,7 +266,11 @@ impl Tape {
     /// Scatter-add rows: `out[idx[i]] += x[i]`, producing `n_out` rows.
     pub fn scatter_add_rows(&mut self, x: Var, idx: Rc<Vec<usize>>, n_out: usize) -> Var {
         let xm = self.value(x);
-        assert_eq!(xm.rows(), idx.len(), "scatter_add_rows: index length mismatch");
+        assert_eq!(
+            xm.rows(),
+            idx.len(),
+            "scatter_add_rows: index length mismatch"
+        );
         let d = xm.cols();
         let mut out = Matrix::zeros(n_out, d);
         for (i, &t) in idx.iter().enumerate() {
@@ -261,7 +290,11 @@ impl Tape {
     pub fn segment_softmax(&mut self, x: Var, seg: Rc<Vec<usize>>) -> Var {
         let xm = self.value(x);
         assert_eq!(xm.cols(), 1, "segment_softmax expects an n×1 score column");
-        assert_eq!(xm.rows(), seg.len(), "segment_softmax: segment length mismatch");
+        assert_eq!(
+            xm.rows(),
+            seg.len(),
+            "segment_softmax: segment length mismatch"
+        );
         let v = segment_softmax_forward(xm.as_slice(), &seg);
         let out = Matrix::from_vec(xm.rows(), 1, v);
         self.push(out, Op::SegmentSoftmax { x, seg })
@@ -365,7 +398,11 @@ impl Tape {
     /// matrix and `targets[i]` indexes the positive column.
     pub fn softmax_cross_entropy(&mut self, x: Var, targets: Rc<Vec<usize>>) -> Var {
         let xm = self.value(x);
-        assert_eq!(xm.rows(), targets.len(), "softmax_cross_entropy: target length");
+        assert_eq!(
+            xm.rows(),
+            targets.len(),
+            "softmax_cross_entropy: target length"
+        );
         let mut probs = Matrix::zeros(xm.rows(), xm.cols());
         let mut loss = 0.0f64;
         for r in 0..xm.rows() {
@@ -724,12 +761,7 @@ mod tests {
     use super::*;
 
     /// Central finite difference of `f` at `x` in coordinate `(r, c)`.
-    fn numeric_grad(
-        x: &Matrix,
-        r: usize,
-        c: usize,
-        f: &dyn Fn(&Matrix) -> f32,
-    ) -> f32 {
+    fn numeric_grad(x: &Matrix, r: usize, c: usize, f: &dyn Fn(&Matrix) -> f32) -> f32 {
         let eps = 1e-3f32;
         let mut xp = x.clone();
         xp.set(r, c, x.get(r, c) + eps);
@@ -797,7 +829,11 @@ mod tests {
     #[test]
     fn grad_matmul_chain() {
         check_grad(test_input(), |t, x| {
-            let w = t.constant(Matrix::from_rows(&[&[0.3, -0.1], &[0.2, 0.4], &[-0.5, 0.6]]));
+            let w = t.constant(Matrix::from_rows(&[
+                &[0.3, -0.1],
+                &[0.2, 0.4],
+                &[-0.5, 0.6],
+            ]));
             let y = t.matmul(x, w);
             let y2 = t.relu(y);
             t.sum_all(y2)
@@ -839,11 +875,14 @@ mod tests {
             2,
             vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 0.5)],
         ));
-        check_grad(Matrix::from_rows(&[&[0.5, -1.0], &[0.3, 0.8]]), move |t, x| {
-            let y = t.spmm(adj.clone(), x);
-            let y2 = t.tanh(y);
-            t.sum_all(y2)
-        });
+        check_grad(
+            Matrix::from_rows(&[&[0.5, -1.0], &[0.3, 0.8]]),
+            move |t, x| {
+                let y = t.spmm(adj.clone(), x);
+                let y2 = t.tanh(y);
+                t.sum_all(y2)
+            },
+        );
     }
 
     #[test]
@@ -889,12 +928,15 @@ mod tests {
     #[test]
     fn grad_segment_max() {
         // strictly distinct entries so the argmax is stable under ±eps
-        check_grad(Matrix::from_rows(&[&[0.9, -1.0], &[0.1, 2.0], &[3.0, 0.0]]), |t, x| {
-            let seg = Rc::new(vec![0usize, 0, 1]);
-            let y = t.segment_max(x, seg, 2);
-            let y2 = t.sigmoid(y);
-            t.sum_all(y2)
-        });
+        check_grad(
+            Matrix::from_rows(&[&[0.9, -1.0], &[0.1, 2.0], &[3.0, 0.0]]),
+            |t, x| {
+                let seg = Rc::new(vec![0usize, 0, 1]);
+                let y = t.segment_max(x, seg, 2);
+                let y2 = t.sigmoid(y);
+                t.sum_all(y2)
+            },
+        );
     }
 
     #[test]
@@ -909,14 +951,11 @@ mod tests {
 
     #[test]
     fn grad_diag() {
-        check_grad(
-            Matrix::from_rows(&[&[1.0, 0.3], &[-0.2, 2.0]]),
-            |t, x| {
-                let d = t.diag(x);
-                let sq = t.hadamard(d, d);
-                t.sum_all(sq)
-            },
-        );
+        check_grad(Matrix::from_rows(&[&[1.0, 0.3], &[-0.2, 2.0]]), |t, x| {
+            let d = t.diag(x);
+            let sq = t.hadamard(d, d);
+            t.sum_all(sq)
+        });
     }
 
     #[test]

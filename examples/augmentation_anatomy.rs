@@ -48,7 +48,12 @@ fn main() {
     let gen = LipschitzGenerator::new(
         "demo",
         &mut store,
-        EncoderConfig { kind: EncoderKind::Gin, input_dim: 6, hidden_dim: 32, num_layers: 3 },
+        EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: 6,
+            hidden_dim: 32,
+            num_layers: 3,
+        },
         &mut rng,
     );
     let batch = GraphBatch::new(&[&graph]);
@@ -95,8 +100,19 @@ fn main() {
         );
         pres_rand += semantic_preservation(&graph, &rand.dropped).expect("mask present");
     }
-    println!("\nsemantic preservation over {trials} samples at ρ = {rho} (fraction of motif kept):");
-    println!("  Lipschitz augmentation Ĝ : {:.3}", pres_lip / trials as f64);
-    println!("  random node dropping     : {:.3}", pres_rand / trials as f64);
-    println!("  complement samples Ĝᶜ    : {:.3}  (deliberately destroys semantics)", pres_comp / trials as f64);
+    println!(
+        "\nsemantic preservation over {trials} samples at ρ = {rho} (fraction of motif kept):"
+    );
+    println!(
+        "  Lipschitz augmentation Ĝ : {:.3}",
+        pres_lip / trials as f64
+    );
+    println!(
+        "  random node dropping     : {:.3}",
+        pres_rand / trials as f64
+    );
+    println!(
+        "  complement samples Ĝᶜ    : {:.3}  (deliberately destroys semantics)",
+        pres_comp / trials as f64
+    );
 }

@@ -56,7 +56,10 @@ fn main() {
     );
 
     // 4. Fine-tune the pre-trained encoder and an untrained control.
-    let ft = FineTuneConfig { epochs: 10, ..Default::default() };
+    let ft = FineTuneConfig {
+        epochs: 10,
+        ..Default::default()
+    };
     let auc_pretrained = finetune_multitask(
         &model.encoder,
         &model.store,
@@ -89,8 +92,14 @@ fn main() {
     )
     .expect("both classes present");
 
-    println!("\ntest ROC-AUC  (SGCL pre-trained): {:.2}%", auc_pretrained * 100.0);
-    println!("test ROC-AUC  (no pre-training) : {:.2}%", auc_scratch * 100.0);
+    println!(
+        "\ntest ROC-AUC  (SGCL pre-trained): {:.2}%",
+        auc_pretrained * 100.0
+    );
+    println!(
+        "test ROC-AUC  (no pre-training) : {:.2}%",
+        auc_scratch * 100.0
+    );
     println!(
         "pre-training gain: {:+.2} points",
         (auc_pretrained - auc_scratch) * 100.0

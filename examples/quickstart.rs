@@ -33,7 +33,10 @@ fn main() {
     println!("\npre-training ({} epochs)…", config.epochs);
     let stats = model.pretrain(&ds.graphs, 0);
     for (e, s) in stats.iter().enumerate().step_by(3) {
-        println!("  epoch {:>2}: loss {:.4} (L_s {:.4}, L_c {:.4})", e, s.loss, s.loss_s, s.loss_c);
+        println!(
+            "  epoch {:>2}: loss {:.4} (L_s {:.4}, L_c {:.4})",
+            e, s.loss, s.loss_s, s.loss_c
+        );
     }
 
     // 3. What did the Lipschitz generator learn? Semantic (motif) nodes

@@ -40,13 +40,23 @@ fn main() {
     let acc_wl = svm_cross_validate(&wl, &labels, ds.num_classes, 5, 0).mean;
     println!("  WL kernel : {:.2}%", acc_wl * 100.0);
 
-    let gcl_cfg = GclConfig { encoder, epochs: 12, batch_size: 64, ..GclConfig::paper_unsupervised(ds.feature_dim()) };
+    let gcl_cfg = GclConfig {
+        encoder,
+        epochs: 12,
+        batch_size: 64,
+        ..GclConfig::paper_unsupervised(ds.feature_dim())
+    };
     let graphcl = pretrain_graphcl(gcl_cfg, &ds.graphs, 0);
     let acc_graphcl =
         svm_cross_validate(&graphcl.embed(&ds.graphs), &labels, ds.num_classes, 5, 0).mean;
     println!("  GraphCL   : {:.2}%", acc_graphcl * 100.0);
 
-    let sgcl_cfg = SgclConfig { encoder, epochs: 12, batch_size: 64, ..SgclConfig::paper_unsupervised(ds.feature_dim()) };
+    let sgcl_cfg = SgclConfig {
+        encoder,
+        epochs: 12,
+        batch_size: 64,
+        ..SgclConfig::paper_unsupervised(ds.feature_dim())
+    };
     let mut rng = StdRng::seed_from_u64(0);
     let mut sgcl = SgclModel::new(sgcl_cfg, &mut rng);
     sgcl.pretrain(&ds.graphs, 0);
@@ -59,7 +69,10 @@ fn main() {
     let (train_full, test) = holdout(ds.len(), 0.2, &mut split_rng);
     let train_1pct = label_rate_subsample(&train_full, &labels, 0.10, &mut split_rng);
     println!("  {} labelled graphs available", train_1pct.len());
-    let ft = FineTuneConfig { epochs: 20, ..Default::default() };
+    let ft = FineTuneConfig {
+        epochs: 20,
+        ..Default::default()
+    };
     let acc_semi = finetune_classify(
         &sgcl.encoder,
         &sgcl.store,

@@ -4,6 +4,8 @@
 //! Contrastive Learning with Lipschitz Graph Augmentation* (ICDE 2024) —
 //! re-exporting the workspace's crates under one roof:
 //!
+//! * [`common`] — the workspace-wide typed error ([`SgclError`]), fault
+//!   reports, atomic file writes;
 //! * [`tensor`] — matrices, sparse ops, autograd, optimisers;
 //! * [`graph`] — graph structures, batching, augmentation operators;
 //! * [`data`] — synthetic TU-like / ZINC-like / MoleculeNet-like /
@@ -18,6 +20,7 @@
 //! the full system inventory.
 
 pub use sgcl_baselines as baselines;
+pub use sgcl_common as common;
 pub use sgcl_core as core;
 pub use sgcl_data as data;
 pub use sgcl_eval as eval;
@@ -25,4 +28,5 @@ pub use sgcl_gnn as gnn;
 pub use sgcl_graph as graph;
 pub use sgcl_tensor as tensor;
 
+pub use sgcl_common::SgclError;
 pub use sgcl_core::{Ablation, SgclConfig, SgclModel};

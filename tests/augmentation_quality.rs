@@ -8,9 +8,9 @@ use rand::SeedableRng;
 use sgcl::core::augmentation::{complement_augment, drop_count, lipschitz_augment};
 use sgcl::core::{Ablation, SgclConfig, SgclModel};
 use sgcl::data::{Scale, TuDataset};
+use sgcl::gnn::{EncoderConfig, EncoderKind};
 use sgcl::graph::augment::drop_nodes_uniform;
 use sgcl::graph::metrics::semantic_preservation;
-use sgcl::gnn::{EncoderConfig, EncoderKind};
 
 fn mean_preservation(
     model: &SgclModel,
@@ -144,7 +144,12 @@ fn full_sgcl_preserves_better_than_pure_learnable_generator() {
     let full = trained_model(&ds, Ablation::default(), 3);
     let no_lga = trained_model(
         &ds,
-        Ablation { random_augment: false, no_lga: true, no_srl: false, ..Default::default() },
+        Ablation {
+            random_augment: false,
+            no_lga: true,
+            no_srl: false,
+            ..Default::default()
+        },
         3,
     );
     let mut rng = StdRng::seed_from_u64(4);
@@ -161,9 +166,9 @@ fn preservation_holds_across_background_families() {
     // ER, preferential-attachment, and tree backgrounds all expose the gap
     let rho = 0.7;
     for (dsk, seed) in [
-        (TuDataset::Mutag, 10u64),  // ER background
-        (TuDataset::ImdbB, 11),     // preferential attachment
-        (TuDataset::RdtB, 12),      // tree
+        (TuDataset::Mutag, 10u64), // ER background
+        (TuDataset::ImdbB, 11),    // preferential attachment
+        (TuDataset::RdtB, 12),     // tree
     ] {
         let ds = dsk.generate(Scale::Quick, seed);
         let model = trained_model(&ds, Ablation::default(), seed);

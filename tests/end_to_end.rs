@@ -10,7 +10,12 @@ use sgcl::gnn::{EncoderConfig, EncoderKind};
 
 fn small_config(input_dim: usize) -> SgclConfig {
     SgclConfig {
-        encoder: EncoderConfig { kind: EncoderKind::Gin, input_dim, hidden_dim: 16, num_layers: 2 },
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim,
+            hidden_dim: 16,
+            num_layers: 2,
+        },
         epochs: 8,
         batch_size: 24,
         ..SgclConfig::paper_unsupervised(input_dim)
@@ -38,10 +43,22 @@ fn pretraining_improves_over_random_encoder() {
     let mut rng2 = StdRng::seed_from_u64(1);
     let random = SgclModel::new(small_config(ds.feature_dim()), &mut rng2);
     trained.pretrain(&ds.graphs, 1);
-    let acc_trained =
-        svm_cross_validate(&trained.embed(&ds.graphs), &ds.labels(), ds.num_classes, 5, 0).mean;
-    let acc_random =
-        svm_cross_validate(&random.embed(&ds.graphs), &ds.labels(), ds.num_classes, 5, 0).mean;
+    let acc_trained = svm_cross_validate(
+        &trained.embed(&ds.graphs),
+        &ds.labels(),
+        ds.num_classes,
+        5,
+        0,
+    )
+    .mean;
+    let acc_random = svm_cross_validate(
+        &random.embed(&ds.graphs),
+        &ds.labels(),
+        ds.num_classes,
+        5,
+        0,
+    )
+    .mean;
     // allow noise, but a collapse (big regression) is a real bug
     assert!(
         acc_trained > acc_random - 0.1,

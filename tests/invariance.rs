@@ -14,7 +14,12 @@ fn build_encoder(kind: EncoderKind, input_dim: usize, seed: u64) -> (ParamStore,
     let enc = GnnEncoder::new(
         "inv",
         &mut store,
-        EncoderConfig { kind, input_dim, hidden_dim: 8, num_layers: 2 },
+        EncoderConfig {
+            kind,
+            input_dim,
+            hidden_dim: 8,
+            num_layers: 2,
+        },
         &mut rng,
     );
     (store, enc)
@@ -64,7 +69,6 @@ fn arbitrary_graph() -> impl Strategy<Value = Graph> {
             })
     })
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
