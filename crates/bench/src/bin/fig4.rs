@@ -109,5 +109,9 @@ fn main() {
     opts.write_json(&serde_json::json!({
         "experiment": "fig4",
         "sweeps": json_sweeps,
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

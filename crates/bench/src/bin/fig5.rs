@@ -151,5 +151,9 @@ fn main() {
     opts.write_json(&serde_json::json!({
         "experiment": "fig5",
         "sweeps": json_sweeps,
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

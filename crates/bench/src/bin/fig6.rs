@@ -79,5 +79,9 @@ fn main() {
     opts.write_json(&serde_json::json!({
         "experiment": "fig6",
         "encoders": json,
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

@@ -123,5 +123,9 @@ fn main() {
     opts.write_json(&serde_json::json!({
         "experiment": "fig7",
         "digits": json_digits,
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

@@ -1,0 +1,298 @@
+//! Kernel benchmark harness: dense GEMM, sparse spMM, and a full SGCL
+//! pre-training step, timed across sizes and thread counts.
+//!
+//! ```text
+//! cargo run --release --bin kernels                  # full sweep
+//! cargo run --release --bin kernels -- --smoke       # CI-sized run
+//! cargo run --release --bin kernels -- --threads 4   # pin the sweep
+//! cargo run --release --bin kernels -- --out k.json  # default BENCH_kernels.json
+//! ```
+//!
+//! Every measurement becomes one JSON row
+//! `{op, variant, m, n, k, nnz, threads, iters, ns_per_iter, gflops}`.
+//! The `naive` variant is the retained single-threaded reference
+//! implementation (the pre-optimisation kernels); `blocked` is the
+//! cache-blocked, multithreaded path. Both produce bit-identical outputs —
+//! see DESIGN.md §Performance for how to read the numbers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::SgclModel;
+use sgcl_data::{Scale, TuDataset};
+use sgcl_tensor::{set_num_threads, CsrMatrix, Matrix};
+use std::time::Instant;
+
+struct Row {
+    op: &'static str,
+    variant: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    nnz: usize,
+    threads: usize,
+    iters: usize,
+    ns_per_iter: f64,
+    gflops: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "op": self.op,
+            "variant": self.variant,
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "nnz": self.nnz,
+            "threads": self.threads,
+            "iters": self.iters,
+            "ns_per_iter": self.ns_per_iter,
+            "gflops": self.gflops,
+        })
+    }
+}
+
+/// Deterministic pseudo-random matrix (LCG; no RNG state shared with
+/// the model benchmarks).
+fn pseudo_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 40) as f32 / (1 << 24) as f32) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Synthetic sparse adjacency: `rows × cols` with ~`per_row` entries per row.
+fn pseudo_csr(rows: usize, cols: usize, per_row: usize, seed: u64) -> CsrMatrix {
+    let mut state = seed.wrapping_mul(0xBF58_476D_1CE4_E5B9) | 1;
+    let mut triplets = Vec::with_capacity(rows * per_row);
+    for r in 0..rows {
+        for _ in 0..per_row {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            triplets.push((r, (state >> 33) as usize % cols, 1.0));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, triplets)
+}
+
+/// Times `f` over `iters` runs (after one warm-up) and returns ns/iter.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page in buffers, prime the pool
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn gemm_rows(rows: &mut Vec<Row>, sizes: &[usize], threads: &[usize], iters_for: impl Fn(usize) -> usize) {
+    for &s in sizes {
+        let a = pseudo_matrix(s, s, 1);
+        let b = pseudo_matrix(s, s, 2);
+        let flop = 2.0 * (s as f64).powi(3);
+        let iters = iters_for(s);
+        let ops: [(&'static str, fn(&Matrix, &Matrix) -> Matrix, fn(&Matrix, &Matrix) -> Matrix); 3] = [
+            ("matmul", Matrix::matmul_reference, Matrix::matmul),
+            ("matmul_tn", Matrix::matmul_tn_reference, Matrix::matmul_tn),
+            ("matmul_nt", Matrix::matmul_nt_reference, Matrix::matmul_nt),
+        ];
+        for (op, naive, blocked) in ops {
+            set_num_threads(1);
+            let ns = time_ns(iters, || {
+                std::hint::black_box(naive(&a, &b));
+            });
+            rows.push(Row {
+                op,
+                variant: "naive",
+                m: s,
+                n: s,
+                k: s,
+                nnz: 0,
+                threads: 1,
+                iters,
+                ns_per_iter: ns,
+                gflops: flop / ns,
+            });
+            for &t in threads {
+                set_num_threads(t);
+                let ns = time_ns(iters, || {
+                    std::hint::black_box(blocked(&a, &b));
+                });
+                rows.push(Row {
+                    op,
+                    variant: "blocked",
+                    m: s,
+                    n: s,
+                    k: s,
+                    nnz: 0,
+                    threads: t,
+                    iters,
+                    ns_per_iter: ns,
+                    gflops: flop / ns,
+                });
+            }
+        }
+    }
+}
+
+fn spmm_rows(rows: &mut Vec<Row>, dims: &[(usize, usize)], threads: &[usize], iters: usize) {
+    for &(n, d) in dims {
+        let adj = pseudo_csr(n, n, 8, 3);
+        let h = pseudo_matrix(n, d, 4);
+        let flop = 2.0 * adj.nnz() as f64 * d as f64;
+        let ops: [(&'static str, fn(&CsrMatrix, &Matrix) -> Matrix, fn(&CsrMatrix, &Matrix) -> Matrix); 2] = [
+            ("spmm", CsrMatrix::spmm_reference, CsrMatrix::spmm),
+            ("spmm_t", CsrMatrix::spmm_t_reference, CsrMatrix::spmm_t),
+        ];
+        for (op, naive, parallel) in ops {
+            set_num_threads(1);
+            let ns = time_ns(iters, || {
+                std::hint::black_box(naive(&adj, &h));
+            });
+            rows.push(Row {
+                op,
+                variant: "naive",
+                m: n,
+                n: d,
+                k: 0,
+                nnz: adj.nnz(),
+                threads: 1,
+                iters,
+                ns_per_iter: ns,
+                gflops: flop / ns,
+            });
+            for &t in threads {
+                set_num_threads(t);
+                let ns = time_ns(iters, || {
+                    std::hint::black_box(parallel(&adj, &h));
+                });
+                rows.push(Row {
+                    op,
+                    variant: "blocked",
+                    m: n,
+                    n: d,
+                    k: 0,
+                    nnz: adj.nnz(),
+                    threads: t,
+                    iters,
+                    ns_per_iter: ns,
+                    gflops: flop / ns,
+                });
+            }
+        }
+    }
+}
+
+fn pretrain_rows(rows: &mut Vec<Row>, threads: &[usize], epochs: usize) {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+    let mut cfg = sgcl_core::SgclConfig::paper_unsupervised(ds.feature_dim());
+    cfg.epochs = epochs;
+    cfg.batch_size = 32;
+    for &t in threads {
+        set_num_threads(t);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = SgclModel::new(cfg, &mut rng);
+        let start = Instant::now();
+        let stats = model.pretrain(&ds.graphs, 1);
+        let ns = start.elapsed().as_nanos() as f64 / stats.len() as f64;
+        rows.push(Row {
+            op: "pretrain_epoch",
+            variant: "full",
+            m: ds.graphs.len(),
+            n: cfg.encoder.hidden_dim,
+            k: cfg.encoder.num_layers,
+            nnz: 0,
+            threads: t,
+            iters: stats.len(),
+            ns_per_iter: ns,
+            gflops: 0.0,
+        });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_kernels.json");
+    let mut pinned: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--threads" => {
+                i += 1;
+                pinned = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--threads needs an integer"),
+                );
+            }
+            other => eprintln!("warning: unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Sweep 1/2/4/auto (deduped, ascending) unless pinned; 1 reproduces the
+    // pre-optimisation sequential behaviour.
+    let threads: Vec<usize> = match pinned {
+        Some(t) => vec![t.max(1)],
+        None => {
+            let mut ts = vec![1usize, 2, 4, auto];
+            ts.sort_unstable();
+            ts.dedup();
+            if smoke {
+                vec![1, auto]
+            } else {
+                ts
+            }
+        }
+    };
+    let mut ts = threads.clone();
+    ts.dedup();
+
+    let mut rows = Vec::new();
+    if smoke {
+        gemm_rows(&mut rows, &[128], &ts, |_| 3);
+        spmm_rows(&mut rows, &[(1024, 32)], &ts, 10);
+        pretrain_rows(&mut rows, &[*ts.last().unwrap()], 1);
+    } else {
+        gemm_rows(&mut rows, &[128, 256, 512], &ts, |s| if s >= 512 { 5 } else { 30 });
+        spmm_rows(&mut rows, &[(4096, 64), (16384, 32)], &ts, 20);
+        pretrain_rows(&mut rows, &ts, 2);
+    }
+
+    println!(
+        "{:<14} {:<8} {:>6} {:>6} {:>6} {:>9} {:>7} {:>13} {:>8}",
+        "op", "variant", "m", "n", "k", "nnz", "threads", "ns/iter", "GFLOP/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<8} {:>6} {:>6} {:>6} {:>9} {:>7} {:>13.0} {:>8.2}",
+            r.op, r.variant, r.m, r.n, r.k, r.nnz, r.threads, r.ns_per_iter, r.gflops
+        );
+    }
+
+    let doc = serde_json::json!({
+        "experiment": "kernels",
+        "available_parallelism": auto,
+        "rows": rows.iter().map(Row::to_json).collect::<Vec<_>>(),
+    });
+    let bytes = serde_json::to_vec_pretty(&doc).expect("serialise");
+    if let Err(e) = sgcl_common::write_atomic(std::path::Path::new(&out), &bytes) {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    }
+    println!("\nresults written to {out}");
+}

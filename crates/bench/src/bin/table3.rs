@@ -92,5 +92,9 @@ fn main() {
             .zip(&ranks)
             .map(|(m, &r)| (m.name().to_string(), r))
             .collect::<std::collections::BTreeMap<_, _>>(),
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

@@ -174,5 +174,9 @@ fn main() {
             .zip(&ranks)
             .map(|(r, &v)| (r.name(), v))
             .collect::<std::collections::BTreeMap<_, _>>(),
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

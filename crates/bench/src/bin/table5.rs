@@ -193,5 +193,9 @@ fn main() {
     opts.write_json(&serde_json::json!({
         "experiment": "table5",
         "variants": json_variants,
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

@@ -135,5 +135,9 @@ fn main() {
     opts.write_json(&serde_json::json!({
         "experiment": "table6",
         "methods": json_methods,
-    }));
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    });
 }

@@ -22,6 +22,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgcl_baselines::common::GclConfig;
+use sgcl_common::SgclError;
 use sgcl_baselines::gcl::{
     pretrain_adgcl, pretrain_autogcl, pretrain_graphcl, pretrain_infograph, pretrain_joao,
     pretrain_rgcl, pretrain_simgrace,
@@ -44,16 +45,21 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Optional JSON output path.
     pub out: Option<String>,
+    /// Kernel worker threads (0 = auto-detect; results are bit-identical
+    /// for any setting).
+    pub threads: usize,
 }
 
 impl HarnessOpts {
-    /// Parses `--quick`, `--seed N`, `--out PATH` from `std::env::args`.
+    /// Parses `--quick`, `--seed N`, `--out PATH`, `--threads N` from
+    /// `std::env::args` and applies the thread count to the tensor kernels.
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut opts = Self {
             quick: false,
             seed: 0,
             out: None,
+            threads: 0,
         };
         let mut i = 1;
         while i < args.len() {
@@ -70,10 +76,18 @@ impl HarnessOpts {
                     i += 1;
                     opts.out = Some(args.get(i).expect("--out needs a path").clone());
                 }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--threads needs an integer");
+                }
                 other => eprintln!("warning: unknown argument {other}"),
             }
             i += 1;
         }
+        sgcl_tensor::set_num_threads(opts.threads);
         opts
     }
 
@@ -101,16 +115,20 @@ impl HarnessOpts {
         }
     }
 
-    /// Writes a JSON document to `--out` if given.
-    pub fn write_json(&self, value: &serde_json::Value) {
+    /// Writes a JSON document to `--out` if given (atomically: a crash or
+    /// concurrent reader never observes a truncated file).
+    ///
+    /// # Errors
+    /// Returns the underlying [`SgclError`] on serialisation or I/O failure
+    /// instead of silently degrading to a warning.
+    pub fn write_json(&self, value: &serde_json::Value) -> Result<(), SgclError> {
         if let Some(path) = &self.out {
-            std::fs::write(
-                path,
-                serde_json::to_string_pretty(value).expect("serialise"),
-            )
-            .unwrap_or_else(|e| eprintln!("warning: could not write {path}: {e}"));
+            let bytes = serde_json::to_vec_pretty(value)
+                .map_err(|e| SgclError::invalid_data(path.clone(), e.to_string()))?;
+            sgcl_common::write_atomic(std::path::Path::new(path), &bytes)?;
             println!("\nresults written to {path}");
         }
+        Ok(())
     }
 }
 
@@ -377,6 +395,7 @@ mod tests {
             quick: true,
             seed: 0,
             out: None,
+            threads: 0,
         };
         let ds = TuDataset::Mutag.generate(opts.scale(), 0);
         let acc = unsupervised_accuracy(Method::Wl, &ds, &opts, 0);

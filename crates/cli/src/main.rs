@@ -57,6 +57,10 @@ COMMANDS:
   stats      Dataset summary statistics
              --data <FILE>
 
+GLOBAL OPTIONS:
+  --threads <N>   kernel worker threads (default 0 = auto-detect; 1 forces
+                  the sequential path). Results are bit-identical for any N.
+
 EXIT CODES:
   0 success   2 usage     3 I/O            4 parse/version
   5 invalid data          6 artifact mismatch   7 training diverged
@@ -77,6 +81,9 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), SgclError> {
     let args = Args::from_env()?;
+    // Global kernel thread count; 0 (the default) auto-detects. `--threads 1`
+    // forces the sequential path; any setting produces bit-identical results.
+    sgcl_tensor::set_num_threads(args.get_parse("threads", 0usize)?);
     match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "pretrain" => cmd_pretrain(&args),

@@ -315,9 +315,12 @@ impl SgclModel {
         let mut opt = Adam::new(self.config.lr);
         let mut recovery = RecoveryState::new(*policy, &self.store, &opt, 0);
         let mut stats = Vec::with_capacity(self.config.epochs);
+        // one tape for the whole run: `reset` recycles every node buffer, so
+        // after the first step the hot path stops allocating
+        let mut tape = Tape::new();
         let mut epoch = 0;
         while epoch < self.config.epochs {
-            match self.run_epoch(&mut opt, graphs, &mut rng, &policy.guard) {
+            match self.run_epoch(&mut opt, &mut tape, graphs, &mut rng, &policy.guard) {
                 Ok(s) => {
                     stats.push(s);
                     recovery.record_good(&self.store, &opt);
@@ -367,13 +370,14 @@ impl SgclModel {
         let mut opt = Adam::new(self.config.lr);
         opt.restore_state(&state.optimizer);
         let mut recovery = RecoveryState::new(*policy, &self.store, &opt, state.retries_used);
+        let mut tape = Tape::new();
         while state.next_epoch < self.config.epochs {
             let mut rng = StdRng::seed_from_u64(epoch_seed(
                 state.base_seed,
                 state.next_epoch as u64,
                 state.retries_used as u64,
             ));
-            match self.run_epoch(&mut opt, graphs, &mut rng, &policy.guard) {
+            match self.run_epoch(&mut opt, &mut tape, graphs, &mut rng, &policy.guard) {
                 Ok(s) => {
                     state.stats.push(s);
                     state.next_epoch += 1;
@@ -400,6 +404,7 @@ impl SgclModel {
     fn run_epoch(
         &mut self,
         opt: &mut Adam,
+        tape: &mut Tape,
         graphs: &[Graph],
         rng: &mut StdRng,
         guard: &GuardConfig,
@@ -418,7 +423,7 @@ impl SgclModel {
             }
             let batch_graphs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
             let (l, ls, lc) = self
-                .train_step(opt, &batch_graphs, rng, guard)
+                .train_step(opt, tape, &batch_graphs, rng, guard)
                 .map_err(|k| (bi, k))?;
             tl += l as f64;
             ts += ls as f64;
@@ -441,13 +446,15 @@ impl SgclModel {
     fn train_step(
         &mut self,
         opt: &mut Adam,
+        tape: &mut Tape,
         graphs: &[&Graph],
         rng: &mut impl Rng,
         guard: &GuardConfig,
     ) -> Result<(f32, f32, f32), FaultKind> {
         let cfg = self.config;
         let batch = GraphBatch::new(graphs);
-        let mut tape = Tape::new();
+        // recycle the previous step's node buffers before recording this one
+        tape.reset();
 
         // --- steps 1–2: Lipschitz constants and keep-probabilities ---
         let (k_v, p_values, p_var) = if cfg.ablation.random_augment {
@@ -467,7 +474,7 @@ impl SgclModel {
             };
             let p_var = self
                 .generator
-                .augmentation_prob(&mut tape, &self.store, &batch, &c);
+                .augmentation_prob(tape, &self.store, &batch, &c);
             let p_values: Vec<f32> = tape.value(p_var).as_slice().to_vec();
             (k, p_values, Some(p_var))
         };
@@ -506,14 +513,14 @@ impl SgclModel {
 
         // --- step 4: embed anchors, samples, complements ---
         // anchors: Eq. 21 — Lipschitz-weighted pooling
-        let h_anchor = self.encoder.forward(&mut tape, &self.store, &batch, None);
+        let h_anchor = self.encoder.forward(tape, &self.store, &batch, None);
         let pooled_anchor = if cfg.ablation.no_srl || cfg.ablation.random_augment {
-            cfg.pooling.apply(&mut tape, &batch, h_anchor)
+            cfg.pooling.apply(tape, &batch, h_anchor)
         } else {
             let w = tape.constant(Matrix::from_vec(k_v.len(), 1, k_v.clone()));
-            cfg.pooling.apply_weighted(&mut tape, &batch, h_anchor, w)
+            cfg.pooling.apply_weighted(tape, &batch, h_anchor, w)
         };
-        let z_anchor = self.proj.forward(&mut tape, &self.store, pooled_anchor);
+        let z_anchor = self.proj.forward(tape, &self.store, pooled_anchor);
 
         // samples: Eq. 22 — features weighted by keep-probability (concrete
         // relaxation routing gradients back into f_q; see DESIGN.md §4)
@@ -528,29 +535,29 @@ impl SgclModel {
         };
         let h_hat =
             self.encoder
-                .forward_from(&mut tape, &self.store, &hat_batch, hat_features, None);
-        let pooled_hat = cfg.pooling.apply(&mut tape, &hat_batch, h_hat);
-        let z_hat = self.proj.forward(&mut tape, &self.store, pooled_hat);
+                .forward_from(tape, &self.store, &hat_batch, hat_features, None);
+        let pooled_hat = cfg.pooling.apply(tape, &hat_batch, h_hat);
+        let z_hat = self.proj.forward(tape, &self.store, pooled_hat);
 
         // --- step 5: losses ---
-        let l_s = semantic_info_nce(&mut tape, z_anchor, z_hat, cfg.tau);
+        let l_s = semantic_info_nce(tape, z_anchor, z_hat, cfg.tau);
         let mut total = l_s;
         let mut l_c_value = 0.0f32;
         if cfg.lambda_c > 0.0 {
             let comp_batch = GraphBatch::from_graphs(&comp_graphs);
             let h_comp = self
                 .encoder
-                .forward(&mut tape, &self.store, &comp_batch, None);
-            let pooled_comp = cfg.pooling.apply(&mut tape, &comp_batch, h_comp);
-            let z_comp = self.proj.forward(&mut tape, &self.store, pooled_comp);
-            let l_c = complement_loss(&mut tape, z_anchor, z_hat, z_comp, cfg.tau);
+                .forward(tape, &self.store, &comp_batch, None);
+            let pooled_comp = cfg.pooling.apply(tape, &comp_batch, h_comp);
+            let z_comp = self.proj.forward(tape, &self.store, pooled_comp);
+            let l_c = complement_loss(tape, z_anchor, z_hat, z_comp, cfg.tau);
             l_c_value = tape.scalar(l_c);
             let scaled = tape.scale(l_c, cfg.lambda_c);
             total = tape.add(total, scaled);
         }
         if cfg.lambda_w > 0.0 {
             let weights = self.store.ids_where(|n| n.ends_with(".w"));
-            let reg = weight_norm_regulariser(&mut tape, &self.store, &weights);
+            let reg = weight_norm_regulariser(tape, &self.store, &weights);
             let scaled = tape.scale(reg, cfg.lambda_w);
             total = tape.add(total, scaled);
         }
@@ -577,11 +584,12 @@ impl SgclModel {
     /// projection head — the downstream convention of §VI-A3). Processes in
     /// chunks to bound memory.
     pub fn embed(&self, graphs: &[Graph]) -> Matrix {
+        let mut tape = Tape::new();
         let chunks: Vec<Matrix> = graphs
             .chunks(256)
             .map(|chunk| {
+                tape.reset();
                 let batch = GraphBatch::from_graphs(chunk);
-                let mut tape = Tape::new();
                 let h = self.encoder.forward(&mut tape, &self.store, &batch, None);
                 let pooled = self.config.pooling.apply(&mut tape, &batch, h);
                 tape.value(pooled).clone()

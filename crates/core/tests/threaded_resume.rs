@@ -1,0 +1,81 @@
+//! Determinism of multithreaded training: `pretrain_resumable` with 4
+//! kernel worker threads must reproduce the single-threaded run
+//! **bit-exactly** — identical per-epoch stats and identical embeddings.
+//! The parallel kernels partition work by output rows only, so every
+//! floating-point operation happens in the same order as the sequential
+//! path; this test is the end-to-end witness of that contract (the
+//! kill-and-resume checkpoints compare stats bitwise across processes
+//! that may be launched with different `--threads`).
+//!
+//! Kept as a single `#[test]` so the global thread-count switch never
+//! races with another test in this binary.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::{RecoveryPolicy, SgclConfig, SgclModel, TrainState};
+use sgcl_data::{Scale, TuDataset};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_tensor::set_num_threads;
+
+fn tiny_config(input_dim: usize) -> SgclConfig {
+    SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim,
+            hidden_dim: 16,
+            num_layers: 2,
+        },
+        epochs: 3,
+        batch_size: 16,
+        ..SgclConfig::paper_unsupervised(input_dim)
+    }
+}
+
+#[test]
+fn four_threads_reproduce_single_threaded_run_bit_exactly() {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+    let cfg = tiny_config(ds.feature_dim());
+    let policy = RecoveryPolicy::default();
+
+    let run = |threads: usize| {
+        set_num_threads(threads);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut model = SgclModel::new(cfg, &mut rng);
+        let state = model
+            .pretrain_resumable(&ds.graphs, TrainState::new(9, &cfg), &policy, None)
+            .expect("healthy run");
+        let emb = model.embed(&ds.graphs);
+        (state, emb)
+    };
+
+    let (state_seq, emb_seq) = run(1);
+    let (state_par, emb_par) = run(4);
+    set_num_threads(0);
+
+    assert_eq!(state_seq.stats.len(), cfg.epochs);
+    for (e, (s, p)) in state_seq.stats.iter().zip(&state_par.stats).enumerate() {
+        assert_eq!(
+            s.loss.to_bits(),
+            p.loss.to_bits(),
+            "epoch {e} total loss diverged: {} vs {}",
+            s.loss,
+            p.loss
+        );
+        assert_eq!(s.loss_s.to_bits(), p.loss_s.to_bits(), "epoch {e} L_s");
+        assert_eq!(s.loss_c.to_bits(), p.loss_c.to_bits(), "epoch {e} L_c");
+    }
+    assert_eq!(emb_seq.rows(), emb_par.rows());
+    assert_eq!(emb_seq.cols(), emb_par.cols());
+    for (i, (a, b)) in emb_seq
+        .as_slice()
+        .iter()
+        .zip(emb_par.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "embedding element {i} diverged: {a} vs {b}"
+        );
+    }
+}

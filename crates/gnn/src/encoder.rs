@@ -207,8 +207,7 @@ impl GnnEncoder {
                     // the masked node back in; the row/col scaling below (via
                     // apply_mask on the output) keeps its outputs at zero and
                     // the input masking keeps its messages at zero.
-                    let norm = Rc::new(batch.adj_self_loops.sym_normalized());
-                    let agg = tape.spmm(norm, h);
+                    let agg = tape.spmm(batch.sym_normalized_adj(), h);
                     let out = lin.forward(tape, store, agg);
                     tape.relu(out)
                 }
@@ -217,8 +216,7 @@ impl GnnEncoder {
                     neigh_lin,
                 } => {
                     // h' = ReLU(W₁ h + W₂ mean_{j∈N(i)} h_j)
-                    let mean_adj = Rc::new(batch.adj.row_normalized());
-                    let agg = tape.spmm(mean_adj, h);
+                    let agg = tape.spmm(batch.row_normalized_adj(), h);
                     let hs = self_lin.forward(tape, store, h);
                     let hn = neigh_lin.forward(tape, store, agg);
                     let sum = tape.add(hs, hn);

@@ -9,6 +9,7 @@
 
 use crate::graph::Graph;
 use sgcl_tensor::{CsrMatrix, Matrix};
+use std::cell::OnceCell;
 use std::rc::Rc;
 
 /// A batch of graphs merged into one disconnected super-graph.
@@ -29,6 +30,10 @@ pub struct GraphBatch {
     pub edge_dst: Rc<Vec<usize>>,
     /// Number of graphs in the batch.
     pub num_graphs: usize,
+    /// Lazily built `D^{-1/2}(A+I)D^{-1/2}` (see [`GraphBatch::sym_normalized_adj`]).
+    sym_norm: OnceCell<Rc<CsrMatrix>>,
+    /// Lazily built `D^{-1}A` (see [`GraphBatch::row_normalized_adj`]).
+    row_norm: OnceCell<Rc<CsrMatrix>>,
 }
 
 impl GraphBatch {
@@ -87,6 +92,8 @@ impl GraphBatch {
             edge_src: Rc::new(edge_src),
             edge_dst: Rc::new(edge_dst),
             num_graphs: graphs.len(),
+            sym_norm: OnceCell::new(),
+            row_norm: OnceCell::new(),
         }
     }
 
@@ -114,6 +121,27 @@ impl GraphBatch {
     /// Number of nodes in graph `g`.
     pub fn graph_size(&self, g: usize) -> usize {
         self.node_offsets[g + 1] - self.node_offsets[g]
+    }
+
+    /// GCN-normalised self-loop adjacency `D^{-1/2}(A+I)D^{-1/2}`, built
+    /// in place on first use and shared by every later layer/epoch on this
+    /// batch (encoders used to re-normalise per forward pass).
+    pub fn sym_normalized_adj(&self) -> Rc<CsrMatrix> {
+        Rc::clone(self.sym_norm.get_or_init(|| {
+            let mut a = (*self.adj_self_loops).clone();
+            a.sym_normalize_in_place();
+            Rc::new(a)
+        }))
+    }
+
+    /// Row-normalised adjacency `D^{-1}A` (mean aggregation), cached like
+    /// [`GraphBatch::sym_normalized_adj`].
+    pub fn row_normalized_adj(&self) -> Rc<CsrMatrix> {
+        Rc::clone(self.row_norm.get_or_init(|| {
+            let mut a = (*self.adj).clone();
+            a.row_normalize_in_place();
+            Rc::new(a)
+        }))
     }
 
     /// Column vector of `1/|V_g|` replicated per node — multiplying a
@@ -219,6 +247,25 @@ mod tests {
         let inv = batch.inv_graph_sizes();
         assert!((inv.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
         assert!((inv.get(1, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_adjacency_is_cached_and_correct() {
+        let batch = GraphBatch::new(&[&tri(), &pair()]);
+        let sym = batch.sym_normalized_adj();
+        let row = batch.row_normalized_adj();
+        // second call hands back the same shared matrix, not a rebuild
+        assert!(Rc::ptr_eq(&sym, &batch.sym_normalized_adj()));
+        assert!(Rc::ptr_eq(&row, &batch.row_normalized_adj()));
+        // values match the cloning normalisers bit-for-bit
+        assert_eq!(
+            sym.to_dense().as_slice(),
+            batch.adj_self_loops.sym_normalized().to_dense().as_slice()
+        );
+        assert_eq!(
+            row.to_dense().as_slice(),
+            batch.adj.row_normalized().to_dense().as_slice()
+        );
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //! * [`Tape`] / [`Var`] — an arena-based autograd tape with a closed op set
 //!   covering GNN layers, segment pooling/softmax, and contrastive losses;
 //! * [`ParamStore`] + [`Adam`]/[`Sgd`] — parameter storage and optimisers;
-//! * [`Initializer`] — Xavier/Kaiming/Normal weight initialisation.
+//! * [`Initializer`] — Xavier/Kaiming/Normal weight initialisation;
+//! * [`kernels`] — cache-blocked, optionally multithreaded GEMM plus the
+//!   row-parallel work partitioner behind the dense/sparse ops (see
+//!   [`set_num_threads`]); results are bit-exact at any thread count;
+//! * [`pool`] — thread-local buffer recycling so the training hot path is
+//!   allocation-free after warm-up.
 //!
 //! ## Example
 //!
@@ -46,12 +51,15 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod optim;
+pub mod pool;
 pub mod sparse;
 pub mod tape;
 
 pub use init::Initializer;
+pub use kernels::{num_threads, set_num_threads};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamState, Optimizer, ParamStore, Sgd, SgdState};
 pub use sparse::CsrMatrix;

@@ -2,12 +2,18 @@
 //! rest of the workspace needs.
 //!
 //! Design notes (following the Rust Performance Book):
-//! * storage is a single flat `Vec<f32>` — no per-row allocation;
-//! * hot kernels (`matmul`) use the i-k-j loop order so the innermost loop
-//!   streams contiguously over both the right operand row and the output row;
+//! * storage is a single flat `Vec<f32>` — no per-row allocation, and
+//!   buffers come from the thread-local [`crate::pool`] so hot-path
+//!   constructors reuse capacity instead of hitting the allocator;
+//! * the GEMM trio (`matmul`, `matmul_tn`, `matmul_nt`) dispatches to the
+//!   cache-blocked, register-tiled, row-parallel kernels in
+//!   [`crate::kernels`]; the naive loops are retained as `*_reference`
+//!   methods and define the bit-exact accumulation order every path must
+//!   reproduce (see the determinism contract in [`crate::kernels`]);
 //! * in-place variants (`add_assign`, `scale_in_place`, …) are provided so the
 //!   autograd backward pass can accumulate without temporaries.
 
+use crate::{kernels, pool};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -27,26 +33,38 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: pool::take_zeroed(rows * cols),
         }
     }
 
     /// Creates a `rows × cols` matrix filled with ones.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![1.0; rows * cols],
-        }
+        Self::full(rows, cols, 1.0)
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        let mut data = pool::take_len(rows * cols);
+        data.fill(value);
+        Self { rows, cols, data }
+    }
+
+    /// Copy of `self` whose buffer comes from the thread-local pool —
+    /// the hot-path alternative to `clone()`.
+    pub fn pooled_copy(&self) -> Self {
+        let mut data = pool::take_len(self.data.len());
+        data.copy_from_slice(&self.data);
         Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
+            rows: self.rows,
+            cols: self.cols,
+            data,
         }
+    }
+
+    /// Consumes the matrix and returns its buffer to the thread-local pool
+    /// for reuse by later constructors.
+    pub fn recycle(self) {
+        pool::give(self.data);
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -173,7 +191,8 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs` using the cache-friendly i-k-j ordering.
+    /// Matrix product `self · rhs` via the blocked multithreaded kernel
+    /// (bit-exact with [`Self::matmul_reference`] at any thread count).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -184,14 +203,80 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        kernels::gemm(
+            self.rows,
+            rhs.cols,
+            self.cols,
+            &self.data,
+            self.cols,
+            1,
+            &rhs.data,
+            rhs.cols,
+            1,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose (blocked kernel,
+    /// bit-exact with [`Self::matmul_tn_reference`]).
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: {}x{} ᵀ· {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        kernels::gemm(
+            self.cols,
+            rhs.cols,
+            self.rows,
+            &self.data,
+            1,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            1,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose (blocked kernel,
+    /// bit-exact with [`Self::matmul_nt_reference`]).
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: {}x{} · {}x{}ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        kernels::gemm(
+            self.rows,
+            rhs.rows,
+            self.cols,
+            &self.data,
+            self.cols,
+            1,
+            &rhs.data,
+            1,
+            rhs.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Naive i-k-j reference for [`Self::matmul`]. Retained as the ground
+    /// truth of the determinism contract: every optimised path must return
+    /// bit-identical results (the property tests enforce this).
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul_reference: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let o_row = &mut out.data[i * n..(i + 1) * n];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &rhs.data[k * n..(k + 1) * n];
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -201,23 +286,16 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ · rhs` without materialising the transpose.
-    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "matmul_tn: {}x{} ᵀ· {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
+    /// Naive reference for [`Self::matmul_tn`] (see [`Self::matmul_reference`]).
+    pub fn matmul_tn_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn_reference: dimension mismatch");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         let n = rhs.cols;
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &rhs.data[k * n..(k + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * n..(i + 1) * n];
+        for i in 0..self.cols {
+            let o_row = &mut out.data[i * n..(i + 1) * n];
+            for k in 0..self.rows {
+                let a = self.data[k * self.cols + i];
+                let b_row = &rhs.data[k * n..(k + 1) * n];
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
@@ -226,23 +304,18 @@ impl Matrix {
         out
     }
 
-    /// `self · rhsᵀ` without materialising the transpose.
-    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_nt: {}x{} · {}x{}ᵀ",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
+    /// Naive reference for [`Self::matmul_nt`] (see [`Self::matmul_reference`]).
+    pub fn matmul_nt_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt_reference: dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..rhs.rows {
                 let b_row = &rhs.data[j * self.cols..(j + 1) * self.cols];
-                let mut acc = 0.0f32;
+                let o = &mut out.data[i * rhs.rows + j];
                 for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+                    *o += a * b;
                 }
-                out.data[i * rhs.rows + j] = acc;
             }
         }
         out
@@ -259,35 +332,68 @@ impl Matrix {
         out
     }
 
+    /// Element-wise binary op on a row-parallel path (each output element
+    /// depends on exactly one input pair, so any partition is bit-exact).
+    fn binary_parallel(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
+        let len = self.data.len();
+        let mut data = pool::take_len(len);
+        kernels::run_rows(len, 1, &mut data, len, &|first, count, chunk| {
+            let a = &self.data[first..first + count];
+            let b = &rhs.data[first..first + count];
+            for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        });
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place element-wise update from `rhs` on the row-parallel path.
+    fn binary_parallel_assign(&mut self, rhs: &Matrix, f: impl Fn(&mut f32, f32) + Sync) {
+        assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
+        let len = self.data.len();
+        let rhs_data = &rhs.data;
+        kernels::run_rows(len, 1, &mut self.data, len, &|first, count, chunk| {
+            for (o, &y) in chunk.iter_mut().zip(&rhs_data[first..first + count]) {
+                f(o, y);
+            }
+        });
+    }
+
     /// Element-wise sum; shapes must match.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a + b)
+        self.binary_parallel(rhs, |a, b| a + b)
     }
 
     /// Element-wise difference; shapes must match.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a - b)
+        self.binary_parallel(rhs, |a, b| a - b)
     }
 
     /// Element-wise (Hadamard) product; shapes must match.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a * b)
+        self.binary_parallel(rhs, |a, b| a * b)
     }
 
     /// In-place element-wise accumulation `self += rhs`.
     pub fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        self.binary_parallel_assign(rhs, |a, b| *a += b);
     }
 
     /// In-place `self += alpha * rhs` (axpy).
     pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
-        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += alpha * b;
-        }
+        self.binary_parallel_assign(rhs, |a, b| *a += alpha * b);
+    }
+
+    /// In-place element-wise update `f(&mut self[i], rhs[i])`; shapes must
+    /// match. Lets the backward pass transform an owned gradient without a
+    /// temporary (e.g. `g *= mask`).
+    pub fn zip_apply(&mut self, rhs: &Matrix, f: impl Fn(&mut f32, f32) + Sync) {
+        self.binary_parallel_assign(rhs, f);
     }
 
     /// Scaled copy `alpha * self`.
@@ -297,9 +403,12 @@ impl Matrix {
 
     /// In-place scaling.
     pub fn scale_in_place(&mut self, alpha: f32) {
-        for v in &mut self.data {
-            *v *= alpha;
-        }
+        let len = self.data.len();
+        kernels::run_rows(len, 1, &mut self.data, len, &|_, _, chunk| {
+            for v in chunk {
+                *v *= alpha;
+            }
+        });
     }
 
     /// Fills the matrix with zeros, keeping the allocation.
@@ -307,27 +416,41 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
-    /// Element-wise map into a new matrix.
+    /// Element-wise map into a new (pool-backed) matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut data = pool::take_empty(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
-    /// Element-wise zip-map into a new matrix; shapes must match.
+    /// In-place element-wise map `self[i] = f(self[i])`.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let len = self.data.len();
+        kernels::run_rows(len, 1, &mut self.data, len, &|_, _, chunk| {
+            for v in chunk.iter_mut() {
+                *v = f(*v);
+            }
+        });
+    }
+
+    /// Element-wise zip-map into a new (pool-backed) matrix; shapes must match.
     pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
+        let mut data = pool::take_empty(self.data.len());
+        data.extend(
+            self.data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b)),
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
@@ -335,7 +458,7 @@ impl Matrix {
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
         assert_eq!(bias.rows, 1, "add_row_broadcast: bias must be 1×cols");
         assert_eq!(bias.cols, self.cols, "add_row_broadcast: col mismatch");
-        let mut out = self.clone();
+        let mut out = self.pooled_copy();
         for r in 0..out.rows {
             let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
             for (o, &b) in row.iter_mut().zip(&bias.data) {
@@ -349,7 +472,7 @@ impl Matrix {
     pub fn scale_rows(&self, w: &Matrix) -> Matrix {
         assert_eq!(w.cols, 1, "scale_rows: weights must be rows×1");
         assert_eq!(w.rows, self.rows, "scale_rows: row mismatch");
-        let mut out = self.clone();
+        let mut out = self.pooled_copy();
         for r in 0..out.rows {
             let s = w.data[r];
             for v in &mut out.data[r * out.cols..(r + 1) * out.cols] {
@@ -381,12 +504,21 @@ impl Matrix {
         out
     }
 
-    /// Row sums as a `rows × 1` column vector.
+    /// Row sums as a `rows × 1` column vector. Row-parallel: each output
+    /// element is one row's sequential sum, so the partition is bit-exact.
     pub fn row_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
-        for r in 0..self.rows {
-            out.data[r] = self.row(r).iter().sum();
-        }
+        kernels::run_rows(
+            self.rows,
+            1,
+            &mut out.data,
+            self.data.len(),
+            &|first, _count, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    *o = self.row(first + i).iter().sum();
+                }
+            },
+        );
         out
     }
 
@@ -401,16 +533,21 @@ impl Matrix {
     }
 
     /// L2-normalises each row in place; zero rows are left untouched.
+    /// Row-parallel with per-row sequential reductions (bit-exact).
     pub fn l2_normalize_rows(&mut self) {
-        for r in 0..self.rows {
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
-            if norm > 1e-12 {
-                for v in row.iter_mut() {
-                    *v /= norm;
+        let (rows, cols) = (self.rows, self.cols);
+        let work = self.data.len();
+        kernels::run_rows(rows, cols, &mut self.data, work, &|_, count, chunk| {
+            for r in 0..count {
+                let row = &mut chunk[r * cols..(r + 1) * cols];
+                let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
+                if norm > 1e-12 {
+                    for v in row.iter_mut() {
+                        *v /= norm;
+                    }
                 }
             }
-        }
+        });
     }
 
     /// Maximum element (`-inf` for empty matrices).
@@ -649,5 +786,68 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 5.0]]);
         let b = Matrix::from_rows(&[&[1.5, 2.0]]);
         assert_eq!(a.max_abs_diff(&b), 3.0);
+    }
+
+    fn pseudo_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+        let mut s = seed;
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 40) as f32 / 8388608.0) - 1.0
+                })
+                .collect(),
+        )
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        assert!(a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn matmul_trio_is_bit_exact_with_references() {
+        let a = pseudo_matrix(3, 45, 37);
+        let b = pseudo_matrix(7, 37, 51);
+        assert_bits_eq(&a.matmul(&b), &a.matmul_reference(&b));
+        let at = pseudo_matrix(11, 37, 45);
+        assert_bits_eq(&at.matmul_tn(&b), &at.matmul_tn_reference(&b));
+        let bt = pseudo_matrix(13, 51, 37);
+        assert_bits_eq(&a.matmul_nt(&bt), &a.matmul_nt_reference(&bt));
+    }
+
+    #[test]
+    fn pooled_copy_matches_and_recycles() {
+        let a = pseudo_matrix(17, 6, 5);
+        let c = a.pooled_copy();
+        assert_eq!(a, c);
+        c.recycle();
+        let z = Matrix::zeros(6, 5);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zip_apply_transforms_in_place() {
+        let mut g = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        g.zip_apply(&m, |a, b| *a *= b);
+        assert_eq!(g, Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 0.0]]));
+    }
+
+    #[test]
+    fn map_in_place_matches_map() {
+        let a = pseudo_matrix(19, 4, 9);
+        let mapped = a.map(|v| v.max(0.0));
+        let mut b = a.clone();
+        b.map_in_place(|v| v.max(0.0));
+        assert_bits_eq(&mapped, &b);
     }
 }

@@ -106,7 +106,9 @@ impl ParamStore {
 
     /// Records this parameter as a leaf on `tape` (value is cloned).
     pub fn leaf(&self, tape: &mut Tape, id: ParamId) -> Var {
-        tape.param(self.params[id.0].value.clone(), id)
+        // Pool-backed copy: the tape recycles node values on reset, so the
+        // per-step parameter snapshot reuses capacity instead of allocating.
+        tape.param(self.params[id.0].value.pooled_copy(), id)
     }
 
     /// Zeroes every gradient buffer (keeping allocations).

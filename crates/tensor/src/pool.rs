@@ -1,0 +1,145 @@
+//! Thread-local recycling pool for `f32` buffers.
+//!
+//! A training step records a few hundred tape nodes, each backed by a
+//! `Vec<f32>`; without reuse every step pays a fresh round of allocator
+//! traffic for intermediates and gradients. The pool keeps returned
+//! buffers on a per-thread free list so `Matrix` constructors and the
+//! autograd backward pass can reuse capacity across steps — after warm-up
+//! the hot path performs no heap allocation for tensor data.
+//!
+//! The pool is bounded (entry count and total bytes) so pathological
+//! workloads degrade to plain allocation instead of hoarding memory, and
+//! it is purely thread-local: no locks, and worker threads spawned by the
+//! kernel layer simply miss (allocate) and drop on exit.
+
+use std::cell::RefCell;
+
+/// Maximum number of buffers retained per thread.
+const MAX_BUFFERS: usize = 256;
+/// Maximum total bytes retained per thread (128 MiB).
+const MAX_BYTES: usize = 128 << 20;
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool {
+        buffers: Vec::new(),
+        bytes: 0,
+    });
+}
+
+struct Pool {
+    buffers: Vec<Vec<f32>>,
+    bytes: usize,
+}
+
+impl Pool {
+    /// Best-fit take: the smallest retained buffer whose capacity covers
+    /// `len`, or an empty `Vec` on a miss.
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.buffers.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, cap)) => {
+                self.bytes -= cap * std::mem::size_of::<f32>();
+                self.buffers.swap_remove(i)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn give(&mut self, buffer: Vec<f32>) {
+        let bytes = buffer.capacity() * std::mem::size_of::<f32>();
+        if bytes == 0 || self.buffers.len() >= MAX_BUFFERS || self.bytes + bytes > MAX_BYTES {
+            return; // dropped
+        }
+        self.bytes += bytes;
+        self.buffers.push(buffer);
+    }
+}
+
+/// Takes a buffer of exactly `len` elements with **unspecified contents**
+/// (callers must overwrite every element they read).
+pub fn take_len(len: usize) -> Vec<f32> {
+    let mut v = POOL.with(|p| p.borrow_mut().take(len));
+    // `resize` only writes the grown region; recycled capacity keeps its
+    // stale (but initialised) contents, which is the point of this entry.
+    v.resize(len, 0.0);
+    v
+}
+
+/// Takes a zero-filled buffer of `len` elements.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut v = POOL.with(|p| p.borrow_mut().take(len));
+    v.clear();
+    v.resize(len, 0.0);
+    v
+}
+
+/// Takes an empty buffer with capacity for at least `cap` elements when a
+/// recycled one is available (plain reservation otherwise).
+pub fn take_empty(cap: usize) -> Vec<f32> {
+    let mut v = POOL.with(|p| p.borrow_mut().take(cap));
+    v.clear();
+    if v.capacity() < cap {
+        v.reserve_exact(cap - v.capacity());
+    }
+    v
+}
+
+/// Returns a buffer to the calling thread's pool (dropped when the pool is
+/// at capacity).
+pub fn give(buffer: Vec<f32>) {
+    POOL.with(|p| p.borrow_mut().give(buffer));
+}
+
+/// Number of buffers currently retained by this thread's pool (tests).
+pub fn retained() -> usize {
+    POOL.with(|p| p.borrow().buffers.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity() {
+        let mut v = take_zeroed(1000);
+        v[0] = 7.0;
+        let ptr = v.as_ptr();
+        give(v);
+        let w = take_zeroed(900);
+        assert_eq!(w.as_ptr(), ptr, "expected the recycled allocation");
+        assert!(w.iter().all(|&x| x == 0.0));
+        give(w);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        // Drop any buffers left over from other tests on this thread.
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            p.buffers.clear();
+            p.bytes = 0;
+        });
+        let small = take_zeroed(64);
+        let big = take_zeroed(4096);
+        let (small_ptr, big_ptr) = (small.as_ptr(), big.as_ptr());
+        give(big);
+        give(small);
+        let got = take_len(32);
+        assert_eq!(got.as_ptr(), small_ptr);
+        let got_big = take_len(2048);
+        assert_eq!(got_big.as_ptr(), big_ptr);
+    }
+
+    #[test]
+    fn zero_len_buffers_are_not_retained() {
+        let before = retained();
+        give(Vec::new());
+        assert_eq!(retained(), before);
+    }
+}

@@ -4,6 +4,7 @@
 //! adjacency with a dense feature matrix, plus the transposed product
 //! `Aᵀ · dY` on the backward pass. CSR gives both in O(nnz · d).
 
+use crate::kernels;
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -123,15 +124,92 @@ impl CsrMatrix {
     }
 
     /// Sparse-dense product `self · rhs` (the message-passing kernel).
+    ///
+    /// Row-parallel: output rows are split into contiguous chunks and each
+    /// row's gather runs the identical sequential loop, so results are
+    /// bit-exact with [`Self::spmm_reference`] at any thread count.
     pub fn spmm(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows(), "spmm: inner dimension mismatch");
         let d = rhs.cols();
         let mut out = Matrix::zeros(self.rows, d);
+        if d == 0 {
+            return out;
+        }
+        let work = self.nnz().saturating_mul(d);
+        let rhs_data = rhs.as_slice();
+        kernels::run_rows(
+            self.rows,
+            d,
+            out.as_mut_slice(),
+            work,
+            &|first, _count, chunk| {
+                for (i, o_row) in chunk.chunks_exact_mut(d).enumerate() {
+                    let r = first + i;
+                    for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                        let c = self.col_idx[k] as usize;
+                        let v = self.values[k];
+                        let b_row = &rhs_data[c * d..(c + 1) * d];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += v * b;
+                        }
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Transposed sparse-dense product `selfᵀ · rhs` (the backward kernel),
+    /// computed by scattering — the transpose is never materialised.
+    ///
+    /// Parallelised by *output* row ranges (columns of `self`): every
+    /// worker scans the stored entries in the same global `(row, entry)`
+    /// order but only writes the output rows it owns, so per-element
+    /// accumulation order — and therefore the result — is bit-exact with
+    /// [`Self::spmm_t_reference`] at any thread count.
+    pub fn spmm_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows(), "spmm_t: dimension mismatch");
+        let d = rhs.cols();
+        let mut out = Matrix::zeros(self.cols, d);
+        if d == 0 {
+            return out;
+        }
+        let work = self.nnz().saturating_mul(d);
+        let rhs_data = rhs.as_slice();
+        kernels::run_rows(
+            self.cols,
+            d,
+            out.as_mut_slice(),
+            work,
+            &|first, count, chunk| {
+                for r in 0..self.rows {
+                    let b_row = &rhs_data[r * d..(r + 1) * d];
+                    for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                        let c = self.col_idx[k] as usize;
+                        if c < first || c >= first + count {
+                            continue;
+                        }
+                        let v = self.values[k];
+                        let o_row = &mut chunk[(c - first) * d..(c - first + 1) * d];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += v * b;
+                        }
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Naive sequential reference for [`Self::spmm`] — ground truth of the
+    /// determinism contract (property tests assert bit-identity).
+    pub fn spmm_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows(), "spmm_reference: dimension mismatch");
+        let d = rhs.cols();
+        let mut out = Matrix::zeros(self.rows, d);
         for r in 0..self.rows {
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
             let o_row = &mut out.as_mut_slice()[r * d..(r + 1) * d];
-            for k in lo..hi {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 let c = self.col_idx[k] as usize;
                 let v = self.values[k];
                 let b_row = &rhs.as_slice()[c * d..(c + 1) * d];
@@ -143,17 +221,15 @@ impl CsrMatrix {
         out
     }
 
-    /// Transposed sparse-dense product `selfᵀ · rhs` (the backward kernel),
-    /// computed by scattering — the transpose is never materialised.
-    pub fn spmm_t(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows(), "spmm_t: dimension mismatch");
+    /// Naive sequential reference for [`Self::spmm_t`]
+    /// (see [`Self::spmm_reference`]).
+    pub fn spmm_t_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows(), "spmm_t_reference: dimension mismatch");
         let d = rhs.cols();
         let mut out = Matrix::zeros(self.cols, d);
         for r in 0..self.rows {
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
             let b_row = &rhs.as_slice()[r * d..(r + 1) * d];
-            for k in lo..hi {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 let c = self.col_idx[k] as usize;
                 let v = self.values[k];
                 let o_row = &mut out.as_mut_slice()[c * d..(c + 1) * d];
@@ -173,25 +249,33 @@ impl CsrMatrix {
         c
     }
 
-    /// Row-normalises stored values so each row sums to 1 (empty rows stay zero).
-    pub fn row_normalized(&self) -> Self {
-        let mut c = self.clone();
+    /// Row-normalises the stored values in place so each row sums to 1
+    /// (empty and zero-sum rows stay untouched). The non-cloning variant
+    /// used by batching, where the adjacency was built for this purpose.
+    pub fn row_normalize_in_place(&mut self) {
         for r in 0..self.rows {
-            let lo = c.row_ptr[r];
-            let hi = c.row_ptr[r + 1];
-            let s: f32 = c.values[lo..hi].iter().sum();
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let s: f32 = self.values[lo..hi].iter().sum();
             if s.abs() > 1e-12 {
-                for v in &mut c.values[lo..hi] {
+                for v in &mut self.values[lo..hi] {
                     *v /= s;
                 }
             }
         }
+    }
+
+    /// Row-normalised copy (see [`Self::row_normalize_in_place`]).
+    pub fn row_normalized(&self) -> Self {
+        let mut c = self.clone();
+        c.row_normalize_in_place();
         c
     }
 
-    /// Symmetric GCN normalisation `D^{-1/2} (A) D^{-1/2}` computed from the
-    /// stored structure (degrees = row sums of absolute values).
-    pub fn sym_normalized(&self) -> Self {
+    /// Symmetric GCN normalisation `D^{-1/2} (A) D^{-1/2}` applied in place
+    /// (degrees = row sums of absolute values). The non-cloning variant
+    /// used by batching.
+    pub fn sym_normalize_in_place(&mut self) {
         let mut deg = vec![0.0f32; self.rows.max(self.cols)];
         for r in 0..self.rows {
             for (_, v) in self.row_iter(r) {
@@ -202,15 +286,20 @@ impl CsrMatrix {
             .iter()
             .map(|&d| if d > 1e-12 { 1.0 / d.sqrt() } else { 0.0 })
             .collect();
-        let mut c = self.clone();
         for r in 0..self.rows {
-            let lo = c.row_ptr[r];
-            let hi = c.row_ptr[r + 1];
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
             for k in lo..hi {
-                let col = c.col_idx[k] as usize;
-                c.values[k] *= inv_sqrt[r] * inv_sqrt[col];
+                let col = self.col_idx[k] as usize;
+                self.values[k] *= inv_sqrt[r] * inv_sqrt[col];
             }
         }
+    }
+
+    /// Symmetrically normalised copy (see [`Self::sym_normalize_in_place`]).
+    pub fn sym_normalized(&self) -> Self {
+        let mut c = self.clone();
+        c.sym_normalize_in_place();
         c
     }
 
@@ -328,5 +417,37 @@ mod tests {
     fn frobenius_norm_counts_values() {
         let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 3.0), (1, 1, 4.0)]);
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_bit_exact_with_reference() {
+        let s = sample();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let fast = s.spmm(&x);
+        let reference = s.spmm_reference(&x);
+        assert!(fast
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        let y = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let fast_t = s.spmm_t(&y);
+        let reference_t = s.spmm_t_reference(&y);
+        assert!(fast_t
+            .as_slice()
+            .iter()
+            .zip(reference_t.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn in_place_normalization_matches_cloning() {
+        let base = sample();
+        let mut rn = base.clone();
+        rn.row_normalize_in_place();
+        assert_eq!(rn, base.row_normalized());
+        let mut sn = base.clone();
+        sn.sym_normalize_in_place();
+        assert_eq!(sn, base.sym_normalized());
     }
 }

@@ -11,6 +11,7 @@
 //! a fresh tape is recorded per training step and gradients are accumulated
 //! back into the store by parameter id.
 
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::sparse::CsrMatrix;
 use std::rc::Rc;
@@ -122,6 +123,14 @@ impl Default for Tape {
     }
 }
 
+impl Drop for Tape {
+    /// Recycles every node buffer into the thread-local pool so the next
+    /// tape (or any other matrix constructor on this thread) reuses them.
+    fn drop(&mut self) {
+        self.reset();
+    }
+}
+
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
@@ -133,6 +142,19 @@ impl Tape {
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Clears the tape for reuse, returning every node's buffer to the
+    /// thread-local [`crate::pool`] so the next step's forward pass
+    /// allocates nothing. The node arena keeps its capacity. All `Var`s
+    /// from before the reset are invalidated.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if let Op::SoftmaxCrossEntropy { probs, .. } = node.op {
+                probs.recycle();
+            }
+            node.value.recycle();
+        }
     }
 
     /// True when nothing has been recorded.
@@ -403,22 +425,37 @@ impl Tape {
             targets.len(),
             "softmax_cross_entropy: target length"
         );
+        // Per-row softmax is row-parallel (each row is an independent
+        // sequential reduction); the loss sum stays sequential over rows so
+        // its accumulation order — and the result — is thread-count
+        // independent.
         let mut probs = Matrix::zeros(xm.rows(), xm.cols());
+        let cols = xm.cols();
+        let xs = xm.as_slice();
+        kernels::run_rows(
+            xm.rows(),
+            cols,
+            probs.as_mut_slice(),
+            xm.len(),
+            &|first, count, chunk| {
+                for i in 0..count {
+                    let row = &xs[(first + i) * cols..(first + i + 1) * cols];
+                    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut z = 0.0f32;
+                    for &v in row {
+                        z += (v - m).exp();
+                    }
+                    let p_row = &mut chunk[i * cols..(i + 1) * cols];
+                    for (p, &v) in p_row.iter_mut().zip(row) {
+                        *p = (v - m).exp() / z;
+                    }
+                }
+            },
+        );
         let mut loss = 0.0f64;
-        for r in 0..xm.rows() {
-            let row = xm.row(r);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for &v in row {
-                z += (v - m).exp();
-            }
-            let p_row = probs.row_mut(r);
-            for (c, &v) in row.iter().enumerate() {
-                p_row[c] = (v - m).exp() / z;
-            }
-            let t = targets[r];
+        for (r, &t) in targets.iter().enumerate() {
             debug_assert!(t < xm.cols());
-            loss -= (p_row[t].max(1e-12) as f64).ln();
+            loss -= (probs.get(r, t).max(1e-12) as f64).ln();
         }
         let n = xm.rows().max(1) as f64;
         let out = Matrix::from_vec(1, 1, vec![(loss / n) as f32]);
@@ -470,73 +507,93 @@ impl Tape {
                     if let Some(id) = param {
                         param_grads(*id, &gy);
                     }
+                    gy.recycle();
                 }
                 Op::Add(a, b) => {
-                    accum(&mut grads, *a, &gy);
-                    accum(&mut grads, *b, &gy);
+                    accum_ref(&mut grads, *a, &gy);
+                    accum_owned(&mut grads, *b, gy);
                 }
                 Op::Sub(a, b) => {
-                    accum(&mut grads, *a, &gy);
-                    accum_scaled(&mut grads, *b, &gy, -1.0);
+                    accum_ref(&mut grads, *a, &gy);
+                    let mut gb = gy;
+                    gb.scale_in_place(-1.0);
+                    accum_owned(&mut grads, *b, gb);
                 }
                 Op::Hadamard(a, b) => {
                     let ga = gy.hadamard(self.value(*b));
-                    let gb = gy.hadamard(self.value(*a));
+                    let mut gb = gy;
+                    gb.zip_apply(self.value(*a), |g, av| *g *= av);
                     accum_owned(&mut grads, *a, ga);
                     accum_owned(&mut grads, *b, gb);
                 }
                 Op::HadamardConst(a, c) => {
-                    accum_owned(&mut grads, *a, gy.hadamard(c));
+                    let mut g = gy;
+                    g.zip_apply(c, |g, cv| *g *= cv);
+                    accum_owned(&mut grads, *a, g);
                 }
                 Op::Scale(a, alpha) => {
-                    accum_scaled(&mut grads, *a, &gy, *alpha);
+                    let mut g = gy;
+                    g.scale_in_place(*alpha);
+                    accum_owned(&mut grads, *a, g);
                 }
                 Op::MatMul(a, b) => {
                     let ga = gy.matmul_nt(self.value(*b));
                     let gb = self.value(*a).matmul_tn(&gy);
+                    gy.recycle();
                     accum_owned(&mut grads, *a, ga);
                     accum_owned(&mut grads, *b, gb);
                 }
                 Op::MatMulNt(a, b) => {
                     let ga = gy.matmul(self.value(*b));
                     let gb = gy.matmul_tn(self.value(*a));
+                    gy.recycle();
                     accum_owned(&mut grads, *a, ga);
                     accum_owned(&mut grads, *b, gb);
                 }
                 Op::AddBias(x, bias) => {
-                    accum(&mut grads, *x, &gy);
-                    accum_owned(&mut grads, *bias, gy.col_sums());
+                    let gb = gy.col_sums();
+                    accum_owned(&mut grads, *x, gy);
+                    accum_owned(&mut grads, *bias, gb);
                 }
                 Op::Relu(x) => {
-                    let g = gy.zip_map(self.value(*x), |g, v| if v > 0.0 { g } else { 0.0 });
+                    let mut g = gy;
+                    g.zip_apply(self.value(*x), |g, v| *g = if v > 0.0 { *g } else { 0.0 });
                     accum_owned(&mut grads, *x, g);
                 }
                 Op::LeakyRelu(x, s) => {
                     let s = *s;
-                    let g = gy.zip_map(self.value(*x), |g, v| if v > 0.0 { g } else { s * g });
+                    let mut g = gy;
+                    g.zip_apply(self.value(*x), move |g, v| {
+                        *g = if v > 0.0 { *g } else { s * *g }
+                    });
                     accum_owned(&mut grads, *x, g);
                 }
                 Op::Sigmoid(x) => {
                     let y = &self.nodes[i].value;
-                    let g = gy.zip_map(y, |g, y| g * y * (1.0 - y));
+                    let mut g = gy;
+                    g.zip_apply(y, |g, y| *g = *g * y * (1.0 - y));
                     accum_owned(&mut grads, *x, g);
                 }
                 Op::Tanh(x) => {
                     let y = &self.nodes[i].value;
-                    let g = gy.zip_map(y, |g, y| g * (1.0 - y * y));
+                    let mut g = gy;
+                    g.zip_apply(y, |g, y| *g = *g * (1.0 - y * y));
                     accum_owned(&mut grads, *x, g);
                 }
                 Op::Softplus(x) => {
-                    let g = gy.zip_map(self.value(*x), |g, v| g * stable_sigmoid(v));
+                    let mut g = gy;
+                    g.zip_apply(self.value(*x), |g, v| *g *= stable_sigmoid(v));
                     accum_owned(&mut grads, *x, g);
                 }
                 Op::Spmm(s, h) => {
-                    accum_owned(&mut grads, *h, s.spmm_t(&gy));
+                    let gh = s.spmm_t(&gy);
+                    gy.recycle();
+                    accum_owned(&mut grads, *h, gh);
                 }
                 Op::ScaleRows { x, w } => {
                     let xm = self.value(*x);
                     let wm = self.value(*w);
-                    accum_owned(&mut grads, *x, gy.scale_rows(wm));
+                    let gx = gy.scale_rows(wm);
                     let mut gw = Matrix::zeros(wm.rows(), 1);
                     for r in 0..xm.rows() {
                         let mut acc = 0.0f32;
@@ -545,6 +602,8 @@ impl Tape {
                         }
                         gw.set(r, 0, acc);
                     }
+                    gy.recycle();
+                    accum_owned(&mut grads, *x, gx);
                     accum_owned(&mut grads, *w, gw);
                 }
                 Op::GatherRows(x, idx) => {
@@ -558,15 +617,19 @@ impl Tape {
                             *o += g;
                         }
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *x, gx);
                 }
                 Op::ScatterAddRows { x, idx, n_out } => {
                     debug_assert_eq!(gy.rows(), *n_out);
-                    accum_owned(&mut grads, *x, gy.select_rows(idx));
+                    let gx = gy.select_rows(idx);
+                    gy.recycle();
+                    accum_owned(&mut grads, *x, gx);
                 }
                 Op::SegmentSoftmax { x, seg } => {
                     let y = &self.nodes[i].value;
                     let g = segment_softmax_backward(y.as_slice(), gy.as_slice(), seg);
+                    gy.recycle();
                     accum_owned(&mut grads, *x, Matrix::from_vec(y.rows(), 1, g));
                 }
                 Op::SegmentMax { x, arg } => {
@@ -580,14 +643,18 @@ impl Tape {
                             gx.set(a as usize, c, v);
                         }
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *x, gx);
                 }
                 Op::Exp(x) => {
                     let y = &self.nodes[i].value;
-                    accum_owned(&mut grads, *x, gy.hadamard(y));
+                    let mut g = gy;
+                    g.zip_apply(y, |g, y| *g *= y);
+                    accum_owned(&mut grads, *x, g);
                 }
                 Op::Ln(x) => {
-                    let g = gy.zip_map(self.value(*x), |g, v| g / v.max(1e-12));
+                    let mut g = gy;
+                    g.zip_apply(self.value(*x), |g, v| *g /= v.max(1e-12));
                     accum_owned(&mut grads, *x, g);
                 }
                 Op::DiagExtract(x) => {
@@ -596,6 +663,7 @@ impl Tape {
                     for r in 0..n {
                         gx.set(r, r, gy.get(r, 0));
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *x, gx);
                 }
                 Op::RowL2Normalize(x) => {
@@ -612,6 +680,7 @@ impl Tape {
                             *o = (gy.get(r, c) - y.get(r, c) * dot) / norm;
                         }
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *x, gx);
                 }
                 Op::RowSums(x) => {
@@ -623,22 +692,27 @@ impl Tape {
                             *o = g;
                         }
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *x, gx);
                 }
                 Op::SumAll(x) => {
                     let g = gy.as_slice()[0];
                     let xm = self.value(*x);
+                    gy.recycle();
                     accum_owned(&mut grads, *x, Matrix::full(xm.rows(), xm.cols(), g));
                 }
                 Op::MeanAll(x) => {
                     let xm = self.value(*x);
                     let g = gy.as_slice()[0] / xm.len().max(1) as f32;
+                    gy.recycle();
                     accum_owned(&mut grads, *x, Matrix::full(xm.rows(), xm.cols(), g));
                 }
                 Op::FrobNorm(x) => {
                     let xm = self.value(*x);
                     let norm = self.nodes[i].value.as_slice()[0].max(1e-12);
-                    accum_owned(&mut grads, *x, xm.scale(gy.as_slice()[0] / norm));
+                    let gx = xm.scale(gy.as_slice()[0] / norm);
+                    gy.recycle();
+                    accum_owned(&mut grads, *x, gx);
                 }
                 Op::ConcatCols(a, b) => {
                     let (ca, cb) = (self.value(*a).cols(), self.value(*b).cols());
@@ -649,6 +723,7 @@ impl Tape {
                         ga.row_mut(r).copy_from_slice(&gy.row(r)[..ca]);
                         gb.row_mut(r).copy_from_slice(&gy.row(r)[ca..]);
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *a, ga);
                     accum_owned(&mut grads, *b, gb);
                 }
@@ -659,6 +734,7 @@ impl Tape {
                         let v = gx.get(r, t) - scale;
                         gx.set(r, t, v);
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *x, gx);
                 }
                 Op::BceWithLogits { x, targets, mask } => {
@@ -677,6 +753,7 @@ impl Tape {
                             *o = scale * m * (stable_sigmoid(l) - t);
                         }
                     }
+                    gy.recycle();
                     accum_owned(&mut grads, *x, gx);
                 }
             }
@@ -735,23 +812,23 @@ fn segment_softmax_backward(y: &[f32], gy: &[f32], seg: &[usize]) -> Vec<f32> {
         .collect()
 }
 
-fn accum(grads: &mut [Option<Matrix>], v: Var, g: &Matrix) {
+/// Adds a borrowed gradient into the slot; the first write takes a
+/// pool-backed copy (the caller still needs its matrix afterwards).
+fn accum_ref(grads: &mut [Option<Matrix>], v: Var, g: &Matrix) {
     match &mut grads[v.0] {
         Some(existing) => existing.add_assign(g),
-        slot @ None => *slot = Some(g.clone()),
+        slot @ None => *slot = Some(g.pooled_copy()),
     }
 }
 
-fn accum_scaled(grads: &mut [Option<Matrix>], v: Var, g: &Matrix, alpha: f32) {
-    match &mut grads[v.0] {
-        Some(existing) => existing.axpy(alpha, g),
-        slot @ None => *slot = Some(g.scale(alpha)),
-    }
-}
-
+/// Moves a gradient into the slot: the first write installs the matrix
+/// itself (no copy); later writes add element-wise and recycle the buffer.
 fn accum_owned(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
     match &mut grads[v.0] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            g.recycle();
+        }
         slot @ None => *slot = Some(g),
     }
 }

@@ -1,0 +1,143 @@
+//! Bit-exactness of the optimised kernels against the retained naive
+//! references.
+//!
+//! The blocked/multithreaded GEMM and the row-partitioned spMM promise
+//! **bit-identical** results to the sequential reference implementations
+//! (`matmul*_reference`, `spmm*_reference`) for every shape, transpose
+//! variant, sparsity pattern, and thread count — the resumable-training
+//! checkpoints depend on it. These tests compare raw `f32` bit patterns,
+//! not approximate equality.
+
+use proptest::prelude::*;
+use sgcl_tensor::{set_num_threads, CsrMatrix, Matrix};
+
+/// Exact bit equality of two matrices (shape and every element).
+fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Element strategy with an inflated share of exact zeros: the seed kernels
+/// skipped zero entries, the references must not.
+fn element() -> impl Strategy<Value = f32> {
+    prop_oneof![3 => -2.0f32..2.0, 1 => Just(0.0f32)]
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(element(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// `(a, b, at, bt)` for an `m×k · k×n` product and its transpose variants,
+/// including empty and degenerate 1-row/1-col shapes.
+fn gemm_operands() -> impl Strategy<Value = (Matrix, Matrix, Matrix, Matrix)> {
+    (0usize..40, 0usize..40, 0usize..40).prop_flat_map(|(m, k, n)| {
+        (matrix(m, k), matrix(k, n), matrix(k, m), matrix(n, k))
+    })
+}
+
+/// A random CSR (duplicates, empty rows, zero values) plus dense operands
+/// for `spmm` and `spmm_t`.
+fn spmm_operands() -> impl Strategy<Value = (CsrMatrix, Matrix, Matrix)> {
+    (1usize..24, 1usize..24, 0usize..12).prop_flat_map(|(rows, cols, d)| {
+        (
+            proptest::collection::vec((0..rows, 0..cols, element()), 0..80),
+            matrix(cols, d),
+            matrix(rows, d),
+        )
+            .prop_map(move |(triplets, h, ht)| {
+                (CsrMatrix::from_triplets(rows, cols, triplets), h, ht)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The whole GEMM trio matches its references bitwise on random shapes
+    /// at 1 and 4 threads.
+    #[test]
+    fn gemm_trio_matches_references(
+        (a, b, at, bt) in gemm_operands(),
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        set_num_threads(threads);
+        prop_assert!(bits_eq(&a.matmul(&b), &a.matmul_reference(&b)));
+        prop_assert!(bits_eq(&at.matmul_tn(&b), &at.matmul_tn_reference(&b)));
+        prop_assert!(bits_eq(&a.matmul_nt(&bt), &a.matmul_nt_reference(&bt)));
+        set_num_threads(0);
+    }
+
+    /// spMM and its transpose match the references bitwise for random
+    /// sparsity patterns and thread counts.
+    #[test]
+    fn spmm_matches_references(
+        (s, h, ht) in spmm_operands(),
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        set_num_threads(threads);
+        prop_assert!(bits_eq(&s.spmm(&h), &s.spmm_reference(&h)));
+        prop_assert!(bits_eq(&s.spmm_t(&ht), &s.spmm_t_reference(&ht)));
+        set_num_threads(0);
+    }
+}
+
+/// A GEMM well above the parallel-dispatch threshold (`160³` ≈ 8 MFLOP) is
+/// bit-identical across thread counts — the partition only splits output
+/// rows, never a dot product.
+#[test]
+fn large_gemm_is_bit_exact_across_thread_counts() {
+    let mut state = 0x1234_5678_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 40) as f32 / (1 << 24) as f32) - 0.5
+    };
+    let a = Matrix::from_vec(160, 160, (0..160 * 160).map(|_| next()).collect());
+    let b = Matrix::from_vec(160, 160, (0..160 * 160).map(|_| next()).collect());
+
+    set_num_threads(1);
+    let sequential = a.matmul(&b);
+    assert!(bits_eq(&sequential, &a.matmul_reference(&b)));
+    for t in [2, 3, 4, 8] {
+        set_num_threads(t);
+        assert!(
+            bits_eq(&a.matmul(&b), &sequential),
+            "threads={t} diverged from sequential result"
+        );
+    }
+    set_num_threads(0);
+}
+
+/// Degenerate shapes (empty, single row/column) round-trip through every
+/// kernel without panicking and match the references.
+#[test]
+fn degenerate_shapes_match_references() {
+    for (m, k, n) in [
+        (0, 0, 0),
+        (0, 5, 3),
+        (3, 0, 5),
+        (5, 3, 0),
+        (1, 1, 1),
+        (1, 37, 1),
+        (64, 1, 64),
+    ] {
+        let a = Matrix::full(m, k, 0.5);
+        let b = Matrix::full(k, n, -0.25);
+        let at = Matrix::full(k, m, 0.5);
+        let bt = Matrix::full(n, k, -0.25);
+        assert!(bits_eq(&a.matmul(&b), &a.matmul_reference(&b)));
+        assert!(bits_eq(&at.matmul_tn(&b), &at.matmul_tn_reference(&b)));
+        assert!(bits_eq(&a.matmul_nt(&bt), &a.matmul_nt_reference(&bt)));
+    }
+    // CSR with an all-empty row structure
+    let s = CsrMatrix::from_triplets(4, 4, vec![]);
+    let h = Matrix::full(4, 3, 1.0);
+    assert!(bits_eq(&s.spmm(&h), &s.spmm_reference(&h)));
+    assert!(bits_eq(&s.spmm_t(&h), &s.spmm_t_reference(&h)));
+}
