@@ -1,14 +1,26 @@
 //! Shared infrastructure for all GCL baselines: a trained-encoder handle
-//! with the standard embedding path, a common hyperparameter struct, and a
-//! generic two-view contrastive pre-training loop that GraphCL-family
-//! methods plug a view sampler into.
+//! with the standard embedding path, a common hyperparameter struct, the
+//! generic two-view [`ContrastiveMethod`], and the [`BaselineTrainer`]
+//! that runs any baseline through the shared [`Engine`] — giving every
+//! method the fault guards, rollback recovery, and bit-exact
+//! kill-and-resume that used to be SGCL-only.
 
+use crate::gcl::adgcl::AdGclMethod;
+use crate::gcl::graphcl::graphcl_sampler;
+use crate::gcl::infograph::InfoGraphMethod;
+use crate::gcl::joao::JoaoMethod;
+use crate::gcl::simgrace::SimGraceMethod;
+use crate::pretrain::{AttrMaskMethod, ContextPredMethod};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use sgcl_core::engine::{
+    ContrastiveMethod, Engine, EngineConfig, EpochHook, EpochStats, StepLoss, TrainState,
+};
 use sgcl_core::losses::semantic_info_nce;
-use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling, ProjectionHead};
+use sgcl_core::{RecoveryPolicy, SgclConfig, SgclError};
+use sgcl_gnn::{EncoderConfig, GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
+use sgcl_tensor::{Matrix, ParamStore, Tape, Var};
 
 /// A pre-trained encoder ready for downstream evaluation (embedding or
 /// fine-tuning). The projection head used during pre-training is discarded.
@@ -23,19 +35,10 @@ pub struct TrainedEncoder {
 
 impl TrainedEncoder {
     /// Embeds graphs (pooled, no projection), chunked to bound memory.
+    /// Delegates to the shared path, which reuses one tape across chunks
+    /// and the cached normalized adjacencies on each batch.
     pub fn embed(&self, graphs: &[Graph]) -> Matrix {
-        let chunks: Vec<Matrix> = graphs
-            .chunks(256)
-            .map(|chunk| {
-                let batch = GraphBatch::from_graphs(chunk);
-                let mut tape = Tape::new();
-                let h = self.encoder.forward(&mut tape, &self.store, &batch, None);
-                let pooled = self.pooling.apply(&mut tape, &batch, h);
-                tape.value(pooled).clone()
-            })
-            .collect();
-        let refs: Vec<&Matrix> = chunks.iter().collect();
-        Matrix::vstack(&refs)
+        sgcl_gnn::embed_graphs(&self.encoder, &self.store, self.pooling, graphs)
     }
 }
 
@@ -57,21 +60,350 @@ pub struct GclConfig {
     pub pooling: Pooling,
 }
 
-impl GclConfig {
-    /// Defaults matching `SgclConfig::paper_unsupervised`.
-    pub fn paper_unsupervised(input_dim: usize) -> Self {
+impl From<SgclConfig> for GclConfig {
+    /// Projects SGCL's hyperparameter table onto the subset the baselines
+    /// share (encoder, τ, lr, epochs, batch, readout).
+    fn from(c: SgclConfig) -> Self {
         Self {
-            encoder: EncoderConfig {
-                kind: EncoderKind::Gin,
-                input_dim,
-                hidden_dim: 32,
-                num_layers: 3,
-            },
-            tau: 0.2,
-            lr: 1e-3,
-            epochs: 40,
-            batch_size: 128,
-            pooling: Pooling::Sum,
+            encoder: c.encoder,
+            tau: c.tau,
+            lr: c.lr,
+            epochs: c.epochs,
+            batch_size: c.batch_size,
+            pooling: c.pooling,
+        }
+    }
+}
+
+impl GclConfig {
+    /// Defaults matching [`SgclConfig::paper_unsupervised`] — derived from
+    /// it, so the two tables cannot drift apart.
+    pub fn paper_unsupervised(input_dim: usize) -> Self {
+        SgclConfig::paper_unsupervised(input_dim).into()
+    }
+}
+
+/// The [`Engine`] configured for a baseline run: the config's loop knobs,
+/// the baselines' shared gradient clip, and the default recovery policy.
+pub(crate) fn engine_for(config: &GclConfig) -> Engine {
+    Engine::new(
+        EngineConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            lr: config.lr,
+            grad_clip: 5.0,
+        },
+        RecoveryPolicy::default(),
+    )
+}
+
+/// Records the symmetrised two-view InfoNCE of Eq. 24 on `tape`: both view
+/// batches are encoded, pooled, projected, and pulled together with
+/// `0.5 · (L(a,b) + L(b,a))`. Shared by every two-view method.
+pub(crate) fn two_view_loss(
+    tape: &mut Tape,
+    store: &ParamStore,
+    encoder: &GnnEncoder,
+    proj: &ProjectionHead,
+    pooling: Pooling,
+    tau: f32,
+    views_a: &[Graph],
+    views_b: &[Graph],
+) -> Var {
+    let batch_a = GraphBatch::from_graphs(views_a);
+    let batch_b = GraphBatch::from_graphs(views_b);
+    let ha = encoder.forward(tape, store, &batch_a, None);
+    let pa = pooling.apply(tape, &batch_a, ha);
+    let za = proj.forward(tape, store, pa);
+    let hb = encoder.forward(tape, store, &batch_b, None);
+    let pb = pooling.apply(tape, &batch_b, hb);
+    let zb = proj.forward(tape, store, pb);
+    let l_ab = semantic_info_nce(tape, za, zb, tau);
+    let l_ba = semantic_info_nce(tape, zb, za, tau);
+    let sum = tape.add(l_ab, l_ba);
+    tape.scale(sum, 0.5)
+}
+
+/// Generic two-view contrastive method: `sampler` produces two stochastic
+/// views of every graph; both are encoded and pulled together with the
+/// symmetrised InfoNCE. GraphCL is this with a random-pair sampler; JOAO
+/// extends it with an adaptive sampling distribution.
+pub(crate) struct TwoViewMethod<S> {
+    pub method_name: &'static str,
+    pub encoder: GnnEncoder,
+    pub proj: ProjectionHead,
+    pub tau: f32,
+    pub pooling: Pooling,
+    pub sampler: S,
+}
+
+impl<S> ContrastiveMethod for TwoViewMethod<S>
+where
+    S: FnMut(&Graph, &mut StdRng) -> (Graph, Graph),
+{
+    fn name(&self) -> &'static str {
+        self.method_name
+    }
+
+    fn hparams(&self) -> Vec<(String, f32)> {
+        vec![("tau".to_string(), self.tau)]
+    }
+
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        rng: &mut StdRng,
+    ) -> Option<StepLoss> {
+        let mut views_a = Vec::with_capacity(graphs.len());
+        let mut views_b = Vec::with_capacity(graphs.len());
+        for g in graphs {
+            let (a, b) = (self.sampler)(g, rng);
+            views_a.push(a);
+            views_b.push(b);
+        }
+        let loss = two_view_loss(
+            tape,
+            store,
+            &self.encoder,
+            &self.proj,
+            self.pooling,
+            self.tau,
+            &views_a,
+            &views_b,
+        );
+        Some(StepLoss {
+            loss,
+            components: None,
+        })
+    }
+}
+
+/// Identifies one engine-driven baseline method (every self-supervised
+/// baseline except the SgclModel-based RGCL/AutoGCL ablation pair and the
+/// untrained control).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// GraphCL: random augmentation pairs from the four-op pool.
+    GraphCl,
+    /// JOAOv2: GraphCL with an adaptively learned augmentation distribution.
+    Joao,
+    /// AD-GCL: adversarially learned edge-dropping.
+    AdGcl,
+    /// SimGRACE: encoder-perturbation views, no data augmentation.
+    SimGrace,
+    /// InfoGraph: local–global mutual-information maximisation.
+    InfoGraph,
+    /// Deep Graph Infomax (InfoGraph estimator, offset RNG stream).
+    Infomax,
+    /// Attribute masking (predict masked node tags).
+    AttrMasking,
+    /// Context prediction (edge vs random-pair discrimination).
+    ContextPred,
+    /// Graph autoencoder (ContextPred signal, offset RNG stream).
+    Gae,
+}
+
+impl BaselineKind {
+    /// Stable method name used in checkpoints and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::GraphCl => "graphcl",
+            BaselineKind::Joao => "joao",
+            BaselineKind::AdGcl => "adgcl",
+            BaselineKind::SimGrace => "simgrace",
+            BaselineKind::InfoGraph => "infograph",
+            BaselineKind::Infomax => "infomax",
+            BaselineKind::AttrMasking => "attrmask",
+            BaselineKind::ContextPred => "contextpred",
+            BaselineKind::Gae => "gae",
+        }
+    }
+
+    /// Parses a method name as accepted by [`BaselineKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "graphcl" => BaselineKind::GraphCl,
+            "joao" => BaselineKind::Joao,
+            "adgcl" => BaselineKind::AdGcl,
+            "simgrace" => BaselineKind::SimGrace,
+            "infograph" => BaselineKind::InfoGraph,
+            "infomax" => BaselineKind::Infomax,
+            "attrmask" => BaselineKind::AttrMasking,
+            "contextpred" => BaselineKind::ContextPred,
+            "gae" => BaselineKind::Gae,
+            _ => return None,
+        })
+    }
+
+    /// Per-kind RNG stream offset: aliased methods (Infomax ≡ InfoGraph,
+    /// GAE ≡ ContextPred) keep the distinct streams they had as standalone
+    /// functions.
+    fn offset(self, seed: u64) -> u64 {
+        match self {
+            BaselineKind::Infomax => seed ^ 0x1A,
+            BaselineKind::Gae => seed ^ 0x6AE,
+            _ => seed,
+        }
+    }
+}
+
+/// Any baseline method, initialised and ready to run through the shared
+/// [`Engine`]. This is what gives baselines `--resume`, recovery, and
+/// thread configuration for free: the trainer holds the parameters and a
+/// boxed [`ContrastiveMethod`], and delegates the loop to the engine.
+pub struct BaselineTrainer {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// The representation encoder (for downstream embedding).
+    pub encoder: GnnEncoder,
+    /// The run's hyperparameters.
+    pub config: GclConfig,
+    kind: BaselineKind,
+    method: Box<dyn ContrastiveMethod>,
+}
+
+impl BaselineTrainer {
+    /// Builds a freshly initialised baseline of the given kind. `graphs`
+    /// is needed for data-dependent architecture (attribute masking sizes
+    /// its classifier head from the observed tag vocabulary); `seed` fixes
+    /// the parameter initialisation (offset per kind, matching the
+    /// historical standalone functions).
+    pub fn new(kind: BaselineKind, config: GclConfig, graphs: &[Graph], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(kind.offset(seed));
+        let mut store = ParamStore::new();
+        let (encoder, method): (GnnEncoder, Box<dyn ContrastiveMethod>) = match kind {
+            BaselineKind::GraphCl => {
+                let encoder = GnnEncoder::new("baseline.enc", &mut store, config.encoder, &mut rng);
+                let proj = ProjectionHead::new(
+                    "baseline.proj",
+                    &mut store,
+                    config.encoder.hidden_dim,
+                    &mut rng,
+                );
+                let method: TwoViewMethod<fn(&Graph, &mut StdRng) -> (Graph, Graph)> =
+                    TwoViewMethod {
+                        method_name: "graphcl",
+                        encoder: encoder.clone(),
+                        proj,
+                        tau: config.tau,
+                        pooling: config.pooling,
+                        sampler: graphcl_sampler,
+                    };
+                (encoder, Box::new(method))
+            }
+            BaselineKind::Joao => {
+                let encoder = GnnEncoder::new("baseline.enc", &mut store, config.encoder, &mut rng);
+                let proj = ProjectionHead::new(
+                    "baseline.proj",
+                    &mut store,
+                    config.encoder.hidden_dim,
+                    &mut rng,
+                );
+                let method = JoaoMethod::new(encoder.clone(), proj, config.tau, config.pooling);
+                (encoder, Box::new(method))
+            }
+            BaselineKind::AdGcl => {
+                let (encoder, method) = AdGclMethod::build(&mut store, &config, &mut rng);
+                (encoder, Box::new(method))
+            }
+            BaselineKind::SimGrace => {
+                let (encoder, method) = SimGraceMethod::build(&mut store, &config, &mut rng);
+                (encoder, Box::new(method))
+            }
+            BaselineKind::InfoGraph | BaselineKind::Infomax => {
+                let (encoder, method) =
+                    InfoGraphMethod::build(&mut store, &config, &mut rng, kind.name());
+                (encoder, Box::new(method))
+            }
+            BaselineKind::AttrMasking => {
+                let (encoder, method) = AttrMaskMethod::build(&mut store, &config, graphs, &mut rng);
+                (encoder, Box::new(method))
+            }
+            BaselineKind::ContextPred | BaselineKind::Gae => {
+                let (encoder, method) =
+                    ContextPredMethod::build(&mut store, &config, &mut rng, kind.name());
+                (encoder, Box::new(method))
+            }
+        };
+        Self {
+            store,
+            encoder,
+            config,
+            kind,
+            method,
+        }
+    }
+
+    /// The kind this trainer was built for.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// The method name recorded in checkpoints. Aliased kinds sharing an
+    /// implementation (Infomax ≡ InfoGraph, GAE ≡ ContextPred) checkpoint
+    /// under their own names, so an `infomax` resume cannot silently
+    /// continue an `infograph` run.
+    pub fn method_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Fresh resumable state for this trainer (seed offset per kind,
+    /// matching [`BaselineTrainer::new`]).
+    pub fn fresh_state(&self, seed: u64) -> TrainState {
+        TrainState::for_method(
+            self.kind.offset(seed),
+            self.method.as_ref(),
+            self.config.batch_size,
+            self.config.lr,
+        )
+    }
+
+    /// Fault-tolerant pre-training with the legacy single-stream sampler.
+    pub fn pretrain(&mut self, graphs: &[Graph], seed: u64) -> Result<Vec<EpochStats>, SgclError> {
+        let engine = engine_for(&self.config);
+        engine.pretrain(
+            self.method.as_mut(),
+            &mut self.store,
+            graphs,
+            self.kind.offset(seed),
+        )
+    }
+
+    /// Fault-tolerant resumable pre-training (bit-exact kill-and-resume;
+    /// see [`Engine::pretrain_resumable`]). Restore the parameters with
+    /// `Checkpoint::restore_into(&mut trainer.store)` before continuing a
+    /// checkpointed run.
+    pub fn pretrain_resumable(
+        &mut self,
+        graphs: &[Graph],
+        state: TrainState,
+        policy: &RecoveryPolicy,
+        on_epoch: Option<EpochHook<'_>>,
+    ) -> Result<TrainState, SgclError> {
+        let mut engine = engine_for(&self.config);
+        engine.policy = *policy;
+        engine.pretrain_resumable(self.method.as_mut(), &mut self.store, graphs, state, on_epoch)
+    }
+
+    /// Serialisable method-private state (e.g. JOAO's augmentation
+    /// distribution); `None` for stateless methods.
+    pub fn method_state(&self) -> Option<serde_json::Value> {
+        self.method.state()
+    }
+
+    /// Embeds graphs with the current parameters.
+    pub fn embed(&self, graphs: &[Graph]) -> Matrix {
+        sgcl_gnn::embed_graphs(&self.encoder, &self.store, self.config.pooling, graphs)
+    }
+
+    /// Discards the method tower and keeps the trained encoder.
+    pub fn into_trained(self) -> TrainedEncoder {
+        TrainedEncoder {
+            store: self.store,
+            encoder: self.encoder,
+            pooling: self.config.pooling,
         }
     }
 }
@@ -80,11 +412,16 @@ impl GclConfig {
 /// produces two stochastic views of every graph; both are encoded and pulled
 /// together with the InfoNCE of Eq. 24 symmetrised over the two views.
 ///
+/// Runs through the shared [`Engine`] (guards + rollback recovery).
 /// GraphCL and JOAOv2 are instances of this loop with different samplers.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; the
+/// engine-level API ([`BaselineTrainer`]) reports both as typed errors.
 pub fn pretrain_two_view<S>(
     config: GclConfig,
     graphs: &[Graph],
-    mut sampler: S,
+    sampler: S,
     seed: u64,
 ) -> TrainedEncoder
 where
@@ -100,44 +437,16 @@ where
         config.encoder.hidden_dim,
         &mut rng,
     );
-    let mut opt = Adam::new(config.lr);
-    let n = graphs.len();
-    let bs = config.batch_size.min(n).max(2);
-
-    for _epoch in 0..config.epochs {
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        for chunk in order.chunks(bs) {
-            if chunk.len() < 2 {
-                continue;
-            }
-            let mut views_a = Vec::with_capacity(chunk.len());
-            let mut views_b = Vec::with_capacity(chunk.len());
-            for &i in chunk {
-                let (a, b) = sampler(&graphs[i], &mut rng);
-                views_a.push(a);
-                views_b.push(b);
-            }
-            let batch_a = GraphBatch::from_graphs(&views_a);
-            let batch_b = GraphBatch::from_graphs(&views_b);
-            let mut tape = Tape::new();
-            let ha = encoder.forward(&mut tape, &store, &batch_a, None);
-            let pa = config.pooling.apply(&mut tape, &batch_a, ha);
-            let za = proj.forward(&mut tape, &store, pa);
-            let hb = encoder.forward(&mut tape, &store, &batch_b, None);
-            let pb = config.pooling.apply(&mut tape, &batch_b, hb);
-            let zb = proj.forward(&mut tape, &store, pb);
-            let l_ab = semantic_info_nce(&mut tape, za, zb, config.tau);
-            let l_ba = semantic_info_nce(&mut tape, zb, za, config.tau);
-            let sum = tape.add(l_ab, l_ba);
-            let loss = tape.scale(sum, 0.5);
-            store.backward(&tape, loss);
-            store.clip_grad_norm(5.0);
-            opt.step(&mut store);
-        }
+    let mut method = TwoViewMethod {
+        method_name: "two-view",
+        encoder: encoder.clone(),
+        proj,
+        tau: config.tau,
+        pooling: config.pooling,
+        sampler,
+    };
+    if let Err(e) = engine_for(&config).pretrain(&mut method, &mut store, graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
     }
     TrainedEncoder {
         store,
@@ -197,6 +506,7 @@ where
 mod tests {
     use super::*;
     use sgcl_data::{Scale, TuDataset};
+    use sgcl_gnn::EncoderKind;
     use sgcl_graph::augment::{self, AugmentKind};
 
     fn tiny(input_dim: usize) -> GclConfig {
@@ -244,5 +554,63 @@ mod tests {
         let a = model.embed(&ds.graphs);
         let b = model.embed(&ds.graphs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_tables_cannot_drift() {
+        let sgcl = SgclConfig::paper_unsupervised(7);
+        let gcl = GclConfig::paper_unsupervised(7);
+        assert_eq!(gcl.encoder.hidden_dim, sgcl.encoder.hidden_dim);
+        assert_eq!(gcl.encoder.num_layers, sgcl.encoder.num_layers);
+        assert_eq!(gcl.tau, sgcl.tau);
+        assert_eq!(gcl.lr, sgcl.lr);
+        assert_eq!(gcl.epochs, sgcl.epochs);
+        assert_eq!(gcl.batch_size, sgcl.batch_size);
+    }
+
+    #[test]
+    fn baseline_kind_names_roundtrip() {
+        for kind in [
+            BaselineKind::GraphCl,
+            BaselineKind::Joao,
+            BaselineKind::AdGcl,
+            BaselineKind::SimGrace,
+            BaselineKind::InfoGraph,
+            BaselineKind::Infomax,
+            BaselineKind::AttrMasking,
+            BaselineKind::ContextPred,
+            BaselineKind::Gae,
+        ] {
+            assert_eq!(BaselineKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BaselineKind::parse("sgcl"), None);
+    }
+
+    #[test]
+    fn trainer_runs_every_kind() {
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
+        for kind in [
+            BaselineKind::GraphCl,
+            BaselineKind::Joao,
+            BaselineKind::AdGcl,
+            BaselineKind::SimGrace,
+            BaselineKind::InfoGraph,
+            BaselineKind::AttrMasking,
+            BaselineKind::ContextPred,
+        ] {
+            let mut cfg = tiny(ds.feature_dim());
+            cfg.epochs = 1;
+            let mut trainer = BaselineTrainer::new(kind, cfg, &ds.graphs, 3);
+            let stats = trainer
+                .pretrain(&ds.graphs, 4)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+            assert_eq!(stats.len(), 1, "{}", kind.name());
+            assert!(stats[0].loss.is_finite(), "{}", kind.name());
+            assert!(
+                trainer.embed(&ds.graphs).all_finite(),
+                "{} embeddings",
+                kind.name()
+            );
+        }
     }
 }

@@ -7,182 +7,221 @@
 //! while the encoder minimises it. The scorer's discrete sampling is
 //! trained with the score-function (REINFORCE) estimator
 //! `∇ E[L] = E[L · ∇ log p(view)]`, the standard relaxation-free choice.
+//!
+//! As an engine method the two optimisation levels map onto the two hooks:
+//! [`ContrastiveMethod::batch_loss`] records the encoder's InfoNCE descent
+//! step (and remembers the sampled drop decisions), and
+//! [`ContrastiveMethod::post_step`] runs the scorer's REINFORCE ascent on
+//! the engine's tape after the main optimiser step.
 
-use crate::common::{GclConfig, TrainedEncoder};
+use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sgcl_core::engine::{ContrastiveMethod, StepCtx, StepLoss};
 use sgcl_core::losses::semantic_info_nce;
-use sgcl_gnn::{GnnEncoder, Linear, ProjectionHead};
+use sgcl_gnn::{GnnEncoder, Linear, Pooling, ProjectionHead};
 use sgcl_graph::augment::perturb_edges_drop_only;
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_tensor::{stable_sigmoid, Adam, Optimizer, ParamStore, Tape};
+use sgcl_tensor::{stable_sigmoid, ParamStore, Tape};
 use std::rc::Rc;
 
 /// Maximum drop probability the scorer can assign (AD-GCL bounds the
 /// perturbation family to keep views informative).
 const MAX_DROP: f32 = 0.5;
 
-/// Pre-trains an AD-GCL model.
+/// AD-GCL as an engine method: encoder descent in `batch_loss`, scorer
+/// REINFORCE ascent in `post_step`.
+pub(crate) struct AdGclMethod {
+    encoder: GnnEncoder,
+    proj: ProjectionHead,
+    scorer: Linear,
+    tau: f32,
+    pooling: Pooling,
+    // drop decisions of the current batch, carried from `batch_loss` to
+    // `post_step` (endpoint row indices in anchor-batch coordinates)
+    src_idx: Vec<usize>,
+    dst_idx: Vec<usize>,
+    flat_decisions: Vec<bool>,
+}
+
+impl AdGclMethod {
+    /// Registers the encoder, projection head, and edge scorer in `store`
+    /// and returns the method together with an encoder handle for the
+    /// caller's [`TrainedEncoder`].
+    pub(crate) fn build(
+        store: &mut ParamStore,
+        config: &GclConfig,
+        rng: &mut StdRng,
+    ) -> (GnnEncoder, Self) {
+        let encoder = GnnEncoder::new("adgcl.enc", store, config.encoder, rng);
+        let proj = ProjectionHead::new("adgcl.proj", store, config.encoder.hidden_dim, rng);
+        // scorer: shares the encoder's node reps; one linear layer on the
+        // concatenated endpoint embeddings scores each edge
+        let scorer = Linear::new("adgcl.scorer", store, 2 * config.encoder.hidden_dim, 1, rng);
+        let method = Self {
+            encoder: encoder.clone(),
+            proj,
+            scorer,
+            tau: config.tau,
+            pooling: config.pooling,
+            src_idx: Vec::new(),
+            dst_idx: Vec::new(),
+            flat_decisions: Vec::new(),
+        };
+        (encoder, method)
+    }
+}
+
+impl ContrastiveMethod for AdGclMethod {
+    fn name(&self) -> &'static str {
+        "adgcl"
+    }
+
+    fn hparams(&self) -> Vec<(String, f32)> {
+        vec![("tau".to_string(), self.tau)]
+    }
+
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        rng: &mut StdRng,
+    ) -> Option<StepLoss> {
+        let batch = GraphBatch::new(graphs);
+
+        // 1. scorer: drop probabilities per undirected edge (values only)
+        let drop_probs_per_graph: Vec<Vec<f32>> = {
+            let mut scratch = Tape::new();
+            let h = self.encoder.forward(&mut scratch, store, &batch, None);
+            let hm = scratch.value(h).clone();
+            let w = store.value(self.scorer.weight_id());
+            let b = store.value(self.scorer.bias_id()).as_slice()[0];
+            graphs
+                .iter()
+                .enumerate()
+                .map(|(gi, g)| {
+                    let off = batch.graph_nodes(gi).start;
+                    g.edges()
+                        .iter()
+                        .map(|&(u, v)| {
+                            let hu = hm.row(off + u as usize);
+                            let hv = hm.row(off + v as usize);
+                            let logit: f32 = hu
+                                .iter()
+                                .chain(hv)
+                                .zip(w.as_slice())
+                                .map(|(&x, &wv)| x * wv)
+                                .sum::<f32>()
+                                + b;
+                            MAX_DROP * stable_sigmoid(logit)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // 2. sample edge-dropped views and remember the drop decisions for
+        //    the post-step REINFORCE update
+        self.src_idx.clear();
+        self.dst_idx.clear();
+        self.flat_decisions.clear();
+        let mut views = Vec::with_capacity(graphs.len());
+        for ((gi, g), probs) in graphs.iter().enumerate().zip(&drop_probs_per_graph) {
+            let view = perturb_edges_drop_only(g, probs, rng);
+            let kept: std::collections::HashSet<(u32, u32)> =
+                view.edges().iter().copied().collect();
+            let off = batch.graph_nodes(gi).start;
+            for &(u, v) in g.edges() {
+                self.src_idx.push(off + u as usize);
+                self.dst_idx.push(off + v as usize);
+                self.flat_decisions.push(!kept.contains(&(u, v)));
+            }
+            views.push(view);
+        }
+
+        // 3. encoder step: minimise InfoNCE(anchor, view)
+        let view_batch = GraphBatch::from_graphs(&views);
+        let ha = self.encoder.forward(tape, store, &batch, None);
+        let pa = self.pooling.apply(tape, &batch, ha);
+        let za = self.proj.forward(tape, store, pa);
+        let hv = self.encoder.forward(tape, store, &view_batch, None);
+        let pv = self.pooling.apply(tape, &view_batch, hv);
+        let zv = self.proj.forward(tape, store, pv);
+        let loss = semantic_info_nce(tape, za, zv, self.tau);
+        Some(StepLoss {
+            loss,
+            components: None,
+        })
+    }
+
+    fn post_step(&mut self, ctx: &mut StepCtx<'_, '_>) {
+        // scorer step (REINFORCE ascent): maximise loss ⇒ minimise
+        // −loss_value · log p(decisions)
+        if self.src_idx.is_empty() {
+            return;
+        }
+        let batch = GraphBatch::new(ctx.graphs);
+        ctx.tape.reset();
+        let h2 = self.encoder.forward(ctx.tape, ctx.store, &batch, None);
+        // edge logits on tape: gather endpoint reps, concat, linear
+        let hu = ctx
+            .tape
+            .gather_rows(h2, Rc::new(std::mem::take(&mut self.src_idx)));
+        let hv2 = ctx
+            .tape
+            .gather_rows(h2, Rc::new(std::mem::take(&mut self.dst_idx)));
+        let cat = ctx.tape.concat_cols(hu, hv2);
+        let logits = self.scorer.forward(ctx.tape, ctx.store, cat); // e × 1
+        let p_raw = ctx.tape.sigmoid(logits);
+        let p = ctx.tape.scale(p_raw, MAX_DROP); // drop prob per edge
+                                                 // log-likelihood: Σ d·ln p + (1−d)·ln(1−p)
+        let e = self.flat_decisions.len();
+        let d_mask = Rc::new(sgcl_tensor::Matrix::from_vec(
+            e,
+            1,
+            self.flat_decisions
+                .iter()
+                .map(|&d| if d { 1.0 } else { 0.0 })
+                .collect(),
+        ));
+        self.flat_decisions.clear();
+        let not_d = Rc::new(d_mask.map(|v| 1.0 - v));
+        let ln_p = ctx.tape.ln(p);
+        let one = ctx.tape.constant(sgcl_tensor::Matrix::ones(e, 1));
+        let one_minus_p = ctx.tape.sub(one, p);
+        let ln_1mp = ctx.tape.ln(one_minus_p);
+        let t1 = ctx.tape.hadamard_const(ln_p, d_mask);
+        let t2 = ctx.tape.hadamard_const(ln_1mp, not_d);
+        let ll_terms = ctx.tape.add(t1, t2);
+        let ll = ctx.tape.sum_all(ll_terms);
+        // ascend on the main loss: objective = −loss_value · ll
+        let objective = ctx.tape.scale(ll, -ctx.loss / e.max(1) as f32);
+        // only the scorer's parameters should move: snapshot others
+        let snapshot = ctx.store.snapshot();
+        ctx.store.backward(ctx.tape, objective);
+        ctx.store.clip_grad_norm(1.0);
+        ctx.opt.step(ctx.store);
+        // restore everything except the scorer
+        let scorer_w = ctx.store.value(self.scorer.weight_id()).clone();
+        let scorer_b = ctx.store.value(self.scorer.bias_id()).clone();
+        ctx.store.restore(&snapshot);
+        *ctx.store.value_mut(self.scorer.weight_id()) = scorer_w;
+        *ctx.store.value_mut(self.scorer.bias_id()) = scorer_b;
+    }
+}
+
+/// Pre-trains an AD-GCL model through the shared engine.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; use
+/// [`BaselineTrainer`] directly for typed errors and resumable runs.
 pub fn pretrain_adgcl(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
     assert!(!graphs.is_empty(), "empty pre-training set");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut store = ParamStore::new();
-    let encoder = GnnEncoder::new("adgcl.enc", &mut store, config.encoder, &mut rng);
-    let proj = ProjectionHead::new(
-        "adgcl.proj",
-        &mut store,
-        config.encoder.hidden_dim,
-        &mut rng,
-    );
-    // scorer: shares the encoder's node reps; one linear layer on the
-    // concatenated endpoint embeddings scores each edge
-    let scorer = Linear::new(
-        "adgcl.scorer",
-        &mut store,
-        2 * config.encoder.hidden_dim,
-        1,
-        &mut rng,
-    );
-    let mut opt = Adam::new(config.lr);
-    let n = graphs.len();
-    let bs = config.batch_size.min(n).max(2);
-
-    for _epoch in 0..config.epochs {
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        for chunk in order.chunks(bs) {
-            if chunk.len() < 2 {
-                continue;
-            }
-            let anchors: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-            let batch = GraphBatch::new(&anchors);
-
-            // 1. scorer: drop probabilities per undirected edge (values only)
-            let drop_probs_per_graph: Vec<Vec<f32>> = {
-                let mut tape = Tape::new();
-                let h = encoder.forward(&mut tape, &store, &batch, None);
-                let hm = tape.value(h).clone();
-                let w = store.value(scorer.weight_id());
-                let b = store.value(scorer.bias_id()).as_slice()[0];
-                anchors
-                    .iter()
-                    .enumerate()
-                    .map(|(gi, g)| {
-                        let off = batch.graph_nodes(gi).start;
-                        g.edges()
-                            .iter()
-                            .map(|&(u, v)| {
-                                let hu = hm.row(off + u as usize);
-                                let hv = hm.row(off + v as usize);
-                                let logit: f32 = hu
-                                    .iter()
-                                    .chain(hv)
-                                    .zip(w.as_slice())
-                                    .map(|(&x, &wv)| x * wv)
-                                    .sum::<f32>()
-                                    + b;
-                                MAX_DROP * stable_sigmoid(logit)
-                            })
-                            .collect()
-                    })
-                    .collect()
-            };
-
-            // 2. sample edge-dropped views and remember the drop decisions
-            let mut views = Vec::with_capacity(anchors.len());
-            let mut decisions: Vec<Vec<bool>> = Vec::with_capacity(anchors.len());
-            for (g, probs) in anchors.iter().zip(&drop_probs_per_graph) {
-                // sample once, record which edges survived
-                let view = perturb_edges_drop_only(g, probs, &mut rng);
-                let kept: std::collections::HashSet<(u32, u32)> =
-                    view.edges().iter().copied().collect();
-                decisions.push(g.edges().iter().map(|e| !kept.contains(e)).collect());
-                views.push(view);
-            }
-
-            // 3. encoder step: minimise InfoNCE(anchor, view)
-            let view_batch = GraphBatch::from_graphs(&views);
-            let mut tape = Tape::new();
-            let ha = encoder.forward(&mut tape, &store, &batch, None);
-            let pa = config.pooling.apply(&mut tape, &batch, ha);
-            let za = proj.forward(&mut tape, &store, pa);
-            let hv = encoder.forward(&mut tape, &store, &view_batch, None);
-            let pv = config.pooling.apply(&mut tape, &view_batch, hv);
-            let zv = proj.forward(&mut tape, &store, pv);
-            let loss = semantic_info_nce(&mut tape, za, zv, config.tau);
-            let loss_value = tape.scalar(loss);
-            store.backward(&tape, loss);
-            store.clip_grad_norm(5.0);
-            // zero the scorer's descent gradient — it ascends separately below
-            store.value_mut(scorer.weight_id()); // (no-op borrow; clarity)
-            opt.step(&mut store);
-
-            // 4. scorer step (REINFORCE ascent): maximise loss ⇒ minimise
-            //    −loss_value · log p(decisions)
-            let mut tape2 = Tape::new();
-            let h2 = encoder.forward(&mut tape2, &store, &batch, None);
-            // edge logits on tape: gather endpoint reps, concat, linear
-            let mut src_idx = Vec::new();
-            let mut dst_idx = Vec::new();
-            let mut flat_decisions = Vec::new();
-            for (gi, g) in anchors.iter().enumerate() {
-                let off = batch.graph_nodes(gi).start;
-                for (&(u, v), &dropped) in g.edges().iter().zip(&decisions[gi]) {
-                    src_idx.push(off + u as usize);
-                    dst_idx.push(off + v as usize);
-                    flat_decisions.push(dropped);
-                }
-            }
-            if !src_idx.is_empty() {
-                let hu = tape2.gather_rows(h2, Rc::new(src_idx));
-                let hv2 = tape2.gather_rows(h2, Rc::new(dst_idx));
-                let cat = tape2.concat_cols(hu, hv2);
-                let logits = scorer.forward(&mut tape2, &store, cat); // e × 1
-                let p_raw = tape2.sigmoid(logits);
-                let p = tape2.scale(p_raw, MAX_DROP); // drop prob per edge
-                                                      // log-likelihood: Σ d·ln p + (1−d)·ln(1−p)
-                let e = flat_decisions.len();
-                let d_mask = Rc::new(sgcl_tensor::Matrix::from_vec(
-                    e,
-                    1,
-                    flat_decisions
-                        .iter()
-                        .map(|&d| if d { 1.0 } else { 0.0 })
-                        .collect(),
-                ));
-                let not_d = Rc::new(d_mask.map(|v| 1.0 - v));
-                let ln_p = tape2.ln(p);
-                let one = tape2.constant(sgcl_tensor::Matrix::ones(e, 1));
-                let one_minus_p = tape2.sub(one, p);
-                let ln_1mp = tape2.ln(one_minus_p);
-                let t1 = tape2.hadamard_const(ln_p, d_mask);
-                let t2 = tape2.hadamard_const(ln_1mp, not_d);
-                let ll_terms = tape2.add(t1, t2);
-                let ll = tape2.sum_all(ll_terms);
-                // ascend on loss: objective = −loss_value · ll
-                let objective = tape2.scale(ll, -loss_value / e.max(1) as f32);
-                // only the scorer's parameters should move: snapshot others
-                let snapshot = store.snapshot();
-                store.backward(&tape2, objective);
-                store.clip_grad_norm(1.0);
-                opt.step(&mut store);
-                // restore everything except the scorer
-                let scorer_w = store.value(scorer.weight_id()).clone();
-                let scorer_b = store.value(scorer.bias_id()).clone();
-                store.restore(&snapshot);
-                *store.value_mut(scorer.weight_id()) = scorer_w;
-                *store.value_mut(scorer.bias_id()) = scorer_b;
-            }
-        }
+    let mut trainer = BaselineTrainer::new(BaselineKind::AdGcl, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
     }
-    TrainedEncoder {
-        store,
-        encoder,
-        pooling: config.pooling,
-    }
+    trainer.into_trained()
 }
 
 #[cfg(test)]

@@ -1,26 +1,38 @@
 //! GraphCL (You et al., NeurIPS 2020): contrast two views produced by
 //! randomly chosen augmentations from the four-op pool (node dropping, edge
 //! perturbation, attribute masking, subgraph) at strength 0.2.
+//!
+//! Runs through the shared engine as a [`crate::common::BaselineTrainer`]
+//! of kind [`BaselineKind::GraphCl`] — a stateless two-view method whose
+//! sampler draws the pair of augmentation kinds uniformly.
 
-use crate::common::{pretrain_two_view, GclConfig, TrainedEncoder};
+use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
+use rand::rngs::StdRng;
 use rand::Rng;
 use sgcl_graph::augment::{self, AugmentKind};
 use sgcl_graph::Graph;
 
-/// Pre-trains a GraphCL model. Per graph and step, two augmentation kinds
-/// are drawn uniformly from the pool (the paper's untuned default; per-
-/// dataset tuning is what JOAO later automated).
+/// GraphCL's view sampler: two augmentation kinds drawn uniformly from the
+/// pool (the paper's untuned default; per-dataset tuning is what JOAO later
+/// automated).
+pub(crate) fn graphcl_sampler(g: &Graph, rng: &mut StdRng) -> (Graph, Graph) {
+    let ka = AugmentKind::POOL[rng.gen_range(0..AugmentKind::POOL.len())];
+    let kb = AugmentKind::POOL[rng.gen_range(0..AugmentKind::POOL.len())];
+    (augment::apply(g, ka, rng), augment::apply(g, kb, rng))
+}
+
+/// Pre-trains a GraphCL model through the shared engine.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; use
+/// [`BaselineTrainer`] directly for typed errors and resumable runs.
 pub fn pretrain_graphcl(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
-    pretrain_two_view(
-        config,
-        graphs,
-        |g, rng| {
-            let ka = AugmentKind::POOL[rng.gen_range(0..AugmentKind::POOL.len())];
-            let kb = AugmentKind::POOL[rng.gen_range(0..AugmentKind::POOL.len())];
-            (augment::apply(g, ka, rng), augment::apply(g, kb, rng))
-        },
-        seed,
-    )
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut trainer = BaselineTrainer::new(BaselineKind::GraphCl, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
+    }
+    trainer.into_trained()
 }
 
 #[cfg(test)]

@@ -4,97 +4,127 @@
 //! negatives are (node, other graph) pairs.
 //!
 //! The same objective with a corruption-free global summary is Deep Graph
-//! Infomax; [`pretrain_infomax`] reuses this implementation for Table VI's
-//! "Infomax" row.
+//! Infomax; [`pretrain_infomax`] reuses this implementation (through
+//! [`BaselineKind::Infomax`], which only shifts the seed stream) for
+//! Table VI's "Infomax" row.
 
-use crate::common::{GclConfig, TrainedEncoder};
+use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sgcl_gnn::{GnnEncoder, ProjectionHead};
+use sgcl_core::engine::{ContrastiveMethod, StepLoss};
+use sgcl_gnn::{GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
+use sgcl_tensor::{Matrix, ParamStore, Tape};
 use std::rc::Rc;
 
-/// Pre-trains an InfoGraph model.
-pub fn pretrain_infograph(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
-    assert!(!graphs.is_empty(), "empty pre-training set");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut store = ParamStore::new();
-    let encoder = GnnEncoder::new("infograph.enc", &mut store, config.encoder, &mut rng);
-    let proj_local = ProjectionHead::new(
-        "infograph.local",
-        &mut store,
-        config.encoder.hidden_dim,
-        &mut rng,
-    );
-    let proj_global = ProjectionHead::new(
-        "infograph.global",
-        &mut store,
-        config.encoder.hidden_dim,
-        &mut rng,
-    );
-    let mut opt = Adam::new(config.lr);
-    let n = graphs.len();
-    let bs = config.batch_size.min(n).max(2);
+/// InfoGraph as an engine method: local-global JSD mutual-information
+/// maximisation. The Infomax alias shares this implementation under its
+/// own checkpoint name (and RNG stream).
+pub(crate) struct InfoGraphMethod {
+    name: &'static str,
+    encoder: GnnEncoder,
+    proj_local: ProjectionHead,
+    proj_global: ProjectionHead,
+    pooling: Pooling,
+}
 
-    for _epoch in 0..config.epochs {
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        for chunk in order.chunks(bs) {
-            if chunk.len() < 2 {
-                continue;
-            }
-            let anchors: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-            let batch = GraphBatch::new(&anchors);
-            let b = batch.num_graphs;
-            let total = batch.total_nodes();
-
-            let mut tape = Tape::new();
-            let h = encoder.forward(&mut tape, &store, &batch, None);
-            let local = proj_local.forward(&mut tape, &store, h);
-            let pooled = config.pooling.apply(&mut tape, &batch, h);
-            let global = proj_global.forward(&mut tape, &store, pooled);
-            // scores T[i][g] = local_i · global_g
-            let scores = tape.matmul_nt(local, global); // total × B
-                                                        // JSD estimator: E_pos[−sp(−T)]  maximised, E_neg[sp(T)] minimised
-                                                        // → loss = E_pos[sp(−T)] + E_neg[sp(T)]
-            let mut pos_mask = Matrix::zeros(total, b);
-            for (i, &g) in batch.node_graph.iter().enumerate() {
-                pos_mask.set(i, g, 1.0);
-            }
-            let n_pos = total as f32;
-            let n_neg = (total * (b - 1)) as f32;
-            let neg_mask = pos_mask.map(|v| 1.0 - v);
-            let neg_scores = tape.scale(scores, -1.0);
-            let sp_neg_t = tape.softplus(neg_scores); // sp(−T)
-            let sp_t = tape.softplus(scores); // sp(T)
-            let pos_terms = tape.hadamard_const(sp_neg_t, Rc::new(pos_mask));
-            let neg_terms = tape.hadamard_const(sp_t, Rc::new(neg_mask));
-            let pos_sum = tape.sum_all(pos_terms);
-            let neg_sum = tape.sum_all(neg_terms);
-            let pos_mean = tape.scale(pos_sum, 1.0 / n_pos.max(1.0));
-            let neg_mean = tape.scale(neg_sum, 1.0 / n_neg.max(1.0));
-            let loss = tape.add(pos_mean, neg_mean);
-            store.backward(&tape, loss);
-            store.clip_grad_norm(5.0);
-            opt.step(&mut store);
-        }
-    }
-    TrainedEncoder {
-        store,
-        encoder,
-        pooling: config.pooling,
+impl InfoGraphMethod {
+    /// Registers the encoder and both projection heads in `store` and
+    /// returns the method together with an encoder handle. `name` is the
+    /// checkpoint identity (`"infograph"` or the `"infomax"` alias).
+    pub(crate) fn build(
+        store: &mut ParamStore,
+        config: &GclConfig,
+        rng: &mut StdRng,
+        name: &'static str,
+    ) -> (GnnEncoder, Self) {
+        let encoder = GnnEncoder::new("infograph.enc", store, config.encoder, rng);
+        let proj_local =
+            ProjectionHead::new("infograph.local", store, config.encoder.hidden_dim, rng);
+        let proj_global =
+            ProjectionHead::new("infograph.global", store, config.encoder.hidden_dim, rng);
+        let method = Self {
+            name,
+            encoder: encoder.clone(),
+            proj_local,
+            proj_global,
+            pooling: config.pooling,
+        };
+        (encoder, method)
     }
 }
 
+impl ContrastiveMethod for InfoGraphMethod {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        _rng: &mut StdRng,
+    ) -> Option<StepLoss> {
+        let batch = GraphBatch::new(graphs);
+        let b = batch.num_graphs;
+        let total = batch.total_nodes();
+
+        let h = self.encoder.forward(tape, store, &batch, None);
+        let local = self.proj_local.forward(tape, store, h);
+        let pooled = self.pooling.apply(tape, &batch, h);
+        let global = self.proj_global.forward(tape, store, pooled);
+        // scores T[i][g] = local_i · global_g
+        let scores = tape.matmul_nt(local, global); // total × B
+                                                    // JSD estimator: E_pos[−sp(−T)]  maximised, E_neg[sp(T)] minimised
+                                                    // → loss = E_pos[sp(−T)] + E_neg[sp(T)]
+        let mut pos_mask = Matrix::zeros(total, b);
+        for (i, &g) in batch.node_graph.iter().enumerate() {
+            pos_mask.set(i, g, 1.0);
+        }
+        let n_pos = total as f32;
+        let n_neg = (total * (b - 1)) as f32;
+        let neg_mask = pos_mask.map(|v| 1.0 - v);
+        let neg_scores = tape.scale(scores, -1.0);
+        let sp_neg_t = tape.softplus(neg_scores); // sp(−T)
+        let sp_t = tape.softplus(scores); // sp(T)
+        let pos_terms = tape.hadamard_const(sp_neg_t, Rc::new(pos_mask));
+        let neg_terms = tape.hadamard_const(sp_t, Rc::new(neg_mask));
+        let pos_sum = tape.sum_all(pos_terms);
+        let neg_sum = tape.sum_all(neg_terms);
+        let pos_mean = tape.scale(pos_sum, 1.0 / n_pos.max(1.0));
+        let neg_mean = tape.scale(neg_sum, 1.0 / n_neg.max(1.0));
+        let loss = tape.add(pos_mean, neg_mean);
+        Some(StepLoss {
+            loss,
+            components: None,
+        })
+    }
+}
+
+/// Pre-trains an InfoGraph model through the shared engine.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; use
+/// [`BaselineTrainer`] directly for typed errors and resumable runs.
+pub fn pretrain_infograph(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut trainer = BaselineTrainer::new(BaselineKind::InfoGraph, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
+    }
+    trainer.into_trained()
+}
+
 /// Deep-Graph-Infomax-style pre-training for Table VI's "Infomax" row —
-/// identical estimator, kept as a named alias so harness code reads like the
-/// paper's tables.
+/// identical estimator, kept as a named alias (with its own seed stream) so
+/// harness code reads like the paper's tables.
 pub fn pretrain_infomax(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
-    pretrain_infograph(config, graphs, seed ^ 0x1A)
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut trainer = BaselineTrainer::new(BaselineKind::Infomax, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
+    }
+    trainer.into_trained()
 }
 
 #[cfg(test)]

@@ -3,22 +3,29 @@
 //! JOAO wraps GraphCL in a min-max game: a distribution over augmentation
 //! pairs is updated towards the *hardest* (highest-loss) augmentations while
 //! the encoder minimises the contrastive loss under the sampled pair. We
-//! implement the sampled variant: each round estimates the loss of each
-//! augmentation kind on a probe batch and takes a mirror-descent step on the
-//! selection distribution (v2's per-augmentation projection heads are folded
-//! into the shared head; see DESIGN.md).
+//! implement the sampled variant: each round estimates the difficulty of
+//! each augmentation kind from realised usage and takes a mirror-descent
+//! step on the selection distribution (v2's per-augmentation projection
+//! heads are folded into the shared head; see DESIGN.md).
+//!
+//! As an engine method, the distribution and its running difficulty
+//! counters are method-private state: they serialise into checkpoint v2 so
+//! a killed JOAO run resumes with the exact distribution it left off with.
 
-use crate::common::{pretrain_two_view, GclConfig, TrainedEncoder};
+use crate::common::{two_view_loss, BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sgcl_core::engine::{ContrastiveMethod, StepLoss};
+use sgcl_core::SgclError;
+use sgcl_gnn::{GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::augment::{self, AugmentKind};
 use sgcl_graph::Graph;
-use std::cell::RefCell;
-use std::rc::Rc;
+use sgcl_tensor::{ParamStore, Tape};
 
 /// The evolving selection distribution over augmentation kinds, exposed for
 /// inspection/testing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JoaoState {
     /// Probability of each kind in [`AugmentKind::POOL`] order.
     pub probs: [f32; 4],
@@ -65,71 +72,164 @@ impl JoaoState {
     }
 }
 
-/// Pre-trains a JOAOv2 model, returning the encoder and the final
-/// augmentation distribution.
+/// The serialised method-private state: distribution plus the running
+/// difficulty counters, so resumption continues mid-accumulation window.
+#[derive(Serialize, Deserialize)]
+struct JoaoSaved {
+    probs: [f32; 4],
+    steps: usize,
+    diff_sums: [f32; 4],
+    diff_counts: [usize; 4],
+}
+
+/// JOAOv2 as an engine method: a two-view sampler whose distribution over
+/// augmentation kinds adapts towards the hardest (largest topology-edit)
+/// kinds every 64 sampled graphs.
+pub(crate) struct JoaoMethod {
+    state: JoaoState,
+    steps: usize,
+    diff_sums: [f32; 4],
+    diff_counts: [usize; 4],
+    encoder: GnnEncoder,
+    proj: ProjectionHead,
+    tau: f32,
+    pooling: Pooling,
+}
+
+impl JoaoMethod {
+    pub(crate) fn new(
+        encoder: GnnEncoder,
+        proj: ProjectionHead,
+        tau: f32,
+        pooling: Pooling,
+    ) -> Self {
+        Self {
+            state: JoaoState::default(),
+            steps: 0,
+            diff_sums: [0.0; 4],
+            diff_counts: [0; 4],
+            encoder,
+            proj,
+            tau,
+            pooling,
+        }
+    }
+}
+
+impl ContrastiveMethod for JoaoMethod {
+    fn name(&self) -> &'static str {
+        "joao"
+    }
+
+    fn hparams(&self) -> Vec<(String, f32)> {
+        vec![("tau".to_string(), self.tau)]
+    }
+
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        rng: &mut StdRng,
+    ) -> Option<StepLoss> {
+        let mut views_a = Vec::with_capacity(graphs.len());
+        let mut views_b = Vec::with_capacity(graphs.len());
+        for g in graphs {
+            let (ka, kb) = (self.state.sample(rng), self.state.sample(rng));
+            let a = augment::apply(g, ka, rng);
+            let b = augment::apply(g, kb, rng);
+            // track difficulty proxy: augmentation kinds producing larger
+            // topology change are "harder"; realised as normalised edit size
+            let idx_a = AugmentKind::POOL
+                .iter()
+                .position(|&k| k == ka)
+                .expect("in pool");
+            let diff_a = (g.num_edges() as f32 - a.num_edges() as f32).abs()
+                / g.num_edges().max(1) as f32;
+            self.diff_sums[idx_a] += diff_a;
+            self.diff_counts[idx_a] += 1;
+            self.steps += 1;
+            if self.steps % 64 == 0 {
+                let mut means = [0.0f32; 4];
+                for i in 0..4 {
+                    means[i] = if self.diff_counts[i] > 0 {
+                        self.diff_sums[i] / self.diff_counts[i] as f32
+                    } else {
+                        0.0
+                    };
+                }
+                self.state.update(&means, 1.0);
+                self.diff_sums = [0.0; 4];
+                self.diff_counts = [0; 4];
+            }
+            views_a.push(a);
+            views_b.push(b);
+        }
+        let loss = two_view_loss(
+            tape,
+            store,
+            &self.encoder,
+            &self.proj,
+            self.pooling,
+            self.tau,
+            &views_a,
+            &views_b,
+        );
+        Some(StepLoss {
+            loss,
+            components: None,
+        })
+    }
+
+    fn state(&self) -> Option<serde_json::Value> {
+        serde_json::to_value(JoaoSaved {
+            probs: self.state.probs,
+            steps: self.steps,
+            diff_sums: self.diff_sums,
+            diff_counts: self.diff_counts,
+        })
+        .ok()
+    }
+
+    fn load_state(&mut self, state: &serde_json::Value) -> Result<(), SgclError> {
+        let saved: JoaoSaved = serde_json::from_value(state.clone())
+            .map_err(|e| SgclError::parse("joao method state", e))?;
+        self.state.probs = saved.probs;
+        self.steps = saved.steps;
+        self.diff_sums = saved.diff_sums;
+        self.diff_counts = saved.diff_counts;
+        Ok(())
+    }
+}
+
+/// Pre-trains a JOAOv2 model through the shared engine, returning the
+/// encoder and the final augmentation distribution.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; use
+/// [`BaselineTrainer`] directly for typed errors and resumable runs.
 pub fn pretrain_joao(
     config: GclConfig,
     graphs: &[Graph],
     seed: u64,
 ) -> (TrainedEncoder, JoaoState) {
-    let state = Rc::new(RefCell::new(JoaoState::default()));
-    let state_for_sampler = state.clone();
-    // running per-kind loss estimates updated from the sampler side:
-    // JOAO alternates encoder steps and distribution steps; we piggyback the
-    // distribution update on epoch boundaries using realised per-kind usage
-    let counter = Rc::new(RefCell::new((0usize, [0.0f32; 4], [0usize; 4])));
-    let counter_for_sampler = counter.clone();
-    let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-
-    let model = pretrain_two_view(
-        config,
-        graphs,
-        move |g, rng| {
-            let (ka, kb) = {
-                let st = state_for_sampler.borrow();
-                (st.sample(rng), st.sample(rng))
-            };
-            // track difficulty proxy: augmentation kinds producing larger
-            // topology change are "harder"; realised as normalised edit size
-            let a = augment::apply(g, ka, rng);
-            let b = augment::apply(g, kb, rng);
-            {
-                let mut c = counter_for_sampler.borrow_mut();
-                let idx_a = AugmentKind::POOL
-                    .iter()
-                    .position(|&k| k == ka)
-                    .expect("in pool");
-                let diff_a = (g.num_edges() as f32 - a.num_edges() as f32).abs()
-                    / g.num_edges().max(1) as f32;
-                c.1[idx_a] += diff_a;
-                c.2[idx_a] += 1;
-                c.0 += 1;
-                if c.0 % 64 == 0 {
-                    let mut means = [0.0f32; 4];
-                    for i in 0..4 {
-                        means[i] = if c.2[i] > 0 {
-                            c.1[i] / c.2[i] as f32
-                        } else {
-                            0.0
-                        };
-                    }
-                    state_for_sampler.borrow_mut().update(&means, 1.0);
-                    c.1 = [0.0; 4];
-                    c.2 = [0; 4];
-                }
-            }
-            let _ = &mut probe_rng;
-            (a, b)
-        },
-        seed,
-    );
-    let final_state = state.borrow().clone();
-    (model, final_state)
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut trainer = BaselineTrainer::new(BaselineKind::Joao, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
+    }
+    let final_state = trainer
+        .method_state()
+        .and_then(|v| serde_json::from_value::<JoaoSaved>(v).ok())
+        .map(|s| JoaoState { probs: s.probs })
+        .unwrap_or_default();
+    (trainer.into_trained(), final_state)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use sgcl_data::{Scale, TuDataset};
     use sgcl_gnn::{EncoderConfig, EncoderKind};
 
@@ -178,5 +278,42 @@ mod tests {
             "distribution drifted: {:?}",
             state.probs
         );
+    }
+
+    #[test]
+    fn method_state_roundtrips_mid_window() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = TuDataset::Mutag.generate(Scale::Quick, 1);
+        let cfg = GclConfig {
+            epochs: 1,
+            batch_size: 8,
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: ds.feature_dim(),
+                hidden_dim: 8,
+                num_layers: 2,
+            },
+            ..GclConfig::paper_unsupervised(ds.feature_dim())
+        };
+        let mut store = ParamStore::new();
+        let encoder = GnnEncoder::new("baseline.enc", &mut store, cfg.encoder, &mut rng);
+        let proj = ProjectionHead::new("baseline.proj", &mut store, cfg.encoder.hidden_dim, &mut rng);
+        let mut m = JoaoMethod::new(encoder, proj, cfg.tau, cfg.pooling);
+        m.state.probs = [0.4, 0.3, 0.2, 0.1];
+        m.steps = 37; // mid accumulation window
+        m.diff_sums = [1.0, 2.0, 3.0, 4.0];
+        m.diff_counts = [5, 6, 7, 8];
+        let saved = m.state().expect("serialisable");
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let mut store2 = ParamStore::new();
+        let encoder2 = GnnEncoder::new("baseline.enc", &mut store2, cfg.encoder, &mut rng2);
+        let proj2 =
+            ProjectionHead::new("baseline.proj", &mut store2, cfg.encoder.hidden_dim, &mut rng2);
+        let mut restored = JoaoMethod::new(encoder2, proj2, cfg.tau, cfg.pooling);
+        restored.load_state(&saved).expect("loadable");
+        assert_eq!(restored.state.probs, m.state.probs);
+        assert_eq!(restored.steps, m.steps);
+        assert_eq!(restored.diff_sums, m.diff_sums);
+        assert_eq!(restored.diff_counts, m.diff_counts);
     }
 }

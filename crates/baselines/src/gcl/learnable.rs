@@ -11,6 +11,11 @@
 //! * **AutoGCL** (Yin et al., AAAI 2022): learnable view generator with a
 //!   node-level choice of drop vs attribute-mask, no complement set →
 //!   `no_lga`, λ_c = 0, plus a post-drop attribute mask on the sampled view.
+//!
+//! Because they run as [`SgclModel`] instances, both ride on the shared
+//! training engine (guards, rollback recovery, resumable checkpoints)
+//! automatically — no separate [`crate::common::BaselineTrainer`] kind is
+//! needed.
 
 use crate::common::{GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;

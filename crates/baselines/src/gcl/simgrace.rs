@@ -1,76 +1,103 @@
 //! SimGRACE (Xia et al., WWW 2022): graph contrastive learning **without
 //! data augmentation** — the second view is the same graph encoded by a
 //! Gaussian-perturbed copy of the encoder. Only the unperturbed tower
-//! receives gradients.
+//! receives gradients, so the perturbed pass runs values-only on a scratch
+//! tape and enters the engine's loss graph as a constant.
 
-use crate::common::{GclConfig, TrainedEncoder};
+use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sgcl_core::engine::{ContrastiveMethod, StepLoss};
 use sgcl_core::losses::semantic_info_nce;
-use sgcl_gnn::{GnnEncoder, ProjectionHead};
+use sgcl_gnn::{GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_tensor::{Adam, Optimizer, ParamStore, Tape};
+use sgcl_tensor::{ParamStore, Tape};
 
 /// Perturbation magnitude η of the paper (noise std = η · per-tensor weight
 /// std).
 const SIGMA: f32 = 0.1;
 
-/// Pre-trains a SimGRACE model.
+/// SimGRACE as an engine method: weight-space perturbation replaces data
+/// augmentation.
+pub(crate) struct SimGraceMethod {
+    encoder: GnnEncoder,
+    proj: ProjectionHead,
+    tau: f32,
+    pooling: Pooling,
+}
+
+impl SimGraceMethod {
+    /// Registers the encoder and projection head in `store` and returns the
+    /// method together with an encoder handle.
+    pub(crate) fn build(
+        store: &mut ParamStore,
+        config: &GclConfig,
+        rng: &mut StdRng,
+    ) -> (GnnEncoder, Self) {
+        let encoder = GnnEncoder::new("simgrace.enc", store, config.encoder, rng);
+        let proj = ProjectionHead::new("simgrace.proj", store, config.encoder.hidden_dim, rng);
+        let method = Self {
+            encoder: encoder.clone(),
+            proj,
+            tau: config.tau,
+            pooling: config.pooling,
+        };
+        (encoder, method)
+    }
+}
+
+impl ContrastiveMethod for SimGraceMethod {
+    fn name(&self) -> &'static str {
+        "simgrace"
+    }
+
+    fn hparams(&self) -> Vec<(String, f32)> {
+        vec![("tau".to_string(), self.tau)]
+    }
+
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        rng: &mut StdRng,
+    ) -> Option<StepLoss> {
+        let batch = GraphBatch::new(graphs);
+
+        // perturbed-tower view: encode with a noisy copy, values only
+        let z_perturbed = {
+            let mut noisy = store.clone();
+            noisy.perturb_gaussian(SIGMA, rng);
+            let mut t = Tape::new();
+            let h = self.encoder.forward(&mut t, &noisy, &batch, None);
+            let p = self.pooling.apply(&mut t, &batch, h);
+            let z = self.proj.forward(&mut t, &noisy, p);
+            t.value(z).clone()
+        };
+
+        let h = self.encoder.forward(tape, store, &batch, None);
+        let p = self.pooling.apply(tape, &batch, h);
+        let z = self.proj.forward(tape, store, p);
+        let z_pert = tape.constant(z_perturbed);
+        let loss = semantic_info_nce(tape, z, z_pert, self.tau);
+        Some(StepLoss {
+            loss,
+            components: None,
+        })
+    }
+}
+
+/// Pre-trains a SimGRACE model through the shared engine.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; use
+/// [`BaselineTrainer`] directly for typed errors and resumable runs.
 pub fn pretrain_simgrace(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
     assert!(!graphs.is_empty(), "empty pre-training set");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut store = ParamStore::new();
-    let encoder = GnnEncoder::new("simgrace.enc", &mut store, config.encoder, &mut rng);
-    let proj = ProjectionHead::new(
-        "simgrace.proj",
-        &mut store,
-        config.encoder.hidden_dim,
-        &mut rng,
-    );
-    let mut opt = Adam::new(config.lr);
-    let n = graphs.len();
-    let bs = config.batch_size.min(n).max(2);
-
-    for _epoch in 0..config.epochs {
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        for chunk in order.chunks(bs) {
-            if chunk.len() < 2 {
-                continue;
-            }
-            let anchors: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-            let batch = GraphBatch::new(&anchors);
-
-            // perturbed-tower view: encode with a noisy copy, values only
-            let z_perturbed = {
-                let mut noisy = store.clone();
-                noisy.perturb_gaussian(SIGMA, &mut rng);
-                let mut t = Tape::new();
-                let h = encoder.forward(&mut t, &noisy, &batch, None);
-                let p = config.pooling.apply(&mut t, &batch, h);
-                let z = proj.forward(&mut t, &noisy, p);
-                t.value(z).clone()
-            };
-
-            let mut tape = Tape::new();
-            let h = encoder.forward(&mut tape, &store, &batch, None);
-            let p = config.pooling.apply(&mut tape, &batch, h);
-            let z = proj.forward(&mut tape, &store, p);
-            let z_pert = tape.constant(z_perturbed);
-            let loss = semantic_info_nce(&mut tape, z, z_pert, config.tau);
-            store.backward(&tape, loss);
-            store.clip_grad_norm(5.0);
-            opt.step(&mut store);
-        }
+    let mut trainer = BaselineTrainer::new(BaselineKind::SimGrace, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
     }
-    TrainedEncoder {
-        store,
-        encoder,
-        pooling: config.pooling,
-    }
+    trainer.into_trained()
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 //! * [`pretrain`] — AttrMasking, ContextPred, GAE, and the no-pre-train
 //!   control;
 //! * [`common`] — the shared [`TrainedEncoder`](common::TrainedEncoder)
-//!   handle and two-view contrastive training loop.
+//!   handle and the [`BaselineTrainer`](common::BaselineTrainer) that runs
+//!   every baseline through `sgcl_core`'s shared training engine, so the
+//!   fault guards, rollback recovery, and bit-exact kill-and-resume apply
+//!   to baselines exactly as they do to SGCL.
 
 #![warn(missing_docs)]
 
@@ -19,4 +22,4 @@ pub mod gcl;
 pub mod kernels;
 pub mod pretrain;
 
-pub use common::{GclConfig, TrainedEncoder};
+pub use common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};

@@ -1,13 +1,19 @@
 //! Non-contrastive pre-training strategies used as baselines in Tables IV
 //! and VI: attribute masking, context prediction, graph autoencoding, and
 //! the no-pre-train control.
+//!
+//! The trainable strategies run through the shared engine as
+//! [`ContrastiveMethod`]s with `min_batch() == 1`: their predictive losses
+//! need no in-batch negatives, so — unlike the contrastive methods — they
+//! also train on a trailing single-graph chunk.
 
-use crate::common::{GclConfig, TrainedEncoder};
+use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sgcl_core::engine::{ContrastiveMethod, StepLoss};
 use sgcl_gnn::{ClassifierHead, GnnEncoder};
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
+use sgcl_tensor::{Matrix, ParamStore, Tape};
 use std::rc::Rc;
 
 /// A randomly initialised encoder — the "No Pre-Train" rows.
@@ -22,147 +28,207 @@ pub fn no_pretrain(config: GclConfig, seed: u64) -> TrainedEncoder {
     }
 }
 
-/// AttrMasking (Hu et al., ICLR 2020): mask a fraction of node features and
-/// train the encoder to predict the masked nodes' discrete tags from their
-/// contextual representations.
-pub fn pretrain_attr_masking(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
-    assert!(!graphs.is_empty(), "empty pre-training set");
-    const MASK_RATE: f64 = 0.15;
-    let num_types = graphs
-        .iter()
-        .flat_map(|g| g.node_tags.iter().copied())
-        .max()
-        .map_or(2, |m| m as usize + 1);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut store = ParamStore::new();
-    let encoder = GnnEncoder::new("attrmask.enc", &mut store, config.encoder, &mut rng);
-    let head = ClassifierHead::linear(
-        "attrmask.head",
-        &mut store,
-        config.encoder.hidden_dim,
-        num_types,
-        &mut rng,
-    );
-    let mut opt = Adam::new(config.lr);
-    let n = graphs.len();
-    let bs = config.batch_size.min(n).max(2);
+/// AttrMasking (Hu et al., ICLR 2020) as an engine method: mask a fraction
+/// of node features and train the encoder to predict the masked nodes'
+/// discrete tags from their contextual representations.
+pub(crate) struct AttrMaskMethod {
+    encoder: GnnEncoder,
+    head: ClassifierHead,
+}
 
-    for _epoch in 0..config.epochs {
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        for chunk in order.chunks(bs) {
-            let anchors: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-            let batch = GraphBatch::new(&anchors);
-            // choose masked nodes and zero their feature rows
-            let total = batch.total_nodes();
-            let mut features = batch.features.clone();
-            let mut masked_idx = Vec::new();
-            let mut masked_tags = Vec::new();
-            for (gi, g) in anchors.iter().enumerate() {
-                let off = batch.graph_nodes(gi).start;
-                for i in 0..g.num_nodes() {
-                    if rng.gen_bool(MASK_RATE) {
-                        masked_idx.push(off + i);
-                        masked_tags.push(g.node_tags[i] as usize);
-                        for v in features.row_mut(off + i) {
-                            *v = 0.0;
-                        }
-                    }
-                }
-            }
-            if masked_idx.is_empty() {
-                continue;
-            }
-            let _ = total;
-            let mut tape = Tape::new();
-            let fvar = tape.constant(features);
-            let h = encoder.forward_from(&mut tape, &store, &batch, fvar, None);
-            let picked = tape.gather_rows(h, Rc::new(masked_idx));
-            let logits = head.forward(&mut tape, &store, picked);
-            let loss = tape.softmax_cross_entropy(logits, Rc::new(masked_tags));
-            store.backward(&tape, loss);
-            store.clip_grad_norm(5.0);
-            opt.step(&mut store);
-        }
-    }
-    TrainedEncoder {
-        store,
-        encoder,
-        pooling: config.pooling,
+impl AttrMaskMethod {
+    const MASK_RATE: f64 = 0.15;
+
+    /// Registers the encoder and tag-prediction head in `store`. The head's
+    /// output width is the number of distinct node tags in `graphs`.
+    pub(crate) fn build(
+        store: &mut ParamStore,
+        config: &GclConfig,
+        graphs: &[Graph],
+        rng: &mut StdRng,
+    ) -> (GnnEncoder, Self) {
+        let num_types = graphs
+            .iter()
+            .flat_map(|g| g.node_tags.iter().copied())
+            .max()
+            .map_or(2, |m| m as usize + 1);
+        let encoder = GnnEncoder::new("attrmask.enc", store, config.encoder, rng);
+        let head = ClassifierHead::linear(
+            "attrmask.head",
+            store,
+            config.encoder.hidden_dim,
+            num_types,
+            rng,
+        );
+        let method = Self {
+            encoder: encoder.clone(),
+            head,
+        };
+        (encoder, method)
     }
 }
 
-/// ContextPred (Hu et al., ICLR 2020), simplified to its core signal:
-/// classify whether a node pair is a true neighbourhood pair (within one
-/// hop) or a random negative, from the dot product of their
-/// representations.
-pub fn pretrain_context_pred(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
-    assert!(!graphs.is_empty(), "empty pre-training set");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut store = ParamStore::new();
-    let encoder = GnnEncoder::new("ctxpred.enc", &mut store, config.encoder, &mut rng);
-    let mut opt = Adam::new(config.lr);
-    let n = graphs.len();
-    let bs = config.batch_size.min(n).max(2);
+impl ContrastiveMethod for AttrMaskMethod {
+    fn name(&self) -> &'static str {
+        "attrmask"
+    }
 
-    for _epoch in 0..config.epochs {
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        for chunk in order.chunks(bs) {
-            let anchors: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-            let batch = GraphBatch::new(&anchors);
-            // sample positive (edge) and negative (random same-graph) pairs
-            let mut src = Vec::new();
-            let mut dst = Vec::new();
-            let mut labels = Vec::new();
-            for (gi, g) in anchors.iter().enumerate() {
-                let off = batch.graph_nodes(gi).start;
-                let m = g.num_edges();
-                if m == 0 || g.num_nodes() < 3 {
-                    continue;
-                }
-                for _ in 0..m.min(16) {
-                    let &(u, v) = &g.edges()[rng.gen_range(0..m)];
-                    src.push(off + u as usize);
-                    dst.push(off + v as usize);
-                    labels.push(1.0f32);
-                    // negative: random non-adjacent-ish pair
-                    let a = rng.gen_range(0..g.num_nodes());
-                    let b = rng.gen_range(0..g.num_nodes());
-                    src.push(off + a);
-                    dst.push(off + b);
-                    labels.push(0.0);
+    fn min_batch(&self) -> usize {
+        1
+    }
+
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        rng: &mut StdRng,
+    ) -> Option<StepLoss> {
+        let batch = GraphBatch::new(graphs);
+        // choose masked nodes and zero their feature rows
+        let mut features = batch.features.clone();
+        let mut masked_idx = Vec::new();
+        let mut masked_tags = Vec::new();
+        for (gi, g) in graphs.iter().enumerate() {
+            let off = batch.graph_nodes(gi).start;
+            for i in 0..g.num_nodes() {
+                if rng.gen_bool(Self::MASK_RATE) {
+                    masked_idx.push(off + i);
+                    masked_tags.push(g.node_tags[i] as usize);
+                    for v in features.row_mut(off + i) {
+                        *v = 0.0;
+                    }
                 }
             }
-            if labels.len() < 2 {
+        }
+        if masked_idx.is_empty() {
+            return None; // nothing got masked this round: skip the batch
+        }
+        let fvar = tape.constant(features);
+        let h = self.encoder.forward_from(tape, store, &batch, fvar, None);
+        let picked = tape.gather_rows(h, Rc::new(masked_idx));
+        let logits = self.head.forward(tape, store, picked);
+        let loss = tape.softmax_cross_entropy(logits, Rc::new(masked_tags));
+        Some(StepLoss {
+            loss,
+            components: None,
+        })
+    }
+}
+
+/// ContextPred (Hu et al., ICLR 2020) as an engine method, simplified to
+/// its core signal: classify whether a node pair is a true neighbourhood
+/// pair (within one hop) or a random negative, from the dot product of
+/// their representations.
+pub(crate) struct ContextPredMethod {
+    name: &'static str,
+    encoder: GnnEncoder,
+}
+
+impl ContextPredMethod {
+    /// Registers the encoder in `store` (the method is head-free: logits
+    /// are representation dot products). `name` is the checkpoint identity
+    /// (`"contextpred"` or the `"gae"` alias).
+    pub(crate) fn build(
+        store: &mut ParamStore,
+        config: &GclConfig,
+        rng: &mut StdRng,
+        name: &'static str,
+    ) -> (GnnEncoder, Self) {
+        let encoder = GnnEncoder::new("ctxpred.enc", store, config.encoder, rng);
+        let method = Self {
+            name,
+            encoder: encoder.clone(),
+        };
+        (encoder, method)
+    }
+}
+
+impl ContrastiveMethod for ContextPredMethod {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn min_batch(&self) -> usize {
+        1
+    }
+
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        rng: &mut StdRng,
+    ) -> Option<StepLoss> {
+        let batch = GraphBatch::new(graphs);
+        // sample positive (edge) and negative (random same-graph) pairs
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut labels = Vec::new();
+        for (gi, g) in graphs.iter().enumerate() {
+            let off = batch.graph_nodes(gi).start;
+            let m = g.num_edges();
+            if m == 0 || g.num_nodes() < 3 {
                 continue;
             }
-            let e = labels.len();
-            let mut tape = Tape::new();
-            let h = encoder.forward(&mut tape, &store, &batch, None);
-            let hu = tape.gather_rows(h, Rc::new(src));
-            let hv = tape.gather_rows(h, Rc::new(dst));
-            let prod = tape.hadamard(hu, hv);
-            let logits = tape.row_sums(prod); // e × 1 dot products
-            let targets = Rc::new(Matrix::from_vec(e, 1, labels));
-            let mask = Rc::new(Matrix::ones(e, 1));
-            let loss = tape.bce_with_logits(logits, targets, mask);
-            store.backward(&tape, loss);
-            store.clip_grad_norm(5.0);
-            opt.step(&mut store);
+            for _ in 0..m.min(16) {
+                let &(u, v) = &g.edges()[rng.gen_range(0..m)];
+                src.push(off + u as usize);
+                dst.push(off + v as usize);
+                labels.push(1.0f32);
+                // negative: random non-adjacent-ish pair
+                let a = rng.gen_range(0..g.num_nodes());
+                let b = rng.gen_range(0..g.num_nodes());
+                src.push(off + a);
+                dst.push(off + b);
+                labels.push(0.0);
+            }
         }
+        if labels.len() < 2 {
+            return None; // degenerate batch (all graphs too small): skip
+        }
+        let e = labels.len();
+        let h = self.encoder.forward(tape, store, &batch, None);
+        let hu = tape.gather_rows(h, Rc::new(src));
+        let hv = tape.gather_rows(h, Rc::new(dst));
+        let prod = tape.hadamard(hu, hv);
+        let logits = tape.row_sums(prod); // e × 1 dot products
+        let targets = Rc::new(Matrix::from_vec(e, 1, labels));
+        let mask = Rc::new(Matrix::ones(e, 1));
+        let loss = tape.bce_with_logits(logits, targets, mask);
+        Some(StepLoss {
+            loss,
+            components: None,
+        })
     }
-    TrainedEncoder {
-        store,
-        encoder,
-        pooling: config.pooling,
+}
+
+/// Pre-trains an AttrMasking model through the shared engine.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; use
+/// [`BaselineTrainer`] directly for typed errors and resumable runs.
+pub fn pretrain_attr_masking(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut trainer = BaselineTrainer::new(BaselineKind::AttrMasking, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
     }
+    trainer.into_trained()
+}
+
+/// Pre-trains a ContextPred model through the shared engine.
+///
+/// # Panics
+/// Panics on an empty collection or an unrecoverable divergence; use
+/// [`BaselineTrainer`] directly for typed errors and resumable runs.
+pub fn pretrain_context_pred(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut trainer = BaselineTrainer::new(BaselineKind::ContextPred, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
+    }
+    trainer.into_trained()
 }
 
 /// Graph autoencoder (Kipf & Welling, 2016): reconstruct the adjacency from
@@ -170,8 +236,14 @@ pub fn pretrain_context_pred(config: GclConfig, graphs: &[Graph], seed: u64) -> 
 /// non-edges — Table VI's "GAE" row.
 pub fn pretrain_gae(config: GclConfig, graphs: &[Graph], seed: u64) -> TrainedEncoder {
     // GAE's training signal is the same edge-vs-non-edge discrimination as
-    // our simplified ContextPred; reuse it with a different stream.
-    pretrain_context_pred(config, graphs, seed ^ 0x6AE)
+    // our simplified ContextPred; reuse it with a different seed stream
+    // (BaselineKind::Gae shifts the seed before it reaches the engine).
+    assert!(!graphs.is_empty(), "empty pre-training set");
+    let mut trainer = BaselineTrainer::new(BaselineKind::Gae, config, graphs, seed);
+    if let Err(e) = trainer.pretrain(graphs, seed) {
+        panic!("unrecoverable training fault: {e}");
+    }
+    trainer.into_trained()
 }
 
 #[cfg(test)]

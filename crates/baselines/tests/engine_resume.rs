@@ -1,0 +1,179 @@
+//! Baselines through the shared engine: kill-and-resume must be bit-exact
+//! (the headline guarantee the engine refactor extends from SGCL to every
+//! baseline), and method-private state (JOAO's augmentation distribution)
+//! must survive the checkpoint round-trip.
+
+use sgcl_baselines::{BaselineKind, BaselineTrainer, GclConfig};
+use sgcl_core::{Checkpoint, RecoveryPolicy};
+use sgcl_data::{Scale, TuDataset};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+
+fn tiny(input_dim: usize, epochs: usize) -> GclConfig {
+    GclConfig {
+        epochs,
+        batch_size: 16,
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim,
+            hidden_dim: 16,
+            num_layers: 2,
+        },
+        ..GclConfig::paper_unsupervised(input_dim)
+    }
+}
+
+/// Runs `kind` for `total` epochs twice: once uninterrupted, once killed
+/// after `kill_at` epochs with the checkpoint round-tripped through JSON
+/// and the run continued in a freshly built trainer. Returns both final
+/// (stats, embeddings, method_state) for comparison.
+#[allow(clippy::type_complexity)]
+fn run_interrupted(
+    kind: BaselineKind,
+    seed: u64,
+    kill_at: usize,
+    total: usize,
+) -> (
+    (Vec<u32>, sgcl_tensor::Matrix, Option<serde_json::Value>),
+    (Vec<u32>, sgcl_tensor::Matrix, Option<serde_json::Value>),
+) {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+    let policy = RecoveryPolicy::default();
+
+    // uninterrupted reference run
+    let mut full = BaselineTrainer::new(kind, tiny(ds.feature_dim(), total), &ds.graphs, seed);
+    let state = full.fresh_state(seed);
+    let full_state = full
+        .pretrain_resumable(&ds.graphs, state, &policy, None)
+        .expect("uninterrupted run");
+
+    // interrupted run: stop at `kill_at`, checkpoint, drop everything
+    let mut first =
+        BaselineTrainer::new(kind, tiny(ds.feature_dim(), kill_at), &ds.graphs, seed);
+    let state = first.fresh_state(seed);
+    let mid_state = first
+        .pretrain_resumable(&ds.graphs, state, &policy, None)
+        .expect("first leg");
+    let ckpt = Checkpoint::capture_store(
+        &first.store,
+        &first.config.encoder,
+        first.method_name(),
+        Some(mid_state),
+    );
+    let json = ckpt.to_json().expect("serialise");
+    drop(first);
+
+    // "new process": rebuild the trainer, restore, continue to `total`
+    let ckpt = Checkpoint::from_json(&json).expect("parse");
+    let mut second =
+        BaselineTrainer::new(kind, tiny(ds.feature_dim(), total), &ds.graphs, seed);
+    assert_eq!(ckpt.method, kind.name(), "method recorded in checkpoint");
+    ckpt.restore_into(&mut second.store).expect("restore");
+    let resumed_state = second
+        .pretrain_resumable(
+            &ds.graphs,
+            ckpt.train.expect("resumable checkpoint carries state"),
+            &policy,
+            None,
+        )
+        .expect("second leg");
+
+    let bits = |s: &sgcl_core::TrainState| -> Vec<u32> {
+        s.stats.iter().map(|e| e.loss.to_bits()).collect()
+    };
+    (
+        (bits(&full_state), full.embed(&ds.graphs), full.method_state()),
+        (
+            bits(&resumed_state),
+            second.embed(&ds.graphs),
+            second.method_state(),
+        ),
+    )
+}
+
+#[test]
+fn graphcl_kill_and_resume_is_bit_exact() {
+    let ((full_stats, full_emb, _), (resumed_stats, resumed_emb, _)) =
+        run_interrupted(BaselineKind::GraphCl, 7, 2, 4);
+    assert_eq!(full_stats.len(), 4);
+    assert_eq!(
+        full_stats, resumed_stats,
+        "per-epoch losses must match bit-for-bit"
+    );
+    assert_eq!(
+        full_emb, resumed_emb,
+        "final embeddings must match bit-for-bit"
+    );
+}
+
+#[test]
+fn joao_resume_restores_the_augmentation_distribution() {
+    // JOAO is the stateful method: its augmentation distribution and
+    // difficulty counters live in `TrainState::method_state`. If the
+    // round-trip dropped them, the resumed trajectory would diverge.
+    let ((full_stats, full_emb, full_ms), (resumed_stats, resumed_emb, resumed_ms)) =
+        run_interrupted(BaselineKind::Joao, 11, 2, 4);
+    assert_eq!(
+        full_stats, resumed_stats,
+        "per-epoch losses must match bit-for-bit"
+    );
+    assert_eq!(full_emb, resumed_emb);
+    let full_ms = full_ms.expect("joao has method state");
+    let resumed_ms = resumed_ms.expect("joao has method state");
+    assert_eq!(
+        full_ms, resumed_ms,
+        "augmentation distribution + counters must survive the checkpoint"
+    );
+    // and the state is substantive: a valid probability vector
+    let probs = full_ms
+        .get("probs")
+        .and_then(|p| p.as_array())
+        .expect("probs array");
+    let sum: f64 = probs.iter().filter_map(|v| v.as_f64()).sum();
+    assert!((sum - 1.0).abs() < 1e-4, "probs sum to 1, got {sum}");
+}
+
+#[test]
+fn resume_with_the_wrong_method_is_rejected() {
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 1);
+    let policy = RecoveryPolicy::default();
+    let mut graphcl =
+        BaselineTrainer::new(BaselineKind::GraphCl, tiny(ds.feature_dim(), 1), &ds.graphs, 0);
+    let state = graphcl.fresh_state(0);
+    let done = graphcl
+        .pretrain_resumable(&ds.graphs, state, &policy, None)
+        .expect("train");
+    // hand GraphCL's state to a SimGRACE trainer: must be a typed mismatch
+    let mut simgrace =
+        BaselineTrainer::new(BaselineKind::SimGrace, tiny(ds.feature_dim(), 2), &ds.graphs, 0);
+    assert!(matches!(
+        simgrace.pretrain_resumable(&ds.graphs, done, &policy, None),
+        Err(sgcl_core::SgclError::Mismatch { .. })
+    ));
+}
+
+#[test]
+fn aliased_kinds_checkpoint_under_their_own_names() {
+    // Infomax shares InfoGraph's implementation; their checkpoints must
+    // still be distinguishable (an infomax resume of an infograph run
+    // would silently use the wrong RNG stream).
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
+    let policy = RecoveryPolicy::default();
+    let mut infomax =
+        BaselineTrainer::new(BaselineKind::Infomax, tiny(ds.feature_dim(), 1), &ds.graphs, 0);
+    let state = infomax.fresh_state(0);
+    assert_eq!(state.method, "infomax");
+    let done = infomax
+        .pretrain_resumable(&ds.graphs, state, &policy, None)
+        .expect("train");
+    assert_eq!(done.method, "infomax", "alias name survives the run");
+    let mut infograph = BaselineTrainer::new(
+        BaselineKind::InfoGraph,
+        tiny(ds.feature_dim(), 2),
+        &ds.graphs,
+        0,
+    );
+    assert!(matches!(
+        infograph.pretrain_resumable(&ds.graphs, done, &policy, None),
+        Err(sgcl_core::SgclError::Mismatch { .. })
+    ));
+}

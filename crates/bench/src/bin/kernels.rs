@@ -217,31 +217,22 @@ fn pretrain_rows(rows: &mut Vec<Row>, threads: &[usize], epochs: usize) {
     }
 }
 
+fn ok_or_exit<T>(r: Result<T, sgcl_common::SgclError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    })
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut smoke = false;
-    let mut out = String::from("BENCH_kernels.json");
-    let mut pinned: Option<usize> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--smoke" => smoke = true,
-            "--out" => {
-                i += 1;
-                out = args.get(i).expect("--out needs a path").clone();
-            }
-            "--threads" => {
-                i += 1;
-                pinned = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--threads needs an integer"),
-                );
-            }
-            other => eprintln!("warning: unknown argument {other}"),
-        }
-        i += 1;
-    }
+    let args = ok_or_exit(sgcl_common::Args::options_from_env());
+    let smoke = args.flag("smoke");
+    let out = args.get("out").unwrap_or("BENCH_kernels.json").to_string();
+    let pinned: Option<usize> = if args.get("threads").is_some() {
+        Some(ok_or_exit(args.get_parse("threads", 0usize)))
+    } else {
+        None
+    };
 
     let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Sweep 1/2/4/auto (deduped, ascending) unless pinned; 1 reproduces the

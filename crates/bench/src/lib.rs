@@ -52,43 +52,35 @@ pub struct HarnessOpts {
 
 impl HarnessOpts {
     /// Parses `--quick`, `--seed N`, `--out PATH`, `--threads N` from
-    /// `std::env::args` and applies the thread count to the tensor kernels.
+    /// `std::env::args` (via the shared [`sgcl_common::Args`] parser, so the
+    /// flags behave exactly as on the `sgcl` CLI) and applies the thread
+    /// count to the tensor kernels. Exits with the usage code on a
+    /// malformed command line.
     pub fn parse() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut opts = Self {
-            quick: false,
-            seed: 0,
-            out: None,
-            threads: 0,
-        };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--quick" => opts.quick = true,
-                "--seed" => {
-                    i += 1;
-                    opts.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed needs an integer");
-                }
-                "--out" => {
-                    i += 1;
-                    opts.out = Some(args.get(i).expect("--out needs a path").clone());
-                }
-                "--threads" => {
-                    i += 1;
-                    opts.threads = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--threads needs an integer");
-                }
-                other => eprintln!("warning: unknown argument {other}"),
+        match sgcl_common::Args::options_from_env().and_then(|a| Self::from_args(&a)) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(i32::from(e.exit_code()));
             }
-            i += 1;
         }
+    }
+
+    /// Builds the options from a parsed command line and applies the thread
+    /// count to the tensor kernels.
+    ///
+    /// # Errors
+    /// Returns [`SgclError::Usage`] on unparsable `--seed` / `--threads`
+    /// values.
+    pub fn from_args(args: &sgcl_common::Args) -> Result<Self, SgclError> {
+        let opts = Self {
+            quick: args.flag("quick"),
+            seed: args.get_parse("seed", 0u64)?,
+            out: args.get("out").map(String::from),
+            threads: args.get_parse("threads", 0usize)?,
+        };
         sgcl_tensor::set_num_threads(opts.threads);
-        opts
+        Ok(opts)
     }
 
     /// Dataset scale for this run.

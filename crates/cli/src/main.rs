@@ -3,6 +3,7 @@
 //! ```text
 //! sgcl generate  --dataset mutag --scale quick --seed 0 --out ds.json
 //! sgcl pretrain  --data ds.json --epochs 20 --out model.json
+//! sgcl pretrain  --data ds.json --method graphcl --epochs 20 --out model.json
 //! sgcl pretrain  --data ds.json --epochs 20 --out model.json --resume model.json
 //! sgcl embed     --model model.json --data ds.json --out emb.csv
 //! sgcl evaluate  --model model.json --data ds.json --folds 10
@@ -10,12 +11,10 @@
 //! sgcl stats     --data ds.json
 //! ```
 
-mod args;
-
-use args::Args;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgcl_common::SgclError;
+use sgcl_baselines::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
+use sgcl_common::{Args, SgclError};
 use sgcl_core::{Checkpoint, GuardConfig, RecoveryPolicy, SgclConfig, SgclModel, TrainState};
 use sgcl_data::io::{load_dataset, save_dataset};
 use sgcl_data::synthetic::Dataset;
@@ -23,6 +22,8 @@ use sgcl_data::{Scale, TuDataset};
 use sgcl_eval::svm_cross_validate;
 use sgcl_gnn::{EncoderConfig, EncoderKind};
 use sgcl_graph::metrics::dataset_stats;
+use sgcl_graph::Graph;
+use sgcl_tensor::{Matrix, ParamStore};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -36,23 +37,29 @@ COMMANDS:
              --scale <quick|standard|full>   (default standard)
              --seed <N>                      (default 0)
              --out <FILE>
-  pretrain   Pre-train SGCL on a dataset; writes a resumable checkpoint
-             after every epoch, so a killed run continues with --resume
+  pretrain   Pre-train on a dataset; writes a resumable checkpoint after
+             every epoch, so a killed run continues with --resume
              --data <FILE>  --out <FILE>
+             --method <sgcl|graphcl|joao|adgcl|simgrace|infograph|infomax|
+                       attrmask|contextpred|gae>   (default sgcl)
              --epochs <N> (40)  --batch <N> (128)  --hidden <N> (32)
-             --layers <N> (3)   --rho <F> (0.9)    --tau <F> (0.2)
-             --lambda-c <F> (0.01)  --lambda-w <F> (0.01)  --seed <N> (0)
+             --layers <N> (3)   --tau <F> (0.2)    --seed <N> (0)
+             SGCL-only:  --rho <F> (0.9)  --lambda-c <F> (0.01)
+                         --lambda-w <F> (0.01)
              --resume <FILE>    continue a v2 checkpoint bit-exactly
                                 (architecture and hyperparameters come from
-                                the checkpoint; only --epochs applies)
+                                the checkpoint; only --epochs applies; the
+                                checkpoint's method must match --method)
              --max-retries <N> (3)     divergence-recovery attempts
              --loss-limit <F> (1e6)    abort threshold on |loss|
              --grad-limit <F> (1e6)    abort threshold on gradient norm
-  embed      Write graph embeddings as CSV
+  embed      Write graph embeddings as CSV (any method's checkpoint)
              --model <FILE>  --data <FILE>  --out <FILE>
   evaluate   SVM + k-fold cross-validated accuracy of the embeddings
+             (any method's checkpoint)
              --model <FILE>  --data <FILE>  --folds <N> (10)  --seed <N> (0)
   scores     Per-node Lipschitz constants and keep-probabilities of one graph
+             (SGCL checkpoints only)
              --model <FILE>  --data <FILE>  --graph <N> (0)
   stats      Dataset summary statistics
              --data <FILE>
@@ -153,11 +160,40 @@ fn check_dims(ds: &Dataset, ckpt: &Checkpoint) -> Result<(), SgclError> {
     Ok(())
 }
 
-fn load_model(args: &Args, ds: &Dataset) -> Result<SgclModel, SgclError> {
+/// A restored checkpoint of any method, ready to embed graphs.
+enum LoadedModel {
+    Sgcl(SgclModel),
+    Baseline(TrainedEncoder),
+}
+
+impl LoadedModel {
+    fn embed(&self, graphs: &[Graph]) -> Matrix {
+        match self {
+            LoadedModel::Sgcl(m) => m.embed(graphs),
+            LoadedModel::Baseline(m) => m.embed(graphs),
+        }
+    }
+}
+
+fn load_model(args: &Args, ds: &Dataset) -> Result<LoadedModel, SgclError> {
     let ckpt = Checkpoint::load(Path::new(args.require("model")?))?;
     check_dims(ds, &ckpt)?;
-    let config = config_from_checkpoint(&ckpt);
-    ckpt.restore(config)
+    if ckpt.method == "sgcl" {
+        let config = config_from_checkpoint(&ckpt);
+        return Ok(LoadedModel::Sgcl(ckpt.restore(config)?));
+    }
+    let kind = BaselineKind::parse(&ckpt.method).ok_or_else(|| {
+        SgclError::invalid_data(
+            "load model",
+            format!("unknown method {:?} in checkpoint", ckpt.method),
+        )
+    })?;
+    // rebuild the architecture the checkpoint describes, then overwrite the
+    // fresh parameters with the stored ones (names and shapes are verified)
+    let config: GclConfig = config_from_checkpoint(&ckpt).into();
+    let mut trainer = BaselineTrainer::new(kind, config, &ds.graphs, 0);
+    ckpt.restore_into(&mut trainer.store)?;
+    Ok(LoadedModel::Baseline(trainer.into_trained()))
 }
 
 fn cmd_generate(args: &Args) -> Result<(), SgclError> {
@@ -175,18 +211,33 @@ fn cmd_generate(args: &Args) -> Result<(), SgclError> {
     Ok(())
 }
 
-fn cmd_pretrain(args: &Args) -> Result<(), SgclError> {
-    let ds = load(args)?;
-    let out = args.require("out")?.to_string();
-    let epochs = args.get_parse("epochs", 40usize)?;
-    let policy = RecoveryPolicy {
+fn recovery_policy(args: &Args) -> Result<RecoveryPolicy, SgclError> {
+    Ok(RecoveryPolicy {
         guard: GuardConfig {
             max_loss_abs: args.get_parse("loss-limit", GuardConfig::default().max_loss_abs)?,
             max_grad_norm: args.get_parse("grad-limit", GuardConfig::default().max_grad_norm)?,
         },
         max_retries: args.get_parse("max-retries", RecoveryPolicy::default().max_retries)?,
         ..RecoveryPolicy::default()
-    };
+    })
+}
+
+fn cmd_pretrain(args: &Args) -> Result<(), SgclError> {
+    let method = args.get("method").unwrap_or("sgcl").to_ascii_lowercase();
+    if method == "sgcl" {
+        return cmd_pretrain_sgcl(args);
+    }
+    match BaselineKind::parse(&method) {
+        Some(kind) => cmd_pretrain_baseline(args, kind),
+        None => Err(SgclError::usage(format!("unknown method {method:?}"))),
+    }
+}
+
+fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
+    let ds = load(args)?;
+    let out = args.require("out")?.to_string();
+    let epochs = args.get_parse("epochs", 40usize)?;
+    let policy = recovery_policy(args)?;
 
     let (mut model, state) = match args.get("resume") {
         Some(ckpt_path) => {
@@ -200,15 +251,19 @@ fn cmd_pretrain(args: &Args) -> Result<(), SgclError> {
             check_dims(&ds, &ckpt)?;
             // architecture and hyperparameters come from the checkpoint —
             // anything else would break the bit-exactness guarantee
-            let config = SgclConfig {
+            let mut config = SgclConfig {
                 epochs,
                 batch_size: state.batch_size,
-                rho: state.rho,
-                tau: state.tau,
-                lambda_c: state.lambda_c,
-                lambda_w: state.lambda_w,
                 ..config_from_checkpoint(&ckpt)
             };
+            for (name, value) in &state.hparams {
+                if !config.set_hparam(name, *value) {
+                    return Err(SgclError::invalid_data(
+                        format!("resume {ckpt_path}"),
+                        format!("unknown hyperparameter {name:?} in checkpoint"),
+                    ));
+                }
+            }
             let model = ckpt.restore(config)?;
             println!(
                 "resuming from {ckpt_path} at epoch {}/{} (lr {})",
@@ -241,19 +296,115 @@ fn cmd_pretrain(args: &Args) -> Result<(), SgclError> {
 
     println!("pre-training on {} graphs for {} epochs…", ds.len(), epochs);
     let out_path = Path::new(&out);
-    let mut on_epoch = |m: &mut SgclModel, st: &TrainState| -> Result<(), SgclError> {
+    let encoder_cfg = model.config.encoder;
+    let mut on_epoch = |store: &mut ParamStore, st: &TrainState| -> Result<(), SgclError> {
         let e = st.next_epoch - 1;
         if e % 5 == 0 || st.next_epoch == epochs {
             if let Some(s) = st.stats.last() {
                 println!("  epoch {e:>3}: loss {:.4}", s.loss);
             }
         }
-        Checkpoint::capture_with_train(m, st.clone()).save(out_path)
+        Checkpoint::capture_store(store, &encoder_cfg, "sgcl", Some(st.clone())).save(out_path)
     };
     let final_state = model.pretrain_resumable(&ds.graphs, state, &policy, Some(&mut on_epoch))?;
     // the hook saves after every epoch; this covers the degenerate resume
     // of an already-complete run, where the loop body never executes
     Checkpoint::capture_with_train(&model, final_state).save(out_path)?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn cmd_pretrain_baseline(args: &Args, kind: BaselineKind) -> Result<(), SgclError> {
+    let ds = load(args)?;
+    let out = args.require("out")?.to_string();
+    let epochs = args.get_parse("epochs", 40usize)?;
+    let policy = recovery_policy(args)?;
+
+    let (mut trainer, state) = match args.get("resume") {
+        Some(ckpt_path) => {
+            let ckpt = Checkpoint::load(Path::new(ckpt_path))?;
+            let state = ckpt.train.clone().ok_or_else(|| {
+                SgclError::invalid_data(
+                    format!("resume {ckpt_path}"),
+                    "checkpoint carries no training state (weights-only or v1 file)",
+                )
+            })?;
+            check_dims(&ds, &ckpt)?;
+            if ckpt.method != kind.name() {
+                return Err(SgclError::mismatch(
+                    format!("resume {ckpt_path}"),
+                    format!(
+                        "method differs: checkpoint {:?} vs --method {:?}",
+                        ckpt.method,
+                        kind.name()
+                    ),
+                ));
+            }
+            // architecture and hyperparameters come from the checkpoint;
+            // only --epochs applies (as for SGCL)
+            let mut config = GclConfig {
+                epochs,
+                batch_size: state.batch_size,
+                ..config_from_checkpoint(&ckpt).into()
+            };
+            for (name, value) in &state.hparams {
+                if name == "tau" {
+                    config.tau = *value;
+                }
+            }
+            let mut trainer = BaselineTrainer::new(kind, config, &ds.graphs, 0);
+            ckpt.restore_into(&mut trainer.store)?;
+            println!(
+                "resuming {} from {ckpt_path} at epoch {}/{} (lr {})",
+                kind.name(),
+                state.next_epoch,
+                epochs,
+                state.optimizer.lr
+            );
+            (trainer, state)
+        }
+        None => {
+            let seed = args.get_parse("seed", 0u64)?;
+            let config = GclConfig {
+                encoder: EncoderConfig {
+                    kind: EncoderKind::Gin,
+                    input_dim: ds.feature_dim(),
+                    hidden_dim: args.get_parse("hidden", 32usize)?,
+                    num_layers: args.get_parse("layers", 3usize)?,
+                },
+                epochs,
+                batch_size: args.get_parse("batch", 128usize)?,
+                tau: args.get_parse("tau", 0.2f32)?,
+                ..GclConfig::paper_unsupervised(ds.feature_dim())
+            };
+            let trainer = BaselineTrainer::new(kind, config, &ds.graphs, seed);
+            let state = trainer.fresh_state(seed);
+            (trainer, state)
+        }
+    };
+
+    println!(
+        "pre-training {} on {} graphs for {} epochs…",
+        kind.name(),
+        ds.len(),
+        epochs
+    );
+    let out_path = Path::new(&out);
+    let encoder_cfg = trainer.config.encoder;
+    let method_name = trainer.method_name();
+    let mut on_epoch = |store: &mut ParamStore, st: &TrainState| -> Result<(), SgclError> {
+        let e = st.next_epoch - 1;
+        if e % 5 == 0 || st.next_epoch == epochs {
+            if let Some(s) = st.stats.last() {
+                println!("  epoch {e:>3}: loss {:.4}", s.loss);
+            }
+        }
+        Checkpoint::capture_store(store, &encoder_cfg, method_name, Some(st.clone())).save(out_path)
+    };
+    let final_state =
+        trainer.pretrain_resumable(&ds.graphs, state, &policy, Some(&mut on_epoch))?;
+    Checkpoint::capture_store(&trainer.store, &encoder_cfg, method_name, Some(final_state))
+        .save(out_path)?;
     println!("checkpoint written to {out}");
     Ok(())
 }
@@ -297,7 +448,16 @@ fn cmd_evaluate(args: &Args) -> Result<(), SgclError> {
 
 fn cmd_scores(args: &Args) -> Result<(), SgclError> {
     let ds = load(args)?;
-    let model = load_model(args, &ds)?;
+    let model = match load_model(args, &ds)? {
+        LoadedModel::Sgcl(m) => m,
+        LoadedModel::Baseline(_) => {
+            return Err(SgclError::mismatch(
+                "scores",
+                "Lipschitz node scores exist only for SGCL checkpoints \
+                 (baselines have no generator tower)",
+            ));
+        }
+    };
     let idx = args.get_parse("graph", 0usize)?;
     let g = ds
         .graphs

@@ -1,13 +1,16 @@
-//! Minimal dependency-free argument parsing for the `sgcl` CLI.
+//! Minimal dependency-free `--key value` argument parsing, shared by the
+//! `sgcl` CLI and every bench binary so flags like `--threads`, `--seed`,
+//! and `--quick` parse (and fail) identically everywhere.
 
-use sgcl_common::SgclError;
+use crate::SgclError;
 use std::collections::HashMap;
 
 /// Parsed command line: a subcommand plus `--key value` options and
 /// `--flag` switches.
 #[derive(Debug, Default)]
 pub struct Args {
-    /// The subcommand (first positional argument).
+    /// The subcommand (first positional argument); empty for option-only
+    /// command lines (see [`Args::parse_options`]).
     pub command: String,
     options: HashMap<String, String>,
     flags: Vec<String>,
@@ -15,6 +18,8 @@ pub struct Args {
 
 impl Args {
     /// Parses from an iterator of arguments (without the program name).
+    /// The first argument is the subcommand; everything after must be
+    /// `--key value` options or `--flag` switches.
     ///
     /// # Errors
     /// Returns [`SgclError::Usage`] on stray positionals or duplicate
@@ -45,12 +50,29 @@ impl Args {
         Ok(out)
     }
 
+    /// Parses a subcommand-free command line (the bench binaries' shape):
+    /// every argument must be an option or a switch.
+    ///
+    /// # Errors
+    /// Same conditions as [`Args::parse`].
+    pub fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Self, SgclError> {
+        Self::parse(std::iter::once(String::new()).chain(args))
+    }
+
     /// Parses from `std::env::args` (skipping the program name).
     ///
     /// # Errors
     /// Same conditions as [`Args::parse`].
     pub fn from_env() -> Result<Self, SgclError> {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses a subcommand-free command line from `std::env::args`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Args::parse`].
+    pub fn options_from_env() -> Result<Self, SgclError> {
+        Self::parse_options(std::env::args().skip(1))
     }
 
     /// String option.
@@ -138,5 +160,21 @@ mod tests {
     fn empty_args() {
         let a = parse(&[]).unwrap();
         assert_eq!(a.command, "");
+    }
+
+    #[test]
+    fn option_only_command_lines() {
+        let a = Args::parse_options(
+            ["--quick", "--seed", "7"].iter().map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(a.command, "");
+        assert!(a.flag("quick"));
+        assert_eq!(a.get_parse("seed", 0u64).unwrap(), 7);
+        // a stray positional is still a usage error, not a command
+        assert!(matches!(
+            Args::parse_options(["stray".to_string()]),
+            Err(SgclError::Usage(_))
+        ));
     }
 }

@@ -12,8 +12,15 @@
 //! * [`write_atomic`] — crash-safe file writes (temp file + fsync + rename)
 //!   used for checkpoints and dataset files so a killed process never
 //!   leaves a truncated artifact behind.
+//! * [`Args`] — the dependency-free `--key value` argument parser shared by
+//!   the `sgcl` CLI and the bench binaries, so common flags (`--threads`,
+//!   `--seed`, `--quick`, …) parse identically everywhere.
 
 #![warn(missing_docs)]
+
+pub mod cli_opts;
+
+pub use cli_opts::Args;
 
 use std::fmt;
 use std::fs::File;

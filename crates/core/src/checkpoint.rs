@@ -14,12 +14,18 @@
 //! Version-1 files remain readable. Writes are atomic (temp file + fsync +
 //! rename), so a crash mid-save never leaves a truncated checkpoint.
 
-use crate::trainer::{SgclConfig, SgclModel, TrainState};
+use crate::engine::TrainState;
+use crate::trainer::{SgclConfig, SgclModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use sgcl_common::{write_atomic, SgclError};
-use sgcl_tensor::Matrix;
+use sgcl_gnn::EncoderConfig;
+use sgcl_tensor::{Matrix, ParamStore};
+
+fn default_method() -> String {
+    "sgcl".to_string()
+}
 
 /// A serialisable snapshot of a trained model's parameters, optionally
 /// with resumable-training state.
@@ -27,6 +33,11 @@ use sgcl_tensor::Matrix;
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
+    /// Which method produced these parameters (`"sgcl"`, `"graphcl"`, …).
+    /// Defaults to `"sgcl"` for files written before baselines shared the
+    /// checkpoint format.
+    #[serde(default = "default_method")]
+    pub method: String,
     /// Parameter names in registration order (sanity-checked on load).
     pub names: Vec<String>,
     /// Parameter values in registration order.
@@ -63,18 +74,27 @@ impl Checkpoint {
     }
 
     fn capture_inner(model: &SgclModel, train: Option<TrainState>) -> Self {
-        let names = model
-            .store
-            .ids()
-            .map(|id| model.store.name(id).to_string())
-            .collect();
+        Self::capture_store(&model.store, &model.config.encoder, "sgcl", train)
+    }
+
+    /// Captures an arbitrary parameter store (any method's parameters, not
+    /// just SGCL's three towers), with the encoder architecture needed to
+    /// rebuild it and an optional resumable-training state.
+    pub fn capture_store(
+        store: &ParamStore,
+        encoder: &EncoderConfig,
+        method: &str,
+        train: Option<TrainState>,
+    ) -> Self {
+        let names = store.ids().map(|id| store.name(id).to_string()).collect();
         Self {
             version: CHECKPOINT_VERSION,
+            method: method.to_string(),
             names,
-            values: model.store.snapshot(),
-            hidden_dim: model.config.encoder.hidden_dim,
-            num_layers: model.config.encoder.num_layers,
-            input_dim: model.config.encoder.input_dim,
+            values: store.snapshot(),
+            hidden_dim: encoder.hidden_dim,
+            num_layers: encoder.num_layers,
+            input_dim: encoder.input_dim,
             train,
         }
     }
@@ -183,44 +203,59 @@ impl Checkpoint {
                 ),
             ));
         }
+        if self.method != "sgcl" {
+            return Err(SgclError::mismatch(
+                "checkpoint method",
+                format!("expected an SGCL checkpoint, found {:?}", self.method),
+            ));
+        }
         // the RNG seed is irrelevant — weights are overwritten below
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = SgclModel::new(config, &mut rng);
-        if model.store.len() != self.values.len() {
+        self.restore_into(&mut model.store)?;
+        Ok(model)
+    }
+
+    /// Restores these weights into an already-built parameter store after
+    /// validating that it matches the checkpoint (parameter count, names,
+    /// shapes). The generic counterpart of [`Checkpoint::restore`], used
+    /// for baseline methods whose model is rebuilt by the caller.
+    pub fn restore_into(&self, store: &mut ParamStore) -> Result<(), SgclError> {
+        if store.len() != self.values.len() {
             return Err(SgclError::mismatch(
                 "checkpoint parameters",
                 format!(
                     "parameter count mismatch: model {} vs checkpoint {}",
-                    model.store.len(),
+                    store.len(),
                     self.values.len()
                 ),
             ));
         }
-        for ((id, name), value) in model.store.ids().zip(&self.names).zip(&self.values) {
-            if model.store.name(id) != name {
+        for ((id, name), value) in store.ids().zip(&self.names).zip(&self.values) {
+            if store.name(id) != name {
                 return Err(SgclError::mismatch(
                     "checkpoint parameters",
                     format!(
                         "parameter name mismatch at {}: {} vs {}",
                         id.index(),
-                        model.store.name(id),
+                        store.name(id),
                         name
                     ),
                 ));
             }
-            if model.store.value(id).shape() != value.shape() {
+            if store.value(id).shape() != value.shape() {
                 return Err(SgclError::mismatch(
                     "checkpoint parameters",
                     format!(
                         "parameter {name} shape mismatch: model {:?} vs checkpoint {:?}",
-                        model.store.value(id).shape(),
+                        store.value(id).shape(),
                         value.shape()
                     ),
                 ));
             }
         }
-        model.store.restore(&self.values);
-        Ok(model)
+        store.restore(&self.values);
+        Ok(())
     }
 }
 
@@ -306,9 +341,11 @@ mod tests {
         let json = Checkpoint::capture(&model).to_json().expect("serialise");
         let v1 = json
             .replace("\"version\":2", "\"version\":1")
+            .replace("\"method\":\"sgcl\",", "")
             .replace(",\"train\":null", "");
         let parsed = Checkpoint::from_json(&v1).expect("v1 must stay readable");
         assert_eq!(parsed.version, 1);
+        assert_eq!(parsed.method, "sgcl", "method must default for old files");
         assert!(parsed.train.is_none());
         assert!(parsed.restore(config).is_ok());
     }

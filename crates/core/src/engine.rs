@@ -1,0 +1,612 @@
+//! The method-agnostic contrastive pre-training engine.
+//!
+//! Every self-supervised method in this repository — SGCL itself and all
+//! the baselines it is compared against — shares the same outer loop:
+//! shuffle, batch, build a loss on the tape, guard it, backpropagate,
+//! clip, step the optimiser, and (for the fault-tolerant paths) roll back
+//! on numerical faults and record enough state to resume a killed run
+//! bit-exactly. [`Engine`] owns that loop once; a method plugs in through
+//! [`ContrastiveMethod`]:
+//!
+//! * [`ContrastiveMethod::batch_loss`] records one batch's loss on the
+//!   shared tape (views, encoders, objective — whatever the method does);
+//! * [`ContrastiveMethod::post_step`] runs after the optimiser step for
+//!   methods with an inner optimisation of their own (AD-GCL's adversarial
+//!   scorer ascent, JOAO's augmentation-distribution update);
+//! * [`ContrastiveMethod::state`] / [`ContrastiveMethod::load_state`]
+//!   serialise method-private state (e.g. JOAO's augmentation weights) into
+//!   the checkpoint so kill-and-resume stays exact for stateful methods.
+//!
+//! The engine offers two drivers with identical per-step behaviour:
+//!
+//! * [`Engine::pretrain`] — the legacy single-RNG-stream sampler
+//!   (bit-identical to the historical `SgclModel::pretrain` results);
+//! * [`Engine::pretrain_resumable`] — derives each epoch's sampler RNG
+//!   from `(base_seed, epoch, retries_used)` and threads a [`TrainState`]
+//!   through, so a killed run continues bit-exactly from its checkpoint.
+
+use crate::recovery::{RecoveryPolicy, RecoveryState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sgcl_common::{FaultKind, SgclError};
+use sgcl_graph::Graph;
+use sgcl_tensor::{Adam, AdamState, Optimizer, ParamStore, Tape, Var};
+
+/// The loss a method built for one batch: the tape node the engine
+/// backpropagates, plus optional pre-computed loss components for the
+/// epoch statistics.
+pub struct StepLoss {
+    /// Root of the loss graph on the engine's tape.
+    pub loss: Var,
+    /// `(L_s, L_c)` component values when the method tracks them (SGCL's
+    /// semantic and complement terms); `None` reports the total as `L_s`
+    /// and zero as `L_c`.
+    pub components: Option<(f32, f32)>,
+}
+
+/// Everything a method may touch in [`ContrastiveMethod::post_step`],
+/// after the engine has applied the main optimiser step for the batch.
+pub struct StepCtx<'a, 'g> {
+    /// The engine's tape. The main step's graph is dead at this point, so
+    /// a method needing a second backward pass should `reset()` and record
+    /// its own graph (AD-GCL's REINFORCE objective does).
+    pub tape: &'a mut Tape,
+    /// All trainable parameters.
+    pub store: &'a mut ParamStore,
+    /// The run's optimiser.
+    pub opt: &'a mut Adam,
+    /// The epoch's sampler RNG stream.
+    pub rng: &'a mut StdRng,
+    /// The batch that was just trained on.
+    pub graphs: &'a [&'g Graph],
+    /// The main step's total loss value.
+    pub loss: f32,
+}
+
+/// A self-supervised pre-training method, pluggable into the [`Engine`].
+///
+/// The trait is object-safe: heterogeneous method registries hold
+/// `Box<dyn ContrastiveMethod>`.
+pub trait ContrastiveMethod {
+    /// Stable method identifier recorded in checkpoints (`"sgcl"`,
+    /// `"graphcl"`, …). A resume is rejected when the checkpointed name
+    /// differs.
+    fn name(&self) -> &'static str;
+
+    /// Trajectory-shaping hyperparameters recorded in checkpoints; a
+    /// resume with different values is rejected instead of silently
+    /// diverging.
+    fn hparams(&self) -> Vec<(String, f32)> {
+        Vec::new()
+    }
+
+    /// Smallest batch the method can train on. Contrastive objectives need
+    /// at least one negative (2); predictive pretrainers accept 1.
+    fn min_batch(&self) -> usize {
+        2
+    }
+
+    /// Records one batch's loss on `tape`. Returning `None` skips the
+    /// batch (e.g. no node got masked this round); the engine neither
+    /// backpropagates nor counts it in the epoch statistics.
+    fn batch_loss(
+        &mut self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&Graph],
+        rng: &mut StdRng,
+    ) -> Option<StepLoss>;
+
+    /// Hook after the engine's optimiser step, for methods with an inner
+    /// optimisation of their own. Default: nothing.
+    fn post_step(&mut self, _ctx: &mut StepCtx<'_, '_>) {}
+
+    /// Serialisable method-private state for checkpoints (`None` for
+    /// stateless methods).
+    fn state(&self) -> Option<serde_json::Value> {
+        None
+    }
+
+    /// Restores state captured by [`ContrastiveMethod::state`] when
+    /// resuming a checkpointed run.
+    fn load_state(&mut self, _state: &serde_json::Value) -> Result<(), SgclError> {
+        Ok(())
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Mean total loss over the epoch's batches.
+    pub loss: f32,
+    /// Mean semantic/contrastive component (the total for single-term
+    /// methods).
+    pub loss_s: f32,
+    /// Mean complement component (0 when the method has none).
+    pub loss_c: f32,
+}
+
+fn default_method() -> String {
+    // pre-engine v2 checkpoints carry no method name; they were all SGCL
+    "sgcl".to_string()
+}
+
+/// Serialisable progress of a resumable pre-training run (checkpoint v2
+/// payload). Restoring the parameters plus this state and calling
+/// [`Engine::pretrain_resumable`] continues the run **bit-exactly**: the
+/// batch sampler derives each epoch's RNG from `(base_seed, epoch,
+/// retries_used)`, so a killed run and an uninterrupted one traverse
+/// identical batch orders and identical floating-point operations.
+///
+/// The method name and its trajectory-shaping hyperparameters are recorded
+/// so a resume with a mismatched method or configuration is rejected
+/// instead of silently diverging.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainState {
+    /// Seed the per-epoch sampler RNGs are derived from.
+    pub base_seed: u64,
+    /// Next epoch to run (== number of completed epochs).
+    pub next_epoch: usize,
+    /// Divergence-recovery attempts consumed so far (see
+    /// [`RecoveryPolicy`]); part of the RNG derivation, so it must persist.
+    pub retries_used: u32,
+    /// Name of the method that produced this state (defaults to `"sgcl"`
+    /// for pre-engine checkpoints).
+    #[serde(default = "default_method")]
+    pub method: String,
+    /// The method's trajectory-shaping hyperparameters at run start.
+    /// Empty for pre-engine checkpoints, in which case the resume check is
+    /// skipped.
+    #[serde(default)]
+    pub hparams: Vec<(String, f32)>,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Method-private serialised state (e.g. JOAO's augmentation
+    /// distribution) at the last completed epoch.
+    #[serde(default)]
+    pub method_state: Option<serde_json::Value>,
+    /// Optimiser state at the last completed epoch (includes the current,
+    /// possibly recovery-decayed, learning rate).
+    pub optimizer: AdamState,
+    /// Stats of every completed epoch.
+    pub stats: Vec<EpochStats>,
+}
+
+impl TrainState {
+    /// Fresh state for a run of `method` that has not started yet.
+    pub fn for_method(
+        base_seed: u64,
+        method: &dyn ContrastiveMethod,
+        batch_size: usize,
+        lr: f32,
+    ) -> Self {
+        Self {
+            base_seed,
+            next_epoch: 0,
+            retries_used: 0,
+            method: method.name().to_string(),
+            hparams: method.hparams(),
+            batch_size,
+            method_state: None,
+            optimizer: AdamState::fresh(lr),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Validates this state against the method and engine configuration
+    /// that are about to continue it.
+    fn check(&self, method: &dyn ContrastiveMethod, config: &EngineConfig) -> Result<(), SgclError> {
+        if self.method != method.name() {
+            return Err(SgclError::mismatch(
+                "resume",
+                format!(
+                    "method differs: checkpoint {:?} vs run {:?}",
+                    self.method,
+                    method.name()
+                ),
+            ));
+        }
+        // pre-engine checkpoints carry no hparam table; skip the check
+        if !self.hparams.is_empty() {
+            let current = method.hparams();
+            for (name, saved) in &self.hparams {
+                let Some((_, now)) = current.iter().find(|(n, _)| n == name) else {
+                    return Err(SgclError::mismatch(
+                        "resume",
+                        format!("hyperparameter {name} missing from the current run"),
+                    ));
+                };
+                if saved != now {
+                    return Err(SgclError::mismatch(
+                        "resume",
+                        format!(
+                            "hyperparameter {name} differs: checkpoint {saved} vs config {now}"
+                        ),
+                    ));
+                }
+            }
+        }
+        if self.batch_size != config.batch_size {
+            return Err(SgclError::mismatch(
+                "resume",
+                format!(
+                    "batch size differs: checkpoint {} vs config {}",
+                    self.batch_size, config.batch_size
+                ),
+            ));
+        }
+        if self.stats.len() != self.next_epoch {
+            return Err(SgclError::invalid_data(
+                "resume",
+                format!(
+                    "corrupt training state: {} epoch stats for {} completed epochs",
+                    self.stats.len(),
+                    self.next_epoch
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch callback of [`Engine::pretrain_resumable`]: receives the
+/// parameter store and the updated [`TrainState`] after every completed
+/// epoch. The CLI uses it to write a checkpoint per epoch; tests use it to
+/// inject faults. Returning an error aborts the run.
+pub type EpochHook<'a> = &'a mut dyn FnMut(&mut ParamStore, &TrainState) -> Result<(), SgclError>;
+
+/// Derives the deterministic per-epoch sampler seed (splitmix64 finaliser
+/// over the base seed, epoch index, and recovery generation).
+pub(crate) fn epoch_seed(base: u64, epoch: u64, generation: u64) -> u64 {
+    let mut z = base
+        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ generation.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Loop-level knobs of a pre-training run.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of passes over the collection.
+    pub epochs: usize,
+    /// Mini-batch size (clamped to the collection size and the method's
+    /// [`ContrastiveMethod::min_batch`]).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient-norm clip applied before every optimiser step.
+    pub grad_clip: f32,
+}
+
+/// The shared training loop. See the module docs for the division of
+/// labour between the engine and a [`ContrastiveMethod`].
+pub struct Engine {
+    /// Loop configuration.
+    pub config: EngineConfig,
+    /// Guard thresholds and rollback/backoff bounds.
+    pub policy: RecoveryPolicy,
+}
+
+impl Engine {
+    /// Builds an engine.
+    pub fn new(config: EngineConfig, policy: RecoveryPolicy) -> Self {
+        Self { config, policy }
+    }
+
+    /// Fault-tolerant pre-training with the legacy single-stream batch
+    /// sampler (bit-identical to the historical per-method loops on
+    /// healthy runs).
+    ///
+    /// Each step is guarded (finite loss, finite/bounded gradient norm;
+    /// see [`crate::guard::GuardConfig`]); on a fault the parameters and optimiser roll
+    /// back to the last completed epoch, the learning rate decays, the
+    /// sampler is reseeded deterministically, and the epoch is retried.
+    /// Exhausting `policy.max_retries` yields [`SgclError::Diverged`] with
+    /// a structured report.
+    pub fn pretrain<M: ContrastiveMethod + ?Sized>(
+        &self,
+        method: &mut M,
+        store: &mut ParamStore,
+        graphs: &[Graph],
+        seed: u64,
+    ) -> Result<Vec<EpochStats>, SgclError> {
+        if graphs.is_empty() {
+            return Err(SgclError::invalid_data(
+                "pretrain",
+                "empty graph collection",
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(self.config.lr);
+        let mut recovery = RecoveryState::new(self.policy, store, &opt, 0);
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        // one tape for the whole run: `reset` recycles every node buffer, so
+        // after the first step the hot path stops allocating
+        let mut tape = Tape::new();
+        let mut epoch = 0;
+        while epoch < self.config.epochs {
+            match self.run_epoch(method, store, &mut opt, &mut tape, graphs, &mut rng) {
+                Ok(s) => {
+                    stats.push(s);
+                    recovery.record_good(store, &opt);
+                    epoch += 1;
+                }
+                Err((batch, kind)) => {
+                    recovery.recover(store, &mut opt, kind, epoch, batch)?;
+                    // deterministic reseed for the retry: the faulted epoch
+                    // left the legacy stream mid-flight
+                    rng = StdRng::seed_from_u64(epoch_seed(
+                        seed,
+                        epoch as u64,
+                        recovery.retries() as u64,
+                    ));
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Fault-tolerant **resumable** pre-training: continues `state` up to
+    /// `config.epochs`, deriving each epoch's sampler RNG from
+    /// `(state.base_seed, epoch, state.retries_used)` so a killed run
+    /// restarts bit-exactly from its last checkpoint. Method-private state
+    /// is restored from `state.method_state` on entry and re-captured
+    /// after every completed epoch.
+    ///
+    /// `on_epoch` (if provided) fires after every completed epoch with the
+    /// parameter store and the updated state — the hook used by the CLI to
+    /// write a checkpoint-v2 file per epoch, and by tests to inject
+    /// faults. An error returned from the hook aborts the run.
+    ///
+    /// Returns the final state (whose `stats` cover all completed epochs,
+    /// including those done before a resume).
+    pub fn pretrain_resumable<M: ContrastiveMethod + ?Sized>(
+        &self,
+        method: &mut M,
+        store: &mut ParamStore,
+        graphs: &[Graph],
+        mut state: TrainState,
+        mut on_epoch: Option<EpochHook<'_>>,
+    ) -> Result<TrainState, SgclError> {
+        if graphs.is_empty() {
+            return Err(SgclError::invalid_data(
+                "pretrain",
+                "empty graph collection",
+            ));
+        }
+        state.check(method, &self.config)?;
+        if let Some(ms) = &state.method_state {
+            method.load_state(ms)?;
+        }
+        let mut opt = Adam::new(self.config.lr);
+        opt.restore_state(&state.optimizer);
+        let mut recovery = RecoveryState::new(self.policy, store, &opt, state.retries_used);
+        let mut tape = Tape::new();
+        while state.next_epoch < self.config.epochs {
+            let mut rng = StdRng::seed_from_u64(epoch_seed(
+                state.base_seed,
+                state.next_epoch as u64,
+                state.retries_used as u64,
+            ));
+            match self.run_epoch(method, store, &mut opt, &mut tape, graphs, &mut rng) {
+                Ok(s) => {
+                    state.stats.push(s);
+                    state.next_epoch += 1;
+                    state.optimizer = opt.state();
+                    state.method_state = method.state();
+                    recovery.record_good(store, &opt);
+                    if let Some(cb) = on_epoch.as_mut() {
+                        cb(store, &state)?;
+                    }
+                }
+                Err((batch, kind)) => {
+                    recovery.recover(store, &mut opt, kind, state.next_epoch, batch)?;
+                    state.retries_used = recovery.retries();
+                    state.optimizer = opt.state();
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// One full pass over `graphs`: shuffles with `rng`, trains on every
+    /// batch, and runs the post-epoch parameter health check. On a tripped
+    /// guard, returns the batch index and fault kind; the epoch's partial
+    /// updates are the caller's to roll back.
+    fn run_epoch<M: ContrastiveMethod + ?Sized>(
+        &self,
+        method: &mut M,
+        store: &mut ParamStore,
+        opt: &mut Adam,
+        tape: &mut Tape,
+        graphs: &[Graph],
+        rng: &mut StdRng,
+    ) -> Result<EpochStats, (usize, FaultKind)> {
+        let guard = &self.policy.guard;
+        let n = graphs.len();
+        let mb = method.min_batch().max(1);
+        let bs = self.config.batch_size.min(n).max(mb);
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let (mut tl, mut ts, mut tc, mut batches) = (0.0f64, 0.0f64, 0.0f64, 0usize);
+        for (bi, chunk) in order.chunks(bs).enumerate() {
+            if chunk.len() < mb {
+                continue; // e.g. InfoNCE needs at least one negative
+            }
+            let batch_graphs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
+            // recycle the previous step's node buffers before recording
+            tape.reset();
+            let Some(step) = method.batch_loss(tape, store, &batch_graphs, rng) else {
+                continue; // the method had nothing to train on this batch
+            };
+            let total = tape.scalar(step.loss);
+            // loss guard BEFORE backprop: a non-finite loss makes every
+            // gradient garbage, so don't even compute them
+            guard.check_loss(total).map_err(|k| (bi, k))?;
+            store.backward(tape, step.loss);
+            // gradient guard BEFORE clipping: clipping a NaN/inf norm is a
+            // no-op, and a single poisoned step would corrupt Adam's
+            // moment estimates for the rest of the run
+            if let Err(kind) = guard.check_gradients(store) {
+                store.zero_grads();
+                return Err((bi, kind));
+            }
+            store.clip_grad_norm(self.config.grad_clip);
+            opt.step(store);
+            let (ls, lc) = step.components.unwrap_or((total, 0.0));
+            method.post_step(&mut StepCtx {
+                tape,
+                store,
+                opt,
+                rng,
+                graphs: &batch_graphs,
+                loss: total,
+            });
+            tl += total as f64;
+            ts += ls as f64;
+            tc += lc as f64;
+            batches += 1;
+        }
+        guard.check_params(store).map_err(|k| (batches, k))?;
+        let b = batches.max(1) as f64;
+        Ok(EpochStats {
+            loss: (tl / b) as f32,
+            loss_s: (ts / b) as f32,
+            loss_c: (tc / b) as f32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately tiny quadratic method: loss = ‖w‖² on a single 2×2
+    /// parameter; exercises the loop plumbing without graphs mattering.
+    struct Quadratic {
+        w: sgcl_tensor::ParamId,
+    }
+
+    impl ContrastiveMethod for Quadratic {
+        fn name(&self) -> &'static str {
+            "quadratic"
+        }
+        fn hparams(&self) -> Vec<(String, f32)> {
+            vec![("k".to_string(), 2.0)]
+        }
+        fn min_batch(&self) -> usize {
+            1
+        }
+        fn batch_loss(
+            &mut self,
+            tape: &mut Tape,
+            store: &ParamStore,
+            _graphs: &[&Graph],
+            _rng: &mut StdRng,
+        ) -> Option<StepLoss> {
+            let w = store.leaf(tape, self.w);
+            let sq = tape.hadamard(w, w);
+            let loss = tape.sum_all(sq);
+            Some(StepLoss {
+                loss,
+                components: None,
+            })
+        }
+    }
+
+    fn setup() -> (ParamStore, Quadratic, Vec<Graph>) {
+        let mut store = ParamStore::new();
+        let w = store.register_value("q.w", sgcl_tensor::Matrix::ones(2, 2));
+        let mk = || Graph::new(2, vec![(0, 1)], sgcl_tensor::Matrix::ones(2, 1));
+        let graphs = vec![mk(), mk()];
+        (store, Quadratic { w }, graphs)
+    }
+
+    #[test]
+    fn engine_minimises_a_quadratic() {
+        let (mut store, mut method, graphs) = setup();
+        let engine = Engine::new(
+            EngineConfig {
+                epochs: 50,
+                batch_size: 2,
+                lr: 0.05,
+                grad_clip: 5.0,
+            },
+            RecoveryPolicy::default(),
+        );
+        let stats = engine
+            .pretrain(&mut method, &mut store, &graphs, 0)
+            .expect("healthy run");
+        assert_eq!(stats.len(), 50);
+        assert!(
+            stats.last().unwrap().loss < stats[0].loss,
+            "quadratic loss should fall: {} → {}",
+            stats[0].loss,
+            stats.last().unwrap().loss
+        );
+    }
+
+    #[test]
+    fn resume_rejects_method_and_hparam_mismatch() {
+        let (mut store, mut method, graphs) = setup();
+        let engine = Engine::new(
+            EngineConfig {
+                epochs: 2,
+                batch_size: 2,
+                lr: 0.05,
+                grad_clip: 5.0,
+            },
+            RecoveryPolicy::default(),
+        );
+        let mut state = TrainState::for_method(0, &method, 2, 0.05);
+        state.method = "something-else".to_string();
+        assert!(matches!(
+            engine.pretrain_resumable(&mut method, &mut store, &graphs, state, None),
+            Err(SgclError::Mismatch { .. })
+        ));
+        let mut state = TrainState::for_method(0, &method, 2, 0.05);
+        state.hparams = vec![("k".to_string(), 3.0)];
+        assert!(matches!(
+            engine.pretrain_resumable(&mut method, &mut store, &graphs, state, None),
+            Err(SgclError::Mismatch { .. })
+        ));
+        let mut state = TrainState::for_method(0, &method, 2, 0.05);
+        state.batch_size = 64;
+        assert!(matches!(
+            engine.pretrain_resumable(&mut method, &mut store, &graphs, state, None),
+            Err(SgclError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_and_resumable_reach_the_same_loss_shape() {
+        // not bit-comparable (different RNG derivations) but both must
+        // drive the same quadratic to near zero
+        let engine = Engine::new(
+            EngineConfig {
+                epochs: 40,
+                batch_size: 2,
+                lr: 0.05,
+                grad_clip: 5.0,
+            },
+            RecoveryPolicy::default(),
+        );
+        let (mut store, mut method, graphs) = setup();
+        let legacy = engine
+            .pretrain(&mut method, &mut store, &graphs, 1)
+            .expect("legacy");
+        let (mut store2, mut method2, _) = setup();
+        let state = TrainState::for_method(1, &method2, 2, 0.05);
+        let resumed = engine
+            .pretrain_resumable(&mut method2, &mut store2, &graphs, state, None)
+            .expect("resumable");
+        assert!(legacy.last().unwrap().loss < 0.1);
+        assert!(resumed.stats.last().unwrap().loss < 0.1);
+    }
+}

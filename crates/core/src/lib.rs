@@ -10,8 +10,12 @@
 //!   semantic-unaware complement samples (Eq. 20);
 //! * [`losses`] — semantic InfoNCE (Eq. 24), complement loss (Eq. 25), and
 //!   the weight-norm regulariser (Eq. 26);
-//! * [`trainer`] — the three-tower model (`f_q`, `f_k`, projection) and the
-//!   full pre-training loop (Eq. 27), with ablation toggles for Table V;
+//! * [`engine`] — the method-agnostic training engine: one loop (batching,
+//!   tape lifecycle, guards, recovery, resumable checkpoints) shared by
+//!   SGCL and every baseline through the [`ContrastiveMethod`] trait;
+//! * [`trainer`] — the three-tower model (`f_q`, `f_k`, projection)
+//!   expressed as a [`ContrastiveMethod`] (Eq. 27), with ablation toggles
+//!   for Table V;
 //! * [`guard`] / [`recovery`] — the fault-tolerant training runtime:
 //!   per-step finiteness/explosion guards, checkpoint rollback with
 //!   learning-rate backoff, and bit-exact resumable training;
@@ -38,6 +42,7 @@
 pub mod analysis;
 pub mod augmentation;
 pub mod checkpoint;
+pub mod engine;
 pub mod guard;
 pub mod lipschitz;
 pub mod losses;
@@ -46,8 +51,11 @@ pub mod theory;
 pub mod trainer;
 
 pub use checkpoint::Checkpoint;
+pub use engine::{
+    ContrastiveMethod, Engine, EngineConfig, EpochHook, EpochStats, StepCtx, StepLoss, TrainState,
+};
 pub use guard::GuardConfig;
 pub use lipschitz::{LipschitzGenerator, LipschitzMode};
 pub use recovery::{RecoveryPolicy, RecoveryState};
 pub use sgcl_common::{DivergenceReport, FaultEvent, FaultKind, SgclError};
-pub use trainer::{Ablation, EpochHook, EpochStats, SgclConfig, SgclModel, TrainState};
+pub use trainer::{Ablation, SgclConfig, SgclModel};

@@ -1,4 +1,5 @@
-//! The SGCL model and its pre-training loop (Figure 2's full pipeline).
+//! The SGCL model, expressed as a [`ContrastiveMethod`] on the shared
+//! [`Engine`] (Figure 2's full pipeline).
 //!
 //! One training step:
 //!
@@ -14,21 +15,23 @@
 //! 5. the final loss `L = E[L_s + λ_c L_c] + λ_W Θ_W` (Eq. 27) is
 //!    backpropagated through both towers and Adam updates all parameters.
 //!
-//! Ablation toggles reproduce every row of Table V.
+//! The loop around those steps — batching, guards, rollback recovery,
+//! checkpoint/resume — lives in [`crate::engine`]; this module only builds
+//! the per-batch loss. Ablation toggles reproduce every row of Table V.
 
 use crate::augmentation::{complement_augment, lipschitz_augment};
-use crate::guard::GuardConfig;
+use crate::engine::{ContrastiveMethod, Engine, EngineConfig, StepLoss};
 use crate::lipschitz::{LipschitzGenerator, LipschitzMode};
 use crate::losses::{complement_loss, semantic_info_nce, weight_norm_regulariser};
-use crate::recovery::{RecoveryPolicy, RecoveryState};
+use crate::recovery::RecoveryPolicy;
+use crate::{EpochHook, EpochStats, TrainState};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-use sgcl_common::{FaultKind, SgclError};
+use rand::Rng;
+use sgcl_common::SgclError;
 use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::augment::drop_nodes_uniform;
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_tensor::{Adam, AdamState, Matrix, Optimizer, ParamStore, Tape};
+use sgcl_tensor::{AdamState, Matrix, ParamStore, Tape};
 use std::rc::Rc;
 
 /// Ablation switches matching Table V's rows.
@@ -78,7 +81,9 @@ pub struct SgclConfig {
 
 impl SgclConfig {
     /// Paper defaults for the unsupervised protocol on a dataset with the
-    /// given input feature dimension.
+    /// given input feature dimension. This is the single source of truth
+    /// for the shared hyperparameter table — the baselines' `GclConfig`
+    /// derives from it.
     pub fn paper_unsupervised(input_dim: usize) -> Self {
         Self {
             encoder: EncoderConfig {
@@ -115,6 +120,47 @@ impl SgclConfig {
             ..Self::paper_unsupervised(input_dim)
         }
     }
+
+    /// The trajectory-shaping hyperparameters recorded in checkpoints.
+    pub fn hparams(&self) -> Vec<(String, f32)> {
+        vec![
+            ("rho".to_string(), self.rho),
+            ("tau".to_string(), self.tau),
+            ("lambda_c".to_string(), self.lambda_c),
+            ("lambda_w".to_string(), self.lambda_w),
+        ]
+    }
+
+    /// Sets a hyperparameter by its [`SgclConfig::hparams`] name (used by
+    /// the CLI to rebuild a config from a checkpointed [`TrainState`]).
+    /// Returns false for an unknown name.
+    pub fn set_hparam(&mut self, name: &str, value: f32) -> bool {
+        match name {
+            "rho" => self.rho = value,
+            "tau" => self.tau = value,
+            "lambda_c" => self.lambda_c = value,
+            "lambda_w" => self.lambda_w = value,
+            _ => return false,
+        }
+        true
+    }
+}
+
+impl TrainState {
+    /// Fresh state for an SGCL run that has not started yet.
+    pub fn new(base_seed: u64, config: &SgclConfig) -> Self {
+        Self {
+            base_seed,
+            next_epoch: 0,
+            retries_used: 0,
+            method: "sgcl".to_string(),
+            hparams: config.hparams(),
+            batch_size: config.batch_size,
+            method_state: None,
+            optimizer: AdamState::fresh(config.lr),
+            stats: Vec::new(),
+        }
+    }
 }
 
 /// The full SGCL model: generator tower, encoder tower, projection head,
@@ -132,329 +178,33 @@ pub struct SgclModel {
     pub config: SgclConfig,
 }
 
-/// Per-epoch training statistics.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct EpochStats {
-    /// Mean total loss over the epoch's batches.
-    pub loss: f32,
-    /// Mean semantic InfoNCE component.
-    pub loss_s: f32,
-    /// Mean complement component (0 when λ_c = 0).
-    pub loss_c: f32,
+/// SGCL as a pluggable method: borrows the model's towers, builds Eq. 27's
+/// loss for each batch the [`Engine`] hands it.
+struct SgclMethod<'m> {
+    generator: &'m LipschitzGenerator,
+    encoder: &'m GnnEncoder,
+    proj: &'m ProjectionHead,
+    config: SgclConfig,
 }
 
-/// Serialisable progress of a resumable pre-training run (checkpoint v2
-/// payload). Restoring a model plus its `TrainState` and calling
-/// [`SgclModel::pretrain_resumable`] continues the run **bit-exactly**: the
-/// batch sampler derives each epoch's RNG from `(base_seed, epoch,
-/// retries_used)`, so a killed run and an uninterrupted one traverse
-/// identical batch orders and identical floating-point operations.
-///
-/// The hyperparameters that shape the optimisation trajectory (`rho`,
-/// `tau`, λ's, batch size) are recorded so a resume with a mismatched
-/// configuration is rejected instead of silently diverging.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct TrainState {
-    /// Seed the per-epoch sampler RNGs are derived from.
-    pub base_seed: u64,
-    /// Next epoch to run (== number of completed epochs).
-    pub next_epoch: usize,
-    /// Divergence-recovery attempts consumed so far (see
-    /// [`RecoveryPolicy`]); part of the RNG derivation, so it must persist.
-    pub retries_used: u32,
-    /// Keep ratio ρ the run was started with.
-    pub rho: f32,
-    /// InfoNCE temperature τ.
-    pub tau: f32,
-    /// Complement-loss weight λ_c.
-    pub lambda_c: f32,
-    /// Weight-norm regulariser λ_W.
-    pub lambda_w: f32,
-    /// Mini-batch size.
-    pub batch_size: usize,
-    /// Optimiser state at the last completed epoch (includes the current,
-    /// possibly recovery-decayed, learning rate).
-    pub optimizer: AdamState,
-    /// Stats of every completed epoch.
-    pub stats: Vec<EpochStats>,
-}
-
-impl TrainState {
-    /// Fresh state for a run that has not started yet.
-    pub fn new(base_seed: u64, config: &SgclConfig) -> Self {
-        Self {
-            base_seed,
-            next_epoch: 0,
-            retries_used: 0,
-            rho: config.rho,
-            tau: config.tau,
-            lambda_c: config.lambda_c,
-            lambda_w: config.lambda_w,
-            batch_size: config.batch_size,
-            optimizer: AdamState::fresh(config.lr),
-            stats: Vec::new(),
-        }
+impl ContrastiveMethod for SgclMethod<'_> {
+    fn name(&self) -> &'static str {
+        "sgcl"
     }
 
-    /// Validates this state against the configuration of the model that is
-    /// about to continue it.
-    fn check_config(&self, config: &SgclConfig) -> Result<(), SgclError> {
-        let mismatches = [
-            ("rho", self.rho, config.rho),
-            ("tau", self.tau, config.tau),
-            ("lambda_c", self.lambda_c, config.lambda_c),
-            ("lambda_w", self.lambda_w, config.lambda_w),
-        ];
-        for (name, saved, current) in mismatches {
-            if saved != current {
-                return Err(SgclError::mismatch(
-                    "resume",
-                    format!(
-                        "hyperparameter {name} differs: checkpoint {saved} vs config {current}"
-                    ),
-                ));
-            }
-        }
-        if self.batch_size != config.batch_size {
-            return Err(SgclError::mismatch(
-                "resume",
-                format!(
-                    "batch size differs: checkpoint {} vs config {}",
-                    self.batch_size, config.batch_size
-                ),
-            ));
-        }
-        if self.stats.len() != self.next_epoch {
-            return Err(SgclError::invalid_data(
-                "resume",
-                format!(
-                    "corrupt training state: {} epoch stats for {} completed epochs",
-                    self.stats.len(),
-                    self.next_epoch
-                ),
-            ));
-        }
-        Ok(())
-    }
-}
-
-/// Per-epoch callback of [`SgclModel::pretrain_resumable`]: receives the
-/// model and the updated [`TrainState`] after every completed epoch. The
-/// CLI uses it to write a checkpoint per epoch; tests use it to inject
-/// faults. Returning an error aborts the run.
-pub type EpochHook<'a> = &'a mut dyn FnMut(&mut SgclModel, &TrainState) -> Result<(), SgclError>;
-
-/// Derives the deterministic per-epoch sampler seed (splitmix64 finaliser
-/// over the base seed, epoch index, and recovery generation).
-fn epoch_seed(base: u64, epoch: u64, generation: u64) -> u64 {
-    let mut z = base
-        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ generation.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-impl SgclModel {
-    /// Builds a fresh model.
-    pub fn new(config: SgclConfig, rng: &mut impl Rng) -> Self {
-        let mut store = ParamStore::new();
-        let generator = LipschitzGenerator::new("sgcl", &mut store, config.encoder, rng);
-        let encoder = GnnEncoder::new("sgcl.fk", &mut store, config.encoder, rng);
-        let proj = ProjectionHead::new("sgcl.proj", &mut store, config.encoder.hidden_dim, rng);
-        Self {
-            store,
-            generator,
-            encoder,
-            proj,
-            config,
-        }
+    fn hparams(&self) -> Vec<(String, f32)> {
+        self.config.hparams()
     }
 
-    /// Pre-trains on an unlabelled graph collection. Returns per-epoch stats.
-    ///
-    /// Runs with the default [`RecoveryPolicy`]: numerical faults roll the
-    /// model back to the last good epoch and retry with a decayed learning
-    /// rate. Healthy runs consume the RNG stream exactly as before, so
-    /// results are unchanged.
-    ///
-    /// # Panics
-    /// Panics if the collection is empty or the run diverges beyond the
-    /// default retry budget; use [`SgclModel::pretrain_recoverable`] for a
-    /// non-panicking variant.
-    pub fn pretrain(&mut self, graphs: &[Graph], seed: u64) -> Vec<EpochStats> {
-        match self.pretrain_recoverable(graphs, seed, &RecoveryPolicy::default()) {
-            Ok(stats) => stats,
-            Err(e) => panic!("unrecoverable training fault: {e}"),
-        }
-    }
-
-    /// Fault-tolerant pre-training with the legacy single-stream batch
-    /// sampler (bit-identical to historical [`SgclModel::pretrain`] results
-    /// on healthy runs).
-    ///
-    /// Each step is guarded (finite loss, finite/bounded gradient norm;
-    /// see [`GuardConfig`]); on a fault the model and optimiser roll back
-    /// to the last completed epoch, the learning rate decays, the sampler
-    /// is reseeded deterministically, and the epoch is retried. Exhausting
-    /// `policy.max_retries` yields [`SgclError::Diverged`] with a
-    /// structured report.
-    pub fn pretrain_recoverable(
+    fn batch_loss(
         &mut self,
-        graphs: &[Graph],
-        seed: u64,
-        policy: &RecoveryPolicy,
-    ) -> Result<Vec<EpochStats>, SgclError> {
-        if graphs.is_empty() {
-            return Err(SgclError::invalid_data(
-                "pretrain",
-                "empty graph collection",
-            ));
-        }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut opt = Adam::new(self.config.lr);
-        let mut recovery = RecoveryState::new(*policy, &self.store, &opt, 0);
-        let mut stats = Vec::with_capacity(self.config.epochs);
-        // one tape for the whole run: `reset` recycles every node buffer, so
-        // after the first step the hot path stops allocating
-        let mut tape = Tape::new();
-        let mut epoch = 0;
-        while epoch < self.config.epochs {
-            match self.run_epoch(&mut opt, &mut tape, graphs, &mut rng, &policy.guard) {
-                Ok(s) => {
-                    stats.push(s);
-                    recovery.record_good(&self.store, &opt);
-                    epoch += 1;
-                }
-                Err((batch, kind)) => {
-                    recovery.recover(&mut self.store, &mut opt, kind, epoch, batch)?;
-                    // deterministic reseed for the retry: the faulted epoch
-                    // left the legacy stream mid-flight
-                    rng = StdRng::seed_from_u64(epoch_seed(
-                        seed,
-                        epoch as u64,
-                        recovery.retries() as u64,
-                    ));
-                }
-            }
-        }
-        Ok(stats)
-    }
-
-    /// Fault-tolerant **resumable** pre-training: continues `state` up to
-    /// `config.epochs`, deriving each epoch's sampler RNG from
-    /// `(state.base_seed, epoch, state.retries_used)` so a killed run
-    /// restarts bit-exactly from its last checkpoint.
-    ///
-    /// `on_epoch` (if provided) fires after every completed epoch with the
-    /// model and the updated state — the hook used by the CLI to write a
-    /// checkpoint-v2 file per epoch, and by tests to inject faults. An
-    /// error returned from the hook aborts the run.
-    ///
-    /// Returns the final state (whose `stats` cover all completed epochs,
-    /// including those done before a resume).
-    pub fn pretrain_resumable(
-        &mut self,
-        graphs: &[Graph],
-        mut state: TrainState,
-        policy: &RecoveryPolicy,
-        mut on_epoch: Option<EpochHook<'_>>,
-    ) -> Result<TrainState, SgclError> {
-        if graphs.is_empty() {
-            return Err(SgclError::invalid_data(
-                "pretrain",
-                "empty graph collection",
-            ));
-        }
-        state.check_config(&self.config)?;
-        let mut opt = Adam::new(self.config.lr);
-        opt.restore_state(&state.optimizer);
-        let mut recovery = RecoveryState::new(*policy, &self.store, &opt, state.retries_used);
-        let mut tape = Tape::new();
-        while state.next_epoch < self.config.epochs {
-            let mut rng = StdRng::seed_from_u64(epoch_seed(
-                state.base_seed,
-                state.next_epoch as u64,
-                state.retries_used as u64,
-            ));
-            match self.run_epoch(&mut opt, &mut tape, graphs, &mut rng, &policy.guard) {
-                Ok(s) => {
-                    state.stats.push(s);
-                    state.next_epoch += 1;
-                    state.optimizer = opt.state();
-                    recovery.record_good(&self.store, &opt);
-                    if let Some(cb) = on_epoch.as_mut() {
-                        cb(&mut *self, &state)?;
-                    }
-                }
-                Err((batch, kind)) => {
-                    recovery.recover(&mut self.store, &mut opt, kind, state.next_epoch, batch)?;
-                    state.retries_used = recovery.retries();
-                    state.optimizer = opt.state();
-                }
-            }
-        }
-        Ok(state)
-    }
-
-    /// One full pass over `graphs`: shuffles with `rng`, trains on every
-    /// batch, and runs the post-epoch parameter health check. On a tripped
-    /// guard, returns the batch index and fault kind; the epoch's partial
-    /// updates are the caller's to roll back.
-    fn run_epoch(
-        &mut self,
-        opt: &mut Adam,
         tape: &mut Tape,
-        graphs: &[Graph],
-        rng: &mut StdRng,
-        guard: &GuardConfig,
-    ) -> Result<EpochStats, (usize, FaultKind)> {
-        let n = graphs.len();
-        let bs = self.config.batch_size.min(n).max(2);
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        let (mut tl, mut ts, mut tc, mut batches) = (0.0f64, 0.0f64, 0.0f64, 0usize);
-        for (bi, chunk) in order.chunks(bs).enumerate() {
-            if chunk.len() < 2 {
-                continue; // InfoNCE needs at least one negative
-            }
-            let batch_graphs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-            let (l, ls, lc) = self
-                .train_step(opt, tape, &batch_graphs, rng, guard)
-                .map_err(|k| (bi, k))?;
-            tl += l as f64;
-            ts += ls as f64;
-            tc += lc as f64;
-            batches += 1;
-        }
-        guard.check_params(&self.store).map_err(|k| (batches, k))?;
-        let b = batches.max(1) as f64;
-        Ok(EpochStats {
-            loss: (tl / b) as f32,
-            loss_s: (ts / b) as f32,
-            loss_c: (tc / b) as f32,
-        })
-    }
-
-    /// One optimisation step on a batch. Returns `(total, L_s, L_c)`, or
-    /// the [`FaultKind`] a numerical guard tripped on — in which case the
-    /// model parameters and optimiser state are left untouched by this
-    /// step (the poisoned gradients are zeroed, never applied).
-    fn train_step(
-        &mut self,
-        opt: &mut Adam,
-        tape: &mut Tape,
+        store: &ParamStore,
         graphs: &[&Graph],
-        rng: &mut impl Rng,
-        guard: &GuardConfig,
-    ) -> Result<(f32, f32, f32), FaultKind> {
+        rng: &mut StdRng,
+    ) -> Option<StepLoss> {
         let cfg = self.config;
         let batch = GraphBatch::new(graphs);
-        // recycle the previous step's node buffers before recording this one
-        tape.reset();
 
         // --- steps 1–2: Lipschitz constants and keep-probabilities ---
         let (k_v, p_values, p_var) = if cfg.ablation.random_augment {
@@ -466,15 +216,13 @@ impl SgclModel {
         } else {
             let k = self
                 .generator
-                .node_constants(&self.store, &batch, graphs, cfg.lipschitz_mode);
+                .node_constants(store, &batch, graphs, cfg.lipschitz_mode);
             let c = if cfg.ablation.no_lga {
                 vec![0.0f32; batch.total_nodes()] // pure learnable generator
             } else {
                 LipschitzGenerator::binarize(&batch, &k)
             };
-            let p_var = self
-                .generator
-                .augmentation_prob(tape, &self.store, &batch, &c);
+            let p_var = self.generator.augmentation_prob(tape, store, &batch, &c);
             let p_values: Vec<f32> = tape.value(p_var).as_slice().to_vec();
             (k, p_values, Some(p_var))
         };
@@ -513,14 +261,14 @@ impl SgclModel {
 
         // --- step 4: embed anchors, samples, complements ---
         // anchors: Eq. 21 — Lipschitz-weighted pooling
-        let h_anchor = self.encoder.forward(tape, &self.store, &batch, None);
+        let h_anchor = self.encoder.forward(tape, store, &batch, None);
         let pooled_anchor = if cfg.ablation.no_srl || cfg.ablation.random_augment {
             cfg.pooling.apply(tape, &batch, h_anchor)
         } else {
             let w = tape.constant(Matrix::from_vec(k_v.len(), 1, k_v.clone()));
             cfg.pooling.apply_weighted(tape, &batch, h_anchor, w)
         };
-        let z_anchor = self.proj.forward(tape, &self.store, pooled_anchor);
+        let z_anchor = self.proj.forward(tape, store, pooled_anchor);
 
         // samples: Eq. 22 — features weighted by keep-probability (concrete
         // relaxation routing gradients back into f_q; see DESIGN.md §4)
@@ -533,11 +281,11 @@ impl SgclModel {
             }
             None => hat_features,
         };
-        let h_hat =
-            self.encoder
-                .forward_from(tape, &self.store, &hat_batch, hat_features, None);
+        let h_hat = self
+            .encoder
+            .forward_from(tape, store, &hat_batch, hat_features, None);
         let pooled_hat = cfg.pooling.apply(tape, &hat_batch, h_hat);
-        let z_hat = self.proj.forward(tape, &self.store, pooled_hat);
+        let z_hat = self.proj.forward(tape, store, pooled_hat);
 
         // --- step 5: losses ---
         let l_s = semantic_info_nce(tape, z_anchor, z_hat, cfg.tau);
@@ -545,58 +293,122 @@ impl SgclModel {
         let mut l_c_value = 0.0f32;
         if cfg.lambda_c > 0.0 {
             let comp_batch = GraphBatch::from_graphs(&comp_graphs);
-            let h_comp = self
-                .encoder
-                .forward(tape, &self.store, &comp_batch, None);
+            let h_comp = self.encoder.forward(tape, store, &comp_batch, None);
             let pooled_comp = cfg.pooling.apply(tape, &comp_batch, h_comp);
-            let z_comp = self.proj.forward(tape, &self.store, pooled_comp);
+            let z_comp = self.proj.forward(tape, store, pooled_comp);
             let l_c = complement_loss(tape, z_anchor, z_hat, z_comp, cfg.tau);
             l_c_value = tape.scalar(l_c);
             let scaled = tape.scale(l_c, cfg.lambda_c);
             total = tape.add(total, scaled);
         }
         if cfg.lambda_w > 0.0 {
-            let weights = self.store.ids_where(|n| n.ends_with(".w"));
-            let reg = weight_norm_regulariser(tape, &self.store, &weights);
+            let weights = store.ids_where(|n| n.ends_with(".w"));
+            let reg = weight_norm_regulariser(tape, store, &weights);
             let scaled = tape.scale(reg, cfg.lambda_w);
             total = tape.add(total, scaled);
         }
 
-        let total_value = tape.scalar(total);
         let l_s_value = tape.scalar(l_s);
-        // loss guard BEFORE backprop: a non-finite loss makes every
-        // gradient garbage, so don't even compute them
-        guard.check_loss(total_value)?;
-        self.store.backward(&tape, total);
-        // gradient guard BEFORE clipping: clipping a NaN/inf norm is a
-        // no-op, and a single poisoned step would corrupt Adam's moment
-        // estimates for the rest of the run
-        if let Err(kind) = guard.check_gradients(&self.store) {
-            self.store.zero_grads();
-            return Err(kind);
+        Some(StepLoss {
+            loss: total,
+            components: Some((l_s_value, l_c_value)),
+        })
+    }
+}
+
+impl SgclModel {
+    /// Builds a fresh model.
+    pub fn new(config: SgclConfig, rng: &mut impl Rng) -> Self {
+        let mut store = ParamStore::new();
+        let generator = LipschitzGenerator::new("sgcl", &mut store, config.encoder, rng);
+        let encoder = GnnEncoder::new("sgcl.fk", &mut store, config.encoder, rng);
+        let proj = ProjectionHead::new("sgcl.proj", &mut store, config.encoder.hidden_dim, rng);
+        Self {
+            store,
+            generator,
+            encoder,
+            proj,
+            config,
         }
-        self.store.clip_grad_norm(5.0);
-        opt.step(&mut self.store);
-        Ok((total_value, l_s_value, l_c_value))
+    }
+
+    /// The engine configured for this model's hyperparameters.
+    fn engine(&self, policy: &RecoveryPolicy) -> Engine {
+        Engine::new(
+            EngineConfig {
+                epochs: self.config.epochs,
+                batch_size: self.config.batch_size,
+                lr: self.config.lr,
+                grad_clip: 5.0,
+            },
+            *policy,
+        )
+    }
+
+    /// Pre-trains on an unlabelled graph collection. Returns per-epoch stats.
+    ///
+    /// Runs with the default [`RecoveryPolicy`]: numerical faults roll the
+    /// model back to the last good epoch and retry with a decayed learning
+    /// rate. Healthy runs consume the RNG stream exactly as before, so
+    /// results are unchanged.
+    ///
+    /// # Panics
+    /// Panics if the collection is empty or the run diverges beyond the
+    /// default retry budget; use [`SgclModel::pretrain_recoverable`] for a
+    /// non-panicking variant.
+    pub fn pretrain(&mut self, graphs: &[Graph], seed: u64) -> Vec<EpochStats> {
+        match self.pretrain_recoverable(graphs, seed, &RecoveryPolicy::default()) {
+            Ok(stats) => stats,
+            Err(e) => panic!("unrecoverable training fault: {e}"),
+        }
+    }
+
+    /// Fault-tolerant pre-training through [`Engine::pretrain`] — the
+    /// legacy single-stream batch sampler (bit-identical to historical
+    /// [`SgclModel::pretrain`] results on healthy runs).
+    pub fn pretrain_recoverable(
+        &mut self,
+        graphs: &[Graph],
+        seed: u64,
+        policy: &RecoveryPolicy,
+    ) -> Result<Vec<EpochStats>, SgclError> {
+        let engine = self.engine(policy);
+        let mut method = SgclMethod {
+            generator: &self.generator,
+            encoder: &self.encoder,
+            proj: &self.proj,
+            config: self.config,
+        };
+        engine.pretrain(&mut method, &mut self.store, graphs, seed)
+    }
+
+    /// Fault-tolerant **resumable** pre-training through
+    /// [`Engine::pretrain_resumable`]: continues `state` up to
+    /// `config.epochs` with bit-exact kill-and-resume semantics (see the
+    /// engine docs). `on_epoch` fires after every completed epoch with the
+    /// parameter store and the updated state.
+    pub fn pretrain_resumable(
+        &mut self,
+        graphs: &[Graph],
+        state: TrainState,
+        policy: &RecoveryPolicy,
+        on_epoch: Option<EpochHook<'_>>,
+    ) -> Result<TrainState, SgclError> {
+        let engine = self.engine(policy);
+        let mut method = SgclMethod {
+            generator: &self.generator,
+            encoder: &self.encoder,
+            proj: &self.proj,
+            config: self.config,
+        };
+        engine.pretrain_resumable(&mut method, &mut self.store, graphs, state, on_epoch)
     }
 
     /// Embeds graphs with the trained encoder `f_k` (pooled, **without** the
     /// projection head — the downstream convention of §VI-A3). Processes in
     /// chunks to bound memory.
     pub fn embed(&self, graphs: &[Graph]) -> Matrix {
-        let mut tape = Tape::new();
-        let chunks: Vec<Matrix> = graphs
-            .chunks(256)
-            .map(|chunk| {
-                tape.reset();
-                let batch = GraphBatch::from_graphs(chunk);
-                let h = self.encoder.forward(&mut tape, &self.store, &batch, None);
-                let pooled = self.config.pooling.apply(&mut tape, &batch, h);
-                tape.value(pooled).clone()
-            })
-            .collect();
-        let refs: Vec<&Matrix> = chunks.iter().collect();
-        Matrix::vstack(&refs)
+        sgcl_gnn::embed_graphs(&self.encoder, &self.store, self.config.pooling, graphs)
     }
 
     /// Per-node Lipschitz constants of a single graph (Figure 7 scores).
@@ -624,6 +436,7 @@ impl SgclModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use sgcl_data::{Scale, TuDataset};
 
     fn tiny_config(input_dim: usize) -> SgclConfig {
@@ -744,5 +557,16 @@ mod tests {
         let g = &ds.graphs[0];
         assert_eq!(model.node_scores(g).len(), g.num_nodes());
         assert_eq!(model.keep_probabilities(g).len(), g.num_nodes());
+    }
+
+    #[test]
+    fn hparam_roundtrip_through_names() {
+        let mut cfg = tiny_config(4);
+        for (name, v) in SgclConfig::paper_unsupervised(4).hparams() {
+            assert!(cfg.set_hparam(&name, v * 2.0));
+            let _ = v;
+        }
+        assert!(!cfg.set_hparam("unknown", 1.0));
+        assert_eq!(cfg.rho, SgclConfig::paper_unsupervised(4).rho * 2.0);
     }
 }

@@ -26,13 +26,12 @@ fn tiny_config(input_dim: usize, epochs: usize) -> SgclConfig {
 /// Sets one projection-head weight to NaN. The projection head sits on the
 /// loss path but not on the augmentation-sampling path, so the poison is
 /// guaranteed to surface as a non-finite loss at the next training step.
-fn poison_projection(model: &mut SgclModel) {
-    let id = model
-        .store
+fn poison_projection(store: &mut sgcl_tensor::ParamStore) {
+    let id = store
         .ids()
-        .find(|&id| model.store.name(id).starts_with("sgcl.proj"))
+        .find(|&id| store.name(id).starts_with("sgcl.proj"))
         .expect("projection parameters exist");
-    model.store.value_mut(id).as_mut_slice()[0] = f32::NAN;
+    store.value_mut(id).as_mut_slice()[0] = f32::NAN;
 }
 
 #[test]
@@ -43,15 +42,16 @@ fn injected_nan_recovers_and_completes() {
     let mut model = SgclModel::new(cfg, &mut rng);
 
     let mut poisoned = false;
-    let mut inject = |m: &mut SgclModel, st: &TrainState| -> Result<(), SgclError> {
-        // corrupt the weights once, after the first epoch's good snapshot
-        // has been recorded — the next step must trip the loss guard
-        if st.next_epoch == 1 && !poisoned {
-            poisoned = true;
-            poison_projection(m);
-        }
-        Ok(())
-    };
+    let mut inject =
+        |store: &mut sgcl_tensor::ParamStore, st: &TrainState| -> Result<(), SgclError> {
+            // corrupt the weights once, after the first epoch's good snapshot
+            // has been recorded — the next step must trip the loss guard
+            if st.next_epoch == 1 && !poisoned {
+                poisoned = true;
+                poison_projection(store);
+            }
+            Ok(())
+        };
     let state = model
         .pretrain_resumable(
             &ds.graphs,
@@ -151,10 +151,11 @@ fn retry_budget_exhaustion_reports_divergence() {
 
     // poison after every completed epoch: the first fault recovers, the
     // second exhausts the budget
-    let mut inject = |m: &mut SgclModel, _st: &TrainState| -> Result<(), SgclError> {
-        poison_projection(m);
-        Ok(())
-    };
+    let mut inject =
+        |store: &mut sgcl_tensor::ParamStore, _st: &TrainState| -> Result<(), SgclError> {
+            poison_projection(store);
+            Ok(())
+        };
     let err = model
         .pretrain_resumable(
             &ds.graphs,

@@ -1,0 +1,36 @@
+//! The shared graph-embedding path used by every trained model handle
+//! (SGCL and all baselines): encode → pool, chunked to bound memory.
+//!
+//! One [`Tape`] is reused across chunks via [`Tape::reset`], so after the
+//! first chunk the forward pass stops allocating (the recycled buffers come
+//! from the thread-local pool), and the cached normalized adjacencies on
+//! each [`GraphBatch`] are built once per chunk regardless of encoder
+//! depth. Values are identical to a fresh-tape-per-chunk evaluation.
+
+use crate::encoder::GnnEncoder;
+use crate::pooling::Pooling;
+use sgcl_graph::{Graph, GraphBatch};
+use sgcl_tensor::{Matrix, ParamStore, Tape};
+
+/// Embeds `graphs` with a trained encoder (pooled, **without** any
+/// projection head — the downstream convention of the paper's §VI-A3).
+pub fn embed_graphs(
+    encoder: &GnnEncoder,
+    store: &ParamStore,
+    pooling: Pooling,
+    graphs: &[Graph],
+) -> Matrix {
+    let mut tape = Tape::new();
+    let chunks: Vec<Matrix> = graphs
+        .chunks(256)
+        .map(|chunk| {
+            tape.reset();
+            let batch = GraphBatch::from_graphs(chunk);
+            let h = encoder.forward(&mut tape, store, &batch, None);
+            let pooled = pooling.apply(&mut tape, &batch, h);
+            tape.value(pooled).clone()
+        })
+        .collect();
+    let refs: Vec<&Matrix> = chunks.iter().collect();
+    Matrix::vstack(&refs)
+}

@@ -71,6 +71,7 @@ impl EncoderConfig {
     }
 }
 
+#[derive(Clone)]
 enum GnnLayer {
     Gin {
         mlp: Mlp,
@@ -90,6 +91,7 @@ enum GnnLayer {
 }
 
 /// A multi-layer GNN encoder producing node representations.
+#[derive(Clone)]
 pub struct GnnEncoder {
     config: EncoderConfig,
     layers: Vec<GnnLayer>,

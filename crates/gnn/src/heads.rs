@@ -7,6 +7,7 @@ use sgcl_tensor::{ParamId, ParamStore, Tape, Var};
 
 /// The 2-layer MLP projection head `Proj(·)` of Eq. 21–23 (GraphCL
 /// convention). Thrown away after pre-training.
+#[derive(Clone)]
 pub struct ProjectionHead {
     mlp: Mlp,
 }
@@ -37,6 +38,7 @@ impl ProjectionHead {
 
 /// A linear (optionally one-hidden-layer) classifier for fine-tuning a
 /// pre-trained encoder on a downstream task.
+#[derive(Clone)]
 pub struct ClassifierHead {
     mlp: Mlp,
 }

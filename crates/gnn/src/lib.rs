@@ -13,11 +13,13 @@
 
 #![warn(missing_docs)]
 
+pub mod embed;
 pub mod encoder;
 pub mod heads;
 pub mod linear;
 pub mod pooling;
 
+pub use embed::embed_graphs;
 pub use encoder::{EncoderConfig, EncoderKind, GnnEncoder};
 pub use heads::{ClassifierHead, ProjectionHead};
 pub use linear::{Activation, Linear, Mlp};

@@ -5,6 +5,7 @@ use rand::Rng;
 use sgcl_tensor::{Initializer, ParamId, ParamStore, Tape, Var};
 
 /// A fully connected layer `y = x·W + b`.
+#[derive(Clone)]
 pub struct Linear {
     w: ParamId,
     b: ParamId,
@@ -78,6 +79,7 @@ pub enum Activation {
 }
 
 /// A stack of [`Linear`] layers with an activation between (not after) them.
+#[derive(Clone)]
 pub struct Mlp {
     layers: Vec<Linear>,
     activation: Activation,
