@@ -318,7 +318,8 @@ impl BaselineTrainer {
                 (encoder, Box::new(method))
             }
             BaselineKind::AttrMasking => {
-                let (encoder, method) = AttrMaskMethod::build(&mut store, &config, graphs, &mut rng);
+                let (encoder, method) =
+                    AttrMaskMethod::build(&mut store, &config, graphs, &mut rng);
                 (encoder, Box::new(method))
             }
             BaselineKind::ContextPred | BaselineKind::Gae => {
@@ -384,7 +385,13 @@ impl BaselineTrainer {
     ) -> Result<TrainState, SgclError> {
         let mut engine = engine_for(&self.config);
         engine.policy = *policy;
-        engine.pretrain_resumable(self.method.as_mut(), &mut self.store, graphs, state, on_epoch)
+        engine.pretrain_resumable(
+            self.method.as_mut(),
+            &mut self.store,
+            graphs,
+            state,
+            on_epoch,
+        )
     }
 
     /// Serialisable method-private state (e.g. JOAO's augmentation

@@ -21,7 +21,7 @@ use sgcl_core::losses::semantic_info_nce;
 use sgcl_gnn::{GnnEncoder, Linear, Pooling, ProjectionHead};
 use sgcl_graph::augment::perturb_edges_drop_only;
 use sgcl_graph::{Graph, GraphBatch};
-use sgcl_tensor::{stable_sigmoid, ParamStore, Tape};
+use sgcl_tensor::{stable_sigmoid, Optimizer, ParamStore, Tape};
 use std::rc::Rc;
 
 /// Maximum drop probability the scorer can assign (AD-GCL bounds the

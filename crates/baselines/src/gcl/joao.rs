@@ -144,8 +144,8 @@ impl ContrastiveMethod for JoaoMethod {
                 .iter()
                 .position(|&k| k == ka)
                 .expect("in pool");
-            let diff_a = (g.num_edges() as f32 - a.num_edges() as f32).abs()
-                / g.num_edges().max(1) as f32;
+            let diff_a =
+                (g.num_edges() as f32 - a.num_edges() as f32).abs() / g.num_edges().max(1) as f32;
             self.diff_sums[idx_a] += diff_a;
             self.diff_counts[idx_a] += 1;
             self.steps += 1;
@@ -297,7 +297,12 @@ mod tests {
         };
         let mut store = ParamStore::new();
         let encoder = GnnEncoder::new("baseline.enc", &mut store, cfg.encoder, &mut rng);
-        let proj = ProjectionHead::new("baseline.proj", &mut store, cfg.encoder.hidden_dim, &mut rng);
+        let proj = ProjectionHead::new(
+            "baseline.proj",
+            &mut store,
+            cfg.encoder.hidden_dim,
+            &mut rng,
+        );
         let mut m = JoaoMethod::new(encoder, proj, cfg.tau, cfg.pooling);
         m.state.probs = [0.4, 0.3, 0.2, 0.1];
         m.steps = 37; // mid accumulation window
@@ -307,8 +312,12 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(2);
         let mut store2 = ParamStore::new();
         let encoder2 = GnnEncoder::new("baseline.enc", &mut store2, cfg.encoder, &mut rng2);
-        let proj2 =
-            ProjectionHead::new("baseline.proj", &mut store2, cfg.encoder.hidden_dim, &mut rng2);
+        let proj2 = ProjectionHead::new(
+            "baseline.proj",
+            &mut store2,
+            cfg.encoder.hidden_dim,
+            &mut rng2,
+        );
         let mut restored = JoaoMethod::new(encoder2, proj2, cfg.tau, cfg.pooling);
         restored.load_state(&saved).expect("loadable");
         assert_eq!(restored.state.probs, m.state.probs);

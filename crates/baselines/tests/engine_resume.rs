@@ -47,8 +47,7 @@ fn run_interrupted(
         .expect("uninterrupted run");
 
     // interrupted run: stop at `kill_at`, checkpoint, drop everything
-    let mut first =
-        BaselineTrainer::new(kind, tiny(ds.feature_dim(), kill_at), &ds.graphs, seed);
+    let mut first = BaselineTrainer::new(kind, tiny(ds.feature_dim(), kill_at), &ds.graphs, seed);
     let state = first.fresh_state(seed);
     let mid_state = first
         .pretrain_resumable(&ds.graphs, state, &policy, None)
@@ -64,8 +63,7 @@ fn run_interrupted(
 
     // "new process": rebuild the trainer, restore, continue to `total`
     let ckpt = Checkpoint::from_json(&json).expect("parse");
-    let mut second =
-        BaselineTrainer::new(kind, tiny(ds.feature_dim(), total), &ds.graphs, seed);
+    let mut second = BaselineTrainer::new(kind, tiny(ds.feature_dim(), total), &ds.graphs, seed);
     assert_eq!(ckpt.method, kind.name(), "method recorded in checkpoint");
     ckpt.restore_into(&mut second.store).expect("restore");
     let resumed_state = second
@@ -81,7 +79,11 @@ fn run_interrupted(
         s.stats.iter().map(|e| e.loss.to_bits()).collect()
     };
     (
-        (bits(&full_state), full.embed(&ds.graphs), full.method_state()),
+        (
+            bits(&full_state),
+            full.embed(&ds.graphs),
+            full.method_state(),
+        ),
         (
             bits(&resumed_state),
             second.embed(&ds.graphs),
@@ -136,15 +138,23 @@ fn joao_resume_restores_the_augmentation_distribution() {
 fn resume_with_the_wrong_method_is_rejected() {
     let ds = TuDataset::Mutag.generate(Scale::Quick, 1);
     let policy = RecoveryPolicy::default();
-    let mut graphcl =
-        BaselineTrainer::new(BaselineKind::GraphCl, tiny(ds.feature_dim(), 1), &ds.graphs, 0);
+    let mut graphcl = BaselineTrainer::new(
+        BaselineKind::GraphCl,
+        tiny(ds.feature_dim(), 1),
+        &ds.graphs,
+        0,
+    );
     let state = graphcl.fresh_state(0);
     let done = graphcl
         .pretrain_resumable(&ds.graphs, state, &policy, None)
         .expect("train");
     // hand GraphCL's state to a SimGRACE trainer: must be a typed mismatch
-    let mut simgrace =
-        BaselineTrainer::new(BaselineKind::SimGrace, tiny(ds.feature_dim(), 2), &ds.graphs, 0);
+    let mut simgrace = BaselineTrainer::new(
+        BaselineKind::SimGrace,
+        tiny(ds.feature_dim(), 2),
+        &ds.graphs,
+        0,
+    );
     assert!(matches!(
         simgrace.pretrain_resumable(&ds.graphs, done, &policy, None),
         Err(sgcl_core::SgclError::Mismatch { .. })
@@ -158,8 +168,12 @@ fn aliased_kinds_checkpoint_under_their_own_names() {
     // would silently use the wrong RNG stream).
     let ds = TuDataset::Mutag.generate(Scale::Quick, 2);
     let policy = RecoveryPolicy::default();
-    let mut infomax =
-        BaselineTrainer::new(BaselineKind::Infomax, tiny(ds.feature_dim(), 1), &ds.graphs, 0);
+    let mut infomax = BaselineTrainer::new(
+        BaselineKind::Infomax,
+        tiny(ds.feature_dim(), 1),
+        &ds.graphs,
+        0,
+    );
     let state = infomax.fresh_state(0);
     assert_eq!(state.method, "infomax");
     let done = infomax

@@ -92,13 +92,22 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
-fn gemm_rows(rows: &mut Vec<Row>, sizes: &[usize], threads: &[usize], iters_for: impl Fn(usize) -> usize) {
+fn gemm_rows(
+    rows: &mut Vec<Row>,
+    sizes: &[usize],
+    threads: &[usize],
+    iters_for: impl Fn(usize) -> usize,
+) {
     for &s in sizes {
         let a = pseudo_matrix(s, s, 1);
         let b = pseudo_matrix(s, s, 2);
         let flop = 2.0 * (s as f64).powi(3);
         let iters = iters_for(s);
-        let ops: [(&'static str, fn(&Matrix, &Matrix) -> Matrix, fn(&Matrix, &Matrix) -> Matrix); 3] = [
+        let ops: [(
+            &'static str,
+            fn(&Matrix, &Matrix) -> Matrix,
+            fn(&Matrix, &Matrix) -> Matrix,
+        ); 3] = [
             ("matmul", Matrix::matmul_reference, Matrix::matmul),
             ("matmul_tn", Matrix::matmul_tn_reference, Matrix::matmul_tn),
             ("matmul_nt", Matrix::matmul_nt_reference, Matrix::matmul_nt),
@@ -147,7 +156,11 @@ fn spmm_rows(rows: &mut Vec<Row>, dims: &[(usize, usize)], threads: &[usize], it
         let adj = pseudo_csr(n, n, 8, 3);
         let h = pseudo_matrix(n, d, 4);
         let flop = 2.0 * adj.nnz() as f64 * d as f64;
-        let ops: [(&'static str, fn(&CsrMatrix, &Matrix) -> Matrix, fn(&CsrMatrix, &Matrix) -> Matrix); 2] = [
+        let ops: [(
+            &'static str,
+            fn(&CsrMatrix, &Matrix) -> Matrix,
+            fn(&CsrMatrix, &Matrix) -> Matrix,
+        ); 2] = [
             ("spmm", CsrMatrix::spmm_reference, CsrMatrix::spmm),
             ("spmm_t", CsrMatrix::spmm_t_reference, CsrMatrix::spmm_t),
         ];
@@ -259,7 +272,13 @@ fn main() {
         spmm_rows(&mut rows, &[(1024, 32)], &ts, 10);
         pretrain_rows(&mut rows, &[*ts.last().unwrap()], 1);
     } else {
-        gemm_rows(&mut rows, &[128, 256, 512], &ts, |s| if s >= 512 { 5 } else { 30 });
+        gemm_rows(&mut rows, &[128, 256, 512], &ts, |s| {
+            if s >= 512 {
+                5
+            } else {
+                30
+            }
+        });
         spmm_rows(&mut rows, &[(4096, 64), (16384, 32)], &ts, 20);
         pretrain_rows(&mut rows, &ts, 2);
     }

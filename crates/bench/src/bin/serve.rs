@@ -1,0 +1,213 @@
+//! Load generator for the `sgcl serve` inference service.
+//!
+//! ```text
+//! cargo run --release --bin serve                    # full run
+//! cargo run --release --bin serve -- --smoke         # CI-sized run
+//! cargo run --release --bin serve -- --clients 16 --requests 500
+//! cargo run --release --bin serve -- --out s.json    # default BENCH_serve.json
+//! ```
+//!
+//! Starts an in-process server on an ephemeral port backed by a tiny
+//! untrained SGCL checkpoint (inference cost, not model quality, is under
+//! test), then hammers it from concurrent client connections drawing
+//! graphs from a fixed pool — repeats within the pool exercise the LRU
+//! cache. Reports throughput, latency percentiles (p50/p95/p99), cache
+//! hit rate, and the micro-batch size histogram.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::Graph;
+use sgcl_serve::{start, Client, ServeConfig};
+use sgcl_tensor::Matrix;
+
+const INPUT_DIM: usize = 8;
+
+fn random_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(6usize..20);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(0.25) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let data = (0..n * INPUT_DIM)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    Graph::new(n, edges, Matrix::from_vec(n, INPUT_DIM, data))
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+fn ok_or_exit<T>(r: Result<T, sgcl_common::SgclError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    })
+}
+
+fn main() {
+    let args = ok_or_exit(sgcl_common::Args::options_from_env());
+    let smoke = args.flag("smoke");
+    let out = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+    sgcl_tensor::set_num_threads(ok_or_exit(args.get_parse("threads", 0usize)));
+    let clients = ok_or_exit(args.get_parse("clients", if smoke { 4usize } else { 8 }));
+    let requests = ok_or_exit(args.get_parse("requests", if smoke { 25usize } else { 300 }));
+    let pool_size = ok_or_exit(args.get_parse("graphs", if smoke { 16usize } else { 128 }));
+    let max_batch = ok_or_exit(args.get_parse("max-batch", 32usize));
+    let max_wait_ms = ok_or_exit(args.get_parse("max-wait-ms", 2u64));
+
+    // a tiny untrained model: serving overhead is what's measured
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = SgclModel::new(
+        SgclConfig {
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: INPUT_DIM,
+                hidden_dim: 16,
+                num_layers: 2,
+            },
+            ..SgclConfig::paper_unsupervised(INPUT_DIM)
+        },
+        &mut rng,
+    );
+    let ckpt_path =
+        std::env::temp_dir().join(format!("sgcl-bench-serve-{}.json", std::process::id()));
+    ok_or_exit(Checkpoint::capture(&model).save(&ckpt_path));
+
+    let pool: Vec<Graph> = (0..pool_size).map(|_| random_graph(&mut rng)).collect();
+
+    let handle = ok_or_exit(start(ServeConfig {
+        models: vec![("bench".to_string(), ckpt_path.clone())],
+        max_batch,
+        max_wait_ms,
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    let addr = handle.addr();
+
+    println!(
+        "{clients} clients × {requests} requests over a pool of {pool_size} graphs \
+         (max_batch {max_batch}, max_wait {max_wait_ms}ms)"
+    );
+    let wall = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let pool = pool.clone();
+            std::thread::spawn(move || -> Result<(Vec<u64>, u64), sgcl_common::SgclError> {
+                let mut client = Client::connect(addr)?;
+                let mut latencies = Vec::with_capacity(requests);
+                let mut hits = 0u64;
+                // interleaved walk so concurrent clients collide on graphs
+                for j in 0..requests {
+                    let g = &pool[(c * 13 + j * 7) % pool.len()];
+                    let t = Instant::now();
+                    let resp = client.embed(None, g)?;
+                    latencies.push(t.elapsed().as_nanos() as u64);
+                    if !resp.ok {
+                        return Err(sgcl_common::SgclError::invalid_data(
+                            "bench request",
+                            format!("server error: {:?}", resp.error),
+                        ));
+                    }
+                    if resp.cached == Some(true) {
+                        hits += 1;
+                    }
+                }
+                Ok((latencies, hits))
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut client_hits = 0u64;
+    for t in threads {
+        let (ns, hits) = ok_or_exit(t.join().expect("client thread panicked"));
+        latencies.extend(ns);
+        client_hits += hits;
+    }
+    let elapsed = wall.elapsed();
+
+    let mut info_client = ok_or_exit(Client::connect(addr));
+    let info = ok_or_exit(info_client.info());
+    let stats = info.info.expect("info body").stats;
+    ok_or_exit(info_client.shutdown());
+    handle.join();
+    let _ = std::fs::remove_file(&ckpt_path);
+
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let p50 = percentile(&latencies, 0.50);
+    let p95 = percentile(&latencies, 0.95);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let hit_rate = if stats.cache_hits + stats.cache_misses > 0 {
+        stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
+    } else {
+        0.0
+    };
+    let mean_batch = if stats.batches > 0 {
+        stats.embedded as f64 / stats.batches as f64
+    } else {
+        0.0
+    };
+
+    println!("throughput   {throughput:>10.0} req/s  ({total} requests in {elapsed:.2?})");
+    println!(
+        "latency      p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms",
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6
+    );
+    println!(
+        "cache        {:.1}% hit rate ({} hits / {} misses)",
+        hit_rate * 100.0,
+        stats.cache_hits,
+        stats.cache_misses
+    );
+    println!(
+        "batching     {} batches, mean size {mean_batch:.2}, histogram {:?}",
+        stats.batches, stats.batch_histogram
+    );
+
+    let latency_ns = serde_json::json!({ "p50": p50, "p95": p95, "p99": p99 });
+    let cache = serde_json::json!({
+        "hits": stats.cache_hits,
+        "misses": stats.cache_misses,
+        "hit_rate": hit_rate,
+        "client_observed_hits": client_hits,
+    });
+    let doc = serde_json::json!({
+        "experiment": "serve",
+        "clients": clients,
+        "requests_per_client": requests,
+        "graph_pool": pool_size,
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "total_requests": total,
+        "elapsed_s": elapsed.as_secs_f64(),
+        "throughput_rps": throughput,
+        "latency_ns": latency_ns,
+        "cache": cache,
+        "batches": stats.batches,
+        "mean_batch_size": mean_batch,
+        "batch_histogram": stats.batch_histogram,
+    });
+    let bytes = serde_json::to_vec_pretty(&doc).expect("serialise");
+    if let Err(e) = sgcl_common::write_atomic(std::path::Path::new(&out), &bytes) {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    }
+    println!("\nresults written to {out}");
+}

@@ -22,13 +22,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgcl_baselines::common::GclConfig;
-use sgcl_common::SgclError;
 use sgcl_baselines::gcl::{
     pretrain_adgcl, pretrain_autogcl, pretrain_graphcl, pretrain_infograph, pretrain_joao,
     pretrain_rgcl, pretrain_simgrace,
 };
 use sgcl_baselines::kernels::{dgk_features, graphlet_features, wl_features};
 use sgcl_baselines::TrainedEncoder;
+use sgcl_common::SgclError;
 use sgcl_core::lipschitz::LipschitzMode;
 use sgcl_core::{SgclConfig, SgclModel};
 use sgcl_data::synthetic::Dataset;

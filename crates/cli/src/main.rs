@@ -9,6 +9,7 @@
 //! sgcl evaluate  --model model.json --data ds.json --folds 10
 //! sgcl scores    --model model.json --data ds.json --graph 0
 //! sgcl stats     --data ds.json
+//! sgcl serve     --model model.json --addr 127.0.0.1:7878
 //! ```
 
 use rand::rngs::StdRng;
@@ -23,6 +24,8 @@ use sgcl_eval::svm_cross_validate;
 use sgcl_gnn::{EncoderConfig, EncoderKind};
 use sgcl_graph::metrics::dataset_stats;
 use sgcl_graph::Graph;
+use sgcl_serve::registry::parse_model_specs;
+use sgcl_serve::ServeConfig;
 use sgcl_tensor::{Matrix, ParamStore};
 use std::path::Path;
 use std::process::ExitCode;
@@ -63,6 +66,18 @@ COMMANDS:
              --model <FILE>  --data <FILE>  --graph <N> (0)
   stats      Dataset summary statistics
              --data <FILE>
+  serve      Embedding inference service (newline-delimited JSON over TCP)
+             with micro-batching and an LRU embedding cache
+             --model <FILE>                  checkpoint to serve, or
+             --models <name=FILE,...>       several, served by name
+             --addr <HOST:PORT> (127.0.0.1:7878; port 0 = OS-assigned)
+             --max-batch <N> (32)           largest micro-batch
+             --max-wait-ms <N> (2)          batching window after the
+                                            first queued request
+             --cache <N> (1024)             cached embeddings (0 = off)
+             --workers <N> (2)              embedding worker threads
+             --deadline-ms <N> (5000)       per-request deadline (0 = none)
+             Stop with a {\"op\":\"shutdown\"} request.
 
 GLOBAL OPTIONS:
   --threads <N>   kernel worker threads (default 0 = auto-detect; 1 forces
@@ -98,6 +113,7 @@ fn run() -> Result<(), SgclError> {
         "evaluate" => cmd_evaluate(&args),
         "scores" => cmd_scores(&args),
         "stats" => cmd_stats(&args),
+        "serve" => cmd_serve(&args),
         "" | "help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -133,17 +149,11 @@ fn load(args: &Args) -> Result<Dataset, SgclError> {
     load_dataset(Path::new(args.require("data")?))
 }
 
-/// Rebuilds the encoder configuration a checkpoint was trained with.
-fn config_from_checkpoint(ckpt: &Checkpoint) -> SgclConfig {
-    SgclConfig {
-        encoder: EncoderConfig {
-            kind: EncoderKind::Gin,
-            input_dim: ckpt.input_dim,
-            hidden_dim: ckpt.hidden_dim,
-            num_layers: ckpt.num_layers,
-        },
-        ..SgclConfig::paper_unsupervised(ckpt.input_dim)
-    }
+/// Loads a checkpoint, tagging any failure with the offending path so
+/// `error:` lines name the file (the exit code still reflects the error
+/// class: 3 missing file, 4 corrupt JSON, …).
+fn load_checkpoint(path: &str) -> Result<Checkpoint, SgclError> {
+    Checkpoint::load(Path::new(path)).map_err(|e| e.with_context(format!("checkpoint {path}")))
 }
 
 fn check_dims(ds: &Dataset, ckpt: &Checkpoint) -> Result<(), SgclError> {
@@ -176,11 +186,10 @@ impl LoadedModel {
 }
 
 fn load_model(args: &Args, ds: &Dataset) -> Result<LoadedModel, SgclError> {
-    let ckpt = Checkpoint::load(Path::new(args.require("model")?))?;
+    let ckpt = load_checkpoint(args.require("model")?)?;
     check_dims(ds, &ckpt)?;
     if ckpt.method == "sgcl" {
-        let config = config_from_checkpoint(&ckpt);
-        return Ok(LoadedModel::Sgcl(ckpt.restore(config)?));
+        return Ok(LoadedModel::Sgcl(ckpt.restore(ckpt.sgcl_config())?));
     }
     let kind = BaselineKind::parse(&ckpt.method).ok_or_else(|| {
         SgclError::invalid_data(
@@ -190,7 +199,7 @@ fn load_model(args: &Args, ds: &Dataset) -> Result<LoadedModel, SgclError> {
     })?;
     // rebuild the architecture the checkpoint describes, then overwrite the
     // fresh parameters with the stored ones (names and shapes are verified)
-    let config: GclConfig = config_from_checkpoint(&ckpt).into();
+    let config: GclConfig = ckpt.sgcl_config().into();
     let mut trainer = BaselineTrainer::new(kind, config, &ds.graphs, 0);
     ckpt.restore_into(&mut trainer.store)?;
     Ok(LoadedModel::Baseline(trainer.into_trained()))
@@ -241,7 +250,7 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
 
     let (mut model, state) = match args.get("resume") {
         Some(ckpt_path) => {
-            let ckpt = Checkpoint::load(Path::new(ckpt_path))?;
+            let ckpt = load_checkpoint(ckpt_path)?;
             let state = ckpt.train.clone().ok_or_else(|| {
                 SgclError::invalid_data(
                     format!("resume {ckpt_path}"),
@@ -254,7 +263,7 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
             let mut config = SgclConfig {
                 epochs,
                 batch_size: state.batch_size,
-                ..config_from_checkpoint(&ckpt)
+                ..ckpt.sgcl_config()
             };
             for (name, value) in &state.hparams {
                 if !config.set_hparam(name, *value) {
@@ -322,7 +331,7 @@ fn cmd_pretrain_baseline(args: &Args, kind: BaselineKind) -> Result<(), SgclErro
 
     let (mut trainer, state) = match args.get("resume") {
         Some(ckpt_path) => {
-            let ckpt = Checkpoint::load(Path::new(ckpt_path))?;
+            let ckpt = load_checkpoint(ckpt_path)?;
             let state = ckpt.train.clone().ok_or_else(|| {
                 SgclError::invalid_data(
                     format!("resume {ckpt_path}"),
@@ -345,7 +354,7 @@ fn cmd_pretrain_baseline(args: &Args, kind: BaselineKind) -> Result<(), SgclErro
             let mut config = GclConfig {
                 epochs,
                 batch_size: state.batch_size,
-                ..config_from_checkpoint(&ckpt).into()
+                ..ckpt.sgcl_config().into()
             };
             for (name, value) in &state.hparams {
                 if name == "tau" {
@@ -491,5 +500,30 @@ fn cmd_stats(args: &Args) -> Result<(), SgclError> {
     println!("avg density: {:.4}", stats.avg_density);
     println!("classes:     {}", stats.num_classes);
     println!("feature dim: {}", ds.feature_dim());
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), SgclError> {
+    let specs = parse_model_specs(args.get("model"), args.get("models"))?;
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        models: specs,
+        max_batch: args.get_parse("max-batch", 32usize)?,
+        max_wait_ms: args.get_parse("max-wait-ms", 2u64)?,
+        cache_capacity: args.get_parse("cache", 1024usize)?,
+        workers: args.get_parse("workers", 2usize)?,
+        deadline_ms: args.get_parse("deadline-ms", 5000u64)?,
+    };
+    let handle = sgcl_serve::start(config)?;
+    println!("serving on {} (first model is the default):", handle.addr());
+    for m in handle.models() {
+        println!(
+            "  {} — {} (input {}, hidden {}, {} layers)",
+            m.name, m.method, m.input_dim, m.hidden_dim, m.num_layers
+        );
+    }
+    println!("stop with a {{\"op\":\"shutdown\"}} request");
+    handle.join();
+    println!("server stopped");
     Ok(())
 }

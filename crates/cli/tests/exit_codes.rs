@@ -1,0 +1,128 @@
+//! Exit-code contract of the `sgcl` binary: scripted callers rely on the
+//! documented codes, and checkpoint failures must name the offending file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sgcl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sgcl"))
+        .args(args)
+        .output()
+        .expect("spawn sgcl binary")
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sgcl-cli-exit-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A tiny valid dataset file, generated through the binary itself.
+fn make_dataset(dir: &std::path::Path) -> String {
+    let ds = dir.join("ds.json").to_string_lossy().into_owned();
+    let out = sgcl(&[
+        "generate",
+        "--dataset",
+        "mutag",
+        "--scale",
+        "quick",
+        "--out",
+        &ds,
+    ]);
+    assert!(out.status.success(), "generate failed: {out:?}");
+    ds
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = sgcl(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_checkpoint_exits_3_and_names_the_path() {
+    let dir = scratch("missing");
+    let ds = make_dataset(&dir);
+    let model = dir
+        .join("does-not-exist.json")
+        .to_string_lossy()
+        .into_owned();
+    let emb = dir.join("emb.csv").to_string_lossy().into_owned();
+
+    for args in [
+        vec!["embed", "--model", &model, "--data", &ds, "--out", &emb],
+        vec!["evaluate", "--model", &model, "--data", &ds],
+    ] {
+        let out = sgcl(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "I/O failures must exit 3: {out:?}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("does-not-exist.json"),
+            "stderr must name the checkpoint: {stderr}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_exits_4_and_names_the_path() {
+    let dir = scratch("corrupt");
+    let ds = make_dataset(&dir);
+    let model = dir.join("corrupt.json").to_string_lossy().into_owned();
+    std::fs::write(&model, "{ this is not a checkpoint").expect("write corrupt file");
+    let emb = dir.join("emb.csv").to_string_lossy().into_owned();
+
+    let out = sgcl(&["embed", "--model", &model, "--data", &ds, "--out", &emb]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "corrupt JSON must exit 4: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("corrupt.json"),
+        "stderr must name the checkpoint: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_with_missing_checkpoint_exits_3() {
+    let dir = scratch("serve");
+    let model = dir.join("gone.json").to_string_lossy().into_owned();
+    let out = sgcl(&["serve", "--model", &model, "--addr", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("gone.json"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn equals_syntax_parses_like_space_syntax() {
+    let dir = scratch("equals");
+    let ds = dir.join("ds.json").to_string_lossy().into_owned();
+    let out = sgcl(&[
+        "generate",
+        "--dataset=mutag",
+        "--scale=quick",
+        &format!("--out={ds}"),
+    ]);
+    assert!(out.status.success(), "equals syntax failed: {out:?}");
+    assert!(dir.join("ds.json").exists());
+
+    // duplicate key across both syntaxes is a usage error (exit 2)
+    let out = sgcl(&[
+        "generate",
+        "--dataset=mutag",
+        "--dataset",
+        "mutag",
+        "--out",
+        &ds,
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

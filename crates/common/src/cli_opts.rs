@@ -19,11 +19,11 @@ pub struct Args {
 impl Args {
     /// Parses from an iterator of arguments (without the program name).
     /// The first argument is the subcommand; everything after must be
-    /// `--key value` options or `--flag` switches.
+    /// `--key value` / `--key=value` options or `--flag` switches.
     ///
     /// # Errors
     /// Returns [`SgclError::Usage`] on stray positionals or duplicate
-    /// options.
+    /// options (in either spelling).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, SgclError> {
         let mut iter = args.into_iter().peekable();
         let command = iter.next().unwrap_or_default();
@@ -37,17 +37,27 @@ impl Args {
                     "unexpected positional argument {arg:?}"
                 )));
             };
+            if let Some((key, value)) = key.split_once('=') {
+                if key.is_empty() {
+                    return Err(SgclError::usage(format!("malformed option {arg:?}")));
+                }
+                out.insert_option(key, value.to_string())?;
+                continue;
+            }
             // value present iff the next token doesn't start with --
             match iter.next_if(|v| !v.starts_with("--")) {
-                Some(v) => {
-                    if out.options.insert(key.to_string(), v).is_some() {
-                        return Err(SgclError::usage(format!("duplicate option --{key}")));
-                    }
-                }
+                Some(v) => out.insert_option(key, v)?,
                 None => out.flags.push(key.to_string()),
             }
         }
         Ok(out)
+    }
+
+    fn insert_option(&mut self, key: &str, value: String) -> Result<(), SgclError> {
+        if self.options.insert(key.to_string(), value).is_some() {
+            return Err(SgclError::usage(format!("duplicate option --{key}")));
+        }
+        Ok(())
     }
 
     /// Parses a subcommand-free command line (the bench binaries' shape):
@@ -149,6 +159,37 @@ mod tests {
     }
 
     #[test]
+    fn parses_equals_syntax() {
+        let a = parse(&["pretrain", "--epochs=20", "--data=x.json", "--quick"]).unwrap();
+        assert_eq!(a.get("epochs"), Some("20"));
+        assert_eq!(a.get("data"), Some("x.json"));
+        assert!(a.flag("quick"));
+        // the value may itself contain `=` (only the first splits)
+        let b = parse(&["x", "--expr=a=b"]).unwrap();
+        assert_eq!(b.get("expr"), Some("a=b"));
+        // an empty value is allowed, an empty key is not
+        let c = parse(&["x", "--out="]).unwrap();
+        assert_eq!(c.get("out"), Some(""));
+        assert!(matches!(parse(&["x", "--=v"]), Err(SgclError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates_across_syntaxes() {
+        assert!(matches!(
+            parse(&["x", "--a=1", "--a=2"]),
+            Err(SgclError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["x", "--a=1", "--a", "2"]),
+            Err(SgclError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["x", "--a", "1", "--a=2"]),
+            Err(SgclError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn require_reports_missing() {
         let a = parse(&["x"]).unwrap();
         assert!(matches!(a.require("data"), Err(SgclError::Usage(_))));
@@ -164,10 +205,8 @@ mod tests {
 
     #[test]
     fn option_only_command_lines() {
-        let a = Args::parse_options(
-            ["--quick", "--seed", "7"].iter().map(|s| s.to_string()),
-        )
-        .unwrap();
+        let a =
+            Args::parse_options(["--quick", "--seed", "7"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(a.command, "");
         assert!(a.flag("quick"));
         assert_eq!(a.get_parse("seed", 0u64).unwrap(), 7);

@@ -15,10 +15,13 @@
 //! * [`Args`] — the dependency-free `--key value` argument parser shared by
 //!   the `sgcl` CLI and the bench binaries, so common flags (`--threads`,
 //!   `--seed`, `--quick`, …) parse identically everywhere.
+//! * [`proto`] — wire-level semantics (operations, stable error codes,
+//!   limits) of the `sgcl serve` protocol, shared by server and clients.
 
 #![warn(missing_docs)]
 
 pub mod cli_opts;
+pub mod proto;
 
 pub use cli_opts::Args;
 
@@ -116,6 +119,34 @@ impl SgclError {
         SgclError::Mismatch {
             context: context.into(),
             message: message.to_string(),
+        }
+    }
+
+    /// Prefixes the error's context with what the caller was doing (e.g.
+    /// `"checkpoint model.json"`), preserving the error class — and thus
+    /// the exit code. Variants without a context string (usage, version,
+    /// divergence) are returned unchanged.
+    #[must_use]
+    pub fn with_context(self, outer: impl Into<String>) -> Self {
+        let outer = outer.into();
+        match self {
+            SgclError::Io { context, source } => SgclError::Io {
+                context: format!("{outer}: {context}"),
+                source,
+            },
+            SgclError::Parse { context, message } => SgclError::Parse {
+                context: format!("{outer}: {context}"),
+                message,
+            },
+            SgclError::InvalidData { context, message } => SgclError::InvalidData {
+                context: format!("{outer}: {context}"),
+                message,
+            },
+            SgclError::Mismatch { context, message } => SgclError::Mismatch {
+                context: format!("{outer}: {context}"),
+                message,
+            },
+            other => other,
         }
     }
 

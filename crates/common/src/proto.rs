@@ -1,0 +1,165 @@
+//! Wire-level semantics of the `sgcl serve` protocol.
+//!
+//! The serving protocol is newline-delimited JSON over TCP: one request
+//! object per line, one response object per line, correlated by a
+//! client-chosen `id`. This module defines the *semantics* that both ends
+//! must agree on — operation names, the stable numeric error codes carried
+//! in error replies, and hard protocol limits. The JSON encoding itself
+//! lives in `sgcl-serve` (this crate is deliberately dependency-free, so
+//! no serde here).
+//!
+//! Error codes deliberately mirror [`SgclError::exit_code`]: a client that
+//! scripts against the CLI and one that scripts against the server see the
+//! same numbers for the same failure classes. Codes `10..` are
+//! server-only conditions that have no CLI equivalent.
+
+use crate::SgclError;
+
+/// Protocol revision carried in `info` replies. Bumped on any
+/// incompatible change to request or response shapes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on a single request line, in bytes. Guards the server against
+/// unbounded memory use from a malicious or broken client; a compliant
+/// client never needs lines this long for the datasets in this repo.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Operation names accepted in the request `op` field.
+pub mod op {
+    /// Embed one graph; the request carries a `graph` payload.
+    pub const EMBED: &str = "embed";
+    /// Server and model metadata plus serving counters.
+    pub const INFO: &str = "info";
+    /// Liveness check; replies `ok` with no payload.
+    pub const PING: &str = "ping";
+    /// Ask the server to drain queued work and stop accepting.
+    pub const SHUTDOWN: &str = "shutdown";
+}
+
+/// Stable numeric codes for error replies.
+///
+/// `2..=7` are exactly [`SgclError::exit_code`] values; `10..` are
+/// serving-layer conditions with no offline counterpart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireCode {
+    /// Malformed request (unknown op, missing field, bad value).
+    Usage,
+    /// I/O failure while handling the request.
+    Io,
+    /// Request line was not valid JSON, or the wrong shape.
+    Parse,
+    /// Payload violates a semantic invariant (bad edge index, shape
+    /// mismatch between features and node count, …).
+    InvalidData,
+    /// Request is inconsistent with the served model (wrong feature
+    /// dimension, unknown model name, …).
+    Mismatch,
+    /// Numerical failure while embedding.
+    Diverged,
+    /// Unexpected server-side failure (worker panicked, channel closed).
+    Internal,
+    /// The request waited in queue past its deadline and was dropped
+    /// without being embedded.
+    DeadlineExceeded,
+    /// The server is shutting down and did not process the request.
+    ShuttingDown,
+}
+
+impl WireCode {
+    /// The stable numeric value carried on the wire.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            WireCode::Usage => 2,
+            WireCode::Io => 3,
+            WireCode::Parse => 4,
+            WireCode::InvalidData => 5,
+            WireCode::Mismatch => 6,
+            WireCode::Diverged => 7,
+            WireCode::Internal => 10,
+            WireCode::DeadlineExceeded => 11,
+            WireCode::ShuttingDown => 12,
+        }
+    }
+
+    /// Short machine-readable class name carried alongside the code.
+    pub fn class(self) -> &'static str {
+        match self {
+            WireCode::Usage => "usage",
+            WireCode::Io => "io",
+            WireCode::Parse => "parse",
+            WireCode::InvalidData => "invalid-data",
+            WireCode::Mismatch => "mismatch",
+            WireCode::Diverged => "diverged",
+            WireCode::Internal => "internal",
+            WireCode::DeadlineExceeded => "deadline",
+            WireCode::ShuttingDown => "shutdown",
+        }
+    }
+}
+
+/// An error reply before JSON encoding: stable code plus human-readable
+/// message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Failure class.
+    pub code: WireCode,
+    /// Human-readable diagnostic (never parsed by clients).
+    pub message: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    pub fn new(code: WireCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<&SgclError> for WireError {
+    fn from(err: &SgclError) -> Self {
+        let code = match err {
+            SgclError::Usage(_) => WireCode::Usage,
+            SgclError::Io { .. } => WireCode::Io,
+            SgclError::Parse { .. } | SgclError::UnsupportedVersion { .. } => WireCode::Parse,
+            SgclError::InvalidData { .. } => WireCode::InvalidData,
+            SgclError::Mismatch { .. } => WireCode::Mismatch,
+            SgclError::Diverged(_) => WireCode::Diverged,
+        };
+        WireError::new(code, err.to_string())
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code.class(), self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_classes_share_exit_codes() {
+        // the 2..=7 band must match SgclError::exit_code exactly
+        let err = SgclError::usage("bad flag");
+        assert_eq!(WireError::from(&err).code.as_u8(), err.exit_code());
+        let err = SgclError::invalid_data("graph", "edge out of range");
+        assert_eq!(WireError::from(&err).code.as_u8(), err.exit_code());
+        let err = SgclError::mismatch("model", "feature dim 7 != 5");
+        assert_eq!(WireError::from(&err).code.as_u8(), err.exit_code());
+    }
+
+    #[test]
+    fn server_only_codes_are_outside_cli_band() {
+        for code in [
+            WireCode::Internal,
+            WireCode::DeadlineExceeded,
+            WireCode::ShuttingDown,
+        ] {
+            assert!(code.as_u8() >= 10, "{:?} collides with CLI band", code);
+        }
+    }
+}

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use sgcl_common::{write_atomic, SgclError};
-use sgcl_gnn::EncoderConfig;
+use sgcl_gnn::{EncoderConfig, EncoderKind};
 use sgcl_tensor::{Matrix, ParamStore};
 
 fn default_method() -> String {
@@ -216,6 +216,62 @@ impl Checkpoint {
         Ok(model)
     }
 
+    /// Rebuilds the [`SgclConfig`] a checkpoint's architecture describes:
+    /// the stored encoder dimensions over the paper's unsupervised
+    /// defaults. This is the configuration every loader (CLI and serving)
+    /// uses to restore a checkpoint for inference, so embeddings are
+    /// bit-identical no matter which front-end loads the file.
+    pub fn sgcl_config(&self) -> SgclConfig {
+        SgclConfig {
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: self.input_dim,
+                hidden_dim: self.hidden_dim,
+                num_layers: self.num_layers,
+            },
+            ..SgclConfig::paper_unsupervised(self.input_dim)
+        }
+    }
+
+    /// Restores checkpoint parameters into `store` **by name**: every
+    /// parameter registered in `store` must exist in the checkpoint with
+    /// the same shape, but the checkpoint may carry extra parameters
+    /// (projection heads, auxiliary towers) that the store does not.
+    ///
+    /// This is the dataset-free restore path used by the serving registry:
+    /// it rebuilds only the encoder tower, whose architecture is fully
+    /// described by the checkpoint header, and skips pre-training-only
+    /// towers whose shapes can depend on the training dataset.
+    ///
+    /// # Errors
+    /// [`SgclError::Mismatch`] when a store parameter is missing from the
+    /// checkpoint or its shape differs.
+    pub fn restore_named_into(&self, store: &mut ParamStore) -> Result<(), SgclError> {
+        let ids: Vec<_> = store.ids().collect();
+        for id in ids {
+            let name = store.name(id).to_string();
+            let Some(pos) = self.names.iter().position(|n| *n == name) else {
+                return Err(SgclError::mismatch(
+                    "checkpoint parameters",
+                    format!("parameter {name} missing from the checkpoint"),
+                ));
+            };
+            let value = &self.values[pos];
+            if store.value(id).shape() != value.shape() {
+                return Err(SgclError::mismatch(
+                    "checkpoint parameters",
+                    format!(
+                        "parameter {name} shape mismatch: model {:?} vs checkpoint {:?}",
+                        store.value(id).shape(),
+                        value.shape()
+                    ),
+                ));
+            }
+            *store.value_mut(id) = value.clone();
+        }
+        Ok(())
+    }
+
     /// Restores these weights into an already-built parameter store after
     /// validating that it matches the checkpoint (parameter count, names,
     /// shapes). The generic counterpart of [`Checkpoint::restore`], used
@@ -348,6 +404,40 @@ mod tests {
         assert_eq!(parsed.method, "sgcl", "method must default for old files");
         assert!(parsed.train.is_none());
         assert!(parsed.restore(config).is_ok());
+    }
+
+    #[test]
+    fn restore_named_subset() {
+        use sgcl_tensor::ParamStore;
+
+        let config = tiny_config(5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = SgclModel::new(config, &mut rng);
+        let ckpt = Checkpoint::capture(&model);
+
+        // rebuild just the encoder tower ("sgcl.fk") and restore it by name
+        let mut store = ParamStore::new();
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let encoder = sgcl_gnn::GnnEncoder::new("sgcl.fk", &mut store, config.encoder, &mut rng2);
+        let _ = &encoder;
+        ckpt.restore_named_into(&mut store)
+            .expect("named subset restore");
+        for id in store.ids().collect::<Vec<_>>() {
+            let pos = ckpt
+                .names
+                .iter()
+                .position(|n| n == store.name(id))
+                .expect("name present");
+            assert_eq!(store.value(id), &ckpt.values[pos]);
+        }
+
+        // a parameter absent from the checkpoint is a typed mismatch
+        let mut stranger = ParamStore::new();
+        stranger.register_value("not.in.checkpoint", Matrix::zeros(1, 1));
+        assert!(matches!(
+            ckpt.restore_named_into(&mut stranger),
+            Err(SgclError::Mismatch { .. })
+        ));
     }
 
     #[test]

@@ -196,7 +196,11 @@ impl TrainState {
 
     /// Validates this state against the method and engine configuration
     /// that are about to continue it.
-    fn check(&self, method: &dyn ContrastiveMethod, config: &EngineConfig) -> Result<(), SgclError> {
+    fn check<M: ContrastiveMethod + ?Sized>(
+        &self,
+        method: &M,
+        config: &EngineConfig,
+    ) -> Result<(), SgclError> {
         if self.method != method.name() {
             return Err(SgclError::mismatch(
                 "resume",

@@ -25,7 +25,7 @@ pub struct DatasetFile {
 }
 
 /// One graph in the on-disk format.
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GraphRecord {
     /// Node count.
     pub num_nodes: usize,
@@ -38,12 +38,16 @@ pub struct GraphRecord {
     /// Discrete node tags.
     pub node_tags: Vec<u32>,
     /// Class label, if single-label.
+    #[serde(default)]
     pub class: Option<usize>,
     /// Multi-task labels, if multi-task (`None` = missing).
+    #[serde(default)]
     pub multitask: Option<Vec<Option<bool>>>,
     /// Scaffold id.
+    #[serde(default)]
     pub scaffold: Option<u32>,
     /// Ground-truth semantic mask (synthetic data only).
+    #[serde(default)]
     pub semantic_mask: Option<Vec<bool>>,
 }
 

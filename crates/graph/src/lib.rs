@@ -9,6 +9,8 @@
 //!   encoding of many graphs;
 //! * [`augment`] — Definition 3's node-dropping operator in all three cases
 //!   plus GraphCL's edge-perturbation / attribute-masking / subgraph ops;
+//! * [`hash`] — deterministic 128-bit content digests (embedding-cache
+//!   keys for the serving layer);
 //! * [`metrics`] — dataset statistics, topology distances, and semantic
 //!   preservation scores.
 
@@ -17,7 +19,9 @@
 pub mod augment;
 pub mod batch;
 pub mod graph;
+pub mod hash;
 pub mod metrics;
 
 pub use batch::GraphBatch;
 pub use graph::{Graph, GraphLabel};
+pub use hash::{content_hash, ContentHash};

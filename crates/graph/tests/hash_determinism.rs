@@ -1,0 +1,84 @@
+//! Determinism of the graph content hash: the serving layer's embedding
+//! cache is only sound if a graph hashes identically regardless of the
+//! edge order it was constructed from, the kernel thread-pool
+//! configuration, and which thread computes the digest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_graph::{content_hash, ContentHash, Graph};
+use sgcl_tensor::{set_num_threads, Matrix};
+
+/// A deterministic pseudo-random graph, with edges listed in a seed-driven
+/// (arbitrary) order so `Graph::new` has real canonicalisation work to do.
+fn random_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(5usize..30);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(0.3) {
+                // random orientation; Graph::new must normalise it away
+                if rng.gen_bool(0.5) {
+                    edges.push((u, v));
+                } else {
+                    edges.push((v, u));
+                }
+            }
+        }
+    }
+    let d = rng.gen_range(2usize..6);
+    let data = (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let tags = (0..n).map(|_| rng.gen_range(0u32..7)).collect();
+    Graph::new(n, edges, Matrix::from_vec(n, d, data)).with_tags(tags)
+}
+
+/// Same content, different edge-list permutations → same hash.
+#[test]
+fn permuted_edge_lists_hash_equally() {
+    for seed in 0..20 {
+        let g = random_graph(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut edges = g.edges().to_vec();
+        // Fisher-Yates shuffle + random re-orientation
+        for i in (1..edges.len()).rev() {
+            let j = rng.gen_range(0usize..=i);
+            edges.swap(i, j);
+        }
+        let edges = edges
+            .into_iter()
+            .map(|(u, v)| if rng.gen_bool(0.5) { (v, u) } else { (u, v) })
+            .collect();
+        let permuted =
+            Graph::new(g.num_nodes(), edges, g.features.clone()).with_tags(g.node_tags.clone());
+        assert_eq!(content_hash(&g), content_hash(&permuted), "seed {seed}");
+    }
+}
+
+/// The digest is invariant under the tensor thread-pool size and under
+/// being computed concurrently from many threads.
+#[test]
+fn hash_is_thread_count_invariant() {
+    let graphs: Vec<Graph> = (0..8).map(random_graph).collect();
+
+    let reference: Vec<ContentHash> = {
+        set_num_threads(1);
+        graphs.iter().map(content_hash).collect()
+    };
+
+    for threads in [2, 4, 8] {
+        set_num_threads(threads);
+        let got: Vec<ContentHash> = graphs.iter().map(content_hash).collect();
+        assert_eq!(reference, got, "digest changed at {threads} threads");
+    }
+
+    // concurrent hashing from plain std threads
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let graphs: Vec<Graph> = (0..8).map(random_graph).collect();
+            std::thread::spawn(move || graphs.iter().map(content_hash).collect::<Vec<_>>())
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(reference, h.join().expect("hash thread panicked"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Micro-batching queue: coalesces concurrent embed requests into
+//! single-forward-pass batches.
+//!
+//! Connection threads [`submit`](Batcher::submit) jobs; worker threads
+//! block on the queue, and on wake collect up to `max_batch` jobs *for
+//! the same model*, waiting at most `max_wait` after the first job for
+//! stragglers. Each batch runs one [`ModelEntry::embed`] call — a single
+//! block-diagonal `GraphBatch` forward through the threaded kernels —
+//! instead of one forward per request.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sgcl_common::proto::{WireCode, WireError};
+use sgcl_graph::{ContentHash, Graph};
+
+use crate::cache::LruCache;
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::ServeStats;
+
+/// A successfully embedded request.
+pub struct Embedded {
+    /// The graph-level embedding row.
+    pub embedding: Vec<f32>,
+    /// Whether it came from the cache (always false for batcher replies;
+    /// cache hits never reach the queue).
+    pub cached: bool,
+    /// Size of the micro-batch that computed it (0 for cache hits).
+    pub batch_size: usize,
+}
+
+/// Reply sent back to the waiting connection thread.
+pub type JobReply = Result<Embedded, WireError>;
+
+/// One queued embed request.
+pub struct Job {
+    /// Registry index of the target model.
+    pub model: usize,
+    /// The validated graph to embed.
+    pub graph: Graph,
+    /// Content digest (cache key; already known to be a miss).
+    pub hash: ContentHash,
+    /// Queue deadline; jobs still unprocessed past it are dropped with
+    /// [`WireCode::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Where to send the result.
+    pub reply: Sender<JobReply>,
+}
+
+struct BatchQueue {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The shared micro-batching queue.
+pub struct Batcher {
+    state: Mutex<BatchQueue>,
+    available: Condvar,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+impl Batcher {
+    /// Creates an empty queue; batches hold at most `max_batch` jobs and
+    /// wait at most `max_wait_ms` after the first job before dispatching.
+    pub fn new(max_batch: usize, max_wait_ms: u64) -> Self {
+        Batcher {
+            state: Mutex::new(BatchQueue {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            max_batch: max_batch.max(1),
+            max_wait: Duration::from_millis(max_wait_ms),
+        }
+    }
+
+    /// Enqueues a job; fails once the queue is shutting down.
+    pub fn submit(&self, job: Job) -> Result<(), WireError> {
+        let mut st = self.state.lock().expect("batcher lock poisoned");
+        if st.shutdown {
+            return Err(WireError::new(
+                WireCode::ShuttingDown,
+                "server is shutting down",
+            ));
+        }
+        st.queue.push_back(job);
+        drop(st);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Stops accepting jobs and wakes every worker; already-queued jobs
+    /// are still drained before the workers exit.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("batcher lock poisoned").shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Worker thread body: collect → embed → reply, until shutdown *and*
+    /// an empty queue.
+    pub fn run_worker(
+        &self,
+        registry: &ModelRegistry,
+        cache: &Mutex<LruCache>,
+        stats: &ServeStats,
+    ) {
+        while let Some(batch) = self.next_batch() {
+            let size = batch.len();
+            stats.record_batch(size);
+            let model = &registry.entries()[batch[0].model];
+            run_batch(model, batch, cache, stats);
+        }
+    }
+
+    /// Blocks for the next micro-batch; `None` means shut down and drained.
+    fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut st = self.state.lock().expect("batcher lock poisoned");
+        let first = loop {
+            if let Some(job) = st.queue.pop_front() {
+                break job;
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.available.wait(st).expect("batcher lock poisoned");
+        };
+
+        let model = first.model;
+        let mut batch = vec![first];
+        let dispatch_at = Instant::now() + self.max_wait;
+        loop {
+            // take queued jobs for the same model, leaving others in place
+            let mut i = 0;
+            while batch.len() < self.max_batch && i < st.queue.len() {
+                if st.queue[i].model == model {
+                    batch.push(st.queue.remove(i).expect("index checked"));
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.len() >= self.max_batch || st.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= dispatch_at {
+                break;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(st, dispatch_at - now)
+                .expect("batcher lock poisoned");
+            st = guard;
+        }
+        Some(batch)
+    }
+}
+
+/// Embeds one micro-batch and replies to every job in it.
+fn run_batch(model: &ModelEntry, batch: Vec<Job>, cache: &Mutex<LruCache>, stats: &ServeStats) {
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = batch.into_iter().partition(|j| match j.deadline {
+        Some(d) => now < d,
+        None => true,
+    });
+    for job in expired {
+        let _ = job.reply.send(Err(WireError::new(
+            WireCode::DeadlineExceeded,
+            "request expired in queue before a worker picked it up",
+        )));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let size = live.len();
+    let graphs: Vec<Graph> = live.iter().map(|j| j.graph.clone()).collect();
+    let rows = catch_unwind(AssertUnwindSafe(|| model.embed(&graphs)));
+    let rows = match rows {
+        Ok(m) => m,
+        Err(_) => {
+            for job in live {
+                let _ = job.reply.send(Err(WireError::new(
+                    WireCode::Internal,
+                    "embedding worker panicked on this batch",
+                )));
+            }
+            return;
+        }
+    };
+
+    stats
+        .embedded
+        .fetch_add(size as u64, std::sync::atomic::Ordering::Relaxed);
+    let mut cache = cache.lock().expect("cache lock poisoned");
+    for (i, job) in live.into_iter().enumerate() {
+        let row = rows.row(i).to_vec();
+        if row.iter().all(|x| x.is_finite()) {
+            cache.insert((job.model, job.hash), row.clone());
+            let _ = job.reply.send(Ok(Embedded {
+                embedding: row,
+                cached: false,
+                batch_size: size,
+            }));
+        } else {
+            let _ = job.reply.send(Err(WireError::new(
+                WireCode::Diverged,
+                "embedding contains non-finite values",
+            )));
+        }
+    }
+}

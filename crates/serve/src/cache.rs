@@ -1,0 +1,233 @@
+//! LRU embedding cache keyed by graph content.
+//!
+//! Keys are `(model index, content hash)` pairs: the same graph served by
+//! two models must cache two embeddings. The hash is the deterministic
+//! 128-bit digest from [`sgcl_graph::content_hash`], so cache keys are
+//! stable across runs, platforms, and thread counts. Entries form an
+//! intrusive doubly-linked recency list over a slab, giving O(1) get,
+//! insert, and eviction.
+
+use std::collections::HashMap;
+
+use sgcl_graph::ContentHash;
+
+/// Cache key: registry index of the model plus the graph digest.
+pub type CacheKey = (usize, ContentHash);
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: CacheKey,
+    value: Vec<f32>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from graph content to its
+/// embedding, with hit/miss counters.
+///
+/// Capacity 0 disables caching: every lookup misses and inserts are
+/// dropped.
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates an empty cache holding at most `capacity` embeddings.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached embeddings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime `(hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up an embedding, marking the entry most-recently-used and
+    /// bumping the hit/miss counters.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&[f32]> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(&self.slots[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an embedding, evicting the least-recently-used entry when
+    /// full. Re-inserting an existing key refreshes its value and recency.
+    pub fn insert(&mut self, key: CacheKey, value: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+        }
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].next = self.head;
+        self.slots[slot].prev = NIL;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u128) -> CacheKey {
+        (0, ContentHash(n))
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), vec![1.0]);
+        assert_eq!(c.get(&key(1)), Some(&[1.0f32][..]));
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(key(1), vec![1.0]);
+        c.insert(key(2), vec![2.0]);
+        // touch 1 so 2 becomes LRU
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), vec![3.0]);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(key(1), vec![1.0]);
+        c.insert(key(2), vec![2.0]);
+        c.insert(key(1), vec![1.5]);
+        c.insert(key(3), vec![3.0]); // evicts 2, not 1
+        assert_eq!(c.get(&key(1)), Some(&[1.5f32][..]));
+        assert!(c.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn distinguishes_models_with_same_graph() {
+        let mut c = LruCache::new(4);
+        c.insert((0, ContentHash(7)), vec![0.0]);
+        c.insert((1, ContentHash(7)), vec![1.0]);
+        assert_eq!(c.get(&(0, ContentHash(7))), Some(&[0.0f32][..]));
+        assert_eq!(c.get(&(1, ContentHash(7))), Some(&[1.0f32][..]));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(key(1), vec![1.0]);
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.counters(), (0, 1));
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction_stays_consistent() {
+        let mut c = LruCache::new(3);
+        for i in 0..50u128 {
+            c.insert(key(i), vec![i as f32]);
+            if i >= 2 {
+                // the two most recent predecessors must still be present
+                assert!(c.get(&key(i - 1)).is_some(), "i={i}");
+                assert!(c.get(&key(i)).is_some(), "i={i}");
+            }
+        }
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! A small blocking client for the serving protocol, used by the e2e
+//! tests and the `serve` load-generator bench.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sgcl_common::SgclError;
+use sgcl_data::io::GraphRecord;
+use sgcl_graph::Graph;
+
+use crate::protocol::{encode_line, Request, Response};
+
+/// One connection to a running `sgcl serve` instance.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, SgclError> {
+        let writer = TcpStream::connect(&addr)
+            .map_err(|e| SgclError::io(format!("connect to {addr:?}"), e))?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(
+            writer
+                .try_clone()
+                .map_err(|e| SgclError::io("clone client socket", e))?,
+        );
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and reads the matching response line.
+    pub fn request(&mut self, mut request: Request) -> Result<Response, SgclError> {
+        if request.id == 0 {
+            request.id = self.next_id;
+            self.next_id += 1;
+        }
+        let line = encode_line(&request)?;
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| SgclError::io("send request", e))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| SgclError::io("read response", e))?;
+        if n == 0 {
+            return Err(SgclError::io(
+                "read response",
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ),
+            ));
+        }
+        serde_json::from_str(reply.trim_end()).map_err(|e| SgclError::parse("server response", e))
+    }
+
+    /// Embeds one graph, optionally naming the model.
+    pub fn embed(&mut self, model: Option<&str>, graph: &Graph) -> Result<Response, SgclError> {
+        self.request(Request {
+            id: 0,
+            op: sgcl_common::proto::op::EMBED.to_string(),
+            model: model.map(|m| m.to_string()),
+            graph: Some(GraphRecord::from(graph)),
+        })
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<Response, SgclError> {
+        self.simple(sgcl_common::proto::op::PING)
+    }
+
+    /// Fetches server metadata and counters.
+    pub fn info(&mut self) -> Result<Response, SgclError> {
+        self.simple(sgcl_common::proto::op::INFO)
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<Response, SgclError> {
+        self.simple(sgcl_common::proto::op::SHUTDOWN)
+    }
+
+    fn simple(&mut self, op: &str) -> Result<Response, SgclError> {
+        self.request(Request {
+            id: 0,
+            op: op.to_string(),
+            model: None,
+            graph: None,
+        })
+    }
+}

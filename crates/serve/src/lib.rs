@@ -1,0 +1,128 @@
+//! # sgcl-serve
+//!
+//! An embedding inference service for trained SGCL (and baseline)
+//! checkpoints. The server speaks newline-delimited JSON over TCP — one
+//! request object per line, one response per line, correlated by `id` —
+//! and is built from four pieces:
+//!
+//! * [`registry::ModelRegistry`] — named read-only models restored from
+//!   checkpoint-v2 files, dataset-free;
+//! * [`batcher::Batcher`] — a micro-batching queue that coalesces
+//!   concurrent requests into single block-diagonal `GraphBatch` forward
+//!   passes through the threaded kernels;
+//! * [`cache::LruCache`] — an LRU embedding cache keyed by deterministic
+//!   128-bit graph content digests, with hit/miss counters;
+//! * [`server`] — the accept loop, per-connection handlers, per-request
+//!   deadlines, and graceful shutdown.
+//!
+//! Wire semantics (operations, stable error codes mirroring the CLI's
+//! exit codes, line-length limits) are defined in [`sgcl_common::proto`];
+//! served embeddings are bit-identical to the offline `sgcl embed`
+//! command because both end at `sgcl_gnn::embed_graphs`.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub use client::Client;
+pub use server::{start, ServerHandle};
+
+use crate::protocol::StatsBody;
+
+/// Server configuration; [`Default`] gives the documented CLI defaults
+/// with an OS-assigned port and no models (callers must fill `models`).
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7878"`; port 0 lets the OS pick.
+    pub addr: String,
+    /// `(name, checkpoint path)` pairs; the first model is the default.
+    pub models: Vec<(String, PathBuf)>,
+    /// Largest micro-batch a worker will embed in one forward pass.
+    pub max_batch: usize,
+    /// How long a worker waits after the first queued request for more
+    /// requests to coalesce, in milliseconds.
+    pub max_wait_ms: u64,
+    /// Embedding-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Embedding worker threads.
+    pub workers: usize,
+    /// Per-request deadline in milliseconds; 0 disables deadlines.
+    pub deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            models: Vec::new(),
+            max_batch: 32,
+            max_wait_ms: 2,
+            cache_capacity: 1024,
+            workers: 2,
+            deadline_ms: 5000,
+        }
+    }
+}
+
+/// Lifetime serving counters, updated lock-free on the hot path (the
+/// batch-size histogram takes a short lock per batch, not per request).
+pub struct ServeStats {
+    /// Requests received, all operations.
+    pub requests: AtomicU64,
+    /// Graphs embedded by the worker pool (cache misses that completed).
+    pub embedded: AtomicU64,
+    /// Error replies sent.
+    pub errors: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    histogram: Mutex<Vec<u64>>,
+}
+
+impl ServeStats {
+    /// Fresh zeroed counters with histogram buckets `1..=max_batch`.
+    pub fn new(max_batch: usize) -> Self {
+        ServeStats {
+            requests: AtomicU64::new(0),
+            embedded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            histogram: Mutex::new(vec![0; max_batch.max(1)]),
+        }
+    }
+
+    /// Records one executed micro-batch of `size` jobs.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let mut hist = self.histogram.lock().expect("stats lock poisoned");
+        let idx = size.saturating_sub(1).min(hist.len().saturating_sub(1));
+        hist[idx] += 1;
+    }
+
+    /// Snapshot for `info` replies; cache counters are passed in because
+    /// the cache keeps them under its own lock.
+    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> StatsBody {
+        StatsBody {
+            requests: self.requests.load(Ordering::Relaxed),
+            embedded: self.embedded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_histogram: self.histogram.lock().expect("stats lock poisoned").clone(),
+        }
+    }
+}
+
+// the registry is shared read-only across worker and connection threads;
+// this fails to compile if a model type ever grows an Rc/RefCell
+fn _assert_registry_is_shareable(r: &registry::ModelRegistry) -> &(dyn Send + Sync) {
+    r as _
+}

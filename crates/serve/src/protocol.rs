@@ -1,0 +1,168 @@
+//! JSON encoding of the serving protocol.
+//!
+//! Semantics (operation names, error codes, limits) live in
+//! [`sgcl_common::proto`]; this module is only the serde layer. Requests
+//! and responses are single-line JSON objects, correlated by the
+//! client-chosen `id` field.
+
+use serde::{Deserialize, Serialize};
+use sgcl_common::proto::{WireCode, WireError};
+use sgcl_common::SgclError;
+use sgcl_data::io::GraphRecord;
+
+/// One request line.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Operation name (see [`sgcl_common::proto::op`]).
+    pub op: String,
+    /// Model name for `embed`; omitted = the server's default model.
+    #[serde(default)]
+    pub model: Option<String>,
+    /// Graph payload for `embed`, in the dataset-file record format.
+    #[serde(default)]
+    pub graph: Option<GraphRecord>,
+}
+
+/// One response line.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id copied from the request (0 if the request line was
+    /// unparseable).
+    #[serde(default)]
+    pub id: u64,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Model that produced the embedding (`embed` only).
+    #[serde(default)]
+    pub model: Option<String>,
+    /// The graph-level embedding (`embed` only).
+    #[serde(default)]
+    pub embedding: Option<Vec<f32>>,
+    /// Whether the embedding came from the cache (`embed` only).
+    #[serde(default)]
+    pub cached: Option<bool>,
+    /// Size of the micro-batch this request was embedded in (`embed`
+    /// only; cache hits report 0).
+    #[serde(default)]
+    pub batch_size: Option<usize>,
+    /// Error details when `ok` is false.
+    #[serde(default)]
+    pub error: Option<ErrorBody>,
+    /// Server metadata (`info` only).
+    #[serde(default)]
+    pub info: Option<InfoBody>,
+}
+
+/// Error details carried on failure replies.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable numeric code (see [`sgcl_common::proto::WireCode`]).
+    pub code: u32,
+    /// Machine-readable class name ("parse", "mismatch", …).
+    pub class: String,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+/// Server metadata returned by the `info` operation.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct InfoBody {
+    /// Protocol revision.
+    pub protocol: u32,
+    /// Served models, in registry order (first = default).
+    pub models: Vec<ModelInfo>,
+    /// Serving counters since startup.
+    pub stats: StatsBody,
+}
+
+/// One served model.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name (used in the request `model` field).
+    pub name: String,
+    /// Training method recorded in the checkpoint.
+    pub method: String,
+    /// Expected node-feature dimension.
+    pub input_dim: usize,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Message-passing layers.
+    pub num_layers: usize,
+}
+
+/// Serving counters.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Total requests received (all operations).
+    pub requests: u64,
+    /// Graphs embedded by the worker pool (cache misses).
+    pub embedded: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses.
+    pub cache_misses: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Histogram of micro-batch sizes: `batch_histogram[i]` counts
+    /// batches of size `i + 1`.
+    pub batch_histogram: Vec<u64>,
+}
+
+impl Response {
+    /// A success reply skeleton.
+    pub fn ok(id: u64) -> Self {
+        Response {
+            id,
+            ok: true,
+            model: None,
+            embedding: None,
+            cached: None,
+            batch_size: None,
+            error: None,
+            info: None,
+        }
+    }
+
+    /// An error reply for `err`.
+    pub fn error(id: u64, err: &WireError) -> Self {
+        Response {
+            id,
+            ok: false,
+            model: None,
+            embedding: None,
+            cached: None,
+            batch_size: None,
+            error: Some(ErrorBody {
+                code: u32::from(err.code.as_u8()),
+                class: err.code.class().to_string(),
+                message: err.message.clone(),
+            }),
+            info: None,
+        }
+    }
+
+    /// Decodes the error body back into a [`WireError`]-shaped pair.
+    /// Returns `None` on success replies.
+    pub fn wire_error(&self) -> Option<(u32, &str)> {
+        self.error.as_ref().map(|e| (e.code, e.message.as_str()))
+    }
+}
+
+/// Parses one request line, mapping JSON failures to [`WireCode::Parse`].
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    serde_json::from_str(line)
+        .map_err(|e| WireError::new(WireCode::Parse, format!("bad request line: {e}")))
+}
+
+/// Encodes a message as a single JSON line (no trailing newline).
+///
+/// Serialisation of these plain-data types cannot fail; an error here
+/// would be a bug, so it is escalated as [`SgclError::invalid_data`].
+pub fn encode_line<T: Serialize>(msg: &T) -> Result<String, SgclError> {
+    serde_json::to_string(msg).map_err(|e| SgclError::invalid_data("encode protocol line", e))
+}

@@ -1,0 +1,238 @@
+//! Model registry: named, read-only trained encoders loaded from
+//! checkpoint files.
+//!
+//! Unlike the offline CLI (which loads the evaluation dataset anyway and
+//! can borrow its graphs), the server restores checkpoints *dataset-free*:
+//!
+//! * `sgcl` checkpoints rebuild the full [`SgclModel`] via
+//!   [`Checkpoint::restore`] with the architecture recorded in the file;
+//! * baseline checkpoints rebuild just the encoder tower. The encoder's
+//!   parameter-name prefix (`baseline.enc`, `infograph.enc`, …) is read
+//!   off the stored names, a fresh GIN of the recorded shape is registered
+//!   under that prefix, and [`Checkpoint::restore_named_into`] overwrites
+//!   its parameters by name — auxiliary method towers (discriminators,
+//!   projection heads) are simply never rebuilt.
+//!
+//! Both paths end at the shared [`sgcl_gnn::embed_graphs`] routine with
+//! sum pooling (the paper's readout, also assumed by the offline `embed`
+//! command), so served embeddings are bit-identical to offline ones.
+
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_baselines::TrainedEncoder;
+use sgcl_common::SgclError;
+use sgcl_core::{Checkpoint, SgclModel};
+use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling};
+use sgcl_graph::Graph;
+use sgcl_tensor::{Matrix, ParamStore};
+
+enum LoadedModel {
+    Sgcl(SgclModel),
+    Encoder(TrainedEncoder),
+}
+
+/// One served model: checkpoint metadata plus the restored encoder.
+pub struct ModelEntry {
+    /// Registry name (checkpoint file stem unless overridden).
+    pub name: String,
+    /// Training method recorded in the checkpoint (`"sgcl"`, `"graphcl"`, …).
+    pub method: String,
+    /// Expected node-feature dimension; requests are validated against it.
+    pub input_dim: usize,
+    /// Hidden width of the encoder.
+    pub hidden_dim: usize,
+    /// Number of message-passing layers.
+    pub num_layers: usize,
+    model: LoadedModel,
+}
+
+impl ModelEntry {
+    /// Embeds a batch of graphs (one row per graph).
+    pub fn embed(&self, graphs: &[Graph]) -> Matrix {
+        match &self.model {
+            LoadedModel::Sgcl(m) => m.embed(graphs),
+            LoadedModel::Encoder(m) => m.embed(graphs),
+        }
+    }
+}
+
+/// An immutable set of named models, shared read-only by all workers.
+pub struct ModelRegistry {
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// Loads every `(name, path)` pair; names must be unique and the list
+    /// non-empty. Errors carry the offending checkpoint path as context.
+    pub fn load(specs: &[(String, std::path::PathBuf)]) -> Result<Self, SgclError> {
+        if specs.is_empty() {
+            return Err(SgclError::usage("no models to serve (use --model)"));
+        }
+        let mut entries = Vec::with_capacity(specs.len());
+        for (name, path) in specs {
+            if entries.iter().any(|e: &ModelEntry| &e.name == name) {
+                return Err(SgclError::usage(format!("duplicate model name {name:?}")));
+            }
+            entries.push(load_entry(name, path)?);
+        }
+        Ok(ModelRegistry { entries })
+    }
+
+    /// Served models in load order; index 0 is the default model.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// Resolves a request's model name (`None` = default model) to its
+    /// registry index and entry.
+    pub fn resolve(&self, name: Option<&str>) -> Result<(usize, &ModelEntry), SgclError> {
+        match name {
+            None => Ok((0, &self.entries[0])),
+            Some(n) => self
+                .entries
+                .iter()
+                .position(|e| e.name == n)
+                .map(|i| (i, &self.entries[i]))
+                .ok_or_else(|| {
+                    let served: Vec<&str> = self.entries.iter().map(|e| e.name.as_str()).collect();
+                    SgclError::mismatch(
+                        "model lookup",
+                        format!("no model named {n:?} (serving: {})", served.join(", ")),
+                    )
+                }),
+        }
+    }
+}
+
+fn load_entry(name: &str, path: &Path) -> Result<ModelEntry, SgclError> {
+    let ckpt = Checkpoint::load(path)
+        .map_err(|e| e.with_context(format!("checkpoint {}", path.display())))?;
+    let model = if ckpt.method == "sgcl" {
+        LoadedModel::Sgcl(ckpt.restore(ckpt.sgcl_config())?)
+    } else {
+        LoadedModel::Encoder(restore_encoder(&ckpt)?)
+    };
+    Ok(ModelEntry {
+        name: name.to_string(),
+        method: ckpt.method.clone(),
+        input_dim: ckpt.input_dim,
+        hidden_dim: ckpt.hidden_dim,
+        num_layers: ckpt.num_layers,
+        model,
+    })
+}
+
+/// Rebuilds just the encoder tower of a baseline checkpoint, dataset-free.
+fn restore_encoder(ckpt: &Checkpoint) -> Result<TrainedEncoder, SgclError> {
+    // Every encoder parameter is registered as "{prefix}.layer{l}...."; read
+    // the prefix off the stored names instead of hard-coding per method.
+    let prefix = ckpt
+        .names
+        .iter()
+        .find_map(|n| n.split_once(".layer").map(|(p, _)| p))
+        .ok_or_else(|| {
+            SgclError::invalid_data(
+                "restore encoder",
+                format!("no encoder layers among {} parameters", ckpt.names.len()),
+            )
+        })?;
+    let mut store = ParamStore::new();
+    // seed irrelevant: every registered parameter is overwritten below
+    let mut rng = StdRng::seed_from_u64(0);
+    let encoder = GnnEncoder::new(
+        prefix,
+        &mut store,
+        EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: ckpt.input_dim,
+            hidden_dim: ckpt.hidden_dim,
+            num_layers: ckpt.num_layers,
+        },
+        &mut rng,
+    );
+    ckpt.restore_named_into(&mut store)?;
+    Ok(TrainedEncoder {
+        store,
+        encoder,
+        pooling: Pooling::Sum,
+    })
+}
+
+/// Parses `--models name=path,name=path` / `--model path` CLI values into
+/// registry specs; a bare path takes its file stem as the name.
+pub fn parse_model_specs(
+    model: Option<&str>,
+    models: Option<&str>,
+) -> Result<Vec<(String, std::path::PathBuf)>, SgclError> {
+    let mut specs = Vec::new();
+    if let Some(path) = model {
+        specs.push(spec_from(path, None)?);
+    }
+    if let Some(list) = models {
+        for item in list.split(',').filter(|s| !s.is_empty()) {
+            match item.split_once('=') {
+                Some((name, path)) => specs.push(spec_from(path, Some(name))?),
+                None => specs.push(spec_from(item, None)?),
+            }
+        }
+    }
+    if specs.is_empty() {
+        return Err(SgclError::usage(
+            "serve requires --model <checkpoint> or --models name=path[,name=path...]",
+        ));
+    }
+    Ok(specs)
+}
+
+fn spec_from(path: &str, name: Option<&str>) -> Result<(String, std::path::PathBuf), SgclError> {
+    let pb = std::path::PathBuf::from(path);
+    let name = match name {
+        Some(n) if !n.is_empty() => n.to_string(),
+        Some(_) => return Err(SgclError::usage(format!("empty model name in {path:?}"))),
+        None => pb
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(|s| s.to_string())
+            .ok_or_else(|| {
+                SgclError::usage(format!("cannot derive a model name from path {path:?}"))
+            })?,
+    };
+    Ok((name, pb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_model_spec_lists() {
+        let specs = parse_model_specs(Some("out/ckpt.json"), None).unwrap();
+        assert_eq!(specs[0].0, "ckpt");
+        let specs =
+            parse_model_specs(None, Some("a=x/one.json,b=y/two.json,z/three.json")).unwrap();
+        assert_eq!(
+            specs.iter().map(|s| s.0.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "three"]
+        );
+        assert!(parse_model_specs(None, None).is_err());
+        assert!(parse_model_specs(None, Some("=x/one.json")).is_err());
+    }
+
+    #[test]
+    fn missing_checkpoint_reports_io_with_path() {
+        let err = match ModelRegistry::load(&[(
+            "m".to_string(),
+            std::path::PathBuf::from("/nonexistent/ckpt.json"),
+        )]) {
+            Err(e) => e,
+            Ok(_) => panic!("loading a nonexistent checkpoint must fail"),
+        };
+        assert_eq!(err.exit_code(), 3, "missing file must be an Io error");
+        assert!(
+            err.to_string().contains("/nonexistent/ckpt.json"),
+            "error must name the path: {err}"
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! The TCP server: accept loop, per-connection handlers, worker pool,
+//! and graceful shutdown.
+//!
+//! Each connection is handled by one thread that reads request lines,
+//! validates them, and either answers from the cache or parks on a reply
+//! channel while the micro-batcher embeds. Shutdown (the `shutdown`
+//! operation, or [`ServerHandle::stop`]) flips one flag: the accept loop
+//! stops taking connections, connection threads notice at their next read
+//! timeout and exit, and the batcher drains queued work before the
+//! workers stop.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sgcl_common::proto::{op, WireCode, WireError, MAX_LINE_BYTES, PROTOCOL_VERSION};
+use sgcl_common::SgclError;
+use sgcl_graph::content_hash;
+
+use crate::batcher::{Batcher, Job};
+use crate::cache::LruCache;
+use crate::protocol::{encode_line, parse_request, InfoBody, ModelInfo, Request, Response};
+use crate::registry::ModelRegistry;
+use crate::{ServeConfig, ServeStats};
+
+/// How often blocked reads / the accept loop re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Shared server state.
+pub(crate) struct ServerCtx {
+    pub(crate) registry: ModelRegistry,
+    pub(crate) cache: Mutex<LruCache>,
+    pub(crate) batcher: Batcher,
+    pub(crate) stats: ServeStats,
+    pub(crate) shutdown: AtomicBool,
+    deadline: Option<Duration>,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`stop`](ServerHandle::stop) or [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Summaries of the served models, in registry order (first is the
+    /// default model).
+    pub fn models(&self) -> Vec<ModelInfo> {
+        self.ctx
+            .registry
+            .entries()
+            .iter()
+            .map(|e| ModelInfo {
+                name: e.name.clone(),
+                method: e.method.clone(),
+                input_dim: e.input_dim,
+                hidden_dim: e.hidden_dim,
+                num_layers: e.num_layers,
+            })
+            .collect()
+    }
+
+    /// Requests shutdown and waits for connections and workers to finish.
+    pub fn stop(self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+
+    /// Waits until the server stops on its own (a client sends the
+    /// `shutdown` operation).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Binds, loads every model, and starts the accept loop plus worker pool.
+pub fn start(config: ServeConfig) -> Result<ServerHandle, SgclError> {
+    let registry = ModelRegistry::load(&config.models)?;
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| SgclError::io(format!("bind {}", config.addr), e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| SgclError::io("set listener non-blocking", e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| SgclError::io("query bound address", e))?;
+
+    let max_batch = config.max_batch.max(1);
+    let ctx = Arc::new(ServerCtx {
+        registry,
+        cache: Mutex::new(LruCache::new(config.cache_capacity)),
+        batcher: Batcher::new(max_batch, config.max_wait_ms),
+        stats: ServeStats::new(max_batch),
+        shutdown: AtomicBool::new(false),
+        deadline: (config.deadline_ms > 0).then(|| Duration::from_millis(config.deadline_ms)),
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || {
+                ctx.batcher
+                    .run_worker(&ctx.registry, &ctx.cache, &ctx.stats)
+            })
+        })
+        .collect();
+
+    let accept_ctx = Arc::clone(&ctx);
+    let accept = std::thread::spawn(move || {
+        accept_loop(listener, accept_ctx, workers);
+    });
+
+    Ok(ServerHandle { addr, ctx, accept })
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>, workers: Vec<JoinHandle<()>>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let ctx = Arc::clone(&ctx);
+                conns.push(std::thread::spawn(move || handle_conn(stream, &ctx)));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    // teardown order matters: connections first (no more submissions),
+    // then the batcher drains, then the workers exit
+    for conn in conns {
+        let _ = conn.join();
+    }
+    ctx.batcher.shutdown();
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, ctx: &ServerCtx) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_line(&mut stream, &mut pending, ctx) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // EOF or server shutdown
+            Err(reply) => {
+                // oversized line: reply once, then drop the connection
+                // (framing is lost, so it cannot be resynchronised)
+                write_response(&mut stream, &reply, &ctx.stats);
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, stop_after) = handle_request(&line, ctx);
+        if !write_response(&mut stream, &response, &ctx.stats) {
+            return;
+        }
+        if stop_after {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, polling the shutdown flag while idle.
+/// `Ok(None)` = EOF or shutdown; `Err` carries the ready-made error reply
+/// for a line that exceeded [`MAX_LINE_BYTES`].
+fn read_line(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    ctx: &ServerCtx,
+) -> Result<Option<String>, Box<Response>> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = pending.drain(..=pos).collect();
+            line.pop(); // the \n
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        if pending.len() > MAX_LINE_BYTES {
+            return Err(Box::new(Response::error(
+                0,
+                &WireError::new(
+                    WireCode::Parse,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                ),
+            )));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+/// Writes one response line; returns false if the client is gone.
+fn write_response(stream: &mut TcpStream, response: &Response, stats: &ServeStats) -> bool {
+    if !response.ok {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let line = match encode_line(response) {
+        Ok(line) => line,
+        Err(_) => return false,
+    };
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .is_ok()
+}
+
+/// Dispatches one parsed request. The bool asks the connection loop to
+/// initiate server shutdown after replying.
+fn handle_request(line: &str, ctx: &ServerCtx) -> (Response, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (Response::error(0, &e), false),
+    };
+    let id = request.id;
+    match request.op.as_str() {
+        op::PING => (Response::ok(id), false),
+        op::INFO => (info_response(id, ctx), false),
+        op::SHUTDOWN => (Response::ok(id), true),
+        op::EMBED => (embed_response(id, request, ctx), false),
+        other => (
+            Response::error(
+                id,
+                &WireError::new(WireCode::Usage, format!("unknown operation {other:?}")),
+            ),
+            false,
+        ),
+    }
+}
+
+fn info_response(id: u64, ctx: &ServerCtx) -> Response {
+    let models = ctx
+        .registry
+        .entries()
+        .iter()
+        .map(|e| ModelInfo {
+            name: e.name.clone(),
+            method: e.method.clone(),
+            input_dim: e.input_dim,
+            hidden_dim: e.hidden_dim,
+            num_layers: e.num_layers,
+        })
+        .collect();
+    let (hits, misses) = ctx.cache.lock().expect("cache lock poisoned").counters();
+    let mut response = Response::ok(id);
+    response.info = Some(InfoBody {
+        protocol: PROTOCOL_VERSION,
+        models,
+        stats: ctx.stats.snapshot(hits, misses),
+    });
+    response
+}
+
+fn embed_response(id: u64, request: Request, ctx: &ServerCtx) -> Response {
+    match try_embed(request, ctx) {
+        Ok(response) => {
+            let mut response = response;
+            response.id = id;
+            response
+        }
+        Err(e) => Response::error(id, &e),
+    }
+}
+
+fn try_embed(request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
+    let record = request
+        .graph
+        .ok_or_else(|| WireError::new(WireCode::Usage, "embed requires a \"graph\" payload"))?;
+    let graph = record.into_graph().map_err(|e| WireError::from(&e))?;
+    if graph.num_nodes() == 0 {
+        return Err(WireError::new(
+            WireCode::InvalidData,
+            "cannot embed an empty graph",
+        ));
+    }
+    let (model_idx, entry) = ctx
+        .registry
+        .resolve(request.model.as_deref())
+        .map_err(|e| WireError::from(&e))?;
+    if graph.features.cols() != entry.input_dim {
+        return Err(WireError::new(
+            WireCode::Mismatch,
+            format!(
+                "graph feature dim {} != model {:?} input dim {}",
+                graph.features.cols(),
+                entry.name,
+                entry.input_dim
+            ),
+        ));
+    }
+
+    let hash = content_hash(&graph);
+    if let Some(row) = ctx
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .get(&(model_idx, hash))
+    {
+        let mut response = Response::ok(0);
+        response.model = Some(entry.name.clone());
+        response.embedding = Some(row.to_vec());
+        response.cached = Some(true);
+        response.batch_size = Some(0);
+        return Ok(response);
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let deadline = ctx.deadline.map(|d| Instant::now() + d);
+    let job = Job {
+        model: model_idx,
+        graph,
+        hash,
+        deadline,
+        reply: tx,
+    };
+    ctx.batcher.submit(job)?;
+
+    let reply = match ctx.deadline {
+        // grace on top of the queue deadline: the batch may have started
+        // embedding just before the deadline passed
+        Some(d) => rx
+            .recv_timeout(d + d / 2 + Duration::from_millis(50))
+            .map_err(|_| {
+                WireError::new(
+                    WireCode::DeadlineExceeded,
+                    "request deadline exceeded while waiting for the worker pool",
+                )
+            })?,
+        None => rx
+            .recv()
+            .map_err(|_| WireError::new(WireCode::Internal, "worker pool dropped the request"))?,
+    };
+    let embedded = reply?;
+    let mut response = Response::ok(0);
+    response.model = Some(entry.name.clone());
+    response.embedding = Some(embedded.embedding);
+    response.cached = Some(embedded.cached);
+    response.batch_size = Some(embedded.batch_size);
+    Ok(response)
+}

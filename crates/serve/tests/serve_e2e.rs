@@ -1,0 +1,241 @@
+//! End-to-end serving tests: a real server on an ephemeral port, real
+//! sockets, concurrent clients, and bit-identical agreement with the
+//! offline embedding path.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_baselines::{BaselineKind, BaselineTrainer};
+use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::Graph;
+use sgcl_serve::{start, Client, ServeConfig};
+use sgcl_tensor::Matrix;
+
+const INPUT_DIM: usize = 6;
+
+fn random_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(5usize..15);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(0.3) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let data = (0..n * INPUT_DIM)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let tags = (0..n).map(|_| rng.gen_range(0u32..5)).collect();
+    Graph::new(n, edges, Matrix::from_vec(n, INPUT_DIM, data)).with_tags(tags)
+}
+
+fn tiny_config() -> SgclConfig {
+    SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: INPUT_DIM,
+            hidden_dim: 16,
+            num_layers: 2,
+        },
+        ..SgclConfig::paper_unsupervised(INPUT_DIM)
+    }
+}
+
+/// A unique on-disk scratch directory per test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sgcl-serve-e2e-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn save_sgcl_checkpoint(dir: &std::path::Path) -> (PathBuf, SgclModel) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = SgclModel::new(tiny_config(), &mut rng);
+    let path = dir.join("sgcl-model.json");
+    Checkpoint::capture(&model)
+        .save(&path)
+        .expect("save checkpoint");
+    (path, model)
+}
+
+#[test]
+fn served_embeddings_match_offline_bit_for_bit() {
+    let dir = scratch("bitexact");
+    let (path, model) = save_sgcl_checkpoint(&dir);
+    let mut rng = StdRng::seed_from_u64(11);
+    let graphs: Vec<Graph> = (0..12).map(|_| random_graph(&mut rng)).collect();
+    let offline = model.embed(&graphs);
+
+    let handle = start(ServeConfig {
+        models: vec![("m".to_string(), path)],
+        max_batch: 8,
+        max_wait_ms: 5,
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr();
+
+    // 4 concurrent clients, each embedding every graph over its own socket
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let graphs = graphs.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                graphs
+                    .iter()
+                    .map(|g| {
+                        let resp = client.embed(None, g).expect("embed request");
+                        assert!(resp.ok, "embed failed: {:?}", resp.error);
+                        resp.embedding.expect("embedding present")
+                    })
+                    .collect::<Vec<Vec<f32>>>()
+            })
+        })
+        .collect();
+    for t in threads {
+        let rows = t.join().expect("client thread");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.as_slice(),
+                offline.row(i),
+                "served embedding of graph {i} differs from offline"
+            );
+        }
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown op");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_hits_are_counted_and_served() {
+    let dir = scratch("cache");
+    let (path, model) = save_sgcl_checkpoint(&dir);
+    let mut rng = StdRng::seed_from_u64(23);
+    let graph = random_graph(&mut rng);
+    let offline = model.embed(std::slice::from_ref(&graph));
+
+    let handle = start(ServeConfig {
+        models: vec![("m".to_string(), path)],
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let first = client.embed(Some("m"), &graph).expect("first embed");
+    assert!(first.ok);
+    assert_eq!(first.cached, Some(false), "first request must miss");
+    let second = client.embed(Some("m"), &graph).expect("second embed");
+    assert!(second.ok);
+    assert_eq!(second.cached, Some(true), "repeat request must hit");
+    assert_eq!(second.embedding.as_deref(), Some(offline.row(0)));
+
+    let info = client.info().expect("info");
+    let stats = info.info.expect("info body").stats;
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.embedded, 1);
+    assert!(stats.batch_histogram.iter().sum::<u64>() >= 1);
+
+    client.shutdown().expect("shutdown op");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn baseline_checkpoints_serve_bit_identically() {
+    let dir = scratch("baseline");
+    let mut rng = StdRng::seed_from_u64(5);
+    let graphs: Vec<Graph> = (0..6).map(|_| random_graph(&mut rng)).collect();
+    let config = tiny_config();
+    let trainer = BaselineTrainer::new(BaselineKind::GraphCl, config.into(), &graphs, 0);
+    let path = dir.join("graphcl.json");
+    Checkpoint::capture_store(&trainer.store, &config.encoder, "graphcl", None)
+        .save(&path)
+        .expect("save checkpoint");
+    let offline = trainer.into_trained().embed(&graphs);
+
+    let handle = start(ServeConfig {
+        models: vec![("gcl".to_string(), path)],
+        ..ServeConfig::default()
+    })
+    .expect("server restores baseline checkpoints without a dataset");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for (i, g) in graphs.iter().enumerate() {
+        let resp = client.embed(Some("gcl"), g).expect("embed");
+        assert!(resp.ok, "embed failed: {:?}", resp.error);
+        assert_eq!(
+            resp.embedding.as_deref(),
+            Some(offline.row(i)),
+            "graph {i} differs from offline baseline embedding"
+        );
+    }
+
+    client.shutdown().expect("shutdown op");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_errors_carry_stable_codes() {
+    let dir = scratch("errors");
+    let (path, _model) = save_sgcl_checkpoint(&dir);
+    let handle = start(ServeConfig {
+        models: vec![("m".to_string(), path)],
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut rng = StdRng::seed_from_u64(31);
+
+    // unknown model -> mismatch (6)
+    let resp = client
+        .embed(Some("nope"), &random_graph(&mut rng))
+        .expect("reply");
+    assert!(!resp.ok);
+    assert_eq!(resp.wire_error().map(|(c, _)| c), Some(6));
+
+    // wrong feature dimension -> mismatch (6)
+    let bad = Graph::new(3, vec![(0, 1)], Matrix::from_vec(3, 2, vec![0.0; 6]));
+    let resp = client.embed(None, &bad).expect("reply");
+    assert!(!resp.ok);
+    assert_eq!(resp.wire_error().map(|(c, _)| c), Some(6));
+
+    // unknown operation -> usage (2)
+    let resp = client
+        .request(sgcl_serve::protocol::Request {
+            id: 0,
+            op: "bogus".to_string(),
+            model: None,
+            graph: None,
+        })
+        .expect("reply");
+    assert!(!resp.ok);
+    assert_eq!(resp.wire_error().map(|(c, _)| c), Some(2));
+
+    // raw invalid JSON -> parse (4), and the connection stays usable
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    raw.write_all(b"{this is not json\n").expect("send garbage");
+    let mut reply = String::new();
+    BufReader::new(raw.try_clone().expect("clone"))
+        .read_line(&mut reply)
+        .expect("read error reply");
+    assert!(reply.contains("\"code\":4"), "unexpected reply: {reply}");
+
+    // ping still works
+    let resp = client.ping().expect("ping");
+    assert!(resp.ok);
+
+    client.shutdown().expect("shutdown op");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -250,11 +250,7 @@ fn pack_panels<const T: usize>(
     k0: usize,
     kc: usize,
 ) {
-    for (panel, dpanel) in dst
-        .chunks_mut(T * kc)
-        .take(count.div_ceil(T))
-        .enumerate()
-    {
+    for (panel, dpanel) in dst.chunks_mut(T * kc).take(count.div_ceil(T)).enumerate() {
         let line0 = base + panel * T;
         let live = T.min(count - panel * T);
         for kk in 0..kc {
@@ -322,7 +318,9 @@ mod tests {
         let mut s = seed;
         (0..len)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 40) as f32 / 8388608.0) - 1.0
             })
             .collect()

@@ -288,7 +288,10 @@ impl Matrix {
 
     /// Naive reference for [`Self::matmul_tn`] (see [`Self::matmul_reference`]).
     pub fn matmul_tn_reference(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows, "matmul_tn_reference: dimension mismatch");
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn_reference: dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         let n = rhs.cols;
         for i in 0..self.cols {
@@ -306,7 +309,10 @@ impl Matrix {
 
     /// Naive reference for [`Self::matmul_nt`] (see [`Self::matmul_reference`]).
     pub fn matmul_nt_reference(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.cols, "matmul_nt_reference: dimension mismatch");
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt_reference: dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -441,12 +447,7 @@ impl Matrix {
     pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
         let mut data = pool::take_empty(self.data.len());
-        data.extend(
-            self.data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b)),
-        );
+        data.extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)));
         Matrix {
             rows: self.rows,
             cols: self.cols,

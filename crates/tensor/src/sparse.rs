@@ -224,7 +224,11 @@ impl CsrMatrix {
     /// Naive sequential reference for [`Self::spmm_t`]
     /// (see [`Self::spmm_reference`]).
     pub fn spmm_t_reference(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows(), "spmm_t_reference: dimension mismatch");
+        assert_eq!(
+            self.rows,
+            rhs.rows(),
+            "spmm_t_reference: dimension mismatch"
+        );
         let d = rhs.cols();
         let mut out = Matrix::zeros(self.cols, d);
         for r in 0..self.rows {

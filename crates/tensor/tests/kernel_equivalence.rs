@@ -35,9 +35,8 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 /// `(a, b, at, bt)` for an `m×k · k×n` product and its transpose variants,
 /// including empty and degenerate 1-row/1-col shapes.
 fn gemm_operands() -> impl Strategy<Value = (Matrix, Matrix, Matrix, Matrix)> {
-    (0usize..40, 0usize..40, 0usize..40).prop_flat_map(|(m, k, n)| {
-        (matrix(m, k), matrix(k, n), matrix(k, m), matrix(n, k))
-    })
+    (0usize..40, 0usize..40, 0usize..40)
+        .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n), matrix(k, m), matrix(n, k)))
 }
 
 /// A random CSR (duplicates, empty rows, zero values) plus dense operands
