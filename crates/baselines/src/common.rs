@@ -14,7 +14,8 @@ use crate::pretrain::{AttrMaskMethod, ContextPredMethod};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgcl_core::engine::{
-    ContrastiveMethod, Engine, EngineConfig, EpochHook, EpochStats, StepLoss, TrainState,
+    ContrastiveMethod, Engine, EngineConfig, EpochHook, EpochStats, PreparedBatch, StepLoss,
+    TrainState,
 };
 use sgcl_core::losses::semantic_info_nce;
 use sgcl_core::{RecoveryPolicy, SgclConfig, SgclError};
@@ -58,6 +59,9 @@ pub struct GclConfig {
     pub batch_size: usize,
     /// Readout.
     pub pooling: Pooling,
+    /// Batches assembled ahead of the training step (0 = synchronous);
+    /// pure pipelining, bit-identical at any depth.
+    pub prefetch: usize,
 }
 
 impl From<SgclConfig> for GclConfig {
@@ -71,6 +75,7 @@ impl From<SgclConfig> for GclConfig {
             epochs: c.epochs,
             batch_size: c.batch_size,
             pooling: c.pooling,
+            prefetch: c.prefetch,
         }
     }
 }
@@ -92,6 +97,7 @@ pub(crate) fn engine_for(config: &GclConfig) -> Engine {
             batch_size: config.batch_size,
             lr: config.lr,
             grad_clip: 5.0,
+            prefetch: config.prefetch,
         },
         RecoveryPolicy::default(),
     )
@@ -100,6 +106,7 @@ pub(crate) fn engine_for(config: &GclConfig) -> Engine {
 /// Records the symmetrised two-view InfoNCE of Eq. 24 on `tape`: both view
 /// batches are encoded, pooled, projected, and pulled together with
 /// `0.5 · (L(a,b) + L(b,a))`. Shared by every two-view method.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn two_view_loss(
     tape: &mut Tape,
     store: &ParamStore,
@@ -153,9 +160,10 @@ where
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss> {
+        let graphs = &prepared.graphs;
         let mut views_a = Vec::with_capacity(graphs.len());
         let mut views_b = Vec::with_capacity(graphs.len());
         for g in graphs {
@@ -282,15 +290,15 @@ impl BaselineTrainer {
                     config.encoder.hidden_dim,
                     &mut rng,
                 );
-                let method: TwoViewMethod<fn(&Graph, &mut StdRng) -> (Graph, Graph)> =
-                    TwoViewMethod {
-                        method_name: "graphcl",
-                        encoder: encoder.clone(),
-                        proj,
-                        tau: config.tau,
-                        pooling: config.pooling,
-                        sampler: graphcl_sampler,
-                    };
+                type PairSampler = fn(&Graph, &mut StdRng) -> (Graph, Graph);
+                let method: TwoViewMethod<PairSampler> = TwoViewMethod {
+                    method_name: "graphcl",
+                    encoder: encoder.clone(),
+                    proj,
+                    tau: config.tau,
+                    pooling: config.pooling,
+                    sampler: graphcl_sampler,
+                };
                 (encoder, Box::new(method))
             }
             BaselineKind::Joao => {

@@ -16,13 +16,13 @@
 
 use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
-use sgcl_core::engine::{ContrastiveMethod, StepCtx, StepLoss};
+use sgcl_core::engine::{ContrastiveMethod, PreparedBatch, StepCtx, StepLoss};
 use sgcl_core::losses::semantic_info_nce;
 use sgcl_gnn::{GnnEncoder, Linear, Pooling, ProjectionHead};
 use sgcl_graph::augment::perturb_edges_drop_only;
 use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{stable_sigmoid, Optimizer, ParamStore, Tape};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum drop probability the scorer can assign (AD-GCL bounds the
 /// perturbation family to keep views informative).
@@ -84,15 +84,16 @@ impl ContrastiveMethod for AdGclMethod {
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss> {
-        let batch = GraphBatch::new(graphs);
+        let graphs = &prepared.graphs;
+        let batch = &prepared.batch;
 
         // 1. scorer: drop probabilities per undirected edge (values only)
         let drop_probs_per_graph: Vec<Vec<f32>> = {
             let mut scratch = Tape::new();
-            let h = self.encoder.forward(&mut scratch, store, &batch, None);
+            let h = self.encoder.forward(&mut scratch, store, batch, None);
             let hm = scratch.value(h).clone();
             let w = store.value(self.scorer.weight_id());
             let b = store.value(self.scorer.bias_id()).as_slice()[0];
@@ -141,8 +142,8 @@ impl ContrastiveMethod for AdGclMethod {
 
         // 3. encoder step: minimise InfoNCE(anchor, view)
         let view_batch = GraphBatch::from_graphs(&views);
-        let ha = self.encoder.forward(tape, store, &batch, None);
-        let pa = self.pooling.apply(tape, &batch, ha);
+        let ha = self.encoder.forward(tape, store, batch, None);
+        let pa = self.pooling.apply(tape, batch, ha);
         let za = self.proj.forward(tape, store, pa);
         let hv = self.encoder.forward(tape, store, &view_batch, None);
         let pv = self.pooling.apply(tape, &view_batch, hv);
@@ -160,23 +161,23 @@ impl ContrastiveMethod for AdGclMethod {
         if self.src_idx.is_empty() {
             return;
         }
-        let batch = GraphBatch::new(ctx.graphs);
+        let batch = &ctx.prepared.batch;
         ctx.tape.reset();
-        let h2 = self.encoder.forward(ctx.tape, ctx.store, &batch, None);
+        let h2 = self.encoder.forward(ctx.tape, ctx.store, batch, None);
         // edge logits on tape: gather endpoint reps, concat, linear
         let hu = ctx
             .tape
-            .gather_rows(h2, Rc::new(std::mem::take(&mut self.src_idx)));
+            .gather_rows(h2, Arc::new(std::mem::take(&mut self.src_idx)));
         let hv2 = ctx
             .tape
-            .gather_rows(h2, Rc::new(std::mem::take(&mut self.dst_idx)));
+            .gather_rows(h2, Arc::new(std::mem::take(&mut self.dst_idx)));
         let cat = ctx.tape.concat_cols(hu, hv2);
         let logits = self.scorer.forward(ctx.tape, ctx.store, cat); // e × 1
         let p_raw = ctx.tape.sigmoid(logits);
         let p = ctx.tape.scale(p_raw, MAX_DROP); // drop prob per edge
                                                  // log-likelihood: Σ d·ln p + (1−d)·ln(1−p)
         let e = self.flat_decisions.len();
-        let d_mask = Rc::new(sgcl_tensor::Matrix::from_vec(
+        let d_mask = Arc::new(sgcl_tensor::Matrix::from_vec(
             e,
             1,
             self.flat_decisions
@@ -185,7 +186,7 @@ impl ContrastiveMethod for AdGclMethod {
                 .collect(),
         ));
         self.flat_decisions.clear();
-        let not_d = Rc::new(d_mask.map(|v| 1.0 - v));
+        let not_d = Arc::new(d_mask.map(|v| 1.0 - v));
         let ln_p = ctx.tape.ln(p);
         let one = ctx.tape.constant(sgcl_tensor::Matrix::ones(e, 1));
         let one_minus_p = ctx.tape.sub(one, p);

@@ -10,11 +10,11 @@
 
 use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
-use sgcl_core::engine::{ContrastiveMethod, StepLoss};
+use sgcl_core::engine::{ContrastiveMethod, PreparedBatch, StepLoss};
 use sgcl_gnn::{GnnEncoder, Pooling, ProjectionHead};
-use sgcl_graph::{Graph, GraphBatch};
+use sgcl_graph::Graph;
 use sgcl_tensor::{Matrix, ParamStore, Tape};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// InfoGraph as an engine method: local-global JSD mutual-information
 /// maximisation. The Infomax alias shares this implementation under its
@@ -62,16 +62,16 @@ impl ContrastiveMethod for InfoGraphMethod {
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         _rng: &mut StdRng,
     ) -> Option<StepLoss> {
-        let batch = GraphBatch::new(graphs);
+        let batch = &prepared.batch;
         let b = batch.num_graphs;
         let total = batch.total_nodes();
 
-        let h = self.encoder.forward(tape, store, &batch, None);
+        let h = self.encoder.forward(tape, store, batch, None);
         let local = self.proj_local.forward(tape, store, h);
-        let pooled = self.pooling.apply(tape, &batch, h);
+        let pooled = self.pooling.apply(tape, batch, h);
         let global = self.proj_global.forward(tape, store, pooled);
         // scores T[i][g] = local_i · global_g
         let scores = tape.matmul_nt(local, global); // total × B
@@ -87,8 +87,8 @@ impl ContrastiveMethod for InfoGraphMethod {
         let neg_scores = tape.scale(scores, -1.0);
         let sp_neg_t = tape.softplus(neg_scores); // sp(−T)
         let sp_t = tape.softplus(scores); // sp(T)
-        let pos_terms = tape.hadamard_const(sp_neg_t, Rc::new(pos_mask));
-        let neg_terms = tape.hadamard_const(sp_t, Rc::new(neg_mask));
+        let pos_terms = tape.hadamard_const(sp_neg_t, Arc::new(pos_mask));
+        let neg_terms = tape.hadamard_const(sp_t, Arc::new(neg_mask));
         let pos_sum = tape.sum_all(pos_terms);
         let neg_sum = tape.sum_all(neg_terms);
         let pos_mean = tape.scale(pos_sum, 1.0 / n_pos.max(1.0));

@@ -16,7 +16,7 @@ use crate::common::{two_view_loss, BaselineKind, BaselineTrainer, GclConfig, Tra
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sgcl_core::engine::{ContrastiveMethod, StepLoss};
+use sgcl_core::engine::{ContrastiveMethod, PreparedBatch, StepLoss};
 use sgcl_core::SgclError;
 use sgcl_gnn::{GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::augment::{self, AugmentKind};
@@ -129,9 +129,10 @@ impl ContrastiveMethod for JoaoMethod {
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss> {
+        let graphs = &prepared.graphs;
         let mut views_a = Vec::with_capacity(graphs.len());
         let mut views_b = Vec::with_capacity(graphs.len());
         for g in graphs {
@@ -149,10 +150,10 @@ impl ContrastiveMethod for JoaoMethod {
             self.diff_sums[idx_a] += diff_a;
             self.diff_counts[idx_a] += 1;
             self.steps += 1;
-            if self.steps % 64 == 0 {
+            if self.steps.is_multiple_of(64) {
                 let mut means = [0.0f32; 4];
-                for i in 0..4 {
-                    means[i] = if self.diff_counts[i] > 0 {
+                for (i, m) in means.iter_mut().enumerate() {
+                    *m = if self.diff_counts[i] > 0 {
                         self.diff_sums[i] / self.diff_counts[i] as f32
                     } else {
                         0.0
@@ -247,8 +248,9 @@ mod tests {
     #[test]
     fn sampling_respects_distribution() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut s = JoaoState::default();
-        s.probs = [0.97, 0.01, 0.01, 0.01];
+        let s = JoaoState {
+            probs: [0.97, 0.01, 0.01, 0.01],
+        };
         let hits = (0..100)
             .filter(|_| s.sample(&mut rng) == AugmentKind::POOL[0])
             .count();

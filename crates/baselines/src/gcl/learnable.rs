@@ -37,6 +37,7 @@ fn to_sgcl_config(config: GclConfig) -> SgclConfig {
         lambda_w: 0.0,
         lipschitz_mode: LipschitzMode::AttentionApprox,
         ablation: Ablation::default(),
+        prefetch: config.prefetch,
     }
 }
 

@@ -6,10 +6,10 @@
 
 use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
-use sgcl_core::engine::{ContrastiveMethod, StepLoss};
+use sgcl_core::engine::{ContrastiveMethod, PreparedBatch, StepLoss};
 use sgcl_core::losses::semantic_info_nce;
 use sgcl_gnn::{GnnEncoder, Pooling, ProjectionHead};
-use sgcl_graph::{Graph, GraphBatch};
+use sgcl_graph::Graph;
 use sgcl_tensor::{ParamStore, Tape};
 
 /// Perturbation magnitude η of the paper (noise std = η · per-tensor weight
@@ -58,24 +58,24 @@ impl ContrastiveMethod for SimGraceMethod {
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss> {
-        let batch = GraphBatch::new(graphs);
+        let batch = &prepared.batch;
 
         // perturbed-tower view: encode with a noisy copy, values only
         let z_perturbed = {
             let mut noisy = store.clone();
             noisy.perturb_gaussian(SIGMA, rng);
             let mut t = Tape::new();
-            let h = self.encoder.forward(&mut t, &noisy, &batch, None);
-            let p = self.pooling.apply(&mut t, &batch, h);
+            let h = self.encoder.forward(&mut t, &noisy, batch, None);
+            let p = self.pooling.apply(&mut t, batch, h);
             let z = self.proj.forward(&mut t, &noisy, p);
             t.value(z).clone()
         };
 
-        let h = self.encoder.forward(tape, store, &batch, None);
-        let p = self.pooling.apply(tape, &batch, h);
+        let h = self.encoder.forward(tape, store, batch, None);
+        let p = self.pooling.apply(tape, batch, h);
         let z = self.proj.forward(tape, store, p);
         let z_pert = tape.constant(z_perturbed);
         let loss = semantic_info_nce(tape, z, z_pert, self.tau);

@@ -10,11 +10,11 @@
 use crate::common::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sgcl_core::engine::{ContrastiveMethod, StepLoss};
+use sgcl_core::engine::{ContrastiveMethod, PreparedBatch, StepLoss};
 use sgcl_gnn::{ClassifierHead, GnnEncoder};
-use sgcl_graph::{Graph, GraphBatch};
+use sgcl_graph::Graph;
 use sgcl_tensor::{Matrix, ParamStore, Tape};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A randomly initialised encoder — the "No Pre-Train" rows.
 pub fn no_pretrain(config: GclConfig, seed: u64) -> TrainedEncoder {
@@ -81,10 +81,11 @@ impl ContrastiveMethod for AttrMaskMethod {
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss> {
-        let batch = GraphBatch::new(graphs);
+        let graphs = &prepared.graphs;
+        let batch = &prepared.batch;
         // choose masked nodes and zero their feature rows
         let mut features = batch.features.clone();
         let mut masked_idx = Vec::new();
@@ -105,10 +106,10 @@ impl ContrastiveMethod for AttrMaskMethod {
             return None; // nothing got masked this round: skip the batch
         }
         let fvar = tape.constant(features);
-        let h = self.encoder.forward_from(tape, store, &batch, fvar, None);
-        let picked = tape.gather_rows(h, Rc::new(masked_idx));
+        let h = self.encoder.forward_from(tape, store, batch, fvar, None);
+        let picked = tape.gather_rows(h, Arc::new(masked_idx));
         let logits = self.head.forward(tape, store, picked);
-        let loss = tape.softmax_cross_entropy(logits, Rc::new(masked_tags));
+        let loss = tape.softmax_cross_entropy(logits, Arc::new(masked_tags));
         Some(StepLoss {
             loss,
             components: None,
@@ -157,10 +158,11 @@ impl ContrastiveMethod for ContextPredMethod {
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss> {
-        let batch = GraphBatch::new(graphs);
+        let graphs = &prepared.graphs;
+        let batch = &prepared.batch;
         // sample positive (edge) and negative (random same-graph) pairs
         let mut src = Vec::new();
         let mut dst = Vec::new();
@@ -188,13 +190,13 @@ impl ContrastiveMethod for ContextPredMethod {
             return None; // degenerate batch (all graphs too small): skip
         }
         let e = labels.len();
-        let h = self.encoder.forward(tape, store, &batch, None);
-        let hu = tape.gather_rows(h, Rc::new(src));
-        let hv = tape.gather_rows(h, Rc::new(dst));
+        let h = self.encoder.forward(tape, store, batch, None);
+        let hu = tape.gather_rows(h, Arc::new(src));
+        let hv = tape.gather_rows(h, Arc::new(dst));
         let prod = tape.hadamard(hu, hv);
         let logits = tape.row_sums(prod); // e × 1 dot products
-        let targets = Rc::new(Matrix::from_vec(e, 1, labels));
-        let mask = Rc::new(Matrix::ones(e, 1));
+        let targets = Arc::new(Matrix::from_vec(e, 1, labels));
+        let mask = Arc::new(Matrix::ones(e, 1));
         let loss = tape.bce_with_logits(logits, targets, mask);
         Some(StepLoss {
             loss,

@@ -95,6 +95,7 @@ fn main() {
                     rho: 0.9,
                     lipschitz_mode: LipschitzMode::AttentionApprox,
                     ablation: Ablation::default(),
+                    prefetch: base.prefetch,
                 };
                 (sweep.set)(&mut config, v);
                 let mut rng = StdRng::seed_from_u64(seed);

@@ -103,11 +103,8 @@ fn gemm_rows(
         let b = pseudo_matrix(s, s, 2);
         let flop = 2.0 * (s as f64).powi(3);
         let iters = iters_for(s);
-        let ops: [(
-            &'static str,
-            fn(&Matrix, &Matrix) -> Matrix,
-            fn(&Matrix, &Matrix) -> Matrix,
-        ); 3] = [
+        type DenseOp = fn(&Matrix, &Matrix) -> Matrix;
+        let ops: [(&'static str, DenseOp, DenseOp); 3] = [
             ("matmul", Matrix::matmul_reference, Matrix::matmul),
             ("matmul_tn", Matrix::matmul_tn_reference, Matrix::matmul_tn),
             ("matmul_nt", Matrix::matmul_nt_reference, Matrix::matmul_nt),
@@ -156,11 +153,8 @@ fn spmm_rows(rows: &mut Vec<Row>, dims: &[(usize, usize)], threads: &[usize], it
         let adj = pseudo_csr(n, n, 8, 3);
         let h = pseudo_matrix(n, d, 4);
         let flop = 2.0 * adj.nnz() as f64 * d as f64;
-        let ops: [(
-            &'static str,
-            fn(&CsrMatrix, &Matrix) -> Matrix,
-            fn(&CsrMatrix, &Matrix) -> Matrix,
-        ); 2] = [
+        type SparseOp = fn(&CsrMatrix, &Matrix) -> Matrix;
+        let ops: [(&'static str, SparseOp, SparseOp); 2] = [
             ("spmm", CsrMatrix::spmm_reference, CsrMatrix::spmm),
             ("spmm_t", CsrMatrix::spmm_t_reference, CsrMatrix::spmm_t),
         ];

@@ -1,0 +1,154 @@
+//! Pipeline benchmark: the parallel Lipschitz constant generator and the
+//! prefetched view-construction pipeline.
+//!
+//! ```text
+//! cargo run --release -p sgcl-bench --bin pipeline              # full sweep
+//! cargo run --release -p sgcl-bench --bin pipeline -- --smoke   # CI-sized
+//! cargo run --release -p sgcl-bench --bin pipeline -- --out p.json
+//! ```
+//!
+//! Two sections, both written to `BENCH_pipeline.json`:
+//!
+//! * `node_constants` — wall-clock of [`LipschitzGenerator::node_constants`]
+//!   in both modes at 1/2/4 worker threads (bit-identical outputs; see
+//!   `core/tests/parallel_lipschitz.rs` for the equivalence proof);
+//! * `epoch` — SGCL pre-training epoch wall-clock and steps/sec with
+//!   `--prefetch 0/1/2` (bit-identical losses; see
+//!   `core/tests/prefetch_resume.rs`).
+//!
+//! `host_parallelism` records the machine's core count: thread and
+//! prefetch speedups only materialise with cores to run them on, so
+//! single-core CI boxes are expected to report ratios near 1×.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::lipschitz::LipschitzMode;
+use sgcl_core::{LipschitzGenerator, SgclModel};
+use sgcl_data::{Scale, TuDataset};
+use sgcl_graph::{Graph, GraphBatch};
+use sgcl_tensor::{set_num_threads, ParamStore};
+use std::time::Instant;
+
+fn ok_or_exit<T>(r: Result<T, sgcl_common::SgclError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    })
+}
+
+/// Times `f` over `iters` runs (after one warm-up) and returns ms/iter.
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn constants_rows(
+    graphs: &[Graph],
+    copies: usize,
+    threads: &[usize],
+    iters: usize,
+) -> Vec<serde_json::Value> {
+    let refs: Vec<&Graph> = (0..copies * graphs.len())
+        .map(|i| &graphs[i % graphs.len()])
+        .collect();
+    let batch = GraphBatch::new(&refs);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let config = sgcl_core::SgclConfig::paper_unsupervised(refs[0].features.cols()).encoder;
+    let generator = LipschitzGenerator::new("bench", &mut store, config, &mut rng);
+
+    let mut rows = Vec::new();
+    for mode in [LipschitzMode::ExactMask, LipschitzMode::AttentionApprox] {
+        // the exact mode reruns the encoder once per node; keep its batch
+        // smaller so the sweep stays tractable
+        let (b, r): (&GraphBatch, &[&Graph]) = (&batch, &refs);
+        for &t in threads {
+            set_num_threads(t);
+            let ms = time_ms(iters, || {
+                std::hint::black_box(generator.node_constants(&store, b, r, mode));
+            });
+            let label = match mode {
+                LipschitzMode::ExactMask => "exact",
+                LipschitzMode::AttentionApprox => "approx",
+            };
+            println!(
+                "node_constants {label:<7} threads={t}  nodes={:<6} {ms:10.2} ms/call",
+                b.total_nodes()
+            );
+            rows.push(serde_json::json!({
+                "mode": label,
+                "threads": t,
+                "total_nodes": b.total_nodes(),
+                "directed_edges": b.total_directed_edges(),
+                "iters": iters,
+                "ms_per_call": ms,
+            }));
+        }
+    }
+    set_num_threads(0);
+    rows
+}
+
+fn epoch_rows(graphs: &[Graph], epochs: usize, prefetches: &[usize]) -> Vec<serde_json::Value> {
+    let input_dim = graphs[0].features.cols();
+    let mut rows = Vec::new();
+    for &prefetch in prefetches {
+        let mut cfg = sgcl_core::SgclConfig::paper_unsupervised(input_dim);
+        cfg.epochs = epochs;
+        cfg.batch_size = 32;
+        cfg.prefetch = prefetch;
+        let batches_per_epoch =
+            graphs.len() / cfg.batch_size + usize::from(graphs.len() % cfg.batch_size >= 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = SgclModel::new(cfg, &mut rng);
+        let start = Instant::now();
+        let stats = model.pretrain(graphs, 1);
+        let secs = start.elapsed().as_secs_f64() / stats.len() as f64;
+        let steps_per_sec = batches_per_epoch as f64 / secs;
+        println!(
+            "epoch prefetch={prefetch}  {:8.2} s/epoch  {steps_per_sec:8.2} steps/s",
+            secs
+        );
+        rows.push(serde_json::json!({
+            "prefetch": prefetch,
+            "epochs": stats.len(),
+            "batches_per_epoch": batches_per_epoch,
+            "secs_per_epoch": secs,
+            "steps_per_sec": steps_per_sec,
+            "final_loss": stats.last().map(|s| s.loss),
+        }));
+    }
+    rows
+}
+
+fn main() {
+    let args = ok_or_exit(sgcl_common::Args::options_from_env());
+    let smoke = args.flag("smoke");
+    let out = args.get("out").unwrap_or("BENCH_pipeline.json").to_string();
+
+    let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: Vec<usize> = if smoke { vec![1, auto] } else { vec![1, 2, 4] };
+
+    let (copies, iters, epochs) = if smoke { (1, 1, 1) } else { (4, 3, 2) };
+    let constants = constants_rows(&ds.graphs, copies, &threads, iters);
+    let prefetches: &[usize] = if smoke { &[0, 2] } else { &[0, 1, 2] };
+    let epoch = epoch_rows(&ds.graphs, epochs, prefetches);
+
+    let doc = serde_json::json!({
+        "host_parallelism": auto,
+        "smoke": smoke,
+        "node_constants": constants,
+        "epoch": epoch,
+    });
+    let bytes = serde_json::to_vec_pretty(&doc).expect("serialise");
+    ok_or_exit(sgcl_common::write_atomic(
+        std::path::Path::new(&out),
+        &bytes,
+    ));
+    println!("\nresults written to {out}");
+}

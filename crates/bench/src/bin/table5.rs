@@ -133,6 +133,7 @@ fn main() {
                     ablation: v.ablation,
                     rho: 0.9,
                     lipschitz_mode: LipschitzMode::AttentionApprox,
+                    prefetch: base.prefetch,
                 };
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut model = SgclModel::new(config, &mut rng);

@@ -48,10 +48,14 @@ pub struct HarnessOpts {
     /// Kernel worker threads (0 = auto-detect; results are bit-identical
     /// for any setting).
     pub threads: usize,
+    /// Batches assembled ahead of the training step (0 = synchronous;
+    /// results are bit-identical for any setting).
+    pub prefetch: usize,
 }
 
 impl HarnessOpts {
-    /// Parses `--quick`, `--seed N`, `--out PATH`, `--threads N` from
+    /// Parses `--quick`, `--seed N`, `--out PATH`, `--threads N`,
+    /// `--prefetch N` from
     /// `std::env::args` (via the shared [`sgcl_common::Args`] parser, so the
     /// flags behave exactly as on the `sgcl` CLI) and applies the thread
     /// count to the tensor kernels. Exits with the usage code on a
@@ -70,14 +74,15 @@ impl HarnessOpts {
     /// count to the tensor kernels.
     ///
     /// # Errors
-    /// Returns [`SgclError::Usage`] on unparsable `--seed` / `--threads`
-    /// values.
+    /// Returns [`SgclError::Usage`] on unparsable `--seed` / `--threads` /
+    /// `--prefetch` values.
     pub fn from_args(args: &sgcl_common::Args) -> Result<Self, SgclError> {
         let opts = Self {
             quick: args.flag("quick"),
             seed: args.get_parse("seed", 0u64)?,
             out: args.get("out").map(String::from),
             threads: args.get_parse("threads", 0usize)?,
+            prefetch: args.get_parse("prefetch", 0usize)?,
         };
         sgcl_tensor::set_num_threads(opts.threads);
         Ok(opts)
@@ -201,6 +206,7 @@ pub fn gcl_config(ds: &Dataset, opts: &HarnessOpts) -> GclConfig {
             hidden_dim: 32,
             num_layers: 3,
         },
+        prefetch: opts.prefetch,
         ..GclConfig::paper_unsupervised(ds.feature_dim())
     }
 }
@@ -217,6 +223,7 @@ pub fn sgcl_config(ds: &Dataset, opts: &HarnessOpts) -> SgclConfig {
             num_layers: 3,
         },
         lipschitz_mode: LipschitzMode::AttentionApprox,
+        prefetch: opts.prefetch,
         ..SgclConfig::paper_unsupervised(ds.feature_dim())
     }
 }
@@ -358,6 +365,7 @@ pub fn transfer_config(input_dim: usize, opts: &HarnessOpts) -> GclConfig {
         tau: 0.2,
         lr: 1e-3,
         pooling: Pooling::Sum,
+        prefetch: opts.prefetch,
     }
 }
 
@@ -388,6 +396,7 @@ mod tests {
             seed: 0,
             out: None,
             threads: 0,
+            prefetch: 0,
         };
         let ds = TuDataset::Mutag.generate(opts.scale(), 0);
         let acc = unsupervised_accuracy(Method::Wl, &ds, &opts, 0);

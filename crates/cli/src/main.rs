@@ -82,6 +82,8 @@ COMMANDS:
 GLOBAL OPTIONS:
   --threads <N>   kernel worker threads (default 0 = auto-detect; 1 forces
                   the sequential path). Results are bit-identical for any N.
+  --prefetch <N>  batches assembled ahead of the training step (default 0 =
+                  synchronous). Results are bit-identical for any N.
 
 EXIT CODES:
   0 success   2 usage     3 I/O            4 parse/version
@@ -263,6 +265,7 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
             let mut config = SgclConfig {
                 epochs,
                 batch_size: state.batch_size,
+                prefetch: args.get_parse("prefetch", 0usize)?,
                 ..ckpt.sgcl_config()
             };
             for (name, value) in &state.hparams {
@@ -295,6 +298,7 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
                 tau: args.get_parse("tau", 0.2f32)?,
                 lambda_c: args.get_parse("lambda-c", 0.01f32)?,
                 lambda_w: args.get_parse("lambda-w", 0.01f32)?,
+                prefetch: args.get_parse("prefetch", 0usize)?,
                 ..SgclConfig::paper_unsupervised(ds.feature_dim())
             };
             let mut rng = StdRng::seed_from_u64(seed);
@@ -308,7 +312,7 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
     let encoder_cfg = model.config.encoder;
     let mut on_epoch = |store: &mut ParamStore, st: &TrainState| -> Result<(), SgclError> {
         let e = st.next_epoch - 1;
-        if e % 5 == 0 || st.next_epoch == epochs {
+        if e.is_multiple_of(5) || st.next_epoch == epochs {
             if let Some(s) = st.stats.last() {
                 println!("  epoch {e:>3}: loss {:.4}", s.loss);
             }
@@ -354,6 +358,7 @@ fn cmd_pretrain_baseline(args: &Args, kind: BaselineKind) -> Result<(), SgclErro
             let mut config = GclConfig {
                 epochs,
                 batch_size: state.batch_size,
+                prefetch: args.get_parse("prefetch", 0usize)?,
                 ..ckpt.sgcl_config().into()
             };
             for (name, value) in &state.hparams {
@@ -384,6 +389,7 @@ fn cmd_pretrain_baseline(args: &Args, kind: BaselineKind) -> Result<(), SgclErro
                 epochs,
                 batch_size: args.get_parse("batch", 128usize)?,
                 tau: args.get_parse("tau", 0.2f32)?,
+                prefetch: args.get_parse("prefetch", 0usize)?,
                 ..GclConfig::paper_unsupervised(ds.feature_dim())
             };
             let trainer = BaselineTrainer::new(kind, config, &ds.graphs, seed);
@@ -403,7 +409,7 @@ fn cmd_pretrain_baseline(args: &Args, kind: BaselineKind) -> Result<(), SgclErro
     let method_name = trainer.method_name();
     let mut on_epoch = |store: &mut ParamStore, st: &TrainState| -> Result<(), SgclError> {
         let e = st.next_epoch - 1;
-        if e % 5 == 0 || st.next_epoch == epochs {
+        if e.is_multiple_of(5) || st.next_epoch == epochs {
             if let Some(s) = st.stats.last() {
                 println!("  epoch {e:>3}: loss {:.4}", s.loss);
             }

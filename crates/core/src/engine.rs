@@ -30,8 +30,51 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sgcl_common::{FaultKind, SgclError};
-use sgcl_graph::Graph;
+use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{Adam, AdamState, Optimizer, ParamStore, Tape, Var};
+
+/// A mini-batch assembled ahead of its training step: the shuffled graph
+/// references plus their block-diagonal [`GraphBatch`].
+///
+/// Everything in here is a **pure function of the graph indices** — no RNG
+/// and no model parameters — which is what makes the prefetch pipeline
+/// bit-exact: it does not matter *when* (or on which thread) a batch is
+/// assembled. RNG-dependent work (view sampling) and parameter-dependent
+/// work (Lipschitz constants, keep probabilities) stays inside
+/// [`ContrastiveMethod::batch_loss`] on the training thread.
+pub struct PreparedBatch<'g> {
+    /// The batch's graphs, in shuffled epoch order.
+    pub graphs: Vec<&'g Graph>,
+    /// Block-diagonal merge of `graphs`.
+    pub batch: GraphBatch,
+    /// Index of this batch within its epoch (the per-batch RNG key).
+    pub index: usize,
+}
+
+impl<'g> PreparedBatch<'g> {
+    /// Assembles the batch. With `warm`, additionally builds every lazy
+    /// per-batch/per-graph cache (normalized adjacencies, edge groupings,
+    /// degrees) — producer threads pay that cost off the training thread's
+    /// critical path; the inline path leaves them lazy exactly as before.
+    /// The cached values are bit-identical either way.
+    pub fn assemble(graphs: Vec<&'g Graph>, index: usize, warm: bool) -> Self {
+        let batch = GraphBatch::new(&graphs);
+        if warm {
+            let _ = batch.sym_normalized_adj();
+            let _ = batch.row_normalized_adj();
+            let _ = batch.edges_by_dst();
+            let _ = batch.edges_by_src();
+            for g in &graphs {
+                let _ = g.degrees();
+            }
+        }
+        Self {
+            graphs,
+            batch,
+            index,
+        }
+    }
+}
 
 /// The loss a method built for one batch: the tape node the engine
 /// backpropagates, plus optional pre-computed loss components for the
@@ -56,10 +99,11 @@ pub struct StepCtx<'a, 'g> {
     pub store: &'a mut ParamStore,
     /// The run's optimiser.
     pub opt: &'a mut Adam,
-    /// The epoch's sampler RNG stream.
+    /// The batch's sampler RNG stream (the epoch stream on the legacy
+    /// driver, a per-batch derived stream on the resumable driver).
     pub rng: &'a mut StdRng,
     /// The batch that was just trained on.
-    pub graphs: &'a [&'g Graph],
+    pub prepared: &'a PreparedBatch<'g>,
     /// The main step's total loss value.
     pub loss: f32,
 }
@@ -90,11 +134,16 @@ pub trait ContrastiveMethod {
     /// Records one batch's loss on `tape`. Returning `None` skips the
     /// batch (e.g. no node got masked this round); the engine neither
     /// backpropagates nor counts it in the epoch statistics.
+    ///
+    /// The batch arrives pre-assembled (possibly on a prefetch thread —
+    /// see [`PreparedBatch`]); methods that need the block-diagonal merge
+    /// of the anchor graphs should use `prepared.batch` instead of
+    /// rebuilding it.
     fn batch_loss(
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss>;
 
@@ -271,6 +320,21 @@ pub(crate) fn epoch_seed(base: u64, epoch: u64, generation: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the deterministic per-batch sampler seed on the resumable
+/// driver: a second splitmix64 finalisation of the epoch seed with the
+/// batch index. Keying every batch's RNG stream by
+/// `(base_seed, epoch, generation, batch_index)` — instead of consuming
+/// one shared epoch stream — makes each step's random draws independent of
+/// how many batches ran before it, which is what the prefetch pipeline's
+/// bit-exactness argument and kill-and-resume both lean on.
+pub(crate) fn batch_seed(base: u64, epoch: u64, generation: u64, batch: u64) -> u64 {
+    epoch_seed(
+        epoch_seed(base, epoch, generation),
+        batch.wrapping_add(1),
+        1,
+    )
+}
+
 /// Loop-level knobs of a pre-training run.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -283,6 +347,11 @@ pub struct EngineConfig {
     pub lr: f32,
     /// Global gradient-norm clip applied before every optimiser step.
     pub grad_clip: f32,
+    /// Prefetch queue depth: how many [`PreparedBatch`]es a producer
+    /// thread may assemble ahead of the training step. `0` disables the
+    /// pipeline (batches are assembled inline, today's behaviour). Any
+    /// value produces bit-identical results — see [`PreparedBatch`].
+    pub prefetch: usize,
 }
 
 /// The shared training loop. See the module docs for the division of
@@ -332,7 +401,7 @@ impl Engine {
         let mut tape = Tape::new();
         let mut epoch = 0;
         while epoch < self.config.epochs {
-            match self.run_epoch(method, store, &mut opt, &mut tape, graphs, &mut rng) {
+            match self.run_epoch(method, store, &mut opt, &mut tape, graphs, &mut rng, None) {
                 Ok(s) => {
                     stats.push(s);
                     recovery.record_good(store, &opt);
@@ -390,12 +459,21 @@ impl Engine {
         let mut recovery = RecoveryState::new(self.policy, store, &opt, state.retries_used);
         let mut tape = Tape::new();
         while state.next_epoch < self.config.epochs {
-            let mut rng = StdRng::seed_from_u64(epoch_seed(
+            let key = (
                 state.base_seed,
                 state.next_epoch as u64,
                 state.retries_used as u64,
-            ));
-            match self.run_epoch(method, store, &mut opt, &mut tape, graphs, &mut rng) {
+            );
+            let mut rng = StdRng::seed_from_u64(epoch_seed(key.0, key.1, key.2));
+            match self.run_epoch(
+                method,
+                store,
+                &mut opt,
+                &mut tape,
+                graphs,
+                &mut rng,
+                Some(key),
+            ) {
                 Ok(s) => {
                     state.stats.push(s);
                     state.next_epoch += 1;
@@ -420,6 +498,18 @@ impl Engine {
     /// batch, and runs the post-epoch parameter health check. On a tripped
     /// guard, returns the batch index and fault kind; the epoch's partial
     /// updates are the caller's to roll back.
+    ///
+    /// `batch_streams` selects the per-batch RNG: `None` consumes the
+    /// shared epoch stream in batch order (the legacy driver), while
+    /// `Some((base, epoch, generation))` derives an independent stream per
+    /// batch via [`batch_seed`] (the resumable driver).
+    ///
+    /// With `config.prefetch > 0` a producer thread assembles upcoming
+    /// [`PreparedBatch`]es into a bounded queue while the current batch
+    /// trains. Batches are consumed in order and everything the producer
+    /// computes is RNG- and parameter-free, so the pipelined epoch is
+    /// bit-identical to the inline one.
+    #[allow(clippy::too_many_arguments)]
     fn run_epoch<M: ContrastiveMethod + ?Sized>(
         &self,
         method: &mut M,
@@ -428,8 +518,8 @@ impl Engine {
         tape: &mut Tape,
         graphs: &[Graph],
         rng: &mut StdRng,
+        batch_streams: Option<(u64, u64, u64)>,
     ) -> Result<EpochStats, (usize, FaultKind)> {
-        let guard = &self.policy.guard;
         let n = graphs.len();
         let mb = method.min_batch().max(1);
         let bs = self.config.batch_size.min(n).max(mb);
@@ -438,53 +528,125 @@ impl Engine {
             let j = rng.gen_range(0..=i);
             order.swap(i, j);
         }
-        let (mut tl, mut ts, mut tc, mut batches) = (0.0f64, 0.0f64, 0.0f64, 0usize);
-        for (bi, chunk) in order.chunks(bs).enumerate() {
-            if chunk.len() < mb {
-                continue; // e.g. InfoNCE needs at least one negative
+        // only the final chunk can be undersized, so dropping it up front
+        // keeps every surviving batch's index equal to its chunk index
+        let chunks: Vec<&[usize]> = order
+            .chunks(bs)
+            .filter(|c| c.len() >= mb) // e.g. InfoNCE needs a negative
+            .collect();
+
+        let mut acc = EpochAccum::default();
+        // `None` → consume the shared epoch stream; `Some` → an
+        // independent stream derived for this batch index
+        let derive = |bi: usize| -> Option<StdRng> {
+            batch_streams.map(|(base, epoch, generation)| {
+                StdRng::seed_from_u64(batch_seed(base, epoch, generation, bi as u64))
+            })
+        };
+        if self.config.prefetch == 0 {
+            for (bi, chunk) in chunks.iter().enumerate() {
+                let prepared =
+                    PreparedBatch::assemble(chunk.iter().map(|&i| &graphs[i]).collect(), bi, false);
+                let mut derived = derive(bi);
+                let brng = derived.as_mut().unwrap_or(&mut *rng);
+                self.train_batch(method, store, opt, tape, &prepared, brng, &mut acc)?;
             }
-            let batch_graphs: Vec<&Graph> = chunk.iter().map(|&i| &graphs[i]).collect();
-            // recycle the previous step's node buffers before recording
-            tape.reset();
-            let Some(step) = method.batch_loss(tape, store, &batch_graphs, rng) else {
-                continue; // the method had nothing to train on this batch
-            };
-            let total = tape.scalar(step.loss);
-            // loss guard BEFORE backprop: a non-finite loss makes every
-            // gradient garbage, so don't even compute them
-            guard.check_loss(total).map_err(|k| (bi, k))?;
-            store.backward(tape, step.loss);
-            // gradient guard BEFORE clipping: clipping a NaN/inf norm is a
-            // no-op, and a single poisoned step would corrupt Adam's
-            // moment estimates for the rest of the run
-            if let Err(kind) = guard.check_gradients(store) {
-                store.zero_grads();
-                return Err((bi, kind));
-            }
-            store.clip_grad_norm(self.config.grad_clip);
-            opt.step(store);
-            let (ls, lc) = step.components.unwrap_or((total, 0.0));
-            method.post_step(&mut StepCtx {
-                tape,
-                store,
-                opt,
-                rng,
-                graphs: &batch_graphs,
-                loss: total,
+        } else {
+            let chunks = &chunks;
+            let depth = self.config.prefetch;
+            let result = std::thread::scope(|s| {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<PreparedBatch<'_>>(depth);
+                s.spawn(move || {
+                    for (bi, chunk) in chunks.iter().enumerate() {
+                        let prepared = PreparedBatch::assemble(
+                            chunk.iter().map(|&i| &graphs[i]).collect(),
+                            bi,
+                            true,
+                        );
+                        if tx.send(prepared).is_err() {
+                            return; // consumer hit a fault and hung up
+                        }
+                    }
+                });
+                for prepared in rx.iter() {
+                    let mut derived = derive(prepared.index);
+                    let brng = derived.as_mut().unwrap_or(&mut *rng);
+                    self.train_batch(method, store, opt, tape, &prepared, brng, &mut acc)?;
+                }
+                Ok(())
+                // rx drops here; a blocked producer sees the hangup and exits
             });
-            tl += total as f64;
-            ts += ls as f64;
-            tc += lc as f64;
-            batches += 1;
+            result?;
         }
-        guard.check_params(store).map_err(|k| (batches, k))?;
-        let b = batches.max(1) as f64;
+
+        let guard = &self.policy.guard;
+        guard.check_params(store).map_err(|k| (acc.batches, k))?;
+        let b = acc.batches.max(1) as f64;
         Ok(EpochStats {
-            loss: (tl / b) as f32,
-            loss_s: (ts / b) as f32,
-            loss_c: (tc / b) as f32,
+            loss: (acc.tl / b) as f32,
+            loss_s: (acc.ts / b) as f32,
+            loss_c: (acc.tc / b) as f32,
         })
     }
+
+    /// Trains on one prepared batch: record the loss, guard it, backprop,
+    /// guard the gradients, clip, step, run the method's post-step hook.
+    #[allow(clippy::too_many_arguments)]
+    fn train_batch<M: ContrastiveMethod + ?Sized>(
+        &self,
+        method: &mut M,
+        store: &mut ParamStore,
+        opt: &mut Adam,
+        tape: &mut Tape,
+        prepared: &PreparedBatch<'_>,
+        rng: &mut StdRng,
+        acc: &mut EpochAccum,
+    ) -> Result<(), (usize, FaultKind)> {
+        let guard = &self.policy.guard;
+        let bi = prepared.index;
+        // recycle the previous step's node buffers before recording
+        tape.reset();
+        let Some(step) = method.batch_loss(tape, store, prepared, rng) else {
+            return Ok(()); // the method had nothing to train on this batch
+        };
+        let total = tape.scalar(step.loss);
+        // loss guard BEFORE backprop: a non-finite loss makes every
+        // gradient garbage, so don't even compute them
+        guard.check_loss(total).map_err(|k| (bi, k))?;
+        store.backward(tape, step.loss);
+        // gradient guard BEFORE clipping: clipping a NaN/inf norm is a
+        // no-op, and a single poisoned step would corrupt Adam's
+        // moment estimates for the rest of the run
+        if let Err(kind) = guard.check_gradients(store) {
+            store.zero_grads();
+            return Err((bi, kind));
+        }
+        store.clip_grad_norm(self.config.grad_clip);
+        opt.step(store);
+        let (ls, lc) = step.components.unwrap_or((total, 0.0));
+        method.post_step(&mut StepCtx {
+            tape,
+            store,
+            opt,
+            rng,
+            prepared,
+            loss: total,
+        });
+        acc.tl += total as f64;
+        acc.ts += ls as f64;
+        acc.tc += lc as f64;
+        acc.batches += 1;
+        Ok(())
+    }
+}
+
+/// Running loss totals of one epoch.
+#[derive(Default)]
+struct EpochAccum {
+    tl: f64,
+    ts: f64,
+    tc: f64,
+    batches: usize,
 }
 
 #[cfg(test)]
@@ -511,7 +673,7 @@ mod tests {
             &mut self,
             tape: &mut Tape,
             store: &ParamStore,
-            _graphs: &[&Graph],
+            _prepared: &PreparedBatch<'_>,
             _rng: &mut StdRng,
         ) -> Option<StepLoss> {
             let w = store.leaf(tape, self.w);
@@ -541,6 +703,7 @@ mod tests {
                 batch_size: 2,
                 lr: 0.05,
                 grad_clip: 5.0,
+                prefetch: 0,
             },
             RecoveryPolicy::default(),
         );
@@ -565,6 +728,7 @@ mod tests {
                 batch_size: 2,
                 lr: 0.05,
                 grad_clip: 5.0,
+                prefetch: 0,
             },
             RecoveryPolicy::default(),
         );
@@ -598,6 +762,7 @@ mod tests {
                 batch_size: 2,
                 lr: 0.05,
                 grad_clip: 5.0,
+                prefetch: 0,
             },
             RecoveryPolicy::default(),
         );

@@ -22,8 +22,9 @@
 use rand::Rng;
 use sgcl_gnn::{EncoderConfig, GnnEncoder};
 use sgcl_graph::{Graph, GraphBatch};
+use sgcl_tensor::kernels::run_rows;
 use sgcl_tensor::{stable_sigmoid, Initializer, Matrix, ParamId, ParamStore, Tape, Var};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How to compute per-node Lipschitz constants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,9 +110,30 @@ impl LipschitzGenerator {
         }
     }
 
+    /// Per-node topology divisors `D_T = √(2·deg)` (floored at 1.0), laid
+    /// out over the batch's global node ids from the cached graph degrees.
+    fn topology_divisors(batch: &GraphBatch, graphs: &[&Graph]) -> Vec<f32> {
+        let mut d_t = vec![0.0f32; batch.total_nodes()];
+        for (gi, g) in graphs.iter().enumerate() {
+            let start = batch.graph_nodes(gi).start;
+            for (local, &deg) in g.degrees().iter().enumerate() {
+                d_t[start + local] = ((2 * deg) as f32).sqrt().max(1.0);
+            }
+        }
+        d_t
+    }
+
     /// Exact mask mechanism: for each node `r`, rerun `f_q` with `m_r`
     /// zeroing that node (Eq. 13–14) and measure
     /// `D_R = ‖H⁽ˡ⁾ − Ĥ_r⁽ˡ⁾‖_F` over the node's own graph (Eq. 12).
+    ///
+    /// The masked forwards are mutually independent, so the nodes are
+    /// partitioned across the kernels' scoped worker threads. Each worker
+    /// reuses one `Tape` (reset between nodes, recycling its buffers
+    /// through the thread-local pool) and one mask column with a single
+    /// entry flipped per node. Every constant is produced by exactly one
+    /// thread running the identical sequential code, so results are
+    /// bit-exact at any thread count.
     fn exact_constants(
         &self,
         store: &ParamStore,
@@ -121,40 +143,52 @@ impl LipschitzGenerator {
         let n = batch.total_nodes();
         let mut tape = Tape::new();
         let full = self.encoder.forward(&mut tape, store, batch, None);
-        let full_h = tape.value(full).clone();
+        let full_h = tape.value(full);
+
+        let d_t = Self::topology_divisors(batch, graphs);
+        let cfg = self.encoder.config();
+        // one full forward per node: layers × (dense + message-passing) flops
+        let per_forward = cfg.num_layers
+            * (n * cfg.hidden_dim * cfg.hidden_dim + batch.total_directed_edges() * cfg.hidden_dim);
+        let work = n.saturating_mul(per_forward);
 
         let mut constants = vec![0.0f32; n];
-        for (gi, g) in graphs.iter().enumerate() {
-            let range = batch.graph_nodes(gi);
-            let degrees = g.degrees();
-            for local in 0..g.num_nodes() {
-                let global = range.start + local;
-                let mut mask = Matrix::ones(n, 1);
+        run_rows(n, 1, &mut constants, work, &|first, count, out| {
+            let mut t = Tape::new();
+            let mut mask = Matrix::ones(n, 1);
+            for (i, slot) in out.iter_mut().take(count).enumerate() {
+                let global = first + i;
                 mask.set(global, 0, 0.0);
-                let mut t = Tape::new();
-                let masked = self
-                    .encoder
-                    .forward(&mut t, store, batch, Some(Rc::new(mask)));
+                t.reset();
+                let masked = self.encoder.forward(&mut t, store, batch, Some(&mask));
                 let masked_h = t.value(masked);
-                // D_R restricted to this graph's rows
+                // D_R restricted to this node's own graph's rows
+                let range = batch.graph_nodes(batch.node_graph[global]);
                 let mut d_r = 0.0f32;
-                for r in range.clone() {
+                for r in range {
                     for (a, b) in full_h.row(r).iter().zip(masked_h.row(r)) {
                         let d = a - b;
                         d_r += d * d;
                     }
                 }
-                let d_r = d_r.sqrt();
-                let d_t = ((2 * degrees[local]) as f32).sqrt().max(1.0);
-                constants[global] = d_r / d_t;
+                *slot = d_r.sqrt() / d_t[global];
+                mask.set(global, 0, 1.0);
             }
-        }
+        });
         constants
     }
 
     /// §V attention approximation: one `f_q` pass, attention weights over
     /// directed edges, and each node's contribution deleted in closed form:
     /// `D_R(G, Ĝ_r)² ≈ ‖h_r‖² + Σ_{i∈N(r)} (α_{r→i} ‖h_r‖)²`.
+    ///
+    /// Every phase is row-parallel over nodes. The per-node attention
+    /// logits `⟨h_i, a_s⟩` / `⟨h_i, a_d⟩` are computed **once per node**
+    /// (an edge-major loop used to re-evaluate them per incident edge),
+    /// and the edge reductions walk the batch's cached by-destination /
+    /// by-source edge groupings in ascending edge-id order — the exact
+    /// accumulation order of the sequential edge-major loops, so results
+    /// are bit-identical at any thread count.
     fn approx_constants(
         &self,
         store: &ParamStore,
@@ -164,65 +198,87 @@ impl LipschitzGenerator {
         let n = batch.total_nodes();
         let mut tape = Tape::new();
         let h = self.encoder.forward(&mut tape, store, batch, None);
-        let hm = tape.value(h).clone();
+        let hm = tape.value(h);
+        let d = self.encoder.output_dim();
 
         // attention scores on directed edges src→dst, normalised over the
         // incoming edges of each dst (plus a self edge, Vaswani-style)
         let a_s = store.value(self.att_src);
         let a_d = store.value(self.att_dst);
-        let score = |i: usize, a: &Matrix| -> f32 {
-            hm.row(i)
-                .iter()
-                .zip(a.as_slice())
-                .map(|(&x, &w)| x * w)
-                .sum()
-        };
-        let src = &batch.edge_src;
-        let dst = &batch.edge_dst;
+        let src = &batch.edge_src[..];
+        let dst = &batch.edge_dst[..];
         let e = src.len();
-        // softmax over incoming edges per dst, including an implicit self edge
-        let mut max_per_dst = vec![f32::NEG_INFINITY; n];
-        let mut edge_logit = vec![0.0f32; e];
-        let mut self_logit = vec![0.0f32; n];
-        for i in 0..n {
-            self_logit[i] = score(i, a_s) + score(i, a_d);
-            max_per_dst[i] = self_logit[i];
-        }
-        for k in 0..e {
-            let l = score(src[k], a_s) + score(dst[k], a_d);
-            edge_logit[k] = l;
-            if l > max_per_dst[dst[k]] {
-                max_per_dst[dst[k]] = l;
-            }
-        }
-        let mut denom = vec![0.0f32; n];
-        for i in 0..n {
-            denom[i] = (self_logit[i] - max_per_dst[i]).exp();
-        }
-        for k in 0..e {
-            denom[dst[k]] += (edge_logit[k] - max_per_dst[dst[k]]).exp();
-        }
-        // contribution of r to each neighbour i: α_{r→i}·‖h_r‖
-        let norms: Vec<f32> = (0..n)
-            .map(|i| hm.row(i).iter().map(|&v| v * v).sum::<f32>().sqrt())
-            .collect();
-        let mut d_r_sq: Vec<f32> = norms.iter().map(|&v| v * v).collect();
-        for k in 0..e {
-            let alpha = (edge_logit[k] - max_per_dst[dst[k]]).exp() / denom[dst[k]].max(1e-12);
-            let c = alpha * norms[src[k]];
-            d_r_sq[src[k]] += c * c;
-        }
+        let edge_work = (n + e) * d;
 
-        let mut constants = vec![0.0f32; n];
-        for (gi, g) in graphs.iter().enumerate() {
-            let range = batch.graph_nodes(gi);
-            let degrees = g.degrees();
-            for local in 0..g.num_nodes() {
-                let global = range.start + local;
-                let d_t = ((2 * degrees[local]) as f32).sqrt().max(1.0);
-                constants[global] = d_r_sq[global].sqrt() / d_t;
+        // per-node logits [⟨h_i,a_s⟩, ⟨h_i,a_d⟩], each computed exactly once
+        let mut scores = vec![0.0f32; 2 * n];
+        run_rows(n, 2, &mut scores, n * d, &|first, count, out| {
+            for i in 0..count {
+                let row = hm.row(first + i);
+                out[2 * i] = row
+                    .iter()
+                    .zip(a_s.as_slice())
+                    .map(|(&x, &w)| x * w)
+                    .sum::<f32>();
+                out[2 * i + 1] = row
+                    .iter()
+                    .zip(a_d.as_slice())
+                    .map(|(&x, &w)| x * w)
+                    .sum::<f32>();
             }
-        }
+        });
+        let logit = |k: usize| scores[2 * src[k]] + scores[2 * dst[k] + 1];
+
+        // per-node softmax statistics [max, denom] over incoming edges
+        // (self edge first, then ascending edge id — the sequential order)
+        let by_dst = batch.edges_by_dst();
+        let mut softmax = vec![0.0f32; 2 * n];
+        run_rows(n, 2, &mut softmax, edge_work, &|first, count, out| {
+            for i in 0..count {
+                let node = first + i;
+                let self_logit = scores[2 * node] + scores[2 * node + 1];
+                let mut max = self_logit;
+                for &k in by_dst.node(node) {
+                    let l = logit(k);
+                    if l > max {
+                        max = l;
+                    }
+                }
+                let mut denom = (self_logit - max).exp();
+                for &k in by_dst.node(node) {
+                    denom += (logit(k) - max).exp();
+                }
+                out[2 * i] = max;
+                out[2 * i + 1] = denom;
+            }
+        });
+
+        // ‖h_r‖ per node
+        let mut norms = vec![0.0f32; n];
+        run_rows(n, 1, &mut norms, n * d, &|first, count, out| {
+            for (i, slot) in out.iter_mut().take(count).enumerate() {
+                *slot = hm.row(first + i).iter().map(|&v| v * v).sum::<f32>().sqrt();
+            }
+        });
+
+        // contribution of r to each neighbour i: α_{r→i}·‖h_r‖, summed over
+        // r's outgoing edges in ascending edge-id order
+        let by_src = batch.edges_by_src();
+        let d_t = Self::topology_divisors(batch, graphs);
+        let mut constants = vec![0.0f32; n];
+        run_rows(n, 1, &mut constants, edge_work, &|first, count, out| {
+            for (i, slot) in out.iter_mut().take(count).enumerate() {
+                let r = first + i;
+                let mut d_r_sq = norms[r] * norms[r];
+                for &k in by_src.node(r) {
+                    let dk = dst[k];
+                    let alpha = (logit(k) - softmax[2 * dk]).exp() / softmax[2 * dk + 1].max(1e-12);
+                    let c = alpha * norms[r];
+                    d_r_sq += c * c;
+                }
+                *slot = d_r_sq.sqrt() / d_t[r];
+            }
+        });
         constants
     }
 
@@ -259,8 +315,8 @@ impl LipschitzGenerator {
         let logits = tape.matmul(h, w); // n × 1
         let sig = tape.sigmoid(logits);
         let n = binary_c.len();
-        let c = Rc::new(Matrix::from_vec(n, 1, binary_c.to_vec()));
-        let one_minus_c = Rc::new(c.map(|v| 1.0 - v));
+        let c = Arc::new(Matrix::from_vec(n, 1, binary_c.to_vec()));
+        let one_minus_c = Arc::new(c.map(|v| 1.0 - v));
         let gated = tape.hadamard_const(sig, one_minus_c);
         let cv = tape.constant((*c).clone());
         tape.add(cv, gated)

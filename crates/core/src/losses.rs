@@ -13,7 +13,7 @@
 //! usual cosine-similarity semantics.
 
 use sgcl_tensor::{ParamId, ParamStore, Tape, Var};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Eq. 24. `z_anchor` and `z_pos` are `B × d` with row `i` of `z_pos` the
 /// contrastive sample of anchor `i`. Returns the scalar mean loss
@@ -72,7 +72,7 @@ pub fn complement_loss(tape: &mut Tape, z_anchor: Var, z_pos: Var, z_comp: Var, 
     let sim_comp = tape.matmul_nt(za, zc);
     let comp_logits = tape.scale(sim_comp, 1.0 / tau); // B × B negatives
     let logits = tape.concat_cols(pos_col, comp_logits); // B × (1 + B)
-    let targets = Rc::new(vec![0usize; b]);
+    let targets = Arc::new(vec![0usize; b]);
     tape.softmax_cross_entropy(logits, targets)
 }
 

@@ -20,7 +20,7 @@
 //! the per-batch loss. Ablation toggles reproduce every row of Table V.
 
 use crate::augmentation::{complement_augment, lipschitz_augment};
-use crate::engine::{ContrastiveMethod, Engine, EngineConfig, StepLoss};
+use crate::engine::{ContrastiveMethod, Engine, EngineConfig, PreparedBatch, StepLoss};
 use crate::lipschitz::{LipschitzGenerator, LipschitzMode};
 use crate::losses::{complement_loss, semantic_info_nce, weight_norm_regulariser};
 use crate::recovery::RecoveryPolicy;
@@ -32,7 +32,7 @@ use sgcl_gnn::{EncoderConfig, EncoderKind, GnnEncoder, Pooling, ProjectionHead};
 use sgcl_graph::augment::drop_nodes_uniform;
 use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{AdamState, Matrix, ParamStore, Tape};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Ablation switches matching Table V's rows.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -77,6 +77,10 @@ pub struct SgclConfig {
     pub pooling: Pooling,
     /// Ablation switches.
     pub ablation: Ablation,
+    /// Batches assembled ahead of the training step (0 = synchronous).
+    /// Pure pipelining — results are bit-identical at any depth — so this
+    /// is deliberately absent from [`SgclConfig::hparams`].
+    pub prefetch: usize,
 }
 
 impl SgclConfig {
@@ -102,6 +106,7 @@ impl SgclConfig {
             lipschitz_mode: LipschitzMode::AttentionApprox,
             pooling: Pooling::Sum,
             ablation: Ablation::default(),
+            prefetch: 0,
         }
     }
 
@@ -200,11 +205,12 @@ impl ContrastiveMethod for SgclMethod<'_> {
         &mut self,
         tape: &mut Tape,
         store: &ParamStore,
-        graphs: &[&Graph],
+        prepared: &PreparedBatch<'_>,
         rng: &mut StdRng,
     ) -> Option<StepLoss> {
         let cfg = self.config;
-        let batch = GraphBatch::new(graphs);
+        let graphs = prepared.graphs.as_slice();
+        let batch = &prepared.batch;
 
         // --- steps 1–2: Lipschitz constants and keep-probabilities ---
         let (k_v, p_values, p_var) = if cfg.ablation.random_augment {
@@ -216,13 +222,13 @@ impl ContrastiveMethod for SgclMethod<'_> {
         } else {
             let k = self
                 .generator
-                .node_constants(store, &batch, graphs, cfg.lipschitz_mode);
+                .node_constants(store, batch, graphs, cfg.lipschitz_mode);
             let c = if cfg.ablation.no_lga {
                 vec![0.0f32; batch.total_nodes()] // pure learnable generator
             } else {
-                LipschitzGenerator::binarize(&batch, &k)
+                LipschitzGenerator::binarize(batch, &k)
             };
-            let p_var = self.generator.augmentation_prob(tape, store, &batch, &c);
+            let p_var = self.generator.augmentation_prob(tape, store, batch, &c);
             let p_values: Vec<f32> = tape.value(p_var).as_slice().to_vec();
             (k, p_values, Some(p_var))
         };
@@ -261,12 +267,12 @@ impl ContrastiveMethod for SgclMethod<'_> {
 
         // --- step 4: embed anchors, samples, complements ---
         // anchors: Eq. 21 — Lipschitz-weighted pooling
-        let h_anchor = self.encoder.forward(tape, store, &batch, None);
+        let h_anchor = self.encoder.forward(tape, store, batch, None);
         let pooled_anchor = if cfg.ablation.no_srl || cfg.ablation.random_augment {
-            cfg.pooling.apply(tape, &batch, h_anchor)
+            cfg.pooling.apply(tape, batch, h_anchor)
         } else {
             let w = tape.constant(Matrix::from_vec(k_v.len(), 1, k_v.clone()));
-            cfg.pooling.apply_weighted(tape, &batch, h_anchor, w)
+            cfg.pooling.apply_weighted(tape, batch, h_anchor, w)
         };
         let z_anchor = self.proj.forward(tape, store, pooled_anchor);
 
@@ -276,7 +282,7 @@ impl ContrastiveMethod for SgclMethod<'_> {
         let hat_features = tape.constant(hat_batch.features.clone());
         let hat_features = match p_var.filter(|_| !cfg.ablation.no_relaxation) {
             Some(p) => {
-                let p_kept = tape.gather_rows(p, Rc::new(hat_kept_global));
+                let p_kept = tape.gather_rows(p, Arc::new(hat_kept_global));
                 tape.scale_rows(hat_features, p_kept)
             }
             None => hat_features,
@@ -340,6 +346,7 @@ impl SgclModel {
                 batch_size: self.config.batch_size,
                 lr: self.config.lr,
                 grad_clip: 5.0,
+                prefetch: self.config.prefetch,
             },
             *policy,
         )

@@ -1,0 +1,112 @@
+//! Property test: the parallel Lipschitz constant generator is **bit-exact**
+//! against the sequential path in both modes. The exact mode partitions
+//! nodes across worker threads (one masked forward each); the attention
+//! approximation runs four row-parallel phases whose edge reductions walk
+//! the batch's cached edge groupings in ascending edge-id order. Both must
+//! produce the identical bit pattern at any thread count.
+//!
+//! Kept as a single `#[test]` (proptest cases run sequentially inside it)
+//! so the global thread-count switch never races with another test in this
+//! binary. Batch sizes are chosen to cross the kernels' parallel-work
+//! threshold, so the 4-thread runs genuinely take the threaded path.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_core::lipschitz::{LipschitzGenerator, LipschitzMode};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::{Graph, GraphBatch};
+use sgcl_tensor::{set_num_threads, Matrix, ParamStore};
+
+const INPUT_DIM: usize = 8;
+
+/// A connected-ish random graph: a path backbone plus random extra edges.
+fn random_graph(nodes: usize, extra_edges: usize, rng: &mut StdRng) -> Graph {
+    let mut edges: Vec<(u32, u32)> = (1..nodes as u32).map(|v| (v - 1, v)).collect();
+    for _ in 0..extra_edges {
+        let u = rng.gen_range(0..nodes as u32);
+        let v = rng.gen_range(0..nodes as u32);
+        if u < v && !edges.contains(&(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    let mut features = Matrix::zeros(nodes, INPUT_DIM);
+    for i in 0..nodes {
+        features.set(i, i % INPUT_DIM, 1.0);
+    }
+    Graph::new(nodes, edges, features)
+}
+
+fn generator(seed: u64) -> (ParamStore, LipschitzGenerator) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let gen = LipschitzGenerator::new(
+        "gen",
+        &mut store,
+        EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: INPUT_DIM,
+            hidden_dim: 16,
+            num_layers: 2,
+        },
+        &mut rng,
+    );
+    (store, gen)
+}
+
+fn assert_bits_equal(seq: &[f32], par: &[f32], label: &str) {
+    assert_eq!(seq.len(), par.len(), "{label}: length");
+    for (i, (a, b)) in seq.iter().zip(par).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: constant {i} diverged: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_node_constants_are_bit_exact(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graphs: Vec<Graph> = (0..6)
+            .map(|_| {
+                let n = rng.gen_range(8..=20);
+                let extra = rng.gen_range(0..2 * n);
+                random_graph(n, extra, &mut rng)
+            })
+            .collect();
+        let (store, gen) = generator(seed ^ 0xA5A5);
+
+        // exact mode: ~60–120 nodes crosses the parallel-work threshold
+        // (work ≈ n² · layers · hidden²)
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let batch = GraphBatch::new(&refs);
+        set_num_threads(1);
+        let exact_seq = gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactMask);
+        let approx_small_seq =
+            gen.node_constants(&store, &batch, &refs, LipschitzMode::AttentionApprox);
+        set_num_threads(4);
+        let exact_par = gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactMask);
+        let approx_small_par =
+            gen.node_constants(&store, &batch, &refs, LipschitzMode::AttentionApprox);
+        assert_bits_equal(&exact_seq, &exact_par, "exact");
+        assert_bits_equal(&approx_small_seq, &approx_small_par, "approx (small)");
+
+        // approx mode above threshold: replicate the graphs until the
+        // per-phase edge work (n + e)·d crosses the parallel threshold
+        let big_refs: Vec<&Graph> = (0..600).map(|i| &graphs[i % graphs.len()]).collect();
+        let big_batch = GraphBatch::new(&big_refs);
+        set_num_threads(1);
+        let approx_seq =
+            gen.node_constants(&store, &big_batch, &big_refs, LipschitzMode::AttentionApprox);
+        set_num_threads(4);
+        let approx_par =
+            gen.node_constants(&store, &big_batch, &big_refs, LipschitzMode::AttentionApprox);
+        set_num_threads(0);
+        assert_bits_equal(&approx_seq, &approx_par, "approx (large)");
+    }
+}

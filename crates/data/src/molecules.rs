@@ -204,7 +204,7 @@ mod tests {
         for _ in 0..20 {
             let g = generate_molecule(&MoleculeConfig::default(), &[], &mut rng);
             // decorations respect valence 4; ring fusions can push a bit higher
-            assert!(g.degrees().into_iter().max().unwrap() <= 6);
+            assert!(g.degrees().iter().copied().max().unwrap() <= 6);
         }
     }
 

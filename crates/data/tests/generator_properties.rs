@@ -78,7 +78,7 @@ proptest! {
         prop_assert!(g.scaffold.is_some());
         prop_assert!(g.node_tags.iter().all(|&t| (t as usize) < NUM_ATOM_TYPES));
         // tree decorations respect valence 4; ring atoms can reach ~6
-        prop_assert!(g.degrees().into_iter().max().unwrap() <= 7);
+        prop_assert!(g.degrees().iter().copied().max().unwrap() <= 7);
         // semantic count equals total group size
         let sem = g.semantic_mask.as_ref().unwrap().iter().filter(|&&m| m).count();
         let expected: usize = groups.iter().map(|f| f.motif.size()).sum();

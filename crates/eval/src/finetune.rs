@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use sgcl_gnn::{ClassifierHead, GnnEncoder, Pooling};
 use sgcl_graph::{Graph, GraphBatch, GraphLabel};
 use sgcl_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Fine-tuning hyperparameters.
 #[derive(Clone, Copy, Debug)]
@@ -81,7 +81,7 @@ pub fn finetune_classify(
             let h = encoder.forward(&mut tape, &store, &batch, None);
             let pooled = pooling.apply(&mut tape, &batch, h);
             let logits = head.forward(&mut tape, &store, pooled);
-            let loss = tape.softmax_cross_entropy(logits, Rc::new(targets));
+            let loss = tape.softmax_cross_entropy(logits, Arc::new(targets));
             store.backward(&tape, loss);
             store.clip_grad_norm(5.0);
             opt.step(&mut store);
@@ -149,7 +149,7 @@ pub fn finetune_multitask(
             let h = encoder.forward(&mut tape, &store, &batch, None);
             let pooled = pooling.apply(&mut tape, &batch, h);
             let logits = head.forward(&mut tape, &store, pooled);
-            let loss = tape.bce_with_logits(logits, Rc::new(targets), Rc::new(mask));
+            let loss = tape.bce_with_logits(logits, Arc::new(targets), Arc::new(mask));
             store.backward(&tape, loss);
             store.clip_grad_norm(5.0);
             opt.step(&mut store);

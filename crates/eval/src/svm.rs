@@ -228,8 +228,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let (x, mut y) = separable_2d(100, &mut rng);
         // flip 10% of labels
-        for i in 0..10 {
-            y[i] = -y[i];
+        for label in y.iter_mut().take(10) {
+            *label = -*label;
         }
         let svm = BinarySvm::train(
             &x,

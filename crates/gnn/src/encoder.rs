@@ -11,7 +11,7 @@ use crate::linear::{Activation, Linear, Mlp};
 use rand::Rng;
 use sgcl_graph::GraphBatch;
 use sgcl_tensor::{Initializer, Matrix, ParamId, ParamStore, Tape, Var};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which message-passing architecture to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,7 +164,7 @@ impl GnnEncoder {
         tape: &mut Tape,
         store: &ParamStore,
         batch: &GraphBatch,
-        mask: Option<Rc<Matrix>>,
+        mask: Option<&Matrix>,
     ) -> Var {
         let x = tape.constant(batch.features.clone());
         self.forward_from(tape, store, batch, x, mask)
@@ -176,18 +176,21 @@ impl GnnEncoder {
     /// `mask` is an optional `total_nodes × 1` column of 0/1 perturbation
     /// constants `m_r` (Eq. 13); it is applied to the input and to every
     /// layer output, so masked nodes contribute nothing to message passing.
+    /// The mask is borrowed (its contents are copied onto the tape per
+    /// layer), so callers can reuse one buffer across many forwards — the
+    /// parallel Lipschitz generator flips one entry per node.
     pub fn forward_from(
         &self,
         tape: &mut Tape,
         store: &ParamStore,
         batch: &GraphBatch,
         features: Var,
-        mask: Option<Rc<Matrix>>,
+        mask: Option<&Matrix>,
     ) -> Var {
         let apply_mask = |tape: &mut Tape, h: Var| -> Var {
-            match &mask {
+            match mask {
                 Some(m) => {
-                    let mv = tape.constant((**m).clone());
+                    let mv = tape.constant(m.clone());
                     tape.scale_rows(h, mv)
                 }
                 None => h,
@@ -253,8 +256,8 @@ impl GnnEncoder {
         let mut dst: Vec<usize> = batch.edge_dst.as_ref().clone();
         src.extend(0..n);
         dst.extend(0..n);
-        let src = Rc::new(src);
-        let dst = Rc::new(dst);
+        let src = Arc::new(src);
+        let dst = Arc::new(dst);
 
         let wh = lin.forward(tape, store, h); // n × d
         let a_s = store.leaf(tape, att_src); // d × 1
@@ -328,7 +331,7 @@ mod tests {
             let mut mask = Matrix::ones(7, 1);
             mask.set(2, 0, 0.0); // mask node 2 of the first graph
             let mut tape = Tape::new();
-            let h = enc.forward(&mut tape, &store, &batch, Some(Rc::new(mask)));
+            let h = enc.forward(&mut tape, &store, &batch, Some(&mask));
             let out = tape.value(h);
             assert!(
                 out.row(2).iter().all(|&v| v == 0.0),
@@ -348,7 +351,7 @@ mod tests {
         let mut mask = Matrix::ones(7, 1);
         mask.set(1, 0, 0.0);
         let mut t2 = Tape::new();
-        let masked = enc.forward(&mut t2, &store, &batch, Some(Rc::new(mask)));
+        let masked = enc.forward(&mut t2, &store, &batch, Some(&mask));
         // node 0 neighbours node 1 → its representation must move
         let diff: f32 = t1
             .value(full)
@@ -369,7 +372,7 @@ mod tests {
         let mut mask = Matrix::ones(7, 1);
         mask.set(1, 0, 0.0); // node in graph 0
         let mut t2 = Tape::new();
-        let masked = enc.forward(&mut t2, &store, &batch, Some(Rc::new(mask)));
+        let masked = enc.forward(&mut t2, &store, &batch, Some(&mask));
         // rows of graph 1 (nodes 4..7) must be identical
         for r in 4..7 {
             assert_eq!(t1.value(full).row(r), t2.value(masked).row(r));
@@ -399,7 +402,7 @@ mod tests {
             );
             let head = Linear::new("head", &mut store, 8, 2, &mut rng);
             let mut opt = Adam::new(0.02);
-            let targets = Rc::new(vec![0usize, 1]);
+            let targets = Arc::new(vec![0usize, 1]);
             let mut last = f32::INFINITY;
             for _ in 0..150 {
                 let mut tape = Tape::new();

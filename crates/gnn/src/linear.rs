@@ -163,7 +163,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mlp = Mlp::new("m", &mut store, &[2, 8, 2], Activation::Tanh, &mut rng);
         let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
-        let targets = std::rc::Rc::new(vec![0usize, 1, 1, 0]);
+        let targets = std::sync::Arc::new(vec![0usize, 1, 1, 0]);
         let mut opt = Adam::new(0.05);
         let mut final_loss = f32::INFINITY;
         for _ in 0..400 {

@@ -9,31 +9,74 @@
 
 use crate::graph::Graph;
 use sgcl_tensor::{CsrMatrix, Matrix};
-use std::cell::OnceCell;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
+
+/// Edge ids grouped by one endpoint in CSR layout: the ids of the edges
+/// touching node `i` are `ids[offsets[i]..offsets[i + 1]]`, in **ascending
+/// edge-id order** within each node. That ordering is what lets per-node
+/// reductions over incident edges reproduce the sequential
+/// edge-major accumulation order bit-for-bit when nodes are processed in
+/// parallel.
+#[derive(Debug)]
+pub struct EdgeIndex {
+    /// Per-node start offsets into `ids`; length `total_nodes + 1`.
+    pub offsets: Vec<usize>,
+    /// Edge ids (indices into `edge_src`/`edge_dst`), grouped by node.
+    pub ids: Vec<usize>,
+}
+
+impl EdgeIndex {
+    /// Counting-sort of edge ids by `key` (stable, so ids stay ascending
+    /// within each node's group).
+    fn group(keys: &[usize], num_nodes: usize) -> Self {
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for &k in keys {
+            offsets[k + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut ids = vec![0usize; keys.len()];
+        for (e, &k) in keys.iter().enumerate() {
+            ids[cursor[k]] = e;
+            cursor[k] += 1;
+        }
+        Self { offsets, ids }
+    }
+
+    /// Edge ids incident to node `i`.
+    pub fn node(&self, i: usize) -> &[usize] {
+        &self.ids[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
 
 /// A batch of graphs merged into one disconnected super-graph.
 pub struct GraphBatch {
     /// Stacked node features (`total_nodes × d`).
     pub features: Matrix,
     /// Block-diagonal adjacency without self-loops.
-    pub adj: Rc<CsrMatrix>,
+    pub adj: Arc<CsrMatrix>,
     /// Block-diagonal adjacency with self-loops (GCN convention).
-    pub adj_self_loops: Rc<CsrMatrix>,
+    pub adj_self_loops: Arc<CsrMatrix>,
     /// Graph index of every node row.
-    pub node_graph: Rc<Vec<usize>>,
+    pub node_graph: Arc<Vec<usize>>,
     /// Start offset of each graph's nodes; length `num_graphs + 1`.
     pub node_offsets: Vec<usize>,
     /// Directed edge sources (both directions of every undirected edge).
-    pub edge_src: Rc<Vec<usize>>,
+    pub edge_src: Arc<Vec<usize>>,
     /// Directed edge destinations, aligned with `edge_src`.
-    pub edge_dst: Rc<Vec<usize>>,
+    pub edge_dst: Arc<Vec<usize>>,
     /// Number of graphs in the batch.
     pub num_graphs: usize,
     /// Lazily built `D^{-1/2}(A+I)D^{-1/2}` (see [`GraphBatch::sym_normalized_adj`]).
-    sym_norm: OnceCell<Rc<CsrMatrix>>,
+    sym_norm: OnceLock<Arc<CsrMatrix>>,
     /// Lazily built `D^{-1}A` (see [`GraphBatch::row_normalized_adj`]).
-    row_norm: OnceCell<Rc<CsrMatrix>>,
+    row_norm: OnceLock<Arc<CsrMatrix>>,
+    /// Lazily built edge ids grouped by destination node.
+    by_dst: OnceLock<EdgeIndex>,
+    /// Lazily built edge ids grouped by source node.
+    by_src: OnceLock<EdgeIndex>,
 }
 
 impl GraphBatch {
@@ -81,19 +124,21 @@ impl GraphBatch {
 
         Self {
             features,
-            adj: Rc::new(CsrMatrix::from_triplets(total_nodes, total_nodes, triplets)),
-            adj_self_loops: Rc::new(CsrMatrix::from_triplets(
+            adj: Arc::new(CsrMatrix::from_triplets(total_nodes, total_nodes, triplets)),
+            adj_self_loops: Arc::new(CsrMatrix::from_triplets(
                 total_nodes,
                 total_nodes,
                 triplets_loops,
             )),
-            node_graph: Rc::new(node_graph),
+            node_graph: Arc::new(node_graph),
             node_offsets,
-            edge_src: Rc::new(edge_src),
-            edge_dst: Rc::new(edge_dst),
+            edge_src: Arc::new(edge_src),
+            edge_dst: Arc::new(edge_dst),
             num_graphs: graphs.len(),
-            sym_norm: OnceCell::new(),
-            row_norm: OnceCell::new(),
+            sym_norm: OnceLock::new(),
+            row_norm: OnceLock::new(),
+            by_dst: OnceLock::new(),
+            by_src: OnceLock::new(),
         }
     }
 
@@ -126,22 +171,36 @@ impl GraphBatch {
     /// GCN-normalised self-loop adjacency `D^{-1/2}(A+I)D^{-1/2}`, built
     /// in place on first use and shared by every later layer/epoch on this
     /// batch (encoders used to re-normalise per forward pass).
-    pub fn sym_normalized_adj(&self) -> Rc<CsrMatrix> {
-        Rc::clone(self.sym_norm.get_or_init(|| {
+    pub fn sym_normalized_adj(&self) -> Arc<CsrMatrix> {
+        Arc::clone(self.sym_norm.get_or_init(|| {
             let mut a = (*self.adj_self_loops).clone();
             a.sym_normalize_in_place();
-            Rc::new(a)
+            Arc::new(a)
         }))
     }
 
     /// Row-normalised adjacency `D^{-1}A` (mean aggregation), cached like
     /// [`GraphBatch::sym_normalized_adj`].
-    pub fn row_normalized_adj(&self) -> Rc<CsrMatrix> {
-        Rc::clone(self.row_norm.get_or_init(|| {
+    pub fn row_normalized_adj(&self) -> Arc<CsrMatrix> {
+        Arc::clone(self.row_norm.get_or_init(|| {
             let mut a = (*self.adj).clone();
             a.row_normalize_in_place();
-            Rc::new(a)
+            Arc::new(a)
         }))
+    }
+
+    /// Directed-edge ids grouped by destination node (ascending edge id
+    /// within each group), built once and cached.
+    pub fn edges_by_dst(&self) -> &EdgeIndex {
+        self.by_dst
+            .get_or_init(|| EdgeIndex::group(&self.edge_dst, self.total_nodes()))
+    }
+
+    /// Directed-edge ids grouped by source node (ascending edge id within
+    /// each group), built once and cached.
+    pub fn edges_by_src(&self) -> &EdgeIndex {
+        self.by_src
+            .get_or_init(|| EdgeIndex::group(&self.edge_src, self.total_nodes()))
     }
 
     /// Column vector of `1/|V_g|` replicated per node — multiplying a
@@ -154,6 +213,13 @@ impl GraphBatch {
         m
     }
 }
+
+// The prefetch pipeline hands assembled batches between threads; this
+// fails to compile if GraphBatch ever regains a non-Sync field.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphBatch>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -255,8 +321,8 @@ mod tests {
         let sym = batch.sym_normalized_adj();
         let row = batch.row_normalized_adj();
         // second call hands back the same shared matrix, not a rebuild
-        assert!(Rc::ptr_eq(&sym, &batch.sym_normalized_adj()));
-        assert!(Rc::ptr_eq(&row, &batch.row_normalized_adj()));
+        assert!(Arc::ptr_eq(&sym, &batch.sym_normalized_adj()));
+        assert!(Arc::ptr_eq(&row, &batch.row_normalized_adj()));
         // values match the cloning normalisers bit-for-bit
         assert_eq!(
             sym.to_dense().as_slice(),
@@ -266,6 +332,23 @@ mod tests {
             row.to_dense().as_slice(),
             batch.adj.row_normalized().to_dense().as_slice()
         );
+    }
+
+    #[test]
+    fn edge_groupings_cover_edges_in_ascending_id_order() {
+        let batch = GraphBatch::new(&[&tri(), &pair()]);
+        for (index, keys) in [
+            (batch.edges_by_dst(), &batch.edge_dst),
+            (batch.edges_by_src(), &batch.edge_src),
+        ] {
+            assert_eq!(index.ids.len(), batch.total_directed_edges());
+            assert_eq!(index.offsets.len(), batch.total_nodes() + 1);
+            for i in 0..batch.total_nodes() {
+                let ids = index.node(i);
+                assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not ascending");
+                assert!(ids.iter().all(|&e| keys[e] == i), "edge in wrong group");
+            }
+        }
     }
 
     #[test]

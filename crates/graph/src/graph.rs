@@ -49,6 +49,10 @@ pub struct Graph {
     /// Ground-truth "semantic-related" flags — only populated by synthetic
     /// generators, used to *evaluate* augmenters, never read by models.
     pub semantic_mask: Option<Vec<bool>>,
+    /// Degree cache — edges are immutable after construction, so this never
+    /// needs invalidation. Skipped by serde (rebuilt lazily after load).
+    #[serde(skip)]
+    degrees: std::sync::OnceLock<Vec<usize>>,
 }
 
 impl Graph {
@@ -86,6 +90,7 @@ impl Graph {
             label: GraphLabel::None,
             scaffold: None,
             semantic_mask: None,
+            degrees: std::sync::OnceLock::new(),
         }
     }
 
@@ -129,14 +134,17 @@ impl Graph {
         self.features.cols()
     }
 
-    /// Node degrees.
-    pub fn degrees(&self) -> Vec<usize> {
-        let mut deg = vec![0usize; self.num_nodes];
-        for &(u, v) in &self.edges {
-            deg[u as usize] += 1;
-            deg[v as usize] += 1;
-        }
-        deg
+    /// Node degrees, computed once and cached (edges are immutable after
+    /// construction).
+    pub fn degrees(&self) -> &[usize] {
+        self.degrees.get_or_init(|| {
+            let mut deg = vec![0usize; self.num_nodes];
+            for &(u, v) in &self.edges {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+            deg
+        })
     }
 
     /// Adjacency lists.
@@ -203,6 +211,7 @@ impl Graph {
             label: self.label.clone(),
             scaffold: self.scaffold,
             semantic_mask,
+            degrees: std::sync::OnceLock::new(),
         };
         (g, mapping)
     }
@@ -258,7 +267,7 @@ impl Graph {
         self.connected_components()
             .iter()
             .max()
-            .map_or(true, |&m| m == 0)
+            .is_none_or(|&m| m == 0)
     }
 
     /// Replaces features with one-hot encodings of the node tags, using

@@ -51,8 +51,9 @@ const GEMM_BLOCKED_MIN_FLOP: usize = 1 << 15;
 /// FLOP count above which GEMM fans out across threads.
 const GEMM_PARALLEL_MIN_FLOP: usize = 1 << 21;
 /// Element count of `rows·cols` work below which row-parallel ops stay
-/// sequential (thread spawn would dominate).
-pub(crate) const PARALLEL_MIN_WORK: usize = 1 << 19;
+/// sequential (thread spawn would dominate). Callers of [`run_rows`] pass
+/// their own work estimate against this threshold.
+pub const PARALLEL_MIN_WORK: usize = 1 << 19;
 
 /// Configured worker count; `0` means "resolve from the machine".
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -76,18 +77,30 @@ pub fn num_threads() -> usize {
     }
 }
 
+thread_local! {
+    /// True while this thread is executing a [`run_rows`] worker body.
+    /// Nested kernel calls (e.g. a GEMM inside a parallelised Lipschitz
+    /// masked forward) stay sequential instead of oversubscribing the
+    /// machine with threads² workers. Sequential nested kernels produce
+    /// the same bits, so this is purely a scheduling decision.
+    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Runs `body(first_row, row_count, chunk)` over disjoint contiguous row
 /// chunks of `out` (a `rows × cols` row-major buffer), on scoped threads
 /// when `work` is large enough, inline otherwise.
 ///
 /// Each row is processed by exactly one thread running the same code the
-/// sequential path runs, so the partition never changes results.
-pub(crate) fn run_rows<F>(rows: usize, cols: usize, out: &mut [f32], work: usize, body: &F)
+/// sequential path runs, so the partition never changes results. Calls
+/// nested inside a worker body run sequentially (no threads² fan-out).
+/// Public so higher layers (the Lipschitz constant generator) can reuse
+/// the exact same deterministic partitioning for their own per-row work.
+pub fn run_rows<F>(rows: usize, cols: usize, out: &mut [f32], work: usize, body: &F)
 where
     F: Fn(usize, usize, &mut [f32]) + Sync,
 {
     debug_assert_eq!(out.len(), rows * cols);
-    let threads = if work < PARALLEL_MIN_WORK {
+    let threads = if work < PARALLEL_MIN_WORK || IN_PARALLEL_REGION.with(|f| f.get()) {
         1
     } else {
         num_threads().min(rows.max(1))
@@ -96,6 +109,11 @@ where
         body(0, rows, out);
         return;
     }
+    let in_region = |body: &F, first: usize, count: usize, chunk: &mut [f32]| {
+        IN_PARALLEL_REGION.with(|f| f.set(true));
+        body(first, count, chunk);
+        IN_PARALLEL_REGION.with(|f| f.set(false));
+    };
     let base = rows / threads;
     let extra = rows % threads;
     std::thread::scope(|s| {
@@ -106,9 +124,9 @@ where
             let (chunk, tail) = rest.split_at_mut(count * cols);
             rest = tail;
             if t + 1 == threads {
-                body(first, count, chunk);
+                in_region(body, first, count, chunk);
             } else {
-                s.spawn(move || body(first, count, chunk));
+                s.spawn(move || in_region(body, first, count, chunk));
             }
             first += count;
         }
@@ -122,6 +140,7 @@ where
 /// Dispatches between a scalar small path, the blocked single-thread path
 /// and the row-parallel blocked path; all three produce bit-identical
 /// results (see module docs).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm(
     m: usize,
     n: usize,
@@ -166,6 +185,7 @@ pub(crate) fn gemm(
 
 /// Scalar path for products too small to amortise packing. Identical
 /// accumulation order to the blocked path: ascending `k` per element.
+#[allow(clippy::too_many_arguments)]
 fn gemm_small(
     m: usize,
     n: usize,
@@ -197,6 +217,7 @@ fn gemm_small(
 }
 
 /// Blocked single-thread GEMM over an `m × n` output chunk.
+#[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     m: usize,
     n: usize,
@@ -240,6 +261,7 @@ fn gemm_blocked(
 /// of a `k0..k0+kc` slab into `T`-wide interleaved panels:
 /// `dst[panel][kk·T + t] = src[(base + panel·T + t)·major_stride + (k0+kk)·k_stride]`,
 /// zero-padding lines past `count` so edge tiles read valid data.
+#[allow(clippy::too_many_arguments)]
 fn pack_panels<const T: usize>(
     dst: &mut [f32],
     src: &[f32],

@@ -20,10 +20,12 @@ const MAX_BUFFERS: usize = 256;
 const MAX_BYTES: usize = 128 << 20;
 
 thread_local! {
-    static POOL: RefCell<Pool> = RefCell::new(Pool {
-        buffers: Vec::new(),
-        bytes: 0,
-    });
+    static POOL: RefCell<Pool> = const {
+        RefCell::new(Pool {
+            buffers: Vec::new(),
+            bytes: 0,
+        })
+    };
 }
 
 struct Pool {

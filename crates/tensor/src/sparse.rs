@@ -281,9 +281,9 @@ impl CsrMatrix {
     /// used by batching.
     pub fn sym_normalize_in_place(&mut self) {
         let mut deg = vec![0.0f32; self.rows.max(self.cols)];
-        for r in 0..self.rows {
+        for (r, d) in deg.iter_mut().enumerate().take(self.rows) {
             for (_, v) in self.row_iter(r) {
-                deg[r] += v.abs();
+                *d += v.abs();
             }
         }
         let inv_sqrt: Vec<f32> = deg

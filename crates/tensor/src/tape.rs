@@ -14,7 +14,7 @@
 use crate::kernels;
 use crate::matrix::Matrix;
 use crate::sparse::CsrMatrix;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a tape node. Only valid for the tape that created it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -46,7 +46,7 @@ enum Op {
     Add(Var, Var),
     Sub(Var, Var),
     Hadamard(Var, Var),
-    HadamardConst(Var, Rc<Matrix>),
+    HadamardConst(Var, Arc<Matrix>),
     Scale(Var, f32),
     MatMul(Var, Var),
     /// `A · Bᵀ` — used for similarity matrices in contrastive losses.
@@ -59,24 +59,24 @@ enum Op {
     Softplus(Var),
     /// Sparse-dense product `S · H` where `S` is a fixed (non-differentiable)
     /// CSR matrix such as a graph adjacency.
-    Spmm(Rc<CsrMatrix>, Var),
+    Spmm(Arc<CsrMatrix>, Var),
     /// Row `i` of the output is `w[i] * x[i, :]`; both inputs get gradients.
     ScaleRows {
         x: Var,
         w: Var,
     },
     /// `out[i, :] = x[idx[i], :]`.
-    GatherRows(Var, Rc<Vec<usize>>),
+    GatherRows(Var, Arc<Vec<usize>>),
     /// `out[idx[i], :] += x[i, :]`, output has `n_out` rows.
     ScatterAddRows {
         x: Var,
-        idx: Rc<Vec<usize>>,
+        idx: Arc<Vec<usize>>,
         n_out: usize,
     },
     /// Softmax of an `n × 1` score column within groups given by `seg`.
     SegmentSoftmax {
         x: Var,
-        seg: Rc<Vec<usize>>,
+        seg: Arc<Vec<usize>>,
     },
     /// Per-segment max over rows; `arg` holds the winning row per (segment, col).
     SegmentMax {
@@ -96,14 +96,14 @@ enum Op {
     /// Mean over rows of `-log softmax(x)[target]`; `probs` cached at forward.
     SoftmaxCrossEntropy {
         x: Var,
-        targets: Rc<Vec<usize>>,
+        targets: Arc<Vec<usize>>,
         probs: Matrix,
     },
     /// Masked binary cross-entropy with logits, averaged over observed labels.
     BceWithLogits {
         x: Var,
-        targets: Rc<Matrix>,
-        mask: Rc<Matrix>,
+        targets: Arc<Matrix>,
+        mask: Arc<Matrix>,
     },
 }
 
@@ -208,7 +208,7 @@ impl Tape {
     }
 
     /// `a ⊙ c` with a constant mask/matrix `c` (no gradient for `c`).
-    pub fn hadamard_const(&mut self, a: Var, c: Rc<Matrix>) -> Var {
+    pub fn hadamard_const(&mut self, a: Var, c: Arc<Matrix>) -> Var {
         let v = self.value(a).hadamard(&c);
         self.push(v, Op::HadamardConst(a, c))
     }
@@ -268,7 +268,7 @@ impl Tape {
     }
 
     /// Sparse-dense product `s · h` (message passing). `s` is fixed.
-    pub fn spmm(&mut self, s: Rc<CsrMatrix>, h: Var) -> Var {
+    pub fn spmm(&mut self, s: Arc<CsrMatrix>, h: Var) -> Var {
         let v = s.spmm(self.value(h));
         self.push(v, Op::Spmm(s, h))
     }
@@ -280,13 +280,13 @@ impl Tape {
     }
 
     /// Gathers rows: `out[i] = x[idx[i]]`.
-    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<usize>>) -> Var {
+    pub fn gather_rows(&mut self, x: Var, idx: Arc<Vec<usize>>) -> Var {
         let v = self.value(x).select_rows(&idx);
         self.push(v, Op::GatherRows(x, idx))
     }
 
     /// Scatter-add rows: `out[idx[i]] += x[i]`, producing `n_out` rows.
-    pub fn scatter_add_rows(&mut self, x: Var, idx: Rc<Vec<usize>>, n_out: usize) -> Var {
+    pub fn scatter_add_rows(&mut self, x: Var, idx: Arc<Vec<usize>>, n_out: usize) -> Var {
         let xm = self.value(x);
         assert_eq!(
             xm.rows(),
@@ -309,7 +309,7 @@ impl Tape {
     /// Softmax of an `n × 1` score column within groups. Rows sharing a
     /// segment id sum to one after the op. Used for GAT attention and the
     /// attention approximation of the Lipschitz generator.
-    pub fn segment_softmax(&mut self, x: Var, seg: Rc<Vec<usize>>) -> Var {
+    pub fn segment_softmax(&mut self, x: Var, seg: Arc<Vec<usize>>) -> Var {
         let xm = self.value(x);
         assert_eq!(xm.cols(), 1, "segment_softmax expects an n×1 score column");
         assert_eq!(
@@ -324,7 +324,7 @@ impl Tape {
 
     /// Per-segment max pooling: `out[g, c] = max over rows i with seg[i]==g`.
     /// Empty segments yield zero rows.
-    pub fn segment_max(&mut self, x: Var, seg: Rc<Vec<usize>>, n_seg: usize) -> Var {
+    pub fn segment_max(&mut self, x: Var, seg: Arc<Vec<usize>>, n_seg: usize) -> Var {
         let xm = self.value(x);
         assert_eq!(xm.rows(), seg.len(), "segment_max: segment length mismatch");
         let d = xm.cols();
@@ -418,7 +418,7 @@ impl Tape {
     /// Mean over rows of the cross-entropy between `softmax(x[i])` and
     /// `targets[i]`. This is the InfoNCE kernel when `x` is a similarity
     /// matrix and `targets[i]` indexes the positive column.
-    pub fn softmax_cross_entropy(&mut self, x: Var, targets: Rc<Vec<usize>>) -> Var {
+    pub fn softmax_cross_entropy(&mut self, x: Var, targets: Arc<Vec<usize>>) -> Var {
         let xm = self.value(x);
         assert_eq!(
             xm.rows(),
@@ -465,7 +465,7 @@ impl Tape {
     /// Masked multi-label binary cross-entropy with logits, averaged over the
     /// observed (mask = 1) entries. Used for MoleculeNet-style multi-task
     /// fine-tuning where some task labels are missing.
-    pub fn bce_with_logits(&mut self, x: Var, targets: Rc<Matrix>, mask: Rc<Matrix>) -> Var {
+    pub fn bce_with_logits(&mut self, x: Var, targets: Arc<Matrix>, mask: Arc<Matrix>) -> Var {
         let xm = self.value(x);
         assert_eq!(xm.shape(), targets.shape(), "bce: target shape");
         assert_eq!(xm.shape(), mask.shape(), "bce: mask shape");
@@ -577,7 +577,7 @@ impl Tape {
                 Op::Tanh(x) => {
                     let y = &self.nodes[i].value;
                     let mut g = gy;
-                    g.zip_apply(y, |g, y| *g = *g * (1.0 - y * y));
+                    g.zip_apply(y, |g, y| *g *= 1.0 - y * y);
                     accum_owned(&mut grads, *x, g);
                 }
                 Op::Softplus(x) => {
@@ -947,7 +947,7 @@ mod tests {
 
     #[test]
     fn grad_spmm() {
-        let adj = Rc::new(CsrMatrix::from_triplets(
+        let adj = Arc::new(CsrMatrix::from_triplets(
             2,
             2,
             vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 0.5)],
@@ -984,9 +984,9 @@ mod tests {
     #[test]
     fn grad_gather_scatter() {
         check_grad(test_input(), |t, x| {
-            let idx = Rc::new(vec![1usize, 0, 1]);
+            let idx = Arc::new(vec![1usize, 0, 1]);
             let g = t.gather_rows(x, idx);
-            let back = t.scatter_add_rows(g, Rc::new(vec![0usize, 1, 0]), 2);
+            let back = t.scatter_add_rows(g, Arc::new(vec![0usize, 1, 0]), 2);
             let y = t.tanh(back);
             t.sum_all(y)
         });
@@ -995,7 +995,7 @@ mod tests {
     #[test]
     fn grad_segment_softmax() {
         check_grad(Matrix::col_vector(vec![0.3, -0.5, 1.2, 0.1]), |t, x| {
-            let seg = Rc::new(vec![0usize, 0, 1, 1]);
+            let seg = Arc::new(vec![0usize, 0, 1, 1]);
             let sm = t.segment_softmax(x, seg);
             let sq = t.hadamard(sm, sm);
             t.sum_all(sq)
@@ -1008,7 +1008,7 @@ mod tests {
         check_grad(
             Matrix::from_rows(&[&[0.9, -1.0], &[0.1, 2.0], &[3.0, 0.0]]),
             |t, x| {
-                let seg = Rc::new(vec![0usize, 0, 1]);
+                let seg = Arc::new(vec![0usize, 0, 1]);
                 let y = t.segment_max(x, seg, 2);
                 let y2 = t.sigmoid(y);
                 t.sum_all(y2)
@@ -1057,8 +1057,8 @@ mod tests {
     fn grad_row_sums_and_frobenius() {
         check_grad(test_input(), |t, x| {
             let rs = t.row_sums(x);
-            let n = t.frobenius_norm(rs);
-            n
+
+            t.frobenius_norm(rs)
         });
     }
 
@@ -1074,14 +1074,14 @@ mod tests {
     #[test]
     fn grad_softmax_cross_entropy() {
         check_grad(test_input(), |t, x| {
-            t.softmax_cross_entropy(x, Rc::new(vec![0usize, 2]))
+            t.softmax_cross_entropy(x, Arc::new(vec![0usize, 2]))
         });
     }
 
     #[test]
     fn grad_bce_with_logits() {
-        let targets = Rc::new(Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]));
-        let mask = Rc::new(Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 1.0]]));
+        let targets = Arc::new(Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]));
+        let mask = Arc::new(Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 1.0]]));
         check_grad(test_input(), move |t, x| {
             t.bce_with_logits(x, targets.clone(), mask.clone())
         });
@@ -1092,7 +1092,7 @@ mod tests {
         // uniform logits over k classes → loss = ln k
         let mut t = Tape::new();
         let x = t.constant(Matrix::zeros(4, 3));
-        let loss = t.softmax_cross_entropy(x, Rc::new(vec![0, 1, 2, 0]));
+        let loss = t.softmax_cross_entropy(x, Arc::new(vec![0, 1, 2, 0]));
         assert!((t.scalar(loss) - 3.0f32.ln()).abs() < 1e-5);
     }
 
@@ -1100,7 +1100,7 @@ mod tests {
     fn segment_softmax_sums_to_one_per_group() {
         let mut t = Tape::new();
         let x = t.constant(Matrix::col_vector(vec![1.0, 2.0, 3.0, -1.0, 0.0]));
-        let seg = Rc::new(vec![0usize, 0, 0, 1, 1]);
+        let seg = Arc::new(vec![0usize, 0, 0, 1, 1]);
         let y = t.segment_softmax(x, seg);
         let v = t.value(y).as_slice();
         assert!((v[0] + v[1] + v[2] - 1.0).abs() < 1e-6);

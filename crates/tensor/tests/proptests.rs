@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sgcl_tensor::{CsrMatrix, Matrix, ParamId, Tape};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -96,7 +96,7 @@ proptest! {
         let mut tape = Tape::new();
         let x = tape.constant(m.clone());
         let targets: Vec<usize> = (0..m.rows()).map(|r| r % m.cols()).collect();
-        let loss = tape.softmax_cross_entropy(x, Rc::new(targets));
+        let loss = tape.softmax_cross_entropy(x, Arc::new(targets));
         prop_assert!(tape.scalar(loss) >= -1e-6);
     }
 
@@ -110,7 +110,7 @@ proptest! {
         let n = tape.row_l2_normalize(h);
         let sim = tape.matmul_nt(n, n);
         let targets: Vec<usize> = (0..m.rows()).map(|r| r % m.rows()).collect();
-        let loss = tape.softmax_cross_entropy(sim, Rc::new(targets));
+        let loss = tape.softmax_cross_entropy(sim, Arc::new(targets));
         let mut ok = true;
         tape.backward(loss, &mut |_, g| ok &= g.all_finite());
         prop_assert!(ok);
@@ -121,7 +121,7 @@ proptest! {
         // scatter-add of all rows to one target then gather back sums correctly
         let mut tape = Tape::new();
         let x = tape.constant(m.clone());
-        let idx = Rc::new(vec![0usize; m.rows()]);
+        let idx = Arc::new(vec![0usize; m.rows()]);
         let s = tape.scatter_add_rows(x, idx, 1);
         let total: f32 = tape.value(s).as_slice().iter().sum();
         prop_assert!((total - m.sum()).abs() < 1e-3 * (1.0 + m.sum().abs()));
