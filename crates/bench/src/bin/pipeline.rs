@@ -141,6 +141,8 @@ fn main() {
 
     let doc = serde_json::json!({
         "host_parallelism": auto,
+        // thread/prefetch speedup claims are only meaningful with >1 core
+        "scaling_valid": auto > 1,
         "smoke": smoke,
         "node_constants": constants,
         "epoch": epoch,

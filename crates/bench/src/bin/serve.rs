@@ -1,30 +1,48 @@
-//! Load generator for the `sgcl serve` inference service.
+//! Load generator for the serving tier — a single `sgcl serve` node, or
+//! a replicated tier behind `sgcl-router` with scripted fault injection.
 //!
 //! ```text
-//! cargo run --release --bin serve                    # full run
-//! cargo run --release --bin serve -- --smoke         # CI-sized run
-//! cargo run --release --bin serve -- --clients 16 --requests 500
-//! cargo run --release --bin serve -- --out s.json    # default BENCH_serve.json
+//! cargo run --release --bin serve                      # single node
+//! cargo run --release --bin serve -- --smoke           # CI-sized run
+//! cargo run --release --bin serve -- --replicas 3      # routed tier
+//! cargo run --release --bin serve -- --replicas 3 --chaos
+//!                      # kill+restart a replica mid-run (default plan)
+//! cargo run --release --bin serve -- --replicas 3 \
+//!     --chaos "800:0:kill,1600:0:restart"              # scripted plan
 //! ```
 //!
-//! Starts an in-process server on an ephemeral port backed by a tiny
-//! untrained SGCL checkpoint (inference cost, not model quality, is under
-//! test), then hammers it from concurrent client connections drawing
-//! graphs from a fixed pool — repeats within the pool exercise the LRU
-//! cache. Reports throughput, latency percentiles (p50/p95/p99), cache
-//! hit rate, and the micro-batch size histogram.
+//! Single-node mode hammers one in-process server (untrained tiny SGCL
+//! checkpoint — inference cost, not model quality, is under test) and
+//! reports throughput, latency percentiles, cache hit rate, and the
+//! micro-batch histogram.
+//!
+//! Replicated mode starts N replicas, puts each behind a fault-injection
+//! proxy, fronts them with an in-process router, and drives three
+//! equal-length phases — `steady`, `failover`, `recovery` — while a
+//! [`FaultPlan`] (default: kill replica 0 at the first phase boundary,
+//! restart it at the second) runs against the proxies. Per-phase error
+//! rates, router retries, shed counts, and latency percentiles land in
+//! `BENCH_serve.json` next to a `topology` block; scaling claims are only
+//! valid when `host_parallelism > 1`, and the `scaling_valid` flag says
+//! so machine-readably.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
 use sgcl_gnn::{EncoderConfig, EncoderKind};
 use sgcl_graph::Graph;
-use sgcl_serve::{start, Client, ServeConfig};
+use sgcl_serve::fault::{ChaosProxy, FaultPlan};
+use sgcl_serve::health::HealthPolicy;
+use sgcl_serve::protocol::RouterStatsBody;
+use sgcl_serve::{start, start_router, Client, ClientConfig, RouterConfig, ServeConfig};
 use sgcl_tensor::Matrix;
 
 const INPUT_DIM: usize = 8;
+const PHASES: [&str; 3] = ["steady", "failover", "recovery"];
 
 fn random_graph(rng: &mut StdRng) -> Graph {
     let n = rng.gen_range(6usize..20);
@@ -57,6 +75,34 @@ fn ok_or_exit<T>(r: Result<T, sgcl_common::SgclError>) -> T {
     })
 }
 
+/// One timestamped request outcome from a load-generator client.
+struct Sample {
+    /// Offset from run start.
+    at_ns: u64,
+    latency_ns: u64,
+    ok: bool,
+}
+
+fn write_doc(out: &str, doc: &serde_json::Value) {
+    let bytes = serde_json::to_vec_pretty(doc).expect("serialise");
+    if let Err(e) = sgcl_common::write_atomic(std::path::Path::new(out), &bytes) {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    }
+    println!("\nresults written to {out}");
+}
+
+fn topology_json(replicas: usize) -> serde_json::Value {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    serde_json::json!({
+        "replicas": replicas,
+        "host_parallelism": host_parallelism,
+        // replica scaling claims need both >1 replicas and cores to run
+        // them on; single-core CI boxes must not be read as speedups
+        "scaling_valid": replicas > 1 && host_parallelism > 1,
+    })
+}
+
 fn main() {
     let args = ok_or_exit(sgcl_common::Args::options_from_env());
     let smoke = args.flag("smoke");
@@ -67,6 +113,10 @@ fn main() {
     let pool_size = ok_or_exit(args.get_parse("graphs", if smoke { 16usize } else { 128 }));
     let max_batch = ok_or_exit(args.get_parse("max-batch", 32usize));
     let max_wait_ms = ok_or_exit(args.get_parse("max-wait-ms", 2u64));
+    let replicas = ok_or_exit(args.get_parse("replicas", 1usize)).max(1);
+    let chaos_spec = args.get("chaos").map(str::to_string);
+    let chaos = chaos_spec.is_some() || args.flag("chaos");
+    let phase_ms = ok_or_exit(args.get_parse("phase-ms", if smoke { 800u64 } else { 2500 }));
 
     // a tiny untrained model: serving overhead is what's measured
     let mut rng = StdRng::seed_from_u64(42);
@@ -85,11 +135,48 @@ fn main() {
     let ckpt_path =
         std::env::temp_dir().join(format!("sgcl-bench-serve-{}.json", std::process::id()));
     ok_or_exit(Checkpoint::capture(&model).save(&ckpt_path));
-
     let pool: Vec<Graph> = (0..pool_size).map(|_| random_graph(&mut rng)).collect();
 
+    if replicas > 1 || chaos {
+        run_tier(
+            &out,
+            &ckpt_path,
+            &pool,
+            clients,
+            replicas,
+            chaos,
+            chaos_spec,
+            phase_ms,
+            max_batch,
+            max_wait_ms,
+        );
+    } else {
+        run_single(
+            &out,
+            &ckpt_path,
+            &pool,
+            clients,
+            requests,
+            max_batch,
+            max_wait_ms,
+        );
+    }
+    let _ = std::fs::remove_file(&ckpt_path);
+}
+
+// ---------------------------------------------------------------- single
+
+fn run_single(
+    out: &str,
+    ckpt_path: &std::path::Path,
+    pool: &[Graph],
+    clients: usize,
+    requests: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+) {
     let handle = ok_or_exit(start(ServeConfig {
-        models: vec![("bench".to_string(), ckpt_path.clone())],
+        models: vec![("bench".to_string(), ckpt_path.to_path_buf())],
         max_batch,
         max_wait_ms,
         workers: 2,
@@ -98,13 +185,14 @@ fn main() {
     let addr = handle.addr();
 
     println!(
-        "{clients} clients × {requests} requests over a pool of {pool_size} graphs \
-         (max_batch {max_batch}, max_wait {max_wait_ms}ms)"
+        "{clients} clients × {requests} requests over a pool of {} graphs \
+         (max_batch {max_batch}, max_wait {max_wait_ms}ms)",
+        pool.len()
     );
     let wall = Instant::now();
     let threads: Vec<_> = (0..clients)
         .map(|c| {
-            let pool = pool.clone();
+            let pool = pool.to_vec();
             std::thread::spawn(move || -> Result<(Vec<u64>, u64), sgcl_common::SgclError> {
                 let mut client = Client::connect(addr)?;
                 let mut latencies = Vec::with_capacity(requests);
@@ -144,7 +232,6 @@ fn main() {
     let stats = info.info.expect("info body").stats;
     ok_or_exit(info_client.shutdown());
     handle.join();
-    let _ = std::fs::remove_file(&ckpt_path);
 
     latencies.sort_unstable();
     let total = latencies.len() as u64;
@@ -181,33 +268,272 @@ fn main() {
         stats.batches, stats.batch_histogram
     );
 
-    let latency_ns = serde_json::json!({ "p50": p50, "p95": p95, "p99": p99 });
-    let cache = serde_json::json!({
-        "hits": stats.cache_hits,
-        "misses": stats.cache_misses,
-        "hit_rate": hit_rate,
-        "client_observed_hits": client_hits,
-    });
     let doc = serde_json::json!({
         "experiment": "serve",
+        "topology": topology_json(1),
         "clients": clients,
         "requests_per_client": requests,
-        "graph_pool": pool_size,
+        "graph_pool": pool.len(),
         "max_batch": max_batch,
         "max_wait_ms": max_wait_ms,
         "total_requests": total,
         "elapsed_s": elapsed.as_secs_f64(),
         "throughput_rps": throughput,
-        "latency_ns": latency_ns,
-        "cache": cache,
+        "latency_ns": { "p50": p50, "p95": p95, "p99": p99 },
+        "cache": {
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+            "hit_rate": hit_rate,
+            "client_observed_hits": client_hits,
+        },
         "batches": stats.batches,
         "mean_batch_size": mean_batch,
         "batch_histogram": stats.batch_histogram,
+        "shed": stats.shed,
     });
-    let bytes = serde_json::to_vec_pretty(&doc).expect("serialise");
-    if let Err(e) = sgcl_common::write_atomic(std::path::Path::new(&out), &bytes) {
-        eprintln!("error: {e}");
-        std::process::exit(i32::from(e.exit_code()));
+    write_doc(out, &doc);
+}
+
+// ------------------------------------------------------------------ tier
+
+#[allow(clippy::too_many_arguments)]
+fn run_tier(
+    out: &str,
+    ckpt_path: &std::path::Path,
+    pool: &[Graph],
+    clients: usize,
+    replicas: usize,
+    chaos: bool,
+    chaos_spec: Option<String>,
+    phase_ms: u64,
+    max_batch: usize,
+    max_wait_ms: u64,
+) {
+    let servers: Vec<_> = (0..replicas)
+        .map(|_| {
+            ok_or_exit(start(ServeConfig {
+                models: vec![("bench".to_string(), ckpt_path.to_path_buf())],
+                max_batch,
+                max_wait_ms,
+                workers: 2,
+                ..ServeConfig::default()
+            }))
+        })
+        .collect();
+    let proxies: Vec<ChaosProxy> = servers
+        .iter()
+        .map(|s| ok_or_exit(ChaosProxy::start(s.addr())))
+        .collect();
+    let router = ok_or_exit(start_router(RouterConfig {
+        replicas: proxies.iter().map(|p| p.addr().to_string()).collect(),
+        health: HealthPolicy {
+            eject_after: 2,
+            readmit_after: 1,
+            probe_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(500),
+        },
+        retries: 3,
+        ..RouterConfig::default()
+    }));
+    let addr = router.addr();
+
+    // default plan: kill replica 0 at the steady→failover boundary,
+    // restart it at the failover→recovery boundary
+    let plan_spec = match (&chaos_spec, chaos) {
+        (Some(spec), _) => spec.clone(),
+        (None, true) => format!("{phase_ms}:0:kill,{}:0:restart", 2 * phase_ms),
+        (None, false) => String::new(),
+    };
+    let plan = ok_or_exit(FaultPlan::parse(&plan_spec));
+    println!(
+        "{clients} clients against {replicas} replicas for 3×{phase_ms}ms phases{}",
+        if plan.events().is_empty() {
+            " (no faults)".to_string()
+        } else {
+            format!(", chaos plan {plan_spec:?}")
+        }
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let plan_thread = plan.spawn(proxies.iter().map(|p| p.control()).collect(), stop.clone());
+
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let pool = pool.to_vec();
+            let stop = stop.clone();
+            std::thread::spawn(move || -> Vec<Sample> {
+                let connect = || {
+                    Client::connect_with(
+                        addr,
+                        ClientConfig {
+                            io_timeout: Some(Duration::from_secs(10)),
+                            retries: 2,
+                            ..ClientConfig::default()
+                        },
+                    )
+                };
+                let mut client = ok_or_exit(connect());
+                let started = Instant::now();
+                let mut samples = Vec::new();
+                let mut j = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let g = &pool[(c * 13 + j * 7) % pool.len()];
+                    j += 1;
+                    let t = Instant::now();
+                    let ok = match client.embed(None, g) {
+                        Ok(resp) => resp.ok,
+                        Err(_) => {
+                            // router unreachable: reconnect and count the
+                            // failure against the current phase
+                            if let Ok(fresh) = connect() {
+                                client = fresh;
+                            }
+                            false
+                        }
+                    };
+                    samples.push(Sample {
+                        at_ns: started.elapsed().as_nanos() as u64,
+                        latency_ns: t.elapsed().as_nanos() as u64,
+                        ok,
+                    });
+                }
+                samples
+            })
+        })
+        .collect();
+
+    // snapshot router counters at every phase boundary so per-phase
+    // retry/shed deltas can be reported
+    let mut info_client = ok_or_exit(Client::connect(addr));
+    let router_stats = |c: &mut Client| -> RouterStatsBody {
+        ok_or_exit(c.info()).router.expect("router block").stats
+    };
+    let mut snapshots = vec![router_stats(&mut info_client)];
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(phase_ms));
+        snapshots.push(router_stats(&mut info_client));
     }
-    println!("\nresults written to {out}");
+    stop.store(true, Ordering::SeqCst);
+    let applied = plan_thread.join().expect("fault plan thread");
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for w in workers {
+        samples.extend(w.join().expect("client thread"));
+    }
+    let elapsed = wall.elapsed();
+    let final_info = ok_or_exit(info_client.info()).router.expect("router block");
+
+    let phase_ns = phase_ms * 1_000_000;
+    let mut phase_rows = Vec::new();
+    println!("phase      requests  errors  err%      p50ms     p95ms     p99ms  retries  shed");
+    for (i, name) in PHASES.iter().enumerate() {
+        let lo = i as u64 * phase_ns;
+        let hi = lo + phase_ns;
+        let in_phase: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.at_ns >= lo && s.at_ns < hi)
+            .collect();
+        let errors = in_phase.iter().filter(|s| !s.ok).count();
+        let mut lats: Vec<u64> = in_phase
+            .iter()
+            .filter(|s| s.ok)
+            .map(|s| s.latency_ns)
+            .collect();
+        lats.sort_unstable();
+        let (p50, p95, p99) = (
+            percentile(&lats, 0.50),
+            percentile(&lats, 0.95),
+            percentile(&lats, 0.99),
+        );
+        let err_rate = if in_phase.is_empty() {
+            0.0
+        } else {
+            errors as f64 / in_phase.len() as f64
+        };
+        let retries = snapshots[i + 1].retries - snapshots[i].retries;
+        let shed = snapshots[i + 1].shed - snapshots[i].shed;
+        let unavailable = snapshots[i + 1].unavailable - snapshots[i].unavailable;
+        println!(
+            "{name:<9} {:>9} {:>7}  {:>5.2}  {:>9.3} {:>9.3} {:>9.3}  {retries:>7}  {shed:>4}",
+            in_phase.len(),
+            errors,
+            err_rate * 100.0,
+            p50 as f64 / 1e6,
+            p95 as f64 / 1e6,
+            p99 as f64 / 1e6,
+        );
+        phase_rows.push(serde_json::json!({
+            "phase": name,
+            "requests": in_phase.len(),
+            "errors": errors,
+            "error_rate": err_rate,
+            "latency_ns": { "p50": p50, "p95": p95, "p99": p99 },
+            "router_retries": retries,
+            "router_shed": shed,
+            "router_unavailable": unavailable,
+        }));
+    }
+
+    let total = samples.len() as u64;
+    let total_errors = samples.iter().filter(|s| !s.ok).count() as u64;
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "total        {total} requests, {total_errors} errors, {throughput:.0} req/s; \
+         router retries {}, ejections {:?}",
+        final_info.stats.retries,
+        final_info
+            .replicas
+            .iter()
+            .map(|r| r.ejections)
+            .collect::<Vec<_>>()
+    );
+
+    let mut drain_client = ok_or_exit(Client::connect(addr));
+    ok_or_exit(drain_client.drain());
+    router.join();
+    for server in servers {
+        server.stop();
+    }
+    for proxy in proxies {
+        proxy.stop();
+    }
+
+    let doc = serde_json::json!({
+        "experiment": "serve",
+        "topology": topology_json(replicas),
+        "clients": clients,
+        "graph_pool": pool.len(),
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "phase_ms": phase_ms,
+        "chaos_plan": plan_spec,
+        "chaos_applied": applied
+            .iter()
+            .map(|(at, replica, action)| serde_json::json!({
+                "at_ms": at.as_millis() as u64,
+                "replica": replica,
+                "action": format!("{action:?}"),
+            }))
+            .collect::<Vec<_>>(),
+        "phases": phase_rows,
+        "total_requests": total,
+        "total_errors": total_errors,
+        "elapsed_s": elapsed.as_secs_f64(),
+        "throughput_rps": throughput,
+        "router": {
+            "retries": final_info.stats.retries,
+            "shed": final_info.stats.shed,
+            "unavailable": final_info.stats.unavailable,
+            "forwarded": final_info.stats.forwarded,
+            "replicas": final_info.replicas.iter().map(|r| serde_json::json!({
+                "addr": r.addr,
+                "healthy": r.healthy,
+                "ejections": r.ejections,
+                "requests": r.requests,
+                "failures": r.failures,
+            })).collect::<Vec<_>>(),
+        },
+    });
+    write_doc(out, &doc);
 }

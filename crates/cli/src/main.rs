@@ -10,6 +10,7 @@
 //! sgcl scores    --model model.json --data ds.json --graph 0
 //! sgcl stats     --data ds.json
 //! sgcl serve     --model model.json --addr 127.0.0.1:7878
+//! sgcl route     --replicas 127.0.0.1:7878,127.0.0.1:7879
 //! ```
 
 use rand::rngs::StdRng;
@@ -24,8 +25,9 @@ use sgcl_eval::svm_cross_validate;
 use sgcl_gnn::{EncoderConfig, EncoderKind};
 use sgcl_graph::metrics::dataset_stats;
 use sgcl_graph::Graph;
+use sgcl_serve::health::HealthPolicy;
 use sgcl_serve::registry::parse_model_specs;
-use sgcl_serve::ServeConfig;
+use sgcl_serve::{RouterConfig, ServeConfig};
 use sgcl_tensor::{Matrix, ParamStore};
 use std::path::Path;
 use std::process::ExitCode;
@@ -77,7 +79,21 @@ COMMANDS:
              --cache <N> (1024)             cached embeddings (0 = off)
              --workers <N> (2)              embedding worker threads
              --deadline-ms <N> (5000)       per-request deadline (0 = none)
-             Stop with a {\"op\":\"shutdown\"} request.
+             --max-queue <N> (0 = 4×max-batch)  waiting jobs before new
+                                            requests are shed (Overloaded)
+             Stop with a {\"op\":\"shutdown\"} or {\"op\":\"drain\"} request.
+  route      Replicated serving tier: shard embed requests across several
+             serve backends by graph content hash, with health-checked
+             ejection, retry with backoff, and load shedding
+             --replicas <HOST:PORT,...>     backend replicas (required)
+             --addr <HOST:PORT> (127.0.0.1:7979; port 0 = OS-assigned)
+             --retries <N> (3)              extra attempts per request
+             --max-inflight <N> (256)       in-flight embeds before
+                                            shedding (0 = unbounded)
+             --eject-after <N> (3)          consecutive failures → eject
+             --readmit-after <N> (2)        probe successes → readmit
+             --probe-interval-ms <N> (200)  pause between probe rounds
+             Stop with a {\"op\":\"drain\"} request (replicas keep running).
 
 GLOBAL OPTIONS:
   --threads <N>   kernel worker threads (default 0 = auto-detect; 1 forces
@@ -88,6 +104,7 @@ GLOBAL OPTIONS:
 EXIT CODES:
   0 success   2 usage     3 I/O            4 parse/version
   5 invalid data          6 artifact mismatch   7 training diverged
+  8 network timeout
 ";
 
 fn main() -> ExitCode {
@@ -116,6 +133,7 @@ fn run() -> Result<(), SgclError> {
         "scores" => cmd_scores(&args),
         "stats" => cmd_stats(&args),
         "serve" => cmd_serve(&args),
+        "route" => cmd_route(&args),
         "" | "help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -519,6 +537,7 @@ fn cmd_serve(args: &Args) -> Result<(), SgclError> {
         cache_capacity: args.get_parse("cache", 1024usize)?,
         workers: args.get_parse("workers", 2usize)?,
         deadline_ms: args.get_parse("deadline-ms", 5000u64)?,
+        max_queue: args.get_parse("max-queue", 0usize)?,
     };
     let handle = sgcl_serve::start(config)?;
     println!("serving on {} (first model is the default):", handle.addr());
@@ -531,5 +550,39 @@ fn cmd_serve(args: &Args) -> Result<(), SgclError> {
     println!("stop with a {{\"op\":\"shutdown\"}} request");
     handle.join();
     println!("server stopped");
+    Ok(())
+}
+
+fn cmd_route(args: &Args) -> Result<(), SgclError> {
+    let replicas: Vec<String> = args
+        .require("replicas")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let config = RouterConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        replicas,
+        health: HealthPolicy {
+            eject_after: args.get_parse("eject-after", 3u32)?,
+            readmit_after: args.get_parse("readmit-after", 2u32)?,
+            probe_interval: std::time::Duration::from_millis(
+                args.get_parse("probe-interval-ms", 200u64)?,
+            ),
+            probe_timeout: std::time::Duration::from_millis(
+                args.get_parse("probe-timeout-ms", 1000u64)?,
+            ),
+        },
+        retries: args.get_parse("retries", 3u32)?,
+        max_inflight: args.get_parse("max-inflight", 256usize)?,
+        ..RouterConfig::default()
+    };
+    let n = config.replicas.len();
+    let handle = sgcl_serve::start_router(config)?;
+    println!("routing on {} across {} replicas", handle.addr(), n);
+    println!("stop with a {{\"op\":\"drain\"}} request (replicas keep running)");
+    handle.join();
+    println!("router stopped");
     Ok(())
 }

@@ -82,6 +82,15 @@ pub enum SgclError {
     /// Training diverged and the recovery policy exhausted its retry
     /// budget; carries the full structured report.
     Diverged(DivergenceReport),
+    /// A network operation gave up waiting on a peer (connect, read, or
+    /// write timeout). Distinct from [`SgclError::Io`] because timeouts
+    /// against an idempotent server are safe to retry, and distinct from
+    /// the serving layer's deadline-exceeded condition, which means the
+    /// caller's own time budget is spent.
+    Timeout {
+        /// What was being attempted (usually includes the peer address).
+        context: String,
+    },
 }
 
 impl SgclError {
@@ -122,6 +131,13 @@ impl SgclError {
         }
     }
 
+    /// Builds a [`SgclError::Timeout`].
+    pub fn timeout(context: impl Into<String>) -> Self {
+        SgclError::Timeout {
+            context: context.into(),
+        }
+    }
+
     /// Prefixes the error's context with what the caller was doing (e.g.
     /// `"checkpoint model.json"`), preserving the error class — and thus
     /// the exit code. Variants without a context string (usage, version,
@@ -146,6 +162,9 @@ impl SgclError {
                 context: format!("{outer}: {context}"),
                 message,
             },
+            SgclError::Timeout { context } => SgclError::Timeout {
+                context: format!("{outer}: {context}"),
+            },
             other => other,
         }
     }
@@ -161,6 +180,7 @@ impl SgclError {
     /// | 5 | invalid data |
     /// | 6 | artifact mismatch |
     /// | 7 | training divergence |
+    /// | 8 | network timeout |
     pub fn exit_code(&self) -> u8 {
         match self {
             SgclError::Usage(_) => 2,
@@ -169,6 +189,7 @@ impl SgclError {
             SgclError::InvalidData { .. } => 5,
             SgclError::Mismatch { .. } => 6,
             SgclError::Diverged(_) => 7,
+            SgclError::Timeout { .. } => 8,
         }
     }
 }
@@ -197,6 +218,7 @@ impl fmt::Display for SgclError {
             SgclError::InvalidData { context, message } => write!(f, "{context}: {message}"),
             SgclError::Mismatch { context, message } => write!(f, "{context}: {message}"),
             SgclError::Diverged(report) => write!(f, "{report}"),
+            SgclError::Timeout { context } => write!(f, "{context}: timed out"),
         }
     }
 }
@@ -374,6 +396,16 @@ mod tests {
         assert_eq!(SgclError::parse("p", "m").exit_code(), 4);
         assert_eq!(SgclError::invalid_data("d", "m").exit_code(), 5);
         assert_eq!(SgclError::mismatch("c", "m").exit_code(), 6);
+        assert_eq!(SgclError::timeout("t").exit_code(), 8);
+    }
+
+    #[test]
+    fn timeout_carries_context_through_with_context() {
+        let err = SgclError::timeout("read reply").with_context("replica 127.0.0.1:7001");
+        assert_eq!(err.exit_code(), 8);
+        let text = err.to_string();
+        assert!(text.contains("replica 127.0.0.1:7001"), "{text}");
+        assert!(text.contains("timed out"), "{text}");
     }
 
     #[test]

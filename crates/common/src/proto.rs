@@ -34,6 +34,10 @@ pub mod op {
     pub const PING: &str = "ping";
     /// Ask the server to drain queued work and stop accepting.
     pub const SHUTDOWN: &str = "shutdown";
+    /// Stop accepting new work, finish everything in flight, then exit
+    /// with status 0. Alias-shaped but semantically explicit: `drain` is
+    /// what an orchestrator sends before taking a replica out of rotation.
+    pub const DRAIN: &str = "drain";
 }
 
 /// Stable numeric codes for error replies.
@@ -63,7 +67,33 @@ pub enum WireCode {
     DeadlineExceeded,
     /// The server is shutting down and did not process the request.
     ShuttingDown,
+    /// The server's admission queue is full and the request was shed
+    /// without being enqueued. Retryable: the request was never embedded.
+    Overloaded,
+    /// A network operation (connect, read, write) timed out before the
+    /// peer answered. Retryable: embed requests are idempotent.
+    Timeout,
+    /// No healthy replica could serve the request within the retry
+    /// budget. Emitted by the router tier only; retryable later.
+    Unavailable,
 }
+
+/// Every `WireCode`, for exhaustive round-trip tests. Kept adjacent to
+/// the enum so adding a variant without updating it is a one-line diff.
+pub const ALL_WIRE_CODES: [WireCode; 12] = [
+    WireCode::Usage,
+    WireCode::Io,
+    WireCode::Parse,
+    WireCode::InvalidData,
+    WireCode::Mismatch,
+    WireCode::Diverged,
+    WireCode::Internal,
+    WireCode::DeadlineExceeded,
+    WireCode::ShuttingDown,
+    WireCode::Overloaded,
+    WireCode::Timeout,
+    WireCode::Unavailable,
+];
 
 impl WireCode {
     /// The stable numeric value carried on the wire.
@@ -78,7 +108,31 @@ impl WireCode {
             WireCode::Internal => 10,
             WireCode::DeadlineExceeded => 11,
             WireCode::ShuttingDown => 12,
+            WireCode::Overloaded => 13,
+            WireCode::Timeout => 14,
+            WireCode::Unavailable => 15,
         }
+    }
+
+    /// Decodes a wire number back to its code. The router uses this to
+    /// classify error replies from replica nodes, so both ends must agree
+    /// on the mapping (round-tripped exhaustively in tests).
+    pub fn from_u8(code: u8) -> Option<WireCode> {
+        Some(match code {
+            2 => WireCode::Usage,
+            3 => WireCode::Io,
+            4 => WireCode::Parse,
+            5 => WireCode::InvalidData,
+            6 => WireCode::Mismatch,
+            7 => WireCode::Diverged,
+            10 => WireCode::Internal,
+            11 => WireCode::DeadlineExceeded,
+            12 => WireCode::ShuttingDown,
+            13 => WireCode::Overloaded,
+            14 => WireCode::Timeout,
+            15 => WireCode::Unavailable,
+            _ => return None,
+        })
     }
 
     /// Short machine-readable class name carried alongside the code.
@@ -93,7 +147,29 @@ impl WireCode {
             WireCode::Internal => "internal",
             WireCode::DeadlineExceeded => "deadline",
             WireCode::ShuttingDown => "shutdown",
+            WireCode::Overloaded => "overloaded",
+            WireCode::Timeout => "timeout",
+            WireCode::Unavailable => "unavailable",
         }
+    }
+
+    /// Whether a request that failed with this code may safely be sent
+    /// again (to the same server or another replica). Embed requests are
+    /// idempotent, so anything that failed *around* the computation —
+    /// transport trouble, a full queue, a dying or unreachable server —
+    /// is retryable; deterministic rejections of the request itself
+    /// (malformed, mismatched, divergent) are not, and neither is a
+    /// missed deadline (the caller's time budget is already spent).
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            WireCode::Io
+                | WireCode::Internal
+                | WireCode::ShuttingDown
+                | WireCode::Overloaded
+                | WireCode::Timeout
+                | WireCode::Unavailable
+        )
     }
 }
 
@@ -126,6 +202,7 @@ impl From<&SgclError> for WireError {
             SgclError::InvalidData { .. } => WireCode::InvalidData,
             SgclError::Mismatch { .. } => WireCode::Mismatch,
             SgclError::Diverged(_) => WireCode::Diverged,
+            SgclError::Timeout { .. } => WireCode::Timeout,
         };
         WireError::new(code, err.to_string())
     }
@@ -158,8 +235,51 @@ mod tests {
             WireCode::Internal,
             WireCode::DeadlineExceeded,
             WireCode::ShuttingDown,
+            WireCode::Overloaded,
+            WireCode::Unavailable,
         ] {
             assert!(code.as_u8() >= 10, "{:?} collides with CLI band", code);
         }
+    }
+
+    #[test]
+    fn every_code_round_trips_and_is_distinct() {
+        // the router decodes node error replies with from_u8; a code that
+        // does not round-trip would be misclassified across the tier
+        let mut seen_numbers = Vec::new();
+        let mut seen_classes = Vec::new();
+        for code in ALL_WIRE_CODES {
+            let n = code.as_u8();
+            assert_eq!(WireCode::from_u8(n), Some(code), "{code:?} round-trip");
+            assert!(!seen_numbers.contains(&n), "duplicate number {n}");
+            assert!(!seen_classes.contains(&code.class()), "duplicate class");
+            seen_numbers.push(n);
+            seen_classes.push(code.class());
+        }
+        assert_eq!(WireCode::from_u8(0), None);
+        assert_eq!(WireCode::from_u8(99), None);
+    }
+
+    #[test]
+    fn retryable_set_is_exactly_the_idempotent_safe_codes() {
+        for code in ALL_WIRE_CODES {
+            let expected = matches!(
+                code,
+                WireCode::Io
+                    | WireCode::Internal
+                    | WireCode::ShuttingDown
+                    | WireCode::Overloaded
+                    | WireCode::Timeout
+                    | WireCode::Unavailable
+            );
+            assert_eq!(code.retryable(), expected, "{code:?}");
+        }
+    }
+
+    #[test]
+    fn timeout_error_maps_to_timeout_code() {
+        let err = SgclError::timeout("read response from 127.0.0.1:7878");
+        assert_eq!(WireError::from(&err).code, WireCode::Timeout);
+        assert_eq!(err.exit_code(), 8);
     }
 }

@@ -55,36 +55,60 @@ struct BatchQueue {
     shutdown: bool,
 }
 
-/// The shared micro-batching queue.
+/// The shared micro-batching queue, bounded at `max_queue` waiting jobs.
+/// Submissions past the bound are shed with [`WireCode::Overloaded`]
+/// instead of growing the queue without limit under overload.
 pub struct Batcher {
     state: Mutex<BatchQueue>,
     available: Condvar,
     max_batch: usize,
+    max_queue: usize,
     max_wait: Duration,
 }
 
 impl Batcher {
     /// Creates an empty queue; batches hold at most `max_batch` jobs and
     /// wait at most `max_wait_ms` after the first job before dispatching.
-    pub fn new(max_batch: usize, max_wait_ms: u64) -> Self {
+    /// At most `max_queue` jobs may wait at once (0 picks the default of
+    /// four full batches).
+    pub fn new(max_batch: usize, max_wait_ms: u64, max_queue: usize) -> Self {
+        let max_batch = max_batch.max(1);
         Batcher {
             state: Mutex::new(BatchQueue {
                 queue: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
-            max_batch: max_batch.max(1),
+            max_batch,
+            max_queue: if max_queue == 0 {
+                max_batch * 4
+            } else {
+                max_queue
+            },
             max_wait: Duration::from_millis(max_wait_ms),
         }
     }
 
-    /// Enqueues a job; fails once the queue is shutting down.
+    /// The effective queue bound.
+    pub fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+
+    /// Enqueues a job; fails once the queue is shutting down, or with
+    /// [`WireCode::Overloaded`] when the queue is already full (the job
+    /// is shed, never enqueued, so the client may safely retry elsewhere).
     pub fn submit(&self, job: Job) -> Result<(), WireError> {
         let mut st = self.state.lock().expect("batcher lock poisoned");
         if st.shutdown {
             return Err(WireError::new(
                 WireCode::ShuttingDown,
                 "server is shutting down",
+            ));
+        }
+        if st.queue.len() >= self.max_queue {
+            return Err(WireError::new(
+                WireCode::Overloaded,
+                format!("queue full ({} waiting jobs)", self.max_queue),
             ));
         }
         st.queue.push_back(job);

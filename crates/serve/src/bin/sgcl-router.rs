@@ -1,0 +1,84 @@
+//! `sgcl-router` — replicated serving tier for `sgcl serve` backends.
+//!
+//! Speaks the same NDJSON-over-TCP protocol as a single node; shards
+//! embed requests across replicas by graph content hash, health-checks
+//! and ejects failing replicas, retries idempotent requests with
+//! backoff, and sheds load past its in-flight bound. See the `router`
+//! module of `sgcl-serve` for the full semantics.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sgcl_common::{Args, SgclError};
+use sgcl_serve::health::HealthPolicy;
+use sgcl_serve::{start_router, RouterConfig};
+
+const USAGE: &str = "sgcl-router — replicated serving tier for sgcl serve backends
+
+USAGE: sgcl-router --replicas <HOST:PORT,...> [OPTIONS]
+
+OPTIONS:
+  --replicas <HOST:PORT,...>    backend replicas (required, comma-separated)
+  --addr <HOST:PORT>            bind address (127.0.0.1:7979; port 0 = OS)
+  --retries <N>                 extra forwarding attempts per request (3)
+  --max-inflight <N>            in-flight embeds before shedding with
+                                Overloaded (256; 0 = unbounded)
+  --eject-after <N>             consecutive failures that eject (3)
+  --readmit-after <N>           consecutive probe successes that readmit (2)
+  --probe-interval-ms <N>       pause between health-probe rounds (200)
+  --probe-timeout-ms <N>        connect/read bound of one probe (1000)
+  --forward-timeout-ms <N>      read/write bound of one forward (10000)
+
+Stop with a {\"op\":\"drain\"} request: the router stops accepting,
+finishes everything in flight, and exits 0. Draining the router never
+shuts down the replicas.
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, SgclError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run() -> Result<(), SgclError> {
+    let args = Args::options_from_env()?;
+    if args.flag("help") || args.flag("h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let replicas: Vec<String> = args
+        .require("replicas")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let config = RouterConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        replicas,
+        health: HealthPolicy {
+            eject_after: args.get_parse("eject-after", 3u32)?,
+            readmit_after: args.get_parse("readmit-after", 2u32)?,
+            probe_interval: Duration::from_millis(args.get_parse("probe-interval-ms", 200u64)?),
+            probe_timeout: Duration::from_millis(args.get_parse("probe-timeout-ms", 1000u64)?),
+        },
+        retries: args.get_parse("retries", 3u32)?,
+        max_inflight: args.get_parse("max-inflight", 256usize)?,
+        forward_timeout: Duration::from_millis(args.get_parse("forward-timeout-ms", 10_000u64)?),
+        ..RouterConfig::default()
+    };
+    let n = config.replicas.len();
+    let handle = start_router(config)?;
+    println!("routing on {} across {} replicas:", handle.addr(), n);
+    println!("stop with a {{\"op\":\"drain\"}} request");
+    handle.join();
+    println!("router stopped");
+    Ok(())
+}

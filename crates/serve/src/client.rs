@@ -1,56 +1,177 @@
 //! A small blocking client for the serving protocol, used by the e2e
-//! tests and the `serve` load-generator bench.
+//! tests, the router's health prober, and the `serve` load-generator
+//! bench.
+//!
+//! Every socket operation is bounded: connects, reads, and writes time
+//! out (a hung server can no longer block a caller forever) and surface
+//! as the typed, retryable [`SgclError::Timeout`] — distinct from the
+//! server-side `DeadlineExceeded` reply, which means the request's own
+//! time budget was spent. An optional retry policy re-connects and
+//! re-sends on transport failure with exponential backoff and jitter;
+//! embed requests are idempotent, so resending is safe.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use sgcl_common::SgclError;
 use sgcl_data::io::GraphRecord;
 use sgcl_graph::Graph;
 
+use crate::health::{backoff_delay, Jitter};
 use crate::protocol::{encode_line, Request, Response};
 
-/// One connection to a running `sgcl serve` instance.
+/// Socket and retry behaviour of a [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection; `None` blocks.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each read and each write; `None` blocks.
+    pub io_timeout: Option<Duration>,
+    /// Transport-failure retries per request (0 = fail fast). Each retry
+    /// reconnects, because a timed-out connection has lost line framing.
+    pub retries: u32,
+    /// Base delay of the exponential backoff between retries.
+    pub backoff_base: Duration,
+    /// Cap on any single backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            io_timeout: Some(Duration::from_secs(30)),
+            retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One connection to a running `sgcl serve` (or `sgcl-router`) instance.
 pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    jitter: Jitter,
+}
+
+/// Maps a socket error to the typed timeout class when it is one.
+fn io_error(context: &str, e: std::io::Error) -> SgclError {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        SgclError::timeout(context)
+    } else {
+        SgclError::io(context, e)
+    }
+}
+
+fn open(
+    addr: SocketAddr,
+    config: &ClientConfig,
+) -> Result<(TcpStream, BufReader<TcpStream>), SgclError> {
+    let writer = match config.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)
+            .map_err(|e| io_error(&format!("connect to {addr}"), e))?,
+        None => {
+            TcpStream::connect(addr).map_err(|e| SgclError::io(format!("connect to {addr}"), e))?
+        }
+    };
+    let _ = writer.set_nodelay(true);
+    writer
+        .set_read_timeout(config.io_timeout)
+        .map_err(|e| SgclError::io("set read timeout", e))?;
+    writer
+        .set_write_timeout(config.io_timeout)
+        .map_err(|e| SgclError::io("set write timeout", e))?;
+    let reader = BufReader::new(
+        writer
+            .try_clone()
+            .map_err(|e| SgclError::io("clone client socket", e))?,
+    );
+    Ok((writer, reader))
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with the default timeouts and no retries.
     pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, SgclError> {
-        let writer = TcpStream::connect(&addr)
-            .map_err(|e| SgclError::io(format!("connect to {addr:?}"), e))?;
-        let _ = writer.set_nodelay(true);
-        let reader = BufReader::new(
-            writer
-                .try_clone()
-                .map_err(|e| SgclError::io("clone client socket", e))?,
-        );
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to `addr` with explicit socket and retry behaviour.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + std::fmt::Debug,
+        config: ClientConfig,
+    ) -> Result<Self, SgclError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| SgclError::io(format!("resolve {addr:?}"), e))?
+            .next()
+            .ok_or_else(|| SgclError::usage(format!("address {addr:?} resolves to nothing")))?;
+        let (writer, reader) = open(addr, &config)?;
         Ok(Client {
+            addr,
+            config,
             writer,
             reader,
             next_id: 1,
+            jitter: Jitter::new(addr.port().into()),
         })
     }
 
-    /// Sends one request and reads the matching response line.
+    /// Drops the (possibly desynchronised) connection and opens a new one.
+    fn reconnect(&mut self) -> Result<(), SgclError> {
+        let (writer, reader) = open(self.addr, &self.config)?;
+        self.writer = writer;
+        self.reader = reader;
+        Ok(())
+    }
+
+    /// Sends one request and reads the matching response line, retrying
+    /// transport failures (connect/read/write errors and timeouts) up to
+    /// the configured budget. Error *replies* are returned as-is — the
+    /// server answered, so there is nothing to retry.
     pub fn request(&mut self, mut request: Request) -> Result<Response, SgclError> {
         if request.id == 0 {
             request.id = self.next_id;
             self.next_id += 1;
         }
         let line = encode_line(&request)?;
+        let mut last_err = None;
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff_delay(
+                    attempt - 1,
+                    self.config.backoff_base,
+                    self.config.backoff_cap,
+                    &mut self.jitter,
+                ));
+                if let Err(e) = self.reconnect() {
+                    last_err = Some(e);
+                    continue;
+                }
+            }
+            match self.exchange(&line) {
+                Ok(response) => return Ok(response),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+
+    /// One send + receive over the current connection.
+    fn exchange(&mut self, line: &str) -> Result<Response, SgclError> {
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
-            .map_err(|e| SgclError::io("send request", e))?;
+            .map_err(|e| io_error(&format!("send request to {}", self.addr), e))?;
         let mut reply = String::new();
         let n = self
             .reader
             .read_line(&mut reply)
-            .map_err(|e| SgclError::io("read response", e))?;
+            .map_err(|e| io_error(&format!("read response from {}", self.addr), e))?;
         if n == 0 {
             return Err(SgclError::io(
                 "read response",
@@ -86,6 +207,12 @@ impl Client {
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<Response, SgclError> {
         self.simple(sgcl_common::proto::op::SHUTDOWN)
+    }
+
+    /// Asks the server to stop accepting work, finish everything in
+    /// flight, and exit 0.
+    pub fn drain(&mut self) -> Result<Response, SgclError> {
+        self.simple(sgcl_common::proto::op::DRAIN)
     }
 
     fn simple(&mut self, op: &str) -> Result<Response, SgclError> {

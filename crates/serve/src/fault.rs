@@ -1,0 +1,472 @@
+//! Fault injection for the serving tier: a scripted [`FaultPlan`] driving
+//! per-replica [`ChaosProxy`] instances.
+//!
+//! The chaos proxy is a plain std TCP forwarder that sits between the
+//! router and one replica and can, on command:
+//!
+//! * **kill** — sever every active connection mid-stream and refuse new
+//!   ones (accepted sockets are closed immediately), which is what a
+//!   crashed process looks like from the network;
+//! * **restart** — resume forwarding new connections;
+//! * **delay** — inject fixed extra latency on every forwarded chunk;
+//! * **garble** — flip bits in forwarded payload bytes (newlines are
+//!   preserved so the corruption surfaces as a fast parse error rather
+//!   than a stalled read).
+//!
+//! A [`FaultPlan`] is a comma-separated script of timed events,
+//! `at_ms:replica:action[:arg]` — e.g.
+//! `"400:1:kill,900:1:restart,0:0:delay:20"` kills replica 1 at t=400ms,
+//! restarts it at t=900ms, and gives replica 0 a 20ms lag from the start.
+//! The bench harness (`bench --bin serve --chaos`) runs the plan on a
+//! background thread while the load generator measures per-phase error
+//! rates, retries, and tail latency.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sgcl_common::SgclError;
+
+/// How often proxy loops re-check their control flags.
+const PROXY_POLL: Duration = Duration::from_millis(20);
+
+/// One scripted fault action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sever active connections and refuse new ones.
+    Kill,
+    /// Resume accepting and forwarding.
+    Restart,
+    /// Add fixed latency (milliseconds) to every forwarded chunk.
+    Delay(u64),
+    /// Start flipping bits in forwarded payload bytes.
+    Garble,
+    /// Stop garbling and remove injected latency.
+    Heal,
+}
+
+/// One timed event of a [`FaultPlan`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    /// Offset from plan start.
+    pub at: Duration,
+    /// Index of the targeted replica proxy.
+    pub replica: usize,
+    /// What to do to it.
+    pub action: FaultAction,
+}
+
+/// A parsed, time-sorted fault script.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated `at_ms:replica:action[:arg]` script.
+    /// Actions: `kill`, `restart`, `delay:<ms>`, `garble`, `heal`.
+    pub fn parse(spec: &str) -> Result<Self, SgclError> {
+        let mut events = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = entry.split(':').collect();
+            if parts.len() < 3 {
+                return Err(SgclError::usage(format!(
+                    "chaos event {entry:?}: expected at_ms:replica:action[:arg]"
+                )));
+            }
+            let at_ms: u64 = parts[0].parse().map_err(|_| {
+                SgclError::usage(format!("chaos event {entry:?}: bad time {:?}", parts[0]))
+            })?;
+            let replica: usize = parts[1].parse().map_err(|_| {
+                SgclError::usage(format!("chaos event {entry:?}: bad replica {:?}", parts[1]))
+            })?;
+            let action = match (parts[2], parts.get(3)) {
+                ("kill", None) => FaultAction::Kill,
+                ("restart", None) => FaultAction::Restart,
+                ("garble", None) => FaultAction::Garble,
+                ("heal", None) => FaultAction::Heal,
+                ("delay", Some(ms)) => FaultAction::Delay(ms.parse().map_err(|_| {
+                    SgclError::usage(format!("chaos event {entry:?}: bad delay {ms:?}"))
+                })?),
+                _ => {
+                    return Err(SgclError::usage(format!(
+                        "chaos event {entry:?}: unknown action {:?}",
+                        parts[2]
+                    )))
+                }
+            };
+            events.push(FaultEvent {
+                at: Duration::from_millis(at_ms),
+                replica,
+                action,
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        Ok(FaultPlan { events })
+    }
+
+    /// The scripted events, soonest first.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Largest replica index referenced by the plan, if any.
+    pub fn max_replica(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.replica).max()
+    }
+
+    /// Runs the plan against `controls` on a background thread, applying
+    /// each event at its offset from `now`. Events targeting a replica
+    /// index with no proxy are skipped. Set `stop` to abandon the rest of
+    /// the script early.
+    pub fn spawn(
+        self,
+        controls: Vec<ProxyControl>,
+        stop: Arc<AtomicBool>,
+    ) -> JoinHandle<Vec<(Duration, usize, FaultAction)>> {
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut applied = Vec::new();
+            for event in self.events {
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return applied;
+                    }
+                    let elapsed = started.elapsed();
+                    if elapsed >= event.at {
+                        break;
+                    }
+                    std::thread::sleep((event.at - elapsed).min(PROXY_POLL));
+                }
+                if let Some(control) = controls.get(event.replica) {
+                    control.apply(event.action);
+                    applied.push((started.elapsed(), event.replica, event.action));
+                }
+            }
+            applied
+        })
+    }
+}
+
+/// Shared state between a proxy's threads and its controllers.
+struct ProxyShared {
+    /// While true the proxy refuses new connections and has severed the
+    /// old ones.
+    down: AtomicBool,
+    /// Extra latency per forwarded chunk, in milliseconds.
+    delay_ms: AtomicU64,
+    /// While true forwarded payload bytes are corrupted.
+    garble: AtomicBool,
+    /// Tells every proxy thread to exit.
+    stop: AtomicBool,
+    /// Clones of live proxied sockets, kept so `kill` can sever them
+    /// mid-stream.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// Cloneable handle that injects faults into one running [`ChaosProxy`].
+#[derive(Clone)]
+pub struct ProxyControl {
+    shared: Arc<ProxyShared>,
+}
+
+impl ProxyControl {
+    /// Applies one scripted action.
+    pub fn apply(&self, action: FaultAction) {
+        match action {
+            FaultAction::Kill => self.kill(),
+            FaultAction::Restart => self.restart(),
+            FaultAction::Delay(ms) => self.set_delay(Duration::from_millis(ms)),
+            FaultAction::Garble => self.set_garble(true),
+            FaultAction::Heal => {
+                self.set_garble(false);
+                self.set_delay(Duration::ZERO);
+            }
+        }
+    }
+
+    /// Severs every active connection mid-stream and refuses new ones:
+    /// from the router's side this is indistinguishable from the replica
+    /// process dying.
+    pub fn kill(&self) {
+        self.shared.down.store(true, Ordering::SeqCst);
+        let mut conns = self.shared.conns.lock().expect("proxy conn lock poisoned");
+        for conn in conns.drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Brings the "dead" replica back: new connections forward again.
+    pub fn restart(&self) {
+        self.shared.down.store(false, Ordering::SeqCst);
+    }
+
+    /// Sets the per-chunk injected latency.
+    pub fn set_delay(&self, delay: Duration) {
+        self.shared
+            .delay_ms
+            .store(delay.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Turns payload corruption on or off.
+    pub fn set_garble(&self, on: bool) {
+        self.shared.garble.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the proxy is currently refusing connections.
+    pub fn is_down(&self) -> bool {
+        self.shared.down.load(Ordering::SeqCst)
+    }
+}
+
+/// A TCP forwarder to one upstream replica with scriptable faults.
+/// Dropping the handle does **not** stop it — call [`stop`](Self::stop).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    control: ProxyControl,
+    accept: JoinHandle<()>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts forwarding to `upstream`.
+    pub fn start(upstream: SocketAddr) -> Result<Self, SgclError> {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| SgclError::io("bind chaos proxy", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SgclError::io("set chaos proxy non-blocking", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| SgclError::io("query chaos proxy address", e))?;
+        let shared = Arc::new(ProxyShared {
+            down: AtomicBool::new(false),
+            delay_ms: AtomicU64::new(0),
+            garble: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let control = ProxyControl {
+            shared: Arc::clone(&shared),
+        };
+        let accept = std::thread::spawn(move || accept_loop(listener, upstream, &shared));
+        Ok(ChaosProxy {
+            addr,
+            control,
+            accept,
+        })
+    }
+
+    /// The address the router should dial instead of the replica's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable fault-injection handle.
+    pub fn control(&self) -> ProxyControl {
+        self.control.clone()
+    }
+
+    /// Severs everything and stops the proxy threads.
+    pub fn stop(self) {
+        self.control.shared.stop.store(true, Ordering::SeqCst);
+        self.control.kill();
+        let _ = self.accept.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, upstream: SocketAddr, shared: &Arc<ProxyShared>) {
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                if shared.down.load(Ordering::SeqCst) {
+                    // accept-then-close: the OS already completed the TCP
+                    // handshake, so an immediate drop gives the caller the
+                    // reset/EOF a dead backend would
+                    drop(client);
+                    continue;
+                }
+                match TcpStream::connect_timeout(&upstream, Duration::from_secs(1)) {
+                    Ok(server) => {
+                        if let Some(pair) = start_pumps(client, server, shared) {
+                            pumps.extend(pair);
+                        }
+                    }
+                    Err(_) => drop(client),
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(PROXY_POLL),
+            Err(_) => std::thread::sleep(PROXY_POLL),
+        }
+        pumps.retain(|h| !h.is_finished());
+    }
+    for pump in pumps {
+        let _ = pump.join();
+    }
+}
+
+/// Registers both sockets for mid-stream severing and spawns the two
+/// one-directional pump threads.
+fn start_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    shared: &Arc<ProxyShared>,
+) -> Option<[JoinHandle<()>; 2]> {
+    let c2 = client.try_clone().ok()?;
+    let s2 = server.try_clone().ok()?;
+    {
+        let mut conns = shared.conns.lock().expect("proxy conn lock poisoned");
+        conns.push(client.try_clone().ok()?);
+        conns.push(server.try_clone().ok()?);
+    }
+    let a = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || pump(client, s2, &shared))
+    };
+    let b = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || pump(server, c2, &shared))
+    };
+    Some([a, b])
+}
+
+/// Copies bytes `from` → `to` until EOF, error, kill, or stop, applying
+/// the currently configured latency and corruption.
+fn pump(mut from: TcpStream, mut to: TcpStream, shared: &ProxyShared) {
+    let _ = from.set_read_timeout(Some(PROXY_POLL));
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || shared.down.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let delay = shared.delay_ms.load(Ordering::SeqCst);
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                if shared.garble.load(Ordering::SeqCst) {
+                    // corrupt payload but keep line framing so the damage
+                    // surfaces as an immediate parse error, not a stall
+                    for byte in buf[..n].iter_mut() {
+                        if *byte != b'\n' && *byte != b'\r' {
+                            *byte ^= 0x01;
+                        }
+                    }
+                }
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_script_sorted_by_time() {
+        let plan = FaultPlan::parse("900:1:restart, 400:1:kill,0:0:delay:20,600:2:garble").unwrap();
+        let kinds: Vec<(u128, usize, FaultAction)> = plan
+            .events()
+            .iter()
+            .map(|e| (e.at.as_millis(), e.replica, e.action))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, 0, FaultAction::Delay(20)),
+                (400, 1, FaultAction::Kill),
+                (600, 2, FaultAction::Garble),
+                (900, 1, FaultAction::Restart),
+            ]
+        );
+        assert_eq!(plan.max_replica(), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        for bad in [
+            "400:1",          // missing action
+            "x:1:kill",       // bad time
+            "400:y:kill",     // bad replica
+            "400:1:explode",  // unknown action
+            "400:1:delay",    // missing delay arg
+            "400:1:delay:ms", // bad delay arg
+            "400:1:kill:1",   // stray arg
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_script_is_an_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.events().is_empty());
+        assert_eq!(plan.max_replica(), None);
+    }
+
+    #[test]
+    fn proxy_forwards_and_kill_severs_and_restart_recovers() {
+        use std::io::{BufRead, BufReader};
+
+        // upstream echo server: reads lines, echoes them back
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in upstream.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 || writer.write_all(line.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+
+        let proxy = ChaosProxy::start(upstream_addr).unwrap();
+        let control = proxy.control();
+
+        let roundtrip = || -> std::io::Result<String> {
+            let mut conn = TcpStream::connect_timeout(&proxy.addr(), Duration::from_secs(1))?;
+            conn.set_read_timeout(Some(Duration::from_secs(2)))?;
+            conn.write_all(b"hello\n")?;
+            let mut reader = BufReader::new(conn);
+            let mut reply = String::new();
+            reader.read_line(&mut reply)?;
+            if reply.is_empty() {
+                return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "severed"));
+            }
+            Ok(reply)
+        };
+
+        assert_eq!(roundtrip().unwrap(), "hello\n");
+
+        // a killed proxy severs new connections (connect may succeed —
+        // accept-then-close — but no data ever comes back)
+        control.kill();
+        assert!(control.is_down());
+        assert!(roundtrip().is_err(), "killed proxy served a request");
+
+        control.restart();
+        assert_eq!(roundtrip().unwrap(), "hello\n", "restart did not recover");
+
+        proxy.stop();
+    }
+}

@@ -1,0 +1,313 @@
+//! Replica health tracking, rendezvous sharding, and retry backoff —
+//! the router's pure decision logic, kept free of sockets (and of
+//! external crates) so every policy is unit-testable in isolation.
+//!
+//! # Health / ejection state machine
+//!
+//! Each replica is either **in rotation** or **ejected**. Failures —
+//! whether from the periodic ping probe or from a real forwarded request
+//! — count consecutively; at `eject_after` in a row the replica leaves
+//! rotation (the per-replica circuit opens). While ejected, the request
+//! path never selects it, but the prober keeps probing; `readmit_after`
+//! consecutive probe successes close the circuit and return the replica
+//! to rotation. Any success resets the failure streak and vice versa, so
+//! a flapping replica must string together a full clean streak before it
+//! takes traffic again.
+//!
+//! # Sharding
+//!
+//! Requests are sharded by graph `content_hash` with rendezvous (highest
+//! random weight) hashing: every `(key, replica)` pair gets a
+//! deterministic score and the key goes to the in-rotation replica with
+//! the highest score. Unlike `hash % n`, ejecting a replica moves *only*
+//! the keys whose first choice was the ejected replica — every other
+//! key keeps its assignment, so the surviving replicas' embedding caches
+//! stay hot through a failover (tested below). The full ranking also
+//! gives the retry path its natural failover order.
+
+use std::time::Duration;
+
+/// Tunables of the health / ejection state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthPolicy {
+    /// Consecutive failures that eject a replica from rotation.
+    pub eject_after: u32,
+    /// Consecutive probe successes that readmit an ejected replica.
+    pub readmit_after: u32,
+    /// Pause between probe rounds.
+    pub probe_interval: Duration,
+    /// Connect/read bound on one probe.
+    pub probe_timeout: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            eject_after: 3,
+            readmit_after: 2,
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// Health state of one replica (kept under the router's per-replica lock).
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaHealth {
+    in_rotation: bool,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    ejections: u64,
+}
+
+impl Default for ReplicaHealth {
+    /// Replicas start in rotation: the first probe round, not a cold
+    /// start, decides who is actually up.
+    fn default() -> Self {
+        ReplicaHealth {
+            in_rotation: true,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            ejections: 0,
+        }
+    }
+}
+
+impl ReplicaHealth {
+    /// Whether the request path may select this replica.
+    pub fn in_rotation(&self) -> bool {
+        self.in_rotation
+    }
+
+    /// Current failure streak (0 after any success).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Times this replica has been ejected so far.
+    pub fn ejections(&self) -> u64 {
+        self.ejections
+    }
+
+    /// Records a successful probe or forward. Returns `true` when this
+    /// success readmits an ejected replica into rotation.
+    pub fn record_success(&mut self, policy: &HealthPolicy) -> bool {
+        self.consecutive_failures = 0;
+        if self.in_rotation {
+            return false;
+        }
+        self.consecutive_successes += 1;
+        if self.consecutive_successes >= policy.readmit_after.max(1) {
+            self.in_rotation = true;
+            self.consecutive_successes = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Records a failed probe or forward. Returns `true` when this
+    /// failure ejects the replica from rotation.
+    pub fn record_failure(&mut self, policy: &HealthPolicy) -> bool {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.in_rotation && self.consecutive_failures >= policy.eject_after.max(1) {
+            self.in_rotation = false;
+            self.ejections += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// SplitMix64: a tiny, well-distributed 64-bit mixer (public-domain
+/// constants). Used for rendezvous scores and jitter so the router does
+/// not need a rand dependency.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic rendezvous score of `(key, replica)`.
+fn rendezvous_score(key: u128, replica: usize) -> u64 {
+    let folded = (key as u64) ^ ((key >> 64) as u64);
+    mix64(folded ^ mix64(replica as u64 ^ 0xda3e_39cb_94b9_5bdb))
+}
+
+/// Ranks all `n` replicas for `key`, best first. The head of the ranking
+/// is the shard owner; the tail is the deterministic failover order.
+pub fn rank_replicas(key: u128, n: usize) -> Vec<usize> {
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by_key(|&r| std::cmp::Reverse((rendezvous_score(key, r), r)));
+    ranked
+}
+
+/// A tiny xorshift64* stream for backoff jitter (rand-free, seedable for
+/// deterministic tests).
+#[derive(Clone, Debug)]
+pub struct Jitter {
+    state: u64,
+}
+
+impl Jitter {
+    /// Seeds the stream; any seed (including 0) is fine.
+    pub fn new(seed: u64) -> Self {
+        Jitter {
+            state: mix64(seed) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Full-jitter exponential backoff: a uniform delay in
+/// `[0, min(cap, base * 2^attempt)]`. Full jitter (rather than
+/// `base * 2^attempt ± ε`) de-synchronises clients that failed at the
+/// same instant, which is exactly the situation after a replica dies.
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, jitter: &mut Jitter) -> Duration {
+    let ceiling = base
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(cap)
+        .as_nanos() as u64;
+    if ceiling == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(jitter.next_u64() % (ceiling + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            eject_after: 3,
+            readmit_after: 2,
+            ..HealthPolicy::default()
+        }
+    }
+
+    #[test]
+    fn ejects_after_consecutive_failures_only() {
+        let p = policy();
+        let mut h = ReplicaHealth::default();
+        assert!(h.in_rotation());
+        // interleaved successes keep resetting the streak
+        for _ in 0..10 {
+            assert!(!h.record_failure(&p));
+            assert!(!h.record_failure(&p));
+            h.record_success(&p);
+            assert!(h.in_rotation());
+        }
+        assert!(!h.record_failure(&p));
+        assert!(!h.record_failure(&p));
+        assert!(h.record_failure(&p), "third consecutive failure ejects");
+        assert!(!h.in_rotation());
+        assert_eq!(h.ejections(), 1);
+        // further failures do not re-eject
+        assert!(!h.record_failure(&p));
+        assert_eq!(h.ejections(), 1);
+    }
+
+    #[test]
+    fn readmits_after_consecutive_successes_only() {
+        let p = policy();
+        let mut h = ReplicaHealth::default();
+        for _ in 0..3 {
+            h.record_failure(&p);
+        }
+        assert!(!h.in_rotation());
+        // a failure in between restarts the recovery streak
+        assert!(!h.record_success(&p));
+        h.record_failure(&p);
+        assert!(!h.record_success(&p));
+        assert!(h.record_success(&p), "second consecutive success readmits");
+        assert!(h.in_rotation());
+        // and the streaks are clean afterwards
+        assert_eq!(h.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_complete() {
+        for key in [0u128, 1, u128::MAX, 0xdead_beef] {
+            let a = rank_replicas(key, 5);
+            let b = rank_replicas(key, 5);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "permutation of replicas");
+        }
+    }
+
+    #[test]
+    fn ejection_moves_only_the_ejected_replicas_keys() {
+        // the property that makes rendezvous hashing worth it: removing
+        // replica `gone` must not reassign any key owned by a survivor
+        let n = 4;
+        let gone = 2usize;
+        let mut moved = 0usize;
+        let mut keys = 0usize;
+        let mut jitter = Jitter::new(7);
+        for _ in 0..2000 {
+            let key = u128::from(jitter.next_u64()) << 64 | u128::from(jitter.next_u64());
+            keys += 1;
+            let before = *rank_replicas(key, n)
+                .iter()
+                .find(|_| true)
+                .expect("nonempty");
+            let after = *rank_replicas(key, n)
+                .iter()
+                .find(|&&r| r != gone)
+                .expect("nonempty");
+            if before == gone {
+                moved += 1;
+                assert_ne!(after, gone);
+            } else {
+                assert_eq!(before, after, "survivor-owned key moved on ejection");
+            }
+        }
+        // sanity: the ejected replica actually owned a fair share
+        assert!(moved > keys / 10, "replica {gone} owned {moved}/{keys}");
+    }
+
+    #[test]
+    fn shards_spread_across_replicas() {
+        let mut counts = vec![0usize; 3];
+        let mut jitter = Jitter::new(11);
+        for _ in 0..3000 {
+            let key = u128::from(jitter.next_u64());
+            counts[rank_replicas(key, 3)[0]] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 3000 / 3 / 2 && c < 3000 * 2 / 3,
+                "replica {r} got {c}/3000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut jitter = Jitter::new(3);
+        for attempt in 0..10 {
+            let ceiling = base.saturating_mul(1 << attempt.min(16)).min(cap);
+            for _ in 0..50 {
+                let d = backoff_delay(attempt, base, cap, &mut jitter);
+                assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            }
+        }
+        // zero base degenerates to no delay rather than dividing by zero
+        let d = backoff_delay(3, Duration::ZERO, Duration::ZERO, &mut jitter);
+        assert_eq!(d, Duration::ZERO);
+    }
+}

@@ -25,15 +25,20 @@
 pub mod batcher;
 pub mod cache;
 pub mod client;
+pub mod fault;
+pub mod health;
+mod net;
 pub mod protocol;
 pub mod registry;
+pub mod router;
 pub mod server;
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
+pub use router::{start_router, RouterConfig, RouterHandle};
 pub use server::{start, ServerHandle};
 
 use crate::protocol::StatsBody;
@@ -56,6 +61,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Per-request deadline in milliseconds; 0 disables deadlines.
     pub deadline_ms: u64,
+    /// Bound on jobs waiting in the micro-batcher queue; submissions past
+    /// it are shed with `Overloaded`. 0 picks the default of
+    /// `4 * max_batch`.
+    pub max_queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +77,7 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             workers: 2,
             deadline_ms: 5000,
+            max_queue: 0,
         }
     }
 }
@@ -81,6 +91,8 @@ pub struct ServeStats {
     pub embedded: AtomicU64,
     /// Error replies sent.
     pub errors: AtomicU64,
+    /// Requests shed with `Overloaded` because the batcher queue was full.
+    pub shed: AtomicU64,
     /// Micro-batches executed.
     pub batches: AtomicU64,
     histogram: Mutex<Vec<u64>>,
@@ -93,6 +105,7 @@ impl ServeStats {
             requests: AtomicU64::new(0),
             embedded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             histogram: Mutex::new(vec![0; max_batch.max(1)]),
         }
@@ -113,6 +126,7 @@ impl ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             embedded: self.embedded.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
             batches: self.batches.load(Ordering::Relaxed),

@@ -1,0 +1,69 @@
+//! Blocking newline-delimited-line I/O shared by the node server and the
+//! router: both read client request lines with a short poll timeout so
+//! idle connections notice the shutdown flag, and both write one JSON
+//! response per line.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use sgcl_common::proto::{WireCode, WireError, MAX_LINE_BYTES};
+
+use crate::protocol::{encode_line, Response};
+
+/// How often blocked reads / accept loops re-check the shutdown flag.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Reads one `\n`-terminated line, polling `shutdown` while idle.
+/// `Ok(None)` = EOF or shutdown; `Err` carries the ready-made error reply
+/// for a line that exceeded [`MAX_LINE_BYTES`].
+pub(crate) fn read_line_polled(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> Result<Option<String>, Box<Response>> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = pending.drain(..=pos).collect();
+            line.pop(); // the \n
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        if pending.len() > MAX_LINE_BYTES {
+            return Err(Box::new(Response::error(
+                0,
+                &WireError::new(
+                    WireCode::Parse,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                ),
+            )));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+/// Writes one response line; returns false if the client is gone.
+pub(crate) fn write_line(stream: &mut TcpStream, response: &Response) -> bool {
+    let line = match encode_line(response) {
+        Ok(line) => line,
+        Err(_) => return false,
+    };
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .is_ok()
+}

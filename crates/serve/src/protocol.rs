@@ -54,6 +54,9 @@ pub struct Response {
     /// Server metadata (`info` only).
     #[serde(default)]
     pub info: Option<InfoBody>,
+    /// Router metadata (`info` against a router only).
+    #[serde(default)]
+    pub router: Option<RouterBody>,
 }
 
 /// Error details carried on failure replies.
@@ -102,6 +105,9 @@ pub struct StatsBody {
     pub embedded: u64,
     /// Error replies sent.
     pub errors: u64,
+    /// Requests shed with `Overloaded` because the batcher queue was full.
+    #[serde(default)]
+    pub shed: u64,
     /// Embedding-cache hits.
     pub cache_hits: u64,
     /// Embedding-cache misses.
@@ -111,6 +117,49 @@ pub struct StatsBody {
     /// Histogram of micro-batch sizes: `batch_histogram[i]` counts
     /// batches of size `i + 1`.
     pub batch_histogram: Vec<u64>,
+}
+
+/// State of one replica backend as seen by the router.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ReplicaInfo {
+    /// Backend address the router forwards to.
+    pub addr: String,
+    /// Whether the replica is currently in rotation.
+    pub healthy: bool,
+    /// Consecutive probe/request failures observed (resets on success).
+    pub consecutive_failures: u32,
+    /// Times this replica has been ejected since router start.
+    pub ejections: u64,
+    /// Requests forwarded to this replica.
+    pub requests: u64,
+    /// Forwarding attempts against this replica that failed.
+    pub failures: u64,
+}
+
+/// Router-tier counters returned by the `info` operation.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RouterStatsBody {
+    /// Total requests received (all operations).
+    pub requests: u64,
+    /// Embed requests answered by a replica.
+    pub forwarded: u64,
+    /// Extra forwarding attempts beyond each request's first.
+    pub retries: u64,
+    /// Requests shed with `Overloaded` at the router's in-flight bound.
+    pub shed: u64,
+    /// Requests that exhausted the retry budget (`Unavailable` replies).
+    pub unavailable: u64,
+}
+
+/// Router metadata returned by the `info` operation.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RouterBody {
+    /// Protocol revision.
+    pub protocol: u32,
+    /// Replica states, in configuration order.
+    pub replicas: Vec<ReplicaInfo>,
+    /// Router counters since startup.
+    pub stats: RouterStatsBody,
 }
 
 impl Response {
@@ -125,6 +174,7 @@ impl Response {
             batch_size: None,
             error: None,
             info: None,
+            router: None,
         }
     }
 
@@ -143,6 +193,7 @@ impl Response {
                 message: err.message.clone(),
             }),
             info: None,
+            router: None,
         }
     }
 
@@ -150,6 +201,16 @@ impl Response {
     /// Returns `None` on success replies.
     pub fn wire_error(&self) -> Option<(u32, &str)> {
         self.error.as_ref().map(|e| (e.code, e.message.as_str()))
+    }
+
+    /// Decodes the error code into a typed [`WireCode`]; `None` on
+    /// success replies or unknown codes. The router uses this to decide
+    /// whether a replica's error reply is worth retrying elsewhere.
+    pub fn error_code(&self) -> Option<WireCode> {
+        self.error
+            .as_ref()
+            .and_then(|e| u8::try_from(e.code).ok())
+            .and_then(WireCode::from_u8)
     }
 }
 

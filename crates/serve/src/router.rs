@@ -1,0 +1,572 @@
+//! `sgcl-router` — a replicated serving tier in front of N `sgcl serve`
+//! backends.
+//!
+//! The router speaks the same NDJSON protocol as a single node, so
+//! clients cannot tell the difference; behind it, embed requests are
+//! sharded across replicas by graph `content_hash` (rendezvous hashing —
+//! see [`crate::health`]), which keeps each replica's embedding cache
+//! disjoint and hot. The router adds the tier-level robustness a single
+//! node cannot provide:
+//!
+//! * **active health checks** — a prober thread pings every replica at a
+//!   fixed interval; consecutive failures eject a replica from rotation,
+//!   consecutive probe successes after recovery re-admit it;
+//! * **per-replica circuit breaking** — forwarding failures feed the same
+//!   ejection state machine, so a dying replica stops taking traffic
+//!   before the prober notices;
+//! * **bounded retry with backoff** — embeds are idempotent, so on a
+//!   transport failure (or a retryable error reply) the router re-sends
+//!   to the next healthy replica in rendezvous order, sleeping an
+//!   exponential full-jitter backoff between attempts; a request that
+//!   exhausts the budget gets `Unavailable`;
+//! * **load shedding** — at most `max_inflight` embeds are in flight;
+//!   past that, requests are shed immediately with `Overloaded`;
+//! * **drain-on-shutdown** — `shutdown`/`drain` stops the accept loop,
+//!   lets every in-flight request finish, and exits cleanly. Draining
+//!   the router never shuts down the replicas: the tier and its members
+//!   have separate lifecycles.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sgcl_common::proto::{op, WireCode, WireError, PROTOCOL_VERSION};
+use sgcl_common::SgclError;
+use sgcl_graph::content_hash;
+
+use crate::client::{Client, ClientConfig};
+use crate::health::{backoff_delay, rank_replicas, HealthPolicy, Jitter, ReplicaHealth};
+use crate::net::{read_line_polled, write_line, POLL_INTERVAL};
+use crate::protocol::{parse_request, ReplicaInfo, Request, Response, RouterBody, RouterStatsBody};
+
+/// Idle forward-connections kept per replica; beyond this they are closed
+/// rather than pooled.
+const POOL_CAP: usize = 8;
+
+/// Router configuration; [`Default`] gives the documented CLI defaults
+/// with an OS-assigned port and no replicas (callers must fill
+/// `replicas`).
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address; port 0 lets the OS pick.
+    pub addr: String,
+    /// Backend addresses, one per replica.
+    pub replicas: Vec<String>,
+    /// Ejection / re-admission tunables for the health prober.
+    pub health: HealthPolicy,
+    /// Extra forwarding attempts after a request's first (0 = fail fast).
+    pub retries: u32,
+    /// Base delay of the exponential backoff between attempts.
+    pub backoff_base: Duration,
+    /// Cap on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Embed requests allowed in flight before shedding with
+    /// `Overloaded`; 0 = unbounded.
+    pub max_inflight: usize,
+    /// Bound on establishing one forward connection.
+    pub connect_timeout: Duration,
+    /// Bound on each forward read/write (a hung replica surfaces as a
+    /// retryable timeout, not a stuck router thread).
+    pub forward_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            replicas: Vec::new(),
+            health: HealthPolicy::default(),
+            retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+            max_inflight: 256,
+            connect_timeout: Duration::from_secs(1),
+            forward_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Tier-level counters, updated lock-free on the forward path.
+struct RouterStats {
+    requests: AtomicU64,
+    forwarded: AtomicU64,
+    retries: AtomicU64,
+    shed: AtomicU64,
+    unavailable: AtomicU64,
+}
+
+/// One backend replica: resolved address, health state, counters, and a
+/// small pool of idle forward connections.
+struct Replica {
+    addr: SocketAddr,
+    health: Mutex<ReplicaHealth>,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    idle: Mutex<Vec<Client>>,
+}
+
+impl Replica {
+    fn in_rotation(&self) -> bool {
+        self.health
+            .lock()
+            .expect("replica health lock poisoned")
+            .in_rotation()
+    }
+
+    fn record_success(&self, policy: &HealthPolicy) {
+        self.health
+            .lock()
+            .expect("replica health lock poisoned")
+            .record_success(policy);
+    }
+
+    fn record_failure(&self, policy: &HealthPolicy) {
+        let ejected = self
+            .health
+            .lock()
+            .expect("replica health lock poisoned")
+            .record_failure(policy);
+        if ejected {
+            // an ejected replica's pooled connections are suspect too
+            self.idle
+                .lock()
+                .expect("replica pool lock poisoned")
+                .clear();
+        }
+    }
+}
+
+/// Shared router state.
+struct RouterCtx {
+    replicas: Vec<Replica>,
+    config: RouterConfig,
+    stats: RouterStats,
+    inflight: AtomicUsize,
+    conn_seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running router; dropping the handle does **not** stop it — call
+/// [`stop`](RouterHandle::stop) or [`join`](RouterHandle::join).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    ctx: Arc<RouterCtx>,
+    accept: JoinHandle<()>,
+}
+
+impl RouterHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for in-flight work to finish.
+    pub fn stop(self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+
+    /// Waits until the router stops on its own (a client sends the
+    /// `shutdown` or `drain` operation).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Binds the router, resolves every replica address, and starts the
+/// accept loop plus the health-probe thread.
+pub fn start_router(config: RouterConfig) -> Result<RouterHandle, SgclError> {
+    if config.replicas.is_empty() {
+        return Err(SgclError::usage("router needs at least one --replica"));
+    }
+    let mut replicas = Vec::with_capacity(config.replicas.len());
+    for spec in &config.replicas {
+        let addr = spec
+            .to_socket_addrs()
+            .map_err(|e| SgclError::io(format!("resolve replica {spec:?}"), e))?
+            .next()
+            .ok_or_else(|| SgclError::usage(format!("replica {spec:?} resolves to nothing")))?;
+        replicas.push(Replica {
+            addr,
+            health: Mutex::new(ReplicaHealth::default()),
+            requests: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            idle: Mutex::new(Vec::new()),
+        });
+    }
+
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| SgclError::io(format!("bind {}", config.addr), e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| SgclError::io("set listener non-blocking", e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| SgclError::io("query bound address", e))?;
+
+    let ctx = Arc::new(RouterCtx {
+        replicas,
+        stats: RouterStats {
+            requests: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
+        },
+        inflight: AtomicUsize::new(0),
+        conn_seq: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let prober = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::spawn(move || probe_loop(&ctx))
+    };
+    let accept_ctx = Arc::clone(&ctx);
+    let accept = std::thread::spawn(move || {
+        accept_loop(listener, accept_ctx, prober);
+    });
+
+    Ok(RouterHandle { addr, ctx, accept })
+}
+
+/// Pings every replica once per `probe_interval`, feeding the ejection /
+/// re-admission state machine. Ejected replicas keep being probed — the
+/// prober is the only way back into rotation.
+fn probe_loop(ctx: &RouterCtx) {
+    let probe_config = ClientConfig {
+        connect_timeout: Some(ctx.config.health.probe_timeout),
+        io_timeout: Some(ctx.config.health.probe_timeout),
+        retries: 0,
+        ..ClientConfig::default()
+    };
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        for replica in &ctx.replicas {
+            let alive = Client::connect_with(replica.addr, probe_config.clone())
+                .and_then(|mut c| c.ping())
+                .map(|r| r.ok)
+                .unwrap_or(false);
+            if alive {
+                replica.record_success(&ctx.config.health);
+            } else {
+                replica.record_failure(&ctx.config.health);
+            }
+        }
+        let mut waited = Duration::ZERO;
+        while waited < ctx.config.health.probe_interval {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = POLL_INTERVAL.min(ctx.config.health.probe_interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<RouterCtx>, prober: JoinHandle<()>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let ctx = Arc::clone(&ctx);
+                conns.push(std::thread::spawn(move || handle_conn(stream, &ctx)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    // drain: no new connections are accepted; every connection thread
+    // finishes the request it is processing before it notices shutdown
+    for conn in conns {
+        let _ = conn.join();
+    }
+    let _ = prober.join();
+}
+
+fn handle_conn(mut stream: TcpStream, ctx: &RouterCtx) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    // per-connection jitter stream: seeded from a global sequence so
+    // concurrent connections back off on decorrelated schedules
+    let mut jitter = Jitter::new(ctx.conn_seq.fetch_add(1, Ordering::Relaxed));
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_line_polled(&mut stream, &mut pending, &ctx.shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) => return,
+            Err(reply) => {
+                write_line(&mut stream, &reply);
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, stop_after) = handle_request(&line, ctx, &mut jitter);
+        if !write_line(&mut stream, &response) {
+            return;
+        }
+        if stop_after {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Dispatches one parsed request. The bool asks the connection loop to
+/// initiate router shutdown after replying.
+fn handle_request(line: &str, ctx: &RouterCtx, jitter: &mut Jitter) -> (Response, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (Response::error(0, &e), false),
+    };
+    let id = request.id;
+    match request.op.as_str() {
+        op::PING => (Response::ok(id), false),
+        op::INFO => (info_response(id, ctx), false),
+        op::SHUTDOWN | op::DRAIN => (Response::ok(id), true),
+        op::EMBED => (embed_via_replicas(id, request, ctx, jitter), false),
+        other => (
+            Response::error(
+                id,
+                &WireError::new(WireCode::Usage, format!("unknown operation {other:?}")),
+            ),
+            false,
+        ),
+    }
+}
+
+fn info_response(id: u64, ctx: &RouterCtx) -> Response {
+    let replicas = ctx
+        .replicas
+        .iter()
+        .map(|r| {
+            let health = r.health.lock().expect("replica health lock poisoned");
+            ReplicaInfo {
+                addr: r.addr.to_string(),
+                healthy: health.in_rotation(),
+                consecutive_failures: health.consecutive_failures(),
+                ejections: health.ejections(),
+                requests: r.requests.load(Ordering::Relaxed),
+                failures: r.failures.load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+    let mut response = Response::ok(id);
+    response.router = Some(RouterBody {
+        protocol: PROTOCOL_VERSION,
+        replicas,
+        stats: RouterStatsBody {
+            requests: ctx.stats.requests.load(Ordering::Relaxed),
+            forwarded: ctx.stats.forwarded.load(Ordering::Relaxed),
+            retries: ctx.stats.retries.load(Ordering::Relaxed),
+            shed: ctx.stats.shed.load(Ordering::Relaxed),
+            unavailable: ctx.stats.unavailable.load(Ordering::Relaxed),
+        },
+    });
+    response
+}
+
+/// Decrements the in-flight gauge on every exit path.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Outcome of one forwarding attempt against one replica.
+enum Forward {
+    /// The replica answered (success, or an authoritative error reply
+    /// that retrying elsewhere would only repeat).
+    Answered(Response),
+    /// The attempt failed; `alive` says whether the replica still
+    /// answered at the protocol level (e.g. `Overloaded`) — a dead
+    /// transport feeds the ejection state machine, an alive refusal
+    /// does not.
+    Retry { alive: bool },
+}
+
+fn embed_via_replicas(id: u64, request: Request, ctx: &RouterCtx, jitter: &mut Jitter) -> Response {
+    let record = match request.graph {
+        Some(r) => r,
+        None => {
+            return Response::error(
+                id,
+                &WireError::new(WireCode::Usage, "embed requires a \"graph\" payload"),
+            )
+        }
+    };
+    // validate and hash locally so malformed payloads are rejected at the
+    // edge and well-formed ones shard deterministically
+    let graph = match record.clone().into_graph() {
+        Ok(g) => g,
+        Err(e) => return Response::error(id, &WireError::from(&e)),
+    };
+    if graph.num_nodes() == 0 {
+        return Response::error(
+            id,
+            &WireError::new(WireCode::InvalidData, "cannot embed an empty graph"),
+        );
+    }
+
+    if ctx.config.max_inflight > 0 {
+        let prev = ctx.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= ctx.config.max_inflight {
+            ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::error(
+                id,
+                &WireError::new(
+                    WireCode::Overloaded,
+                    format!("router at {} in-flight requests", ctx.config.max_inflight),
+                ),
+            );
+        }
+    }
+    let _guard = (ctx.config.max_inflight > 0).then(|| InflightGuard(&ctx.inflight));
+
+    let ranking = rank_replicas(content_hash(&graph).0, ctx.replicas.len());
+    let model = request.model;
+    let mut attempt: u32 = 0;
+    loop {
+        // re-filter each attempt: ejections during the walk change the
+        // healthy set, and rendezvous order keeps survivors' keys stable
+        let healthy: Vec<usize> = ranking
+            .iter()
+            .copied()
+            .filter(|&r| ctx.replicas[r].in_rotation())
+            .collect();
+        if healthy.is_empty() {
+            ctx.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+            return Response::error(
+                id,
+                &WireError::new(WireCode::Unavailable, "no replica in rotation"),
+            );
+        }
+        let target = healthy[attempt as usize % healthy.len()];
+        let forward_request = Request {
+            id,
+            op: op::EMBED.to_string(),
+            model: model.clone(),
+            graph: Some(record.clone()),
+        };
+        match forward_once(ctx, target, forward_request) {
+            Forward::Answered(mut response) => {
+                response.id = id;
+                ctx.replicas[target].record_success(&ctx.config.health);
+                ctx.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                return response;
+            }
+            Forward::Retry { alive } => {
+                if alive {
+                    ctx.replicas[target].record_success(&ctx.config.health);
+                } else {
+                    ctx.replicas[target].record_failure(&ctx.config.health);
+                }
+                attempt += 1;
+                if attempt > ctx.config.retries {
+                    ctx.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+                    return Response::error(
+                        id,
+                        &WireError::new(
+                            WireCode::Unavailable,
+                            format!("no replica answered after {attempt} attempts"),
+                        ),
+                    );
+                }
+                ctx.stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff_delay(
+                    attempt - 1,
+                    ctx.config.backoff_base,
+                    ctx.config.backoff_cap,
+                    jitter,
+                ));
+            }
+        }
+    }
+}
+
+/// One forwarding attempt: checkout (or open) a connection, exchange the
+/// request, classify the outcome. Embeds are idempotent, so every
+/// transport failure is safe to retry on another replica.
+fn forward_once(ctx: &RouterCtx, target: usize, request: Request) -> Forward {
+    let replica = &ctx.replicas[target];
+    replica.requests.fetch_add(1, Ordering::Relaxed);
+    let mut client = match checkout(ctx, replica) {
+        Ok(c) => c,
+        Err(_) => {
+            replica.failures.fetch_add(1, Ordering::Relaxed);
+            return Forward::Retry { alive: false };
+        }
+    };
+    match client.request(request) {
+        Ok(response) if response.ok => {
+            checkin(replica, client);
+            Forward::Answered(response)
+        }
+        Ok(response) => match response.error_code() {
+            // the router always sends well-formed lines, so a Parse reply
+            // means the bytes were corrupted in flight — drop the
+            // connection and retry elsewhere
+            Some(WireCode::Parse) => {
+                replica.failures.fetch_add(1, Ordering::Relaxed);
+                Forward::Retry { alive: false }
+            }
+            // the replica answered but cannot take the work right now;
+            // it is alive, so don't feed the ejection machine
+            Some(code) if code.retryable() => {
+                replica.failures.fetch_add(1, Ordering::Relaxed);
+                Forward::Retry { alive: true }
+            }
+            // authoritative error (mismatch, invalid data, …): every
+            // replica serves the same models, so forward it as-is
+            _ => {
+                checkin(replica, client);
+                Forward::Answered(response)
+            }
+        },
+        Err(_) => {
+            replica.failures.fetch_add(1, Ordering::Relaxed);
+            Forward::Retry { alive: false }
+        }
+    }
+}
+
+/// Pops an idle pooled connection or opens a fresh one.
+fn checkout(ctx: &RouterCtx, replica: &Replica) -> Result<Client, SgclError> {
+    if let Some(client) = replica
+        .idle
+        .lock()
+        .expect("replica pool lock poisoned")
+        .pop()
+    {
+        return Ok(client);
+    }
+    Client::connect_with(
+        replica.addr,
+        ClientConfig {
+            connect_timeout: Some(ctx.config.connect_timeout),
+            io_timeout: Some(ctx.config.forward_timeout),
+            retries: 0,
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// Returns a healthy connection to the pool (bounded; extras are closed).
+fn checkin(replica: &Replica, client: Client) {
+    let mut idle = replica.idle.lock().expect("replica pool lock poisoned");
+    if idle.len() < POOL_CAP {
+        idle.push(client);
+    }
+}

@@ -9,25 +9,36 @@
 //! timeout and exit, and the batcher drains queued work before the
 //! workers stop.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sgcl_common::proto::{op, WireCode, WireError, MAX_LINE_BYTES, PROTOCOL_VERSION};
+use sgcl_common::proto::{op, WireCode, WireError, PROTOCOL_VERSION};
 use sgcl_common::SgclError;
 use sgcl_graph::content_hash;
 
 use crate::batcher::{Batcher, Job};
 use crate::cache::LruCache;
-use crate::protocol::{encode_line, parse_request, InfoBody, ModelInfo, Request, Response};
+use crate::net::{read_line_polled, write_line, POLL_INTERVAL};
+use crate::protocol::{parse_request, InfoBody, ModelInfo, Request, Response};
 use crate::registry::ModelRegistry;
 use crate::{ServeConfig, ServeStats};
 
-/// How often blocked reads / the accept loop re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Fixed tail of the reply-wait window: once a connection thread has
+/// waited the full queue deadline *plus half again* (worst-case embed
+/// time of a batch picked up just before the deadline) *plus this
+/// grace*, the reply channel is abandoned with `DeadlineExceeded`. See
+/// DESIGN.md §12 ("reply-wait policy") for the rationale behind the
+/// formula.
+const REPLY_GRACE: Duration = Duration::from_millis(50);
+
+/// The full wait budget for a queued request's reply under deadline `d`.
+fn reply_wait(d: Duration) -> Duration {
+    d + d / 2 + REPLY_GRACE
+}
 
 /// Shared server state.
 pub(crate) struct ServerCtx {
@@ -99,7 +110,7 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, SgclError> {
     let ctx = Arc::new(ServerCtx {
         registry,
         cache: Mutex::new(LruCache::new(config.cache_capacity)),
-        batcher: Batcher::new(max_batch, config.max_wait_ms),
+        batcher: Batcher::new(max_batch, config.max_wait_ms, config.max_queue),
         stats: ServeStats::new(max_batch),
         shutdown: AtomicBool::new(false),
         deadline: (config.deadline_ms > 0).then(|| Duration::from_millis(config.deadline_ms)),
@@ -154,7 +165,7 @@ fn handle_conn(mut stream: TcpStream, ctx: &ServerCtx) {
     let _ = stream.set_nodelay(true);
     let mut pending: Vec<u8> = Vec::new();
     loop {
-        let line = match read_line(&mut stream, &mut pending, ctx) {
+        let line = match read_line_polled(&mut stream, &mut pending, &ctx.shutdown) {
             Ok(Some(line)) => line,
             Ok(None) => return, // EOF or server shutdown
             Err(reply) => {
@@ -179,60 +190,13 @@ fn handle_conn(mut stream: TcpStream, ctx: &ServerCtx) {
     }
 }
 
-/// Reads one `\n`-terminated line, polling the shutdown flag while idle.
-/// `Ok(None)` = EOF or shutdown; `Err` carries the ready-made error reply
-/// for a line that exceeded [`MAX_LINE_BYTES`].
-fn read_line(
-    stream: &mut TcpStream,
-    pending: &mut Vec<u8>,
-    ctx: &ServerCtx,
-) -> Result<Option<String>, Box<Response>> {
-    let mut chunk = [0u8; 4096];
-    loop {
-        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-            let mut line: Vec<u8> = pending.drain(..=pos).collect();
-            line.pop(); // the \n
-            if line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
-        }
-        if pending.len() > MAX_LINE_BYTES {
-            return Err(Box::new(Response::error(
-                0,
-                &WireError::new(
-                    WireCode::Parse,
-                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                ),
-            )));
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(None),
-            Ok(n) => pending.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if ctx.shutdown.load(Ordering::SeqCst) {
-                    return Ok(None);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return Ok(None),
-        }
-    }
-}
-
-/// Writes one response line; returns false if the client is gone.
+/// Writes one response line, counting error replies; returns false if the
+/// client is gone.
 fn write_response(stream: &mut TcpStream, response: &Response, stats: &ServeStats) -> bool {
     if !response.ok {
         stats.errors.fetch_add(1, Ordering::Relaxed);
     }
-    let line = match encode_line(response) {
-        Ok(line) => line,
-        Err(_) => return false,
-    };
-    stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .is_ok()
+    write_line(stream, response)
 }
 
 /// Dispatches one parsed request. The bool asks the connection loop to
@@ -246,7 +210,10 @@ fn handle_request(line: &str, ctx: &ServerCtx) -> (Response, bool) {
     match request.op.as_str() {
         op::PING => (Response::ok(id), false),
         op::INFO => (info_response(id, ctx), false),
-        op::SHUTDOWN => (Response::ok(id), true),
+        // both stop the server the same graceful way: no new connections,
+        // in-flight requests finish, the queue drains, then exit 0 —
+        // `drain` exists so orchestrators can name the intent explicitly
+        op::SHUTDOWN | op::DRAIN => (Response::ok(id), true),
         op::EMBED => (embed_response(id, request, ctx), false),
         other => (
             Response::error(
@@ -343,19 +310,20 @@ fn try_embed(request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
         deadline,
         reply: tx,
     };
-    ctx.batcher.submit(job)?;
+    ctx.batcher.submit(job).map_err(|e| {
+        if e.code == WireCode::Overloaded {
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        e
+    })?;
 
     let reply = match ctx.deadline {
-        // grace on top of the queue deadline: the batch may have started
-        // embedding just before the deadline passed
-        Some(d) => rx
-            .recv_timeout(d + d / 2 + Duration::from_millis(50))
-            .map_err(|_| {
-                WireError::new(
-                    WireCode::DeadlineExceeded,
-                    "request deadline exceeded while waiting for the worker pool",
-                )
-            })?,
+        Some(d) => rx.recv_timeout(reply_wait(d)).map_err(|_| {
+            WireError::new(
+                WireCode::DeadlineExceeded,
+                "request deadline exceeded while waiting for the worker pool",
+            )
+        })?,
         None => rx
             .recv()
             .map_err(|_| WireError::new(WireCode::Internal, "worker pool dropped the request"))?,

@@ -1,0 +1,405 @@
+//! End-to-end tests for the replicated serving tier: a real router in
+//! front of real replica servers on ephemeral ports, chaos proxies that
+//! kill and resurrect replicas mid-stream, overload floods, and hung
+//! backends.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_common::proto::WireCode;
+use sgcl_common::SgclError;
+use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::Graph;
+use sgcl_serve::fault::ChaosProxy;
+use sgcl_serve::health::HealthPolicy;
+use sgcl_serve::protocol::RouterBody;
+use sgcl_serve::{
+    start, start_router, Client, ClientConfig, RouterConfig, RouterHandle, ServeConfig,
+    ServerHandle,
+};
+use sgcl_tensor::Matrix;
+
+const INPUT_DIM: usize = 6;
+
+fn random_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(5usize..15);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(0.3) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let data = (0..n * INPUT_DIM)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let tags = (0..n).map(|_| rng.gen_range(0u32..5)).collect();
+    Graph::new(n, edges, Matrix::from_vec(n, INPUT_DIM, data)).with_tags(tags)
+}
+
+fn tiny_config() -> SgclConfig {
+    SgclConfig {
+        encoder: EncoderConfig {
+            kind: EncoderKind::Gin,
+            input_dim: INPUT_DIM,
+            hidden_dim: 16,
+            num_layers: 2,
+        },
+        ..SgclConfig::paper_unsupervised(INPUT_DIM)
+    }
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sgcl-router-e2e-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn save_sgcl_checkpoint(dir: &std::path::Path) -> (PathBuf, SgclModel) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = SgclModel::new(tiny_config(), &mut rng);
+    let path = dir.join("sgcl-model.json");
+    Checkpoint::capture(&model)
+        .save(&path)
+        .expect("save checkpoint");
+    (path, model)
+}
+
+/// Starts `n` replicas all serving the same checkpoint.
+fn start_replicas(path: &std::path::Path, n: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|_| {
+            start(ServeConfig {
+                models: vec![("m".to_string(), path.to_path_buf())],
+                ..ServeConfig::default()
+            })
+            .expect("replica starts")
+        })
+        .collect()
+}
+
+/// A fast-reacting test router config (short probes, quick ejection).
+fn test_router_config(replicas: Vec<String>) -> RouterConfig {
+    RouterConfig {
+        replicas,
+        health: HealthPolicy {
+            eject_after: 2,
+            readmit_after: 1,
+            probe_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(500),
+        },
+        retries: 3,
+        ..RouterConfig::default()
+    }
+}
+
+/// Polls the router's `info` until `pred` holds or `timeout` elapses.
+fn wait_for_router(
+    client: &mut Client,
+    timeout: Duration,
+    pred: impl Fn(&RouterBody) -> bool,
+) -> RouterBody {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let info = client.info().expect("router info");
+        let body = info.router.expect("router block present");
+        if pred(&body) || Instant::now() >= deadline {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn shutdown_all(router: RouterHandle, replicas: Vec<ServerHandle>) {
+    let mut client = Client::connect(router.addr()).expect("connect for drain");
+    client.drain().expect("drain router");
+    router.join();
+    for replica in replicas {
+        replica.stop();
+    }
+}
+
+#[test]
+fn router_shards_across_replicas_and_stays_bit_exact() {
+    let dir = scratch("shard");
+    let (path, model) = save_sgcl_checkpoint(&dir);
+    let replicas = start_replicas(&path, 3);
+    let replica_addrs: Vec<String> = replicas.iter().map(|r| r.addr().to_string()).collect();
+    let router = start_router(test_router_config(replica_addrs)).expect("router starts");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let graphs: Vec<Graph> = (0..12).map(|_| random_graph(&mut rng)).collect();
+    let offline = model.embed(&graphs);
+
+    let mut client = Client::connect(router.addr()).expect("connect");
+    for round in 0..2 {
+        for (i, g) in graphs.iter().enumerate() {
+            let resp = client.embed(None, g).expect("embed via router");
+            assert!(resp.ok, "embed failed: {:?}", resp.error);
+            assert_eq!(
+                resp.embedding.as_deref(),
+                Some(offline.row(i)),
+                "round {round}: routed embedding of graph {i} differs from offline"
+            );
+        }
+    }
+
+    let body = wait_for_router(&mut client, Duration::from_secs(1), |_| true);
+    assert_eq!(body.stats.forwarded, 24, "every embed was forwarded");
+    assert_eq!(body.stats.unavailable, 0);
+    assert_eq!(body.replicas.len(), 3);
+    let busy = body.replicas.iter().filter(|r| r.requests > 0).count();
+    assert!(
+        busy >= 2,
+        "rendezvous sharding should spread 12 distinct graphs over >1 replica: {:?}",
+        body.replicas
+    );
+    // the same graph hits the same replica both rounds, so each replica's
+    // second-round requests are all cache hits — sharding keeps caches
+    // disjoint, which shows up as per-replica request counts being even
+    assert!(body.replicas.iter().all(|r| r.ejections == 0));
+
+    shutdown_all(router, replicas);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killing_a_replica_fails_over_with_zero_incorrect_replies() {
+    let dir = scratch("failover");
+    let (path, model) = save_sgcl_checkpoint(&dir);
+    let replicas = start_replicas(&path, 3);
+    // each replica sits behind a chaos proxy so one can be "killed"
+    let proxies: Vec<ChaosProxy> = replicas
+        .iter()
+        .map(|r| ChaosProxy::start(r.addr()).expect("proxy starts"))
+        .collect();
+    let proxy_addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+    let router = start_router(test_router_config(proxy_addrs)).expect("router starts");
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let graphs: Vec<Graph> = (0..12).map(|_| random_graph(&mut rng)).collect();
+    let offline = model.embed(&graphs);
+    let mut client = Client::connect(router.addr()).expect("connect");
+
+    let check_all = |client: &mut Client, phase: &str| {
+        for (i, g) in graphs.iter().enumerate() {
+            let resp = client.embed(None, g).expect("embed via router");
+            assert!(resp.ok, "{phase}: embed {i} failed: {:?}", resp.error);
+            assert_eq!(
+                resp.embedding.as_deref(),
+                Some(offline.row(i)),
+                "{phase}: incorrect reply for graph {i}"
+            );
+        }
+    };
+
+    // steady state
+    check_all(&mut client, "steady");
+
+    // kill replica 0 mid-stream: its active connections are severed and
+    // new ones are refused; requests must fail over with correct results
+    proxies[0].control().kill();
+    check_all(&mut client, "kill");
+    check_all(&mut client, "kill-2");
+
+    let body = wait_for_router(&mut client, Duration::from_secs(5), |b| {
+        !b.replicas[0].healthy
+    });
+    assert!(
+        !body.replicas[0].healthy,
+        "dead replica was never ejected: {:?}",
+        body.replicas
+    );
+    assert!(body.replicas[0].ejections >= 1);
+    assert!(
+        body.stats.retries >= 1,
+        "failover must have used the retry path"
+    );
+    assert_eq!(
+        body.stats.unavailable, 0,
+        "retry budget should cover a single replica failure"
+    );
+
+    // the survivors carry the full load correctly while one is down
+    check_all(&mut client, "degraded");
+
+    // resurrect: the prober re-admits it and traffic flows again
+    proxies[0].control().restart();
+    let body = wait_for_router(&mut client, Duration::from_secs(5), |b| {
+        b.replicas[0].healthy
+    });
+    assert!(
+        body.replicas[0].healthy,
+        "recovered replica was never re-admitted: {:?}",
+        body.replicas
+    );
+    check_all(&mut client, "recovered");
+
+    shutdown_all(router, replicas);
+    for proxy in proxies {
+        proxy.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flooded_server_sheds_with_overloaded_instead_of_collapsing() {
+    let dir = scratch("shed");
+    let (path, _model) = save_sgcl_checkpoint(&dir);
+    // one slow worker, long batching window, tiny queue, no cache: a
+    // flood must overflow the queue and be shed, not pile up
+    let handle = start(ServeConfig {
+        models: vec![("m".to_string(), path)],
+        max_batch: 2,
+        max_wait_ms: 400,
+        workers: 1,
+        max_queue: 2,
+        cache_capacity: 0,
+        deadline_ms: 0,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + i);
+                let graph = random_graph(&mut rng);
+                let mut client = Client::connect(addr).expect("connect");
+                let resp = client.embed(None, &graph).expect("reply");
+                (resp.ok, resp.wire_error().map(|(c, _)| c))
+            })
+        })
+        .collect();
+    let outcomes: Vec<(bool, Option<u32>)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client"))
+        .collect();
+
+    let served = outcomes.iter().filter(|(ok, _)| *ok).count();
+    let shed = outcomes
+        .iter()
+        .filter(|(_, code)| *code == Some(u32::from(WireCode::Overloaded.as_u8())))
+        .count();
+    assert!(served >= 1, "some requests must still be served");
+    assert!(
+        shed >= 1,
+        "a 12-deep flood against queue 2 must shed: {outcomes:?}"
+    );
+    assert_eq!(served + shed, outcomes.len(), "no other failure modes");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.info().expect("info").info.expect("info body").stats;
+    assert_eq!(stats.shed as usize, shed, "shed counter matches replies");
+
+    client.drain().expect("drain op");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_server_surfaces_as_typed_timeout() {
+    // a backend that accepts connections and never replies
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for stream in listener.incoming().flatten() {
+            held.push(stream); // keep sockets open, say nothing
+        }
+    });
+
+    let mut client = Client::connect_with(
+        addr,
+        ClientConfig {
+            io_timeout: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    let started = Instant::now();
+    let err = client.ping().expect_err("hung server must not succeed");
+    assert!(
+        matches!(err, SgclError::Timeout { .. }),
+        "expected SgclError::Timeout, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 8);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout must be bounded by io_timeout, not hang"
+    );
+}
+
+#[test]
+fn authoritative_errors_pass_through_the_router_unretried() {
+    let dir = scratch("errors");
+    let (path, _model) = save_sgcl_checkpoint(&dir);
+    let replicas = start_replicas(&path, 2);
+    let replica_addrs: Vec<String> = replicas.iter().map(|r| r.addr().to_string()).collect();
+    let router = start_router(test_router_config(replica_addrs)).expect("router starts");
+    let mut client = Client::connect(router.addr()).expect("connect");
+
+    // wrong feature dimension -> mismatch (6), decided by the replica and
+    // forwarded as-is (retrying elsewhere would repeat the same answer)
+    let bad = Graph::new(3, vec![(0, 1)], Matrix::from_vec(3, 2, vec![0.0; 6]));
+    let resp = client.embed(None, &bad).expect("reply");
+    assert!(!resp.ok);
+    assert_eq!(resp.wire_error().map(|(c, _)| c), Some(6));
+
+    // a structurally invalid payload is rejected at the router's edge
+    let resp = client
+        .request(sgcl_serve::protocol::Request {
+            id: 0,
+            op: sgcl_common::proto::op::EMBED.to_string(),
+            model: None,
+            graph: None,
+        })
+        .expect("reply");
+    assert!(!resp.ok);
+    assert_eq!(resp.wire_error().map(|(c, _)| c), Some(2));
+
+    let body = wait_for_router(&mut client, Duration::from_secs(1), |_| true);
+    assert_eq!(
+        body.stats.retries, 0,
+        "authoritative errors are not retried"
+    );
+    assert_eq!(body.stats.unavailable, 0);
+
+    shutdown_all(router, replicas);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_stops_the_router_but_not_the_replicas() {
+    let dir = scratch("drain");
+    let (path, _model) = save_sgcl_checkpoint(&dir);
+    let replicas = start_replicas(&path, 1);
+    let replica_addr = replicas[0].addr();
+    let replica_addrs: Vec<String> = vec![replica_addr.to_string()];
+    let router = start_router(test_router_config(replica_addrs)).expect("router starts");
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let graph = random_graph(&mut rng);
+    let mut client = Client::connect(router.addr()).expect("connect");
+    assert!(client.embed(None, &graph).expect("embed").ok);
+
+    let resp = client.drain().expect("drain reply");
+    assert!(resp.ok, "drain must be acknowledged before exit");
+    router.join(); // returns only once in-flight work is done
+
+    // the replica is a separate lifecycle: still up, still serving
+    let mut direct = Client::connect(replica_addr).expect("connect replica");
+    assert!(direct.ping().expect("ping").ok);
+    assert!(direct.embed(None, &graph).expect("embed").ok);
+
+    for replica in replicas {
+        replica.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
