@@ -1,30 +1,37 @@
 //! Kernel benchmark harness: dense GEMM, sparse spMM, and a full SGCL
-//! pre-training step, timed across sizes and thread counts.
+//! pre-training step, timed across sizes, thread counts, and SIMD
+//! dispatch paths.
 //!
 //! ```text
 //! cargo run --release --bin kernels                  # full sweep
 //! cargo run --release --bin kernels -- --smoke       # CI-sized run
 //! cargo run --release --bin kernels -- --threads 4   # pin the sweep
+//! cargo run --release --bin kernels -- --simd scalar # pin the dispatch path
+//! cargo run --release --bin kernels -- --skip-pretrain
 //! cargo run --release --bin kernels -- --out k.json  # default BENCH_kernels.json
 //! ```
 //!
 //! Every measurement becomes one JSON row
-//! `{op, variant, m, n, k, nnz, threads, iters, ns_per_iter, gflops}`.
+//! `{op, variant, simd, m, n, k, nnz, threads, iters, ns_per_iter, gflops}`.
 //! The `naive` variant is the retained single-threaded reference
 //! implementation (the pre-optimisation kernels); `blocked` is the
-//! cache-blocked, multithreaded path. Both produce bit-identical outputs —
-//! see DESIGN.md §Performance for how to read the numbers.
+//! cache-blocked, multithreaded path, swept across every SIMD path the
+//! host supports (forced scalar, the auto-detected vector path, and the
+//! opt-in FMA path) unless `--simd`/`SGCL_SIMD` pins one. All non-FMA
+//! combinations produce bit-identical outputs — see DESIGN.md
+//! §Performance and §13 for how to read the numbers.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgcl_core::SgclModel;
 use sgcl_data::{Scale, TuDataset};
-use sgcl_tensor::{set_num_threads, CsrMatrix, Matrix};
+use sgcl_tensor::{set_num_threads, simd, CsrMatrix, Matrix, SimdPath};
 use std::time::Instant;
 
 struct Row {
     op: &'static str,
     variant: &'static str,
+    simd: &'static str,
     m: usize,
     n: usize,
     k: usize,
@@ -40,6 +47,7 @@ impl Row {
         serde_json::json!({
             "op": self.op,
             "variant": self.variant,
+            "simd": self.simd,
             "m": self.m,
             "n": self.n,
             "k": self.k,
@@ -96,6 +104,7 @@ fn gemm_rows(
     rows: &mut Vec<Row>,
     sizes: &[usize],
     threads: &[usize],
+    paths: &[SimdPath],
     iters_for: impl Fn(usize) -> usize,
 ) {
     for &s in sizes {
@@ -117,6 +126,7 @@ fn gemm_rows(
             rows.push(Row {
                 op,
                 variant: "naive",
+                simd: "scalar",
                 m: s,
                 n: s,
                 k: s,
@@ -126,29 +136,39 @@ fn gemm_rows(
                 ns_per_iter: ns,
                 gflops: flop / ns,
             });
-            for &t in threads {
-                set_num_threads(t);
-                let ns = time_ns(iters, || {
-                    std::hint::black_box(blocked(&a, &b));
-                });
-                rows.push(Row {
-                    op,
-                    variant: "blocked",
-                    m: s,
-                    n: s,
-                    k: s,
-                    nnz: 0,
-                    threads: t,
-                    iters,
-                    ns_per_iter: ns,
-                    gflops: flop / ns,
-                });
+            for &path in paths {
+                simd::set_path(path).expect("benched path was checked supported");
+                for &t in threads {
+                    set_num_threads(t);
+                    let ns = time_ns(iters, || {
+                        std::hint::black_box(blocked(&a, &b));
+                    });
+                    rows.push(Row {
+                        op,
+                        variant: "blocked",
+                        simd: path.name(),
+                        m: s,
+                        n: s,
+                        k: s,
+                        nnz: 0,
+                        threads: t,
+                        iters,
+                        ns_per_iter: ns,
+                        gflops: flop / ns,
+                    });
+                }
             }
         }
     }
 }
 
-fn spmm_rows(rows: &mut Vec<Row>, dims: &[(usize, usize)], threads: &[usize], iters: usize) {
+fn spmm_rows(
+    rows: &mut Vec<Row>,
+    dims: &[(usize, usize)],
+    threads: &[usize],
+    paths: &[SimdPath],
+    iters: usize,
+) {
     for &(n, d) in dims {
         let adj = pseudo_csr(n, n, 8, 3);
         let h = pseudo_matrix(n, d, 4);
@@ -166,6 +186,7 @@ fn spmm_rows(rows: &mut Vec<Row>, dims: &[(usize, usize)], threads: &[usize], it
             rows.push(Row {
                 op,
                 variant: "naive",
+                simd: "scalar",
                 m: n,
                 n: d,
                 k: 0,
@@ -175,29 +196,34 @@ fn spmm_rows(rows: &mut Vec<Row>, dims: &[(usize, usize)], threads: &[usize], it
                 ns_per_iter: ns,
                 gflops: flop / ns,
             });
-            for &t in threads {
-                set_num_threads(t);
-                let ns = time_ns(iters, || {
-                    std::hint::black_box(parallel(&adj, &h));
-                });
-                rows.push(Row {
-                    op,
-                    variant: "blocked",
-                    m: n,
-                    n: d,
-                    k: 0,
-                    nnz: adj.nnz(),
-                    threads: t,
-                    iters,
-                    ns_per_iter: ns,
-                    gflops: flop / ns,
-                });
+            for &path in paths {
+                simd::set_path(path).expect("benched path was checked supported");
+                for &t in threads {
+                    set_num_threads(t);
+                    let ns = time_ns(iters, || {
+                        std::hint::black_box(parallel(&adj, &h));
+                    });
+                    rows.push(Row {
+                        op,
+                        variant: "blocked",
+                        simd: path.name(),
+                        m: n,
+                        n: d,
+                        k: 0,
+                        nnz: adj.nnz(),
+                        threads: t,
+                        iters,
+                        ns_per_iter: ns,
+                        gflops: flop / ns,
+                    });
+                }
             }
         }
     }
 }
 
-fn pretrain_rows(rows: &mut Vec<Row>, threads: &[usize], epochs: usize) {
+fn pretrain_rows(rows: &mut Vec<Row>, threads: &[usize], path: SimdPath, epochs: usize) {
+    simd::set_path(path).expect("benched path was checked supported");
     let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
     let mut cfg = sgcl_core::SgclConfig::paper_unsupervised(ds.feature_dim());
     cfg.epochs = epochs;
@@ -212,6 +238,7 @@ fn pretrain_rows(rows: &mut Vec<Row>, threads: &[usize], epochs: usize) {
         rows.push(Row {
             op: "pretrain_epoch",
             variant: "full",
+            simd: path.name(),
             m: ds.graphs.len(),
             n: cfg.encoder.hidden_dim,
             k: cfg.encoder.num_layers,
@@ -234,11 +261,39 @@ fn ok_or_exit<T>(r: Result<T, sgcl_common::SgclError>) -> T {
 fn main() {
     let args = ok_or_exit(sgcl_common::Args::options_from_env());
     let smoke = args.flag("smoke");
+    let skip_pretrain = args.flag("skip-pretrain");
     let out = args.get("out").unwrap_or("BENCH_kernels.json").to_string();
     let pinned: Option<usize> = if args.get("threads").is_some() {
         Some(ok_or_exit(args.get_parse("threads", 0usize)))
     } else {
         None
+    };
+
+    // SIMD dispatch: --fma / --simd / SGCL_SIMD pin the sweep to one path;
+    // otherwise sweep forced-scalar, the auto-detected vector path, and the
+    // FMA path where the host supports it.
+    let simd_flag = if args.flag("fma") {
+        Some("fma")
+    } else {
+        args.get("simd")
+    };
+    let pinned_simd = simd_flag.is_some() || std::env::var("SGCL_SIMD").is_ok();
+    let (simd_detected, simd_default) =
+        ok_or_exit(simd::init(simd_flag).map_err(sgcl_common::SgclError::usage));
+    eprintln!("{}", simd::startup_line());
+    let paths: Vec<SimdPath> = if pinned_simd {
+        vec![simd_default]
+    } else {
+        let mut ps = vec![SimdPath::Scalar];
+        if simd_detected != SimdPath::Scalar {
+            ps.push(simd_detected);
+        }
+        for fma in [SimdPath::Avx2Fma, SimdPath::NeonFma] {
+            if simd::supported(fma) {
+                ps.push(fma);
+            }
+        }
+        ps
     };
 
     let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -262,35 +317,47 @@ fn main() {
 
     let mut rows = Vec::new();
     if smoke {
-        gemm_rows(&mut rows, &[128], &ts, |_| 3);
-        spmm_rows(&mut rows, &[(1024, 32)], &ts, 10);
-        pretrain_rows(&mut rows, &[*ts.last().unwrap()], 1);
+        gemm_rows(&mut rows, &[128], &ts, &paths, |_| 3);
+        spmm_rows(&mut rows, &[(1024, 32)], &ts, &paths, 10);
+        if !skip_pretrain {
+            pretrain_rows(&mut rows, &[*ts.last().unwrap()], simd_default, 1);
+        }
     } else {
-        gemm_rows(&mut rows, &[128, 256, 512], &ts, |s| {
+        gemm_rows(&mut rows, &[128, 256, 512], &ts, &paths, |s| {
             if s >= 512 {
                 5
             } else {
                 30
             }
         });
-        spmm_rows(&mut rows, &[(4096, 64), (16384, 32)], &ts, 20);
-        pretrain_rows(&mut rows, &ts, 2);
+        spmm_rows(&mut rows, &[(4096, 64), (16384, 32)], &ts, &paths, 20);
+        if !skip_pretrain {
+            pretrain_rows(&mut rows, &ts, simd_default, 2);
+        }
     }
+    // leave the process on the startup-selected path, not the last swept one
+    simd::set_path(simd_default).expect("default path is supported");
 
     println!(
-        "{:<14} {:<8} {:>6} {:>6} {:>6} {:>9} {:>7} {:>13} {:>8}",
-        "op", "variant", "m", "n", "k", "nnz", "threads", "ns/iter", "GFLOP/s"
+        "{:<14} {:<8} {:<9} {:>6} {:>6} {:>6} {:>9} {:>7} {:>13} {:>8}",
+        "op", "variant", "simd", "m", "n", "k", "nnz", "threads", "ns/iter", "GFLOP/s"
     );
     for r in &rows {
         println!(
-            "{:<14} {:<8} {:>6} {:>6} {:>6} {:>9} {:>7} {:>13.0} {:>8.2}",
-            r.op, r.variant, r.m, r.n, r.k, r.nnz, r.threads, r.ns_per_iter, r.gflops
+            "{:<14} {:<8} {:<9} {:>6} {:>6} {:>6} {:>9} {:>7} {:>13.0} {:>8.2}",
+            r.op, r.variant, r.simd, r.m, r.n, r.k, r.nnz, r.threads, r.ns_per_iter, r.gflops
         );
     }
 
     let doc = serde_json::json!({
         "experiment": "kernels",
         "available_parallelism": auto,
+        "host_parallelism": auto,
+        // multi-thread rows are only meaningful when the host really has
+        // cores to scale onto (PR 6 topology convention)
+        "scaling_valid": auto > 1,
+        "simd_detected": simd_detected.name(),
+        "simd_default": simd_default.name(),
         "rows": rows.iter().map(Row::to_json).collect::<Vec<_>>(),
     });
     let bytes = serde_json::to_vec_pretty(&doc).expect("serialise");

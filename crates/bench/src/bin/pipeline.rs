@@ -130,6 +130,15 @@ fn main() {
     let smoke = args.flag("smoke");
     let out = args.get("out").unwrap_or("BENCH_pipeline.json").to_string();
 
+    let simd_flag = if args.flag("fma") {
+        Some("fma")
+    } else {
+        args.get("simd")
+    };
+    let (_, simd_active) =
+        ok_or_exit(sgcl_tensor::simd::init(simd_flag).map_err(sgcl_common::SgclError::usage));
+    eprintln!("{}", sgcl_tensor::simd::startup_line());
+
     let ds = TuDataset::Mutag.generate(Scale::Quick, 0);
     let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: Vec<usize> = if smoke { vec![1, auto] } else { vec![1, 2, 4] };
@@ -143,6 +152,7 @@ fn main() {
         "host_parallelism": auto,
         // thread/prefetch speedup claims are only meaningful with >1 core
         "scaling_valid": auto > 1,
+        "simd": simd_active.name(),
         "smoke": smoke,
         "node_constants": constants,
         "epoch": epoch,

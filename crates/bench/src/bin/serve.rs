@@ -100,6 +100,7 @@ fn topology_json(replicas: usize) -> serde_json::Value {
         // replica scaling claims need both >1 replicas and cores to run
         // them on; single-core CI boxes must not be read as speedups
         "scaling_valid": replicas > 1 && host_parallelism > 1,
+        "simd": sgcl_tensor::simd::active().name(),
     })
 }
 
@@ -108,6 +109,13 @@ fn main() {
     let smoke = args.flag("smoke");
     let out = args.get("out").unwrap_or("BENCH_serve.json").to_string();
     sgcl_tensor::set_num_threads(ok_or_exit(args.get_parse("threads", 0usize)));
+    let simd_flag = if args.flag("fma") {
+        Some("fma")
+    } else {
+        args.get("simd")
+    };
+    ok_or_exit(sgcl_tensor::simd::init(simd_flag).map_err(sgcl_common::SgclError::usage));
+    eprintln!("{}", sgcl_tensor::simd::startup_line());
     let clients = ok_or_exit(args.get_parse("clients", if smoke { 4usize } else { 8 }));
     let requests = ok_or_exit(args.get_parse("requests", if smoke { 25usize } else { 300 }));
     let pool_size = ok_or_exit(args.get_parse("graphs", if smoke { 16usize } else { 128 }));

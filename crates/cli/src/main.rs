@@ -100,6 +100,13 @@ GLOBAL OPTIONS:
                   the sequential path). Results are bit-identical for any N.
   --prefetch <N>  batches assembled ahead of the training step (default 0 =
                   synchronous). Results are bit-identical for any N.
+  --simd <MODE>   kernel SIMD dispatch: auto|scalar|avx2|neon|fma (default
+                  auto; also settable via SGCL_SIMD, the flag wins). All
+                  modes except fma are bit-identical; requesting a path the
+                  CPU lacks is an error, never a silent fallback.
+  --fma           shorthand for --simd fma: fused multiply-add kernels.
+                  Faster on some hosts but NOT bit-exact — excluded from
+                  the --resume/--threads bit-exactness guarantees.
 
 EXIT CODES:
   0 success   2 usage     3 I/O            4 parse/version
@@ -125,6 +132,18 @@ fn run() -> Result<(), SgclError> {
     // Global kernel thread count; 0 (the default) auto-detects. `--threads 1`
     // forces the sequential path; any setting produces bit-identical results.
     sgcl_tensor::set_num_threads(args.get_parse("threads", 0usize)?);
+    // SIMD dispatch: --fma / --simd win over SGCL_SIMD; an unsupported
+    // request is a usage error, never a silent fallback. Logged once so the
+    // active kernel path is always visible.
+    let simd_flag = if args.flag("fma") {
+        Some("fma")
+    } else {
+        args.get("simd")
+    };
+    sgcl_tensor::simd::init(simd_flag).map_err(SgclError::usage)?;
+    if !matches!(args.command.as_str(), "" | "help" | "-h") {
+        eprintln!("{}", sgcl_tensor::simd::startup_line());
+    }
     match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "pretrain" => cmd_pretrain(&args),

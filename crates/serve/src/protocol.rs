@@ -75,6 +75,10 @@ pub struct ErrorBody {
 pub struct InfoBody {
     /// Protocol revision.
     pub protocol: u32,
+    /// Active kernel SIMD dispatch path ("scalar", "avx2", "avx2-fma",
+    /// "neon", "neon-fma") — dispatch is never silent.
+    #[serde(default)]
+    pub simd: String,
     /// Served models, in registry order (first = default).
     pub models: Vec<ModelInfo>,
     /// Serving counters since startup.

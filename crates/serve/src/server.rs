@@ -242,6 +242,7 @@ fn info_response(id: u64, ctx: &ServerCtx) -> Response {
     let mut response = Response::ok(id);
     response.info = Some(InfoBody {
         protocol: PROTOCOL_VERSION,
+        simd: sgcl_tensor::simd::active().name().to_string(),
         models,
         stats: ctx.stats.snapshot(hits, misses),
     });

@@ -6,38 +6,54 @@
 //! The GEMM follows the classic packed-panel design (Goto/BLIS, and the
 //! pure-Rust ports CORAL / rusty-blas): the operation is tiled as
 //! `NC × KC × MC` cache blocks, the active `A` and `B` panels are packed
-//! into contiguous buffers, and an `MR × NR` register microkernel written
-//! in plain indexed loops does the arithmetic so the compiler can keep the
-//! accumulator tile in SIMD registers. All three products the workspace
-//! needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share one packing path: the packers read
-//! their operands through generic `(row stride, col stride)` pairs, so a
-//! transposed product is just a different stride assignment.
+//! into contiguous buffers, and an `MR × NR` register microkernel does the
+//! arithmetic. Full tiles run on explicit 8-lane SIMD through
+//! [`crate::simd`] (scalar / AVX2 / NEON, runtime-dispatched); remainder
+//! tiles fall back to a dedicated scalar edge kernel (the CORAL
+//! `f64_edge.rs` pattern) instead of masking inside the hot loop. All
+//! three products the workspace needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share one
+//! packing path: the packers read their operands through generic
+//! `(row stride, col stride)` pairs, so a transposed product is just a
+//! different stride assignment.
 //!
 //! ## Determinism contract
 //!
 //! Every kernel in this module is **bit-exact** with the naive reference
 //! implementations retained in [`crate::matrix`] / [`crate::sparse`],
-//! regardless of block sizes or thread count:
+//! regardless of block sizes, thread count, or (non-FMA) dispatch path:
 //!
 //! * each output element accumulates its `k` terms in strictly ascending
 //!   order — the microkernel loads the accumulator tile *from the output*
 //!   at the start of every `KC` block and stores it back at the end, so
 //!   splitting the reduction across blocks never reorders an addition;
 //! * vectorization only runs *across* independent output elements, never
-//!   inside a single reduction;
+//!   inside a single reduction — the SIMD microkernel spreads the `NR`
+//!   output *columns* across lanes and still issues a separate multiply
+//!   and add per `k` step, so each element sees the reference rounding
+//!   sequence;
 //! * multithreading partitions work by contiguous *output rows*; each row
 //!   is produced by exactly one thread running the identical sequential
 //!   code, so per-row reduction order is unchanged.
 //!
 //! This is what lets the training runtime keep PR 1's bit-exact
 //! kill-and-resume guarantee while running on all cores.
+//!
+//! The one documented exception is the opt-in FMA mode
+//! (`--fma` / `SGCL_SIMD=fma`): it fuses the multiply-add in the
+//! microkernel and the axpy kernels, which single-rounds each
+//! accumulation step and therefore leaves the bit-exact
+//! resume/threading contract — see [`crate::simd`] for the tolerance
+//! bound it satisfies instead.
 
+use crate::simd::{self, Lanes, SimdPath};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Microkernel tile height (rows of the accumulator block).
 const MR: usize = 4;
-/// Microkernel tile width (columns of the accumulator block).
+/// Microkernel tile width (columns of the accumulator block). Matches the
+/// SIMD lane width so a full tile is exactly `MR` lane vectors.
 const NR: usize = 8;
+const _: () = assert!(NR == simd::LANES, "full-tile kernel assumes NR == LANES");
 /// Rows of the packed `A` block (L2-resident panel).
 const MC: usize = 128;
 /// Shared inner dimension per block (L1-resident panel depth).
@@ -167,6 +183,7 @@ pub(crate) fn gemm(
     } else {
         0
     };
+    let path = simd::active();
     run_rows(m, n, out, work, &|first_row, rows, chunk| {
         gemm_blocked(
             rows,
@@ -179,6 +196,7 @@ pub(crate) fn gemm(
             b_rs,
             b_cs,
             chunk,
+            path,
         );
     });
 }
@@ -198,15 +216,14 @@ fn gemm_small(
     b_cs: usize,
     out: &mut [f32],
 ) {
+    let axpy = simd::axpy_kernel();
     for i in 0..m {
         let o_row = &mut out[i * n..(i + 1) * n];
         for kk in 0..k {
             let av = a[i * a_rs + kk * a_cs];
             if b_cs == 1 {
                 let b_row = &b[kk * b_rs..kk * b_rs + n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
+                axpy(av, b_row, o_row);
             } else {
                 for (j, o) in o_row.iter_mut().enumerate() {
                     *o += av * b[kk * b_rs + j * b_cs];
@@ -216,7 +233,8 @@ fn gemm_small(
     }
 }
 
-/// Blocked single-thread GEMM over an `m × n` output chunk.
+/// Blocked single-thread GEMM over an `m × n` output chunk, running its
+/// microkernel on the given dispatch `path`.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     m: usize,
@@ -229,6 +247,7 @@ fn gemm_blocked(
     b_rs: usize,
     b_cs: usize,
     out: &mut [f32],
+    path: SimdPath,
 ) {
     let mut pa = crate::pool::take_len(MC.next_multiple_of(MR) * KC);
     let mut pb = crate::pool::take_len(NC.next_multiple_of(NR) * KC);
@@ -247,7 +266,7 @@ fn gemm_blocked(
                         let mr = MR.min(mc - ip * MR);
                         let ap = &pa[ip * MR * kc..(ip + 1) * MR * kc];
                         let c_off = (i0 + ip * MR) * n + j0 + jp * NR;
-                        microkernel(kc, ap, bp, &mut out[c_off..], n, mr, nr);
+                        microkernel(kc, ap, bp, &mut out[c_off..], n, mr, nr, path);
                     }
                 }
             }
@@ -289,18 +308,142 @@ fn pack_panels<const T: usize>(
 }
 
 /// `MR × NR` register-tile microkernel: `C[..mr, ..nr] += Ap · Bp` over a
-/// depth-`kc` packed panel pair. The accumulator tile is loaded from `c`
-/// first and stored back last, which keeps per-element accumulation order
-/// identical to the naive reference (see module docs). The inner loop runs
-/// over the full `NR` so the compiler vectorizes it; lanes past `nr`/`mr`
-/// compute on packed zero padding and are never stored.
+/// depth-`kc` packed panel pair. Full tiles go to the SIMD kernel for the
+/// active dispatch `path`; remainder tiles (`mr < MR` or `nr < NR`) go to
+/// the dedicated scalar [`microkernel_edge`], so the hot loop carries no
+/// masking branches. Both keep per-element accumulation order identical to
+/// the naive reference (see module docs).
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    path: SimdPath,
+) {
+    if mr < MR || nr < NR {
+        microkernel_edge(kc, ap, bp, c, ldc, mr, nr);
+        return;
+    }
+    // Safety: non-scalar paths are only selectable after a runtime CPU
+    // feature check (`simd::supported`), so each `#[target_feature]`
+    // kernel runs on a CPU that has its features. The forced-scalar path
+    // runs the edge kernel on full tiles too — that *is* the pre-SIMD
+    // autovectorized microkernel, so `SGCL_SIMD=scalar` reproduces the
+    // old blocked-scalar path exactly (code and performance).
+    match path {
+        SimdPath::Scalar => microkernel_edge(kc, ap, bp, c, ldc, MR, NR),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => unsafe { microkernel_full_avx2(kc, ap, bp, c, ldc) },
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2Fma => unsafe { microkernel_full_avx2_fma(kc, ap, bp, c, ldc) },
+        #[cfg(target_arch = "aarch64")]
+        SimdPath::Neon => unsafe { microkernel_full_neon(kc, ap, bp, c, ldc) },
+        #[cfg(target_arch = "aarch64")]
+        SimdPath::NeonFma => unsafe { microkernel_full_neon_fma(kc, ap, bp, c, ldc) },
+        #[allow(unreachable_patterns)]
+        _ => microkernel_edge(kc, ap, bp, c, ldc, MR, NR),
+    }
+}
+
+/// The full-tile kernel, written once against [`Lanes`]: the `NR` output
+/// columns live in one 8-lane vector per row, so the accumulator tile is
+/// `MR` vectors. Each `k` step broadcasts `A[r,k]`, multiplies by the
+/// packed `B` line, and adds — a separate multiply and add per element in
+/// ascending-`k` order, exactly the reference rounding sequence. With
+/// `FMA = true` the two ops fuse into one rounding (tolerance mode only).
 ///
-/// `inline(never)` is load-bearing: inlined into the tile loops the
-/// accumulator array gets spilled to the stack and throughput drops ~6×
-/// (measured); as a standalone function LLVM keeps the whole tile in SIMD
-/// registers.
+/// # Safety
+/// Caller must ensure the backend's target features are available, that
+/// `ap`/`bp` hold at least `kc` packed `MR`-/`NR`-cells, and that `c` has
+/// a full `MR × NR` tile at leading dimension `ldc`.
+#[inline(always)]
+unsafe fn microkernel_lanes<V: Lanes, const FMA: bool>(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+    let cp = c.as_mut_ptr();
+    let mut acc = [
+        V::load(cp),
+        V::load(cp.add(ldc)),
+        V::load(cp.add(2 * ldc)),
+        V::load(cp.add(3 * ldc)),
+    ];
+    let apt = ap.as_ptr();
+    let bpt = bp.as_ptr();
+    for kk in 0..kc {
+        let b = V::load(bpt.add(kk * NR));
+        let a_cell = apt.add(kk * MR);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let a = V::splat(*a_cell.add(r));
+            *accr = if FMA {
+                a.mul_add(b, *accr)
+            } else {
+                (*accr).add(a.mul(b))
+            };
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        accr.store(cp.add(r * ldc));
+    }
+}
+
+// `inline(never)` on the kernels below is load-bearing: inlined into the
+// tile loops the accumulator gets spilled to the stack and throughput
+// drops ~6× (measured); as a standalone function LLVM keeps the whole
+// tile in SIMD registers.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
 #[inline(never)]
-fn microkernel(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, mr: usize, nr: usize) {
+unsafe fn microkernel_full_avx2(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_lanes::<simd::AvxF32x8, false>(kc, ap, bp, c, ldc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline(never)]
+unsafe fn microkernel_full_avx2_fma(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_lanes::<simd::AvxF32x8, true>(kc, ap, bp, c, ldc)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+#[inline(never)]
+unsafe fn microkernel_full_neon(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_lanes::<simd::Neon8, false>(kc, ap, bp, c, ldc)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+#[inline(never)]
+unsafe fn microkernel_full_neon_fma(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_lanes::<simd::Neon8, true>(kc, ap, bp, c, ldc)
+}
+
+/// Dedicated remainder-tile kernel (CORAL's `f64_edge.rs` pattern): plain
+/// indexed loops over the full `MR × NR` accumulator, loading/storing only
+/// the live `mr × nr` window. Lanes past `nr`/`mr` compute on packed zero
+/// padding and are never stored. This is byte-for-byte the pre-SIMD
+/// microkernel, so the forced-scalar path is the old blocked-scalar path.
+#[inline(never)]
+fn microkernel_edge(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
     let mut acc = [[0.0f32; NR]; MR];
     for (r, acc_row) in acc.iter_mut().take(mr).enumerate() {
         acc_row[..nr].copy_from_slice(&c[r * ldc..r * ldc + nr]);
@@ -381,8 +524,9 @@ mod tests {
         gemm(m, n, k, &a, k, 1, &b, n, 1, &mut seq);
         set_num_threads(4);
         let mut par = vec![0.0f32; m * n];
+        let path = simd::active();
         run_rows(m, n, &mut par, usize::MAX, &|first, rows, chunk| {
-            gemm_blocked(rows, n, k, &a[first * k..], k, 1, &b, n, 1, chunk);
+            gemm_blocked(rows, n, k, &a[first * k..], k, 1, &b, n, 1, chunk, path);
         });
         set_num_threads(0);
         assert!(seq

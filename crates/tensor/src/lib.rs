@@ -16,6 +16,9 @@
 //! * [`kernels`] — cache-blocked, optionally multithreaded GEMM plus the
 //!   row-parallel work partitioner behind the dense/sparse ops (see
 //!   [`set_num_threads`]); results are bit-exact at any thread count;
+//! * [`simd`] — the runtime-dispatched 8-lane vector backends
+//!   (scalar / AVX2 / NEON) the kernels run on, with the `SGCL_SIMD`
+//!   override and the opt-in FMA tolerance mode;
 //! * [`pool`] — thread-local buffer recycling so the training hot path is
 //!   allocation-free after warm-up.
 //!
@@ -55,6 +58,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod optim;
 pub mod pool;
+pub mod simd;
 pub mod sparse;
 pub mod tape;
 
@@ -62,5 +66,6 @@ pub use init::Initializer;
 pub use kernels::{num_threads, set_num_threads};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamState, Optimizer, ParamStore, Sgd, SgdState};
+pub use simd::{SimdPath, SimdRequest};
 pub use sparse::CsrMatrix;
 pub use tape::{stable_sigmoid, stable_softplus, ParamId, Tape, Var};

@@ -13,7 +13,7 @@
 //! * in-place variants (`add_assign`, `scale_in_place`, …) are provided so the
 //!   autograd backward pass can accumulate without temporaries.
 
-use crate::{kernels, pool};
+use crate::{kernels, pool, simd};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -338,18 +338,18 @@ impl Matrix {
         out
     }
 
-    /// Element-wise binary op on a row-parallel path (each output element
-    /// depends on exactly one input pair, so any partition is bit-exact).
-    fn binary_parallel(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+    /// Element-wise binary op through a dispatched SIMD slice kernel
+    /// (row-parallel; per-element ops, so bit-exact on every path).
+    fn binary_simd(&self, rhs: &Matrix, kernel: fn(&[f32], &[f32], &mut [f32])) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
         let len = self.data.len();
         let mut data = pool::take_len(len);
         kernels::run_rows(len, 1, &mut data, len, &|first, count, chunk| {
-            let a = &self.data[first..first + count];
-            let b = &rhs.data[first..first + count];
-            for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
-                *o = f(x, y);
-            }
+            kernel(
+                &self.data[first..first + count],
+                &rhs.data[first..first + count],
+                chunk,
+            );
         });
         Matrix {
             rows: self.rows,
@@ -372,27 +372,38 @@ impl Matrix {
 
     /// Element-wise sum; shapes must match.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        self.binary_parallel(rhs, |a, b| a + b)
+        self.binary_simd(rhs, simd::vadd)
     }
 
     /// Element-wise difference; shapes must match.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
-        self.binary_parallel(rhs, |a, b| a - b)
+        self.binary_simd(rhs, simd::vsub)
     }
 
     /// Element-wise (Hadamard) product; shapes must match.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
-        self.binary_parallel(rhs, |a, b| a * b)
+        self.binary_simd(rhs, simd::vmul)
     }
 
     /// In-place element-wise accumulation `self += rhs`.
     pub fn add_assign(&mut self, rhs: &Matrix) {
-        self.binary_parallel_assign(rhs, |a, b| *a += b);
+        assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
+        let len = self.data.len();
+        let rhs_data = &rhs.data;
+        kernels::run_rows(len, 1, &mut self.data, len, &|first, count, chunk| {
+            simd::vadd_assign(chunk, &rhs_data[first..first + count]);
+        });
     }
 
-    /// In-place `self += alpha * rhs` (axpy).
+    /// In-place `self += alpha * rhs` (axpy). Separate multiply + add on
+    /// the default SIMD paths (bit-exact); fused under `--fma`.
     pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
-        self.binary_parallel_assign(rhs, |a, b| *a += alpha * b);
+        assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
+        let len = self.data.len();
+        let rhs_data = &rhs.data;
+        kernels::run_rows(len, 1, &mut self.data, len, &|first, count, chunk| {
+            simd::vaxpy(alpha, &rhs_data[first..first + count], chunk);
+        });
     }
 
     /// In-place element-wise update `f(&mut self[i], rhs[i])`; shapes must
@@ -411,9 +422,7 @@ impl Matrix {
     pub fn scale_in_place(&mut self, alpha: f32) {
         let len = self.data.len();
         kernels::run_rows(len, 1, &mut self.data, len, &|_, _, chunk| {
-            for v in chunk {
-                *v *= alpha;
-            }
+            simd::vscale(chunk, alpha);
         });
     }
 
@@ -462,9 +471,7 @@ impl Matrix {
         let mut out = self.pooled_copy();
         for r in 0..out.rows {
             let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
-            for (o, &b) in row.iter_mut().zip(&bias.data) {
-                *o += b;
-            }
+            simd::vadd_assign(row, &bias.data);
         }
         out
     }
@@ -476,9 +483,7 @@ impl Matrix {
         let mut out = self.pooled_copy();
         for r in 0..out.rows {
             let s = w.data[r];
-            for v in &mut out.data[r * out.cols..(r + 1) * out.cols] {
-                *v *= s;
-            }
+            simd::vscale(&mut out.data[r * out.cols..(r + 1) * out.cols], s);
         }
         out
     }
@@ -493,20 +498,20 @@ impl Matrix {
         self.sum() / self.data.len() as f32
     }
 
-    /// Column sums as a `1 × cols` row vector.
+    /// Column sums as a `1 × cols` row vector. Accumulates row by row in
+    /// ascending order (per-element, so vectorization is bit-exact).
     pub fn col_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
         for r in 0..self.rows {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (o, &v) in out.data.iter_mut().zip(row) {
-                *o += v;
-            }
+            simd::vadd_assign(&mut out.data, row);
         }
         out
     }
 
-    /// Row sums as a `rows × 1` column vector. Row-parallel: each output
-    /// element is one row's sequential sum, so the partition is bit-exact.
+    /// Row sums as a `rows × 1` column vector. Row-parallel; each row sums
+    /// through the fixed 8-lane accumulator tree of [`simd::vsum`], which
+    /// is bit-identical across dispatch paths and thread counts.
     pub fn row_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
         kernels::run_rows(
@@ -516,7 +521,7 @@ impl Matrix {
             self.data.len(),
             &|first, _count, chunk| {
                 for (i, o) in chunk.iter_mut().enumerate() {
-                    *o = self.row(first + i).iter().sum();
+                    *o = simd::vsum(self.row(first + i));
                 }
             },
         );
@@ -534,18 +539,18 @@ impl Matrix {
     }
 
     /// L2-normalises each row in place; zero rows are left untouched.
-    /// Row-parallel with per-row sequential reductions (bit-exact).
+    /// Row-parallel; the squared norm uses the fixed lane tree of
+    /// [`simd::vnorm_sq`] and the divide is per-element, so the result is
+    /// bit-identical across dispatch paths and thread counts.
     pub fn l2_normalize_rows(&mut self) {
         let (rows, cols) = (self.rows, self.cols);
         let work = self.data.len();
         kernels::run_rows(rows, cols, &mut self.data, work, &|_, count, chunk| {
             for r in 0..count {
                 let row = &mut chunk[r * cols..(r + 1) * cols];
-                let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
+                let norm = simd::vnorm_sq(row).sqrt();
                 if norm > 1e-12 {
-                    for v in row.iter_mut() {
-                        *v /= norm;
-                    }
+                    simd::vdiv_scalar(row, norm);
                 }
             }
         });

@@ -11,8 +11,23 @@
 //! workloads degrade to plain allocation instead of hoarding memory, and
 //! it is purely thread-local: no locks, and worker threads spawned by the
 //! kernel layer simply miss (allocate) and drop on exit.
+//!
+//! ## Alignment
+//!
+//! Pooled buffers are plain `Vec<f32>`, so data is only guaranteed
+//! 4-byte-aligned; the SIMD backends in [`crate::simd`] therefore use
+//! unaligned loads/stores throughout (perf-neutral on current x86/ARM
+//! cores for the streaming access patterns the kernels use). Miss-path
+//! allocations round their capacity up to a whole number of 8-lane
+//! groups ([`LANE_ROUND`] elements) so packed-panel tails always have
+//! valid capacity behind them and near-miss sizes coalesce onto the
+//! same free-list entries.
 
 use std::cell::RefCell;
+
+/// Miss-path capacity rounding granularity, in elements: two 8-lane
+/// vectors (64 bytes — one cache line).
+pub const LANE_ROUND: usize = 16;
 
 /// Maximum number of buffers retained per thread.
 const MAX_BUFFERS: usize = 256;
@@ -49,7 +64,7 @@ impl Pool {
                 self.bytes -= cap * std::mem::size_of::<f32>();
                 self.buffers.swap_remove(i)
             }
-            None => Vec::new(),
+            None => Vec::with_capacity(len.next_multiple_of(LANE_ROUND)),
         }
     }
 

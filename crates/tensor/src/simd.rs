@@ -1,0 +1,963 @@
+//! Explicit SIMD lanes with runtime CPU dispatch.
+//!
+//! Every hot loop in the crate — the GEMM microkernel, the spMM row
+//! gather/scatter, and the element-wise/reduction paths — is written once
+//! against the 8-lane [`Lanes`] abstraction and instantiated per backend:
+//!
+//! * **scalar** — a `[f32; 8]` software vector, safe everywhere, and what
+//!   LLVM autovectorizes at the build's baseline target features;
+//! * **avx2** — `__m256` on `x86_64`, gated at runtime by
+//!   `is_x86_feature_detected!("avx2")` and compiled behind
+//!   `#[target_feature(enable = "avx2")]`;
+//! * **neon** — a pair of `float32x4_t` on `aarch64` (NEON is baseline
+//!   there, but the path is still verified at startup).
+//!
+//! The active path is resolved **once** — from the `--simd`/`--fma` flag,
+//! the `SGCL_SIMD` environment variable, or CPU detection, in that order —
+//! and stored in a process-wide atomic that every kernel call reads (a
+//! relaxed load; worker threads spawned by [`crate::kernels::run_rows`]
+//! observe the same value). Binaries log the detected and selected path at
+//! startup so dispatch is never silent.
+//!
+//! ## Exactness contract
+//!
+//! The default (non-FMA) paths are **bit-exact** with each other and with
+//! the `*_reference` kernels: vectorization runs across independent output
+//! elements, each element still accumulates with a separate multiply and
+//! add in the reference order. Reductions ([`vsum`], [`vnorm_sq`]) use the
+//! same fixed 8-lane accumulator layout and the same final reduction tree
+//! in *every* backend (including scalar and FMA), so they too are
+//! bit-identical across paths.
+//!
+//! The opt-in FMA paths ([`SimdPath::Avx2Fma`], [`SimdPath::NeonFma`],
+//! selected with `--fma` / `SGCL_SIMD=fma`) fuse the multiply-add in the
+//! GEMM microkernel and the axpy kernels for extra throughput. Fusing
+//! removes one rounding per accumulation step, so results differ from the
+//! reference within the documented bound (see `DESIGN.md` §13 and the
+//! ULP-tolerance oracle in `tensor/tests/kernel_equivalence.rs`):
+//!
+//! ```text
+//! |c_fma[i,j] − c_ref[i,j]| ≤ 2 · k · ε · Σ_k |a[i,k]·b[k,j]|
+//! ```
+//!
+//! FMA mode is therefore **excluded** from the bit-exact resume and
+//! threading contracts — do not mix it with `--resume` checkpoints
+//! produced under the default mode.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A resolved dispatch path. `Avx2Fma`/`NeonFma` are the opt-in fused
+/// multiply-add variants; everything else is bit-exact with the scalar
+/// reference kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SimdPath {
+    /// Portable `[f32; 8]` software lanes (always available).
+    Scalar = 1,
+    /// 256-bit AVX vectors on `x86_64` (separate multiply + add).
+    Avx2 = 2,
+    /// AVX2 with fused multiply-add (tolerance mode).
+    Avx2Fma = 3,
+    /// Paired 128-bit NEON vectors on `aarch64` (separate multiply + add).
+    Neon = 4,
+    /// NEON with fused multiply-add (tolerance mode).
+    NeonFma = 5,
+}
+
+impl SimdPath {
+    /// Stable lower-case name, used in logs and `BENCH_*.json` rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Avx2 => "avx2",
+            SimdPath::Avx2Fma => "avx2-fma",
+            SimdPath::Neon => "neon",
+            SimdPath::NeonFma => "neon-fma",
+        }
+    }
+
+    /// True for the fused multiply-add (tolerance-mode) paths.
+    pub fn is_fma(self) -> bool {
+        matches!(self, SimdPath::Avx2Fma | SimdPath::NeonFma)
+    }
+}
+
+impl std::fmt::Display for SimdPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A user-requested dispatch mode (flag / `SGCL_SIMD` spelling), not yet
+/// validated against the host CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdRequest {
+    /// Use the best supported non-FMA path (the default).
+    Auto,
+    /// Force the portable scalar path.
+    Scalar,
+    /// Require the AVX2 path (error if unsupported).
+    Avx2,
+    /// Require the NEON path (error if unsupported).
+    Neon,
+    /// Require the fused multiply-add path for this architecture.
+    Fma,
+}
+
+impl std::str::FromStr for SimdRequest {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SimdRequest::Auto),
+            "scalar" => Ok(SimdRequest::Scalar),
+            "avx2" => Ok(SimdRequest::Avx2),
+            "neon" => Ok(SimdRequest::Neon),
+            "fma" | "avx2-fma" | "neon-fma" => Ok(SimdRequest::Fma),
+            other => Err(format!(
+                "unknown SIMD mode {other:?} (expected auto|scalar|avx2|neon|fma)"
+            )),
+        }
+    }
+}
+
+/// `0` = not yet resolved; otherwise a [`SimdPath`] discriminant.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn decode(v: u8) -> Option<SimdPath> {
+    match v {
+        1 => Some(SimdPath::Scalar),
+        2 => Some(SimdPath::Avx2),
+        3 => Some(SimdPath::Avx2Fma),
+        4 => Some(SimdPath::Neon),
+        5 => Some(SimdPath::NeonFma),
+        _ => None,
+    }
+}
+
+/// The best supported non-FMA path on this host (what `auto` resolves to).
+pub fn detected() -> SimdPath {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdPath::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdPath::Neon;
+        }
+    }
+    SimdPath::Scalar
+}
+
+/// Whether this host's CPU can run `path`.
+pub fn supported(path: SimdPath) -> bool {
+    match path {
+        SimdPath::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2Fma => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdPath::Neon | SimdPath::NeonFma => std::arch::is_aarch64_feature_detected!("neon"),
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+fn resolve(req: SimdRequest) -> Result<SimdPath, String> {
+    let path = match req {
+        SimdRequest::Auto => detected(),
+        SimdRequest::Scalar => SimdPath::Scalar,
+        SimdRequest::Avx2 => SimdPath::Avx2,
+        SimdRequest::Neon => SimdPath::Neon,
+        SimdRequest::Fma => {
+            if cfg!(target_arch = "x86_64") {
+                SimdPath::Avx2Fma
+            } else if cfg!(target_arch = "aarch64") {
+                SimdPath::NeonFma
+            } else {
+                return Err("fma mode is not available on this architecture".to_string());
+            }
+        }
+    };
+    if supported(path) {
+        Ok(path)
+    } else {
+        Err(format!("SIMD path {path} is not supported by this CPU"))
+    }
+}
+
+/// The dispatch path every kernel in the crate currently uses.
+///
+/// Resolved lazily on first use: `SGCL_SIMD` if set and valid for this
+/// host, otherwise [`detected()`]. Binaries that want the override to be
+/// an error instead of a fallback call [`init`] first.
+pub fn active() -> SimdPath {
+    if let Some(p) = decode(ACTIVE.load(Ordering::Relaxed)) {
+        return p;
+    }
+    let path = std::env::var("SGCL_SIMD")
+        .ok()
+        .and_then(|v| v.parse::<SimdRequest>().ok())
+        .and_then(|req| resolve(req).ok())
+        .unwrap_or_else(detected);
+    ACTIVE.store(path as u8, Ordering::Relaxed);
+    path
+}
+
+/// Forces a specific dispatch path (tests and the kernel benchmark).
+///
+/// # Errors
+/// Returns a diagnostic when the host CPU cannot run `path`.
+pub fn set_path(path: SimdPath) -> Result<(), String> {
+    if !supported(path) {
+        return Err(format!("SIMD path {path} is not supported by this CPU"));
+    }
+    ACTIVE.store(path as u8, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Resolves and installs the dispatch path for a binary: `flag` (from
+/// `--simd`/`--fma`) wins over the `SGCL_SIMD` environment variable, which
+/// wins over auto-detection. Returns `(detected, selected)` for the
+/// startup log.
+///
+/// # Errors
+/// Returns a diagnostic when the request does not parse or the host CPU
+/// cannot run the requested path.
+pub fn init(flag: Option<&str>) -> Result<(SimdPath, SimdPath), String> {
+    let request = match flag
+        .map(str::to_string)
+        .or_else(|| std::env::var("SGCL_SIMD").ok())
+    {
+        Some(s) => s.parse::<SimdRequest>()?,
+        None => SimdRequest::Auto,
+    };
+    let selected = resolve(request)?;
+    ACTIVE.store(selected as u8, Ordering::Relaxed);
+    Ok((detected(), selected))
+}
+
+/// One-line startup report, e.g. `simd: detected avx2, active avx2`.
+/// Binaries print this so the dispatch decision is never silent.
+pub fn startup_line() -> String {
+    format!("simd: detected {}, active {}", detected(), active())
+}
+
+// ---------------------------------------------------------------------------
+// The 8-lane vector abstraction.
+// ---------------------------------------------------------------------------
+
+/// Number of `f32` lanes every backend exposes.
+pub const LANES: usize = 8;
+
+/// An 8-lane `f32` vector. All methods are `unsafe` because the AVX2/NEON
+/// implementations require their target feature to be enabled at the call
+/// site — the dispatch layer guarantees this by only selecting a backend
+/// the CPU supports.
+///
+/// `mul_add` is the *fused* form (single rounding); the non-FMA kernels
+/// never call it, which is what keeps them bit-exact with the references.
+pub trait Lanes: Copy {
+    /// Broadcasts one value into all lanes.
+    unsafe fn splat(v: f32) -> Self;
+    /// Loads 8 consecutive values (unaligned).
+    unsafe fn load(p: *const f32) -> Self;
+    /// Stores 8 consecutive values (unaligned).
+    unsafe fn store(self, p: *mut f32);
+    /// Lane-wise sum.
+    unsafe fn add(self, o: Self) -> Self;
+    /// Lane-wise difference.
+    unsafe fn sub(self, o: Self) -> Self;
+    /// Lane-wise product.
+    unsafe fn mul(self, o: Self) -> Self;
+    /// Lane-wise quotient.
+    unsafe fn div(self, o: Self) -> Self;
+    /// Fused `self * b + c` with a single rounding (FMA paths only).
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self;
+}
+
+/// The portable software backend: a plain array the compiler may
+/// autovectorize at the build's baseline features.
+#[derive(Clone, Copy)]
+pub struct Scalar8([f32; LANES]);
+
+impl Lanes for Scalar8 {
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        Scalar8([v; LANES])
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self {
+        let mut a = [0.0f32; LANES];
+        std::ptr::copy_nonoverlapping(p, a.as_mut_ptr(), LANES);
+        Scalar8(a)
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f32) {
+        std::ptr::copy_nonoverlapping(self.0.as_ptr(), p, LANES);
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        let mut a = self.0;
+        for (x, y) in a.iter_mut().zip(o.0) {
+            *x += y;
+        }
+        Scalar8(a)
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        let mut a = self.0;
+        for (x, y) in a.iter_mut().zip(o.0) {
+            *x -= y;
+        }
+        Scalar8(a)
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        let mut a = self.0;
+        for (x, y) in a.iter_mut().zip(o.0) {
+            *x *= y;
+        }
+        Scalar8(a)
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        let mut a = self.0;
+        for (x, y) in a.iter_mut().zip(o.0) {
+            *x /= y;
+        }
+        Scalar8(a)
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        let mut a = self.0;
+        for ((x, y), z) in a.iter_mut().zip(b.0).zip(c.0) {
+            *x = x.mul_add(y, z);
+        }
+        Scalar8(a)
+    }
+}
+
+/// The AVX2 backend (`__m256`). Only constructed after runtime detection.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+pub struct AvxF32x8(std::arch::x86_64::__m256);
+
+#[cfg(target_arch = "x86_64")]
+impl Lanes for AvxF32x8 {
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        AvxF32x8(std::arch::x86_64::_mm256_set1_ps(v))
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self {
+        AvxF32x8(std::arch::x86_64::_mm256_loadu_ps(p))
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f32) {
+        std::arch::x86_64::_mm256_storeu_ps(p, self.0);
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        AvxF32x8(std::arch::x86_64::_mm256_add_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        AvxF32x8(std::arch::x86_64::_mm256_sub_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        AvxF32x8(std::arch::x86_64::_mm256_mul_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        AvxF32x8(std::arch::x86_64::_mm256_div_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        AvxF32x8(std::arch::x86_64::_mm256_fmadd_ps(self.0, b.0, c.0))
+    }
+}
+
+/// The NEON backend: two 128-bit quads making one 8-lane vector.
+#[cfg(target_arch = "aarch64")]
+#[derive(Clone, Copy)]
+pub struct Neon8(
+    std::arch::aarch64::float32x4_t,
+    std::arch::aarch64::float32x4_t,
+);
+
+#[cfg(target_arch = "aarch64")]
+impl Lanes for Neon8 {
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        use std::arch::aarch64::vdupq_n_f32;
+        Neon8(vdupq_n_f32(v), vdupq_n_f32(v))
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self {
+        use std::arch::aarch64::vld1q_f32;
+        Neon8(vld1q_f32(p), vld1q_f32(p.add(4)))
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f32) {
+        use std::arch::aarch64::vst1q_f32;
+        vst1q_f32(p, self.0);
+        vst1q_f32(p.add(4), self.1);
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        use std::arch::aarch64::vaddq_f32;
+        Neon8(vaddq_f32(self.0, o.0), vaddq_f32(self.1, o.1))
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        use std::arch::aarch64::vsubq_f32;
+        Neon8(vsubq_f32(self.0, o.0), vsubq_f32(self.1, o.1))
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        use std::arch::aarch64::vmulq_f32;
+        Neon8(vmulq_f32(self.0, o.0), vmulq_f32(self.1, o.1))
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        use std::arch::aarch64::vdivq_f32;
+        Neon8(vdivq_f32(self.0, o.0), vdivq_f32(self.1, o.1))
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        // vfmaq_f32(acc, x, y) computes acc + x*y with a single rounding.
+        use std::arch::aarch64::vfmaq_f32;
+        Neon8(vfmaq_f32(c.0, self.0, b.0), vfmaq_f32(c.1, self.1, b.1))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic slice kernels (one definition, instantiated per backend).
+// ---------------------------------------------------------------------------
+
+/// `out[i] = x[i] + y[i]`. Per-element, so bit-exact on every path.
+#[inline(always)]
+unsafe fn vadd_lanes<V: Lanes>(x: &[f32], y: &[f32], out: &mut [f32]) {
+    debug_assert!(x.len() == y.len() && x.len() == out.len());
+    let n = out.len();
+    let full = n / LANES * LANES;
+    let (xp, yp, op) = (x.as_ptr(), y.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i < full {
+        V::load(xp.add(i)).add(V::load(yp.add(i))).store(op.add(i));
+        i += LANES;
+    }
+    for j in full..n {
+        *out.get_unchecked_mut(j) = x.get_unchecked(j) + y.get_unchecked(j);
+    }
+}
+
+/// `out[i] = x[i] - y[i]`.
+#[inline(always)]
+unsafe fn vsub_lanes<V: Lanes>(x: &[f32], y: &[f32], out: &mut [f32]) {
+    debug_assert!(x.len() == y.len() && x.len() == out.len());
+    let n = out.len();
+    let full = n / LANES * LANES;
+    let (xp, yp, op) = (x.as_ptr(), y.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i < full {
+        V::load(xp.add(i)).sub(V::load(yp.add(i))).store(op.add(i));
+        i += LANES;
+    }
+    for j in full..n {
+        *out.get_unchecked_mut(j) = x.get_unchecked(j) - y.get_unchecked(j);
+    }
+}
+
+/// `out[i] = x[i] * y[i]`.
+#[inline(always)]
+unsafe fn vmul_lanes<V: Lanes>(x: &[f32], y: &[f32], out: &mut [f32]) {
+    debug_assert!(x.len() == y.len() && x.len() == out.len());
+    let n = out.len();
+    let full = n / LANES * LANES;
+    let (xp, yp, op) = (x.as_ptr(), y.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i < full {
+        V::load(xp.add(i)).mul(V::load(yp.add(i))).store(op.add(i));
+        i += LANES;
+    }
+    for j in full..n {
+        *out.get_unchecked_mut(j) = x.get_unchecked(j) * y.get_unchecked(j);
+    }
+}
+
+/// `y[i] += x[i]`.
+#[inline(always)]
+unsafe fn vadd_assign_lanes<V: Lanes>(y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let full = n / LANES * LANES;
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < full {
+        V::load(yp.add(i)).add(V::load(xp.add(i))).store(yp.add(i));
+        i += LANES;
+    }
+    for j in full..n {
+        *y.get_unchecked_mut(j) += x.get_unchecked(j);
+    }
+}
+
+/// `y[i] += alpha * x[i]` — the spMM/gemm-small inner kernel. `FMA=false`
+/// keeps the separate multiply + add of the references (bit-exact);
+/// `FMA=true` fuses (tolerance mode).
+#[inline(always)]
+unsafe fn vaxpy_lanes<V: Lanes, const FMA: bool>(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let full = n / LANES * LANES;
+    let a = V::splat(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < full {
+        let xv = V::load(xp.add(i));
+        let yv = V::load(yp.add(i));
+        let r = if FMA {
+            a.mul_add(xv, yv)
+        } else {
+            yv.add(a.mul(xv))
+        };
+        r.store(yp.add(i));
+        i += LANES;
+    }
+    for j in full..n {
+        let yv = y.get_unchecked_mut(j);
+        if FMA {
+            *yv = alpha.mul_add(*x.get_unchecked(j), *yv);
+        } else {
+            *yv += alpha * x.get_unchecked(j);
+        }
+    }
+}
+
+/// `y[i] *= alpha`.
+#[inline(always)]
+unsafe fn vscale_lanes<V: Lanes>(y: &mut [f32], alpha: f32) {
+    let n = y.len();
+    let full = n / LANES * LANES;
+    let a = V::splat(alpha);
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i < full {
+        V::load(yp.add(i)).mul(a).store(yp.add(i));
+        i += LANES;
+    }
+    for j in full..n {
+        *y.get_unchecked_mut(j) *= alpha;
+    }
+}
+
+/// `y[i] /= d` (a true lane division — not multiplication by a
+/// reciprocal — so every path rounds identically).
+#[inline(always)]
+unsafe fn vdiv_scalar_lanes<V: Lanes>(y: &mut [f32], d: f32) {
+    let n = y.len();
+    let full = n / LANES * LANES;
+    let dv = V::splat(d);
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i < full {
+        V::load(yp.add(i)).div(dv).store(yp.add(i));
+        i += LANES;
+    }
+    for j in full..n {
+        *y.get_unchecked_mut(j) /= d;
+    }
+}
+
+/// Sum of a slice through 8 lane accumulators and a fixed reduction tree.
+///
+/// Every backend (scalar included) runs this exact association order:
+/// lane `j` accumulates elements `j, j+8, j+16, …`, the tail folds into
+/// lanes `0..tail`, and the final tree is
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` — so the result is
+/// bit-identical across dispatch paths (FMA mode too: reductions never
+/// fuse).
+#[inline(always)]
+unsafe fn vsum_lanes<V: Lanes>(x: &[f32]) -> f32 {
+    let n = x.len();
+    let full = n / LANES * LANES;
+    let mut acc = V::splat(0.0);
+    let xp = x.as_ptr();
+    let mut i = 0;
+    while i < full {
+        acc = acc.add(V::load(xp.add(i)));
+        i += LANES;
+    }
+    let mut lanes = [0.0f32; LANES];
+    acc.store(lanes.as_mut_ptr());
+    for (j, &v) in x[full..].iter().enumerate() {
+        lanes[j] += v;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+/// Sum of squares with the same fixed lane layout and tree as [`vsum`]
+/// (never fused, so identical on every path).
+#[inline(always)]
+unsafe fn vnorm_sq_lanes<V: Lanes>(x: &[f32]) -> f32 {
+    let n = x.len();
+    let full = n / LANES * LANES;
+    let mut acc = V::splat(0.0);
+    let xp = x.as_ptr();
+    let mut i = 0;
+    while i < full {
+        let v = V::load(xp.add(i));
+        acc = acc.add(v.mul(v));
+        i += LANES;
+    }
+    let mut lanes = [0.0f32; LANES];
+    acc.store(lanes.as_mut_ptr());
+    for (j, &v) in x[full..].iter().enumerate() {
+        lanes[j] += v * v;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+// ---------------------------------------------------------------------------
+// Per-backend instantiations behind their target features.
+// ---------------------------------------------------------------------------
+
+macro_rules! backend {
+    ($mod_name:ident, $vec:ty, $fma:expr $(, #[$feat:meta])?) => {
+        #[allow(dead_code)]
+        mod $mod_name {
+            use super::*;
+
+            $(#[$feat])*
+            pub unsafe fn vadd(x: &[f32], y: &[f32], out: &mut [f32]) {
+                vadd_lanes::<$vec>(x, y, out)
+            }
+            $(#[$feat])*
+            pub unsafe fn vsub(x: &[f32], y: &[f32], out: &mut [f32]) {
+                vsub_lanes::<$vec>(x, y, out)
+            }
+            $(#[$feat])*
+            pub unsafe fn vmul(x: &[f32], y: &[f32], out: &mut [f32]) {
+                vmul_lanes::<$vec>(x, y, out)
+            }
+            $(#[$feat])*
+            pub unsafe fn vadd_assign(y: &mut [f32], x: &[f32]) {
+                vadd_assign_lanes::<$vec>(y, x)
+            }
+            $(#[$feat])*
+            pub unsafe fn vaxpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+                vaxpy_lanes::<$vec, $fma>(alpha, x, y)
+            }
+            $(#[$feat])*
+            pub unsafe fn vscale(y: &mut [f32], alpha: f32) {
+                vscale_lanes::<$vec>(y, alpha)
+            }
+            $(#[$feat])*
+            pub unsafe fn vdiv_scalar(y: &mut [f32], d: f32) {
+                vdiv_scalar_lanes::<$vec>(y, d)
+            }
+            $(#[$feat])*
+            pub unsafe fn vsum(x: &[f32]) -> f32 {
+                vsum_lanes::<$vec>(x)
+            }
+            $(#[$feat])*
+            pub unsafe fn vnorm_sq(x: &[f32]) -> f32 {
+                vnorm_sq_lanes::<$vec>(x)
+            }
+            /// Safe entry point for hoisted fn-pointer dispatch (the
+            /// backend was validated against the CPU when selected).
+            pub fn vaxpy_entry(alpha: f32, x: &[f32], y: &mut [f32]) {
+                unsafe { vaxpy(alpha, x, y) }
+            }
+        }
+    };
+}
+
+/// The portable backend. Per-element kernels are the plain safe loops the
+/// crate used before explicit SIMD — LLVM autovectorizes them at the
+/// build's baseline features, so forcing `scalar` reproduces the old
+/// path's performance exactly. Only the reductions go through the generic
+/// lane-tree code, because their *association order* is what keeps sums
+/// bit-identical with the vector backends.
+#[allow(dead_code)]
+mod scalar_backend {
+    use super::*;
+
+    pub unsafe fn vadd(x: &[f32], y: &[f32], out: &mut [f32]) {
+        for ((o, &a), &b) in out.iter_mut().zip(x).zip(y) {
+            *o = a + b;
+        }
+    }
+    pub unsafe fn vsub(x: &[f32], y: &[f32], out: &mut [f32]) {
+        for ((o, &a), &b) in out.iter_mut().zip(x).zip(y) {
+            *o = a - b;
+        }
+    }
+    pub unsafe fn vmul(x: &[f32], y: &[f32], out: &mut [f32]) {
+        for ((o, &a), &b) in out.iter_mut().zip(x).zip(y) {
+            *o = a * b;
+        }
+    }
+    pub unsafe fn vadd_assign(y: &mut [f32], x: &[f32]) {
+        for (o, &v) in y.iter_mut().zip(x) {
+            *o += v;
+        }
+    }
+    pub unsafe fn vaxpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (o, &v) in y.iter_mut().zip(x) {
+            *o += alpha * v;
+        }
+    }
+    pub unsafe fn vscale(y: &mut [f32], alpha: f32) {
+        for v in y {
+            *v *= alpha;
+        }
+    }
+    pub unsafe fn vdiv_scalar(y: &mut [f32], d: f32) {
+        for v in y {
+            *v /= d;
+        }
+    }
+    pub unsafe fn vsum(x: &[f32]) -> f32 {
+        vsum_lanes::<Scalar8>(x)
+    }
+    pub unsafe fn vnorm_sq(x: &[f32]) -> f32 {
+        vnorm_sq_lanes::<Scalar8>(x)
+    }
+    /// Safe entry point for hoisted fn-pointer dispatch.
+    pub fn vaxpy_entry(alpha: f32, x: &[f32], y: &mut [f32]) {
+        unsafe { vaxpy(alpha, x, y) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+backend!(avx2_backend, AvxF32x8, false, #[target_feature(enable = "avx2")]);
+#[cfg(target_arch = "x86_64")]
+backend!(avx2_fma_backend, AvxF32x8, true, #[target_feature(enable = "avx2,fma")]);
+#[cfg(target_arch = "aarch64")]
+backend!(neon_backend, Neon8, false, #[target_feature(enable = "neon")]);
+#[cfg(target_arch = "aarch64")]
+backend!(neon_fma_backend, Neon8, true, #[target_feature(enable = "neon")]);
+
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {
+        // Safety: non-scalar backends are only selectable after a runtime
+        // CPU-feature check (`supported`), so their target features are
+        // guaranteed present.
+        unsafe {
+            match active() {
+                SimdPath::Scalar => scalar_backend::$name($($arg),*),
+                #[cfg(target_arch = "x86_64")]
+                SimdPath::Avx2 => avx2_backend::$name($($arg),*),
+                #[cfg(target_arch = "x86_64")]
+                SimdPath::Avx2Fma => avx2_fma_backend::$name($($arg),*),
+                #[cfg(target_arch = "aarch64")]
+                SimdPath::Neon => neon_backend::$name($($arg),*),
+                #[cfg(target_arch = "aarch64")]
+                SimdPath::NeonFma => neon_fma_backend::$name($($arg),*),
+                #[allow(unreachable_patterns)]
+                _ => scalar_backend::$name($($arg),*),
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatched slice kernels.
+// ---------------------------------------------------------------------------
+
+/// `out[i] = x[i] + y[i]` on the active path (bit-exact on every path).
+pub fn vadd(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert!(
+        x.len() == y.len() && x.len() == out.len(),
+        "vadd length mismatch"
+    );
+    dispatch!(vadd(x, y, out))
+}
+
+/// `out[i] = x[i] - y[i]` on the active path (bit-exact on every path).
+pub fn vsub(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert!(
+        x.len() == y.len() && x.len() == out.len(),
+        "vsub length mismatch"
+    );
+    dispatch!(vsub(x, y, out))
+}
+
+/// `out[i] = x[i] * y[i]` on the active path (bit-exact on every path).
+pub fn vmul(x: &[f32], y: &[f32], out: &mut [f32]) {
+    assert!(
+        x.len() == y.len() && x.len() == out.len(),
+        "vmul length mismatch"
+    );
+    dispatch!(vmul(x, y, out))
+}
+
+/// `y[i] += x[i]` on the active path (bit-exact on every path).
+pub fn vadd_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "vadd_assign length mismatch");
+    dispatch!(vadd_assign(y, x))
+}
+
+/// `y[i] += alpha * x[i]` on the active path. Separate multiply + add on
+/// the default paths (bit-exact with the references); fused under
+/// `--fma`.
+pub fn vaxpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(y.len(), x.len(), "vaxpy length mismatch");
+    dispatch!(vaxpy(alpha, x, y))
+}
+
+/// The axpy kernel for the active path as a plain fn pointer, for callers
+/// that issue many short axpys (the spMM row loops) and want to hoist the
+/// dispatch out of their inner loop.
+pub fn axpy_kernel() -> fn(f32, &[f32], &mut [f32]) {
+    match active() {
+        SimdPath::Scalar => scalar_backend::vaxpy_entry,
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => avx2_backend::vaxpy_entry,
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2Fma => avx2_fma_backend::vaxpy_entry,
+        #[cfg(target_arch = "aarch64")]
+        SimdPath::Neon => neon_backend::vaxpy_entry,
+        #[cfg(target_arch = "aarch64")]
+        SimdPath::NeonFma => neon_fma_backend::vaxpy_entry,
+        #[allow(unreachable_patterns)]
+        _ => scalar_backend::vaxpy_entry,
+    }
+}
+
+/// `y[i] *= alpha` on the active path (bit-exact on every path).
+pub fn vscale(y: &mut [f32], alpha: f32) {
+    dispatch!(vscale(y, alpha))
+}
+
+/// `y[i] /= d` on the active path (a true division per element, so
+/// bit-exact on every path).
+pub fn vdiv_scalar(y: &mut [f32], d: f32) {
+    dispatch!(vdiv_scalar(y, d))
+}
+
+/// Slice sum via 8 lane accumulators and a fixed reduction tree —
+/// bit-identical across every dispatch path (see [`module docs`](self)).
+pub fn vsum(x: &[f32]) -> f32 {
+    dispatch!(vsum(x))
+}
+
+/// Slice sum of squares with the same fixed lane order as [`vsum`].
+pub fn vnorm_sq(x: &[f32]) -> f32 {
+    dispatch!(vnorm_sq(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / 8388608.0) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detection_is_consistent() {
+        let d = detected();
+        assert!(supported(d));
+        assert!(!d.is_fma());
+        assert!(supported(SimdPath::Scalar));
+    }
+
+    #[test]
+    fn request_parsing_round_trips() {
+        assert_eq!("auto".parse::<SimdRequest>().unwrap(), SimdRequest::Auto);
+        assert_eq!(
+            "scalar".parse::<SimdRequest>().unwrap(),
+            SimdRequest::Scalar
+        );
+        assert_eq!("avx2".parse::<SimdRequest>().unwrap(), SimdRequest::Avx2);
+        assert_eq!("neon".parse::<SimdRequest>().unwrap(), SimdRequest::Neon);
+        assert_eq!("fma".parse::<SimdRequest>().unwrap(), SimdRequest::Fma);
+        assert!("avx512".parse::<SimdRequest>().is_err());
+    }
+
+    /// Every backend the host supports agrees bitwise with a direct scalar
+    /// loop on the element-wise kernels, and with the scalar instantiation
+    /// of the lane-tree reductions. Exercises lengths around the lane
+    /// width, including tails. Goes through the generic instantiations
+    /// directly so it does not touch the process-wide dispatch path.
+    #[test]
+    fn backends_agree_bitwise() {
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100] {
+            let x = pseudo(11 + len as u64, len);
+            let y = pseudo(23 + len as u64, len);
+
+            let mut expect = vec![0.0f32; len];
+            for i in 0..len {
+                expect[i] = x[i] + y[i];
+            }
+            let mut got = vec![0.0f32; len];
+            unsafe { vadd_lanes::<Scalar8>(&x, &y, &mut got) };
+            assert_eq!(expect, got, "scalar vadd len={len}");
+
+            let sum_tree = unsafe { vsum_lanes::<Scalar8>(&x) };
+            let norm_tree = unsafe { vnorm_sq_lanes::<Scalar8>(&x) };
+
+            #[cfg(target_arch = "x86_64")]
+            if supported(SimdPath::Avx2) {
+                let mut got = vec![0.0f32; len];
+                unsafe { avx2_backend::vadd(&x, &y, &mut got) };
+                assert!(
+                    expect
+                        .iter()
+                        .zip(&got)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "avx2 vadd len={len}"
+                );
+                let mut s = expect.clone();
+                let mut s2 = expect.clone();
+                unsafe { scalar_backend::vaxpy(0.37, &x, &mut s) };
+                unsafe { avx2_backend::vaxpy(0.37, &x, &mut s2) };
+                assert!(
+                    s.iter().zip(&s2).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "avx2 vaxpy len={len}"
+                );
+                let sum_avx = unsafe { avx2_backend::vsum(&x) };
+                assert_eq!(sum_tree.to_bits(), sum_avx.to_bits(), "vsum len={len}");
+                let norm_avx = unsafe { avx2_backend::vnorm_sq(&x) };
+                assert_eq!(
+                    norm_tree.to_bits(),
+                    norm_avx.to_bits(),
+                    "vnorm_sq len={len}"
+                );
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                let _ = (sum_tree, norm_tree);
+            }
+        }
+    }
+
+    #[test]
+    fn startup_line_mentions_both_paths() {
+        let line = startup_line();
+        assert!(line.contains("detected"));
+        assert!(line.contains("active"));
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::kernels;
 use crate::matrix::Matrix;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
 /// A sparse matrix in CSR format with `f32` values.
@@ -127,7 +128,11 @@ impl CsrMatrix {
     ///
     /// Row-parallel: output rows are split into contiguous chunks and each
     /// row's gather runs the identical sequential loop, so results are
-    /// bit-exact with [`Self::spmm_reference`] at any thread count.
+    /// bit-exact with [`Self::spmm_reference`] at any thread count. The
+    /// per-entry `out_row += v · rhs_row` runs on the SIMD axpy kernel for
+    /// the active dispatch path (hoisted out of the loop), which keeps the
+    /// same per-element multiply-then-add order as the reference on every
+    /// non-FMA path.
     pub fn spmm(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows(), "spmm: inner dimension mismatch");
         let d = rhs.cols();
@@ -137,6 +142,7 @@ impl CsrMatrix {
         }
         let work = self.nnz().saturating_mul(d);
         let rhs_data = rhs.as_slice();
+        let axpy = simd::axpy_kernel();
         kernels::run_rows(
             self.rows,
             d,
@@ -148,10 +154,7 @@ impl CsrMatrix {
                     for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                         let c = self.col_idx[k] as usize;
                         let v = self.values[k];
-                        let b_row = &rhs_data[c * d..(c + 1) * d];
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += v * b;
-                        }
+                        axpy(v, &rhs_data[c * d..(c + 1) * d], o_row);
                     }
                 }
             },
@@ -176,6 +179,7 @@ impl CsrMatrix {
         }
         let work = self.nnz().saturating_mul(d);
         let rhs_data = rhs.as_slice();
+        let axpy = simd::axpy_kernel();
         kernels::run_rows(
             self.cols,
             d,
@@ -191,9 +195,7 @@ impl CsrMatrix {
                         }
                         let v = self.values[k];
                         let o_row = &mut chunk[(c - first) * d..(c - first + 1) * d];
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += v * b;
-                        }
+                        axpy(v, b_row, o_row);
                     }
                 }
             },
