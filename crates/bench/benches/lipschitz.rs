@@ -1,6 +1,8 @@
-//! Criterion bench verifying the §V complexity claim: the attention
-//! approximation of the Lipschitz constant generator is asymptotically
-//! cheaper than the exact mask mechanism (one pass vs one pass per node).
+//! Criterion bench verifying the §V complexity claim and the delta-pass
+//! speedup: the attention approximation is asymptotically cheaper than the
+//! exact mechanism, and the layered delta pass (`exact_mask`) beats the
+//! per-node masked-forward oracle (`exact_reference`) by the frontier
+//! sparsity factor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -43,6 +45,9 @@ fn bench_lipschitz_modes(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("exact_mask", n), &n, |b, _| {
             b.iter(|| gen.node_constants(&store, &batch, &[&graph], LipschitzMode::ExactMask))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_reference", n), &n, |b, _| {
+            b.iter(|| gen.node_constants(&store, &batch, &[&graph], LipschitzMode::ExactReference))
         });
         group.bench_with_input(BenchmarkId::new("attention_approx", n), &n, |b, _| {
             b.iter(|| gen.node_constants(&store, &batch, &[&graph], LipschitzMode::AttentionApprox))

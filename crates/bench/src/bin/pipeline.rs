@@ -10,8 +10,11 @@
 //! Two sections, both written to `BENCH_pipeline.json`:
 //!
 //! * `node_constants` — wall-clock of [`LipschitzGenerator::node_constants`]
-//!   in both modes at 1/2/4 worker threads (bit-identical outputs; see
-//!   `core/tests/parallel_lipschitz.rs` for the equivalence proof);
+//!   in all three modes at 1/2/4 worker threads (`exact` is the layered
+//!   delta pass, `exact-reference` the per-node masked-forward oracle it
+//!   replaces — their ratio is the delta speedup; outputs are
+//!   bit-identical across thread counts and between the two exact modes on
+//!   non-FMA paths; see `core/tests/parallel_lipschitz.rs`);
 //! * `epoch` — SGCL pre-training epoch wall-clock and steps/sec with
 //!   `--prefetch 0/1/2` (bit-identical losses; see
 //!   `core/tests/prefetch_resume.rs`).
@@ -62,21 +65,28 @@ fn constants_rows(
     let generator = LipschitzGenerator::new("bench", &mut store, config, &mut rng);
 
     let mut rows = Vec::new();
-    for mode in [LipschitzMode::ExactMask, LipschitzMode::AttentionApprox] {
-        // the exact mode reruns the encoder once per node; keep its batch
-        // smaller so the sweep stays tractable
+    for mode in [
+        LipschitzMode::ExactMask,
+        LipschitzMode::ExactReference,
+        LipschitzMode::AttentionApprox,
+    ] {
         let (b, r): (&GraphBatch, &[&Graph]) = (&batch, &refs);
+        // the reference oracle reruns the whole encoder once per node
+        // (seconds per call at sweep size) — time it once, not `iters`
+        // times; it exists in the sweep as the delta pass's baseline
+        let mode_iters = if mode == LipschitzMode::ExactReference {
+            1
+        } else {
+            iters
+        };
         for &t in threads {
             set_num_threads(t);
-            let ms = time_ms(iters, || {
+            let ms = time_ms(mode_iters, || {
                 std::hint::black_box(generator.node_constants(&store, b, r, mode));
             });
-            let label = match mode {
-                LipschitzMode::ExactMask => "exact",
-                LipschitzMode::AttentionApprox => "approx",
-            };
+            let label = mode.cli_name();
             println!(
-                "node_constants {label:<7} threads={t}  nodes={:<6} {ms:10.2} ms/call",
+                "node_constants {label:<15} threads={t}  nodes={:<6} {ms:10.2} ms/call",
                 b.total_nodes()
             );
             rows.push(serde_json::json!({
@@ -84,7 +94,7 @@ fn constants_rows(
                 "threads": t,
                 "total_nodes": b.total_nodes(),
                 "directed_edges": b.total_directed_edges(),
-                "iters": iters,
+                "iters": mode_iters,
                 "ms_per_call": ms,
             }));
         }

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgcl_baselines::{BaselineKind, BaselineTrainer, GclConfig, TrainedEncoder};
 use sgcl_common::{Args, SgclError};
+use sgcl_core::lipschitz::LipschitzMode;
 use sgcl_core::{Checkpoint, GuardConfig, RecoveryPolicy, SgclConfig, SgclModel, TrainState};
 use sgcl_data::io::{load_dataset, save_dataset};
 use sgcl_data::synthetic::Dataset;
@@ -51,6 +52,12 @@ COMMANDS:
              --layers <N> (3)   --tau <F> (0.2)    --seed <N> (0)
              SGCL-only:  --rho <F> (0.9)  --lambda-c <F> (0.01)
                          --lambda-w <F> (0.01)
+                         --lipschitz <exact|exact-reference|approx>
+                             (default approx) constant generator mode:
+                             exact = Eq. 13–14 via the layered delta pass,
+                             exact-reference = the literal per-node masked
+                             forward oracle, approx = §V attention
+                             approximation. Also applies with --resume.
              --resume <FILE>    continue a v2 checkpoint bit-exactly
                                 (architecture and hyperparameters come from
                                 the checkpoint; only --epochs applies; the
@@ -286,6 +293,14 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
     let out = args.require("out")?.to_string();
     let epochs = args.get_parse("epochs", 40usize)?;
     let policy = recovery_policy(args)?;
+    let lipschitz_mode = match args.get("lipschitz") {
+        Some(s) => LipschitzMode::parse(s).ok_or_else(|| {
+            SgclError::usage(format!(
+                "--lipschitz {s:?}: expected exact, exact-reference, or approx"
+            ))
+        })?,
+        None => LipschitzMode::AttentionApprox,
+    };
 
     let (mut model, state) = match args.get("resume") {
         Some(ckpt_path) => {
@@ -303,6 +318,7 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
                 epochs,
                 batch_size: state.batch_size,
                 prefetch: args.get_parse("prefetch", 0usize)?,
+                lipschitz_mode,
                 ..ckpt.sgcl_config()
             };
             for (name, value) in &state.hparams {
@@ -336,6 +352,7 @@ fn cmd_pretrain_sgcl(args: &Args) -> Result<(), SgclError> {
                 lambda_c: args.get_parse("lambda-c", 0.01f32)?,
                 lambda_w: args.get_parse("lambda-w", 0.01f32)?,
                 prefetch: args.get_parse("prefetch", 0usize)?,
+                lipschitz_mode,
                 ..SgclConfig::paper_unsupervised(ds.feature_dim())
             };
             let mut rng = StdRng::seed_from_u64(seed);

@@ -30,18 +30,28 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sgcl_common::{FaultKind, SgclError};
+use sgcl_gnn::{ForwardCache, GnnEncoder};
 use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::{Adam, AdamState, Optimizer, ParamStore, Tape, Var};
+use std::sync::OnceLock;
 
 /// A mini-batch assembled ahead of its training step: the shuffled graph
 /// references plus their block-diagonal [`GraphBatch`].
 ///
-/// Everything in here is a **pure function of the graph indices** — no RNG
-/// and no model parameters — which is what makes the prefetch pipeline
-/// bit-exact: it does not matter *when* (or on which thread) a batch is
-/// assembled. RNG-dependent work (view sampling) and parameter-dependent
-/// work (Lipschitz constants, keep probabilities) stays inside
-/// [`ContrastiveMethod::batch_loss`] on the training thread.
+/// Everything assembled (or prefetch-warmed) here is a **pure function of
+/// the graph indices** — no RNG and no model parameters — which is what
+/// makes the prefetch pipeline bit-exact: it does not matter *when* (or on
+/// which thread) a batch is assembled. That covers the topology divisors
+/// `D_T` too (degree-derived, Eq. 11). RNG-dependent work (view sampling)
+/// stays inside [`ContrastiveMethod::batch_loss`] on the training thread.
+///
+/// The one **parameter-dependent** cache, [`Self::fq_cache`], is never
+/// touched by producer threads: it is lazily filled on first use, which on
+/// the training path happens inside `batch_loss` — after any prefetch
+/// hand-off, with the step's current parameters. Since a `PreparedBatch`
+/// lives for exactly one step, the cached activations can never go stale;
+/// callers must pair one `(encoder, store)` per batch lifetime (the SGCL
+/// paths all use the generator's `f_q`).
 pub struct PreparedBatch<'g> {
     /// The batch's graphs, in shuffled epoch order.
     pub graphs: Vec<&'g Graph>,
@@ -49,14 +59,16 @@ pub struct PreparedBatch<'g> {
     pub batch: GraphBatch,
     /// Index of this batch within its epoch (the per-batch RNG key).
     pub index: usize,
+    topo_divisors: OnceLock<Vec<f32>>,
+    fq_cache: OnceLock<ForwardCache>,
 }
 
 impl<'g> PreparedBatch<'g> {
     /// Assembles the batch. With `warm`, additionally builds every lazy
     /// per-batch/per-graph cache (normalized adjacencies, edge groupings,
-    /// degrees) — producer threads pay that cost off the training thread's
-    /// critical path; the inline path leaves them lazy exactly as before.
-    /// The cached values are bit-identical either way.
+    /// degrees, topology divisors) — producer threads pay that cost off the
+    /// training thread's critical path; the inline path leaves them lazy
+    /// exactly as before. The cached values are bit-identical either way.
     pub fn assemble(graphs: Vec<&'g Graph>, index: usize, warm: bool) -> Self {
         let batch = GraphBatch::new(&graphs);
         if warm {
@@ -68,11 +80,34 @@ impl<'g> PreparedBatch<'g> {
                 let _ = g.degrees();
             }
         }
-        Self {
+        let prepared = Self {
             graphs,
             batch,
             index,
+            topo_divisors: OnceLock::new(),
+            fq_cache: OnceLock::new(),
+        };
+        if warm {
+            let _ = prepared.topology_divisors();
         }
+        prepared
+    }
+
+    /// Per-node topology divisors `D_T = max(√(2·deg), 1)` (Eq. 11),
+    /// built once per batch from the graphs' cached degree vectors instead
+    /// of on every `node_constants` call.
+    pub fn topology_divisors(&self) -> &[f32] {
+        self.topo_divisors
+            .get_or_init(|| crate::lipschitz::topology_divisors(&self.batch, &self.graphs))
+    }
+
+    /// The unmasked per-layer activations of `encoder` on this batch,
+    /// computed once with the step's current parameters and shared by the
+    /// exact Lipschitz path, the attention approximation, and Eq. 18's
+    /// probability head. See the struct docs for the staleness invariant.
+    pub fn fq_cache(&self, encoder: &GnnEncoder, store: &ParamStore) -> &ForwardCache {
+        self.fq_cache
+            .get_or_init(|| encoder.forward_layers(store, &self.batch))
     }
 }
 

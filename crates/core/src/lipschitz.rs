@@ -5,22 +5,35 @@
 //! representation of the graph moves when `v_r` is dropped, normalised by
 //! the topology change. Large `K_r` ⇒ semantic-related node.
 //!
-//! Two modes are provided, matching the paper:
+//! Three modes are provided:
 //!
-//! * [`LipschitzMode::ExactMask`] — the literal mask mechanism of
-//!   Eq. 13–14: one masked forward pass per node,
-//!   `O((|V||E|² + |V|)·l_q·B)` in the paper's accounting;
+//! * [`LipschitzMode::ExactMask`] — the exact mask mechanism of Eq. 13–14,
+//!   computed incrementally: one shared unmasked forward caches every
+//!   layer's activations, then each node runs a row-sparse *delta pass*
+//!   ([`GnnEncoder::delta_forward`]) that recomputes only the rows inside
+//!   the node's `l_q`-hop frontier. Same constants as the literal per-node
+//!   forward (bit-identical on the non-FMA SIMD paths), at
+//!   `O(Σ_r |ball(r)|)` instead of `O(|V|²)` message-passing rows;
+//! * [`LipschitzMode::ExactReference`] — the literal Eq. 13–14 oracle: one
+//!   full masked forward per node, `O((|V||E|² + |V|)·l_q·B)` in the
+//!   paper's accounting. Kept as the ground truth the delta pass is tested
+//!   against; use it when validating kernel changes;
 //! * [`LipschitzMode::AttentionApprox`] — the §V optimisation: a single
 //!   pass computes attention weights (Vaswani-style) and *deletes each
 //!   node's aggregated contribution* in closed form,
 //!   `O((|E|² + |V|² + |V|)·l_q·B)`.
 //!
+//! All three modes share one unmasked `f_q` forward per batch when driven
+//! through a [`PreparedBatch`] (see [`LipschitzGenerator::node_constants_prepared`]),
+//! which also caches the topology divisors `D_T`.
+//!
 //! The generator also owns Eq. 18's learnable probability head: the
 //! differentiable part `δ(h_i wᵢᵀ)` through which the generator GNN `f_q`
 //! receives gradients.
 
+use crate::engine::PreparedBatch;
 use rand::Rng;
-use sgcl_gnn::{EncoderConfig, GnnEncoder};
+use sgcl_gnn::{DeltaScratch, EncoderConfig, ForwardCache, GnnEncoder};
 use sgcl_graph::{Graph, GraphBatch};
 use sgcl_tensor::kernels::run_rows;
 use sgcl_tensor::{stable_sigmoid, Initializer, Matrix, ParamId, ParamStore, Tape, Var};
@@ -29,12 +42,51 @@ use std::sync::Arc;
 /// How to compute per-node Lipschitz constants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LipschitzMode {
-    /// Exact perturbation-mask mechanism (Eq. 13–14): one masked forward
-    /// pass per node.
+    /// Exact perturbation-mask mechanism (Eq. 13–14), evaluated with the
+    /// layered delta-forward pass against the shared unmasked activations.
     ExactMask,
+    /// The literal per-node masked forward of Eq. 13–14 — the slow oracle
+    /// [`Self::ExactMask`] is equivalence-tested against.
+    ExactReference,
     /// One-pass attention approximation (§V): subtract each node's
     /// attention-weighted contribution from its neighbours.
     AttentionApprox,
+}
+
+impl LipschitzMode {
+    /// Parses the CLI spelling (`exact`, `exact-reference`, `approx`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(Self::ExactMask),
+            "exact-reference" => Some(Self::ExactReference),
+            "approx" => Some(Self::AttentionApprox),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI / report spelling, inverse of [`Self::parse`].
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Self::ExactMask => "exact",
+            Self::ExactReference => "exact-reference",
+            Self::AttentionApprox => "approx",
+        }
+    }
+}
+
+/// Per-node topology divisors `D_T = √(2·deg)` (floored at 1.0), laid out
+/// over the batch's global node ids from the cached graph degrees. Pure
+/// function of the graph indices — [`PreparedBatch`] caches (and prefetch
+/// producers warm) the result per batch.
+pub(crate) fn topology_divisors(batch: &GraphBatch, graphs: &[&Graph]) -> Vec<f32> {
+    let mut d_t = vec![0.0f32; batch.total_nodes()];
+    for (gi, g) in graphs.iter().enumerate() {
+        let start = batch.graph_nodes(gi).start;
+        for (local, &deg) in g.degrees().iter().enumerate() {
+            d_t[start + local] = ((2 * deg) as f32).sqrt().max(1.0);
+        }
+    }
+    d_t
 }
 
 /// The Lipschitz constant generator: the GNN tower `f_q`, the attention
@@ -96,6 +148,11 @@ impl LipschitzGenerator {
     /// of the batch. Runs outside any gradient tape (the constants are
     /// treated as semantic attribute *scores*; gradients to `f_q` flow
     /// through Eq. 18 instead — see [`Self::augmentation_prob`]).
+    ///
+    /// Convenience wrapper that builds the per-batch caches (topology
+    /// divisors, the shared unmasked forward) transiently; the training
+    /// path uses [`Self::node_constants_prepared`] so those caches are
+    /// computed once per batch and shared with Eq. 18's head.
     pub fn node_constants(
         &self,
         store: &ParamStore,
@@ -104,26 +161,107 @@ impl LipschitzGenerator {
         mode: LipschitzMode,
     ) -> Vec<f32> {
         assert_eq!(batch.num_graphs, graphs.len(), "batch/graph count mismatch");
+        let d_t = topology_divisors(batch, graphs);
         match mode {
-            LipschitzMode::ExactMask => self.exact_constants(store, batch, graphs),
-            LipschitzMode::AttentionApprox => self.approx_constants(store, batch, graphs),
-        }
-    }
-
-    /// Per-node topology divisors `D_T = √(2·deg)` (floored at 1.0), laid
-    /// out over the batch's global node ids from the cached graph degrees.
-    fn topology_divisors(batch: &GraphBatch, graphs: &[&Graph]) -> Vec<f32> {
-        let mut d_t = vec![0.0f32; batch.total_nodes()];
-        for (gi, g) in graphs.iter().enumerate() {
-            let start = batch.graph_nodes(gi).start;
-            for (local, &deg) in g.degrees().iter().enumerate() {
-                d_t[start + local] = ((2 * deg) as f32).sqrt().max(1.0);
+            LipschitzMode::ExactMask => {
+                let cache = self.encoder.forward_layers(store, batch);
+                self.exact_delta_constants(store, batch, &d_t, &cache)
+            }
+            LipschitzMode::ExactReference => self.exact_reference_constants(store, batch, &d_t),
+            LipschitzMode::AttentionApprox => {
+                let cache = self.encoder.forward_layers(store, batch);
+                self.approx_constants(store, batch, &d_t, cache.output())
             }
         }
-        d_t
     }
 
-    /// Exact mask mechanism: for each node `r`, rerun `f_q` with `m_r`
+    /// [`Self::node_constants`] over a [`PreparedBatch`]: reads the cached
+    /// topology divisors and fills (or reuses) the batch's shared unmasked
+    /// `f_q` activations instead of recomputing either per call.
+    pub fn node_constants_prepared(
+        &self,
+        store: &ParamStore,
+        prepared: &PreparedBatch<'_>,
+        mode: LipschitzMode,
+    ) -> Vec<f32> {
+        let batch = &prepared.batch;
+        let d_t = prepared.topology_divisors();
+        match mode {
+            LipschitzMode::ExactMask => {
+                let cache = prepared.fq_cache(&self.encoder, store);
+                self.exact_delta_constants(store, batch, d_t, cache)
+            }
+            LipschitzMode::ExactReference => self.exact_reference_constants(store, batch, d_t),
+            LipschitzMode::AttentionApprox => {
+                let cache = prepared.fq_cache(&self.encoder, store);
+                self.approx_constants(store, batch, d_t, cache.output())
+            }
+        }
+    }
+
+    /// Exact constants via the layered delta pass: for each node `r`,
+    /// [`GnnEncoder::delta_forward`] recomputes only the rows within `r`'s
+    /// `l_q`-hop frontier against the cached unmasked activations, and
+    /// `D_R = ‖H⁽ˡ⁾ − Ĥ_r⁽ˡ⁾‖_F` (Eq. 12) sums over exactly those rows —
+    /// every skipped row is bit-identical to the cache, so its contribution
+    /// is an exact `+0.0` (and `x + 0.0` is a bit-level no-op for the
+    /// non-negative partial sums here). The frontier row list is ascending,
+    /// matching the reference accumulation order restricted to the nonzero
+    /// rows, so the constants are bit-equal to
+    /// [`LipschitzMode::ExactReference`] on the non-FMA SIMD paths.
+    ///
+    /// Nodes are partitioned across the kernels' scoped worker threads;
+    /// each worker owns one reusable [`DeltaScratch`]. Every constant is
+    /// produced by one thread running the identical sequential code, so
+    /// results are bit-exact at any thread count.
+    fn exact_delta_constants(
+        &self,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        d_t: &[f32],
+        cache: &ForwardCache,
+    ) -> Vec<f32> {
+        let n = batch.total_nodes();
+        let full_h = cache.output();
+        let cfg = self.encoder.config();
+        // frontiers are confined to each node's own graph: bound the work
+        // by graph-size² message rows × layers × hidden width
+        let mut work = 0usize;
+        for gi in 0..batch.num_graphs {
+            let s = batch.graph_nodes(gi).len();
+            work = work.saturating_add(s * s * cfg.num_layers * cfg.hidden_dim);
+        }
+
+        let mut constants = vec![0.0f32; n];
+        run_rows(n, 1, &mut constants, work, &|first, count, out| {
+            let mut scratch = DeltaScratch::new(n);
+            for (i, slot) in out.iter_mut().take(count).enumerate() {
+                let global = first + i;
+                self.encoder
+                    .delta_forward(store, batch, cache, global, &mut scratch);
+                // D_R restricted to this node's own graph's rows; the
+                // frontier never crosses the block-diagonal boundary, but
+                // guard anyway so the sum provably matches Eq. 12
+                let range = batch.graph_nodes(batch.node_graph[global]);
+                let vals = scratch.values();
+                let mut d_r = 0.0f32;
+                for (ci, &r) in scratch.rows().iter().enumerate() {
+                    let r = r as usize;
+                    if !range.contains(&r) {
+                        continue;
+                    }
+                    for (a, b) in full_h.row(r).iter().zip(vals.row(ci)) {
+                        let d = a - b;
+                        d_r += d * d;
+                    }
+                }
+                *slot = d_r.sqrt() / d_t[global];
+            }
+        });
+        constants
+    }
+
+    /// Reference mask mechanism: for each node `r`, rerun `f_q` with `m_r`
     /// zeroing that node (Eq. 13–14) and measure
     /// `D_R = ‖H⁽ˡ⁾ − Ĥ_r⁽ˡ⁾‖_F` over the node's own graph (Eq. 12).
     ///
@@ -134,18 +272,17 @@ impl LipschitzGenerator {
     /// entry flipped per node. Every constant is produced by exactly one
     /// thread running the identical sequential code, so results are
     /// bit-exact at any thread count.
-    fn exact_constants(
+    fn exact_reference_constants(
         &self,
         store: &ParamStore,
         batch: &GraphBatch,
-        graphs: &[&Graph],
+        d_t: &[f32],
     ) -> Vec<f32> {
         let n = batch.total_nodes();
         let mut tape = Tape::new();
         let full = self.encoder.forward(&mut tape, store, batch, None);
         let full_h = tape.value(full);
 
-        let d_t = Self::topology_divisors(batch, graphs);
         let cfg = self.encoder.config();
         // one full forward per node: layers × (dense + message-passing) flops
         let per_forward = cfg.num_layers
@@ -178,8 +315,9 @@ impl LipschitzGenerator {
         constants
     }
 
-    /// §V attention approximation: one `f_q` pass, attention weights over
-    /// directed edges, and each node's contribution deleted in closed form:
+    /// §V attention approximation: attention weights over directed edges
+    /// from the shared unmasked activations `hm`, and each node's
+    /// contribution deleted in closed form:
     /// `D_R(G, Ĝ_r)² ≈ ‖h_r‖² + Σ_{i∈N(r)} (α_{r→i} ‖h_r‖)²`.
     ///
     /// Every phase is row-parallel over nodes. The per-node attention
@@ -193,12 +331,10 @@ impl LipschitzGenerator {
         &self,
         store: &ParamStore,
         batch: &GraphBatch,
-        graphs: &[&Graph],
+        d_t: &[f32],
+        hm: &Matrix,
     ) -> Vec<f32> {
         let n = batch.total_nodes();
-        let mut tape = Tape::new();
-        let h = self.encoder.forward(&mut tape, store, batch, None);
-        let hm = tape.value(h);
         let d = self.encoder.output_dim();
 
         // attention scores on directed edges src→dst, normalised over the
@@ -264,7 +400,6 @@ impl LipschitzGenerator {
         // contribution of r to each neighbour i: α_{r→i}·‖h_r‖, summed over
         // r's outgoing edges in ascending edge-id order
         let by_src = batch.edges_by_src();
-        let d_t = Self::topology_divisors(batch, graphs);
         let mut constants = vec![0.0f32; n];
         run_rows(n, 1, &mut constants, edge_work, &|first, count, out| {
             for (i, slot) in out.iter_mut().take(count).enumerate() {
@@ -330,9 +465,24 @@ impl LipschitzGenerator {
         batch: &GraphBatch,
         binary_c: &[f32],
     ) -> Vec<f32> {
-        let mut tape = Tape::new();
-        let h = self.encoder.forward(&mut tape, store, batch, None);
-        let hm = tape.value(h);
+        let cache = self.encoder.forward_layers(store, batch);
+        self.prob_values_from(store, cache.output(), binary_c)
+    }
+
+    /// [`Self::augmentation_prob_values`] reusing a [`PreparedBatch`]'s
+    /// shared `f_q` activations (no extra forward when the constants were
+    /// just computed on the same batch).
+    pub fn augmentation_prob_values_prepared(
+        &self,
+        store: &ParamStore,
+        prepared: &PreparedBatch<'_>,
+        binary_c: &[f32],
+    ) -> Vec<f32> {
+        let hm = prepared.fq_cache(&self.encoder, store).output();
+        self.prob_values_from(store, hm, binary_c)
+    }
+
+    fn prob_values_from(&self, store: &ParamStore, hm: &Matrix, binary_c: &[f32]) -> Vec<f32> {
         let w = store.value(self.prob_weight);
         binary_c
             .iter()
@@ -357,14 +507,14 @@ mod tests {
     use rand::SeedableRng;
     use sgcl_gnn::EncoderKind;
 
-    fn setup(input_dim: usize) -> (ParamStore, LipschitzGenerator) {
+    fn setup_kind(kind: EncoderKind, input_dim: usize) -> (ParamStore, LipschitzGenerator) {
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let gen = LipschitzGenerator::new(
             "gen",
             &mut store,
             EncoderConfig {
-                kind: EncoderKind::Gin,
+                kind,
                 input_dim,
                 hidden_dim: 16,
                 num_layers: 2,
@@ -374,10 +524,24 @@ mod tests {
         (store, gen)
     }
 
+    fn setup(input_dim: usize) -> (ParamStore, LipschitzGenerator) {
+        setup_kind(EncoderKind::Gin, input_dim)
+    }
+
     fn star_graph(leaves: usize) -> Graph {
         let edges = (1..=leaves as u32).map(|i| (0, i)).collect();
         let n = leaves + 1;
         Graph::new(n, edges, Matrix::eye(n))
+    }
+
+    /// 4-node path with `dim`-wide one-hot features (to batch with graphs
+    /// of a different node count).
+    fn path_graph(dim: usize) -> Graph {
+        let mut f = Matrix::zeros(4, dim);
+        for i in 0..4 {
+            f.set(i, i % dim, 1.0);
+        }
+        Graph::new(4, vec![(0, 1), (1, 2), (2, 3)], f)
     }
 
     #[test]
@@ -399,6 +563,76 @@ mod tests {
         let k = gen.node_constants(&store, &batch, &[&g], LipschitzMode::AttentionApprox);
         assert_eq!(k.len(), 6);
         assert!(k.iter().all(|&v| v.is_finite() && v >= 0.0));
+    }
+
+    #[test]
+    fn delta_matches_reference_all_kinds() {
+        // the tentpole equivalence: ExactMask (delta pass) must reproduce
+        // ExactReference (per-node masked forwards) — bitwise on the
+        // non-FMA SIMD paths, within the documented FMA tolerance otherwise
+        let g = star_graph(5);
+        let p = path_graph(6);
+        let batch = GraphBatch::new(&[&g, &p]);
+        let fma = sgcl_tensor::simd::active().is_fma();
+        for kind in [
+            EncoderKind::Gin,
+            EncoderKind::Gcn,
+            EncoderKind::Sage,
+            EncoderKind::Gat,
+        ] {
+            let (store, gen) = setup_kind(kind, 6);
+            let delta = gen.node_constants(&store, &batch, &[&g, &p], LipschitzMode::ExactMask);
+            let reference =
+                gen.node_constants(&store, &batch, &[&g, &p], LipschitzMode::ExactReference);
+            for (i, (a, b)) in delta.iter().zip(&reference).enumerate() {
+                if fma {
+                    assert!(
+                        (a - b).abs() <= 1e-4 * b.abs().max(1.0),
+                        "{kind:?} node {i}"
+                    );
+                } else {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} node {i}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_constants_match_unprepared() {
+        let g = star_graph(5);
+        let p = path_graph(6);
+        let prepared = PreparedBatch::assemble(vec![&g, &p], 0, true);
+        let (store, gen) = setup(6);
+        for mode in [
+            LipschitzMode::ExactMask,
+            LipschitzMode::ExactReference,
+            LipschitzMode::AttentionApprox,
+        ] {
+            let plain = gen.node_constants(&store, &prepared.batch, &[&g, &p], mode);
+            let prep = gen.node_constants_prepared(&store, &prepared, mode);
+            for (i, (a, b)) in plain.iter().zip(&prep).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{mode:?} node {i}");
+            }
+        }
+        // Eq. 18 head reuses the same cached activations
+        let c = vec![0.0f32; prepared.batch.total_nodes()];
+        let plain = gen.augmentation_prob_values(&store, &prepared.batch, &c);
+        let prep = gen.augmentation_prob_values_prepared(&store, &prepared, &c);
+        for (i, (a, b)) in plain.iter().zip(&prep).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "prob node {i}");
+        }
+    }
+
+    #[test]
+    fn mode_cli_names_roundtrip() {
+        for mode in [
+            LipschitzMode::ExactMask,
+            LipschitzMode::ExactReference,
+            LipschitzMode::AttentionApprox,
+        ] {
+            assert_eq!(LipschitzMode::parse(mode.cli_name()), Some(mode));
+        }
+        assert_eq!(LipschitzMode::parse("nope"), None);
     }
 
     #[test]
@@ -450,7 +684,11 @@ mod tests {
         let g = star_graph(4);
         let batch = GraphBatch::new(&[&g, &g]);
         let (store, gen) = setup(5);
-        for mode in [LipschitzMode::ExactMask, LipschitzMode::AttentionApprox] {
+        for mode in [
+            LipschitzMode::ExactMask,
+            LipschitzMode::ExactReference,
+            LipschitzMode::AttentionApprox,
+        ] {
             let k = gen.node_constants(&store, &batch, &[&g, &g], mode);
             for i in 0..5 {
                 assert!(

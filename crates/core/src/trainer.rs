@@ -222,7 +222,7 @@ impl ContrastiveMethod for SgclMethod<'_> {
         } else {
             let k = self
                 .generator
-                .node_constants(store, batch, graphs, cfg.lipschitz_mode);
+                .node_constants_prepared(store, prepared, cfg.lipschitz_mode);
             let c = if cfg.ablation.no_lga {
                 vec![0.0f32; batch.total_nodes()] // pure learnable generator
             } else {
@@ -420,23 +420,24 @@ impl SgclModel {
 
     /// Per-node Lipschitz constants of a single graph (Figure 7 scores).
     pub fn node_scores(&self, graph: &Graph) -> Vec<f32> {
-        let batch = GraphBatch::new(&[graph]);
+        let prepared = PreparedBatch::assemble(vec![graph], 0, false);
         self.generator
-            .node_constants(&self.store, &batch, &[graph], self.config.lipschitz_mode)
+            .node_constants_prepared(&self.store, &prepared, self.config.lipschitz_mode)
     }
 
-    /// Per-node keep-probabilities `P(V)` of a single graph (Eq. 18).
+    /// Per-node keep-probabilities `P(V)` of a single graph (Eq. 18). The
+    /// constants and the probability head share one `f_q` forward through
+    /// the prepared batch's activation cache.
     pub fn keep_probabilities(&self, graph: &Graph) -> Vec<f32> {
-        let batch = GraphBatch::new(&[graph]);
-        let k = self.generator.node_constants(
+        let prepared = PreparedBatch::assemble(vec![graph], 0, false);
+        let k = self.generator.node_constants_prepared(
             &self.store,
-            &batch,
-            &[graph],
+            &prepared,
             self.config.lipschitz_mode,
         );
-        let c = LipschitzGenerator::binarize(&batch, &k);
+        let c = LipschitzGenerator::binarize(&prepared.batch, &k);
         self.generator
-            .augmentation_prob_values(&self.store, &batch, &c)
+            .augmentation_prob_values_prepared(&self.store, &prepared, &c)
     }
 }
 

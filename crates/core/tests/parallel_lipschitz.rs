@@ -1,13 +1,25 @@
-//! Property test: the parallel Lipschitz constant generator is **bit-exact**
-//! against the sequential path in both modes. The exact mode partitions
-//! nodes across worker threads (one masked forward each); the attention
-//! approximation runs four row-parallel phases whose edge reductions walk
-//! the batch's cached edge groupings in ascending edge-id order. Both must
-//! produce the identical bit pattern at any thread count.
+//! The exact-mode equivalence and parallelism suite.
 //!
-//! Kept as a single `#[test]` (proptest cases run sequentially inside it)
-//! so the global thread-count switch never races with another test in this
-//! binary. Batch sizes are chosen to cross the kernels' parallel-work
+//! Two families of properties:
+//!
+//! * **Delta ≡ reference** — `LipschitzMode::ExactMask` (the layered
+//!   delta-forward pass) must reproduce `LipschitzMode::ExactReference`
+//!   (one literal masked forward per node, Eq. 13–14). On the non-FMA SIMD
+//!   paths the row-subset kernels accumulate in the reference order per
+//!   row, so the match is **bitwise**; under the opt-in FMA paths GEMM
+//!   bits depend on tile position, so the oracle falls back to a relative
+//!   tolerance (same caveat as the tensor crate's FMA tests). CI pins
+//!   `SGCL_SIMD=scalar` for this binary so the bitwise branch is what
+//!   gates merges.
+//! * **Thread invariance** — every mode partitions nodes across worker
+//!   threads (the delta pass keeps one `DeltaScratch` per worker) and must
+//!   produce the identical bit pattern at any thread count.
+//!
+//! The thread-switching property is kept as a single `#[test]` (proptest
+//! cases run sequentially inside it) so the global thread-count switch
+//! never races with itself. The kinds test does not touch the switch, and
+//! both exact modes are bit-exact at *any* count, so sharing the binary is
+//! safe. Batch sizes are chosen to cross the kernels' parallel-work
 //! threshold, so the 4-thread runs genuinely take the threaded path.
 
 use proptest::prelude::*;
@@ -38,21 +50,29 @@ fn random_graph(nodes: usize, extra_edges: usize, rng: &mut StdRng) -> Graph {
     Graph::new(nodes, edges, features)
 }
 
-fn generator(seed: u64) -> (ParamStore, LipschitzGenerator) {
+fn generator_kind(
+    seed: u64,
+    kind: EncoderKind,
+    num_layers: usize,
+) -> (ParamStore, LipschitzGenerator) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let gen = LipschitzGenerator::new(
         "gen",
         &mut store,
         EncoderConfig {
-            kind: EncoderKind::Gin,
+            kind,
             input_dim: INPUT_DIM,
             hidden_dim: 16,
-            num_layers: 2,
+            num_layers,
         },
         &mut rng,
     );
     (store, gen)
+}
+
+fn generator(seed: u64) -> (ParamStore, LipschitzGenerator) {
+    generator_kind(seed, EncoderKind::Gin, 2)
 }
 
 fn assert_bits_equal(seq: &[f32], par: &[f32], label: &str) {
@@ -63,6 +83,59 @@ fn assert_bits_equal(seq: &[f32], par: &[f32], label: &str) {
             b.to_bits(),
             "{label}: constant {i} diverged: {a} vs {b}"
         );
+    }
+}
+
+/// Delta-vs-reference oracle: bitwise on the non-FMA SIMD paths; under FMA
+/// the compact GEMM tiles differ from the full-matrix tiles, so fall back
+/// to a relative tolerance (see the tensor crate's FMA accuracy contract).
+fn assert_matches_reference(delta: &[f32], reference: &[f32], label: &str) {
+    assert_eq!(delta.len(), reference.len(), "{label}: length");
+    let fma = sgcl_tensor::simd::active().is_fma();
+    for (i, (a, b)) in delta.iter().zip(reference).enumerate() {
+        if fma {
+            assert!(
+                (a - b).abs() <= 1e-4 * b.abs().max(1.0),
+                "{label}: node {i} beyond FMA tolerance: {a} vs {b}"
+            );
+        } else {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: node {i} not bitwise: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_matches_reference_across_kinds_and_depths() {
+    // fixed-seed sweep over every encoder architecture and 1–3 layers;
+    // runs at the ambient thread count (both exact modes are bit-exact at
+    // any count, so this cannot race with the thread-switching property)
+    let mut rng = StdRng::seed_from_u64(17);
+    let graphs: Vec<Graph> = (0..4)
+        .map(|_| {
+            let n = rng.gen_range(6..=14);
+            let extra = rng.gen_range(0..n);
+            random_graph(n, extra, &mut rng)
+        })
+        .collect();
+    let refs: Vec<&Graph> = graphs.iter().collect();
+    let batch = GraphBatch::new(&refs);
+    for kind in [
+        EncoderKind::Gin,
+        EncoderKind::Gcn,
+        EncoderKind::Sage,
+        EncoderKind::Gat,
+    ] {
+        for layers in 1..=3 {
+            let (store, gen) = generator_kind(23 + layers as u64, kind, layers);
+            let delta = gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactMask);
+            let reference =
+                gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactReference);
+            assert_matches_reference(&delta, &reference, &format!("{kind:?}/{layers}L"));
+        }
     }
 }
 
@@ -87,14 +160,21 @@ proptest! {
         let batch = GraphBatch::new(&refs);
         set_num_threads(1);
         let exact_seq = gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactMask);
+        let reference_seq =
+            gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactReference);
         let approx_small_seq =
             gen.node_constants(&store, &batch, &refs, LipschitzMode::AttentionApprox);
         set_num_threads(4);
         let exact_par = gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactMask);
+        let reference_par =
+            gen.node_constants(&store, &batch, &refs, LipschitzMode::ExactReference);
         let approx_small_par =
             gen.node_constants(&store, &batch, &refs, LipschitzMode::AttentionApprox);
-        assert_bits_equal(&exact_seq, &exact_par, "exact");
+        assert_bits_equal(&exact_seq, &exact_par, "exact (delta)");
+        assert_bits_equal(&reference_seq, &reference_par, "exact-reference");
         assert_bits_equal(&approx_small_seq, &approx_small_par, "approx (small)");
+        // the tentpole equivalence at both thread counts
+        assert_matches_reference(&exact_seq, &reference_seq, "delta vs reference");
 
         // approx mode above threshold: replicate the graphs until the
         // per-phase edge work (n + e)·d crosses the parallel threshold

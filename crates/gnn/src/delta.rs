@@ -1,0 +1,444 @@
+//! Incremental masked forward: the *delta pass* behind the exact Lipschitz
+//! generator.
+//!
+//! Zeroing node `r` (Eq. 13's perturbation mask) only changes the
+//! representations of nodes within `l` hops of `r`. Instead of re-running
+//! the whole encoder with a mask (one `O(|V|)` forward per node, Eq. 13–14
+//! taken literally), [`GnnEncoder::delta_forward`] walks a row-sparse
+//! *frontier*: level 0 is `{r}` with `r`'s features zeroed; each layer
+//! expands the frontier by one hop of `adj_self_loops` (a conservative
+//! superset of every encoder kind's influence set — the batch adjacency is
+//! symmetric and the self-loop variant adds the node's own row, covering
+//! GIN's `h + Σ`, GCN's `Â = A+I`, SAGE's self/neighbour split, and GAT's
+//! in-edges + self-loop) and recomputes **only** the frontier rows through
+//! the same kernels, reading every untouched row from the cached unmasked
+//! [`ForwardCache`].
+//!
+//! ## Exactness
+//!
+//! The recomputed rows are bit-identical to the rows a full masked tape
+//! forward would produce (on the default non-FMA SIMD paths):
+//!
+//! * a frontier row's inputs are, inductively, bit-identical to the masked
+//!   forward's inputs (cached rows for untouched nodes — unmasked rows are
+//!   multiplied by `1.0` in the reference, which is a bit-level no-op —
+//!   and recomputed rows for frontier nodes);
+//! * the row-subset kernels ([`spmm_row_subset`], compact GEMM, the scalar
+//!   GAT scatter) accumulate in exactly the reference order per row;
+//! * rows *outside* the frontier recompute to their cached bits by the same
+//!   argument, so skipping them changes nothing.
+//!
+//! Under the opt-in FMA mode, GEMM results depend on tile position, so the
+//! compact matmuls can differ from the full-matrix bits within the
+//! documented FMA tolerance — same caveat as PR 7's kernels.
+
+use crate::encoder::{ForwardCache, GnnEncoder, GnnLayer};
+use sgcl_graph::GraphBatch;
+use sgcl_tensor::rowset::{gather_row_subset, spmm_row_subset, RowOverlay, NO_OVERLAY};
+use sgcl_tensor::{pool, simd, Matrix, ParamStore};
+
+/// Reusable per-worker state for [`GnnEncoder::delta_forward`]: frontier
+/// row lists, the node→compact-index maps (`NO_OVERLAY`-sentinel, cleared
+/// between calls by walking the row lists), and the compact value matrix.
+///
+/// One scratch serves any number of sequential calls on the same batch;
+/// the parallel exact generator keeps one per worker thread.
+pub struct DeltaScratch {
+    total_nodes: usize,
+    map_prev: Vec<u32>,
+    map_next: Vec<u32>,
+    rows: Vec<u32>,
+    next_rows: Vec<u32>,
+    vals: Matrix,
+    e_buf: Vec<f32>,
+}
+
+impl DeltaScratch {
+    /// Creates scratch for a batch with `total_nodes` nodes.
+    pub fn new(total_nodes: usize) -> Self {
+        Self {
+            total_nodes,
+            map_prev: vec![NO_OVERLAY; total_nodes],
+            map_next: vec![NO_OVERLAY; total_nodes],
+            rows: Vec::new(),
+            next_rows: Vec::new(),
+            vals: Matrix::zeros(0, 0),
+            e_buf: Vec::new(),
+        }
+    }
+
+    /// Rows (global node ids, ascending) whose masked representations were
+    /// recomputed by the last [`GnnEncoder::delta_forward`] call. Every row
+    /// not listed is bit-identical to the unmasked cache.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Compact masked final-layer values; row `i` belongs to node
+    /// `self.rows()[i]`.
+    pub fn values(&self) -> &Matrix {
+        &self.vals
+    }
+}
+
+impl GnnEncoder {
+    /// Computes the masked forward for `node` incrementally against the
+    /// unmasked `cache` (see the module docs for the algorithm and the
+    /// exactness argument). On return, `scratch.rows()` lists the affected
+    /// final-layer rows and `scratch.values()` their masked values.
+    pub fn delta_forward(
+        &self,
+        store: &ParamStore,
+        batch: &GraphBatch,
+        cache: &ForwardCache,
+        node: usize,
+        scratch: &mut DeltaScratch,
+    ) {
+        let n = batch.total_nodes();
+        assert_eq!(
+            scratch.total_nodes, n,
+            "scratch sized for a different batch"
+        );
+        assert_eq!(
+            cache.num_layers(),
+            self.config().num_layers,
+            "cache from a different encoder depth"
+        );
+        // clear any state from the previous call
+        for &r in &scratch.rows {
+            scratch.map_prev[r as usize] = NO_OVERLAY;
+        }
+        scratch.rows.clear();
+
+        // level 0: frontier = {node}, its feature row masked to zero via the
+        // same elementwise multiply the reference mask uses (keeps ±0 signs)
+        scratch.rows.push(node as u32);
+        scratch.map_prev[node] = 0;
+        let mut cur = Matrix::zeros(1, batch.features.cols());
+        cur.row_mut(0).copy_from_slice(batch.features.row(node));
+        simd::vscale(cur.row_mut(0), 0.0);
+
+        for (l, layer) in self.layers.iter().enumerate() {
+            // one-hop frontier closure via the self-loop adjacency structure
+            scratch.next_rows.clear();
+            for &r in &scratch.rows {
+                for (c, _) in batch.adj_self_loops.row_iter(r as usize) {
+                    if scratch.map_next[c] == NO_OVERLAY {
+                        scratch.map_next[c] = 0;
+                        scratch.next_rows.push(c as u32);
+                    }
+                }
+            }
+            scratch.next_rows.sort_unstable();
+            for (i, &r) in scratch.next_rows.iter().enumerate() {
+                scratch.map_next[r as usize] = i as u32;
+            }
+
+            let ov = RowOverlay {
+                base: cache.layer(l),
+                map: &scratch.map_prev,
+                delta: &cur,
+            };
+            let next_rows = &scratch.next_rows;
+            let fr = next_rows.len();
+            let mut next = match layer {
+                GnnLayer::Gin { mlp } => {
+                    let d_in = ov.base.cols();
+                    let mut h_c = Matrix::zeros(fr, d_in);
+                    gather_row_subset(next_rows, &ov, &mut h_c);
+                    let mut agg_c = Matrix::zeros(fr, d_in);
+                    spmm_row_subset(&batch.adj, next_rows, &ov, &mut agg_c);
+                    let combined = h_c.add(&agg_c);
+                    pool::give(h_c.into_vec());
+                    pool::give(agg_c.into_vec());
+                    let pre = mlp.forward_values(store, &combined);
+                    pool::give(combined.into_vec());
+                    let res = pre.map(|t| t.max(0.0));
+                    pool::give(pre.into_vec());
+                    res
+                }
+                GnnLayer::Gcn { lin } => {
+                    let d_in = ov.base.cols();
+                    let adj = batch.sym_normalized_adj();
+                    let mut agg_c = Matrix::zeros(fr, d_in);
+                    spmm_row_subset(&adj, next_rows, &ov, &mut agg_c);
+                    let pre = lin.forward_values(store, &agg_c);
+                    pool::give(agg_c.into_vec());
+                    let res = pre.map(|t| t.max(0.0));
+                    pool::give(pre.into_vec());
+                    res
+                }
+                GnnLayer::Sage {
+                    self_lin,
+                    neigh_lin,
+                } => {
+                    let d_in = ov.base.cols();
+                    let adj = batch.row_normalized_adj();
+                    let mut h_c = Matrix::zeros(fr, d_in);
+                    gather_row_subset(next_rows, &ov, &mut h_c);
+                    let mut agg_c = Matrix::zeros(fr, d_in);
+                    spmm_row_subset(&adj, next_rows, &ov, &mut agg_c);
+                    let hs = self_lin.forward_values(store, &h_c);
+                    let hn = neigh_lin.forward_values(store, &agg_c);
+                    pool::give(h_c.into_vec());
+                    pool::give(agg_c.into_vec());
+                    let sum = hs.add(&hn);
+                    pool::give(hs.into_vec());
+                    pool::give(hn.into_vec());
+                    let res = sum.map(|t| t.max(0.0));
+                    pool::give(sum.into_vec());
+                    res
+                }
+                GnnLayer::Gat {
+                    lin,
+                    att_src,
+                    att_dst,
+                } => {
+                    let gc = cache.gat[l].as_ref().expect("GAT cache present");
+                    // masked attention inputs for the previous frontier
+                    let wh_c = lin.forward_values(store, &cur);
+                    let ss_c = wh_c.matmul(store.value(*att_src));
+                    let sd_c = wh_c.matmul(store.value(*att_dst));
+                    let wh_ov = RowOverlay {
+                        base: &gc.wh,
+                        map: &scratch.map_prev,
+                        delta: &wh_c,
+                    };
+                    let ss_ov = RowOverlay {
+                        base: &gc.score_s,
+                        map: &scratch.map_prev,
+                        delta: &ss_c,
+                    };
+                    let sd_ov = RowOverlay {
+                        base: &gc.score_d,
+                        map: &scratch.map_prev,
+                        delta: &sd_c,
+                    };
+                    let by_dst = batch.edges_by_dst();
+                    let e_buf = &mut scratch.e_buf;
+                    let d = gc.wh.cols();
+                    let mut out = Matrix::zeros(fr, d);
+                    for (i, &j) in next_rows.iter().enumerate() {
+                        let j = j as usize;
+                        // activated in-edge logits: real edges (ascending id,
+                        // matching the tape's per-group subsequence of the
+                        // global edge order) then the self-loop edge
+                        let in_edges = by_dst.node(j);
+                        e_buf.clear();
+                        let sd_j = sd_ov.row(j)[0];
+                        for &k in in_edges {
+                            let v = ss_ov.row(batch.edge_src[k])[0] + sd_j;
+                            e_buf.push(if v > 0.0 { v } else { 0.2 * v });
+                        }
+                        {
+                            let v = ss_ov.row(j)[0] + sd_j;
+                            e_buf.push(if v > 0.0 { v } else { 0.2 * v });
+                        }
+                        // the tape's segment softmax restricted to group j:
+                        // max by `>`, exps summed in order, denom clamp
+                        let mut mx = f32::NEG_INFINITY;
+                        for &v in e_buf.iter() {
+                            if v > mx {
+                                mx = v;
+                            }
+                        }
+                        let mut sum = 0.0f32;
+                        for v in e_buf.iter_mut() {
+                            let ex = (*v - mx).exp();
+                            *v = ex;
+                            sum += ex;
+                        }
+                        let denom = sum.max(1e-12);
+                        let o_row = out.row_mut(i);
+                        for (t, &k) in in_edges.iter().enumerate() {
+                            let alpha = e_buf[t] / denom;
+                            let msg = wh_ov.row(batch.edge_src[k]);
+                            for (o, &x) in o_row.iter_mut().zip(msg) {
+                                *o += x * alpha;
+                            }
+                        }
+                        let alpha = e_buf[in_edges.len()] / denom;
+                        let msg = wh_ov.row(j);
+                        for (o, &x) in o_row.iter_mut().zip(msg) {
+                            *o += x * alpha;
+                        }
+                    }
+                    pool::give(ss_c.into_vec());
+                    pool::give(sd_c.into_vec());
+                    pool::give(wh_c.into_vec());
+                    let res = out.map(|t| t.max(0.0));
+                    pool::give(out.into_vec());
+                    res
+                }
+            };
+            // re-apply the mask to the perturbed node's row, as the
+            // reference does after every layer
+            simd::vscale(next.row_mut(scratch.map_next[node] as usize), 0.0);
+
+            // rotate frontiers; old compact matrix goes back to the pool
+            for &r in &scratch.rows {
+                scratch.map_prev[r as usize] = NO_OVERLAY;
+            }
+            std::mem::swap(&mut scratch.rows, &mut scratch.next_rows);
+            std::mem::swap(&mut scratch.map_prev, &mut scratch.map_next);
+            pool::give(cur.into_vec());
+            cur = next;
+        }
+
+        let old = std::mem::replace(&mut scratch.vals, cur);
+        pool::give(old.into_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, EncoderKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgcl_graph::Graph;
+    use sgcl_tensor::Tape;
+
+    fn features(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        Matrix::from_vec(
+            n,
+            d,
+            (0..n * d)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 40) as f32 / 8388608.0) - 1.0
+                })
+                .collect(),
+        )
+    }
+
+    fn sample_batch() -> (Vec<Graph>, GraphBatch) {
+        // chorded cycle + path with an isolated node, two graphs
+        let a = Graph::new(
+            5,
+            vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+            features(5, 4, 7),
+        );
+        let b = Graph::new(4, vec![(0, 1), (1, 2)], features(4, 4, 11));
+        let batch = GraphBatch::new(&[&a, &b]);
+        (vec![a, b], batch)
+    }
+
+    fn build(kind: EncoderKind, layers: usize) -> (ParamStore, GnnEncoder) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let enc = GnnEncoder::new(
+            "enc",
+            &mut store,
+            EncoderConfig {
+                kind,
+                input_dim: 4,
+                hidden_dim: 8,
+                num_layers: layers,
+            },
+            &mut rng,
+        );
+        (store, enc)
+    }
+
+    fn assert_rows_eq(label: &str, a: &[f32], b: &[f32]) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn forward_layers_matches_tape_bitwise() {
+        let (_, batch) = sample_batch();
+        for kind in EncoderKind::ALL {
+            let (store, enc) = build(kind, 2);
+            let mut tape = Tape::new();
+            let h = enc.forward(&mut tape, &store, &batch, None);
+            let cache = enc.forward_layers(&store, &batch);
+            assert_eq!(cache.num_layers(), 2);
+            for r in 0..batch.total_nodes() {
+                assert_rows_eq(kind.name(), tape.value(h).row(r), cache.output().row(r));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_forward_matches_masked_tape_forward() {
+        let (_, batch) = sample_batch();
+        let n = batch.total_nodes();
+        for kind in EncoderKind::ALL {
+            for layers in [1usize, 2, 3] {
+                let (store, enc) = build(kind, layers);
+                let cache = enc.forward_layers(&store, &batch);
+                let mut scratch = DeltaScratch::new(n);
+                let mut mask = Matrix::ones(n, 1);
+                for node in 0..n {
+                    // reference: full masked tape forward
+                    mask.set(node, 0, 0.0);
+                    let mut tape = Tape::new();
+                    let h = enc.forward(&mut tape, &store, &batch, Some(&mask));
+                    let masked = tape.value(h);
+                    mask.set(node, 0, 1.0);
+
+                    enc.delta_forward(&store, &batch, &cache, node, &mut scratch);
+                    let label = format!("{} L{layers} node {node}", kind.name());
+                    // frontier rows: bitwise equal to the masked forward
+                    for (i, &r) in scratch.rows().iter().enumerate() {
+                        assert_rows_eq(&label, masked.row(r as usize), scratch.values().row(i));
+                    }
+                    // rows off the frontier: masked forward must equal the
+                    // unmasked cache bitwise (the delta pass skips them)
+                    let mut on: Vec<bool> = vec![false; n];
+                    for &r in scratch.rows() {
+                        on[r as usize] = true;
+                    }
+                    for r in 0..n {
+                        if !on[r] {
+                            assert_rows_eq(&label, masked.row(r), cache.output().row(r));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_nodes_and_batches() {
+        let (_, batch) = sample_batch();
+        let n = batch.total_nodes();
+        let (store, enc) = build(EncoderKind::Gin, 2);
+        let cache = enc.forward_layers(&store, &batch);
+        let mut scratch = DeltaScratch::new(n);
+        // run twice over all nodes; second sweep must see identical results
+        let mut first: Vec<(Vec<u32>, Vec<f32>)> = Vec::new();
+        for node in 0..n {
+            enc.delta_forward(&store, &batch, &cache, node, &mut scratch);
+            first.push((
+                scratch.rows().to_vec(),
+                scratch.values().as_slice().to_vec(),
+            ));
+        }
+        for node in 0..n {
+            enc.delta_forward(&store, &batch, &cache, node, &mut scratch);
+            assert_eq!(scratch.rows(), &first[node].0[..]);
+            assert_eq!(scratch.values().as_slice(), &first[node].1[..]);
+        }
+    }
+
+    #[test]
+    fn frontier_stays_within_the_nodes_graph() {
+        let (_, batch) = sample_batch();
+        let (store, enc) = build(EncoderKind::Gin, 3);
+        let cache = enc.forward_layers(&store, &batch);
+        let mut scratch = DeltaScratch::new(batch.total_nodes());
+        enc.delta_forward(&store, &batch, &cache, 6, &mut scratch);
+        // node 6 is in graph 1 (nodes 5..9); nothing from graph 0 may appear
+        assert!(scratch
+            .rows()
+            .iter()
+            .all(|&r| (5..9).contains(&(r as usize))));
+    }
+}

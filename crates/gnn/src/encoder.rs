@@ -10,7 +10,7 @@
 use crate::linear::{Activation, Linear, Mlp};
 use rand::Rng;
 use sgcl_graph::GraphBatch;
-use sgcl_tensor::{Initializer, Matrix, ParamId, ParamStore, Tape, Var};
+use sgcl_tensor::{segment_softmax_values, Initializer, Matrix, ParamId, ParamStore, Tape, Var};
 use std::sync::Arc;
 
 /// Which message-passing architecture to use.
@@ -72,7 +72,7 @@ impl EncoderConfig {
 }
 
 #[derive(Clone)]
-enum GnnLayer {
+pub(crate) enum GnnLayer {
     Gin {
         mlp: Mlp,
     },
@@ -94,7 +94,51 @@ enum GnnLayer {
 #[derive(Clone)]
 pub struct GnnEncoder {
     config: EncoderConfig,
-    layers: Vec<GnnLayer>,
+    pub(crate) layers: Vec<GnnLayer>,
+}
+
+/// Attention intermediates of one GAT layer's unmasked forward, retained so
+/// a delta pass can recompute attention for a frontier row from cached
+/// per-node scores instead of rebuilding the whole edge tensor.
+pub(crate) struct GatCache {
+    /// `W·h` (`n × d`).
+    pub(crate) wh: Matrix,
+    /// Source attention logits `W·h · a_s` (`n × 1`).
+    pub(crate) score_s: Matrix,
+    /// Destination attention logits `W·h · a_d` (`n × 1`).
+    pub(crate) score_d: Matrix,
+}
+
+/// Per-layer activations of one **unmasked** forward pass through a
+/// [`GnnEncoder`], produced by [`GnnEncoder::forward_layers`].
+///
+/// `layers[0]` is the input feature matrix and `layers[l+1]` the output of
+/// layer `l`, each bit-identical to the corresponding tape value of
+/// [`GnnEncoder::forward`] with no mask (the value-level pass replays the
+/// same kernels in the same order). This is the shared state the exact
+/// Lipschitz delta pass ([`GnnEncoder::delta_forward`]), the attention
+/// approximation, and Eq. 18's probability head all read instead of
+/// re-running `f_q`.
+pub struct ForwardCache {
+    pub(crate) layers: Vec<Matrix>,
+    pub(crate) gat: Vec<Option<GatCache>>,
+}
+
+impl ForwardCache {
+    /// Activation matrix entering layer `l` (`layer(0)` = input features).
+    pub fn layer(&self, l: usize) -> &Matrix {
+        &self.layers[l]
+    }
+
+    /// Final node representations (output of the last layer).
+    pub fn output(&self) -> &Matrix {
+        self.layers.last().expect("at least the input features")
+    }
+
+    /// Number of encoder layers this cache covers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len() - 1
+    }
 }
 
 impl GnnEncoder {
@@ -238,6 +282,56 @@ impl GnnEncoder {
         h
     }
 
+    /// Runs one unmasked forward pass **off the tape**, retaining every
+    /// per-layer activation (and the GAT attention intermediates).
+    ///
+    /// Each layer replays the same kernels in the same order as
+    /// [`Self::forward`] with `mask = None`, so every cached matrix is
+    /// bit-identical to the corresponding tape value. The cache is what
+    /// [`Self::delta_forward`](crate::delta) reads base rows from.
+    pub fn forward_layers(&self, store: &ParamStore, batch: &GraphBatch) -> ForwardCache {
+        let mut layers = Vec::with_capacity(self.layers.len() + 1);
+        let mut gat = Vec::with_capacity(self.layers.len());
+        layers.push(batch.features.clone());
+        for layer in &self.layers {
+            let h = layers.last().expect("non-empty");
+            let (out, g) = match layer {
+                GnnLayer::Gin { mlp } => {
+                    let agg = batch.adj.spmm(h);
+                    let combined = h.add(&agg);
+                    let pre = mlp.forward_values(store, &combined);
+                    (pre.map(|t| t.max(0.0)), None)
+                }
+                GnnLayer::Gcn { lin } => {
+                    let agg = batch.sym_normalized_adj().spmm(h);
+                    let pre = lin.forward_values(store, &agg);
+                    (pre.map(|t| t.max(0.0)), None)
+                }
+                GnnLayer::Sage {
+                    self_lin,
+                    neigh_lin,
+                } => {
+                    let agg = batch.row_normalized_adj().spmm(h);
+                    let hs = self_lin.forward_values(store, h);
+                    let hn = neigh_lin.forward_values(store, &agg);
+                    let sum = hs.add(&hn);
+                    (sum.map(|t| t.max(0.0)), None)
+                }
+                GnnLayer::Gat {
+                    lin,
+                    att_src,
+                    att_dst,
+                } => {
+                    let (out, cache) = gat_layer_values(store, batch, h, lin, *att_src, *att_dst);
+                    (out, Some(cache))
+                }
+            };
+            gat.push(g);
+            layers.push(out);
+        }
+        ForwardCache { layers, gat }
+    }
+
     /// Single-head GAT layer with self-loops in the attention neighbourhood.
     #[allow(clippy::too_many_arguments)]
     fn gat_layer(
@@ -275,6 +369,60 @@ impl GnnEncoder {
         let out = tape.scatter_add_rows(weighted, dst, n);
         tape.relu(out)
     }
+}
+
+/// Value-level single-head GAT layer mirroring [`GnnEncoder::gat_layer`]
+/// op-for-op: per-edge logits in global edge order (real directed edges
+/// then one self-loop per node), leaky-ReLU via the same closure, the
+/// tape's segment softmax, and scalar multiply-then-scatter accumulation in
+/// ascending edge order — bit-identical to the tape value.
+fn gat_layer_values(
+    store: &ParamStore,
+    batch: &GraphBatch,
+    h: &Matrix,
+    lin: &Linear,
+    att_src: ParamId,
+    att_dst: ParamId,
+) -> (Matrix, GatCache) {
+    let n = batch.total_nodes();
+    let e = batch.total_directed_edges();
+    let wh = lin.forward_values(store, h);
+    let score_s = wh.matmul(store.value(att_src));
+    let score_d = wh.matmul(store.value(att_dst));
+    let d = wh.cols();
+    // activated logits + segments in the tape layer's edge order
+    let mut act = Vec::with_capacity(e + n);
+    let mut seg = Vec::with_capacity(e + n);
+    for k in 0..e {
+        let v = score_s.get(batch.edge_src[k], 0) + score_d.get(batch.edge_dst[k], 0);
+        act.push(if v > 0.0 { v } else { 0.2 * v });
+        seg.push(batch.edge_dst[k]);
+    }
+    for j in 0..n {
+        let v = score_s.get(j, 0) + score_d.get(j, 0);
+        act.push(if v > 0.0 { v } else { 0.2 * v });
+        seg.push(j);
+    }
+    let alpha = segment_softmax_values(&act, &seg);
+    let mut out = Matrix::zeros(n, d);
+    for (i, &t) in seg.iter().enumerate() {
+        let src_node = if i < e { batch.edge_src[i] } else { i - e };
+        let msg = wh.row(src_node);
+        let o = &mut out.as_mut_slice()[t * d..(t + 1) * d];
+        for (ov, &x) in o.iter_mut().zip(msg) {
+            *ov += x * alpha[i];
+        }
+    }
+    let res = out.map(|t| t.max(0.0));
+    sgcl_tensor::pool::give(out.into_vec());
+    (
+        res,
+        GatCache {
+            wh,
+            score_s,
+            score_d,
+        },
+    )
 }
 
 #[cfg(test)]

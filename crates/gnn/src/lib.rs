@@ -13,14 +13,16 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod embed;
 pub mod encoder;
 pub mod heads;
 pub mod linear;
 pub mod pooling;
 
+pub use delta::DeltaScratch;
 pub use embed::embed_graphs;
-pub use encoder::{EncoderConfig, EncoderKind, GnnEncoder};
+pub use encoder::{EncoderConfig, EncoderKind, ForwardCache, GnnEncoder};
 pub use heads::{ClassifierHead, ProjectionHead};
 pub use linear::{Activation, Linear, Mlp};
 pub use pooling::Pooling;

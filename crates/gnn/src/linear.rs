@@ -2,7 +2,7 @@
 //! GIN's update function, projection heads, and classifier heads.
 
 use rand::Rng;
-use sgcl_tensor::{Initializer, ParamId, ParamStore, Tape, Var};
+use sgcl_tensor::{Initializer, Matrix, ParamId, ParamStore, Tape, Var};
 
 /// A fully connected layer `y = x·W + b`.
 #[derive(Clone)]
@@ -44,6 +44,15 @@ impl Linear {
         let b = store.leaf(tape, self.b);
         let xw = tape.matmul(x, w);
         tape.add_bias(xw, b)
+    }
+
+    /// Tape-free forward: the same `x·W + b` computation as [`Self::forward`]
+    /// through the identical kernels, so the result is bit-for-bit equal to
+    /// the tape value. Used by cached/delta inference passes that never
+    /// backpropagate.
+    pub fn forward_values(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        x.matmul(store.value(self.w))
+            .add_row_broadcast(store.value(self.b))
     }
 
     /// Input dimension.
@@ -117,6 +126,21 @@ impl Mlp {
                     Activation::Identity => h,
                 };
             }
+        }
+        h
+    }
+
+    /// Tape-free forward mirroring [`Self::forward`] op-for-op (bit-identical
+    /// to the tape value — the activations use the same `map` closures).
+    pub fn forward_values(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        let mut h = self.layers[0].forward_values(store, x);
+        for layer in self.layers.iter().skip(1) {
+            let a = match self.activation {
+                Activation::Relu => h.map(|t| t.max(0.0)),
+                Activation::Tanh => h.map(f32::tanh),
+                Activation::Identity => h,
+            };
+            h = layer.forward_values(store, &a);
         }
         h
     }

@@ -58,6 +58,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod optim;
 pub mod pool;
+pub mod rowset;
 pub mod simd;
 pub mod sparse;
 pub mod tape;
@@ -66,6 +67,7 @@ pub use init::Initializer;
 pub use kernels::{num_threads, set_num_threads};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamState, Optimizer, ParamStore, Sgd, SgdState};
+pub use rowset::{gather_row_subset, spmm_row_subset, RowOverlay, NO_OVERLAY};
 pub use simd::{SimdPath, SimdRequest};
 pub use sparse::CsrMatrix;
-pub use tape::{stable_sigmoid, stable_softplus, ParamId, Tape, Var};
+pub use tape::{segment_softmax_values, stable_sigmoid, stable_softplus, ParamId, Tape, Var};

@@ -1,0 +1,195 @@
+//! Row-subset kernels for incremental (delta) forward passes.
+//!
+//! The exact Lipschitz generator masks one node at a time; zeroing node
+//! `r` only perturbs the rows within `l` hops of `r`, so each GNN layer
+//! of the masked forward touches a small, growing *frontier* of rows
+//! rather than the whole activation matrix. The kernels here compute
+//! exactly those rows, reading every untouched row from the cached
+//! unmasked activations through a [`RowOverlay`].
+//!
+//! ## Determinism contract
+//!
+//! Both kernels replicate the full-matrix kernels' per-row accumulation
+//! order exactly: [`spmm_row_subset`] walks each selected CSR row in
+//! ascending stored-entry order and accumulates with the same dispatched
+//! axpy kernel as [`CsrMatrix::spmm`], starting from a zeroed output row.
+//! A selected row's result is therefore bit-identical to the same row of
+//! the full product on every dispatch path (the per-row gather never
+//! depends on which other rows are computed).
+
+use crate::matrix::Matrix;
+use crate::simd;
+use crate::sparse::CsrMatrix;
+
+/// Sentinel for "row not in the overlay" in a [`RowOverlay`] map.
+pub const NO_OVERLAY: u32 = u32::MAX;
+
+/// A dense matrix viewed with a sparse set of replacement rows: row `r`
+/// reads from the compact `delta` matrix when `map[r] != NO_OVERLAY`
+/// (at compact index `map[r]`) and from `base` otherwise.
+///
+/// This is how a delta pass represents "the masked activations": the
+/// unmasked cache plus the few recomputed rows of the current frontier.
+pub struct RowOverlay<'a> {
+    /// Full unmasked activation matrix (`n × d`).
+    pub base: &'a Matrix,
+    /// Per-row compact index into `delta`, `NO_OVERLAY` = read `base`;
+    /// length `base.rows()`.
+    pub map: &'a [u32],
+    /// Compact replacement rows (`frontier × d`).
+    pub delta: &'a Matrix,
+}
+
+impl RowOverlay<'_> {
+    /// The (possibly replaced) contents of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        match self.map[r] {
+            NO_OVERLAY => self.base.row(r),
+            i => self.delta.row(i as usize),
+        }
+    }
+}
+
+/// Row-subset sparse-dense product: `out[i] = Σ_k s[rows[i], k] · src_k`
+/// where `src_k` is row `k` of the overlay.
+///
+/// Each output row runs the identical from-zero CSR-order axpy loop as
+/// [`CsrMatrix::spmm`], so `out[i]` is bit-identical to row `rows[i]` of
+/// `s.spmm(m)` for the dense matrix `m` the overlay represents.
+pub fn spmm_row_subset(s: &CsrMatrix, rows: &[u32], src: &RowOverlay<'_>, out: &mut Matrix) {
+    let d = src.base.cols();
+    assert_eq!(s.cols(), src.base.rows(), "spmm_row_subset: dim mismatch");
+    assert_eq!(
+        src.map.len(),
+        src.base.rows(),
+        "spmm_row_subset: map length"
+    );
+    assert_eq!(
+        out.shape(),
+        (rows.len(), d),
+        "spmm_row_subset: output shape"
+    );
+    out.as_mut_slice().fill(0.0);
+    let axpy = simd::axpy_kernel();
+    for (i, &r) in rows.iter().enumerate() {
+        let o_row = out.row_mut(i);
+        for (c, v) in s.row_iter(r as usize) {
+            axpy(v, src.row(c), o_row);
+        }
+    }
+}
+
+/// Row-subset gather: `out[i] = overlay row rows[i]` (a dense copy of the
+/// selected rows, overlay-aware — the compact analogue of
+/// [`Matrix::select_rows`]).
+pub fn gather_row_subset(rows: &[u32], src: &RowOverlay<'_>, out: &mut Matrix) {
+    assert_eq!(
+        out.shape(),
+        (rows.len(), src.base.cols()),
+        "gather_row_subset: output shape"
+    );
+    for (i, &r) in rows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(src.row(r as usize));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix {
+        // 4×4 symmetric-ish pattern with mixed weights
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 1, 0.5),
+                (1, 0, 0.5),
+                (1, 2, 2.0),
+                (2, 1, 2.0),
+                (2, 3, -1.0),
+                (3, 2, -1.0),
+                (3, 3, 0.25),
+            ],
+        )
+    }
+
+    fn base() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, -2.0, 3.0],
+            &[0.5, 0.25, -1.5],
+            &[4.0, 0.0, 2.0],
+            &[-3.0, 1.0, 0.125],
+        ])
+    }
+
+    /// The dense matrix a given overlay represents.
+    fn materialize(ov: &RowOverlay<'_>) -> Matrix {
+        let mut m = ov.base.clone();
+        for r in 0..m.rows() {
+            if ov.map[r] != NO_OVERLAY {
+                let src: Vec<f32> = ov.row(r).to_vec();
+                m.row_mut(r).copy_from_slice(&src);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn spmm_row_subset_matches_full_spmm_bitwise() {
+        let s = sample_csr();
+        let b = base();
+        let delta = Matrix::from_rows(&[&[10.0, 20.0, 30.0]]);
+        let map = [NO_OVERLAY, 0, NO_OVERLAY, NO_OVERLAY];
+        let ov = RowOverlay {
+            base: &b,
+            map: &map,
+            delta: &delta,
+        };
+        let full = s.spmm(&materialize(&ov));
+        let rows = [0u32, 1, 3];
+        let mut out = Matrix::zeros(rows.len(), 3);
+        spmm_row_subset(&s, &rows, &ov, &mut out);
+        for (i, &r) in rows.iter().enumerate() {
+            for (a, b) in out.row(i).iter().zip(full.row(r as usize)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_row_subset_zeroes_recycled_output() {
+        let s = sample_csr();
+        let b = base();
+        let map = [NO_OVERLAY; 4];
+        let empty = Matrix::zeros(0, 3);
+        let ov = RowOverlay {
+            base: &b,
+            map: &map,
+            delta: &empty,
+        };
+        let mut out = Matrix::full(1, 3, f32::NAN); // stale contents
+        spmm_row_subset(&s, &[0], &ov, &mut out);
+        let full = s.spmm(&b);
+        assert_eq!(out.row(0), full.row(0));
+    }
+
+    #[test]
+    fn gather_row_subset_reads_overlay() {
+        let b = base();
+        let delta = Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[-1.0, -2.0, -3.0]]);
+        let map = [1, NO_OVERLAY, 0, NO_OVERLAY];
+        let ov = RowOverlay {
+            base: &b,
+            map: &map,
+            delta: &delta,
+        };
+        let rows = [0u32, 1, 2];
+        let mut out = Matrix::zeros(3, 3);
+        gather_row_subset(&rows, &ov, &mut out);
+        assert_eq!(out.row(0), &[-1.0, -2.0, -3.0][..]);
+        assert_eq!(out.row(1), b.row(1));
+        assert_eq!(out.row(2), &[7.0, 8.0, 9.0][..]);
+    }
+}

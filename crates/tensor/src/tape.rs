@@ -778,6 +778,15 @@ pub fn stable_softplus(x: f32) -> f32 {
     x.max(0.0) + (-x.abs()).exp().ln_1p()
 }
 
+/// Value-level segment softmax — the exact forward computation behind
+/// [`Tape::segment_softmax`], exposed so tape-free encoder passes (the
+/// cached/delta forward used by the Lipschitz generator) reproduce the
+/// tape's softmax bit-for-bit: per-group max via `>` comparison, exps
+/// accumulated in global input order, denominator clamped at `1e-12`.
+pub fn segment_softmax_values(x: &[f32], seg: &[usize]) -> Vec<f32> {
+    segment_softmax_forward(x, seg)
+}
+
 fn segment_softmax_forward(x: &[f32], seg: &[usize]) -> Vec<f32> {
     let n_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
     let mut max = vec![f32::NEG_INFINITY; n_seg];
