@@ -1,0 +1,308 @@
+//! Load generator for the similarity index — builds an [`sgcl_index::IndexSet`]
+//! over synthetic embeddings, then hammers it with concurrent queries and
+//! reports build throughput, query QPS, latency percentiles, and recall@k
+//! against the exact brute-force oracle.
+//!
+//! ```text
+//! cargo run --release --bin search                    # full-size run
+//! cargo run --release --bin search -- --smoke         # CI-sized run
+//! cargo run --release --bin search -- --vectors 50000 --query-threads 8
+//! ```
+//!
+//! The index code path measured here is exactly what `sgcl serve` uses for
+//! `index_add`/`search` — synthetic vectors stand in for encoder outputs
+//! because index cost, not model quality, is under test. Results land in
+//! `BENCH_search.json`; query-scaling claims are only valid when
+//! `host_parallelism > 1`, and the `scaling_valid` flag says so
+//! machine-readably.
+//!
+//! The result document is written with a local JSON emitter (the schema is
+//! flat and fixed) so this binary has no serialisation dependency.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgcl_graph::ContentHash;
+use sgcl_index::{HnswParams, IndexSet, DEFAULT_SEED};
+
+fn ok_or_exit<T>(r: Result<T, sgcl_common::SgclError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    })
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+/// Deterministic per-vector content hash (SplitMix64 widened to 128 bits),
+/// standing in for the graph content digests the server would use — it
+/// also seeds each vector's HNSW layer assignment, as in production.
+fn synth_hash(seed: u64, i: usize) -> ContentHash {
+    let mix = |x: u64| -> u64 {
+        let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let lo = mix(seed ^ i as u64);
+    let hi = mix(lo ^ 0xA076_1D64_78BD_642F);
+    ContentHash(((hi as u128) << 64) | lo as u128)
+}
+
+fn random_vector(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// A stored vector with every coordinate nudged — close to its source but
+/// never identical, so recall is measured on non-trivial queries.
+fn perturbed(rng: &mut StdRng, base: &[f32]) -> Vec<f32> {
+    base.iter()
+        .map(|v| v + rng.gen_range(-0.15f32..0.15))
+        .collect()
+}
+
+fn main() {
+    let args = ok_or_exit(sgcl_common::Args::options_from_env());
+    let smoke = args.flag("smoke");
+    let out = args.get("out").unwrap_or("BENCH_search.json").to_string();
+    sgcl_tensor::set_num_threads(ok_or_exit(args.get_parse("threads", 0usize)));
+    let simd_flag = if args.flag("fma") {
+        Some("fma")
+    } else {
+        args.get("simd")
+    };
+    ok_or_exit(sgcl_tensor::simd::init(simd_flag).map_err(sgcl_common::SgclError::usage));
+    eprintln!("{}", sgcl_tensor::simd::startup_line());
+
+    let vectors = ok_or_exit(args.get_parse("vectors", if smoke { 2_000usize } else { 20_000 }));
+    let dim = ok_or_exit(args.get_parse("dim", 64usize));
+    let queries = ok_or_exit(args.get_parse("queries", if smoke { 100usize } else { 500 }));
+    let k = ok_or_exit(args.get_parse("k", 10usize));
+    let query_threads = ok_or_exit(args.get_parse("query-threads", 4usize)).max(1);
+    let seed = ok_or_exit(args.get_parse("seed", 42u64));
+    let params = HnswParams {
+        m: ok_or_exit(args.get_parse("m", HnswParams::default().m)),
+        ef_construction: ok_or_exit(
+            args.get_parse("ef-construction", HnswParams::default().ef_construction),
+        ),
+        ef_search: ok_or_exit(args.get_parse("ef-search", HnswParams::default().ef_search)),
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<f32>> = (0..vectors).map(|_| random_vector(&mut rng, dim)).collect();
+    // half the queries probe near stored vectors, half probe fresh points
+    let query_set: Vec<Vec<f32>> = (0..queries)
+        .map(|q| {
+            if q % 2 == 0 {
+                let base = rng.gen_range(0..vectors);
+                perturbed(&mut rng, &data[base])
+            } else {
+                random_vector(&mut rng, dim)
+            }
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("sgcl-bench-search-{}", std::process::id()));
+    let mut set = ok_or_exit(IndexSet::open(Some(&dir), params, DEFAULT_SEED));
+
+    println!(
+        "building: {vectors} vectors × {dim} dims (M {}, ef_construction {})",
+        params.m, params.ef_construction
+    );
+    let build_start = Instant::now();
+    for (i, v) in data.iter().enumerate() {
+        ok_or_exit(set.insert("bench", synth_hash(seed, i), v.clone()));
+    }
+    ok_or_exit(set.flush());
+    let build_s = build_start.elapsed().as_secs_f64();
+    let disk_bytes = set.disk_bytes();
+    println!(
+        "build        {build_s:.2}s  ({:.0} inserts/s, {disk_bytes} bytes on disk)",
+        vectors as f64 / build_s
+    );
+
+    println!(
+        "querying: {queries} queries × k={k} over {query_threads} threads (ef_search {})",
+        params.ef_search
+    );
+    let set_ref = &set;
+    let query_ref = &query_set;
+    let wall = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(queries);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..query_threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut ns = Vec::new();
+                    let mut q = t;
+                    while q < query_ref.len() {
+                        let start = Instant::now();
+                        let hits = set_ref.search("bench", &query_ref[q], k);
+                        ns.push(start.elapsed().as_nanos() as u64);
+                        assert!(hits.len() <= k, "over-long result list");
+                        q += query_threads;
+                    }
+                    ns
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("query thread panicked"));
+        }
+    });
+    let search_s = wall.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let qps = queries as f64 / search_s;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    println!(
+        "search       {qps:>10.0} qps  p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms",
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6
+    );
+
+    // recall@k of the HNSW beam against the brute-force oracle, over every
+    // query (single-threaded: accuracy, not speed, is measured here)
+    let mut matched = 0usize;
+    let mut expected = 0usize;
+    for q in &query_set {
+        let approx = set.search("bench", q, k);
+        let exact = set.exact_search("bench", q, k);
+        let truth: std::collections::HashSet<u128> = exact.iter().map(|h| h.hash.0).collect();
+        matched += approx.iter().filter(|h| truth.contains(&h.hash.0)).count();
+        expected += exact.len();
+    }
+    let recall = if expected > 0 {
+        matched as f64 / expected as f64
+    } else {
+        0.0
+    };
+    println!(
+        "recall@{k}    {:.4}  ({matched}/{expected} oracle hits)",
+        recall
+    );
+
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = json_doc(JsonVal::Obj(vec![
+        ("experiment", JsonVal::Str("search".to_string())),
+        (
+            "topology",
+            JsonVal::Obj(vec![
+                ("query_threads", JsonVal::Num(query_threads as f64)),
+                ("host_parallelism", JsonVal::Num(host_parallelism as f64)),
+                // query-scaling claims need cores to run the threads on;
+                // single-core CI boxes must not be read as speedups
+                (
+                    "scaling_valid",
+                    JsonVal::Bool(query_threads > 1 && host_parallelism > 1),
+                ),
+                (
+                    "simd",
+                    JsonVal::Str(sgcl_tensor::simd::active().name().to_string()),
+                ),
+            ]),
+        ),
+        ("vectors", JsonVal::Num(vectors as f64)),
+        ("dim", JsonVal::Num(dim as f64)),
+        ("queries", JsonVal::Num(queries as f64)),
+        ("k", JsonVal::Num(k as f64)),
+        (
+            "hnsw",
+            JsonVal::Obj(vec![
+                ("m", JsonVal::Num(params.m as f64)),
+                (
+                    "ef_construction",
+                    JsonVal::Num(params.ef_construction as f64),
+                ),
+                ("ef_search", JsonVal::Num(params.ef_search as f64)),
+            ]),
+        ),
+        (
+            "build",
+            JsonVal::Obj(vec![
+                ("elapsed_s", JsonVal::Num(build_s)),
+                ("inserts_per_s", JsonVal::Num(vectors as f64 / build_s)),
+                ("disk_bytes", JsonVal::Num(disk_bytes as f64)),
+            ]),
+        ),
+        (
+            "search",
+            JsonVal::Obj(vec![
+                ("elapsed_s", JsonVal::Num(search_s)),
+                ("qps", JsonVal::Num(qps)),
+                (
+                    "latency_ns",
+                    JsonVal::Obj(vec![
+                        ("p50", JsonVal::Num(p50 as f64)),
+                        ("p95", JsonVal::Num(p95 as f64)),
+                        ("p99", JsonVal::Num(p99 as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("recall_at_k", JsonVal::Num(recall)),
+    ]));
+    if let Err(e) = sgcl_common::write_atomic(std::path::Path::new(&out), doc.as_bytes()) {
+        eprintln!("error: {e}");
+        std::process::exit(i32::from(e.exit_code()));
+    }
+    println!("\nresults written to {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --------------------------------------------------------- JSON emission
+
+/// The few value shapes the result document needs.
+enum JsonVal {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Obj(Vec<(&'static str, JsonVal)>),
+}
+
+fn emit(v: &JsonVal, indent: usize, out: &mut String) {
+    match v {
+        // strings here are internal identifiers; none need escaping
+        JsonVal::Str(s) => out.push_str(&format!("{s:?}")),
+        JsonVal::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        JsonVal::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonVal::Obj(fields) => {
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                out.push_str(&"  ".repeat(indent + 1));
+                out.push_str(&format!("{key:?}: "));
+                emit(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+fn json_doc(root: JsonVal) -> String {
+    let mut out = String::new();
+    emit(&root, 0, &mut out);
+    out.push('\n');
+    out
+}

@@ -11,6 +11,8 @@
 //! sgcl stats     --data ds.json
 //! sgcl serve     --model model.json --addr 127.0.0.1:7878
 //! sgcl route     --replicas 127.0.0.1:7878,127.0.0.1:7879
+//! sgcl index build --model model.json --data ds.json --out idx/
+//! sgcl index query --model model.json --data ds.json --index idx/ --graph 0
 //! ```
 
 use rand::rngs::StdRng;
@@ -24,11 +26,14 @@ use sgcl_data::synthetic::Dataset;
 use sgcl_data::{Scale, TuDataset};
 use sgcl_eval::svm_cross_validate;
 use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::content_hash;
 use sgcl_graph::metrics::dataset_stats;
 use sgcl_graph::Graph;
+use sgcl_index::{HnswParams, IndexSet, DEFAULT_SEED};
 use sgcl_serve::health::HealthPolicy;
+use sgcl_serve::key::hash_to_hex;
 use sgcl_serve::registry::parse_model_specs;
-use sgcl_serve::{RouterConfig, ServeConfig};
+use sgcl_serve::{IndexOptions, RouterConfig, ServeConfig};
 use sgcl_tensor::{Matrix, ParamStore};
 use std::path::Path;
 use std::process::ExitCode;
@@ -88,9 +93,19 @@ COMMANDS:
              --deadline-ms <N> (5000)       per-request deadline (0 = none)
              --max-queue <N> (0 = 4×max-batch)  waiting jobs before new
                                             requests are shed (Overloaded)
+             Similarity index (off unless one of the first two is given;
+             enables the index_add and search operations):
+             --index-dir <DIR>              persistent store + snapshots
+             --index-mem                    ephemeral in-process index
+             --index-m <N> (16)             HNSW links per node
+             --index-ef-construction <N> (128)  build-time beam width
+             --index-ef-search <N> (128)     query-time beam width
+             --index-flush-every <N> (256)  inserts between auto-flushes
+                                            (0 = flush only at shutdown)
              Stop with a {\"op\":\"shutdown\"} or {\"op\":\"drain\"} request.
-  route      Replicated serving tier: shard embed requests across several
-             serve backends by graph content hash, with health-checked
+  route      Replicated serving tier: shard embed/index_add requests across
+             several serve backends by graph content hash (search fans out
+             to every healthy replica and merges top-k), with health-checked
              ejection, retry with backoff, and load shedding
              --replicas <HOST:PORT,...>     backend replicas (required)
              --addr <HOST:PORT> (127.0.0.1:7979; port 0 = OS-assigned)
@@ -101,6 +116,19 @@ COMMANDS:
              --readmit-after <N> (2)        probe successes → readmit
              --probe-interval-ms <N> (200)  pause between probe rounds
              Stop with a {\"op\":\"drain\"} request (replicas keep running).
+  index      Offline similarity index over a dataset's embeddings
+             build: embed every graph and write a persistent index
+             --model <FILE>  --data <FILE>  --out <DIR>
+             --name <NAME>                  index model name (default:
+                                            checkpoint file stem, matching
+                                            what serve would use)
+             --m <N> (16)  --ef-construction <N> (128)  --ef-search <N> (128)
+             query: nearest neighbours of one dataset graph
+             --model <FILE>  --data <FILE>  --index <DIR>
+             --graph <N> (0)  --k <N> (10)
+             --ef <N>                       query-time beam width override
+             --exact                        brute-force oracle instead of
+                                            the HNSW graph
 
 GLOBAL OPTIONS:
   --threads <N>   kernel worker threads (default 0 = auto-detect; 1 forces
@@ -135,7 +163,18 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), SgclError> {
-    let args = Args::from_env()?;
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    // `index` carries a second positional (`build` / `query`) that the
+    // option parser would reject as stray; lift it out before parsing
+    let index_mode = if raw.first().map(String::as_str) == Some("index") {
+        if raw.len() < 2 || raw[1].starts_with("--") {
+            return Err(SgclError::usage("index needs a mode: build or query"));
+        }
+        Some(raw.remove(1))
+    } else {
+        None
+    };
+    let args = Args::parse(raw)?;
     // Global kernel thread count; 0 (the default) auto-detects. `--threads 1`
     // forces the sequential path; any setting produces bit-identical results.
     sgcl_tensor::set_num_threads(args.get_parse("threads", 0usize)?);
@@ -160,6 +199,7 @@ fn run() -> Result<(), SgclError> {
         "stats" => cmd_stats(&args),
         "serve" => cmd_serve(&args),
         "route" => cmd_route(&args),
+        "index" => cmd_index(&args, index_mode.as_deref().unwrap_or("")),
         "" | "help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -563,6 +603,24 @@ fn cmd_stats(args: &Args) -> Result<(), SgclError> {
     Ok(())
 }
 
+/// Builds the serve-side index configuration from `--index-*` flags;
+/// `None` (neither `--index-dir` nor `--index-mem`) leaves the index
+/// operations disabled.
+fn index_options(args: &Args) -> Result<Option<IndexOptions>, SgclError> {
+    let dir = args.get("index-dir");
+    if dir.is_none() && !args.flag("index-mem") {
+        return Ok(None);
+    }
+    let defaults = IndexOptions::default();
+    Ok(Some(IndexOptions {
+        dir: dir.map(std::path::PathBuf::from),
+        m: args.get_parse("index-m", defaults.m)?,
+        ef_construction: args.get_parse("index-ef-construction", defaults.ef_construction)?,
+        ef_search: args.get_parse("index-ef-search", defaults.ef_search)?,
+        flush_every: args.get_parse("index-flush-every", defaults.flush_every)?,
+    }))
+}
+
 fn cmd_serve(args: &Args) -> Result<(), SgclError> {
     let specs = parse_model_specs(args.get("model"), args.get("models"))?;
     let config = ServeConfig {
@@ -574,7 +632,9 @@ fn cmd_serve(args: &Args) -> Result<(), SgclError> {
         workers: args.get_parse("workers", 2usize)?,
         deadline_ms: args.get_parse("deadline-ms", 5000u64)?,
         max_queue: args.get_parse("max-queue", 0usize)?,
+        index: index_options(args)?,
     };
+    let indexed = config.index.is_some();
     let handle = sgcl_serve::start(config)?;
     println!("serving on {} (first model is the default):", handle.addr());
     for m in handle.models() {
@@ -583,9 +643,140 @@ fn cmd_serve(args: &Args) -> Result<(), SgclError> {
             m.name, m.method, m.input_dim, m.hidden_dim, m.num_layers
         );
     }
+    if indexed {
+        println!("similarity index enabled (index_add / search)");
+    }
     println!("stop with a {{\"op\":\"shutdown\"}} request");
     handle.join();
     println!("server stopped");
+    Ok(())
+}
+
+/// `sgcl index build|query` — offline similarity index over a dataset's
+/// embeddings, sharing the store format and HNSW parameters with the
+/// serving tier (a directory built here can be served with
+/// `serve --index-dir`).
+fn cmd_index(args: &Args, mode: &str) -> Result<(), SgclError> {
+    match mode {
+        "build" => cmd_index_build(args),
+        "query" => cmd_index_query(args),
+        other => Err(SgclError::usage(format!(
+            "unknown index mode {other:?}: expected build or query"
+        ))),
+    }
+}
+
+/// Index model name: `--name` when given, else the checkpoint file stem —
+/// the same rule `serve` uses, so offline and online indexes agree.
+fn index_model_name(args: &Args) -> Result<String, SgclError> {
+    if let Some(name) = args.get("name") {
+        if name.is_empty() {
+            return Err(SgclError::usage("--name must not be empty"));
+        }
+        return Ok(name.to_string());
+    }
+    let path = args.require("model")?;
+    Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .map(str::to_string)
+        .ok_or_else(|| SgclError::usage(format!("cannot derive a model name from path {path:?}")))
+}
+
+fn index_params(args: &Args) -> Result<HnswParams, SgclError> {
+    let defaults = HnswParams::default();
+    Ok(HnswParams {
+        m: args.get_parse("m", defaults.m)?,
+        ef_construction: args.get_parse("ef-construction", defaults.ef_construction)?,
+        ef_search: args.get_parse("ef-search", defaults.ef_search)?,
+    })
+}
+
+fn cmd_index_build(args: &Args) -> Result<(), SgclError> {
+    let ds = load(args)?;
+    let model = load_model(args, &ds)?;
+    let name = index_model_name(args)?;
+    let out = args.require("out")?;
+    let mut set = IndexSet::open(Some(Path::new(out)), index_params(args)?, DEFAULT_SEED)?;
+    println!("embedding {} graphs…", ds.len());
+    let emb = model.embed(&ds.graphs);
+    let mut added = 0usize;
+    for (i, g) in ds.graphs.iter().enumerate() {
+        if set.insert(&name, content_hash(g), emb.row(i).to_vec())? {
+            added += 1;
+        }
+    }
+    set.flush()?;
+    let p = set.params();
+    println!(
+        "indexed {added} new of {} graphs under model {name:?} in {out} \
+         (M {}, ef_construction {}, {} bytes on disk)",
+        ds.len(),
+        p.m,
+        p.ef_construction,
+        set.disk_bytes()
+    );
+    Ok(())
+}
+
+fn cmd_index_query(args: &Args) -> Result<(), SgclError> {
+    let ds = load(args)?;
+    let model = load_model(args, &ds)?;
+    let name = index_model_name(args)?;
+    let dir = args.require("index")?;
+    let set = IndexSet::open(Some(Path::new(dir)), index_params(args)?, DEFAULT_SEED)?;
+    if set.hnsw(&name).is_none() {
+        return Err(SgclError::mismatch(
+            format!("index {dir}"),
+            format!("no vectors indexed under model {name:?}"),
+        ));
+    }
+    let idx = args.get_parse("graph", 0usize)?;
+    let g = ds
+        .graphs
+        .get(idx)
+        .ok_or_else(|| SgclError::usage(format!("graph index {idx} out of range")))?;
+    let k = args.get_parse("k", 10usize)?;
+    let emb = model.embed(std::slice::from_ref(g));
+    let query = emb.row(0);
+    let hits = if args.flag("exact") {
+        set.exact_search(&name, query, k)
+    } else {
+        match args.get("ef") {
+            Some(_) => set.search_ef(&name, query, k, args.get_parse("ef", 0usize)?),
+            None => set.search(&name, query, k),
+        }
+    };
+    // map hit hashes back to dataset positions where possible, so results
+    // are readable without a hash table at hand
+    let by_hash: std::collections::HashMap<u128, usize> = ds
+        .graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (content_hash(g).0, i))
+        .collect();
+    println!(
+        "query graph {idx} against {dir} (model {name:?}, {} vectors, {}):",
+        set.hnsw(&name).map_or(0, |h| h.len()),
+        if args.flag("exact") {
+            "exact".to_string()
+        } else {
+            format!("ef {}", args.get_parse("ef", set.params().ef_search)?)
+        }
+    );
+    println!("rank  score     graph  hash");
+    for (rank, hit) in hits.iter().enumerate() {
+        let pos = by_hash
+            .get(&hit.hash.0)
+            .map_or("-".to_string(), |i| i.to_string());
+        println!(
+            "{:>4}  {:>8.5}  {:>5}  {}",
+            rank,
+            hit.score,
+            pos,
+            hash_to_hex(hit.hash)
+        );
+    }
     Ok(())
 }
 

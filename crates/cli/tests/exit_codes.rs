@@ -33,10 +33,82 @@ fn make_dataset(dir: &std::path::Path) -> String {
     ds
 }
 
+/// A tiny checkpoint, pre-trained through the binary itself (one epoch on
+/// the quick dataset keeps this fast).
+fn make_checkpoint(dir: &std::path::Path, ds: &str) -> String {
+    let model = dir.join("model.json").to_string_lossy().into_owned();
+    let out = sgcl(&[
+        "pretrain", "--data", ds, "--epochs", "1", "--hidden", "8", "--layers", "2", "--batch",
+        "32", "--out", &model,
+    ]);
+    assert!(out.status.success(), "pretrain failed: {out:?}");
+    model
+}
+
 #[test]
 fn unknown_command_exits_2() {
     let out = sgcl(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn index_without_a_mode_exits_2() {
+    let out = sgcl(&["index"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = sgcl(&["index", "--model", "x.json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = sgcl(&["index", "frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn index_build_query_round_trip_and_corrupt_index_exits_5() {
+    let dir = scratch("index");
+    let ds = make_dataset(&dir);
+    let model = make_checkpoint(&dir, &ds);
+    let idx = dir.join("idx").to_string_lossy().into_owned();
+
+    let out = sgcl(&[
+        "index", "build", "--model", &model, "--data", &ds, "--out", &idx,
+    ]);
+    assert!(out.status.success(), "index build failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("indexed"), "stdout: {stdout}");
+
+    for extra in [&[][..], &["--exact"][..]] {
+        let mut args = vec![
+            "index", "query", "--model", &model, "--data", &ds, "--index", &idx, "--graph", "0",
+            "--k", "3",
+        ];
+        args.extend_from_slice(extra);
+        let out = sgcl(&args);
+        assert!(
+            out.status.success(),
+            "index query {extra:?} failed: {out:?}"
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // the query graph itself is indexed, so it must come back as its
+        // own nearest neighbour with a ~1.0 cosine score
+        assert!(
+            stdout.contains("rank") && stdout.lines().any(|l| l.starts_with("   0")),
+            "stdout: {stdout}"
+        );
+    }
+
+    // a garbled segment byte must surface as invalid data (exit 5) naming
+    // the damaged file — never a panic, never a silent rebuild
+    let seg = dir.join("idx").join("seg-000000.idx");
+    let mut bytes = std::fs::read(&seg).expect("read segment");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&seg, &bytes).expect("garble segment");
+    let out = sgcl(&[
+        "index", "query", "--model", &model, "--data", &ds, "--index", &idx, "--graph", "0",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("seg-000000.idx"), "stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

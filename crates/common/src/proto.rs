@@ -17,7 +17,10 @@ use crate::SgclError;
 
 /// Protocol revision carried in `info` replies. Bumped on any
 /// incompatible change to request or response shapes.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: 1 = embed/info/ping/shutdown/drain; 2 adds the similarity
+/// index operations (`index_add`, `search`) and index stats in `info`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on a single request line, in bytes. Guards the server against
 /// unbounded memory use from a malicious or broken client; a compliant
@@ -38,6 +41,12 @@ pub mod op {
     /// with status 0. Alias-shaped but semantically explicit: `drain` is
     /// what an orchestrator sends before taking a replica out of rotation.
     pub const DRAIN: &str = "drain";
+    /// Embed one graph and insert the embedding into the persistent
+    /// similarity index. Idempotent: re-adding the same graph is a no-op.
+    pub const INDEX_ADD: &str = "index_add";
+    /// Embed one graph and return the `k` most similar indexed graphs
+    /// (content hash + cosine score), best first.
+    pub const SEARCH: &str = "search";
 }
 
 /// Stable numeric codes for error replies.

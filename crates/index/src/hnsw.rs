@@ -1,0 +1,831 @@
+//! Dependency-free HNSW over cosine distance, plus the exact brute-force
+//! scan kept as its recall oracle.
+//!
+//! ## Determinism contract
+//!
+//! The index is a pure function of (insert order, seed, parameters):
+//!
+//! * Layer assignment draws from an xorshift64* stream seeded by
+//!   `fold(content_hash) ^ seed` — the same generator family as the serve
+//!   tier's retry jitter, no `rand`, no floats — so a node's level depends
+//!   only on its hash and the index seed, never on wall clock or memory
+//!   layout.
+//! * All candidate orderings are total: `(distance via total_cmp, node id)`
+//!   breaks every tie, and distances are computed by scalar fixed-order
+//!   loops (never the threaded tensor kernels).
+//!
+//! Consequently the same inserts in the same order produce bit-identical
+//! graphs — and bit-identical search results — on any machine and under
+//! any number of concurrent searcher threads.
+//!
+//! ## Distance
+//!
+//! Vectors are L2-normalised at insert; distance is `1 - dot`, and the
+//! score reported to callers is the cosine similarity `dot` itself.
+//! All-zero vectors are kept as-is (similarity 0 to everything).
+
+use crate::wire::{verify_checksum, ByteReader, ByteWriter};
+use sgcl_common::{write_atomic, SgclError};
+use sgcl_graph::ContentHash;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::path::Path;
+
+/// Magic prefix of a snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SGCLHNSW";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Oldest snapshot format version this build can read.
+pub const MIN_SNAPSHOT_VERSION: u32 = 1;
+/// Default seed for layer assignment (any fixed value works; changing it
+/// changes every index, so it is part of the on-disk contract).
+pub const DEFAULT_SEED: u64 = 0x5ec1_1235_8d2f_91a7;
+/// Hard cap on a node's layer (a geometric draw at p=1/M reaches this with
+/// probability ~M^-32 — effectively never; the cap bounds crafted files).
+const MAX_LEVEL: usize = 32;
+const MAX_LABEL: usize = 4096;
+
+/// HNSW construction/search knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HnswParams {
+    /// Max links per node per layer (layer 0 allows `2 * m`).
+    pub m: usize,
+    /// Candidate-list width while inserting.
+    pub ef_construction: usize,
+    /// Default candidate-list width while searching.
+    pub ef_search: usize,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 128,
+            // sized for recall@10 ≥ 0.95 on the hardest (uniform random)
+            // vector distribution at tens of thousands of vectors — 64
+            // measures ~0.90 there, 128 measures ~0.97
+            ef_search: 128,
+        }
+    }
+}
+
+/// One search result: the graph's content hash and its cosine similarity
+/// to the query (higher is closer).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchHit {
+    /// Content hash of the indexed graph.
+    pub hash: ContentHash,
+    /// Cosine similarity in `[-1, 1]`.
+    pub score: f32,
+}
+
+/// Total-ordered f32 distance (`1 - cosine`), ties broken by node id at
+/// every use site.
+#[derive(Clone, Copy, PartialEq)]
+struct Dist(f32);
+
+impl Eq for Dist {}
+
+impl PartialOrd for Dist {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Node {
+    hash: u128,
+    /// L2-normalised embedding.
+    vec: Vec<f32>,
+    /// Adjacency per layer; `links.len()` is the node's level + 1.
+    links: Vec<Vec<u32>>,
+}
+
+/// Deterministic hierarchical navigable-small-world index over cosine
+/// distance.
+pub struct Hnsw {
+    params: HnswParams,
+    seed: u64,
+    dim: usize,
+    nodes: Vec<Node>,
+    by_hash: HashMap<u128, u32>,
+    /// Entry point (node id) — `u32::MAX` while empty.
+    entry: u32,
+    max_level: usize,
+}
+
+impl Hnsw {
+    /// An empty index with the given knobs and the default seed.
+    pub fn new(params: HnswParams) -> Self {
+        Self::with_seed(params, DEFAULT_SEED)
+    }
+
+    /// An empty index with an explicit layer-assignment seed.
+    pub fn with_seed(params: HnswParams, seed: u64) -> Self {
+        let params = HnswParams {
+            m: params.m.clamp(2, 64),
+            ef_construction: params.ef_construction.max(1),
+            ef_search: params.ef_search.max(1),
+        };
+        Hnsw {
+            params,
+            seed,
+            dim: 0,
+            nodes: Vec::new(),
+            by_hash: HashMap::new(),
+            entry: u32::MAX,
+            max_level: 0,
+        }
+    }
+
+    /// Construction/search knobs.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// Layer-assignment seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Embedding dimension (0 until the first insert).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Highest layer currently in use.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Whether `hash` is indexed.
+    pub fn contains(&self, hash: ContentHash) -> bool {
+        self.by_hash.contains_key(&hash.0)
+    }
+
+    /// Inserts an embedding under its content hash. Re-inserting a known
+    /// hash is an idempotent no-op returning `Ok(false)`.
+    ///
+    /// # Errors
+    /// [`SgclError::InvalidData`] for empty/non-finite vectors,
+    /// [`SgclError::Mismatch`] for a dimension that disagrees with the
+    /// index.
+    pub fn insert(&mut self, hash: ContentHash, vec: &[f32]) -> Result<bool, SgclError> {
+        if vec.is_empty() {
+            return Err(SgclError::invalid_data(
+                format!("hnsw insert {hash}"),
+                "empty embedding vector",
+            ));
+        }
+        if vec.iter().any(|x| !x.is_finite()) {
+            return Err(SgclError::invalid_data(
+                format!("hnsw insert {hash}"),
+                "non-finite embedding component",
+            ));
+        }
+        if self.dim != 0 && vec.len() != self.dim {
+            return Err(SgclError::mismatch(
+                format!("hnsw insert {hash}"),
+                format!("embedding dim {} != index dim {}", vec.len(), self.dim),
+            ));
+        }
+        if self.by_hash.contains_key(&hash.0) {
+            return Ok(false);
+        }
+        self.dim = vec.len();
+        let level = level_for(hash.0, self.seed, self.params.m);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            hash: hash.0,
+            vec: normalize(vec),
+            links: vec![Vec::new(); level + 1],
+        });
+        self.by_hash.insert(hash.0, id);
+
+        if id == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return Ok(true);
+        }
+
+        let query = self.nodes[id as usize].vec.clone();
+        let mut ep = self.entry;
+        // greedy descent through layers above the new node's level
+        for layer in ((level + 1)..=self.max_level).rev() {
+            ep = self.greedy_closest(&query, ep, layer);
+        }
+        // connect on every layer the node participates in, carrying the
+        // whole candidate set down as the next layer's entry beam (the
+        // paper's `ep <- W`), which is what keeps construction quality
+        // high enough for the recall contract
+        let mut beam = vec![ep];
+        for layer in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(&query, &beam, layer, self.params.ef_construction);
+            let cap = self.link_cap(layer);
+            let neighbors = self.select_diverse(&found, cap);
+            for &(_, n) in &neighbors {
+                self.nodes[id as usize].links[layer].push(n);
+                self.nodes[n as usize].links[layer].push(id);
+                self.prune(n, layer);
+            }
+            beam = found.into_iter().map(|(_, n)| n).collect();
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+        Ok(true)
+    }
+
+    /// Approximate top-`k` by cosine similarity using the default
+    /// `ef_search`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        self.search_ef(query, k, self.params.ef_search)
+    }
+
+    /// Approximate top-`k` with an explicit `ef` override.
+    pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<SearchHit> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let q = normalize(query);
+        let mut ep = self.entry;
+        for layer in (1..=self.max_level).rev() {
+            ep = self.greedy_closest(&q, ep, layer);
+        }
+        let found = self.search_layer(&q, &[ep], 0, ef.max(k));
+        found
+            .into_iter()
+            .take(k)
+            .map(|(d, n)| SearchHit {
+                hash: ContentHash(self.nodes[n as usize].hash),
+                score: 1.0 - d.0,
+            })
+            .collect()
+    }
+
+    /// Exact top-`k` by brute-force scan — the recall oracle. Identical
+    /// normalisation, distance, and tie-break rules as [`Hnsw::search`].
+    pub fn exact_search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        let q = normalize(query);
+        let mut all: Vec<(Dist, u32)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Dist(1.0 - dot(&q, &n.vec)), i as u32))
+            .collect();
+        all.sort_unstable_by_key(|&(d, n)| (d, n));
+        all.into_iter()
+            .take(k)
+            .map(|(d, n)| SearchHit {
+                hash: ContentHash(self.nodes[n as usize].hash),
+                score: 1.0 - d.0,
+            })
+            .collect()
+    }
+
+    fn link_cap(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    fn distance(&self, q: &[f32], node: u32) -> Dist {
+        Dist(1.0 - dot(q, &self.nodes[node as usize].vec))
+    }
+
+    /// Hill-climbs to the locally closest node on one layer (ef = 1).
+    fn greedy_closest(&self, q: &[f32], mut ep: u32, layer: usize) -> u32 {
+        let mut best = self.distance(q, ep);
+        loop {
+            let mut improved = false;
+            for &n in &self.nodes[ep as usize].links[layer] {
+                let d = self.distance(q, n);
+                if (d, n) < (best, ep) {
+                    best = d;
+                    ep = n;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam search on one layer from one or more entry points; returns up
+    /// to `ef` nodes sorted ascending by `(distance, id)`.
+    fn search_layer(&self, q: &[f32], eps: &[u32], layer: usize, ef: usize) -> Vec<(Dist, u32)> {
+        let mut visited = vec![false; self.nodes.len()];
+        // candidates: min-heap by (dist, id); results: max-heap by (dist, id)
+        let mut candidates = BinaryHeap::new();
+        let mut results = BinaryHeap::new();
+        for &ep in eps {
+            if std::mem::replace(&mut visited[ep as usize], true) {
+                continue;
+            }
+            let d0 = self.distance(q, ep);
+            candidates.push(Reverse((d0, ep)));
+            results.push((d0, ep));
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse((d, node))) = candidates.pop() {
+            let worst = results.peek().expect("results never empty").0;
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            for &n in &self.nodes[node as usize].links[layer] {
+                if std::mem::replace(&mut visited[n as usize], true) {
+                    continue;
+                }
+                let dn = self.distance(q, n);
+                if results.len() < ef || (dn, n) < *results.peek().expect("non-empty") {
+                    candidates.push(Reverse((dn, n)));
+                    results.push((dn, n));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable_by_key(|&(d, n)| (d, n));
+        out
+    }
+
+    /// Heuristic neighbor selection (Malkov & Yashunin, alg. 4): walk the
+    /// candidates in `(distance, id)` order and keep one only if it is
+    /// closer to the base point than to every neighbor already kept —
+    /// preserving diverse directions (and thus inter-cluster bridges)
+    /// instead of piling links into the nearest cluster. Discarded
+    /// candidates backfill any remaining capacity so nodes stay
+    /// well-connected.
+    fn select_diverse(&self, candidates: &[(Dist, u32)], cap: usize) -> Vec<(Dist, u32)> {
+        let mut selected: Vec<(Dist, u32)> = Vec::new();
+        let mut discarded: Vec<(Dist, u32)> = Vec::new();
+        for &(d, c) in candidates {
+            if selected.len() >= cap {
+                break;
+            }
+            let cv = &self.nodes[c as usize].vec;
+            let diverse = selected
+                .iter()
+                .all(|&(_, s)| d < Dist(1.0 - dot(cv, &self.nodes[s as usize].vec)));
+            if diverse {
+                selected.push((d, c));
+            } else {
+                discarded.push((d, c));
+            }
+        }
+        for &(d, c) in &discarded {
+            if selected.len() >= cap {
+                break;
+            }
+            selected.push((d, c));
+        }
+        selected
+    }
+
+    /// Shrinks an over-full adjacency list back to the layer cap using the
+    /// same diversity heuristic (ties by id).
+    fn prune(&mut self, node: u32, layer: usize) {
+        let cap = self.link_cap(layer);
+        if self.nodes[node as usize].links[layer].len() <= cap {
+            return;
+        }
+        let base = self.nodes[node as usize].vec.clone();
+        let mut scored: Vec<(Dist, u32)> = self.nodes[node as usize].links[layer]
+            .iter()
+            .map(|&n| (self.distance(&base, n), n))
+            .collect();
+        scored.sort_unstable_by_key(|&(d, n)| (d, n));
+        let kept = self.select_diverse(&scored, cap);
+        self.nodes[node as usize].links[layer] = kept.into_iter().map(|(_, n)| n).collect();
+    }
+
+    /// Serialises the index (labelled with the owning model's name) to
+    /// `path` via an atomic write.
+    ///
+    /// # Errors
+    /// [`SgclError::Io`] when the file cannot be written.
+    pub fn save_snapshot(&self, path: &Path, label: &str) -> Result<(), SgclError> {
+        let mut w = ByteWriter::new();
+        w.put_raw(SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        w.put_str(label);
+        w.put_u64(self.seed);
+        w.put_u32(self.params.m as u32);
+        w.put_u32(self.params.ef_construction as u32);
+        w.put_u32(self.params.ef_search as u32);
+        w.put_u32(self.dim as u32);
+        w.put_u64(self.nodes.len() as u64);
+        w.put_u32(self.entry);
+        w.put_u32(self.max_level as u32);
+        for node in &self.nodes {
+            w.put_u128(node.hash);
+            for &x in &node.vec {
+                w.put_f32(x);
+            }
+            w.put_u32(node.links.len() as u32);
+            for layer in &node.links {
+                w.put_u32(layer.len() as u32);
+                for &n in layer {
+                    w.put_u32(n);
+                }
+            }
+        }
+        write_atomic(path, &w.finish_with_checksum())
+            .map_err(|e| e.with_context(format!("hnsw snapshot {}", path.display())))
+    }
+
+    /// Loads a snapshot, validating structure against crafted input:
+    /// checksum, magic, version range, label match, link/entry bounds, and
+    /// float finiteness all yield typed errors, never panics.
+    ///
+    /// # Errors
+    /// [`SgclError::Io`] / [`SgclError::Parse`] /
+    /// [`SgclError::UnsupportedVersion`] / [`SgclError::InvalidData`] /
+    /// [`SgclError::Mismatch`] per the failure class.
+    pub fn load_snapshot(path: &Path, expected_label: &str) -> Result<Self, SgclError> {
+        let ctx = path.display().to_string();
+        let bytes = std::fs::read(path).map_err(|e| SgclError::io(format!("read {ctx}"), e))?;
+        let body = verify_checksum(&bytes, &ctx)?;
+        let mut r = ByteReader::new(body, &ctx);
+        let magic = r.take(SNAPSHOT_MAGIC.len(), "magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SgclError::parse(&ctx, "not an hnsw snapshot (bad magic)"));
+        }
+        let version = r.get_u32("version")?;
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
+            return Err(SgclError::UnsupportedVersion {
+                what: "hnsw snapshot",
+                found: version,
+                min: MIN_SNAPSHOT_VERSION,
+                max: SNAPSHOT_VERSION,
+            });
+        }
+        let label = r.get_str("label", MAX_LABEL)?;
+        if label != expected_label {
+            return Err(SgclError::mismatch(
+                &ctx,
+                format!("snapshot is for model {label:?}, expected {expected_label:?}"),
+            ));
+        }
+        let seed = r.get_u64("seed")?;
+        let params = HnswParams {
+            m: r.get_u32("m")? as usize,
+            ef_construction: r.get_u32("ef_construction")? as usize,
+            ef_search: r.get_u32("ef_search")? as usize,
+        };
+        if params.m < 2 || params.m > 64 || params.ef_construction == 0 || params.ef_search == 0 {
+            return Err(SgclError::invalid_data(
+                &ctx,
+                format!("implausible hnsw params {params:?}"),
+            ));
+        }
+        let dim = r.get_u32("dim")? as usize;
+        let count = r.get_u64("node count")? as usize;
+        if count > 0 && (dim == 0 || dim * 4 > r.remaining()) {
+            return Err(SgclError::invalid_data(
+                &ctx,
+                format!("implausible embedding dim {dim}"),
+            ));
+        }
+        let entry = r.get_u32("entry point")?;
+        let max_level = r.get_u32("max level")? as usize;
+        if count == 0 {
+            if entry != u32::MAX || max_level != 0 {
+                return Err(SgclError::invalid_data(
+                    &ctx,
+                    "empty index with a non-empty entry point",
+                ));
+            }
+        } else if entry as usize >= count || max_level > MAX_LEVEL {
+            return Err(SgclError::invalid_data(
+                &ctx,
+                format!("entry point {entry} / max level {max_level} out of bounds"),
+            ));
+        }
+        let mut out = Hnsw::with_seed(params, seed);
+        out.dim = if count == 0 { 0 } else { dim };
+        out.entry = entry;
+        out.max_level = max_level;
+        for i in 0..count {
+            let hash = r.get_u128("node hash")?;
+            let mut vec = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                let x = r.get_f32("node component")?;
+                if !x.is_finite() {
+                    return Err(SgclError::invalid_data(
+                        &ctx,
+                        format!("node {i}: non-finite embedding component"),
+                    ));
+                }
+                vec.push(x);
+            }
+            let levels = r.get_u32("node levels")? as usize;
+            if levels == 0 || levels > MAX_LEVEL + 1 {
+                return Err(SgclError::invalid_data(
+                    &ctx,
+                    format!("node {i}: implausible level count {levels}"),
+                ));
+            }
+            let mut links = Vec::with_capacity(levels);
+            for layer in 0..levels {
+                let n_links = r.get_u32("link count")? as usize;
+                if n_links > count {
+                    return Err(SgclError::invalid_data(
+                        &ctx,
+                        format!("node {i} layer {layer}: link count {n_links} exceeds node count"),
+                    ));
+                }
+                let mut layer_links = Vec::with_capacity(n_links);
+                for _ in 0..n_links {
+                    let n = r.get_u32("link target")?;
+                    if n as usize >= count || n as usize == i {
+                        return Err(SgclError::invalid_data(
+                            &ctx,
+                            format!("node {i} layer {layer}: link target {n} out of bounds"),
+                        ));
+                    }
+                    layer_links.push(n);
+                }
+                links.push(layer_links);
+            }
+            if out.by_hash.insert(hash, i as u32).is_some() {
+                return Err(SgclError::invalid_data(
+                    &ctx,
+                    format!("node {i}: duplicate hash {hash:032x}"),
+                ));
+            }
+            out.nodes.push(Node { hash, vec, links });
+        }
+        r.expect_end()?;
+        Ok(out)
+    }
+}
+
+/// L2-normalises into a fresh vector; all-zero input is returned as-is.
+fn normalize(v: &[f32]) -> Vec<f32> {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm == 0.0 || !norm.is_finite() {
+        return v.to_vec();
+    }
+    v.iter().map(|x| x / norm).collect()
+}
+
+/// Scalar fixed-order dot product (deliberately not the threaded tensor
+/// kernels: the summation order here is part of the determinism contract).
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// xorshift64* step (the serve tier's jitter generator).
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Geometric layer draw at p = 1/M from a stream seeded by the content
+/// hash: integer-only, so the level is a pure function of (hash, seed, M).
+fn level_for(hash: u128, seed: u64, m: usize) -> usize {
+    let mut state = (hash as u64) ^ ((hash >> 64) as u64) ^ seed;
+    if state == 0 {
+        state = 0x9e37_79b9_7f4a_7c15;
+    }
+    let m = m.max(2) as u64;
+    let mut level = 0;
+    while level < MAX_LEVEL && xorshift64star(&mut state) % m == 0 {
+        level += 1;
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-embeddings (xorshift-driven, no rand).
+    pub(crate) fn synthetic_vectors(
+        n: usize,
+        dim: usize,
+        seed: u64,
+    ) -> Vec<(ContentHash, Vec<f32>)> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                let v: Vec<f32> = (0..dim)
+                    .map(|_| {
+                        let bits = xorshift64star(&mut state);
+                        // map to [-1, 1) deterministically
+                        ((bits >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+                    })
+                    .collect();
+                (
+                    ContentHash(((i as u128) << 64) | u128::from(xorshift64star(&mut state))),
+                    v,
+                )
+            })
+            .collect()
+    }
+
+    fn build(data: &[(ContentHash, Vec<f32>)], params: HnswParams) -> Hnsw {
+        let mut h = Hnsw::new(params);
+        for (hash, v) in data {
+            assert!(h.insert(*hash, v).unwrap());
+        }
+        h
+    }
+
+    #[test]
+    fn level_assignment_is_pure_and_geometric() {
+        let mut counts = [0usize; 8];
+        for i in 0..4096u128 {
+            let hash = i.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835);
+            let l = level_for(hash, DEFAULT_SEED, 16);
+            assert_eq!(l, level_for(hash, DEFAULT_SEED, 16), "pure function");
+            counts[l.min(7)] += 1;
+        }
+        // p = 1/16 per extra level: ~256 of 4096 at level >= 1
+        let above = 4096 - counts[0];
+        assert!((100..600).contains(&above), "level>=1 count {above}");
+        // a different seed reshuffles levels
+        let same = (0..512u128)
+            .filter(|&i| level_for(i, 1, 16) == level_for(i, 2, 16))
+            .count();
+        assert!(same < 512);
+    }
+
+    #[test]
+    fn search_matches_oracle_on_small_sets_exactly() {
+        // with n <= ef_search the beam covers the connected graph, so the
+        // approximate search must equal the oracle bit-for-bit
+        let data = synthetic_vectors(48, 12, 7);
+        let h = build(&data, HnswParams::default());
+        let queries = synthetic_vectors(8, 12, 99);
+        for (_, q) in &queries {
+            let approx = h.search(q, 5);
+            let exact = h.exact_search(q, 5);
+            assert_eq!(approx.len(), 5);
+            for (a, e) in approx.iter().zip(&exact) {
+                assert_eq!(a.hash, e.hash);
+                assert_eq!(a.score.to_bits(), e.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let data = synthetic_vectors(20, 8, 3);
+        let mut h = build(&data, HnswParams::default());
+        let before = h.search(&data[5].1, 10);
+        assert!(!h.insert(data[5].0, &data[5].1).unwrap());
+        assert_eq!(h.len(), 20);
+        let after = h.search(&data[5].1, 10);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rejects_invalid_vectors() {
+        let mut h = Hnsw::new(HnswParams::default());
+        assert!(matches!(
+            h.insert(ContentHash(1), &[]),
+            Err(SgclError::InvalidData { .. })
+        ));
+        assert!(matches!(
+            h.insert(ContentHash(1), &[f32::INFINITY]),
+            Err(SgclError::InvalidData { .. })
+        ));
+        h.insert(ContentHash(1), &[1.0, 0.0]).unwrap();
+        assert!(matches!(
+            h.insert(ContentHash(2), &[1.0]),
+            Err(SgclError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn self_query_returns_itself_first() {
+        let data = synthetic_vectors(64, 10, 11);
+        let h = build(&data, HnswParams::default());
+        for (hash, v) in data.iter().step_by(7) {
+            let hits = h.search(v, 1);
+            assert_eq!(hits[0].hash, *hash);
+            assert!((hits[0].score - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("sgcl_hnsw_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.snap");
+        let data = synthetic_vectors(40, 6, 5);
+        let h = build(
+            &data,
+            HnswParams {
+                m: 8,
+                ef_construction: 48,
+                ef_search: 24,
+            },
+        );
+        h.save_snapshot(&path, "default").unwrap();
+        let loaded = Hnsw::load_snapshot(&path, "default").unwrap();
+        assert_eq!(loaded.len(), h.len());
+        assert_eq!(loaded.params(), h.params());
+        assert_eq!(loaded.seed(), h.seed());
+        for (_, q) in synthetic_vectors(6, 6, 77) {
+            let a = h.search(&q, 10);
+            let b = loaded.search(&q, 10);
+            assert_eq!(a, b, "snapshot must reproduce searches bit-for-bit");
+        }
+        // wrong label is a typed mismatch
+        assert!(matches!(
+            Hnsw::load_snapshot(&path, "other"),
+            Err(SgclError::Mismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crafted_snapshots_yield_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("sgcl_hnsw_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.snap");
+        let data = synthetic_vectors(12, 4, 9);
+        let h = build(
+            &data,
+            HnswParams {
+                m: 4,
+                ef_construction: 16,
+                ef_search: 8,
+            },
+        );
+        h.save_snapshot(&path, "default").unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        std::fs::write(&path, &good[..good.len() - 21]).unwrap();
+        assert!(matches!(
+            Hnsw::load_snapshot(&path, "default"),
+            Err(SgclError::InvalidData { .. })
+        ));
+
+        let mut garbled = good.clone();
+        let mid = garbled.len() / 2;
+        garbled[mid] ^= 0xaa;
+        std::fs::write(&path, &garbled).unwrap();
+        assert!(matches!(
+            Hnsw::load_snapshot(&path, "default"),
+            Err(SgclError::InvalidData { .. })
+        ));
+
+        // empty file: shorter than the checksum trailer
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            Hnsw::load_snapshot(&path, "default"),
+            Err(SgclError::InvalidData { .. })
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_index_snapshot_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("sgcl_hnsw_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.snap");
+        let h = Hnsw::new(HnswParams::default());
+        h.save_snapshot(&path, "default").unwrap();
+        let loaded = Hnsw::load_snapshot(&path, "default").unwrap();
+        assert!(loaded.is_empty());
+        assert!(loaded.search(&[1.0, 2.0], 3).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

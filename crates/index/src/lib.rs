@@ -1,0 +1,465 @@
+//! # sgcl-index
+//!
+//! Similarity search over SGCL encoder outputs: a persistent embedding
+//! store ([`store::EmbeddingStore`]) plus a deterministic, dependency-free
+//! HNSW index ([`hnsw::Hnsw`]) over cosine distance, with an exact
+//! brute-force scan kept as the recall oracle.
+//!
+//! [`IndexSet`] is the integration surface used by `sgcl-serve` and the
+//! `sgcl index` CLI: it binds one store directory to one HNSW graph per
+//! model, persists HNSW snapshots atomically next to the segments, and
+//! recovers from stale or missing snapshots by (re)playing the store's
+//! insertion order — which, by the HNSW determinism contract, reproduces
+//! the exact index that a never-crashed process would hold.
+
+#![warn(missing_docs)]
+
+pub mod hnsw;
+pub mod store;
+mod wire;
+
+pub use hnsw::{Hnsw, HnswParams, SearchHit, DEFAULT_SEED};
+pub use store::EmbeddingStore;
+
+use sgcl_common::SgclError;
+use sgcl_graph::ContentHash;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// A store directory paired with one HNSW graph per model.
+///
+/// All mutation goes through [`IndexSet::insert`] so the store and the
+/// graphs never disagree; [`IndexSet::flush`] seals pending records into a
+/// segment and refreshes the snapshots of every model touched since the
+/// last flush.
+pub struct IndexSet {
+    store: EmbeddingStore,
+    params: HnswParams,
+    seed: u64,
+    graphs: HashMap<String, Hnsw>,
+    dirty: HashSet<String>,
+    snapshot_bytes: HashMap<String, u64>,
+}
+
+impl IndexSet {
+    /// Opens a persistent index set under `dir` (or an ephemeral one when
+    /// `None`), loading segments and per-model snapshots.
+    ///
+    /// Snapshot recovery rules: a missing snapshot, one whose params/seed
+    /// differ from the configured ones, or one referencing hashes absent
+    /// from the store triggers a deterministic rebuild from the store's
+    /// insertion order. A *corrupt* snapshot is a typed error — silent
+    /// rebuilds would mask operator-visible data damage.
+    ///
+    /// # Errors
+    /// Store/snapshot loader errors propagate with their failure class
+    /// (and thus exit code) intact.
+    pub fn open(dir: Option<&Path>, params: HnswParams, seed: u64) -> Result<Self, SgclError> {
+        let store = match dir {
+            Some(d) => EmbeddingStore::open(d)?,
+            None => EmbeddingStore::in_memory(),
+        };
+        let mut set = IndexSet {
+            store,
+            params,
+            seed,
+            graphs: HashMap::new(),
+            dirty: HashSet::new(),
+            snapshot_bytes: HashMap::new(),
+        };
+        let models: Vec<String> = set.store.models().map(str::to_string).collect();
+        for model in models {
+            set.load_or_rebuild(&model)?;
+        }
+        Ok(set)
+    }
+
+    /// HNSW knobs shared by every model's graph.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// Layer-assignment seed shared by every model's graph.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// One model's HNSW graph, if any vector was indexed for it.
+    pub fn hnsw(&self, model: &str) -> Option<&Hnsw> {
+        self.graphs.get(model)
+    }
+
+    /// Total vectors across all models.
+    pub fn vectors(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Bytes on disk: sealed segments plus saved snapshots.
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.disk_bytes() + self.snapshot_bytes.values().sum::<u64>()
+    }
+
+    /// Whether `(model, hash)` is indexed.
+    pub fn contains(&self, model: &str, hash: ContentHash) -> bool {
+        self.store.contains(model, hash)
+    }
+
+    /// Stored embedding for `(model, hash)`, if present.
+    pub fn get(&self, model: &str, hash: ContentHash) -> Option<&[f32]> {
+        self.store.get(model, hash)
+    }
+
+    /// Inserts an embedding into the store and the model's HNSW graph.
+    /// Idempotent for bit-identical duplicates (returns `Ok(false)`).
+    ///
+    /// # Errors
+    /// Store validation errors ([`SgclError::InvalidData`] /
+    /// [`SgclError::Mismatch`]); the HNSW insert cannot fail after the
+    /// store accepted the vector.
+    pub fn insert(
+        &mut self,
+        model: &str,
+        hash: ContentHash,
+        vec: Vec<f32>,
+    ) -> Result<bool, SgclError> {
+        let added = self.store.insert(model, hash, vec)?;
+        if !added {
+            return Ok(false);
+        }
+        let vec = self.store.get(model, hash).expect("just inserted").to_vec();
+        let graph = self
+            .graphs
+            .entry(model.to_string())
+            .or_insert_with(|| Hnsw::with_seed(self.params, self.seed));
+        graph.insert(hash, &vec)?;
+        self.dirty.insert(model.to_string());
+        Ok(true)
+    }
+
+    /// Approximate top-`k` for one model using the default `ef_search`;
+    /// empty when the model has no indexed vectors.
+    pub fn search(&self, model: &str, query: &[f32], k: usize) -> Vec<SearchHit> {
+        match self.graphs.get(model) {
+            Some(g) => g.search(query, k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Approximate top-`k` with an explicit `ef` override.
+    pub fn search_ef(&self, model: &str, query: &[f32], k: usize, ef: usize) -> Vec<SearchHit> {
+        match self.graphs.get(model) {
+            Some(g) => g.search_ef(query, k, ef),
+            None => Vec::new(),
+        }
+    }
+
+    /// Exact top-`k` by brute force — the recall oracle.
+    pub fn exact_search(&self, model: &str, query: &[f32], k: usize) -> Vec<SearchHit> {
+        match self.graphs.get(model) {
+            Some(g) => g.exact_search(query, k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Seals pending store records into a segment and refreshes the
+    /// snapshot of every model touched since the last flush. No-op for
+    /// ephemeral sets.
+    ///
+    /// The store segment is written *before* any snapshot, so a crash
+    /// between the two leaves a stale snapshot over a complete store —
+    /// the recoverable direction.
+    ///
+    /// # Errors
+    /// [`SgclError::Io`] when a segment or snapshot cannot be written.
+    pub fn flush(&mut self) -> Result<(), SgclError> {
+        let Some(dir) = self.store.dir().map(Path::to_path_buf) else {
+            self.dirty.clear();
+            return Ok(());
+        };
+        self.store.flush()?;
+        let dirty: Vec<String> = self.dirty.drain().collect();
+        for model in dirty {
+            if let Some(graph) = self.graphs.get(&model) {
+                let path = snapshot_path(&dir, &model);
+                graph.save_snapshot(&path, &model)?;
+                let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                self.snapshot_bytes.insert(model, size);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the model's snapshot if it is present and consistent with the
+    /// store, otherwise rebuilds the graph from the store's insertion
+    /// order (bit-identical to the index a continuous process would hold).
+    fn load_or_rebuild(&mut self, model: &str) -> Result<(), SgclError> {
+        if let Some(dir) = self.store.dir().map(Path::to_path_buf) {
+            let path = snapshot_path(&dir, model);
+            if path.exists() {
+                let graph = Hnsw::load_snapshot(&path, model)?;
+                if graph.params() == self.params
+                    && graph.seed() == self.seed
+                    && self.snapshot_covered_by_store(model, &graph)
+                {
+                    let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    self.snapshot_bytes.insert(model.to_string(), size);
+                    let mut graph = graph;
+                    // catch up on records flushed after the snapshot was
+                    // taken (insert is idempotent for the covered prefix)
+                    let tail: Vec<(ContentHash, Vec<f32>)> = self
+                        .store
+                        .iter_model(model)
+                        .filter(|(h, _)| !graph.contains(*h))
+                        .map(|(h, v)| (h, v.to_vec()))
+                        .collect();
+                    for (h, v) in tail {
+                        graph.insert(h, &v)?;
+                    }
+                    self.graphs.insert(model.to_string(), graph);
+                    return Ok(());
+                }
+                // params/seed drift or orphaned nodes: rebuild silently
+            }
+        }
+        let mut graph = Hnsw::with_seed(self.params, self.seed);
+        let records: Vec<(ContentHash, Vec<f32>)> = self
+            .store
+            .iter_model(model)
+            .map(|(h, v)| (h, v.to_vec()))
+            .collect();
+        for (h, v) in records {
+            graph.insert(h, &v)?;
+        }
+        self.dirty.insert(model.to_string());
+        self.graphs.insert(model.to_string(), graph);
+        Ok(())
+    }
+
+    /// A snapshot is only trusted when every node it holds is also in the
+    /// store (the store is the source of truth; a snapshot that ran ahead
+    /// of a lost tail must be discarded).
+    fn snapshot_covered_by_store(&self, model: &str, graph: &Hnsw) -> bool {
+        if graph.len() > self.store.model_len(model) {
+            return false;
+        }
+        let stored: HashSet<u128> = self.store.iter_model(model).map(|(h, _)| h.0).collect();
+        graph_hashes(graph).iter().all(|h| stored.contains(h))
+    }
+}
+
+/// All hashes held by a graph (test/recovery helper).
+fn graph_hashes(graph: &Hnsw) -> Vec<u128> {
+    // Hnsw has no public iterator; exact_search over a zero query returns
+    // every node when k >= len
+    graph
+        .exact_search(&vec![0.0; graph.dim().max(1)], graph.len())
+        .into_iter()
+        .map(|hit| hit.hash.0)
+        .collect()
+}
+
+/// Snapshot file for `model` under `dir`: a sanitised name plus a stable
+/// 64-bit digest suffix, so arbitrary registry names map to distinct,
+/// filesystem-safe paths.
+pub fn snapshot_path(dir: &Path, model: &str) -> PathBuf {
+    let sanitized: String = model
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let digest = wire::fnv64(model.as_bytes());
+    dir.join(format!("hnsw-{sanitized}-{digest:016x}.snap"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sgcl_indexset_{test}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn data(n: usize, dim: usize, seed: u64) -> Vec<(ContentHash, Vec<f32>)> {
+        // simple deterministic spread, distinct from the hnsw test vectors
+        (0..n)
+            .map(|i| {
+                let mut x = (seed ^ (i as u64 + 1)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let v: Vec<f32> = (0..dim)
+                    .map(|_| {
+                        x ^= x >> 13;
+                        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                        ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+                    })
+                    .collect();
+                (ContentHash(((seed as u128) << 64) | i as u128), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reopen_with_snapshot_matches_continuous_build() {
+        let dir = scratch("reopen");
+        let params = HnswParams {
+            m: 8,
+            ef_construction: 64,
+            ef_search: 32,
+        };
+        let all = data(30, 7, 1);
+        let queries = data(5, 7, 2);
+
+        // continuous reference
+        let mut reference = IndexSet::open(None, params, DEFAULT_SEED).unwrap();
+        for (h, v) in &all {
+            reference.insert("default", *h, v.clone()).unwrap();
+        }
+
+        // persistent build in two sessions, snapshot taken mid-way
+        {
+            let mut s = IndexSet::open(Some(&dir), params, DEFAULT_SEED).unwrap();
+            for (h, v) in &all[..18] {
+                s.insert("default", *h, v.clone()).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        {
+            let mut s = IndexSet::open(Some(&dir), params, DEFAULT_SEED).unwrap();
+            assert_eq!(s.vectors(), 18);
+            for (h, v) in &all[18..] {
+                s.insert("default", *h, v.clone()).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        let s = IndexSet::open(Some(&dir), params, DEFAULT_SEED).unwrap();
+        assert_eq!(s.vectors(), 30);
+        assert!(s.disk_bytes() > 0);
+        for (_, q) in &queries {
+            assert_eq!(
+                s.search("default", q, 10),
+                reference.search("default", q, 10),
+                "recovered index must be bit-identical to the continuous one"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_snapshot_catches_up_from_store() {
+        let dir = scratch("stale");
+        let params = HnswParams {
+            m: 8,
+            ef_construction: 64,
+            ef_search: 32,
+        };
+        let all = data(20, 5, 3);
+        {
+            let mut s = IndexSet::open(Some(&dir), params, DEFAULT_SEED).unwrap();
+            for (h, v) in &all[..10] {
+                s.insert("m", *h, v.clone()).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        let snap = snapshot_path(&dir, "m");
+        let frozen = std::fs::read(&snap).unwrap();
+        {
+            let mut s = IndexSet::open(Some(&dir), params, DEFAULT_SEED).unwrap();
+            for (h, v) in &all[10..] {
+                s.insert("m", *h, v.clone()).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        // regress the snapshot to the 10-record state: store (20) is ahead
+        std::fs::write(&snap, &frozen).unwrap();
+        let s = IndexSet::open(Some(&dir), params, DEFAULT_SEED).unwrap();
+        assert_eq!(
+            s.hnsw("m").unwrap().len(),
+            20,
+            "stale snapshot must catch up"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error_and_param_drift_rebuilds() {
+        let dir = scratch("corrupt");
+        let params = HnswParams {
+            m: 8,
+            ef_construction: 64,
+            ef_search: 32,
+        };
+        let all = data(12, 4, 5);
+        {
+            let mut s = IndexSet::open(Some(&dir), params, DEFAULT_SEED).unwrap();
+            for (h, v) in &all {
+                s.insert("m", *h, v.clone()).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        let snap = snapshot_path(&dir, "m");
+        let good = std::fs::read(&snap).unwrap();
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x0f;
+        std::fs::write(&snap, &bad).unwrap();
+        match IndexSet::open(Some(&dir), params, DEFAULT_SEED) {
+            Err(e @ SgclError::InvalidData { .. }) => assert_eq!(e.exit_code(), 5),
+            other => panic!("expected InvalidData, got {:?}", other.map(|_| ())),
+        }
+
+        // restore, then open with different knobs: silent deterministic rebuild
+        std::fs::write(&snap, &good).unwrap();
+        let retuned = HnswParams {
+            m: 4,
+            ef_construction: 32,
+            ef_search: 16,
+        };
+        let s = IndexSet::open(Some(&dir), retuned, DEFAULT_SEED).unwrap();
+        assert_eq!(s.hnsw("m").unwrap().params(), retuned);
+        assert_eq!(s.vectors(), 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_models_are_disjoint() {
+        let mut s = IndexSet::open(None, HnswParams::default(), DEFAULT_SEED).unwrap();
+        let a = data(8, 3, 7);
+        let b = data(8, 6, 8);
+        for (h, v) in &a {
+            s.insert("alpha", *h, v.clone()).unwrap();
+        }
+        for (h, v) in &b {
+            s.insert("beta", *h, v.clone()).unwrap();
+        }
+        assert_eq!(s.store().model_len("alpha"), 8);
+        assert_eq!(s.store().model_len("beta"), 8);
+        let hits = s.search("alpha", &a[0].1, 4);
+        assert!(!hits.is_empty());
+        assert!(s.search("gamma", &a[0].1, 4).is_empty());
+        // dims differ per model without conflict
+        assert_eq!(s.hnsw("alpha").unwrap().dim(), 3);
+        assert_eq!(s.hnsw("beta").unwrap().dim(), 6);
+    }
+
+    #[test]
+    fn snapshot_paths_are_safe_and_distinct() {
+        let dir = PathBuf::from("/x");
+        let a = snapshot_path(&dir, "weird/name with spaces");
+        let b = snapshot_path(&dir, "weird_name with spaces");
+        assert_ne!(a, b, "sanitisation collisions disambiguated by digest");
+        let name = a.file_name().unwrap().to_str().unwrap().to_string();
+        assert!(name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "._-".contains(c)));
+    }
+}

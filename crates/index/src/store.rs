@@ -1,0 +1,590 @@
+//! Persistent embedding store: append-only segments of
+//! `(model, content_hash, Vec<f32>)` records with an in-memory hash map.
+//!
+//! ## Durability model
+//!
+//! Embeddings are *derived* data — any record can be recomputed by running
+//! the encoder on the source graph — so the store optimises for crash
+//! safety of what is on disk, not for synchronous durability of every
+//! insert. Inserts land in an in-memory tail; [`EmbeddingStore::flush`]
+//! seals the tail into a new segment file written via
+//! [`sgcl_common::write_atomic`] (temp file + fsync + rename). Sealed
+//! segments are **never modified**: the append-only property is per
+//! directory, not per file, which is how an append-only log and atomic
+//! whole-file writes coexist. A crash loses at most the unflushed tail and
+//! can never leave a torn segment behind.
+//!
+//! ## Segment format (version 1)
+//!
+//! ```text
+//! magic    8  b"SGCLSEG\0"
+//! version  u32
+//! models   u32             segment-local model name table
+//!   name   u32 len + UTF-8   (one per model)
+//! count    u64             records in this segment
+//! record   repeated `count` times:
+//!   model  u32             index into the segment-local table
+//!   hash   u128            graph content hash
+//!   dim    u32
+//!   vec    dim × f32
+//! checksum u64             FNV-1a 64 over all preceding bytes
+//! ```
+//!
+//! Loading validates magic, version range, checksum, model-table bounds,
+//! per-model dimension consistency, duplicate keys, and float finiteness;
+//! every violation is a typed [`SgclError`] (never a panic), mirroring the
+//! checkpoint-v2 loader.
+
+use crate::wire::{verify_checksum, ByteReader, ByteWriter};
+use sgcl_common::{write_atomic, SgclError};
+use sgcl_graph::ContentHash;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"SGCLSEG\0";
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Oldest segment format version this build can read.
+pub const MIN_SEGMENT_VERSION: u32 = 1;
+/// Upper bound on a stored model-name length (sanity cap for crafted files).
+const MAX_MODEL_NAME: usize = 4096;
+
+/// One stored embedding.
+struct Record {
+    model: u32,
+    hash: u128,
+    vec: Vec<f32>,
+}
+
+/// Append-only persistent embedding store keyed by `(model, content_hash)`.
+///
+/// All reads go through the in-memory map; the directory is only touched by
+/// [`EmbeddingStore::open`] and [`EmbeddingStore::flush`].
+pub struct EmbeddingStore {
+    dir: Option<PathBuf>,
+    models: Vec<String>,
+    model_ids: HashMap<String, u32>,
+    /// Per-model embedding dimension and record count, parallel to `models`.
+    dims: Vec<usize>,
+    counts: Vec<usize>,
+    /// Insertion order across all segments plus the unflushed tail. This
+    /// order is what makes HNSW rebuilds bit-identical across restarts.
+    records: Vec<Record>,
+    by_key: HashMap<(u32, u128), u32>,
+    /// `records[..sealed]` are on disk; the rest are the pending tail.
+    sealed: usize,
+    next_segment: u64,
+    disk_bytes: u64,
+}
+
+impl EmbeddingStore {
+    /// Opens (creating if necessary) a store directory and loads every
+    /// segment in ascending numeric order.
+    ///
+    /// # Errors
+    /// [`SgclError::Io`] when the directory cannot be created or read, and
+    /// the segment loader's typed errors for malformed files.
+    pub fn open(dir: &Path) -> Result<Self, SgclError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| SgclError::io(format!("create index dir {}", dir.display()), e))?;
+        let mut store = EmbeddingStore::in_memory();
+        store.dir = Some(dir.to_path_buf());
+
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| SgclError::io(format!("read index dir {}", dir.display()), e))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| SgclError::io(format!("read index dir {}", dir.display()), e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = segment_id(name) else { continue };
+            segments.push((id, entry.path()));
+        }
+        segments.sort();
+        for (id, path) in segments {
+            store.load_segment(&path)?;
+            store.next_segment = store.next_segment.max(id + 1);
+        }
+        store.sealed = store.records.len();
+        Ok(store)
+    }
+
+    /// An ephemeral store with no backing directory; [`flush`] is a no-op.
+    ///
+    /// [`flush`]: EmbeddingStore::flush
+    pub fn in_memory() -> Self {
+        EmbeddingStore {
+            dir: None,
+            models: Vec::new(),
+            model_ids: HashMap::new(),
+            dims: Vec::new(),
+            counts: Vec::new(),
+            records: Vec::new(),
+            by_key: HashMap::new(),
+            sealed: 0,
+            next_segment: 0,
+            disk_bytes: 0,
+        }
+    }
+
+    /// Backing directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Whether the store has a backing directory.
+    pub fn is_persistent(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Total records across all models.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records stored for one model.
+    pub fn model_len(&self, model: &str) -> usize {
+        match self.model_ids.get(model) {
+            None => 0,
+            Some(&id) => self.counts[id as usize],
+        }
+    }
+
+    /// Records not yet sealed into a segment.
+    pub fn pending(&self) -> usize {
+        self.records.len() - self.sealed
+    }
+
+    /// Bytes occupied by sealed segments on disk (0 for in-memory stores).
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Model names seen by this store, in first-insert order.
+    pub fn models(&self) -> impl Iterator<Item = &str> {
+        self.models.iter().map(String::as_str)
+    }
+
+    /// Embedding dimension of `model`'s records, if any are stored.
+    pub fn model_dim(&self, model: &str) -> Option<usize> {
+        let id = *self.model_ids.get(model)?;
+        match self.dims[id as usize] {
+            0 => None,
+            d => Some(d),
+        }
+    }
+
+    /// Looks up one embedding.
+    pub fn get(&self, model: &str, hash: ContentHash) -> Option<&[f32]> {
+        let id = *self.model_ids.get(model)?;
+        let idx = *self.by_key.get(&(id, hash.0))?;
+        Some(&self.records[idx as usize].vec)
+    }
+
+    /// Whether `(model, hash)` is stored.
+    pub fn contains(&self, model: &str, hash: ContentHash) -> bool {
+        self.get(model, hash).is_some()
+    }
+
+    /// Iterates one model's `(hash, embedding)` pairs in insertion order —
+    /// the canonical order for deterministic HNSW rebuilds.
+    pub fn iter_model<'a>(
+        &'a self,
+        model: &str,
+    ) -> impl Iterator<Item = (ContentHash, &'a [f32])> + 'a {
+        let id = self.model_ids.get(model).copied();
+        self.records
+            .iter()
+            .filter(move |r| Some(r.model) == id)
+            .map(|r| (ContentHash(r.hash), r.vec.as_slice()))
+    }
+
+    /// Inserts an embedding. Returns `Ok(true)` when newly stored and
+    /// `Ok(false)` for a bit-identical duplicate (idempotent re-insert).
+    ///
+    /// # Errors
+    /// [`SgclError::InvalidData`] for empty or non-finite vectors,
+    /// [`SgclError::Mismatch`] when the dimension disagrees with the
+    /// model's existing records or a duplicate key carries different bits
+    /// (the signature of re-indexing under a stale checkpoint).
+    pub fn insert(
+        &mut self,
+        model: &str,
+        hash: ContentHash,
+        vec: Vec<f32>,
+    ) -> Result<bool, SgclError> {
+        if vec.is_empty() {
+            return Err(SgclError::invalid_data(
+                format!("index insert {hash}"),
+                "empty embedding vector",
+            ));
+        }
+        if vec.iter().any(|x| !x.is_finite()) {
+            return Err(SgclError::invalid_data(
+                format!("index insert {hash}"),
+                "non-finite embedding component",
+            ));
+        }
+        if let Some(dim) = self.model_dim(model) {
+            if dim != vec.len() {
+                return Err(SgclError::mismatch(
+                    format!("index insert {hash}"),
+                    format!(
+                        "embedding dim {} != model {model:?} store dim {dim}",
+                        vec.len()
+                    ),
+                ));
+            }
+        }
+        let model_id = self.intern_model(model);
+        if let Some(&idx) = self.by_key.get(&(model_id, hash.0)) {
+            let existing = &self.records[idx as usize].vec;
+            let identical = existing.len() == vec.len()
+                && existing
+                    .iter()
+                    .zip(&vec)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if identical {
+                return Ok(false);
+            }
+            return Err(SgclError::mismatch(
+                format!("index insert {hash}"),
+                format!("duplicate key for model {model:?} with different embedding bits"),
+            ));
+        }
+        let idx = self.records.len() as u32;
+        self.dims[model_id as usize] = vec.len();
+        self.counts[model_id as usize] += 1;
+        self.records.push(Record {
+            model: model_id,
+            hash: hash.0,
+            vec,
+        });
+        self.by_key.insert((model_id, hash.0), idx);
+        Ok(true)
+    }
+
+    /// Seals the pending tail into a new segment file (atomic write).
+    /// Returns whether a segment was written; a no-op for in-memory stores
+    /// or an empty tail.
+    ///
+    /// # Errors
+    /// [`SgclError::Io`] when the segment cannot be written.
+    pub fn flush(&mut self) -> Result<bool, SgclError> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(false);
+        };
+        if self.pending() == 0 {
+            return Ok(false);
+        }
+        let tail = &self.records[self.sealed..];
+
+        // segment-local model table: only names the tail references, in
+        // first-use order, so segments stay self-describing
+        let mut local: Vec<u32> = Vec::new();
+        let mut local_of = HashMap::new();
+        for r in tail {
+            local_of.entry(r.model).or_insert_with(|| {
+                local.push(r.model);
+                (local.len() - 1) as u32
+            });
+        }
+
+        let mut w = ByteWriter::new();
+        w.put_raw(SEGMENT_MAGIC);
+        w.put_u32(SEGMENT_VERSION);
+        w.put_u32(local.len() as u32);
+        for &gid in &local {
+            w.put_str(&self.models[gid as usize]);
+        }
+        w.put_u64(tail.len() as u64);
+        for r in tail {
+            w.put_u32(local_of[&r.model]);
+            w.put_u128(r.hash);
+            w.put_u32(r.vec.len() as u32);
+            for &x in &r.vec {
+                w.put_f32(x);
+            }
+        }
+        let bytes = w.finish_with_checksum();
+        let path = dir.join(segment_name(self.next_segment));
+        write_atomic(&path, &bytes)?;
+        self.disk_bytes += bytes.len() as u64;
+        self.next_segment += 1;
+        self.sealed = self.records.len();
+        Ok(true)
+    }
+
+    fn intern_model(&mut self, model: &str) -> u32 {
+        if let Some(&id) = self.model_ids.get(model) {
+            return id;
+        }
+        let id = self.models.len() as u32;
+        self.models.push(model.to_string());
+        self.model_ids.insert(model.to_string(), id);
+        self.dims.push(0);
+        self.counts.push(0);
+        id
+    }
+
+    fn load_segment(&mut self, path: &Path) -> Result<(), SgclError> {
+        let ctx = path.display().to_string();
+        let bytes = std::fs::read(path).map_err(|e| SgclError::io(format!("read {ctx}"), e))?;
+        let body = verify_checksum(&bytes, &ctx)?;
+        let mut r = ByteReader::new(body, &ctx);
+        let magic = r.take(SEGMENT_MAGIC.len(), "magic")?;
+        if magic != SEGMENT_MAGIC {
+            return Err(SgclError::parse(&ctx, "not an index segment (bad magic)"));
+        }
+        let version = r.get_u32("version")?;
+        if !(MIN_SEGMENT_VERSION..=SEGMENT_VERSION).contains(&version) {
+            return Err(SgclError::UnsupportedVersion {
+                what: "index segment",
+                found: version,
+                min: MIN_SEGMENT_VERSION,
+                max: SEGMENT_VERSION,
+            });
+        }
+        let n_models = r.get_u32("model table size")? as usize;
+        let mut local_to_global = Vec::with_capacity(n_models);
+        for _ in 0..n_models {
+            let name = r.get_str("model name", MAX_MODEL_NAME)?;
+            local_to_global.push(self.intern_model(&name));
+        }
+        let count = r.get_u64("record count")?;
+        for i in 0..count {
+            let local = r.get_u32("record model")? as usize;
+            let Some(&model_id) = local_to_global.get(local) else {
+                return Err(SgclError::invalid_data(
+                    &ctx,
+                    format!("record {i}: model index {local} out of table bounds"),
+                ));
+            };
+            let hash = r.get_u128("record hash")?;
+            let dim = r.get_u32("record dim")? as usize;
+            // bound the allocation by what the file can actually hold
+            if dim == 0 || dim * 4 > r.remaining() {
+                return Err(SgclError::invalid_data(
+                    &ctx,
+                    format!("record {i}: implausible embedding dim {dim}"),
+                ));
+            }
+            let mut vec = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                let x = r.get_f32("record component")?;
+                if !x.is_finite() {
+                    return Err(SgclError::invalid_data(
+                        &ctx,
+                        format!("record {i}: non-finite embedding component"),
+                    ));
+                }
+                vec.push(x);
+            }
+            let existing = self.dims[model_id as usize];
+            if existing != 0 && existing != dim {
+                return Err(SgclError::invalid_data(
+                    &ctx,
+                    format!("record {i}: dim {dim} != model store dim {existing}"),
+                ));
+            }
+            if self.by_key.contains_key(&(model_id, hash)) {
+                return Err(SgclError::invalid_data(
+                    &ctx,
+                    format!("record {i}: duplicate key {hash:032x}"),
+                ));
+            }
+            let idx = self.records.len() as u32;
+            self.dims[model_id as usize] = dim;
+            self.counts[model_id as usize] += 1;
+            self.records.push(Record {
+                model: model_id,
+                hash,
+                vec,
+            });
+            self.by_key.insert((model_id, hash), idx);
+        }
+        r.expect_end()?;
+        self.disk_bytes += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+fn segment_name(id: u64) -> String {
+    format!("seg-{id:06}.idx")
+}
+
+/// Parses `seg-NNNNNN.idx` back to its numeric id; `None` for other files.
+fn segment_id(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".idx")?;
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(test: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sgcl_index_store_{test}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn vecs(n: usize, dim: usize) -> Vec<(ContentHash, Vec<f32>)> {
+        (0..n)
+            .map(|i| {
+                let v: Vec<f32> = (0..dim)
+                    .map(|j| (i * dim + j) as f32 * 0.25 - 1.0)
+                    .collect();
+                (ContentHash((i as u128 + 1) * 0x9e37), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_across_reopen_preserves_order_and_bits() {
+        let dir = scratch("roundtrip");
+        let data = vecs(17, 5);
+        {
+            let mut s = EmbeddingStore::open(&dir).unwrap();
+            for (h, v) in &data[..10] {
+                assert!(s.insert("default", *h, v.clone()).unwrap());
+            }
+            assert!(s.flush().unwrap());
+            for (h, v) in &data[10..] {
+                assert!(s.insert("default", *h, v.clone()).unwrap());
+            }
+            // second flush seals a second segment
+            assert!(s.flush().unwrap());
+            assert_eq!(s.pending(), 0);
+            assert!(s.disk_bytes() > 0);
+        }
+        let s = EmbeddingStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 17);
+        assert_eq!(s.model_len("default"), 17);
+        let loaded: Vec<_> = s.iter_model("default").collect();
+        for (i, (h, v)) in loaded.iter().enumerate() {
+            assert_eq!(*h, data[i].0, "insertion order must survive reopen");
+            assert_eq!(*v, data[i].1.as_slice());
+        }
+        assert!(s.get("default", data[3].0).is_some());
+        assert!(s.get("other", data[3].0).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent_but_conflicting_bits_mismatch() {
+        let mut s = EmbeddingStore::in_memory();
+        let h = ContentHash(42);
+        assert!(s.insert("m", h, vec![1.0, 2.0]).unwrap());
+        assert!(!s.insert("m", h, vec![1.0, 2.0]).unwrap());
+        assert_eq!(s.len(), 1);
+        match s.insert("m", h, vec![1.0, 2.5]) {
+            Err(SgclError::Mismatch { .. }) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        // same hash under a different model is a distinct key
+        assert!(s.insert("m2", h, vec![9.0]).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_vectors_and_dim_drift() {
+        let mut s = EmbeddingStore::in_memory();
+        assert!(matches!(
+            s.insert("m", ContentHash(1), vec![]),
+            Err(SgclError::InvalidData { .. })
+        ));
+        assert!(matches!(
+            s.insert("m", ContentHash(1), vec![f32::NAN]),
+            Err(SgclError::InvalidData { .. })
+        ));
+        s.insert("m", ContentHash(1), vec![1.0, 2.0]).unwrap();
+        assert!(matches!(
+            s.insert("m", ContentHash(2), vec![1.0]),
+            Err(SgclError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn crafted_files_yield_typed_errors_never_panics() {
+        let dir = scratch("crafted");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = {
+            let mut s = EmbeddingStore::open(&dir).unwrap();
+            s.insert("m", ContentHash(7), vec![0.5, -0.5]).unwrap();
+            s.flush().unwrap();
+            std::fs::read(dir.join("seg-000000.idx")).unwrap()
+        };
+
+        // truncated file
+        std::fs::write(dir.join("seg-000000.idx"), &good[..good.len() / 2]).unwrap();
+        assert!(matches!(
+            EmbeddingStore::open(&dir),
+            Err(SgclError::InvalidData { .. })
+        ));
+
+        // garbled byte (checksum catches it)
+        let mut garbled = good.clone();
+        let mid = garbled.len() / 2;
+        garbled[mid] ^= 0x55;
+        std::fs::write(dir.join("seg-000000.idx"), &garbled).unwrap();
+        assert!(matches!(
+            EmbeddingStore::open(&dir),
+            Err(SgclError::InvalidData { .. })
+        ));
+
+        // wrong magic with a valid checksum
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] = b'X';
+        let body_len = wrong_magic.len() - 8;
+        let sum = crate::wire::fnv64(&wrong_magic[..body_len]).to_le_bytes();
+        wrong_magic[body_len..].copy_from_slice(&sum);
+        std::fs::write(dir.join("seg-000000.idx"), &wrong_magic).unwrap();
+        assert!(matches!(
+            EmbeddingStore::open(&dir),
+            Err(SgclError::Parse { .. })
+        ));
+
+        // future version
+        let mut future = good.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let sum = crate::wire::fnv64(&future[..body_len]).to_le_bytes();
+        future[body_len..].copy_from_slice(&sum);
+        std::fs::write(dir.join("seg-000000.idx"), &future).unwrap();
+        match EmbeddingStore::open(&dir) {
+            Err(e @ SgclError::UnsupportedVersion { .. }) => assert_eq!(e.exit_code(), 4),
+            other => panic!("expected UnsupportedVersion, got {:?}", other.map(|_| ())),
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_is_noop_when_unneeded_and_segments_are_never_rewritten() {
+        let dir = scratch("noop");
+        let mut s = EmbeddingStore::open(&dir).unwrap();
+        assert!(!s.flush().unwrap(), "empty tail writes nothing");
+        s.insert("m", ContentHash(1), vec![1.0]).unwrap();
+        assert!(s.flush().unwrap());
+        let first = std::fs::read(dir.join("seg-000000.idx")).unwrap();
+        s.insert("m", ContentHash(2), vec![2.0]).unwrap();
+        assert!(s.flush().unwrap());
+        assert_eq!(
+            std::fs::read(dir.join("seg-000000.idx")).unwrap(),
+            first,
+            "sealed segments must never be modified"
+        );
+        assert!(dir.join("seg-000001.idx").exists());
+        let mut mem = EmbeddingStore::in_memory();
+        mem.insert("m", ContentHash(3), vec![3.0]).unwrap();
+        assert!(!mem.flush().unwrap(), "in-memory stores never touch disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

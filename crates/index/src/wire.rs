@@ -1,0 +1,258 @@
+//! Hand-rolled little-endian binary encoding shared by the segment store
+//! and the HNSW snapshot format.
+//!
+//! Both artifacts are bulk `f32` payloads, so a fixed-width binary layout
+//! beats JSON on size and load time — and keeps this crate dependency-free.
+//! Every file ends in a FNV-1a 64 checksum over the preceding bytes, and
+//! every read is bounds-checked so crafted or truncated files surface as
+//! typed [`SgclError`]s, never panics.
+
+use sgcl_common::SgclError;
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice (the integrity checksum for store segments
+/// and snapshots — cheap, dependency-free, and stable by construction).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut state = FNV64_OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends the FNV-1a 64 checksum of everything written so far and
+    /// returns the finished buffer.
+    pub fn finish_with_checksum(mut self) -> Vec<u8> {
+        let sum = fnv64(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian decoder over an in-memory file image.
+///
+/// All failures carry `context` (usually the file path) so errors read as
+/// `"<path>: truncated …"` and map to stable exit codes.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8], context: &'a str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn truncated(&self, what: &str) -> SgclError {
+        SgclError::invalid_data(
+            self.context,
+            format!(
+                "truncated file: unexpected end of data reading {what} at offset {}",
+                self.pos
+            ),
+        )
+    }
+
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SgclError> {
+        if self.remaining() < n {
+            return Err(self.truncated(what));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, SgclError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, SgclError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub fn get_u128(&mut self, what: &str) -> Result<u128, SgclError> {
+        let b = self.take(16, what)?;
+        Ok(u128::from_le_bytes(b.try_into().expect("16 bytes")))
+    }
+
+    pub fn get_f32(&mut self, what: &str) -> Result<f32, SgclError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Length-prefixed UTF-8 string (capped so a garbled length prefix
+    /// cannot trigger a huge allocation).
+    pub fn get_str(&mut self, what: &str, max_len: usize) -> Result<String, SgclError> {
+        let len = self.get_u32(what)? as usize;
+        if len > max_len {
+            return Err(SgclError::invalid_data(
+                self.context,
+                format!("{what} length {len} exceeds limit {max_len}"),
+            ));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| {
+            SgclError::invalid_data(self.context, format!("{what} is not valid UTF-8"))
+        })
+    }
+
+    /// Asserts the buffer is fully consumed (trailing garbage is how a
+    /// concatenation-corrupted file shows up).
+    pub fn expect_end(&self) -> Result<(), SgclError> {
+        if self.remaining() != 0 {
+            return Err(SgclError::invalid_data(
+                self.context,
+                format!("{} trailing bytes after final record", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Splits a file image into (body, stored checksum) and verifies the
+/// FNV-1a 64 of the body, returning the body on success.
+pub fn verify_checksum<'a>(buf: &'a [u8], context: &str) -> Result<&'a [u8], SgclError> {
+    if buf.len() < 8 {
+        return Err(SgclError::invalid_data(
+            context,
+            "truncated file: shorter than its checksum trailer",
+        ));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let actual = fnv64(body);
+    if stored != actual {
+        return Err(SgclError::invalid_data(
+            context,
+            format!("checksum mismatch (stored {stored:016x}, computed {actual:016x})"),
+        ));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = ByteWriter::new();
+        w.put_u32(7);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(0xdead_beef_dead_beef_dead_beef_dead_beef);
+        w.put_f32(-0.0);
+        w.put_str("hello");
+        let bytes = w.finish_with_checksum();
+
+        let body = verify_checksum(&bytes, "test").unwrap();
+        let mut r = ByteReader::new(body, "test");
+        assert_eq!(r.get_u32("a").unwrap(), 7);
+        assert_eq!(r.get_u64("b").unwrap(), u64::MAX - 1);
+        assert_eq!(
+            r.get_u128("c").unwrap(),
+            0xdead_beef_dead_beef_dead_beef_dead_beef
+        );
+        assert_eq!(r.get_f32("d").unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_str("e", 64).unwrap(), "hello");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        let bytes = w.finish_with_checksum();
+
+        // flip a byte: checksum must catch it
+        let mut bad = bytes.clone();
+        bad[3] ^= 0xff;
+        assert!(matches!(
+            verify_checksum(&bad, "t"),
+            Err(SgclError::InvalidData { .. })
+        ));
+
+        // truncate below the trailer
+        assert!(matches!(
+            verify_checksum(&bytes[..4], "t"),
+            Err(SgclError::InvalidData { .. })
+        ));
+
+        // reading past the end
+        let mut r = ByteReader::new(&bytes[..4], "t");
+        assert!(matches!(r.get_u64("v"), Err(SgclError::InvalidData { .. })));
+
+        // oversized string length prefix must not allocate
+        let mut w2 = ByteWriter::new();
+        w2.put_u32(u32::MAX);
+        let huge = w2.finish_with_checksum();
+        let body = verify_checksum(&huge, "t").unwrap();
+        let mut r2 = ByteReader::new(body, "t");
+        assert!(matches!(
+            r2.get_str("name", 1024),
+            Err(SgclError::InvalidData { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u32(2);
+        let bytes = w.finish_with_checksum();
+        let body = verify_checksum(&bytes, "t").unwrap();
+        let mut r = ByteReader::new(body, "t");
+        r.get_u32("a").unwrap();
+        assert!(matches!(r.expect_end(), Err(SgclError::InvalidData { .. })));
+    }
+}

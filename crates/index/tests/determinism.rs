@@ -1,0 +1,139 @@
+//! Determinism contract: the same inserts under the same seed produce
+//! bit-identical search results, whether the work runs on one thread or
+//! four — the index holds no thread-, time-, or layout-dependent state.
+
+use proptest::prelude::*;
+use sgcl_graph::ContentHash;
+use sgcl_index::{Hnsw, HnswParams, SearchHit};
+use std::sync::Arc;
+
+fn xs(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<(ContentHash, Vec<f32>)> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            let v: Vec<f32> = (0..dim)
+                .map(|_| ((xs(&mut state) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32)
+                .collect();
+            (
+                ContentHash(((i as u128) << 64) | u128::from(xs(&mut state))),
+                v,
+            )
+        })
+        .collect()
+}
+
+fn build(data: &[(ContentHash, Vec<f32>)], seed: u64) -> Hnsw {
+    let mut h = Hnsw::with_seed(
+        HnswParams {
+            m: 8,
+            ef_construction: 48,
+            ef_search: 24,
+        },
+        seed,
+    );
+    for (hash, v) in data {
+        h.insert(*hash, v).unwrap();
+    }
+    h
+}
+
+fn run_queries(index: &Hnsw, queries: &[Vec<f32>]) -> Vec<Vec<SearchHit>> {
+    queries.iter().map(|q| index.search(q, 10)).collect()
+}
+
+fn assert_bit_identical(a: &[Vec<SearchHit>], b: &[Vec<SearchHit>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: query count");
+    for (qa, qb) in a.iter().zip(b) {
+        assert_eq!(qa.len(), qb.len(), "{what}: hit count");
+        for (ha, hb) in qa.iter().zip(qb) {
+            assert_eq!(ha.hash, hb.hash, "{what}: hash order");
+            assert_eq!(ha.score.to_bits(), hb.score.to_bits(), "{what}: score bits");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn same_inserts_and_seed_are_bit_identical_across_1_and_4_threads(seed in 0u64..4096) {
+        let data = vectors(150, 9, seed.wrapping_mul(2) + 1);
+        let queries: Vec<Vec<f32>> = vectors(12, 9, seed.wrapping_mul(3) + 7)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+
+        // single-threaded reference
+        let reference = Arc::new(build(&data, seed));
+        let expected = run_queries(&reference, &queries);
+
+        // 4 threads each rebuild the index independently and search it
+        let data = Arc::new(data);
+        let queries = Arc::new(queries);
+        let builders: Vec<_> = (0..4)
+            .map(|_| {
+                let data = Arc::clone(&data);
+                let queries = Arc::clone(&queries);
+                std::thread::spawn(move || {
+                    let index = build(&data, seed);
+                    run_queries(&index, &queries)
+                })
+            })
+            .collect();
+        for t in builders {
+            let got = t.join().expect("builder thread");
+            assert_bit_identical(&expected, &got, "independent 4-thread rebuild");
+        }
+
+        // 4 threads search one shared index concurrently
+        let searchers: Vec<_> = (0..4)
+            .map(|_| {
+                let index = Arc::clone(&reference);
+                let queries = Arc::clone(&queries);
+                std::thread::spawn(move || run_queries(&index, &queries))
+            })
+            .collect();
+        for t in searchers {
+            let got = t.join().expect("searcher thread");
+            assert_bit_identical(&expected, &got, "concurrent shared search");
+        }
+    }
+}
+
+#[test]
+fn duplicate_inserts_are_idempotent_end_to_end() {
+    let data = vectors(60, 8, 0x1234);
+    let mut once = build(&data, 7);
+    let mut twice = build(&data, 7);
+    // replay every insert a second time, interleaved
+    for (hash, v) in &data {
+        assert!(
+            !twice.insert(*hash, v).unwrap(),
+            "duplicate must be a no-op"
+        );
+    }
+    assert_eq!(once.len(), twice.len());
+    let queries: Vec<Vec<f32>> = vectors(10, 8, 0x5678).into_iter().map(|(_, v)| v).collect();
+    assert_bit_identical(
+        &run_queries(&once, &queries),
+        &run_queries(&twice, &queries),
+        "idempotent re-insert",
+    );
+    // and a fresh insert after the replay still lands normally
+    let extra = vectors(61, 8, 0x9999).pop().unwrap();
+    assert!(once.insert(extra.0, &extra.1).unwrap());
+    assert!(twice.insert(extra.0, &extra.1).unwrap());
+    assert_bit_identical(
+        &run_queries(&once, &queries),
+        &run_queries(&twice, &queries),
+        "post-replay insert",
+    );
+}

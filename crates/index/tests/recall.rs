@@ -1,0 +1,148 @@
+//! Recall oracle suite: the approximate HNSW search must recover at least
+//! 95% of the exact brute-force top-10 on a synthetic suite at the default
+//! `ef_search`, and recall must be monotone-ish in `ef` (the knob works).
+
+use sgcl_graph::ContentHash;
+use sgcl_index::{Hnsw, HnswParams};
+
+/// xorshift64* — deterministic, no `rand`.
+fn xs(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn unit(state: &mut u64) -> f32 {
+    ((xs(state) >> 11) as f64 / (1u64 << 53) as f64) as f32
+}
+
+/// Synthetic suite shaped like real embedding output: `clusters` centers
+/// with Gaussian-ish noise, so neighborhoods are meaningful (pure uniform
+/// noise makes recall trivially easy — clustered data is the honest test).
+fn clustered(n: usize, dim: usize, clusters: usize, seed: u64) -> Vec<(ContentHash, Vec<f32>)> {
+    let mut state = seed | 1;
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| unit(&mut state) * 4.0 - 2.0).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[(xs(&mut state) as usize) % clusters];
+            let v: Vec<f32> = c
+                .iter()
+                .map(|&x| {
+                    // sum of three uniforms approximates a Gaussian
+                    let noise = unit(&mut state) + unit(&mut state) + unit(&mut state) - 1.5;
+                    x + noise * 0.35
+                })
+                .collect();
+            (
+                ContentHash(((i as u128) << 64) | u128::from(xs(&mut state))),
+                v,
+            )
+        })
+        .collect()
+}
+
+fn recall_at_k(index: &Hnsw, queries: &[Vec<f32>], k: usize, ef: usize) -> f64 {
+    let mut found = 0usize;
+    let mut total = 0usize;
+    for q in queries {
+        let exact: Vec<ContentHash> = index.exact_search(q, k).iter().map(|h| h.hash).collect();
+        let approx: Vec<ContentHash> = index.search_ef(q, k, ef).iter().map(|h| h.hash).collect();
+        total += exact.len();
+        found += exact.iter().filter(|h| approx.contains(h)).count();
+    }
+    found as f64 / total as f64
+}
+
+#[test]
+fn recall_at_10_meets_contract_at_default_ef() {
+    // held-out queries from the same distribution as the corpus — the
+    // standard ANN-benchmark setup, and what serve traffic looks like
+    // (query graphs resemble indexed graphs)
+    let params = HnswParams::default();
+    let all = clustered(2100, 24, 12, 0xabcd);
+    let (data, held_out) = all.split_at(2000);
+    let mut index = Hnsw::new(params);
+    for (h, v) in data {
+        assert!(index.insert(*h, v).unwrap());
+    }
+    let queries: Vec<Vec<f32>> = held_out.iter().map(|(_, v)| v.clone()).collect();
+    let recall = recall_at_k(&index, &queries, 10, params.ef_search);
+    assert!(
+        recall >= 0.95,
+        "recall@10 at default ef_search ({}) was {recall:.4}, contract is >= 0.95",
+        params.ef_search
+    );
+}
+
+#[test]
+fn out_of_distribution_queries_recover_with_wider_beams() {
+    // queries drawn around *different* cluster centers are the worst case
+    // for a navigable-small-world graph: the descent can commit to a
+    // wrong basin. The ef_search knob is the documented remedy.
+    let data = clustered(2000, 24, 12, 0xabcd);
+    let mut index = Hnsw::new(HnswParams::default());
+    for (h, v) in &data {
+        index.insert(*h, v).unwrap();
+    }
+    let queries: Vec<Vec<f32>> = clustered(100, 24, 12, 0x1357)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let default_ef = recall_at_k(&index, &queries, 10, HnswParams::default().ef_search);
+    let wide = recall_at_k(&index, &queries, 10, 256);
+    assert!(
+        default_ef >= 0.80,
+        "even out-of-distribution recall should stay usable, got {default_ef:.4}"
+    );
+    assert!(
+        wide >= 0.95,
+        "ef=256 must restore the recall contract out of distribution, got {wide:.4}"
+    );
+}
+
+#[test]
+fn ef_search_trades_recall_for_work() {
+    let data = clustered(1200, 16, 8, 0x42);
+    let mut index = Hnsw::new(HnswParams::default());
+    for (h, v) in &data {
+        index.insert(*h, v).unwrap();
+    }
+    let queries: Vec<Vec<f32>> = clustered(60, 16, 8, 0x99)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let low = recall_at_k(&index, &queries, 10, 10);
+    let high = recall_at_k(&index, &queries, 10, 400);
+    assert!(
+        high >= low,
+        "wider beams must not lose recall ({low} -> {high})"
+    );
+    assert!(
+        high >= 0.99,
+        "ef=400 on 1200 vectors should be near-exhaustive, got {high:.4}"
+    );
+}
+
+#[test]
+fn scores_agree_with_oracle_on_common_hits() {
+    // whenever HNSW and the oracle return the same hash, the score must be
+    // bit-identical — both sides share normalisation and summation order
+    let data = clustered(600, 12, 6, 0x77);
+    let mut index = Hnsw::new(HnswParams::default());
+    for (h, v) in &data {
+        index.insert(*h, v).unwrap();
+    }
+    for (_, q) in clustered(20, 12, 6, 0x31) {
+        let exact = index.exact_search(&q, 10);
+        for hit in index.search(&q, 10) {
+            if let Some(e) = exact.iter().find(|e| e.hash == hit.hash) {
+                assert_eq!(e.score.to_bits(), hit.score.to_bits());
+            }
+        }
+    }
+}

@@ -9,10 +9,7 @@
 
 use std::collections::HashMap;
 
-use sgcl_graph::ContentHash;
-
-/// Cache key: registry index of the model plus the graph digest.
-pub type CacheKey = (usize, ContentHash);
+pub use crate::key::CacheKey;
 
 const NIL: usize = usize::MAX;
 
@@ -160,6 +157,7 @@ impl LruCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sgcl_graph::ContentHash;
 
     fn key(n: u128) -> CacheKey {
         (0, ContentHash(n))

@@ -191,6 +191,36 @@ impl Client {
             op: sgcl_common::proto::op::EMBED.to_string(),
             model: model.map(|m| m.to_string()),
             graph: Some(GraphRecord::from(graph)),
+            k: None,
+        })
+    }
+
+    /// Embeds one graph and inserts it into the server's similarity
+    /// index (idempotent; the reply's `indexed` says whether it was new).
+    pub fn index_add(&mut self, model: Option<&str>, graph: &Graph) -> Result<Response, SgclError> {
+        self.request(Request {
+            id: 0,
+            op: sgcl_common::proto::op::INDEX_ADD.to_string(),
+            model: model.map(|m| m.to_string()),
+            graph: Some(GraphRecord::from(graph)),
+            k: None,
+        })
+    }
+
+    /// Embeds one graph and returns its `k` nearest indexed neighbours
+    /// (`None` = the server default).
+    pub fn search(
+        &mut self,
+        model: Option<&str>,
+        graph: &Graph,
+        k: Option<usize>,
+    ) -> Result<Response, SgclError> {
+        self.request(Request {
+            id: 0,
+            op: sgcl_common::proto::op::SEARCH.to_string(),
+            model: model.map(|m| m.to_string()),
+            graph: Some(GraphRecord::from(graph)),
+            k,
         })
     }
 
@@ -221,6 +251,7 @@ impl Client {
             op: op.to_string(),
             model: None,
             graph: None,
+            k: None,
         })
     }
 }

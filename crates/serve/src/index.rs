@@ -1,0 +1,199 @@
+//! Serving-side wrapper around the persistent similarity index.
+//!
+//! One [`ServeIndex`] per replica process, shared across connection
+//! handlers behind a mutex. The lock sections are short (in-memory HNSW
+//! work); segment sealing and snapshot refresh happen under the same lock
+//! on a configurable cadence so a replica killed mid-stream loses at most
+//! `flush_every` un-sealed vectors — and recovers the rest bit-identically
+//! from the store's insertion order.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use sgcl_common::SgclError;
+use sgcl_graph::ContentHash;
+use sgcl_index::{HnswParams, IndexSet, SearchHit, DEFAULT_SEED};
+
+use crate::protocol::IndexBody;
+
+/// Similarity-index configuration for one serving replica.
+#[derive(Clone, Debug)]
+pub struct IndexOptions {
+    /// Store directory for segments and snapshots; `None` keeps the index
+    /// in memory only (lost on restart).
+    pub dir: Option<PathBuf>,
+    /// HNSW max connections per node (`M`).
+    pub m: usize,
+    /// HNSW construction beam width.
+    pub ef_construction: usize,
+    /// Default query beam width; `search` requests use this unless the
+    /// operator retunes it.
+    pub ef_search: usize,
+    /// Seal pending vectors into a segment (and refresh snapshots) after
+    /// this many inserts; 0 flushes only at graceful shutdown.
+    pub flush_every: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        let p = HnswParams::default();
+        IndexOptions {
+            dir: None,
+            m: p.m,
+            ef_construction: p.ef_construction,
+            ef_search: p.ef_search,
+            flush_every: 256,
+        }
+    }
+}
+
+impl IndexOptions {
+    /// The HNSW knobs as the index crate's parameter struct.
+    pub fn params(&self) -> HnswParams {
+        HnswParams {
+            m: self.m,
+            ef_construction: self.ef_construction,
+            ef_search: self.ef_search,
+        }
+    }
+}
+
+struct State {
+    set: IndexSet,
+    since_flush: usize,
+}
+
+/// Thread-safe similarity index shared by a replica's connection handlers.
+pub struct ServeIndex {
+    state: Mutex<State>,
+    persistent: bool,
+    flush_every: usize,
+}
+
+impl ServeIndex {
+    /// Opens (or creates) the index described by `opts`, recovering any
+    /// persisted state.
+    ///
+    /// # Errors
+    /// Store/snapshot loader errors propagate typed — a corrupt on-disk
+    /// index must fail startup loudly, not serve partial results.
+    pub fn open(opts: &IndexOptions) -> Result<Self, SgclError> {
+        let set = IndexSet::open(opts.dir.as_deref(), opts.params(), DEFAULT_SEED)?;
+        Ok(ServeIndex {
+            state: Mutex::new(State {
+                set,
+                since_flush: 0,
+            }),
+            persistent: opts.dir.is_some(),
+            flush_every: opts.flush_every,
+        })
+    }
+
+    /// Whether `(model, hash)` is already indexed (the `index_add`
+    /// short-circuit: no embed needed for a graph we have seen).
+    pub fn contains(&self, model: &str, hash: ContentHash) -> bool {
+        self.lock().set.contains(model, hash)
+    }
+
+    /// Inserts an embedding; returns `Ok(true)` for a new vector,
+    /// `Ok(false)` for an idempotent duplicate. Auto-flushes on the
+    /// configured cadence.
+    ///
+    /// # Errors
+    /// Validation errors from the store ([`SgclError::InvalidData`] /
+    /// [`SgclError::Mismatch`]) and I/O errors from an auto-flush.
+    pub fn add(
+        &self,
+        model: &str,
+        hash: ContentHash,
+        embedding: Vec<f32>,
+    ) -> Result<bool, SgclError> {
+        let mut state = self.lock();
+        let added = state.set.insert(model, hash, embedding)?;
+        if added {
+            state.since_flush += 1;
+            if self.flush_every > 0 && state.since_flush >= self.flush_every {
+                state.set.flush()?;
+                state.since_flush = 0;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Approximate top-`k` neighbours of `query` under `model`, best
+    /// first; empty when the model has nothing indexed.
+    pub fn search(&self, model: &str, query: &[f32], k: usize) -> Vec<SearchHit> {
+        self.lock().set.search(model, query, k)
+    }
+
+    /// Seals pending vectors and refreshes snapshots (graceful-shutdown
+    /// path; also safe to call at any time).
+    ///
+    /// # Errors
+    /// [`SgclError::Io`] when the segment or a snapshot cannot be written.
+    pub fn flush(&self) -> Result<(), SgclError> {
+        let mut state = self.lock();
+        state.set.flush()?;
+        state.since_flush = 0;
+        Ok(())
+    }
+
+    /// Index state for `info` replies.
+    pub fn stats(&self) -> IndexBody {
+        let state = self.lock();
+        let params = state.set.params();
+        IndexBody {
+            vectors: state.set.vectors() as u64,
+            m: params.m,
+            ef_construction: params.ef_construction,
+            ef_search: params.ef_search,
+            disk_bytes: state.set.disk_bytes(),
+            persistent: self.persistent,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("index lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_flush_persists_on_cadence() {
+        let dir = std::env::temp_dir().join(format!("sgcl_serveindex_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = IndexOptions {
+            dir: Some(dir.clone()),
+            flush_every: 4,
+            ..IndexOptions::default()
+        };
+        let index = ServeIndex::open(&opts).unwrap();
+        for i in 0..6u128 {
+            let v = vec![i as f32 + 1.0, 1.0, 0.5];
+            assert!(index.add("default", ContentHash(i), v).unwrap());
+        }
+        // 4 of the 6 must already be sealed on disk without an explicit flush
+        drop(index);
+        let reopened = ServeIndex::open(&opts).unwrap();
+        assert_eq!(reopened.stats().vectors, 4);
+        assert!(reopened.stats().persistent);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent_and_unflushed() {
+        let index = ServeIndex::open(&IndexOptions::default()).unwrap();
+        let v = vec![0.3, -0.7, 0.1];
+        assert!(index.add("m", ContentHash(9), v.clone()).unwrap());
+        assert!(!index.add("m", ContentHash(9), v).unwrap());
+        assert!(index.contains("m", ContentHash(9)));
+        assert_eq!(index.stats().vectors, 1);
+        assert!(!index.stats().persistent);
+        let hits = index.search("m", &[0.3, -0.7, 0.1], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].hash, ContentHash(9));
+    }
+}

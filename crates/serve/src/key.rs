@@ -1,0 +1,85 @@
+//! Shared request identity: which model, which graph.
+//!
+//! The LRU embedding cache and the similarity index both identify work by
+//! the pair `(model registry index, graph content hash)`. The type lives
+//! here — not in `cache` — so `index_add` can probe the cache with the
+//! same key it indexes under and skip the embed on a hit, and so the wire
+//! form of a content hash (32 hex digits) is encoded and parsed in
+//! exactly one place.
+
+use sgcl_common::SgclError;
+use sgcl_graph::ContentHash;
+
+/// Cache key: registry index of the model plus the graph digest.
+pub type CacheKey = (usize, ContentHash);
+
+/// Encodes a content hash as the fixed-width 32-hex-digit wire form
+/// carried in `index_add` and `search` replies. Zero-padded, so
+/// lexicographic order on the wire form equals numeric order on the hash.
+pub fn hash_to_hex(hash: ContentHash) -> String {
+    format!("{:032x}", hash.0)
+}
+
+/// Parses the 32-hex-digit wire form back into a content hash.
+///
+/// # Errors
+/// [`SgclError::InvalidData`] unless `s` is exactly 32 lowercase-or-
+/// uppercase hex digits (no sign, no whitespace).
+pub fn hash_from_hex(s: &str) -> Result<ContentHash, SgclError> {
+    if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(SgclError::invalid_data(
+            "content hash",
+            format!("expected 32 hex digits, got {s:?}"),
+        ));
+    }
+    let value =
+        u128::from_str_radix(s, 16).map_err(|e| SgclError::invalid_data("content hash", e))?;
+    Ok(ContentHash(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_form_round_trips() {
+        for value in [0u128, 1, 0xdead_beef, u128::MAX, 1 << 127] {
+            let hex = hash_to_hex(ContentHash(value));
+            assert_eq!(hex.len(), 32, "fixed width for {value:x}");
+            assert_eq!(hash_from_hex(&hex).unwrap(), ContentHash(value));
+        }
+    }
+
+    #[test]
+    fn hex_order_matches_numeric_order() {
+        // the router merges replica results sorted by (score, hash); the
+        // wire form must sort the same way the numeric hash does
+        let a = hash_to_hex(ContentHash(0x0fff));
+        let b = hash_to_hex(ContentHash(0x1000));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn malformed_hex_is_a_typed_error() {
+        for bad in [
+            "",
+            "abc",
+            "+aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            "g".repeat(32).as_str(),
+        ] {
+            assert!(
+                matches!(hash_from_hex(bad), Err(SgclError::InvalidData { .. })),
+                "{bad:?} must be rejected"
+            );
+        }
+        // 33 digits is too long even if all-hex
+        assert!(hash_from_hex(&"a".repeat(33)).is_err());
+    }
+
+    #[test]
+    fn display_form_agrees_with_wire_form() {
+        // ContentHash's Display is also 32-hex; the two must never drift
+        let h = ContentHash(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        assert_eq!(hash_to_hex(h), h.to_string());
+    }
+}

@@ -27,6 +27,8 @@ pub mod cache;
 pub mod client;
 pub mod fault;
 pub mod health;
+pub mod index;
+pub mod key;
 mod net;
 pub mod protocol;
 pub mod registry;
@@ -38,6 +40,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 pub use client::{Client, ClientConfig};
+pub use index::{IndexOptions, ServeIndex};
+pub use key::CacheKey;
 pub use router::{start_router, RouterConfig, RouterHandle};
 pub use server::{start, ServerHandle};
 
@@ -65,6 +69,9 @@ pub struct ServeConfig {
     /// it are shed with `Overloaded`. 0 picks the default of
     /// `4 * max_batch`.
     pub max_queue: usize,
+    /// Similarity-index configuration; `None` rejects `index_add` and
+    /// `search` requests with `Usage`.
+    pub index: Option<IndexOptions>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,7 @@ impl Default for ServeConfig {
             workers: 2,
             deadline_ms: 5000,
             max_queue: 0,
+            index: None,
         }
     }
 }

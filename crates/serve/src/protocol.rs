@@ -24,6 +24,9 @@ pub struct Request {
     /// Graph payload for `embed`, in the dataset-file record format.
     #[serde(default)]
     pub graph: Option<GraphRecord>,
+    /// Result count for `search`; omitted = the server default (10).
+    #[serde(default)]
+    pub k: Option<usize>,
 }
 
 /// One response line.
@@ -48,6 +51,17 @@ pub struct Response {
     /// only; cache hits report 0).
     #[serde(default)]
     pub batch_size: Option<usize>,
+    /// Content hash of the request graph, 32 hex digits (`index_add` and
+    /// `search` only).
+    #[serde(default)]
+    pub hash: Option<String>,
+    /// Whether `index_add` stored a new vector (`false` = already
+    /// indexed, the idempotent path).
+    #[serde(default)]
+    pub indexed: Option<bool>,
+    /// Nearest neighbours, best first (`search` only).
+    #[serde(default)]
+    pub results: Option<Vec<SearchHitBody>>,
     /// Error details when `ok` is false.
     #[serde(default)]
     pub error: Option<ErrorBody>,
@@ -57,6 +71,15 @@ pub struct Response {
     /// Router metadata (`info` against a router only).
     #[serde(default)]
     pub router: Option<RouterBody>,
+}
+
+/// One similarity-search result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchHitBody {
+    /// Content hash of the indexed graph, 32 hex digits.
+    pub hash: String,
+    /// Cosine similarity to the query embedding, in `[-1, 1]`.
+    pub score: f32,
 }
 
 /// Error details carried on failure replies.
@@ -83,6 +106,32 @@ pub struct InfoBody {
     pub models: Vec<ModelInfo>,
     /// Serving counters since startup.
     pub stats: StatsBody,
+    /// Similarity-index state; absent when the server runs without an
+    /// index (`--index-dir` not given and no in-memory index requested).
+    #[serde(default)]
+    pub index: Option<IndexBody>,
+}
+
+/// Similarity-index state returned inside `info` replies.
+///
+/// A replica reports its own store; the router reports the sum over
+/// healthy replicas (vectors/disk bytes add up, the HNSW knobs are taken
+/// from the first reporting replica — the tier is homogeneous).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexBody {
+    /// Vectors stored across all models.
+    pub vectors: u64,
+    /// HNSW max connections per node (`M`).
+    pub m: usize,
+    /// HNSW construction beam width.
+    pub ef_construction: usize,
+    /// HNSW default query beam width.
+    pub ef_search: usize,
+    /// Bytes of sealed segments + snapshots on disk (0 for a purely
+    /// in-memory index).
+    pub disk_bytes: u64,
+    /// Whether the store is backed by a directory (survives restart).
+    pub persistent: bool,
 }
 
 /// One served model.
@@ -164,6 +213,10 @@ pub struct RouterBody {
     pub replicas: Vec<ReplicaInfo>,
     /// Router counters since startup.
     pub stats: RouterStatsBody,
+    /// Aggregated similarity-index state over healthy replicas; absent
+    /// when no replica reports an index.
+    #[serde(default)]
+    pub index: Option<IndexBody>,
 }
 
 impl Response {
@@ -176,6 +229,9 @@ impl Response {
             embedding: None,
             cached: None,
             batch_size: None,
+            hash: None,
+            indexed: None,
+            results: None,
             error: None,
             info: None,
             router: None,
@@ -191,6 +247,9 @@ impl Response {
             embedding: None,
             cached: None,
             batch_size: None,
+            hash: None,
+            indexed: None,
+            results: None,
             error: Some(ErrorBody {
                 code: u32::from(err.code.as_u8()),
                 class: err.code.class().to_string(),

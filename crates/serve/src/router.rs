@@ -26,6 +26,7 @@
 //!   the router never shuts down the replicas: the tier and its members
 //!   have separate lifecycles.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,7 +40,11 @@ use sgcl_graph::content_hash;
 use crate::client::{Client, ClientConfig};
 use crate::health::{backoff_delay, rank_replicas, HealthPolicy, Jitter, ReplicaHealth};
 use crate::net::{read_line_polled, write_line, POLL_INTERVAL};
-use crate::protocol::{parse_request, ReplicaInfo, Request, Response, RouterBody, RouterStatsBody};
+use crate::protocol::{
+    parse_request, IndexBody, ReplicaInfo, Request, Response, RouterBody, RouterStatsBody,
+    SearchHitBody,
+};
+use crate::server::{DEFAULT_SEARCH_K, MAX_SEARCH_K};
 
 /// Idle forward-connections kept per replica; beyond this they are closed
 /// rather than pooled.
@@ -333,7 +338,10 @@ fn handle_request(line: &str, ctx: &RouterCtx, jitter: &mut Jitter) -> (Response
         op::PING => (Response::ok(id), false),
         op::INFO => (info_response(id, ctx), false),
         op::SHUTDOWN | op::DRAIN => (Response::ok(id), true),
-        op::EMBED => (embed_via_replicas(id, request, ctx, jitter), false),
+        // embed and index_add shard the same way: by content hash, so a
+        // graph's embedding and its index entry land on the same replica
+        op::EMBED | op::INDEX_ADD => (forward_via_replicas(id, request, ctx, jitter), false),
+        op::SEARCH => (search_via_replicas(id, request, ctx, jitter), false),
         other => (
             Response::error(
                 id,
@@ -371,8 +379,43 @@ fn info_response(id: u64, ctx: &RouterCtx) -> Response {
             shed: ctx.stats.shed.load(Ordering::Relaxed),
             unavailable: ctx.stats.unavailable.load(Ordering::Relaxed),
         },
+        index: aggregate_index_stats(ctx),
     });
     response
+}
+
+/// Best-effort sum of the index stats of every in-rotation replica:
+/// vectors and disk bytes add up across disjoint shards, the HNSW knobs
+/// come from the first reporting replica (the tier is homogeneous), and
+/// the tier counts as persistent only if every reporting member is.
+/// Replicas that fail the info exchange are skipped — `info` must stay
+/// available while part of the tier is down.
+fn aggregate_index_stats(ctx: &RouterCtx) -> Option<IndexBody> {
+    let mut total: Option<IndexBody> = None;
+    for replica in &ctx.replicas {
+        if !replica.in_rotation() {
+            continue;
+        }
+        let Ok(mut client) = checkout(ctx, replica) else {
+            continue;
+        };
+        let Ok(reply) = client.info() else {
+            continue;
+        };
+        checkin(replica, client);
+        let Some(body) = reply.info.and_then(|i| i.index) else {
+            continue;
+        };
+        match &mut total {
+            Some(t) => {
+                t.vectors += body.vectors;
+                t.disk_bytes += body.disk_bytes;
+                t.persistent &= body.persistent;
+            }
+            None => total = Some(body),
+        }
+    }
+    total
 }
 
 /// Decrements the in-flight gauge on every exit path.
@@ -396,13 +439,22 @@ enum Forward {
     Retry { alive: bool },
 }
 
-fn embed_via_replicas(id: u64, request: Request, ctx: &RouterCtx, jitter: &mut Jitter) -> Response {
+fn forward_via_replicas(
+    id: u64,
+    request: Request,
+    ctx: &RouterCtx,
+    jitter: &mut Jitter,
+) -> Response {
+    let op_name = request.op.clone();
     let record = match request.graph {
         Some(r) => r,
         None => {
             return Response::error(
                 id,
-                &WireError::new(WireCode::Usage, "embed requires a \"graph\" payload"),
+                &WireError::new(
+                    WireCode::Usage,
+                    format!("{op_name:?} requires a \"graph\" payload"),
+                ),
             )
         }
     };
@@ -456,9 +508,10 @@ fn embed_via_replicas(id: u64, request: Request, ctx: &RouterCtx, jitter: &mut J
         let target = healthy[attempt as usize % healthy.len()];
         let forward_request = Request {
             id,
-            op: op::EMBED.to_string(),
+            op: op_name.clone(),
             model: model.clone(),
             graph: Some(record.clone()),
+            k: None,
         };
         match forward_once(ctx, target, forward_request) {
             Forward::Answered(mut response) => {
@@ -494,6 +547,178 @@ fn embed_via_replicas(id: u64, request: Request, ctx: &RouterCtx, jitter: &mut J
             }
         }
     }
+}
+
+/// Fans a `search` out to every in-rotation replica and merges the
+/// top-`k`.
+///
+/// Sharding does not apply to queries: `index_add` spread the vectors
+/// across the tier by content hash, so each replica holds a disjoint
+/// slice of the index and the true top-`k` is the merge of every slice's
+/// top-`k`. Replicas that fail their attempts (bounded retries against
+/// the *same* replica — its slice exists nowhere else) are dropped from
+/// the merge: the reply is built from survivors only, so it never
+/// contains an incorrect hit, merely fewer candidates. Only when *no*
+/// replica answers does the router reply `Unavailable`.
+fn search_via_replicas(
+    id: u64,
+    request: Request,
+    ctx: &RouterCtx,
+    jitter: &mut Jitter,
+) -> Response {
+    let record = match request.graph {
+        Some(r) => r,
+        None => {
+            return Response::error(
+                id,
+                &WireError::new(WireCode::Usage, "\"search\" requires a \"graph\" payload"),
+            )
+        }
+    };
+    let graph = match record.clone().into_graph() {
+        Ok(g) => g,
+        Err(e) => return Response::error(id, &WireError::from(&e)),
+    };
+    if graph.num_nodes() == 0 {
+        return Response::error(
+            id,
+            &WireError::new(WireCode::InvalidData, "cannot embed an empty graph"),
+        );
+    }
+    let k = request.k.unwrap_or(DEFAULT_SEARCH_K);
+    if k == 0 || k > MAX_SEARCH_K {
+        return Response::error(
+            id,
+            &WireError::new(
+                WireCode::Usage,
+                format!("k must be in 1..={MAX_SEARCH_K}, got {k}"),
+            ),
+        );
+    }
+
+    if ctx.config.max_inflight > 0 {
+        let prev = ctx.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= ctx.config.max_inflight {
+            ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::error(
+                id,
+                &WireError::new(
+                    WireCode::Overloaded,
+                    format!("router at {} in-flight requests", ctx.config.max_inflight),
+                ),
+            );
+        }
+    }
+    let _guard = (ctx.config.max_inflight > 0).then(|| InflightGuard(&ctx.inflight));
+
+    // best score per hash across replicas; shards are disjoint in steady
+    // state, but after an ejection/re-admission cycle a vector can live
+    // on two replicas — keep the max (scores are bit-identical anyway)
+    let mut best: HashMap<String, f32> = HashMap::new();
+    let mut answered = 0usize;
+    let mut first_ok: Option<Response> = None;
+    let mut authoritative: Option<Response> = None;
+    let mut targets: Vec<usize> = (0..ctx.replicas.len())
+        .filter(|&r| ctx.replicas[r].in_rotation())
+        .collect();
+    if targets.is_empty() {
+        ctx.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            id,
+            &WireError::new(WireCode::Unavailable, "no replica in rotation"),
+        );
+    }
+    let mut pass: u32 = 0;
+    loop {
+        let mut failed: Vec<usize> = Vec::new();
+        for target in targets {
+            // a replica ejected mid-fan-out is a non-survivor: skip it
+            if !ctx.replicas[target].in_rotation() {
+                continue;
+            }
+            let forward_request = Request {
+                id,
+                op: op::SEARCH.to_string(),
+                model: request.model.clone(),
+                graph: Some(record.clone()),
+                k: Some(k),
+            };
+            match forward_once(ctx, target, forward_request) {
+                Forward::Answered(response) => {
+                    ctx.replicas[target].record_success(&ctx.config.health);
+                    if response.ok {
+                        answered += 1;
+                        for hit in response.results.clone().unwrap_or_default() {
+                            best.entry(hit.hash)
+                                .and_modify(|s| *s = s.max(hit.score))
+                                .or_insert(hit.score);
+                        }
+                        if first_ok.is_none() {
+                            first_ok = Some(response);
+                        }
+                    } else {
+                        // deterministic rejection; the tier is homogeneous,
+                        // so every replica would reply the same way
+                        authoritative = Some(response);
+                    }
+                }
+                Forward::Retry { alive } => {
+                    if alive {
+                        ctx.replicas[target].record_success(&ctx.config.health);
+                    } else {
+                        ctx.replicas[target].record_failure(&ctx.config.health);
+                    }
+                    failed.push(target);
+                }
+            }
+        }
+        if failed.is_empty() || pass >= ctx.config.retries {
+            break;
+        }
+        pass += 1;
+        ctx.stats
+            .retries
+            .fetch_add(failed.len() as u64, Ordering::Relaxed);
+        std::thread::sleep(backoff_delay(
+            pass - 1,
+            ctx.config.backoff_base,
+            ctx.config.backoff_cap,
+            jitter,
+        ));
+        targets = failed;
+    }
+
+    if answered == 0 {
+        if let Some(mut response) = authoritative {
+            response.id = id;
+            return response;
+        }
+        ctx.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            id,
+            &WireError::new(WireCode::Unavailable, "no replica answered the search"),
+        );
+    }
+    ctx.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+
+    let mut merged: Vec<SearchHitBody> = best
+        .into_iter()
+        .map(|(hash, score)| SearchHitBody { hash, score })
+        .collect();
+    merged.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.hash.cmp(&b.hash))
+    });
+    merged.truncate(k);
+
+    let first = first_ok.expect("answered > 0 implies a success reply");
+    let mut response = Response::ok(id);
+    response.model = first.model;
+    response.hash = first.hash;
+    response.results = Some(merged);
+    response
 }
 
 /// One forwarding attempt: checkout (or open) a connection, exchange the

@@ -22,10 +22,20 @@ use sgcl_graph::content_hash;
 
 use crate::batcher::{Batcher, Job};
 use crate::cache::LruCache;
+use crate::index::ServeIndex;
+use crate::key::hash_to_hex;
 use crate::net::{read_line_polled, write_line, POLL_INTERVAL};
-use crate::protocol::{parse_request, InfoBody, ModelInfo, Request, Response};
+use crate::protocol::{parse_request, InfoBody, ModelInfo, Request, Response, SearchHitBody};
 use crate::registry::ModelRegistry;
 use crate::{ServeConfig, ServeStats};
+
+/// Result count for `search` requests that omit `k` (shared with the
+/// router so both tiers truncate identically).
+pub(crate) const DEFAULT_SEARCH_K: usize = 10;
+
+/// Hard cap on `k` — a garbled request must not make the server build an
+/// arbitrarily large reply line.
+pub(crate) const MAX_SEARCH_K: usize = 10_000;
 
 /// Fixed tail of the reply-wait window: once a connection thread has
 /// waited the full queue deadline *plus half again* (worst-case embed
@@ -48,6 +58,7 @@ pub(crate) struct ServerCtx {
     pub(crate) stats: ServeStats,
     pub(crate) shutdown: AtomicBool,
     deadline: Option<Duration>,
+    index: Option<ServeIndex>,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -106,6 +117,11 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, SgclError> {
         .local_addr()
         .map_err(|e| SgclError::io("query bound address", e))?;
 
+    let index = match &config.index {
+        Some(opts) => Some(ServeIndex::open(opts)?),
+        None => None,
+    };
+
     let max_batch = config.max_batch.max(1);
     let ctx = Arc::new(ServerCtx {
         registry,
@@ -114,6 +130,7 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, SgclError> {
         stats: ServeStats::new(max_batch),
         shutdown: AtomicBool::new(false),
         deadline: (config.deadline_ms > 0).then(|| Duration::from_millis(config.deadline_ms)),
+        index,
     });
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
@@ -157,6 +174,13 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>, workers: Vec<JoinHand
     ctx.batcher.shutdown();
     for worker in workers {
         let _ = worker.join();
+    }
+    // seal pending index vectors last: everything embedded by the drain
+    // above is in memory by now, and flush is the only lossy step to skip
+    if let Some(index) = &ctx.index {
+        if let Err(e) = index.flush() {
+            eprintln!("sgcl-serve: index flush at shutdown failed: {e}");
+        }
     }
 }
 
@@ -215,6 +239,8 @@ fn handle_request(line: &str, ctx: &ServerCtx) -> (Response, bool) {
         // `drain` exists so orchestrators can name the intent explicitly
         op::SHUTDOWN | op::DRAIN => (Response::ok(id), true),
         op::EMBED => (embed_response(id, request, ctx), false),
+        op::INDEX_ADD => (finish(id, try_index_add(request, ctx)), false),
+        op::SEARCH => (finish(id, try_search(request, ctx)), false),
         other => (
             Response::error(
                 id,
@@ -245,6 +271,7 @@ fn info_response(id: u64, ctx: &ServerCtx) -> Response {
         simd: sgcl_tensor::simd::active().name().to_string(),
         models,
         stats: ctx.stats.snapshot(hits, misses),
+        index: ctx.index.as_ref().map(ServeIndex::stats),
     });
     response
 }
@@ -260,10 +287,35 @@ fn embed_response(id: u64, request: Request, ctx: &ServerCtx) -> Response {
     }
 }
 
-fn try_embed(request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
-    let record = request
-        .graph
-        .ok_or_else(|| WireError::new(WireCode::Usage, "embed requires a \"graph\" payload"))?;
+/// Stamps the correlation id onto a handler result.
+fn finish(id: u64, result: Result<Response, WireError>) -> Response {
+    match result {
+        Ok(mut response) => {
+            response.id = id;
+            response
+        }
+        Err(e) => Response::error(id, &e),
+    }
+}
+
+/// A request graph validated against the served model it targets.
+struct ValidatedGraph {
+    graph: sgcl_graph::Graph,
+    hash: sgcl_graph::ContentHash,
+    model_idx: usize,
+    model_name: String,
+}
+
+/// Shared front half of `embed`, `index_add`, and `search`: decode the
+/// graph payload, resolve the model, check the feature dimension, and
+/// hash the content.
+fn validate_graph(request: &mut Request, ctx: &ServerCtx) -> Result<ValidatedGraph, WireError> {
+    let record = request.graph.take().ok_or_else(|| {
+        WireError::new(
+            WireCode::Usage,
+            format!("{:?} requires a \"graph\" payload", request.op),
+        )
+    })?;
     let graph = record.into_graph().map_err(|e| WireError::from(&e))?;
     if graph.num_nodes() == 0 {
         return Err(WireError::new(
@@ -286,28 +338,44 @@ fn try_embed(request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
             ),
         ));
     }
-
     let hash = content_hash(&graph);
+    Ok(ValidatedGraph {
+        graph,
+        hash,
+        model_idx,
+        model_name: entry.name.clone(),
+    })
+}
+
+/// An embedding plus how it was produced.
+struct Obtained {
+    embedding: Vec<f32>,
+    cached: bool,
+    batch_size: usize,
+}
+
+/// Shared back half: answer from the cache, or park on the micro-batcher
+/// until the worker pool embeds the graph.
+fn obtain_embedding(v: ValidatedGraph, ctx: &ServerCtx) -> Result<Obtained, WireError> {
     if let Some(row) = ctx
         .cache
         .lock()
         .expect("cache lock poisoned")
-        .get(&(model_idx, hash))
+        .get(&(v.model_idx, v.hash))
     {
-        let mut response = Response::ok(0);
-        response.model = Some(entry.name.clone());
-        response.embedding = Some(row.to_vec());
-        response.cached = Some(true);
-        response.batch_size = Some(0);
-        return Ok(response);
+        return Ok(Obtained {
+            embedding: row.to_vec(),
+            cached: true,
+            batch_size: 0,
+        });
     }
 
     let (tx, rx) = mpsc::channel();
     let deadline = ctx.deadline.map(|d| Instant::now() + d);
     let job = Job {
-        model: model_idx,
-        graph,
-        hash,
+        model: v.model_idx,
+        graph: v.graph,
+        hash: v.hash,
         deadline,
         reply: tx,
     };
@@ -330,10 +398,93 @@ fn try_embed(request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
             .map_err(|_| WireError::new(WireCode::Internal, "worker pool dropped the request"))?,
     };
     let embedded = reply?;
+    Ok(Obtained {
+        embedding: embedded.embedding,
+        cached: embedded.cached,
+        batch_size: embedded.batch_size,
+    })
+}
+
+fn try_embed(mut request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
+    let validated = validate_graph(&mut request, ctx)?;
+    let model_name = validated.model_name.clone();
+    let obtained = obtain_embedding(validated, ctx)?;
     let mut response = Response::ok(0);
-    response.model = Some(entry.name.clone());
-    response.embedding = Some(embedded.embedding);
-    response.cached = Some(embedded.cached);
-    response.batch_size = Some(embedded.batch_size);
+    response.model = Some(model_name);
+    response.embedding = Some(obtained.embedding);
+    response.cached = Some(obtained.cached);
+    response.batch_size = Some(obtained.batch_size);
+    Ok(response)
+}
+
+/// The replica's similarity index, or a deterministic `Usage` rejection
+/// when the server was started without one.
+fn require_index<'a>(ctx: &'a ServerCtx, op_name: &str) -> Result<&'a ServeIndex, WireError> {
+    ctx.index.as_ref().ok_or_else(|| {
+        WireError::new(
+            WireCode::Usage,
+            format!("{op_name:?} requires a similarity index; start the server with --index-dir or --index-mem"),
+        )
+    })
+}
+
+fn try_index_add(mut request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
+    let index = require_index(ctx, op::INDEX_ADD)?;
+    let validated = validate_graph(&mut request, ctx)?;
+    let hash = validated.hash;
+    let model_name = validated.model_name.clone();
+
+    // idempotence short-circuit: a graph we already indexed needs no
+    // embed at all — cheaper than even a cache hit
+    if index.contains(&model_name, hash) {
+        let mut response = Response::ok(0);
+        response.model = Some(model_name);
+        response.hash = Some(hash_to_hex(hash));
+        response.indexed = Some(false);
+        response.cached = Some(true);
+        response.batch_size = Some(0);
+        return Ok(response);
+    }
+
+    let obtained = obtain_embedding(validated, ctx)?;
+    let added = index
+        .add(&model_name, hash, obtained.embedding)
+        .map_err(|e| WireError::from(&e))?;
+    let mut response = Response::ok(0);
+    response.model = Some(model_name);
+    response.hash = Some(hash_to_hex(hash));
+    response.indexed = Some(added);
+    response.cached = Some(obtained.cached);
+    response.batch_size = Some(obtained.batch_size);
+    Ok(response)
+}
+
+fn try_search(mut request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
+    let index = require_index(ctx, op::SEARCH)?;
+    let k = request.k.unwrap_or(DEFAULT_SEARCH_K);
+    if k == 0 || k > MAX_SEARCH_K {
+        return Err(WireError::new(
+            WireCode::Usage,
+            format!("k must be in 1..={MAX_SEARCH_K}, got {k}"),
+        ));
+    }
+    let validated = validate_graph(&mut request, ctx)?;
+    let hash = validated.hash;
+    let model_name = validated.model_name.clone();
+    let obtained = obtain_embedding(validated, ctx)?;
+    let hits = index.search(&model_name, &obtained.embedding, k);
+    let mut response = Response::ok(0);
+    response.model = Some(model_name);
+    response.hash = Some(hash_to_hex(hash));
+    response.cached = Some(obtained.cached);
+    response.batch_size = Some(obtained.batch_size);
+    response.results = Some(
+        hits.into_iter()
+            .map(|h| SearchHitBody {
+                hash: hash_to_hex(h.hash),
+                score: h.score,
+            })
+            .collect(),
+    );
     Ok(response)
 }

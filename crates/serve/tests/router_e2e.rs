@@ -18,8 +18,8 @@ use sgcl_serve::fault::ChaosProxy;
 use sgcl_serve::health::HealthPolicy;
 use sgcl_serve::protocol::RouterBody;
 use sgcl_serve::{
-    start, start_router, Client, ClientConfig, RouterConfig, RouterHandle, ServeConfig,
-    ServerHandle,
+    start, start_router, Client, ClientConfig, IndexOptions, RouterConfig, RouterHandle,
+    ServeConfig, ServerHandle,
 };
 use sgcl_tensor::Matrix;
 
@@ -247,6 +247,119 @@ fn killing_a_replica_fails_over_with_zero_incorrect_replies() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Starts `n` replicas with ephemeral similarity indexes.
+fn start_indexed_replicas(path: &std::path::Path, n: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|_| {
+            start(ServeConfig {
+                models: vec![("m".to_string(), path.to_path_buf())],
+                index: Some(IndexOptions::default()),
+                ..ServeConfig::default()
+            })
+            .expect("replica starts")
+        })
+        .collect()
+}
+
+/// One replica's full indexed hash set, read through a direct connection
+/// (searches are local to a replica's own shard).
+fn replica_hashes(addr: std::net::SocketAddr, probe: &Graph, cap: usize) -> Vec<String> {
+    let mut client = Client::connect(addr).expect("connect replica");
+    let resp = client
+        .search(None, probe, Some(cap))
+        .expect("direct search");
+    assert!(resp.ok, "direct search failed: {:?}", resp.error);
+    let mut hashes: Vec<String> = resp
+        .results
+        .expect("results present")
+        .into_iter()
+        .map(|h| h.hash)
+        .collect();
+    hashes.sort();
+    hashes
+}
+
+#[test]
+fn search_fans_out_merges_and_survives_a_mid_stream_kill() {
+    let dir = scratch("search");
+    let (path, _model) = save_sgcl_checkpoint(&dir);
+    let replicas = start_indexed_replicas(&path, 3);
+    let proxies: Vec<ChaosProxy> = replicas
+        .iter()
+        .map(|r| ChaosProxy::start(r.addr()).expect("proxy starts"))
+        .collect();
+    let proxy_addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+    let router = start_router(test_router_config(proxy_addrs)).expect("router starts");
+
+    let mut rng = StdRng::seed_from_u64(19);
+    let graphs: Vec<Graph> = (0..12).map(|_| random_graph(&mut rng)).collect();
+    let mut client = Client::connect(router.addr()).expect("connect");
+
+    // index through the router: each graph lands on exactly one replica
+    // (the same one its embed requests shard to)
+    for g in &graphs {
+        let resp = client.index_add(None, g).expect("index_add via router");
+        assert!(resp.ok, "index_add failed: {:?}", resp.error);
+        assert_eq!(resp.indexed, Some(true));
+    }
+    let body = wait_for_router(&mut client, Duration::from_secs(1), |_| true);
+    let index = body.index.expect("aggregated index block");
+    assert_eq!(index.vectors, 12, "aggregated vector count sums the shards");
+
+    // a routed search must merge every shard: all 12 hashes come back
+    let resp = client.search(None, &graphs[0], Some(12)).expect("search");
+    assert!(resp.ok, "search failed: {:?}", resp.error);
+    let mut merged: Vec<String> = resp
+        .results
+        .expect("results present")
+        .into_iter()
+        .map(|h| h.hash)
+        .collect();
+    merged.sort();
+    let per_replica: Vec<Vec<String>> = replicas
+        .iter()
+        .map(|r| replica_hashes(r.addr(), &graphs[0], 12))
+        .collect();
+    let mut all: Vec<String> = per_replica.iter().flatten().cloned().collect();
+    all.sort();
+    assert_eq!(merged, all, "fan-out must union the disjoint shards");
+
+    // kill a replica that holds at least one vector: searches keep
+    // answering from the survivors, with no wrong or phantom results
+    let victim = (0..replicas.len())
+        .find(|&i| !per_replica[i].is_empty())
+        .expect("some replica holds vectors");
+    proxies[victim].control().kill();
+    let mut survivors: Vec<String> = per_replica
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .flat_map(|(_, h)| h.clone())
+        .collect();
+    survivors.sort();
+    for round in 0..3 {
+        let resp = client.search(None, &graphs[0], Some(12)).expect("search");
+        assert!(resp.ok, "round {round}: search failed: {:?}", resp.error);
+        let mut got: Vec<String> = resp
+            .results
+            .expect("results present")
+            .into_iter()
+            .map(|h| h.hash)
+            .collect();
+        got.sort();
+        assert_eq!(
+            got, survivors,
+            "round {round}: survivors-only merge, no phantom or lost hashes"
+        );
+    }
+
+    shutdown_all(router, replicas);
+    for proxy in proxies {
+        proxy.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn flooded_server_sheds_with_overloaded_instead_of_collapsing() {
     let dir = scratch("shed");
@@ -359,6 +472,7 @@ fn authoritative_errors_pass_through_the_router_unretried() {
             op: sgcl_common::proto::op::EMBED.to_string(),
             model: None,
             graph: None,
+            k: None,
         })
         .expect("reply");
     assert!(!resp.ok);

@@ -12,7 +12,8 @@ use sgcl_baselines::{BaselineKind, BaselineTrainer};
 use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
 use sgcl_gnn::{EncoderConfig, EncoderKind};
 use sgcl_graph::Graph;
-use sgcl_serve::{start, Client, ServeConfig};
+use sgcl_serve::key::hash_to_hex;
+use sgcl_serve::{start, Client, IndexOptions, ServeConfig};
 use sgcl_tensor::Matrix;
 
 const INPUT_DIM: usize = 6;
@@ -185,6 +186,103 @@ fn baseline_checkpoints_serve_bit_identically() {
 }
 
 #[test]
+fn index_add_search_and_info_survive_a_restart() {
+    let dir = scratch("index");
+    let (path, _model) = save_sgcl_checkpoint(&dir);
+    let idx_dir = dir.join("idx");
+    let config = || ServeConfig {
+        models: vec![("m".to_string(), path.clone())],
+        index: Some(IndexOptions {
+            dir: Some(idx_dir.clone()),
+            ..IndexOptions::default()
+        }),
+        ..ServeConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(17);
+    let graphs: Vec<Graph> = (0..8).map(|_| random_graph(&mut rng)).collect();
+
+    let handle = start(config()).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for g in &graphs {
+        let resp = client.index_add(None, g).expect("index_add");
+        assert!(resp.ok, "index_add failed: {:?}", resp.error);
+        assert_eq!(resp.indexed, Some(true), "fresh graph must be indexed");
+    }
+    // duplicate insert is idempotent and skips the embed entirely
+    let resp = client.index_add(None, &graphs[0]).expect("repeat add");
+    assert!(resp.ok);
+    assert_eq!(resp.indexed, Some(false), "duplicate must not re-index");
+    assert_eq!(
+        resp.cached,
+        Some(true),
+        "duplicate short-circuits the embed"
+    );
+
+    // every indexed graph is its own nearest neighbour at ~1.0 cosine
+    for g in &graphs {
+        let resp = client.search(None, g, Some(3)).expect("search");
+        assert!(resp.ok, "search failed: {:?}", resp.error);
+        let results = resp.results.expect("results present");
+        assert!(!results.is_empty() && results.len() <= 3);
+        assert_eq!(results[0].hash, hash_to_hex(sgcl_graph::content_hash(g)));
+        assert!(results[0].score > 0.999, "self-score {}", results[0].score);
+    }
+
+    // the info block reports the live index
+    let info = client.info().expect("info");
+    let index = info.info.expect("info body").index.expect("index block");
+    assert_eq!(index.vectors, graphs.len() as u64);
+    assert!(index.persistent);
+    assert_eq!(index.m, IndexOptions::default().m);
+
+    client.shutdown().expect("shutdown op");
+    handle.join();
+
+    // restart over the same directory: shutdown flushed segments and
+    // snapshots, so the full index comes back without any re-adds
+    let handle = start(config()).expect("server restarts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let info = client.info().expect("info");
+    let index = info.info.expect("info body").index.expect("index block");
+    assert_eq!(index.vectors, graphs.len() as u64, "index lost on restart");
+    assert!(index.disk_bytes > 0, "restarted index must be on disk");
+    let resp = client.search(None, &graphs[3], Some(1)).expect("search");
+    let results = resp.results.expect("results present");
+    assert_eq!(
+        results[0].hash,
+        hash_to_hex(sgcl_graph::content_hash(&graphs[3]))
+    );
+    client.shutdown().expect("shutdown op");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_ops_without_an_index_are_usage_errors() {
+    let dir = scratch("noindex");
+    let (path, _model) = save_sgcl_checkpoint(&dir);
+    let handle = start(ServeConfig {
+        models: vec![("m".to_string(), path)],
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = random_graph(&mut rng);
+
+    let resp = client.index_add(None, &g).expect("reply");
+    assert!(!resp.ok);
+    assert_eq!(resp.wire_error().map(|(c, _)| c), Some(2));
+    let resp = client.search(None, &g, None).expect("reply");
+    assert!(!resp.ok);
+    assert_eq!(resp.wire_error().map(|(c, _)| c), Some(2));
+
+    client.shutdown().expect("shutdown op");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn protocol_errors_carry_stable_codes() {
     let dir = scratch("errors");
     let (path, _model) = save_sgcl_checkpoint(&dir);
@@ -217,6 +315,7 @@ fn protocol_errors_carry_stable_codes() {
             op: "bogus".to_string(),
             model: None,
             graph: None,
+            k: None,
         })
         .expect("reply");
     assert!(!resp.ok);
