@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release --bin serve                      # single node
 //! cargo run --release --bin serve -- --smoke           # CI-sized run
+//! cargo run --release --bin serve -- --conn-scaling    # + event-loop rows
 //! cargo run --release --bin serve -- --replicas 3      # routed tier
 //! cargo run --release --bin serve -- --replicas 3 --chaos
 //!                      # kill+restart a replica mid-run (default plan)
@@ -12,9 +13,14 @@
 //! ```
 //!
 //! Single-node mode hammers one in-process server (untrained tiny SGCL
-//! checkpoint — inference cost, not model quality, is under test) and
-//! reports throughput, latency percentiles, cache hit rate, and the
-//! micro-batch histogram.
+//! model served straight from memory — inference cost, not model quality,
+//! is under test) and reports throughput, latency percentiles, cache hit
+//! rate, and the micro-batch histogram. With `--conn-scaling` it then
+//! measures both net drivers at 64 / 512 / 2048 concurrent connections
+//! (a fixed set of active senders, the rest idle), recording throughput,
+//! latency percentiles, resident memory per connection, and the process
+//! thread count — the rows that justify the event driver: flat threads
+//! and near-flat memory as connections grow.
 //!
 //! Replicated mode starts N replicas, puts each behind a fault-injection
 //! proxy, fronts them with an in-process router, and drives three
@@ -26,23 +32,50 @@
 //! valid when `host_parallelism > 1`, and the `scaling_valid` flag says
 //! so machine-readably.
 
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sgcl_core::{Checkpoint, SgclConfig, SgclModel};
+use sgcl_common::json::{obj, Value};
+use sgcl_core::{SgclConfig, SgclModel};
 use sgcl_gnn::{EncoderConfig, EncoderKind};
 use sgcl_graph::Graph;
 use sgcl_serve::fault::{ChaosProxy, FaultPlan};
 use sgcl_serve::health::HealthPolicy;
 use sgcl_serve::protocol::RouterStatsBody;
-use sgcl_serve::{start, start_router, Client, ClientConfig, RouterConfig, ServeConfig};
+use sgcl_serve::registry::{ModelEntry, ModelRegistry};
+use sgcl_serve::{
+    start_router, start_with_registry, Client, ClientConfig, NetDriver, RouterConfig, ServeConfig,
+};
 use sgcl_tensor::Matrix;
 
 const INPUT_DIM: usize = 8;
 const PHASES: [&str; 3] = ["steady", "failover", "recovery"];
+/// Connection counts of the `--conn-scaling` rows, per net driver.
+const CONN_STEPS: [usize; 3] = [64, 512, 2048];
+
+/// The served model: tiny, untrained, rebuilt bit-identically per server
+/// from a fixed seed (serving overhead is what's measured).
+fn make_registry() -> ModelRegistry {
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = SgclModel::new(
+        SgclConfig {
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: INPUT_DIM,
+                hidden_dim: 16,
+                num_layers: 2,
+            },
+            ..SgclConfig::paper_unsupervised(INPUT_DIM)
+        },
+        &mut rng,
+    );
+    ModelRegistry::from_entries(vec![ModelEntry::from_sgcl("bench", model)])
+        .expect("single-entry registry")
+}
 
 fn random_graph(rng: &mut StdRng) -> Graph {
     let n = rng.gen_range(6usize..20);
@@ -68,6 +101,14 @@ fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
     sorted_ns[idx.min(sorted_ns.len() - 1)]
 }
 
+fn latency_json(sorted_ns: &[u64]) -> Value {
+    obj([
+        ("p50", Value::from_u64(percentile(sorted_ns, 0.50))),
+        ("p95", Value::from_u64(percentile(sorted_ns, 0.95))),
+        ("p99", Value::from_u64(percentile(sorted_ns, 0.99))),
+    ])
+}
+
 fn ok_or_exit<T>(r: Result<T, sgcl_common::SgclError>) -> T {
     r.unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -83,25 +124,48 @@ struct Sample {
     ok: bool,
 }
 
-fn write_doc(out: &str, doc: &serde_json::Value) {
-    let bytes = serde_json::to_vec_pretty(doc).expect("serialise");
-    if let Err(e) = sgcl_common::write_atomic(std::path::Path::new(out), &bytes) {
+fn write_doc(out: &str, doc: &Value) {
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    if let Err(e) = sgcl_common::write_atomic(std::path::Path::new(out), text.as_bytes()) {
         eprintln!("error: {e}");
         std::process::exit(i32::from(e.exit_code()));
     }
     println!("\nresults written to {out}");
 }
 
-fn topology_json(replicas: usize) -> serde_json::Value {
+fn topology_json(replicas: usize) -> Value {
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
-    serde_json::json!({
-        "replicas": replicas,
-        "host_parallelism": host_parallelism,
+    obj([
+        ("replicas", Value::from_usize(replicas)),
+        ("host_parallelism", Value::from_usize(host_parallelism)),
         // replica scaling claims need both >1 replicas and cores to run
         // them on; single-core CI boxes must not be read as speedups
-        "scaling_valid": replicas > 1 && host_parallelism > 1,
-        "simd": sgcl_tensor::simd::active().name(),
-    })
+        (
+            "scaling_valid",
+            Value::Bool(replicas > 1 && host_parallelism > 1),
+        ),
+        ("simd", Value::str(sgcl_tensor::simd::active().name())),
+    ])
+}
+
+/// `(VmRSS bytes, thread count)` of this process, from
+/// `/proc/self/status`; zeros where procfs is unavailable.
+fn proc_status() -> (u64, u64) {
+    let text = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let field = |prefix: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(prefix))
+            .and_then(|rest| {
+                rest.trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+            .unwrap_or(0)
+    };
+    (field("VmRSS:") * 1024, field("Threads:"))
 }
 
 fn main() {
@@ -125,30 +189,15 @@ fn main() {
     let chaos_spec = args.get("chaos").map(str::to_string);
     let chaos = chaos_spec.is_some() || args.flag("chaos");
     let phase_ms = ok_or_exit(args.get_parse("phase-ms", if smoke { 800u64 } else { 2500 }));
+    let conn_scaling = args.flag("conn-scaling");
+    let active_senders = ok_or_exit(args.get_parse("active", 32usize)).max(1);
 
-    // a tiny untrained model: serving overhead is what's measured
-    let mut rng = StdRng::seed_from_u64(42);
-    let model = SgclModel::new(
-        SgclConfig {
-            encoder: EncoderConfig {
-                kind: EncoderKind::Gin,
-                input_dim: INPUT_DIM,
-                hidden_dim: 16,
-                num_layers: 2,
-            },
-            ..SgclConfig::paper_unsupervised(INPUT_DIM)
-        },
-        &mut rng,
-    );
-    let ckpt_path =
-        std::env::temp_dir().join(format!("sgcl-bench-serve-{}.json", std::process::id()));
-    ok_or_exit(Checkpoint::capture(&model).save(&ckpt_path));
+    let mut rng = StdRng::seed_from_u64(7);
     let pool: Vec<Graph> = (0..pool_size).map(|_| random_graph(&mut rng)).collect();
 
     if replicas > 1 || chaos {
         run_tier(
             &out,
-            &ckpt_path,
             &pool,
             clients,
             replicas,
@@ -161,35 +210,46 @@ fn main() {
     } else {
         run_single(
             &out,
-            &ckpt_path,
             &pool,
             clients,
             requests,
             max_batch,
             max_wait_ms,
+            conn_scaling.then_some(ConnScaling {
+                active_senders,
+                requests_per_sender: if smoke { 10 } else { 50 },
+            }),
         );
     }
-    let _ = std::fs::remove_file(&ckpt_path);
 }
 
 // ---------------------------------------------------------------- single
 
+/// Parameters of the optional connection-scaling sweep.
+struct ConnScaling {
+    active_senders: usize,
+    requests_per_sender: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_single(
     out: &str,
-    ckpt_path: &std::path::Path,
     pool: &[Graph],
     clients: usize,
     requests: usize,
     max_batch: usize,
     max_wait_ms: u64,
+    conn_scaling: Option<ConnScaling>,
 ) {
-    let handle = ok_or_exit(start(ServeConfig {
-        models: vec![("bench".to_string(), ckpt_path.to_path_buf())],
-        max_batch,
-        max_wait_ms,
-        workers: 2,
-        ..ServeConfig::default()
-    }));
+    let handle = ok_or_exit(start_with_registry(
+        ServeConfig {
+            max_batch,
+            max_wait_ms,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        make_registry(),
+    ));
     let addr = handle.addr();
 
     println!(
@@ -243,9 +303,6 @@ fn run_single(
 
     latencies.sort_unstable();
     let total = latencies.len() as u64;
-    let p50 = percentile(&latencies, 0.50);
-    let p95 = percentile(&latencies, 0.95);
-    let p99 = percentile(&latencies, 0.99);
     let throughput = total as f64 / elapsed.as_secs_f64();
     let hit_rate = if stats.cache_hits + stats.cache_misses > 0 {
         stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64
@@ -261,9 +318,9 @@ fn run_single(
     println!("throughput   {throughput:>10.0} req/s  ({total} requests in {elapsed:.2?})");
     println!(
         "latency      p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms",
-        p50 as f64 / 1e6,
-        p95 as f64 / 1e6,
-        p99 as f64 / 1e6
+        percentile(&latencies, 0.50) as f64 / 1e6,
+        percentile(&latencies, 0.95) as f64 / 1e6,
+        percentile(&latencies, 0.99) as f64 / 1e6
     );
     println!(
         "cache        {:.1}% hit rate ({} hits / {} misses)",
@@ -276,30 +333,189 @@ fn run_single(
         stats.batches, stats.batch_histogram
     );
 
-    let doc = serde_json::json!({
-        "experiment": "serve",
-        "topology": topology_json(1),
-        "clients": clients,
-        "requests_per_client": requests,
-        "graph_pool": pool.len(),
-        "max_batch": max_batch,
-        "max_wait_ms": max_wait_ms,
-        "total_requests": total,
-        "elapsed_s": elapsed.as_secs_f64(),
-        "throughput_rps": throughput,
-        "latency_ns": { "p50": p50, "p95": p95, "p99": p99 },
-        "cache": {
-            "hits": stats.cache_hits,
-            "misses": stats.cache_misses,
-            "hit_rate": hit_rate,
-            "client_observed_hits": client_hits,
-        },
-        "batches": stats.batches,
-        "mean_batch_size": mean_batch,
-        "batch_histogram": stats.batch_histogram,
-        "shed": stats.shed,
+    let scaling_rows = conn_scaling.map(|cfg| {
+        let mut rows = Vec::new();
+        for driver in [NetDriver::Event, NetDriver::Threads] {
+            for conns in CONN_STEPS {
+                rows.push(run_conn_row(
+                    driver,
+                    conns,
+                    pool,
+                    max_batch,
+                    max_wait_ms,
+                    &cfg,
+                ));
+            }
+        }
+        Value::Arr(rows)
     });
-    write_doc(out, &doc);
+
+    let mut doc = vec![
+        ("experiment", Value::str("serve")),
+        ("topology", topology_json(1)),
+        ("clients", Value::from_usize(clients)),
+        ("requests_per_client", Value::from_usize(requests)),
+        ("graph_pool", Value::from_usize(pool.len())),
+        ("max_batch", Value::from_usize(max_batch)),
+        ("max_wait_ms", Value::from_u64(max_wait_ms)),
+        ("total_requests", Value::from_u64(total)),
+        ("elapsed_s", Value::from_f64(elapsed.as_secs_f64())),
+        ("throughput_rps", Value::from_f64(throughput)),
+        ("latency_ns", latency_json(&latencies)),
+        (
+            "cache",
+            obj([
+                ("hits", Value::from_u64(stats.cache_hits)),
+                ("misses", Value::from_u64(stats.cache_misses)),
+                ("hit_rate", Value::from_f64(hit_rate)),
+                ("client_observed_hits", Value::from_u64(client_hits)),
+            ]),
+        ),
+        ("batches", Value::from_u64(stats.batches)),
+        ("mean_batch_size", Value::from_f64(mean_batch)),
+        (
+            "batch_histogram",
+            Value::Arr(
+                stats
+                    .batch_histogram
+                    .iter()
+                    .map(|&c| Value::from_u64(c))
+                    .collect(),
+            ),
+        ),
+        ("shed", Value::from_u64(stats.shed)),
+    ];
+    if let Some(rows) = scaling_rows {
+        doc.push(("conn_scaling", rows));
+    }
+    write_doc(out, &obj(doc));
+}
+
+/// One connection-scaling measurement: `conns` total connections against
+/// a fresh server under `driver` — a fixed set of active senders, the
+/// rest idle (held open, never writing), the mix a long-lived service
+/// actually sees. Reports the driver-dependent costs: resident memory
+/// per connection and the process thread count.
+fn run_conn_row(
+    driver: NetDriver,
+    conns: usize,
+    pool: &[Graph],
+    max_batch: usize,
+    max_wait_ms: u64,
+    cfg: &ConnScaling,
+) -> Value {
+    let handle = ok_or_exit(start_with_registry(
+        ServeConfig {
+            max_batch,
+            max_wait_ms,
+            workers: 2,
+            net: driver,
+            ..ServeConfig::default()
+        },
+        make_registry(),
+    ));
+    let addr = handle.addr();
+    let active = cfg.active_senders.min(conns);
+    let idle_target = conns - active;
+
+    // warm the embedding cache first so the rows measure steady-state
+    // driver overhead (framing, readiness, scheduling), not first-touch
+    // model compute — and so the cache's memory lands in the baseline
+    // RSS snapshot rather than in the per-connection delta
+    {
+        let mut warm = ok_or_exit(Client::connect(addr));
+        for g in pool {
+            ok_or_exit(warm.embed(None, g));
+        }
+    }
+
+    let (rss_before, _) = proc_status();
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(idle_target);
+    while idle.len() < idle_target {
+        match TcpStream::connect(addr) {
+            Ok(s) => idle.push(s),
+            // listen backlog overflow under the connect burst: let the
+            // accept loop catch up, then keep going
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+
+    // two barriers: all senders connected → measure → go
+    let connected = Arc::new(Barrier::new(active + 1));
+    let go = Arc::new(Barrier::new(active + 1));
+    let senders: Vec<_> = (0..active)
+        .map(|c| {
+            let pool = pool.to_vec();
+            let connected = Arc::clone(&connected);
+            let go = Arc::clone(&go);
+            let requests = cfg.requests_per_sender;
+            std::thread::spawn(move || -> Result<(Vec<u64>, u64), sgcl_common::SgclError> {
+                let mut client = Client::connect(addr)?;
+                connected.wait();
+                go.wait();
+                let mut latencies = Vec::with_capacity(requests);
+                let mut errors = 0u64;
+                for j in 0..requests {
+                    let g = &pool[(c * 13 + j * 7) % pool.len()];
+                    let t = Instant::now();
+                    let resp = client.embed(None, g)?;
+                    latencies.push(t.elapsed().as_nanos() as u64);
+                    if !resp.ok {
+                        errors += 1;
+                    }
+                }
+                Ok((latencies, errors))
+            })
+        })
+        .collect();
+
+    connected.wait();
+    // every connection (idle + sender) is established: snapshot the
+    // driver's standing costs before any load runs
+    let (rss_idle, process_threads) = proc_status();
+    go.wait();
+    let wall = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for s in senders {
+        let (ns, errs) = ok_or_exit(s.join().expect("sender thread panicked"));
+        latencies.extend(ns);
+        errors += errs;
+    }
+    let elapsed = wall.elapsed();
+
+    drop(idle);
+    handle.stop();
+
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let rss_delta = rss_idle.saturating_sub(rss_before);
+    println!(
+        "conn-scaling {:>7} {:>5} conns ({active} active): {throughput:>8.0} req/s, \
+         p99 {:>8.3} ms, {:>6.1} KiB/conn, {process_threads} threads",
+        driver.as_str(),
+        conns,
+        percentile(&latencies, 0.99) as f64 / 1e6,
+        rss_delta as f64 / conns as f64 / 1024.0,
+    );
+
+    obj([
+        ("driver", Value::str(driver.as_str())),
+        ("connections", Value::from_usize(conns)),
+        ("active_senders", Value::from_usize(active)),
+        ("requests", Value::from_u64(total)),
+        ("errors", Value::from_u64(errors)),
+        ("elapsed_s", Value::from_f64(elapsed.as_secs_f64())),
+        ("throughput_rps", Value::from_f64(throughput)),
+        ("latency_ns", latency_json(&latencies)),
+        ("rss_delta_bytes", Value::from_u64(rss_delta)),
+        (
+            "rss_per_conn_bytes",
+            Value::from_u64(rss_delta / conns.max(1) as u64),
+        ),
+        ("process_threads", Value::from_u64(process_threads)),
+    ])
 }
 
 // ------------------------------------------------------------------ tier
@@ -307,7 +523,6 @@ fn run_single(
 #[allow(clippy::too_many_arguments)]
 fn run_tier(
     out: &str,
-    ckpt_path: &std::path::Path,
     pool: &[Graph],
     clients: usize,
     replicas: usize,
@@ -319,13 +534,15 @@ fn run_tier(
 ) {
     let servers: Vec<_> = (0..replicas)
         .map(|_| {
-            ok_or_exit(start(ServeConfig {
-                models: vec![("bench".to_string(), ckpt_path.to_path_buf())],
-                max_batch,
-                max_wait_ms,
-                workers: 2,
-                ..ServeConfig::default()
-            }))
+            ok_or_exit(start_with_registry(
+                ServeConfig {
+                    max_batch,
+                    max_wait_ms,
+                    workers: 2,
+                    ..ServeConfig::default()
+                },
+                make_registry(),
+            ))
         })
         .collect();
     let proxies: Vec<ChaosProxy> = servers
@@ -449,11 +666,6 @@ fn run_tier(
             .map(|s| s.latency_ns)
             .collect();
         lats.sort_unstable();
-        let (p50, p95, p99) = (
-            percentile(&lats, 0.50),
-            percentile(&lats, 0.95),
-            percentile(&lats, 0.99),
-        );
         let err_rate = if in_phase.is_empty() {
             0.0
         } else {
@@ -467,20 +679,20 @@ fn run_tier(
             in_phase.len(),
             errors,
             err_rate * 100.0,
-            p50 as f64 / 1e6,
-            p95 as f64 / 1e6,
-            p99 as f64 / 1e6,
+            percentile(&lats, 0.50) as f64 / 1e6,
+            percentile(&lats, 0.95) as f64 / 1e6,
+            percentile(&lats, 0.99) as f64 / 1e6,
         );
-        phase_rows.push(serde_json::json!({
-            "phase": name,
-            "requests": in_phase.len(),
-            "errors": errors,
-            "error_rate": err_rate,
-            "latency_ns": { "p50": p50, "p95": p95, "p99": p99 },
-            "router_retries": retries,
-            "router_shed": shed,
-            "router_unavailable": unavailable,
-        }));
+        phase_rows.push(obj([
+            ("phase", Value::str(*name)),
+            ("requests", Value::from_usize(in_phase.len())),
+            ("errors", Value::from_usize(errors)),
+            ("error_rate", Value::from_f64(err_rate)),
+            ("latency_ns", latency_json(&lats)),
+            ("router_retries", Value::from_u64(retries)),
+            ("router_shed", Value::from_u64(shed)),
+            ("router_unavailable", Value::from_u64(unavailable)),
+        ]));
     }
 
     let total = samples.len() as u64;
@@ -507,41 +719,62 @@ fn run_tier(
         proxy.stop();
     }
 
-    let doc = serde_json::json!({
-        "experiment": "serve",
-        "topology": topology_json(replicas),
-        "clients": clients,
-        "graph_pool": pool.len(),
-        "max_batch": max_batch,
-        "max_wait_ms": max_wait_ms,
-        "phase_ms": phase_ms,
-        "chaos_plan": plan_spec,
-        "chaos_applied": applied
-            .iter()
-            .map(|(at, replica, action)| serde_json::json!({
-                "at_ms": at.as_millis() as u64,
-                "replica": replica,
-                "action": format!("{action:?}"),
-            }))
-            .collect::<Vec<_>>(),
-        "phases": phase_rows,
-        "total_requests": total,
-        "total_errors": total_errors,
-        "elapsed_s": elapsed.as_secs_f64(),
-        "throughput_rps": throughput,
-        "router": {
-            "retries": final_info.stats.retries,
-            "shed": final_info.stats.shed,
-            "unavailable": final_info.stats.unavailable,
-            "forwarded": final_info.stats.forwarded,
-            "replicas": final_info.replicas.iter().map(|r| serde_json::json!({
-                "addr": r.addr,
-                "healthy": r.healthy,
-                "ejections": r.ejections,
-                "requests": r.requests,
-                "failures": r.failures,
-            })).collect::<Vec<_>>(),
-        },
-    });
+    let doc = obj([
+        ("experiment", Value::str("serve")),
+        ("topology", topology_json(replicas)),
+        ("clients", Value::from_usize(clients)),
+        ("graph_pool", Value::from_usize(pool.len())),
+        ("max_batch", Value::from_usize(max_batch)),
+        ("max_wait_ms", Value::from_u64(max_wait_ms)),
+        ("phase_ms", Value::from_u64(phase_ms)),
+        ("chaos_plan", Value::str(plan_spec.as_str())),
+        (
+            "chaos_applied",
+            Value::Arr(
+                applied
+                    .iter()
+                    .map(|(at, replica, action)| {
+                        obj([
+                            ("at_ms", Value::from_u64(at.as_millis() as u64)),
+                            ("replica", Value::from_usize(*replica)),
+                            ("action", Value::str(format!("{action:?}"))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("phases", Value::Arr(phase_rows)),
+        ("total_requests", Value::from_u64(total)),
+        ("total_errors", Value::from_u64(total_errors)),
+        ("elapsed_s", Value::from_f64(elapsed.as_secs_f64())),
+        ("throughput_rps", Value::from_f64(throughput)),
+        (
+            "router",
+            obj([
+                ("retries", Value::from_u64(final_info.stats.retries)),
+                ("shed", Value::from_u64(final_info.stats.shed)),
+                ("unavailable", Value::from_u64(final_info.stats.unavailable)),
+                ("forwarded", Value::from_u64(final_info.stats.forwarded)),
+                (
+                    "replicas",
+                    Value::Arr(
+                        final_info
+                            .replicas
+                            .iter()
+                            .map(|r| {
+                                obj([
+                                    ("addr", Value::str(r.addr.as_str())),
+                                    ("healthy", Value::Bool(r.healthy)),
+                                    ("ejections", Value::from_u64(r.ejections)),
+                                    ("requests", Value::from_u64(r.requests)),
+                                    ("failures", Value::from_u64(r.failures)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
     write_doc(out, &doc);
 }

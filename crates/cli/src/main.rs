@@ -33,7 +33,7 @@ use sgcl_index::{HnswParams, IndexSet, DEFAULT_SEED};
 use sgcl_serve::health::HealthPolicy;
 use sgcl_serve::key::hash_to_hex;
 use sgcl_serve::registry::parse_model_specs;
-use sgcl_serve::{IndexOptions, RouterConfig, ServeConfig};
+use sgcl_serve::{IndexOptions, NetDriver, RouterConfig, ServeConfig};
 use sgcl_tensor::{Matrix, ParamStore};
 use std::path::Path;
 use std::process::ExitCode;
@@ -93,6 +93,16 @@ COMMANDS:
              --deadline-ms <N> (5000)       per-request deadline (0 = none)
              --max-queue <N> (0 = 4×max-batch)  waiting jobs before new
                                             requests are shed (Overloaded)
+             --net <event|threads> (event)  connection driver: one epoll/
+                                            poll reactor thread for every
+                                            connection, or one blocking
+                                            thread per connection
+             --idle-timeout-ms <N> (60000)  close connections idle this
+                                            long with a Timeout error
+                                            (0 = never)
+             --max-line-bytes <N> (8388608) request-line size cap; larger
+                                            lines get a Parse error and
+                                            the connection is closed
              Similarity index (off unless one of the first two is given;
              enables the index_add and search operations):
              --index-dir <DIR>              persistent store + snapshots
@@ -115,6 +125,11 @@ COMMANDS:
              --eject-after <N> (3)          consecutive failures → eject
              --readmit-after <N> (2)        probe successes → readmit
              --probe-interval-ms <N> (200)  pause between probe rounds
+             --net <event|threads> (event)  connection driver (as in serve)
+             --idle-timeout-ms <N> (60000)  close idle connections (0 = never)
+             --max-line-bytes <N> (8388608) request-line size cap
+             --forward-workers <N> (16)     replica-forwarding threads
+                                            under --net event
              Stop with a {\"op\":\"drain\"} request (replicas keep running).
   index      Offline similarity index over a dataset's embeddings
              build: embed every graph and write a persistent index
@@ -621,6 +636,18 @@ fn index_options(args: &Args) -> Result<Option<IndexOptions>, SgclError> {
     }))
 }
 
+/// Parses the `--net` driver choice shared by `serve` and `route`; the
+/// default honours the `SGCL_NET` environment variable (used by CI to run
+/// the same e2e suites against both drivers).
+fn net_driver(args: &Args) -> Result<NetDriver, SgclError> {
+    match args.get("net") {
+        None => Ok(NetDriver::default_from_env()),
+        Some(s) => NetDriver::parse(s).ok_or_else(|| {
+            SgclError::usage(format!("--net must be \"event\" or \"threads\", got {s:?}"))
+        }),
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), SgclError> {
     let specs = parse_model_specs(args.get("model"), args.get("models"))?;
     let config = ServeConfig {
@@ -632,6 +659,9 @@ fn cmd_serve(args: &Args) -> Result<(), SgclError> {
         workers: args.get_parse("workers", 2usize)?,
         deadline_ms: args.get_parse("deadline-ms", 5000u64)?,
         max_queue: args.get_parse("max-queue", 0usize)?,
+        net: net_driver(args)?,
+        idle_timeout_ms: args.get_parse("idle-timeout-ms", sgcl_serve::DEFAULT_IDLE_TIMEOUT_MS)?,
+        max_line_bytes: args.get_parse("max-line-bytes", sgcl_common::proto::MAX_LINE_BYTES)?,
         index: index_options(args)?,
     };
     let indexed = config.index.is_some();
@@ -803,6 +833,10 @@ fn cmd_route(args: &Args) -> Result<(), SgclError> {
         },
         retries: args.get_parse("retries", 3u32)?,
         max_inflight: args.get_parse("max-inflight", 256usize)?,
+        net: net_driver(args)?,
+        idle_timeout_ms: args.get_parse("idle-timeout-ms", sgcl_serve::DEFAULT_IDLE_TIMEOUT_MS)?,
+        max_line_bytes: args.get_parse("max-line-bytes", sgcl_common::proto::MAX_LINE_BYTES)?,
+        forward_workers: args.get_parse("forward-workers", 16usize)?,
         ..RouterConfig::default()
     };
     let n = config.replicas.len();

@@ -1,0 +1,684 @@
+//! A small dependency-free JSON engine for the serving wire protocol and
+//! the bench artifact writers.
+//!
+//! The offline workloads (datasets, checkpoints) keep using `serde_json`
+//! — their files are large, schema-rich, and never touch the serving hot
+//! path. The *wire* protocol is different: it is newline-delimited JSON
+//! handled on every request, its shapes are small and fixed, and the
+//! serving tier is otherwise dependency-free (see [`crate::proto`]). This
+//! module gives that tier a complete, std-only JSON implementation:
+//!
+//! * [`Value`] — a parsed JSON tree. Numbers keep their *source token*
+//!   (or a token rendered by a typed constructor) so a field can be
+//!   narrowed to exactly the type the caller wants (`u64` vs `f32`)
+//!   without an intermediate `f64` round-trip.
+//! * [`parse`] — a recursive-descent parser with a hard nesting-depth
+//!   bound (the wire layer feeds it attacker-controlled bytes).
+//! * [`Value::write`] / [`Value::to_string`] — compact emission, and
+//!   [`Value::to_pretty`] for bench artifacts.
+//!
+//! Non-finite floats serialise as `null` (matching `serde_json`), and
+//! float tokens render through Rust's shortest round-trip formatting, so
+//! an `f32` survives encode → parse → `as_f32` bit-exactly.
+
+use std::fmt;
+
+/// Parser nesting bound: deeper documents are rejected instead of
+/// recursing towards a stack overflow on hostile input.
+const MAX_DEPTH: usize = 128;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its JSON token (always a valid JSON number).
+    Num(String),
+    /// A string (already unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved, lookups are linear (wire
+    /// objects are small).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Integer constructor.
+    pub fn from_u64(v: u64) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// Integer constructor.
+    pub fn from_usize(v: usize) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// Float constructor; non-finite values become `null` (as in
+    /// `serde_json`).
+    pub fn from_f64(v: f64) -> Value {
+        if v.is_finite() {
+            Value::Num(format_float(v))
+        } else {
+            Value::Null
+        }
+    }
+
+    /// Float constructor; non-finite values become `null`.
+    pub fn from_f32(v: f32) -> Value {
+        if v.is_finite() {
+            Value::Num(format_float_32(v))
+        } else {
+            Value::Null
+        }
+    }
+
+    /// String constructor.
+    pub fn str(v: impl Into<String>) -> Value {
+        Value::Str(v.into())
+    }
+
+    /// Member lookup on an object; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null` (used to treat explicit `null` like a missing
+    /// optional field).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Narrows to a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Narrows to a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Narrows to a `u64`; fractional or negative tokens are rejected.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Narrows to a `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Narrows to a `u32`.
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Narrows to an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Narrows to an `f32` directly from the token, so shortest-repr
+    /// floats round-trip bit-exactly with no double rounding through
+    /// `f64`.
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Narrows to an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact serialisation appended to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(tok) => out.push_str(tok),
+            Value::Str(s) => write_json_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty serialisation (2-space indent) for bench artifacts.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_json_string(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Builds an object from `(key, value)` pairs, preserving order.
+pub fn obj(members: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+    Value::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Renders an `f64` as a JSON number token. Rust's shortest round-trip
+/// `Display` never emits exponents or a trailing `.0`, and bare integers
+/// are valid JSON numbers, so the output needs no fixing up.
+fn format_float(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    format!("{v}")
+}
+
+fn format_float_32(v: f32) -> String {
+    debug_assert!(v.is_finite());
+    format!("{v}")
+}
+
+/// Appends `v` to `out` as a JSON number token, or `null` when
+/// non-finite. For hot encode paths that build strings directly instead
+/// of going through a [`Value`] tree.
+pub fn write_f32(out: &mut String, v: f32) {
+    use std::fmt::Write;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escapes `s` as a JSON string literal appended to `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus a short diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // fast path: copy unescaped ASCII/UTF-8 runs wholesale
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // the input is a &str, so any slice between structural ASCII
+            // bytes is valid UTF-8
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("slicing &str at ASCII boundaries preserves UTF-8"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0c}'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // surrogate pair: require the low half immediately
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')
+                            .map_err(|_| self.err("expected low surrogate"))?;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err("unpaired surrogate"));
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?);
+            }
+            other => return Err(self.err(format!("unknown escape {:?}", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(self.err("expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        Ok(Value::Num(tok))
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+        assert_eq!(parse("[1,2,3]").unwrap().as_array().unwrap().len(), 3,);
+        let v = parse(r#"{"op":"ping","id":7,"k":null}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("ping"));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+        assert!(v.get("k").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1}garbage",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_bound_rejects_hostile_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(16) + &"]".repeat(16);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        // shortest-repr encode → parse → narrow must reproduce the bits,
+        // including subnormals and negative zero
+        for &x in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.5,
+            std::f32::consts::PI,
+            f32::MIN_POSITIVE,
+            1.0e-40,
+            3.4028235e38,
+            -7.218_961e-5,
+        ] {
+            let v = Value::from_f32(x);
+            let back = parse(&v.to_string()).unwrap().as_f32().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:?} → {v} → {back:?}");
+        }
+        assert_eq!(Value::from_f32(f32::NAN), Value::Null);
+        assert_eq!(Value::from_f64(f64::INFINITY), Value::Null);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "quote\" slash\\ tab\t nl\n unicode→ \u{1F600} ctrl\u{01}";
+        let mut encoded = String::new();
+        write_json_string(original, &mut encoded);
+        assert_eq!(parse(&encoded).unwrap().as_str().unwrap(), original,);
+        // surrogate-pair escapes decode to the astral character
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str().unwrap(),
+            "\u{1F600}",
+        );
+    }
+
+    #[test]
+    fn number_tokens_narrow_per_type() {
+        let v = parse("{\"a\":18446744073709551615,\"b\":2.5,\"c\":-3}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("a").unwrap().as_u32(), None);
+        assert_eq!(v.get("b").unwrap().as_f32(), Some(2.5));
+        assert_eq!(v.get("b").unwrap().as_u64(), None);
+        assert_eq!(v.get("c").unwrap().as_f64(), Some(-3.0));
+    }
+
+    #[test]
+    fn compact_output_has_no_spaces_and_pretty_is_reparsable() {
+        let doc = obj([
+            ("ok", Value::Bool(true)),
+            ("code", Value::from_u64(4)),
+            ("items", Value::Arr(vec![Value::from_f32(0.5), Value::Null])),
+        ]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"ok":true,"code":4,"items":[0.5,null]}"#
+        );
+        assert_eq!(parse(&doc.to_pretty()).unwrap(), doc);
+    }
+}

@@ -17,10 +17,14 @@
 //!   `--seed`, `--quick`, …) parse identically everywhere.
 //! * [`proto`] — wire-level semantics (operations, stable error codes,
 //!   limits) of the `sgcl serve` protocol, shared by server and clients.
+//! * [`json`] — a std-only JSON value/parser/writer used by the serving
+//!   wire layer and the bench artifact writers, keeping the request hot
+//!   path dependency-free.
 
 #![warn(missing_docs)]
 
 pub mod cli_opts;
+pub mod json;
 pub mod proto;
 
 pub use cli_opts::Args;

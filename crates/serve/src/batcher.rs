@@ -35,6 +35,31 @@ pub struct Embedded {
 /// Reply sent back to the waiting connection thread.
 pub type JobReply = Result<Embedded, WireError>;
 
+/// Where a finished job's reply goes. The blocking driver parks a thread
+/// on an mpsc channel; the event driver registers a hook that renders the
+/// reply and pushes it through the reactor's completion queue. Either
+/// way the batcher delivers exactly one reply per job (expiry, panic,
+/// divergence, and success paths all consume the sink).
+pub enum ReplySink {
+    /// Deliver to a thread blocked on the paired receiver.
+    Channel(Sender<JobReply>),
+    /// Run a closure with the reply (event driver; must not block).
+    Hook(Box<dyn FnOnce(JobReply) + Send>),
+}
+
+impl ReplySink {
+    /// Delivers the reply, consuming the sink. A closed channel receiver
+    /// is ignored — the requester gave up, nobody is listening.
+    pub fn send(self, reply: JobReply) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Hook(hook) => hook(reply),
+        }
+    }
+}
+
 /// One queued embed request.
 pub struct Job {
     /// Registry index of the target model.
@@ -47,7 +72,7 @@ pub struct Job {
     /// [`WireCode::DeadlineExceeded`].
     pub deadline: Option<Instant>,
     /// Where to send the result.
-    pub reply: Sender<JobReply>,
+    pub reply: ReplySink,
 }
 
 struct BatchQueue {
@@ -95,20 +120,25 @@ impl Batcher {
     }
 
     /// Enqueues a job; fails once the queue is shutting down, or with
-    /// [`WireCode::Overloaded`] when the queue is already full (the job
-    /// is shed, never enqueued, so the client may safely retry elsewhere).
-    pub fn submit(&self, job: Job) -> Result<(), WireError> {
+    /// [`WireCode::Overloaded`] when the queue is already full. A rejected
+    /// job is handed back with the typed error so the caller can deliver
+    /// the rejection through the job's own [`ReplySink`] (the event driver
+    /// must answer through its completion hook, not out of band).
+    pub fn submit(&self, job: Job) -> Result<(), (WireError, Job)> {
         let mut st = self.state.lock().expect("batcher lock poisoned");
         if st.shutdown {
-            return Err(WireError::new(
-                WireCode::ShuttingDown,
-                "server is shutting down",
+            return Err((
+                WireError::new(WireCode::ShuttingDown, "server is shutting down"),
+                job,
             ));
         }
         if st.queue.len() >= self.max_queue {
-            return Err(WireError::new(
-                WireCode::Overloaded,
-                format!("queue full ({} waiting jobs)", self.max_queue),
+            return Err((
+                WireError::new(
+                    WireCode::Overloaded,
+                    format!("queue full ({} waiting jobs)", self.max_queue),
+                ),
+                job,
             ));
         }
         st.queue.push_back(job);
@@ -191,7 +221,7 @@ fn run_batch(model: &ModelEntry, batch: Vec<Job>, cache: &Mutex<LruCache>, stats
         None => true,
     });
     for job in expired {
-        let _ = job.reply.send(Err(WireError::new(
+        job.reply.send(Err(WireError::new(
             WireCode::DeadlineExceeded,
             "request expired in queue before a worker picked it up",
         )));
@@ -207,7 +237,7 @@ fn run_batch(model: &ModelEntry, batch: Vec<Job>, cache: &Mutex<LruCache>, stats
         Ok(m) => m,
         Err(_) => {
             for job in live {
-                let _ = job.reply.send(Err(WireError::new(
+                job.reply.send(Err(WireError::new(
                     WireCode::Internal,
                     "embedding worker panicked on this batch",
                 )));
@@ -224,13 +254,13 @@ fn run_batch(model: &ModelEntry, batch: Vec<Job>, cache: &Mutex<LruCache>, stats
         let row = rows.row(i).to_vec();
         if row.iter().all(|x| x.is_finite()) {
             cache.insert((job.model, job.hash), row.clone());
-            let _ = job.reply.send(Ok(Embedded {
+            job.reply.send(Ok(Embedded {
                 embedding: row,
                 cached: false,
                 batch_size: size,
             }));
         } else {
-            let _ = job.reply.send(Err(WireError::new(
+            job.reply.send(Err(WireError::new(
                 WireCode::Diverged,
                 "embedding contains non-finite values",
             )));

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use sgcl_common::{Args, SgclError};
 use sgcl_serve::health::HealthPolicy;
-use sgcl_serve::{start_router, RouterConfig};
+use sgcl_serve::{start_router, NetDriver, RouterConfig, DEFAULT_IDLE_TIMEOUT_MS};
 
 const USAGE: &str = "sgcl-router — replicated serving tier for sgcl serve backends
 
@@ -28,6 +28,16 @@ OPTIONS:
   --probe-interval-ms <N>       pause between health-probe rounds (200)
   --probe-timeout-ms <N>        connect/read bound of one probe (1000)
   --forward-timeout-ms <N>      read/write bound of one forward (10000)
+  --net <event|threads>         connection driver (event): one epoll/poll
+                                reactor thread, or one blocking thread per
+                                connection
+  --idle-timeout-ms <N>         close client connections idle this long
+                                with a Timeout error (60000; 0 = never)
+  --max-line-bytes <N>          request-line size cap; larger lines get a
+                                Parse error and the connection is closed
+                                (8388608)
+  --forward-workers <N>         replica-forwarding threads under
+                                --net event (16)
 
 Stop with a {\"op\":\"drain\"} request: the router stops accepting,
 finishes everything in flight, and exits 0. Draining the router never
@@ -72,6 +82,15 @@ fn run() -> Result<(), SgclError> {
         retries: args.get_parse("retries", 3u32)?,
         max_inflight: args.get_parse("max-inflight", 256usize)?,
         forward_timeout: Duration::from_millis(args.get_parse("forward-timeout-ms", 10_000u64)?),
+        net: match args.get("net") {
+            None => NetDriver::default_from_env(),
+            Some(s) => NetDriver::parse(s).ok_or_else(|| {
+                SgclError::usage(format!("--net must be \"event\" or \"threads\", got {s:?}"))
+            })?,
+        },
+        idle_timeout_ms: args.get_parse("idle-timeout-ms", DEFAULT_IDLE_TIMEOUT_MS)?,
+        max_line_bytes: args.get_parse("max-line-bytes", sgcl_common::proto::MAX_LINE_BYTES)?,
+        forward_workers: args.get_parse("forward-workers", 16usize)?,
         ..RouterConfig::default()
     };
     let n = config.replicas.len();

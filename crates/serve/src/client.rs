@@ -19,7 +19,7 @@ use sgcl_data::io::GraphRecord;
 use sgcl_graph::Graph;
 
 use crate::health::{backoff_delay, Jitter};
-use crate::protocol::{encode_line, Request, Response};
+use crate::protocol::{encode_request, parse_response, Request, Response};
 
 /// Socket and retry behaviour of a [`Client`].
 #[derive(Clone, Debug)]
@@ -138,7 +138,7 @@ impl Client {
             request.id = self.next_id;
             self.next_id += 1;
         }
-        let line = encode_line(&request)?;
+        let line = encode_request(&request);
         let mut last_err = None;
         for attempt in 0..=self.config.retries {
             if attempt > 0 {
@@ -181,7 +181,7 @@ impl Client {
                 ),
             ));
         }
-        serde_json::from_str(reply.trim_end()).map_err(|e| SgclError::parse("server response", e))
+        parse_response(reply.trim_end())
     }
 
     /// Embeds one graph, optionally naming the model.

@@ -301,7 +301,7 @@ fn accept_loop(listener: TcpListener, upstream: SocketAddr, shared: &Arc<ProxySh
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(PROXY_POLL),
             Err(_) => std::thread::sleep(PROXY_POLL),
         }
-        pumps.retain(|h| !h.is_finished());
+        crate::net::reap_finished(&mut pumps);
     }
     for pump in pumps {
         let _ = pump.join();

@@ -30,7 +30,11 @@ pub mod health;
 pub mod index;
 pub mod key;
 mod net;
+#[cfg(unix)]
+mod pool;
 pub mod protocol;
+#[cfg(unix)]
+pub mod reactor;
 pub mod registry;
 pub mod router;
 pub mod server;
@@ -43,9 +47,57 @@ pub use client::{Client, ClientConfig};
 pub use index::{IndexOptions, ServeIndex};
 pub use key::CacheKey;
 pub use router::{start_router, RouterConfig, RouterHandle};
-pub use server::{start, ServerHandle};
+pub use server::{start, start_with_registry, ServerHandle};
 
 use crate::protocol::StatsBody;
+
+/// Which connection-handling driver the server and router run on.
+///
+/// `Event` multiplexes every connection over one reactor thread (epoll on
+/// Linux, `poll` elsewhere — see [`reactor`]); `Threads` keeps the
+/// original blocking thread-per-connection loops. Both speak the same
+/// protocol and pass the same e2e contracts; `Threads` exists as the
+/// conservative fallback and for non-Unix targets, where it is always
+/// used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetDriver {
+    /// Readiness-based reactor (default).
+    Event,
+    /// Blocking thread-per-connection.
+    Threads,
+}
+
+impl NetDriver {
+    /// Default driver, overridable via `SGCL_NET=threads|event` — the
+    /// hook CI uses to run every e2e suite under both drivers without
+    /// touching test code.
+    pub fn default_from_env() -> NetDriver {
+        match std::env::var("SGCL_NET").as_deref() {
+            Ok("threads") => NetDriver::Threads,
+            _ => NetDriver::Event,
+        }
+    }
+
+    /// Parses a `--net` flag value.
+    pub fn parse(s: &str) -> Option<NetDriver> {
+        match s {
+            "event" => Some(NetDriver::Event),
+            "threads" => Some(NetDriver::Threads),
+            _ => None,
+        }
+    }
+
+    /// Flag-value spelling of this driver.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NetDriver::Event => "event",
+            NetDriver::Threads => "threads",
+        }
+    }
+}
+
+/// Default idle timeout applied by both net drivers (milliseconds).
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 60_000;
 
 /// Server configuration; [`Default`] gives the documented CLI defaults
 /// with an OS-assigned port and no models (callers must fill `models`).
@@ -72,6 +124,14 @@ pub struct ServeConfig {
     /// Similarity-index configuration; `None` rejects `index_add` and
     /// `search` requests with `Usage`.
     pub index: Option<IndexOptions>,
+    /// Connection-handling driver (`--net`).
+    pub net: NetDriver,
+    /// Close connections idle (no complete request line) for this many
+    /// milliseconds; 0 disables (`--idle-timeout-ms`).
+    pub idle_timeout_ms: u64,
+    /// Maximum bytes buffered for one request line before replying with a
+    /// typed `Parse` error and closing (`--max-line-bytes`).
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +146,9 @@ impl Default for ServeConfig {
             deadline_ms: 5000,
             max_queue: 0,
             index: None,
+            net: NetDriver::default_from_env(),
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            max_line_bytes: sgcl_common::proto::MAX_LINE_BYTES,
         }
     }
 }

@@ -1,29 +1,86 @@
 //! Blocking newline-delimited-line I/O shared by the node server and the
-//! router: both read client request lines with a short poll timeout so
-//! idle connections notice the shutdown flag, and both write one JSON
-//! response per line.
+//! router's `--net threads` drivers: both read client request lines with a
+//! short poll timeout so idle connections notice the shutdown flag, and
+//! both write one JSON response per line. The same `max_line_bytes` and
+//! idle-timeout semantics as the event driver apply, so a client sees
+//! identical typed errors whichever driver the operator picked.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use sgcl_common::proto::{WireCode, WireError, MAX_LINE_BYTES};
+use sgcl_common::proto::{WireCode, WireError};
 
-use crate::protocol::{encode_line, Response};
+use crate::protocol::{encode_response, Response};
 
 /// How often blocked reads / accept loops re-check the shutdown flag.
 pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Joins and removes every finished handle in an accept loop's connection
+/// list. Merely dropping finished handles (the old `retain`) leaked the
+/// small amount of state a `JoinHandle` pins until process exit on a
+/// long-lived server; joining releases it as connections come and go.
+pub(crate) fn reap_finished(conns: &mut Vec<std::thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].is_finished() {
+            let _ = conns.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Per-connection line-reading limits, shared by both net drivers.
+#[derive(Clone, Copy)]
+pub(crate) struct LineLimits {
+    /// Maximum bytes buffered for one request line.
+    pub max_line_bytes: usize,
+    /// Close connections that go this long without completing a request
+    /// line (`None` = never). Partial bytes do not count as activity, so
+    /// a byte-dribbling peer still times out.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl LineLimits {
+    /// The ready-made reply for an oversized request line.
+    pub(crate) fn oversize_reply(&self) -> Response {
+        Response::error(
+            0,
+            &WireError::new(
+                WireCode::Parse,
+                format!("request line exceeds {} bytes", self.max_line_bytes),
+            ),
+        )
+    }
+
+    /// The ready-made reply for an idle connection about to be closed.
+    pub(crate) fn idle_reply(&self) -> Response {
+        let secs = self.idle_timeout.unwrap_or_default().as_secs_f64();
+        Response::error(
+            0,
+            &WireError::new(
+                WireCode::Timeout,
+                format!("connection idle for more than {secs:.0}s"),
+            ),
+        )
+    }
+}
+
 /// Reads one `\n`-terminated line, polling `shutdown` while idle.
-/// `Ok(None)` = EOF or shutdown; `Err` carries the ready-made error reply
-/// for a line that exceeded [`MAX_LINE_BYTES`].
+/// `Ok(None)` = EOF or shutdown; `Err` carries a ready-made error reply
+/// the caller must write before closing: an oversized line or an idle
+/// timeout (the idle clock starts when this call starts, i.e. at the end
+/// of the previous complete request line).
 pub(crate) fn read_line_polled(
     stream: &mut TcpStream,
     pending: &mut Vec<u8>,
     shutdown: &AtomicBool,
+    limits: &LineLimits,
 ) -> Result<Option<String>, Box<Response>> {
     let mut chunk = [0u8; 4096];
+    let idle_deadline = limits.idle_timeout.map(|t| Instant::now() + t);
     loop {
         if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
             let mut line: Vec<u8> = pending.drain(..=pos).collect();
@@ -33,14 +90,11 @@ pub(crate) fn read_line_polled(
             }
             return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
         }
-        if pending.len() > MAX_LINE_BYTES {
-            return Err(Box::new(Response::error(
-                0,
-                &WireError::new(
-                    WireCode::Parse,
-                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                ),
-            )));
+        if pending.len() > limits.max_line_bytes {
+            return Err(Box::new(limits.oversize_reply()));
+        }
+        if idle_deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(Box::new(limits.idle_reply()));
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(None),
@@ -58,10 +112,7 @@ pub(crate) fn read_line_polled(
 
 /// Writes one response line; returns false if the client is gone.
 pub(crate) fn write_line(stream: &mut TcpStream, response: &Response) -> bool {
-    let line = match encode_line(response) {
-        Ok(line) => line,
-        Err(_) => return false,
-    };
+    let line = encode_response(response);
     stream
         .write_all(line.as_bytes())
         .and_then(|()| stream.write_all(b"\n"))

@@ -1,0 +1,144 @@
+//! A tiny fixed-function worker pool for the event drivers.
+//!
+//! The reactor thread must never run anything slow or blocking inline, so
+//! both the server and the router hand parked work to a pool of plain OS
+//! threads and get the finished reply back through the reactor's
+//! completion queue. The pool is deliberately minimal: a mutex-guarded
+//! queue, a condvar, and a capacity bound — no dependencies, no
+//! speculative features.
+//!
+//! Workers carry a typed per-worker state `S` (the router threads each own
+//! a [`crate::health::Jitter`] stream for decorrelated retry backoff; the
+//! server's line workers need none and use `()`), handed to every task by
+//! mutable reference.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One unit of pooled work.
+pub(crate) type Task<S> = Box<dyn FnOnce(&mut S) + Send>;
+
+/// Fixed-capacity task queue drained by worker threads the owner spawns
+/// with [`WorkPool::run_worker`].
+pub(crate) struct WorkPool<S> {
+    state: Mutex<PoolState<S>>,
+    available: Condvar,
+    cap: usize,
+}
+
+struct PoolState<S> {
+    queue: VecDeque<Task<S>>,
+    shutdown: bool,
+}
+
+impl<S> WorkPool<S> {
+    /// A pool whose queue holds at most `cap` waiting tasks.
+    pub fn new(cap: usize) -> WorkPool<S> {
+        WorkPool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Queues a task, or hands it back when the queue is full or the pool
+    /// is shutting down — the caller decides whether to run it inline or
+    /// let its drop-time fallback answer.
+    pub fn submit(&self, task: Task<S>) -> Result<(), Task<S>> {
+        let mut st = self.state.lock().expect("work pool lock poisoned");
+        if st.shutdown || st.queue.len() >= self.cap {
+            return Err(task);
+        }
+        st.queue.push_back(task);
+        drop(st);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Stops the workers once the queue is empty; queued tasks still run,
+    /// so every parked peer gets its reply before the owner exits.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("work pool lock poisoned").shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Body of one worker thread: runs tasks until shutdown drains the
+    /// queue.
+    pub fn run_worker(&self, state: &mut S) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().expect("work pool lock poisoned");
+                loop {
+                    if let Some(task) = st.queue.pop_front() {
+                        break task;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = self.available.wait(st).expect("work pool lock poisoned");
+                }
+            };
+            task(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_tasks_and_rejects_past_capacity() {
+        let pool: Arc<WorkPool<()>> = Arc::new(WorkPool::new(2));
+        let ran = Arc::new(AtomicUsize::new(0));
+        // no worker yet: the queue fills to cap, then rejects
+        for _ in 0..2 {
+            let ran = Arc::clone(&ran);
+            let accepted = pool
+                .submit(Box::new(move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }))
+                .is_ok();
+            assert!(accepted, "under capacity");
+        }
+        let overflow = pool.submit(Box::new(|_| {}));
+        assert!(overflow.is_err(), "third task must bounce off cap 2");
+
+        let worker = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.run_worker(&mut ()))
+        };
+        pool.shutdown();
+        worker.join().expect("worker");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            2,
+            "queued tasks ran on shutdown"
+        );
+        // after shutdown everything bounces
+        assert!(pool.submit(Box::new(|_| {})).is_err());
+    }
+
+    #[test]
+    fn worker_state_is_threaded_through_tasks() {
+        let pool: Arc<WorkPool<u32>> = Arc::new(WorkPool::new(16));
+        for _ in 0..5 {
+            assert!(pool.submit(Box::new(|count| *count += 1)).is_ok());
+        }
+        let worker = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut count = 0u32;
+                pool.run_worker(&mut count);
+                count
+            })
+        };
+        pool.shutdown();
+        assert_eq!(worker.join().expect("worker"), 5);
+    }
+}

@@ -1,80 +1,75 @@
 //! JSON encoding of the serving protocol.
 //!
 //! Semantics (operation names, error codes, limits) live in
-//! [`sgcl_common::proto`]; this module is only the serde layer. Requests
+//! [`sgcl_common::proto`]; this module is only the wire codec. Requests
 //! and responses are single-line JSON objects, correlated by the
 //! client-chosen `id` field.
+//!
+//! The codec is hand-written on [`sgcl_common::json`] rather than derived:
+//! the serving hot path frames and parses one of these objects per
+//! request, the shapes are small and fixed, and keeping the wire layer on
+//! the workspace's std-only JSON engine means the server, router, client,
+//! and bench harness share one dependency-free implementation (encoding
+//! is direct string building — no intermediate value tree on the hot
+//! path). Field conventions match the previous derived codec: unknown
+//! fields are ignored, absent and `null` optionals are equivalent, and
+//! absent optionals are simply omitted on output.
 
-use serde::{Deserialize, Serialize};
+use sgcl_common::json::{self, write_json_string, Value};
 use sgcl_common::proto::{WireCode, WireError};
 use sgcl_common::SgclError;
 use sgcl_data::io::GraphRecord;
 
 /// One request line.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Request {
     /// Client-chosen correlation id, echoed back in the response.
-    #[serde(default)]
     pub id: u64,
     /// Operation name (see [`sgcl_common::proto::op`]).
     pub op: String,
     /// Model name for `embed`; omitted = the server's default model.
-    #[serde(default)]
     pub model: Option<String>,
     /// Graph payload for `embed`, in the dataset-file record format.
-    #[serde(default)]
     pub graph: Option<GraphRecord>,
     /// Result count for `search`; omitted = the server default (10).
-    #[serde(default)]
     pub k: Option<usize>,
 }
 
 /// One response line.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Response {
     /// Correlation id copied from the request (0 if the request line was
     /// unparseable).
-    #[serde(default)]
     pub id: u64,
     /// Whether the operation succeeded.
     pub ok: bool,
     /// Model that produced the embedding (`embed` only).
-    #[serde(default)]
     pub model: Option<String>,
     /// The graph-level embedding (`embed` only).
-    #[serde(default)]
     pub embedding: Option<Vec<f32>>,
     /// Whether the embedding came from the cache (`embed` only).
-    #[serde(default)]
     pub cached: Option<bool>,
     /// Size of the micro-batch this request was embedded in (`embed`
     /// only; cache hits report 0).
-    #[serde(default)]
     pub batch_size: Option<usize>,
     /// Content hash of the request graph, 32 hex digits (`index_add` and
     /// `search` only).
-    #[serde(default)]
     pub hash: Option<String>,
     /// Whether `index_add` stored a new vector (`false` = already
     /// indexed, the idempotent path).
-    #[serde(default)]
     pub indexed: Option<bool>,
     /// Nearest neighbours, best first (`search` only).
-    #[serde(default)]
     pub results: Option<Vec<SearchHitBody>>,
     /// Error details when `ok` is false.
-    #[serde(default)]
     pub error: Option<ErrorBody>,
     /// Server metadata (`info` only).
-    #[serde(default)]
     pub info: Option<InfoBody>,
     /// Router metadata (`info` against a router only).
-    #[serde(default)]
     pub router: Option<RouterBody>,
 }
 
 /// One similarity-search result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SearchHitBody {
     /// Content hash of the indexed graph, 32 hex digits.
     pub hash: String,
@@ -83,7 +78,7 @@ pub struct SearchHitBody {
 }
 
 /// Error details carried on failure replies.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct ErrorBody {
     /// Stable numeric code (see [`sgcl_common::proto::WireCode`]).
     pub code: u32,
@@ -94,13 +89,12 @@ pub struct ErrorBody {
 }
 
 /// Server metadata returned by the `info` operation.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct InfoBody {
     /// Protocol revision.
     pub protocol: u32,
     /// Active kernel SIMD dispatch path ("scalar", "avx2", "avx2-fma",
     /// "neon", "neon-fma") — dispatch is never silent.
-    #[serde(default)]
     pub simd: String,
     /// Served models, in registry order (first = default).
     pub models: Vec<ModelInfo>,
@@ -108,7 +102,6 @@ pub struct InfoBody {
     pub stats: StatsBody,
     /// Similarity-index state; absent when the server runs without an
     /// index (`--index-dir` not given and no in-memory index requested).
-    #[serde(default)]
     pub index: Option<IndexBody>,
 }
 
@@ -117,7 +110,7 @@ pub struct InfoBody {
 /// A replica reports its own store; the router reports the sum over
 /// healthy replicas (vectors/disk bytes add up, the HNSW knobs are taken
 /// from the first reporting replica — the tier is homogeneous).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IndexBody {
     /// Vectors stored across all models.
     pub vectors: u64,
@@ -135,7 +128,7 @@ pub struct IndexBody {
 }
 
 /// One served model.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct ModelInfo {
     /// Registry name (used in the request `model` field).
     pub name: String,
@@ -150,7 +143,7 @@ pub struct ModelInfo {
 }
 
 /// Serving counters.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct StatsBody {
     /// Total requests received (all operations).
     pub requests: u64,
@@ -159,7 +152,6 @@ pub struct StatsBody {
     /// Error replies sent.
     pub errors: u64,
     /// Requests shed with `Overloaded` because the batcher queue was full.
-    #[serde(default)]
     pub shed: u64,
     /// Embedding-cache hits.
     pub cache_hits: u64,
@@ -173,7 +165,7 @@ pub struct StatsBody {
 }
 
 /// State of one replica backend as seen by the router.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct ReplicaInfo {
     /// Backend address the router forwards to.
     pub addr: String,
@@ -190,7 +182,7 @@ pub struct ReplicaInfo {
 }
 
 /// Router-tier counters returned by the `info` operation.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct RouterStatsBody {
     /// Total requests received (all operations).
     pub requests: u64,
@@ -205,7 +197,7 @@ pub struct RouterStatsBody {
 }
 
 /// Router metadata returned by the `info` operation.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct RouterBody {
     /// Protocol revision.
     pub protocol: u32,
@@ -215,7 +207,6 @@ pub struct RouterBody {
     pub stats: RouterStatsBody,
     /// Aggregated similarity-index state over healthy replicas; absent
     /// when no replica reports an index.
-    #[serde(default)]
     pub index: Option<IndexBody>,
 }
 
@@ -241,22 +232,13 @@ impl Response {
     /// An error reply for `err`.
     pub fn error(id: u64, err: &WireError) -> Self {
         Response {
-            id,
-            ok: false,
-            model: None,
-            embedding: None,
-            cached: None,
-            batch_size: None,
-            hash: None,
-            indexed: None,
-            results: None,
             error: Some(ErrorBody {
                 code: u32::from(err.code.as_u8()),
                 class: err.code.class().to_string(),
                 message: err.message.clone(),
             }),
-            info: None,
-            router: None,
+            ok: false,
+            ..Response::ok(id)
         }
     }
 
@@ -277,16 +259,822 @@ impl Response {
     }
 }
 
+// ---------------------------------------------------------------------
+// Encoding: direct string building, one allocation per line.
+// ---------------------------------------------------------------------
+
+fn push_key(out: &mut String, key: &str) {
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    push_key(out, key);
+    write_json_string(value, out);
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    use std::fmt::Write;
+    push_key(out, key);
+    let _ = write!(out, "{value}");
+}
+
+fn push_usize_field(out: &mut String, key: &str, value: usize) {
+    push_u64_field(out, key, value as u64);
+}
+
+fn push_bool_field(out: &mut String, key: &str, value: bool) {
+    push_key(out, key);
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn push_f32_array_field(out: &mut String, key: &str, values: &[f32]) {
+    push_key(out, key);
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_f32(out, v);
+    }
+    out.push(']');
+}
+
+fn push_u64_iter_field(out: &mut String, key: &str, values: impl Iterator<Item = u64>) {
+    use std::fmt::Write;
+    push_key(out, key);
+    out.push('[');
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Encodes a request as a single JSON line (no trailing newline).
+pub fn encode_request(r: &Request) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    push_u64_field(&mut out, "id", r.id);
+    push_str_field(&mut out, "op", &r.op);
+    if let Some(model) = &r.model {
+        push_str_field(&mut out, "model", model);
+    }
+    if let Some(graph) = &r.graph {
+        push_key(&mut out, "graph");
+        encode_graph(&mut out, graph);
+    }
+    if let Some(k) = r.k {
+        push_usize_field(&mut out, "k", k);
+    }
+    out.push('}');
+    out
+}
+
+fn encode_graph(out: &mut String, g: &GraphRecord) {
+    use std::fmt::Write;
+    out.push('{');
+    push_usize_field(out, "num_nodes", g.num_nodes);
+    push_key(out, "edges");
+    out.push('[');
+    for (i, &(u, v)) in g.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{u},{v}]");
+    }
+    out.push(']');
+    push_f32_array_field(out, "features", &g.features);
+    push_usize_field(out, "feature_dim", g.feature_dim);
+    push_u64_iter_field(out, "node_tags", g.node_tags.iter().map(|&t| u64::from(t)));
+    if let Some(class) = g.class {
+        push_usize_field(out, "class", class);
+    }
+    if let Some(multitask) = &g.multitask {
+        push_key(out, "multitask");
+        out.push('[');
+        for (i, t) in multitask.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(match t {
+                Some(true) => "true",
+                Some(false) => "false",
+                None => "null",
+            });
+        }
+        out.push(']');
+    }
+    if let Some(scaffold) = g.scaffold {
+        push_u64_field(out, "scaffold", u64::from(scaffold));
+    }
+    if let Some(mask) = &g.semantic_mask {
+        push_key(out, "semantic_mask");
+        out.push('[');
+        for (i, &b) in mask.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if b { "true" } else { "false" });
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+/// Encodes a response as a single JSON line (no trailing newline).
+pub fn encode_response(r: &Response) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    push_u64_field(&mut out, "id", r.id);
+    push_bool_field(&mut out, "ok", r.ok);
+    if let Some(model) = &r.model {
+        push_str_field(&mut out, "model", model);
+    }
+    if let Some(embedding) = &r.embedding {
+        push_f32_array_field(&mut out, "embedding", embedding);
+    }
+    if let Some(cached) = r.cached {
+        push_bool_field(&mut out, "cached", cached);
+    }
+    if let Some(batch_size) = r.batch_size {
+        push_usize_field(&mut out, "batch_size", batch_size);
+    }
+    if let Some(hash) = &r.hash {
+        push_str_field(&mut out, "hash", hash);
+    }
+    if let Some(indexed) = r.indexed {
+        push_bool_field(&mut out, "indexed", indexed);
+    }
+    if let Some(results) = &r.results {
+        push_key(&mut out, "results");
+        out.push('[');
+        for (i, hit) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "hash", &hit.hash);
+            push_key(&mut out, "score");
+            json::write_f32(&mut out, hit.score);
+            out.push('}');
+        }
+        out.push(']');
+    }
+    if let Some(error) = &r.error {
+        push_key(&mut out, "error");
+        out.push('{');
+        push_u64_field(&mut out, "code", u64::from(error.code));
+        push_str_field(&mut out, "class", &error.class);
+        push_str_field(&mut out, "message", &error.message);
+        out.push('}');
+    }
+    if let Some(info) = &r.info {
+        push_key(&mut out, "info");
+        encode_info(&mut out, info);
+    }
+    if let Some(router) = &r.router {
+        push_key(&mut out, "router");
+        encode_router(&mut out, router);
+    }
+    out.push('}');
+    out
+}
+
+fn encode_stats(out: &mut String, s: &StatsBody) {
+    out.push('{');
+    push_u64_field(out, "requests", s.requests);
+    push_u64_field(out, "embedded", s.embedded);
+    push_u64_field(out, "errors", s.errors);
+    push_u64_field(out, "shed", s.shed);
+    push_u64_field(out, "cache_hits", s.cache_hits);
+    push_u64_field(out, "cache_misses", s.cache_misses);
+    push_u64_field(out, "batches", s.batches);
+    push_u64_iter_field(out, "batch_histogram", s.batch_histogram.iter().copied());
+    out.push('}');
+}
+
+fn encode_index(out: &mut String, x: &IndexBody) {
+    out.push('{');
+    push_u64_field(out, "vectors", x.vectors);
+    push_usize_field(out, "m", x.m);
+    push_usize_field(out, "ef_construction", x.ef_construction);
+    push_usize_field(out, "ef_search", x.ef_search);
+    push_u64_field(out, "disk_bytes", x.disk_bytes);
+    push_bool_field(out, "persistent", x.persistent);
+    out.push('}');
+}
+
+fn encode_info(out: &mut String, info: &InfoBody) {
+    out.push('{');
+    push_u64_field(out, "protocol", u64::from(info.protocol));
+    push_str_field(out, "simd", &info.simd);
+    push_key(out, "models");
+    out.push('[');
+    for (i, m) in info.models.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_str_field(out, "name", &m.name);
+        push_str_field(out, "method", &m.method);
+        push_usize_field(out, "input_dim", m.input_dim);
+        push_usize_field(out, "hidden_dim", m.hidden_dim);
+        push_usize_field(out, "num_layers", m.num_layers);
+        out.push('}');
+    }
+    out.push(']');
+    push_key(out, "stats");
+    encode_stats(out, &info.stats);
+    if let Some(index) = &info.index {
+        push_key(out, "index");
+        encode_index(out, index);
+    }
+    out.push('}');
+}
+
+fn encode_router(out: &mut String, router: &RouterBody) {
+    out.push('{');
+    push_u64_field(out, "protocol", u64::from(router.protocol));
+    push_key(out, "replicas");
+    out.push('[');
+    for (i, r) in router.replicas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_str_field(out, "addr", &r.addr);
+        push_bool_field(out, "healthy", r.healthy);
+        push_u64_field(
+            out,
+            "consecutive_failures",
+            u64::from(r.consecutive_failures),
+        );
+        push_u64_field(out, "ejections", r.ejections);
+        push_u64_field(out, "requests", r.requests);
+        push_u64_field(out, "failures", r.failures);
+        out.push('}');
+    }
+    out.push(']');
+    push_key(out, "stats");
+    out.push('{');
+    push_u64_field(out, "requests", router.stats.requests);
+    push_u64_field(out, "forwarded", router.stats.forwarded);
+    push_u64_field(out, "retries", router.stats.retries);
+    push_u64_field(out, "shed", router.stats.shed);
+    push_u64_field(out, "unavailable", router.stats.unavailable);
+    out.push('}');
+    if let Some(index) = &router.index {
+        push_key(out, "index");
+        encode_index(out, index);
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------
+// Decoding: parse to a value tree, then narrow field by field. Unknown
+// fields are ignored; `null` and absent are both "missing" for optionals.
+// ---------------------------------------------------------------------
+
+/// A present, non-null field.
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.get(key).filter(|x| !x.is_null())
+}
+
+fn missing(key: &str) -> String {
+    format!("missing field `{key}`")
+}
+
+fn bad_type(key: &str, want: &str) -> String {
+    format!("invalid value for field `{key}`: expected {want}")
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    field(v, key)
+        .ok_or_else(|| missing(key))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad_type(key, "a string"))
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    field(v, key)
+        .map(|x| {
+            x.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad_type(key, "a string"))
+        })
+        .transpose()
+}
+
+fn req_bool(v: &Value, key: &str) -> Result<bool, String> {
+    field(v, key)
+        .ok_or_else(|| missing(key))?
+        .as_bool()
+        .ok_or_else(|| bad_type(key, "a boolean"))
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<Option<bool>, String> {
+    field(v, key)
+        .map(|x| x.as_bool().ok_or_else(|| bad_type(key, "a boolean")))
+        .transpose()
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)
+        .ok_or_else(|| missing(key))?
+        .as_u64()
+        .ok_or_else(|| bad_type(key, "an unsigned integer"))
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    field(v, key)
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| bad_type(key, "an unsigned integer"))
+        })
+        .transpose()
+}
+
+fn req_usize(v: &Value, key: &str) -> Result<usize, String> {
+    field(v, key)
+        .ok_or_else(|| missing(key))?
+        .as_usize()
+        .ok_or_else(|| bad_type(key, "an unsigned integer"))
+}
+
+fn opt_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
+    field(v, key)
+        .map(|x| {
+            x.as_usize()
+                .ok_or_else(|| bad_type(key, "an unsigned integer"))
+        })
+        .transpose()
+}
+
+fn req_u32(v: &Value, key: &str) -> Result<u32, String> {
+    field(v, key)
+        .ok_or_else(|| missing(key))?
+        .as_u32()
+        .ok_or_else(|| bad_type(key, "an unsigned integer"))
+}
+
+fn req_f32(v: &Value, key: &str) -> Result<f32, String> {
+    field(v, key)
+        .ok_or_else(|| missing(key))?
+        .as_f32()
+        .ok_or_else(|| bad_type(key, "a number"))
+}
+
+fn req_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    field(v, key)
+        .ok_or_else(|| missing(key))?
+        .as_array()
+        .ok_or_else(|| bad_type(key, "an array"))
+}
+
+fn req_obj<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    let x = field(v, key).ok_or_else(|| missing(key))?;
+    match x {
+        Value::Obj(_) => Ok(x),
+        _ => Err(bad_type(key, "an object")),
+    }
+}
+
+fn opt_obj<'a>(v: &'a Value, key: &str) -> Result<Option<&'a Value>, String> {
+    match field(v, key) {
+        None => Ok(None),
+        Some(x @ Value::Obj(_)) => Ok(Some(x)),
+        Some(_) => Err(bad_type(key, "an object")),
+    }
+}
+
+fn u64_vec(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    req_arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| bad_type(key, "an array of unsigned integers"))
+        })
+        .collect()
+}
+
+fn f32_vec(v: &Value, key: &str) -> Result<Vec<f32>, String> {
+    req_arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_f32()
+                .ok_or_else(|| bad_type(key, "an array of numbers"))
+        })
+        .collect()
+}
+
+fn decode_graph(v: &Value) -> Result<GraphRecord, String> {
+    let edges = req_arr(v, "edges")?
+        .iter()
+        .map(|e| {
+            let pair = e.as_array().filter(|p| p.len() == 2);
+            let (u, w) = match pair {
+                Some(p) => (p[0].as_u32(), p[1].as_u32()),
+                None => (None, None),
+            };
+            match (u, w) {
+                (Some(u), Some(w)) => Ok((u, w)),
+                _ => Err(bad_type("edges", "an array of [u32, u32] pairs")),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let node_tags = u64_vec(v, "node_tags")?
+        .into_iter()
+        .map(|t| u32::try_from(t).map_err(|_| bad_type("node_tags", "an array of u32")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let multitask = match field(v, "multitask") {
+        None => None,
+        Some(m) => Some(
+            m.as_array()
+                .ok_or_else(|| bad_type("multitask", "an array"))?
+                .iter()
+                .map(|t| {
+                    if t.is_null() {
+                        Ok(None)
+                    } else {
+                        t.as_bool()
+                            .map(Some)
+                            .ok_or_else(|| bad_type("multitask", "an array of booleans or null"))
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    let semantic_mask = match field(v, "semantic_mask") {
+        None => None,
+        Some(m) => Some(
+            m.as_array()
+                .ok_or_else(|| bad_type("semantic_mask", "an array"))?
+                .iter()
+                .map(|b| {
+                    b.as_bool()
+                        .ok_or_else(|| bad_type("semantic_mask", "an array of booleans"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    let scaffold = field(v, "scaffold")
+        .map(|x| x.as_u32().ok_or_else(|| bad_type("scaffold", "a u32")))
+        .transpose()?;
+    Ok(GraphRecord {
+        num_nodes: req_usize(v, "num_nodes")?,
+        edges,
+        features: f32_vec(v, "features")?,
+        feature_dim: req_usize(v, "feature_dim")?,
+        node_tags,
+        class: opt_usize(v, "class")?,
+        multitask,
+        scaffold,
+        semantic_mask,
+    })
+}
+
+fn decode_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err("expected a JSON object".to_string());
+    }
+    Ok(Request {
+        id: opt_u64(&v, "id")?.unwrap_or(0),
+        op: req_str(&v, "op")?,
+        model: opt_str(&v, "model")?,
+        graph: field(&v, "graph").map(decode_graph).transpose()?,
+        k: opt_usize(&v, "k")?,
+    })
+}
+
+fn decode_stats(v: &Value) -> Result<StatsBody, String> {
+    Ok(StatsBody {
+        requests: req_u64(v, "requests")?,
+        embedded: req_u64(v, "embedded")?,
+        errors: req_u64(v, "errors")?,
+        shed: opt_u64(v, "shed")?.unwrap_or(0),
+        cache_hits: req_u64(v, "cache_hits")?,
+        cache_misses: req_u64(v, "cache_misses")?,
+        batches: req_u64(v, "batches")?,
+        batch_histogram: u64_vec(v, "batch_histogram")?,
+    })
+}
+
+fn decode_index(v: &Value) -> Result<IndexBody, String> {
+    Ok(IndexBody {
+        vectors: req_u64(v, "vectors")?,
+        m: req_usize(v, "m")?,
+        ef_construction: req_usize(v, "ef_construction")?,
+        ef_search: req_usize(v, "ef_search")?,
+        disk_bytes: req_u64(v, "disk_bytes")?,
+        persistent: req_bool(v, "persistent")?,
+    })
+}
+
+fn decode_info(v: &Value) -> Result<InfoBody, String> {
+    Ok(InfoBody {
+        protocol: req_u32(v, "protocol")?,
+        simd: opt_str(v, "simd")?.unwrap_or_default(),
+        models: req_arr(v, "models")?
+            .iter()
+            .map(|m| {
+                Ok(ModelInfo {
+                    name: req_str(m, "name")?,
+                    method: req_str(m, "method")?,
+                    input_dim: req_usize(m, "input_dim")?,
+                    hidden_dim: req_usize(m, "hidden_dim")?,
+                    num_layers: req_usize(m, "num_layers")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        stats: decode_stats(req_obj(v, "stats")?)?,
+        index: opt_obj(v, "index")?.map(decode_index).transpose()?,
+    })
+}
+
+fn decode_router(v: &Value) -> Result<RouterBody, String> {
+    let stats = req_obj(v, "stats")?;
+    Ok(RouterBody {
+        protocol: req_u32(v, "protocol")?,
+        replicas: req_arr(v, "replicas")?
+            .iter()
+            .map(|r| {
+                Ok(ReplicaInfo {
+                    addr: req_str(r, "addr")?,
+                    healthy: req_bool(r, "healthy")?,
+                    consecutive_failures: req_u32(r, "consecutive_failures")?,
+                    ejections: req_u64(r, "ejections")?,
+                    requests: req_u64(r, "requests")?,
+                    failures: req_u64(r, "failures")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        stats: RouterStatsBody {
+            requests: req_u64(stats, "requests")?,
+            forwarded: req_u64(stats, "forwarded")?,
+            retries: req_u64(stats, "retries")?,
+            shed: req_u64(stats, "shed")?,
+            unavailable: req_u64(stats, "unavailable")?,
+        },
+        index: opt_obj(v, "index")?.map(decode_index).transpose()?,
+    })
+}
+
+fn decode_response(line: &str) -> Result<Response, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err("expected a JSON object".to_string());
+    }
+    Ok(Response {
+        id: opt_u64(&v, "id")?.unwrap_or(0),
+        ok: req_bool(&v, "ok")?,
+        model: opt_str(&v, "model")?,
+        embedding: field(&v, "embedding")
+            .map(|_| f32_vec(&v, "embedding"))
+            .transpose()?,
+        cached: opt_bool(&v, "cached")?,
+        batch_size: opt_usize(&v, "batch_size")?,
+        hash: opt_str(&v, "hash")?,
+        indexed: opt_bool(&v, "indexed")?,
+        results: match field(&v, "results") {
+            None => None,
+            Some(r) => Some(
+                r.as_array()
+                    .ok_or_else(|| bad_type("results", "an array"))?
+                    .iter()
+                    .map(|hit| {
+                        Ok(SearchHitBody {
+                            hash: req_str(hit, "hash")?,
+                            score: req_f32(hit, "score")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ),
+        },
+        error: match opt_obj(&v, "error")? {
+            None => None,
+            Some(e) => Some(ErrorBody {
+                code: req_u32(e, "code")?,
+                class: req_str(e, "class")?,
+                message: req_str(e, "message")?,
+            }),
+        },
+        info: opt_obj(&v, "info")?.map(decode_info).transpose()?,
+        router: opt_obj(&v, "router")?.map(decode_router).transpose()?,
+    })
+}
+
 /// Parses one request line, mapping JSON failures to [`WireCode::Parse`].
 pub fn parse_request(line: &str) -> Result<Request, WireError> {
-    serde_json::from_str(line)
+    decode_request(line)
         .map_err(|e| WireError::new(WireCode::Parse, format!("bad request line: {e}")))
 }
 
-/// Encodes a message as a single JSON line (no trailing newline).
-///
-/// Serialisation of these plain-data types cannot fail; an error here
-/// would be a bug, so it is escalated as [`SgclError::invalid_data`].
-pub fn encode_line<T: Serialize>(msg: &T) -> Result<String, SgclError> {
-    serde_json::to_string(msg).map_err(|e| SgclError::invalid_data("encode protocol line", e))
+/// Parses one response line (the client side of the wire).
+pub fn parse_response(line: &str) -> Result<Response, SgclError> {
+    decode_response(line).map_err(|e| SgclError::parse("server response", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> GraphRecord {
+        GraphRecord {
+            num_nodes: 3,
+            edges: vec![(0, 1), (1, 2)],
+            features: vec![0.5, -1.25, 3.5e-5, 0.0, 1.0, -2.0],
+            feature_dim: 2,
+            node_tags: vec![7, 0, 4_000_000_000],
+            class: Some(1),
+            multitask: Some(vec![Some(true), None, Some(false)]),
+            scaffold: Some(9),
+            semantic_mask: Some(vec![true, false, true]),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_with_graph_payload() {
+        let req = Request {
+            id: 42,
+            op: "embed".to_string(),
+            model: Some("gin-a".to_string()),
+            graph: Some(sample_graph()),
+            k: Some(5),
+        };
+        let line = encode_request(&req);
+        let back = parse_request(&line).expect("round trip");
+        assert_eq!(back.id, 42);
+        assert_eq!(back.op, "embed");
+        assert_eq!(back.model.as_deref(), Some("gin-a"));
+        assert_eq!(back.k, Some(5));
+        let g = back.graph.expect("graph");
+        let orig = sample_graph();
+        assert_eq!(g.num_nodes, orig.num_nodes);
+        assert_eq!(g.edges, orig.edges);
+        assert_eq!(g.features, orig.features);
+        assert_eq!(g.feature_dim, orig.feature_dim);
+        assert_eq!(g.node_tags, orig.node_tags);
+        assert_eq!(g.class, orig.class);
+        assert_eq!(g.multitask, orig.multitask);
+        assert_eq!(g.scaffold, orig.scaffold);
+        assert_eq!(g.semantic_mask, orig.semantic_mask);
+    }
+
+    #[test]
+    fn request_defaults_match_the_old_codec() {
+        // id defaults to 0, optionals to None, unknown fields ignored,
+        // explicit null equals absent
+        let req = parse_request(r#"{"op":"ping","model":null,"future_field":123}"#).unwrap();
+        assert_eq!(req.id, 0);
+        assert_eq!(req.op, "ping");
+        assert!(req.model.is_none());
+        assert!(req.graph.is_none());
+        assert!(req.k.is_none());
+    }
+
+    #[test]
+    fn malformed_requests_map_to_parse_wire_errors() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"id":1}"#,                               // missing op
+            r#"{"op":7}"#,                               // wrong type
+            r#"{"op":"embed","graph":{"num_nodes":1}}"#, // truncated graph
+            r#"{"op":"search","k":-2}"#,                 // negative count
+        ] {
+            let err = parse_request(bad).expect_err(bad);
+            assert_eq!(err.code, WireCode::Parse, "{bad}");
+            assert!(err.message.starts_with("bad request line:"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_response_encodes_stable_code_substring() {
+        let err = WireError::new(WireCode::Parse, "bad request line: nope");
+        let line = encode_response(&Response::error(0, &err));
+        // contract relied on by e2e tests and external clients
+        assert!(line.contains("\"code\":4"), "{line}");
+        assert!(line.contains("\"ok\":false"), "{line}");
+        let back = parse_response(&line).unwrap();
+        assert_eq!(back.error_code(), Some(WireCode::Parse));
+        assert_eq!(back.wire_error().unwrap().0, 4);
+    }
+
+    #[test]
+    fn full_info_response_round_trips() {
+        let response = Response {
+            embedding: Some(vec![0.25, -0.5]),
+            cached: Some(true),
+            batch_size: Some(3),
+            hash: Some("00ff".repeat(8)),
+            indexed: Some(false),
+            results: Some(vec![SearchHitBody {
+                hash: "ab".repeat(16),
+                score: 0.993_21,
+            }]),
+            info: Some(InfoBody {
+                protocol: 2,
+                simd: "avx2-fma".to_string(),
+                models: vec![ModelInfo {
+                    name: "m0".to_string(),
+                    method: "sgcl".to_string(),
+                    input_dim: 8,
+                    hidden_dim: 16,
+                    num_layers: 2,
+                }],
+                stats: StatsBody {
+                    requests: 10,
+                    embedded: 4,
+                    errors: 1,
+                    shed: 2,
+                    cache_hits: 3,
+                    cache_misses: 4,
+                    batches: 2,
+                    batch_histogram: vec![1, 0, 1],
+                },
+                index: Some(IndexBody {
+                    vectors: 100,
+                    m: 16,
+                    ef_construction: 200,
+                    ef_search: 50,
+                    disk_bytes: 4096,
+                    persistent: true,
+                }),
+            }),
+            router: Some(RouterBody {
+                protocol: 2,
+                replicas: vec![ReplicaInfo {
+                    addr: "127.0.0.1:7001".to_string(),
+                    healthy: true,
+                    consecutive_failures: 0,
+                    ejections: 1,
+                    requests: 5,
+                    failures: 2,
+                }],
+                stats: RouterStatsBody {
+                    requests: 6,
+                    forwarded: 5,
+                    retries: 2,
+                    shed: 0,
+                    unavailable: 1,
+                },
+                index: None,
+            }),
+            ..Response::ok(7)
+        };
+        let line = encode_response(&response);
+        let back = parse_response(&line).unwrap();
+        assert_eq!(back.id, 7);
+        assert!(back.ok);
+        assert_eq!(back.embedding, Some(vec![0.25, -0.5]));
+        assert_eq!(back.cached, Some(true));
+        assert_eq!(back.batch_size, Some(3));
+        assert_eq!(back.indexed, Some(false));
+        let hits = back.results.unwrap();
+        assert_eq!(hits[0].score, 0.993_21);
+        let info = back.info.unwrap();
+        assert_eq!(info.simd, "avx2-fma");
+        assert_eq!(info.models[0].hidden_dim, 16);
+        assert_eq!(info.stats.batch_histogram, vec![1, 0, 1]);
+        assert_eq!(info.index.as_ref().unwrap().vectors, 100);
+        let router = back.router.unwrap();
+        assert_eq!(router.replicas[0].ejections, 1);
+        assert_eq!(router.stats.unavailable, 1);
+        assert!(router.index.is_none());
+        // a minimal success reply stays minimal on the wire
+        assert_eq!(encode_response(&Response::ok(1)), r#"{"id":1,"ok":true}"#);
+    }
+
+    #[test]
+    fn embeddings_round_trip_bit_exactly() {
+        // the e2e bit-exactness contract rides on this: every f32 must
+        // survive encode -> parse with identical bits
+        let tricky = vec![
+            f32::MIN_POSITIVE,
+            1.0e-40, // subnormal
+            -0.0,
+            0.1,
+            std::f32::consts::PI,
+            3.402_823_5e38,
+            -9.870_65e-12,
+        ];
+        let line = encode_response(&Response {
+            embedding: Some(tricky.clone()),
+            ..Response::ok(1)
+        });
+        let back = parse_response(&line).unwrap().embedding.unwrap();
+        for (a, b) in tricky.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} != {b}");
+        }
+    }
 }

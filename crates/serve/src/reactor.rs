@@ -1,0 +1,1499 @@
+//! A dependency-free readiness-based networking core for the serving tier.
+//!
+//! Both `sgcl-serve` and `sgcl-router` historically ran one OS thread per
+//! connection. That model is simple and stays available as `--net threads`,
+//! but connection count becomes the scaling ceiling long before the SIMD
+//! encoder does: 2048 mostly-idle monitoring connections cost 2048 stacks
+//! and 2048 parked `read()` calls. This module replaces the wire layer with
+//! a single reactor thread that multiplexes every connection over readiness
+//! notifications:
+//!
+//! * **Poller** — epoll on Linux via direct `extern "C"` syscall
+//!   declarations (no `libc`/`mio`; the workspace is deliberately
+//!   dependency-free and the three epoll calls are a stable kernel ABI),
+//!   with a portable `poll(2)` fallback for other Unixes. Level-triggered
+//!   in both cases, so the two backends share one state machine.
+//!   `SGCL_NET_BACKEND=poll` forces the fallback on Linux for testing.
+//! * **Per-connection state machines** — incremental newline-delimited
+//!   framing over partial reads, bounded by `max_line_bytes` (slow-loris
+//!   peers hold one buffer, not a thread), and partial writes with a
+//!   bounded output queue: past a high-water mark the reactor stops
+//!   reading from that peer (backpressure), past a hard cap it closes.
+//! * **Timer wheel** — hashed wheel (256 slots x 25 ms) driving idle
+//!   timeouts (typed `Timeout` reply, then close) and parked-request
+//!   deadlines (typed `DeadlineExceeded` reply). Idle entries re-arm
+//!   lazily: the deadline is only *checked* when an entry fires, so
+//!   resetting it on every request line is a field write, not a wheel op.
+//! * **Parking** — protocol work that must not block the reactor (embed
+//!   batches, router forwards) parks the connection and hands a
+//!   [`Completer`] to a worker; the worker pushes the finished reply line
+//!   through a completion queue and a self-wake channel. Generation
+//!   counters are globally unique per request, so a completion for a
+//!   connection that died (and whose slot was reused) is discarded instead
+//!   of answering the wrong peer. A [`Completer`] dropped without
+//!   completing pushes its fallback reply, so a panicking worker can never
+//!   leave a connection parked forever.
+//!
+//! The reactor is protocol-agnostic: it deals in request *lines* and reply
+//! *lines*. The server and router plug in via [`Service`].
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Raw syscall surface. Three epoll calls (Linux), `poll`, and `close` —
+/// declared directly instead of pulling in `libc`, matching the
+/// workspace's std-only ethos. All are decades-stable POSIX/kernel ABI.
+#[allow(non_camel_case_types)]
+mod sys {
+    pub type c_int = i32;
+    pub type c_short = i16;
+
+    #[cfg(target_os = "linux")]
+    pub type nfds_t = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub type nfds_t = u32;
+
+    /// `struct epoll_event`. The kernel packs this on x86-64 (12 bytes);
+    /// other architectures use natural alignment.
+    #[cfg(target_os = "linux")]
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    pub const EPOLLIN: u32 = 0x1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLOUT: u32 = 0x4;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLERR: u32 = 0x8;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLHUP: u32 = 0x10;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// `struct pollfd` for the portable fallback.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x1;
+    pub const POLLOUT: c_short = 0x4;
+    pub const POLLERR: c_short = 0x8;
+    pub const POLLHUP: c_short = 0x10;
+    pub const POLLNVAL: c_short = 0x20;
+
+    extern "C" {
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Which readiness backend to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// epoll on Linux (unless `SGCL_NET_BACKEND=poll`), `poll` elsewhere.
+    Auto,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+}
+
+/// Readiness reported for one registered fd.
+#[derive(Clone, Copy, Debug, Default)]
+struct Ready {
+    readable: bool,
+    writable: bool,
+}
+
+/// What the poller should watch an fd for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Interest {
+    read: bool,
+    write: bool,
+}
+
+#[cfg(target_os = "linux")]
+struct EpollFd(RawFd);
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+struct PollReg {
+    fd: RawFd,
+    token: u64,
+    interest: Interest,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollFd),
+    Poll {
+        regs: Vec<PollReg>,
+        index: HashMap<RawFd, usize>,
+    },
+}
+
+/// Readiness poller over one of the two backends.
+struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    fn new(kind: BackendKind) -> io::Result<Poller> {
+        let force_poll =
+            kind == BackendKind::Poll || std::env::var("SGCL_NET_BACKEND").as_deref() == Ok("poll");
+        #[cfg(target_os = "linux")]
+        {
+            if !force_poll {
+                let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                return Ok(Poller {
+                    backend: Backend::Epoll(EpollFd(fd)),
+                });
+            }
+        }
+        let _ = force_poll;
+        Ok(Poller {
+            backend: Backend::Poll {
+                regs: Vec::new(),
+                index: HashMap::new(),
+            },
+        })
+    }
+
+    /// Human-readable backend name (surfaced in logs and tests).
+    fn name(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => "epoll",
+            Backend::Poll { .. } => "poll",
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_mask(interest: Interest) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if interest.read {
+            mask |= sys::EPOLLIN;
+        }
+        if interest.write {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => {
+                let mut ev = sys::epoll_event {
+                    events: Self::epoll_mask(interest),
+                    data: token,
+                };
+                if unsafe { sys::epoll_ctl(ep.0, sys::EPOLL_CTL_ADD, fd, &mut ev) } < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { regs, index } => {
+                index.insert(fd, regs.len());
+                regs.push(PollReg {
+                    fd,
+                    token,
+                    interest,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => {
+                let mut ev = sys::epoll_event {
+                    events: Self::epoll_mask(interest),
+                    data: token,
+                };
+                if unsafe { sys::epoll_ctl(ep.0, sys::EPOLL_CTL_MOD, fd, &mut ev) } < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { regs, index } => {
+                if let Some(&pos) = index.get(&fd) {
+                    regs[pos].interest = interest;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn deregister(&mut self, fd: RawFd) {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => {
+                let mut ev = sys::epoll_event { events: 0, data: 0 };
+                // the kernel removes closed fds on its own, but an explicit
+                // DEL keeps the registration set exact for still-open fds
+                unsafe { sys::epoll_ctl(ep.0, sys::EPOLL_CTL_DEL, fd, &mut ev) };
+            }
+            Backend::Poll { regs, index } => {
+                if let Some(pos) = index.remove(&fd) {
+                    regs.swap_remove(pos);
+                    if pos < regs.len() {
+                        index.insert(regs[pos].fd, pos);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks up to `timeout` and appends `(token, readiness)` pairs to
+    /// `out`. EINTR returns an empty set (the caller's loop re-enters).
+    fn wait(&mut self, out: &mut Vec<(u64, Ready)>, timeout: Duration) -> io::Result<()> {
+        out.clear();
+        let ms = timeout
+            .as_millis()
+            .min(i32::MAX as u128)
+            .max(if timeout.is_zero() { 0 } else { 1 }) as i32;
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(ep) => {
+                let mut buf = [sys::epoll_event { events: 0, data: 0 }; 256];
+                let n = unsafe { sys::epoll_wait(ep.0, buf.as_mut_ptr(), buf.len() as i32, ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for ev in &buf[..n as usize] {
+                    // copy out of the (possibly packed) struct before use
+                    let events = ev.events;
+                    let data = ev.data;
+                    let err = events & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                    out.push((
+                        data,
+                        Ready {
+                            readable: err || events & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                            writable: err || events & sys::EPOLLOUT != 0,
+                        },
+                    ));
+                }
+                Ok(())
+            }
+            Backend::Poll { regs, .. } => {
+                let mut fds: Vec<sys::pollfd> = regs
+                    .iter()
+                    .map(|r| sys::pollfd {
+                        fd: r.fd,
+                        events: {
+                            let mut e = 0;
+                            if r.interest.read {
+                                e |= sys::POLLIN;
+                            }
+                            if r.interest.write {
+                                e |= sys::POLLOUT;
+                            }
+                            e
+                        },
+                        revents: 0,
+                    })
+                    .collect();
+                let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::nfds_t, ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for (reg, fd) in regs.iter().zip(&fds) {
+                    let r = fd.revents;
+                    if r == 0 {
+                        continue;
+                    }
+                    let err = r & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                    out.push((
+                        reg.token,
+                        Ready {
+                            readable: err || r & sys::POLLIN != 0,
+                            writable: err || r & sys::POLLOUT != 0,
+                        },
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Wakes the reactor out of its poll wait from another thread. One half of
+/// a nonblocking `UnixStream` pair; the reactor watches the other half.
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Interrupts the reactor's current wait. Safe to call from any
+    /// thread; a full pipe just means a wake is already pending.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// One finished reply for a parked connection.
+struct Completion {
+    token: usize,
+    gen: u64,
+    line: String,
+}
+
+/// Queue that carries worker-produced replies back onto the reactor
+/// thread. Every push wakes the reactor.
+pub struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Arc<Waker>,
+}
+
+impl Completions {
+    fn push(&self, token: usize, gen: u64, line: String) {
+        self.queue
+            .lock()
+            .unwrap()
+            .push(Completion { token, gen, line });
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().unwrap())
+    }
+}
+
+/// Write handle for exactly one parked request's reply. Obtained from
+/// [`Park::completer`] and handed to whatever thread finishes the work.
+///
+/// Consuming it with [`Completer::complete`] delivers the reply; dropping
+/// it unconsumed (worker panic, pool teardown) delivers the fallback reply
+/// it was created with, so the peer always gets an answer. Stale handles —
+/// the connection died or already got a deadline reply — are discarded by
+/// the reactor's generation check, never misdelivered.
+pub struct Completer {
+    inner: Option<(Arc<Completions>, usize, u64, String)>,
+}
+
+impl Completer {
+    /// Delivers the reply line for the parked request.
+    pub fn complete(mut self, line: String) {
+        if let Some((completions, token, gen, _)) = self.inner.take() {
+            completions.push(token, gen, line);
+        }
+    }
+}
+
+impl Drop for Completer {
+    fn drop(&mut self) {
+        if let Some((completions, token, gen, fallback)) = self.inner.take() {
+            completions.push(token, gen, fallback);
+        }
+    }
+}
+
+/// Capability to park the current request, passed to [`Service::on_line`].
+/// Only materialize a [`Completer`] when actually handing work off — a
+/// request answered synchronously never touches the completion queue.
+pub struct Park<'a> {
+    completions: &'a Arc<Completions>,
+    token: usize,
+    gen: u64,
+    pressure: usize,
+}
+
+impl Park<'_> {
+    /// How many request lines the reactor already dispatched in the
+    /// current wakeup, before this one. Near zero the loop is shallow and
+    /// inline work finishes before anything else could run; as it grows,
+    /// every additional microsecond spent inline delays every other ready
+    /// connection, so services should hand even cheap work to a pool past
+    /// a small budget. (A single busy reactor thread that keeps computing
+    /// inline also becomes the scheduler's least-favoured thread on a
+    /// saturated host — spreading the work across a pool keeps tail
+    /// latency flat.)
+    pub fn pressure(&self) -> usize {
+        self.pressure
+    }
+
+    /// Creates the completion handle for this request. `drop_reply` is the
+    /// line delivered if the handle is dropped without completing (the
+    /// service typically renders an `Internal` wire error here).
+    pub fn completer(&self, drop_reply: String) -> Completer {
+        Completer {
+            inner: Some((self.completions.clone(), self.token, self.gen, drop_reply)),
+        }
+    }
+}
+
+/// How many request lines a service should answer inline per reactor
+/// wakeup before shedding whole lines — parse included — to its worker
+/// pool (see [`Park::pressure`]). Small on purpose: a shallow wakeup is
+/// the light-load fast path, a deep one means the loop is the bottleneck.
+pub(crate) const INLINE_LINE_BUDGET: usize = 4;
+
+/// Deadline for a parked request: when `at` passes before the worker
+/// answers, the reactor delivers `reply` and un-parks the connection.
+pub struct ParkDeadline {
+    /// When the caller's patience runs out.
+    pub at: Instant,
+    /// Pre-rendered reply line (typically a `DeadlineExceeded` wire error).
+    pub reply: String,
+}
+
+/// What [`Service::on_line`] decided about one request line.
+pub enum LineOutcome {
+    /// Answer immediately. `stop` drains the whole process afterwards
+    /// (shutdown/drain operations).
+    Respond {
+        /// Reply line, without trailing newline.
+        line: String,
+        /// Begin process drain after flushing this reply.
+        stop: bool,
+    },
+    /// The request was handed to a worker together with a [`Completer`];
+    /// the connection reads nothing further until the reply arrives.
+    Parked {
+        /// Optional reactor-side patience bound.
+        deadline: Option<ParkDeadline>,
+    },
+}
+
+/// Protocol logic plugged into the reactor. Runs *on the reactor thread*,
+/// so implementations must only do fast work inline (parse, validate,
+/// cache probe) and park anything slow.
+pub trait Service: Send + Sync {
+    /// Handles one complete request line (newline stripped, never blank).
+    fn on_line(&self, line: &str, park: Park<'_>) -> LineOutcome;
+}
+
+const WHEEL_SLOTS: usize = 256;
+const WHEEL_TICK: Duration = Duration::from_millis(25);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TimerKind {
+    /// `gen` is the connection's identity generation.
+    Idle,
+    /// `gen` is the parked request's generation.
+    Deadline,
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    token: usize,
+    gen: u64,
+    kind: TimerKind,
+}
+
+/// Hashed timer wheel: 256 slots of 25 ms. Insertion hashes the deadline's
+/// tick index into a slot; expiry walks the slots whose tick has passed
+/// and re-files entries that belong to a later lap.
+struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    start: Instant,
+    next_tick: u64,
+    armed: usize,
+}
+
+impl TimerWheel {
+    fn new(start: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            start,
+            next_tick: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let dt = at.saturating_duration_since(self.start);
+        (dt.as_nanos() / WHEEL_TICK.as_nanos()) as u64
+    }
+
+    fn arm(&mut self, deadline: Instant, token: usize, gen: u64, kind: TimerKind) {
+        // a deadline inside the current tick still fires: expiry compares
+        // real deadlines, the slot index only schedules the check
+        let tick = self.tick_of(deadline).max(self.next_tick);
+        self.slots[(tick % WHEEL_SLOTS as u64) as usize].push(TimerEntry {
+            deadline,
+            token,
+            gen,
+            kind,
+        });
+        self.armed += 1;
+    }
+
+    /// How long the reactor may sleep before the next scheduled check, or
+    /// `None` when nothing is armed.
+    fn next_wake(&self, now: Instant) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        let boundary = self.start + WHEEL_TICK * (self.next_tick as u32 + 1);
+        Some(boundary.saturating_duration_since(now))
+    }
+
+    /// Advances through every tick at or before `now`, returning due
+    /// entries and re-filing future-lap entries.
+    fn expire(&mut self, now: Instant) -> Vec<TimerEntry> {
+        let mut due = Vec::new();
+        let current = self.tick_of(now);
+        while self.next_tick <= current {
+            let slot = (self.next_tick % WHEEL_SLOTS as u64) as usize;
+            let mut keep = Vec::new();
+            for entry in self.slots[slot].drain(..) {
+                if entry.deadline <= now {
+                    self.armed -= 1;
+                    due.push(entry);
+                } else {
+                    keep.push(entry);
+                }
+            }
+            self.slots[slot] = keep;
+            self.next_tick += 1;
+        }
+        due
+    }
+}
+
+/// Past this much queued-but-unsent output the reactor stops *reading*
+/// from the peer (backpressure); reading resumes once the backlog drains.
+const WBUF_HIGH_WATER: usize = 256 * 1024;
+/// Past this the peer is not consuming at all; the connection is closed.
+const WBUF_HARD_CAP: usize = 16 * 1024 * 1024;
+/// Read chunk size, matching the blocking driver in `net.rs`.
+const READ_CHUNK: usize = 4096;
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// One request in flight with a worker; `gen` matches the completion.
+    Parked {
+        gen: u64,
+        deadline_reply: Option<String>,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    /// Connection identity generation (guards recycled slots against
+    /// stale idle-timer entries).
+    conn_gen: u64,
+    rbuf: Vec<u8>,
+    /// How far `rbuf` has already been scanned for a newline.
+    scan: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    state: ConnState,
+    close_after_flush: bool,
+    /// `None` while a request is in flight (a parked peer is waiting on
+    /// us, not idling).
+    idle_deadline: Option<Instant>,
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// Reactor configuration. The reply strings are pre-rendered by the
+/// service layer so the reactor stays protocol-agnostic.
+pub struct ReactorConfig {
+    /// Close connections idle for this long; `None` disables.
+    pub idle_timeout: Option<Duration>,
+    /// Maximum bytes buffered for a single request line.
+    pub max_line_bytes: usize,
+    /// Reply line written before closing an idle connection.
+    pub idle_reply: String,
+    /// Reply line written before closing on an oversized request line.
+    pub oversize_reply: String,
+    /// Readiness backend selection.
+    pub backend: BackendKind,
+}
+
+/// The event loop. Owns the listener, every connection, the poller, and
+/// the timer wheel; runs until externally stopped (or a service outcome
+/// requests stop) and every connection has drained.
+pub struct Reactor {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    listener_fd: RawFd,
+    waker_rx: UnixStream,
+    waker: Arc<Waker>,
+    completions: Arc<Completions>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    timers: TimerWheel,
+    next_gen: u64,
+    config: ReactorConfig,
+    draining: bool,
+    /// Request lines dispatched since the last `poller.wait` returned;
+    /// surfaced to services as [`Park::pressure`].
+    pressure: usize,
+}
+
+impl Reactor {
+    /// Builds a reactor around an already-bound listener. The listener is
+    /// switched to nonblocking here.
+    pub fn new(listener: TcpListener, config: ReactorConfig) -> io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new(config.backend)?;
+        let (waker_tx, waker_rx) = UnixStream::pair()?;
+        waker_tx.set_nonblocking(true)?;
+        waker_rx.set_nonblocking(true)?;
+        let listener_fd = listener.as_raw_fd();
+        poller.register(
+            listener_fd,
+            TOKEN_LISTENER,
+            Interest {
+                read: true,
+                write: false,
+            },
+        )?;
+        poller.register(
+            waker_rx.as_raw_fd(),
+            TOKEN_WAKER,
+            Interest {
+                read: true,
+                write: false,
+            },
+        )?;
+        let waker = Arc::new(Waker { tx: waker_tx });
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: Arc::clone(&waker),
+        });
+        Ok(Reactor {
+            poller,
+            listener: Some(listener),
+            listener_fd,
+            waker_rx,
+            waker,
+            completions,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            timers: TimerWheel::new(Instant::now()),
+            next_gen: 1,
+            config,
+            draining: false,
+            pressure: 0,
+        })
+    }
+
+    /// Handle that interrupts the reactor's wait (pair with a shutdown
+    /// flag to stop it).
+    pub fn waker(&self) -> Arc<Waker> {
+        Arc::clone(&self.waker)
+    }
+
+    /// Name of the active readiness backend (`"epoll"` or `"poll"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.poller.name()
+    }
+
+    /// Runs the event loop until `shutdown` is observed true (wake the
+    /// waker after setting it) or a service outcome requests stop, then
+    /// drains: the listener closes, reading connections close, parked
+    /// connections deliver their reply and close. Returns when no
+    /// connections remain.
+    pub fn run(&mut self, service: &dyn Service, shutdown: &AtomicBool) {
+        let mut events: Vec<(u64, Ready)> = Vec::new();
+        loop {
+            let now = Instant::now();
+            let timeout = self
+                .timers
+                .next_wake(now)
+                .map_or(Duration::from_millis(500), |t| {
+                    t.min(Duration::from_millis(500))
+                });
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // a broken poller cannot make progress; drain and leave
+                self.enter_drain();
+            }
+            self.pressure = 0;
+            let events_taken = std::mem::take(&mut events);
+            for (token, ready) in &events_taken {
+                match *token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    t => self.conn_ready(t as usize, *ready, service),
+                }
+            }
+            events = events_taken;
+            for c in self.completions.drain() {
+                self.apply_completion(c, service);
+            }
+            let now = Instant::now();
+            for entry in self.timers.expire(now) {
+                self.timer_fired(entry, now, service);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                self.enter_drain();
+            }
+            if self.draining && self.live == 0 {
+                return;
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.waker_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => self.add_conn(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // transient per-connection accept failures (ECONNABORTED
+                // etc.); the listener itself is still healthy
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let fd = stream.as_raw_fd();
+        let token = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let interest = Interest {
+            read: true,
+            write: false,
+        };
+        if self.poller.register(fd, token as u64, interest).is_err() {
+            self.free.push(token);
+            return;
+        }
+        let conn_gen = self.next_gen;
+        self.next_gen += 1;
+        let now = Instant::now();
+        let idle_deadline = self.config.idle_timeout.map(|t| now + t);
+        if let Some(d) = idle_deadline {
+            self.timers.arm(d, token, conn_gen, TimerKind::Idle);
+        }
+        self.conns[token] = Some(Conn {
+            stream,
+            fd,
+            conn_gen,
+            rbuf: Vec::new(),
+            scan: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            state: ConnState::Reading,
+            close_after_flush: false,
+            idle_deadline,
+            interest,
+        });
+        self.live += 1;
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get_mut(token).and_then(Option::take) {
+            self.poller.deregister(conn.fd);
+            self.live -= 1;
+            self.free.push(token);
+            // conn (and its stream) drops here, closing the socket
+        }
+    }
+
+    fn conn_ready(&mut self, token: usize, ready: Ready, service: &dyn Service) {
+        if ready.writable {
+            self.pump_write(token);
+        }
+        if ready.readable {
+            self.pump_read(token, service);
+        }
+        self.update_interest(token);
+    }
+
+    /// Writes as much queued output as the socket accepts. Closes on
+    /// flush when the connection is marked to die.
+    fn pump_write(&mut self, token: usize) {
+        loop {
+            let conn = match self.conns.get_mut(token).and_then(Option::as_mut) {
+                Some(c) => c,
+                None => return,
+            };
+            if conn.wpos >= conn.wbuf.len() {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                if conn.close_after_flush {
+                    self.close_conn(token);
+                }
+                return;
+            }
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queues one reply line (newline appended) and opportunistically
+    /// flushes. Enforces the hard output cap.
+    fn queue_line(&mut self, token: usize, line: &str) {
+        let conn = match self.conns.get_mut(token).and_then(Option::as_mut) {
+            Some(c) => c,
+            None => return,
+        };
+        if conn.pending_write() + line.len() + 1 > WBUF_HARD_CAP {
+            // the peer is not consuming; nothing more to say to it
+            self.close_conn(token);
+            return;
+        }
+        conn.wbuf.extend_from_slice(line.as_bytes());
+        conn.wbuf.push(b'\n');
+        self.pump_write(token);
+    }
+
+    /// Reads until the socket would block, framing and dispatching
+    /// complete lines as they appear.
+    fn pump_read(&mut self, token: usize, service: &dyn Service) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            let conn = match self.conns.get_mut(token).and_then(Option::as_mut) {
+                Some(c) => c,
+                None => return,
+            };
+            // respect backpressure and parking: stop pulling bytes while
+            // a reply backlog or an in-flight request exists
+            if conn.close_after_flush
+                || conn.pending_write() >= WBUF_HIGH_WATER
+                || !matches!(conn.state, ConnState::Reading)
+            {
+                return;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // peer closed; anything unflushed is undeliverable
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    self.process_lines(token, service);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Dispatches every complete buffered line until the connection
+    /// parks, is told to close, or runs out of input.
+    fn process_lines(&mut self, token: usize, service: &dyn Service) {
+        loop {
+            if self.draining {
+                return;
+            }
+            let line = {
+                let conn = match self.conns.get_mut(token).and_then(Option::as_mut) {
+                    Some(c) => c,
+                    None => return,
+                };
+                if conn.close_after_flush || !matches!(conn.state, ConnState::Reading) {
+                    return;
+                }
+                match next_line(&mut conn.rbuf, &mut conn.scan) {
+                    Some(l) => l,
+                    None => {
+                        if conn.rbuf.len() > self.config.max_line_bytes {
+                            conn.close_after_flush = true;
+                            let reply = self.config.oversize_reply.clone();
+                            self.queue_line(token, &reply);
+                        }
+                        return;
+                    }
+                }
+            };
+            if line.trim().is_empty() {
+                // blank lines are framing noise, not requests (the
+                // blocking driver skips them the same way)
+                continue;
+            }
+            // a complete request line is the only thing that counts as
+            // activity (a byte-dribbling peer still times out)
+            let now = Instant::now();
+            if let Some(t) = self.config.idle_timeout {
+                if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+                    conn.idle_deadline = Some(now + t);
+                }
+            }
+            let gen = self.next_gen;
+            self.next_gen += 1;
+            let pressure = self.pressure;
+            self.pressure += 1;
+            let completions = Arc::clone(&self.completions);
+            let outcome = service.on_line(
+                &line,
+                Park {
+                    completions: &completions,
+                    token,
+                    gen,
+                    pressure,
+                },
+            );
+            match outcome {
+                LineOutcome::Respond { line, stop } => {
+                    self.queue_line(token, &line);
+                    if stop {
+                        if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+                            conn.close_after_flush = true;
+                        }
+                        self.enter_drain();
+                        return;
+                    }
+                }
+                LineOutcome::Parked { deadline } => {
+                    let deadline_reply = deadline.as_ref().map(|d| d.reply.clone());
+                    if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+                        conn.state = ConnState::Parked {
+                            gen,
+                            deadline_reply,
+                        };
+                        conn.idle_deadline = None;
+                    }
+                    if let Some(d) = deadline {
+                        self.timers.arm(d.at, token, gen, TimerKind::Deadline);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Delivers a worker-produced reply if (and only if) the parked
+    /// request it answers is still the one in flight.
+    fn apply_completion(&mut self, c: Completion, service: &dyn Service) {
+        let now = Instant::now();
+        let idle = self.config.idle_timeout;
+        match self.conns.get_mut(c.token).and_then(Option::as_mut) {
+            Some(conn) if matches!(conn.state, ConnState::Parked { gen, .. } if gen == c.gen) => {
+                conn.state = ConnState::Reading;
+                conn.idle_deadline = idle.map(|t| now + t);
+            }
+            // connection died, slot was recycled, or the deadline already
+            // answered: the completion is stale
+            _ => return,
+        }
+        self.queue_line(c.token, &c.line);
+        // pipelined requests may already be buffered behind this one
+        self.process_lines(c.token, service);
+        self.update_interest(c.token);
+    }
+
+    fn timer_fired(&mut self, entry: TimerEntry, now: Instant, service: &dyn Service) {
+        match entry.kind {
+            TimerKind::Idle => {
+                let (expired, rearm_at) = {
+                    let conn = match self.conns.get_mut(entry.token).and_then(Option::as_mut) {
+                        Some(c) if c.conn_gen == entry.gen && !c.close_after_flush => c,
+                        // connection gone or dying; let the entry lapse
+                        _ => return,
+                    };
+                    match conn.idle_deadline {
+                        Some(d) if d <= now => (true, None),
+                        // activity pushed the deadline back: re-check then
+                        Some(d) => (false, Some(d)),
+                        // parked (a worker owes the peer a reply, it is
+                        // not idling); re-check one idle period out
+                        None => (false, self.config.idle_timeout.map(|t| now + t)),
+                    }
+                };
+                if expired {
+                    if let Some(conn) = self.conns.get_mut(entry.token).and_then(Option::as_mut) {
+                        conn.close_after_flush = true;
+                    }
+                    let reply = self.config.idle_reply.clone();
+                    self.queue_line(entry.token, &reply);
+                    self.update_interest(entry.token);
+                } else if let Some(at) = rearm_at {
+                    self.timers.arm(at, entry.token, entry.gen, TimerKind::Idle);
+                }
+            }
+            TimerKind::Deadline => {
+                let reply = {
+                    let conn = match self.conns.get_mut(entry.token).and_then(Option::as_mut) {
+                        Some(c) => c,
+                        None => return,
+                    };
+                    match &mut conn.state {
+                        ConnState::Parked {
+                            gen,
+                            deadline_reply,
+                        } if *gen == entry.gen => {
+                            let reply = deadline_reply.take();
+                            conn.state = ConnState::Reading;
+                            conn.idle_deadline = self.config.idle_timeout.map(|t| now + t);
+                            reply
+                        }
+                        // already answered (or a different request is in
+                        // flight): nothing to do
+                        _ => return,
+                    }
+                };
+                if let Some(reply) = reply {
+                    self.queue_line(entry.token, &reply);
+                }
+                // the late completion, when it arrives, fails the gen
+                // check; meanwhile the peer may keep pipelining
+                self.process_lines(entry.token, service);
+                self.update_interest(entry.token);
+            }
+        }
+    }
+
+    /// Re-registers the connection for exactly the readiness it needs:
+    /// reads while accepting input, writes while output is queued.
+    fn update_interest(&mut self, token: usize) {
+        let (fd, want) = {
+            let conn = match self.conns.get_mut(token).and_then(Option::as_mut) {
+                Some(c) => c,
+                None => return,
+            };
+            let want = Interest {
+                read: matches!(conn.state, ConnState::Reading)
+                    && !conn.close_after_flush
+                    && conn.pending_write() < WBUF_HIGH_WATER
+                    && !self.draining,
+                write: conn.pending_write() > 0,
+            };
+            if want == conn.interest {
+                return;
+            }
+            conn.interest = want;
+            (conn.fd, want)
+        };
+        let _ = self.poller.modify(fd, token as u64, want);
+    }
+
+    /// Stops accepting, closes reading connections, and lets parked ones
+    /// deliver their reply before closing. Idempotent.
+    fn enter_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            self.poller.deregister(self.listener_fd);
+            drop(listener);
+        }
+        for token in 0..self.conns.len() {
+            let close_now = match self.conns[token].as_mut() {
+                Some(conn) => {
+                    conn.close_after_flush = true;
+                    matches!(conn.state, ConnState::Reading) && conn.pending_write() == 0
+                }
+                None => false,
+            };
+            if close_now {
+                self.close_conn(token);
+            } else {
+                self.update_interest(token);
+            }
+        }
+    }
+
+    /// The completion queue, for services that spawn their own workers.
+    pub fn completions(&self) -> Arc<Completions> {
+        Arc::clone(&self.completions)
+    }
+}
+
+/// Extracts the next complete line from `rbuf`, resuming the newline scan
+/// at `*scan`. Strips `\r\n` and decodes lossily (matching the blocking
+/// driver's tolerance for invalid UTF-8).
+fn next_line(rbuf: &mut Vec<u8>, scan: &mut usize) -> Option<String> {
+    match rbuf[*scan..].iter().position(|&b| b == b'\n') {
+        Some(rel) => {
+            let end = *scan + rel;
+            let mut line_end = end;
+            if line_end > 0 && rbuf[line_end - 1] == b'\r' {
+                line_end -= 1;
+            }
+            let line = String::from_utf8_lossy(&rbuf[..line_end]).into_owned();
+            rbuf.drain(..=end);
+            *scan = 0;
+            Some(line)
+        }
+        None => {
+            *scan = rbuf.len();
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn timer_wheel_fires_in_order_and_refiles_future_laps() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        let near = start + Duration::from_millis(30);
+        let far = start + WHEEL_TICK * (WHEEL_SLOTS as u32) + Duration::from_millis(30);
+        wheel.arm(near, 1, 10, TimerKind::Idle);
+        wheel.arm(far, 2, 20, TimerKind::Deadline);
+        assert_eq!(wheel.armed, 2);
+        // before the near deadline nothing fires
+        assert!(wheel.expire(start + Duration::from_millis(10)).is_empty());
+        // the near entry fires; the far one shares its slot a lap later
+        // and must be re-filed, not fired
+        let fired = wheel.expire(start + Duration::from_millis(80));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 1);
+        assert_eq!(wheel.armed, 1);
+        let fired = wheel.expire(far + Duration::from_millis(30));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 2);
+        assert_eq!(fired[0].kind, TimerKind::Deadline);
+        assert_eq!(wheel.armed, 0);
+        assert!(wheel.next_wake(Instant::now()).is_none());
+    }
+
+    /// Test service: echoes lines, parks on command, exercises every
+    /// outcome the real server and router produce.
+    struct EchoService;
+
+    impl Service for EchoService {
+        fn on_line(&self, line: &str, park: Park<'_>) -> LineOutcome {
+            if let Some(rest) = line.strip_prefix("park:") {
+                // park:<delay_ms>:<reply>
+                let (ms, reply) = rest.split_once(':').unwrap();
+                let delay = Duration::from_millis(ms.parse().unwrap());
+                let completer = park.completer("fallback".to_string());
+                let reply = reply.to_string();
+                thread::spawn(move || {
+                    thread::sleep(delay);
+                    completer.complete(reply);
+                });
+                return LineOutcome::Parked { deadline: None };
+            }
+            if let Some(rest) = line.strip_prefix("deadline:") {
+                // deadline:<patience_ms>:<worker_ms>
+                let (patience, worker) = rest.split_once(':').unwrap();
+                let patience = Duration::from_millis(patience.parse().unwrap());
+                let worker = Duration::from_millis(worker.parse().unwrap());
+                let completer = park.completer("fallback".to_string());
+                thread::spawn(move || {
+                    thread::sleep(worker);
+                    completer.complete("late".to_string());
+                });
+                return LineOutcome::Parked {
+                    deadline: Some(ParkDeadline {
+                        at: Instant::now() + patience,
+                        reply: "deadline-exceeded".to_string(),
+                    }),
+                };
+            }
+            if line == "drop" {
+                // worker that dies without completing
+                let completer = park.completer("dropped".to_string());
+                thread::spawn(move || drop(completer));
+                return LineOutcome::Parked { deadline: None };
+            }
+            LineOutcome::Respond {
+                line: format!("echo:{line}"),
+                stop: line == "stop",
+            }
+        }
+    }
+
+    struct Harness {
+        addr: std::net::SocketAddr,
+        shutdown: Arc<AtomicBool>,
+        waker: Arc<Waker>,
+        thread: thread::JoinHandle<()>,
+    }
+
+    fn start(backend: BackendKind, config_tweak: impl FnOnce(&mut ReactorConfig)) -> Harness {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut config = ReactorConfig {
+            idle_timeout: None,
+            max_line_bytes: 1 << 20,
+            idle_reply: "idle-timeout".to_string(),
+            oversize_reply: "oversize".to_string(),
+            backend,
+        };
+        config_tweak(&mut config);
+        let mut reactor = Reactor::new(listener, config).unwrap();
+        if backend == BackendKind::Poll {
+            assert_eq!(reactor.backend_name(), "poll");
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let waker = reactor.waker();
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || reactor.run(&EchoService, &shutdown))
+        };
+        Harness {
+            addr,
+            shutdown,
+            waker,
+            thread,
+        }
+    }
+
+    fn connect(h: &Harness) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(h.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    fn read_reply(reader: &mut BufReader<TcpStream>) -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    fn stop_harness(h: Harness) {
+        h.shutdown.store(true, Ordering::SeqCst);
+        h.waker.wake();
+        h.thread.join().unwrap();
+    }
+
+    fn backends() -> Vec<BackendKind> {
+        vec![BackendKind::Auto, BackendKind::Poll]
+    }
+
+    #[test]
+    fn serves_inline_parked_and_dropped_requests() {
+        for backend in backends() {
+            let h = start(backend, |_| {});
+            let (mut stream, mut reader) = connect(&h);
+            // inline echo
+            stream.write_all(b"hello\r\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "echo:hello");
+            // parked request completed by a worker thread
+            stream.write_all(b"park:20:done\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "done");
+            // a worker that dies still answers via the drop fallback
+            stream.write_all(b"drop\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "dropped");
+            stop_harness(h);
+        }
+    }
+
+    #[test]
+    fn frames_byte_by_byte_writes_and_pipelined_bursts() {
+        for backend in backends() {
+            let h = start(backend, |_| {});
+            let (mut stream, mut reader) = connect(&h);
+            // one byte at a time with pauses: framing must wait for \n
+            for b in b"slow\n" {
+                stream.write_all(&[*b]).unwrap();
+                thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(read_reply(&mut reader), "echo:slow");
+            // pipelined burst, including one parked request in the middle,
+            // must answer strictly in order
+            stream.write_all(b"a\npark:30:b\nc\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "echo:a");
+            assert_eq!(read_reply(&mut reader), "b");
+            assert_eq!(read_reply(&mut reader), "echo:c");
+            stop_harness(h);
+        }
+    }
+
+    #[test]
+    fn oversized_line_gets_typed_reply_then_close() {
+        for backend in backends() {
+            let h = start(backend, |c| c.max_line_bytes = 64);
+            let (mut stream, mut reader) = connect(&h);
+            stream.write_all(&[b'x'; 256]).unwrap();
+            assert_eq!(read_reply(&mut reader), "oversize");
+            // server closes after the reply
+            let mut rest = String::new();
+            assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+            // and keeps serving fresh connections
+            let (mut s2, mut r2) = connect(&h);
+            s2.write_all(b"ok\n").unwrap();
+            assert_eq!(read_reply(&mut r2), "echo:ok");
+            stop_harness(h);
+        }
+    }
+
+    #[test]
+    fn idle_connection_gets_timeout_reply_then_close() {
+        for backend in backends() {
+            let h = start(backend, |c| {
+                c.idle_timeout = Some(Duration::from_millis(80))
+            });
+            let (mut stream, mut reader) = connect(&h);
+            // activity resets the idle clock
+            stream.write_all(b"ping\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "echo:ping");
+            // dribbling bytes without a newline is NOT activity
+            stream.write_all(b"half-a-reque").unwrap();
+            assert_eq!(read_reply(&mut reader), "idle-timeout");
+            let mut rest = String::new();
+            assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+            stop_harness(h);
+        }
+    }
+
+    #[test]
+    fn park_deadline_answers_before_slow_worker_and_discards_late_reply() {
+        for backend in backends() {
+            let h = start(backend, |_| {});
+            let (mut stream, mut reader) = connect(&h);
+            let begin = Instant::now();
+            stream.write_all(b"deadline:50:400\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "deadline-exceeded");
+            assert!(begin.elapsed() < Duration::from_millis(350));
+            // the connection keeps working; the late "late" completion
+            // must have been discarded, not delivered here
+            stream.write_all(b"after\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "echo:after");
+            thread::sleep(Duration::from_millis(450));
+            stream.write_all(b"again\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "echo:again");
+            stop_harness(h);
+        }
+    }
+
+    #[test]
+    fn mid_frame_disconnect_leaves_reactor_healthy() {
+        for backend in backends() {
+            let h = start(backend, |_| {});
+            let (mut stream, _) = connect(&h);
+            stream.write_all(b"partial-request-with-no-newl").unwrap();
+            drop(stream);
+            // also disconnect while a request is parked
+            let (mut s2, _) = connect(&h);
+            s2.write_all(b"park:200:never-read\n").unwrap();
+            drop(s2);
+            thread::sleep(Duration::from_millis(50));
+            let (mut s3, mut r3) = connect(&h);
+            s3.write_all(b"alive\n").unwrap();
+            assert_eq!(read_reply(&mut r3), "echo:alive");
+            // wait out the parked completion so its (discarded) delivery
+            // happens while the reactor is still running
+            thread::sleep(Duration::from_millis(250));
+            s3.write_all(b"still-alive\n").unwrap();
+            assert_eq!(read_reply(&mut r3), "echo:still-alive");
+            stop_harness(h);
+        }
+    }
+
+    #[test]
+    fn stop_outcome_drains_and_exits_the_loop() {
+        for backend in backends() {
+            let h = start(backend, |_| {});
+            let (mut idle_conn, mut idle_reader) = connect(&h);
+            idle_conn.write_all(b"warm\n").unwrap();
+            assert_eq!(read_reply(&mut idle_reader), "echo:warm");
+            let (mut stream, mut reader) = connect(&h);
+            stream.write_all(b"stop\n").unwrap();
+            assert_eq!(read_reply(&mut reader), "echo:stop");
+            // the reactor exits on its own: the stop outcome closed the
+            // listener and every connection
+            h.thread.join().unwrap();
+            let mut rest = String::new();
+            assert_eq!(idle_reader.read_line(&mut rest).unwrap(), 0);
+            assert!(
+                TcpStream::connect(h.addr).is_err() || {
+                    // the OS may accept briefly into the backlog; a reply
+                    // will never come either way
+                    true
+                }
+            );
+        }
+    }
+}

@@ -49,6 +49,21 @@ pub struct ModelEntry {
 }
 
 impl ModelEntry {
+    /// Wraps an in-memory [`SgclModel`] as a served entry, reading the
+    /// architecture off its config. Lets tests and the bench harness
+    /// serve a model without round-tripping a checkpoint file.
+    pub fn from_sgcl(name: impl Into<String>, model: SgclModel) -> Self {
+        let enc = &model.config.encoder;
+        ModelEntry {
+            name: name.into(),
+            method: "sgcl".to_string(),
+            input_dim: enc.input_dim,
+            hidden_dim: enc.hidden_dim,
+            num_layers: enc.num_layers,
+            model: LoadedModel::Sgcl(model),
+        }
+    }
+
     /// Embeds a batch of graphs (one row per graph).
     pub fn embed(&self, graphs: &[Graph]) -> Matrix {
         match &self.model {
@@ -76,6 +91,23 @@ impl ModelRegistry {
                 return Err(SgclError::usage(format!("duplicate model name {name:?}")));
             }
             entries.push(load_entry(name, path)?);
+        }
+        Ok(ModelRegistry { entries })
+    }
+
+    /// Builds a registry from already-constructed entries (in-memory
+    /// serving path); names must be unique and the list non-empty.
+    pub fn from_entries(entries: Vec<ModelEntry>) -> Result<Self, SgclError> {
+        if entries.is_empty() {
+            return Err(SgclError::usage("no models to serve"));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|prev| prev.name == e.name) {
+                return Err(SgclError::usage(format!(
+                    "duplicate model name {:?}",
+                    e.name
+                )));
+            }
         }
         Ok(ModelRegistry { entries })
     }

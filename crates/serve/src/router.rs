@@ -25,6 +25,15 @@
 //!   lets every in-flight request finish, and exits cleanly. Draining
 //!   the router never shuts down the replicas: the tier and its members
 //!   have separate lifecycles.
+//!
+//! Like the node server, the router runs on either net driver. Under
+//! `--net event` (the default) one reactor thread owns every client
+//! connection; parse/validate/shed decisions happen inline, and admitted
+//! work is executed by a fixed pool of forwarding workers (replica I/O
+//! must never block the reactor), each with its own decorrelated backoff
+//! jitter stream. `--net threads` keeps the blocking
+//! thread-per-connection loop, where the connection thread forwards
+//! directly.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -35,16 +44,20 @@ use std::time::Duration;
 
 use sgcl_common::proto::{op, WireCode, WireError, PROTOCOL_VERSION};
 use sgcl_common::SgclError;
+use sgcl_data::io::GraphRecord;
 use sgcl_graph::content_hash;
 
 use crate::client::{Client, ClientConfig};
 use crate::health::{backoff_delay, rank_replicas, HealthPolicy, Jitter, ReplicaHealth};
-use crate::net::{read_line_polled, write_line, POLL_INTERVAL};
+use crate::net::{read_line_polled, reap_finished, write_line, LineLimits, POLL_INTERVAL};
+#[cfg(unix)]
+use crate::pool::WorkPool;
 use crate::protocol::{
-    parse_request, IndexBody, ReplicaInfo, Request, Response, RouterBody, RouterStatsBody,
-    SearchHitBody,
+    encode_response, parse_request, IndexBody, ReplicaInfo, Request, Response, RouterBody,
+    RouterStatsBody, SearchHitBody,
 };
 use crate::server::{DEFAULT_SEARCH_K, MAX_SEARCH_K};
+use crate::{NetDriver, DEFAULT_IDLE_TIMEOUT_MS};
 
 /// Idle forward-connections kept per replica; beyond this they are closed
 /// rather than pooled.
@@ -75,6 +88,17 @@ pub struct RouterConfig {
     /// Bound on each forward read/write (a hung replica surfaces as a
     /// retryable timeout, not a stuck router thread).
     pub forward_timeout: Duration,
+    /// Connection-handling driver (`--net`).
+    pub net: NetDriver,
+    /// Close client connections idle for this many milliseconds; 0
+    /// disables (`--idle-timeout-ms`).
+    pub idle_timeout_ms: u64,
+    /// Maximum bytes buffered for one request line before a typed `Parse`
+    /// error and close (`--max-line-bytes`).
+    pub max_line_bytes: usize,
+    /// Forwarding worker threads under `--net event` (ignored by
+    /// `--net threads`, where connection threads forward directly).
+    pub forward_workers: usize,
 }
 
 impl Default for RouterConfig {
@@ -89,6 +113,10 @@ impl Default for RouterConfig {
             max_inflight: 256,
             connect_timeout: Duration::from_secs(1),
             forward_timeout: Duration::from_secs(10),
+            net: NetDriver::default_from_env(),
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            max_line_bytes: sgcl_common::proto::MAX_LINE_BYTES,
+            forward_workers: 16,
         }
     }
 }
@@ -151,6 +179,7 @@ struct RouterCtx {
     inflight: AtomicUsize,
     conn_seq: AtomicU64,
     shutdown: AtomicBool,
+    limits: LineLimits,
 }
 
 /// A running router; dropping the handle does **not** stop it — call
@@ -159,6 +188,8 @@ pub struct RouterHandle {
     addr: SocketAddr,
     ctx: Arc<RouterCtx>,
     accept: JoinHandle<()>,
+    #[cfg(unix)]
+    waker: Option<Arc<crate::reactor::Waker>>,
 }
 
 impl RouterHandle {
@@ -170,6 +201,10 @@ impl RouterHandle {
     /// Requests shutdown and waits for in-flight work to finish.
     pub fn stop(self) {
         self.ctx.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         self.join();
     }
 
@@ -181,7 +216,7 @@ impl RouterHandle {
 }
 
 /// Binds the router, resolves every replica address, and starts the
-/// accept loop plus the health-probe thread.
+/// configured net driver plus the health-probe thread.
 pub fn start_router(config: RouterConfig) -> Result<RouterHandle, SgclError> {
     if config.replicas.is_empty() {
         return Err(SgclError::usage("router needs at least one --replica"));
@@ -204,13 +239,15 @@ pub fn start_router(config: RouterConfig) -> Result<RouterHandle, SgclError> {
 
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| SgclError::io(format!("bind {}", config.addr), e))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| SgclError::io("set listener non-blocking", e))?;
     let addr = listener
         .local_addr()
         .map_err(|e| SgclError::io("query bound address", e))?;
 
+    let limits = LineLimits {
+        max_line_bytes: config.max_line_bytes.max(1),
+        idle_timeout: (config.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.idle_timeout_ms)),
+    };
     let ctx = Arc::new(RouterCtx {
         replicas,
         stats: RouterStats {
@@ -223,6 +260,7 @@ pub fn start_router(config: RouterConfig) -> Result<RouterHandle, SgclError> {
         inflight: AtomicUsize::new(0),
         conn_seq: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
+        limits,
         config,
     });
 
@@ -230,12 +268,25 @@ pub fn start_router(config: RouterConfig) -> Result<RouterHandle, SgclError> {
         let ctx = Arc::clone(&ctx);
         std::thread::spawn(move || probe_loop(&ctx))
     };
+
+    #[cfg(unix)]
+    if ctx.config.net == NetDriver::Event {
+        return start_event_router(listener, addr, ctx, prober);
+    }
+
     let accept_ctx = Arc::clone(&ctx);
     let accept = std::thread::spawn(move || {
+        let _ = listener.set_nonblocking(true);
         accept_loop(listener, accept_ctx, prober);
     });
 
-    Ok(RouterHandle { addr, ctx, accept })
+    Ok(RouterHandle {
+        addr,
+        ctx,
+        accept,
+        #[cfg(unix)]
+        waker: None,
+    })
 }
 
 /// Pings every replica once per `probe_interval`, feeding the ejection /
@@ -272,6 +323,199 @@ fn probe_loop(ctx: &RouterCtx) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// event driver
+
+/// Starts the reactor-based driver: one event-loop thread owns every
+/// client connection; forwards run on a [`WorkPool`] whose workers each
+/// own a [`Jitter`] stream for decorrelated retry backoff.
+#[cfg(unix)]
+fn start_event_router(
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<RouterCtx>,
+    prober: JoinHandle<()>,
+) -> Result<RouterHandle, SgclError> {
+    use crate::reactor::{BackendKind, Reactor, ReactorConfig};
+
+    let reactor_config = ReactorConfig {
+        idle_timeout: ctx.limits.idle_timeout,
+        max_line_bytes: ctx.limits.max_line_bytes,
+        idle_reply: encode_response(&ctx.limits.idle_reply()),
+        oversize_reply: encode_response(&ctx.limits.oversize_reply()),
+        backend: BackendKind::Auto,
+    };
+    let mut reactor = Reactor::new(listener, reactor_config)
+        .map_err(|e| SgclError::io("start event reactor", e))?;
+    let waker = reactor.waker();
+
+    // effectively unbounded: everything queued here was already
+    // shed-checked (or is cheap), so the only submit failure mode left
+    // is shutdown, where the dropped task's fallback reply answers
+    let pool: Arc<WorkPool<Jitter>> = Arc::new(WorkPool::new(usize::MAX));
+    let workers: Vec<JoinHandle<()>> = (0..ctx.config.forward_workers.max(1))
+        .map(|i| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                // decorrelated backoff schedules across workers
+                let mut jitter = Jitter::new(0x5f0_f00d ^ (i as u64));
+                pool.run_worker(&mut jitter);
+            })
+        })
+        .collect();
+
+    let run_ctx = Arc::clone(&ctx);
+    let accept = std::thread::spawn(move || {
+        let service = RouterService {
+            ctx: Arc::clone(&run_ctx),
+            pool: Arc::clone(&pool),
+        };
+        reactor.run(&service, &run_ctx.shutdown);
+        run_ctx.shutdown.store(true, Ordering::SeqCst);
+        // queued tasks drain (their completions are discarded by the
+        // reactor's generation check only if the peer already vanished)
+        pool.shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let _ = prober.join();
+    });
+
+    Ok(RouterHandle {
+        addr,
+        ctx,
+        accept,
+        waker: Some(waker),
+    })
+}
+
+/// Protocol glue between the reactor and the forwarding layer. While the
+/// loop is shallow, parsing, validation, and the shed decision happen
+/// inline on the reactor thread (they are CPU-only) and anything that
+/// talks to a replica parks onto the pool. Past the per-wakeup
+/// [`Park::pressure`](crate::reactor::Park::pressure) budget even the
+/// parse moves to the pool: a reactor that keeps computing inline while
+/// other connections are ready serializes the whole tier behind one
+/// thread.
+#[cfg(unix)]
+struct RouterService {
+    ctx: Arc<RouterCtx>,
+    pool: Arc<WorkPool<Jitter>>,
+}
+
+#[cfg(unix)]
+impl RouterService {
+    /// Parks the current request and runs `work` on the forwarding pool.
+    fn park_on_pool(
+        &self,
+        park: &crate::reactor::Park<'_>,
+        id: u64,
+        work: impl FnOnce(&RouterCtx, &mut Jitter) -> Response + Send + 'static,
+    ) -> crate::reactor::LineOutcome {
+        let drop_reply = encode_response(&Response::error(
+            id,
+            &WireError::new(WireCode::Internal, "router worker dropped the request"),
+        ));
+        let completer = park.completer(drop_reply);
+        let ctx = Arc::clone(&self.ctx);
+        // a submit rejection (only possible at shutdown) drops the task,
+        // whose completer then delivers the fallback reply
+        let _ = self.pool.submit(Box::new(move |jitter| {
+            let response = work(&ctx, jitter);
+            completer.complete(encode_response(&response));
+        }));
+        crate::reactor::LineOutcome::Parked { deadline: None }
+    }
+
+    /// Pressure relief: parks the raw line and runs the full dispatch —
+    /// parse included — on the pool, exactly as a `--net threads`
+    /// connection thread would.
+    fn park_whole_line(
+        &self,
+        park: &crate::reactor::Park<'_>,
+        line: &str,
+    ) -> crate::reactor::LineOutcome {
+        let drop_reply = encode_response(&Response::error(
+            0,
+            &WireError::new(WireCode::Internal, "router worker dropped the request"),
+        ));
+        let completer = park.completer(drop_reply);
+        let ctx = Arc::clone(&self.ctx);
+        let line = line.to_string();
+        let _ = self.pool.submit(Box::new(move |jitter| {
+            let (response, stop) = handle_request(&line, &ctx, jitter);
+            if stop {
+                // the completion push below wakes the reactor, which sees
+                // the flag and drains
+                ctx.shutdown.store(true, Ordering::SeqCst);
+            }
+            completer.complete(encode_response(&response));
+        }));
+        crate::reactor::LineOutcome::Parked { deadline: None }
+    }
+}
+
+#[cfg(unix)]
+impl crate::reactor::Service for RouterService {
+    fn on_line(&self, line: &str, park: crate::reactor::Park<'_>) -> crate::reactor::LineOutcome {
+        use crate::reactor::LineOutcome;
+
+        let respond = |response: &Response, stop: bool| LineOutcome::Respond {
+            line: encode_response(response),
+            stop,
+        };
+
+        self.ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if park.pressure() >= crate::reactor::INLINE_LINE_BUDGET {
+            // deep wakeup: other connections are already waiting behind
+            // this one, so not even the parse runs inline
+            return self.park_whole_line(&park, line);
+        }
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => return respond(&Response::error(0, &e), false),
+        };
+        let id = request.id;
+        match request.op.as_str() {
+            op::PING => respond(&Response::ok(id), false),
+            op::SHUTDOWN | op::DRAIN => respond(&Response::ok(id), true),
+            // info exchanges lines with every replica for the index
+            // aggregate — replica I/O, so off the reactor thread
+            op::INFO => self.park_on_pool(&park, id, move |ctx, _jitter| info_response(id, ctx)),
+            op::EMBED | op::INDEX_ADD => match validate_forward(id, request) {
+                Err(response) => respond(&response, false),
+                Ok(forward) => match admit(id, &self.ctx) {
+                    Err(response) => respond(&response, false),
+                    Ok(()) => self.park_on_pool(&park, id, move |ctx, jitter| {
+                        let _guard = AdmitGuard { ctx };
+                        forward_admitted(id, forward, ctx, jitter)
+                    }),
+                },
+            },
+            op::SEARCH => match validate_search(id, request) {
+                Err(response) => respond(&response, false),
+                Ok(search) => match admit(id, &self.ctx) {
+                    Err(response) => respond(&response, false),
+                    Ok(()) => self.park_on_pool(&park, id, move |ctx, jitter| {
+                        let _guard = AdmitGuard { ctx };
+                        search_admitted(id, search, ctx, jitter)
+                    }),
+                },
+            },
+            other => respond(
+                &Response::error(
+                    id,
+                    &WireError::new(WireCode::Usage, format!("unknown operation {other:?}")),
+                ),
+                false,
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// threads driver
+
 fn accept_loop(listener: TcpListener, ctx: Arc<RouterCtx>, prober: JoinHandle<()>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !ctx.shutdown.load(Ordering::SeqCst) {
@@ -285,7 +529,7 @@ fn accept_loop(listener: TcpListener, ctx: Arc<RouterCtx>, prober: JoinHandle<()
             }
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
-        conns.retain(|h| !h.is_finished());
+        reap_finished(&mut conns);
     }
     // drain: no new connections are accepted; every connection thread
     // finishes the request it is processing before it notices shutdown
@@ -303,10 +547,11 @@ fn handle_conn(mut stream: TcpStream, ctx: &RouterCtx) {
     let mut jitter = Jitter::new(ctx.conn_seq.fetch_add(1, Ordering::Relaxed));
     let mut pending: Vec<u8> = Vec::new();
     loop {
-        let line = match read_line_polled(&mut stream, &mut pending, &ctx.shutdown) {
+        let line = match read_line_polled(&mut stream, &mut pending, &ctx.shutdown, &ctx.limits) {
             Ok(Some(line)) => line,
             Ok(None) => return,
             Err(reply) => {
+                // oversized line or idle timeout: reply once, then close
                 write_line(&mut stream, &reply);
                 return;
             }
@@ -340,8 +585,26 @@ fn handle_request(line: &str, ctx: &RouterCtx, jitter: &mut Jitter) -> (Response
         op::SHUTDOWN | op::DRAIN => (Response::ok(id), true),
         // embed and index_add shard the same way: by content hash, so a
         // graph's embedding and its index entry land on the same replica
-        op::EMBED | op::INDEX_ADD => (forward_via_replicas(id, request, ctx, jitter), false),
-        op::SEARCH => (search_via_replicas(id, request, ctx, jitter), false),
+        op::EMBED | op::INDEX_ADD => match validate_forward(id, request) {
+            Err(response) => (response, false),
+            Ok(forward) => match admit(id, ctx) {
+                Err(response) => (response, false),
+                Ok(()) => {
+                    let _guard = AdmitGuard { ctx };
+                    (forward_admitted(id, forward, ctx, jitter), false)
+                }
+            },
+        },
+        op::SEARCH => match validate_search(id, request) {
+            Err(response) => (response, false),
+            Ok(search) => match admit(id, ctx) {
+                Err(response) => (response, false),
+                Ok(()) => {
+                    let _guard = AdmitGuard { ctx };
+                    (search_admitted(id, search, ctx, jitter), false)
+                }
+            },
+        },
         other => (
             Response::error(
                 id,
@@ -418,14 +681,138 @@ fn aggregate_index_stats(ctx: &RouterCtx) -> Option<IndexBody> {
     total
 }
 
-/// Decrements the in-flight gauge on every exit path.
-struct InflightGuard<'a>(&'a AtomicUsize);
+// ---------------------------------------------------------------------------
+// admission (load shedding)
 
-impl Drop for InflightGuard<'_> {
+/// Takes one in-flight slot or sheds with a typed `Overloaded` reply.
+/// With `max_inflight == 0` admission always succeeds without touching
+/// the gauge. The event driver runs this on the reactor thread — shed
+/// replies cost no pool round-trip.
+fn admit(id: u64, ctx: &RouterCtx) -> Result<(), Response> {
+    if ctx.config.max_inflight == 0 {
+        return Ok(());
+    }
+    let prev = ctx.inflight.fetch_add(1, Ordering::SeqCst);
+    if prev >= ctx.config.max_inflight {
+        ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+        ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::error(
+            id,
+            &WireError::new(
+                WireCode::Overloaded,
+                format!("router at {} in-flight requests", ctx.config.max_inflight),
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Releases an [`admit`]ed slot on every exit path.
+struct AdmitGuard<'a> {
+    ctx: &'a RouterCtx,
+}
+
+impl Drop for AdmitGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        if self.ctx.config.max_inflight > 0 {
+            self.ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
+
+// ---------------------------------------------------------------------------
+// validation (shared by both drivers; CPU-only)
+
+/// A validated shardable forward (`embed` / `index_add`).
+struct ShardForward {
+    op_name: String,
+    model: Option<String>,
+    record: GraphRecord,
+    /// Rendezvous key: the graph's content hash.
+    shard_key: u128,
+}
+
+/// Validates and hashes an `embed`/`index_add` payload locally, so
+/// malformed payloads are rejected at the edge and well-formed ones shard
+/// deterministically.
+fn validate_forward(id: u64, request: Request) -> Result<ShardForward, Response> {
+    let op_name = request.op;
+    let record = match request.graph {
+        Some(r) => r,
+        None => {
+            return Err(Response::error(
+                id,
+                &WireError::new(
+                    WireCode::Usage,
+                    format!("{op_name:?} requires a \"graph\" payload"),
+                ),
+            ))
+        }
+    };
+    let graph = match record.clone().into_graph() {
+        Ok(g) => g,
+        Err(e) => return Err(Response::error(id, &WireError::from(&e))),
+    };
+    if graph.num_nodes() == 0 {
+        return Err(Response::error(
+            id,
+            &WireError::new(WireCode::InvalidData, "cannot embed an empty graph"),
+        ));
+    }
+    Ok(ShardForward {
+        op_name,
+        model: request.model,
+        record,
+        shard_key: content_hash(&graph).0,
+    })
+}
+
+/// A validated fan-out search.
+struct SearchForward {
+    model: Option<String>,
+    record: GraphRecord,
+    k: usize,
+}
+
+fn validate_search(id: u64, request: Request) -> Result<SearchForward, Response> {
+    let record = match request.graph {
+        Some(r) => r,
+        None => {
+            return Err(Response::error(
+                id,
+                &WireError::new(WireCode::Usage, "\"search\" requires a \"graph\" payload"),
+            ))
+        }
+    };
+    let graph = match record.clone().into_graph() {
+        Ok(g) => g,
+        Err(e) => return Err(Response::error(id, &WireError::from(&e))),
+    };
+    if graph.num_nodes() == 0 {
+        return Err(Response::error(
+            id,
+            &WireError::new(WireCode::InvalidData, "cannot embed an empty graph"),
+        ));
+    }
+    let k = request.k.unwrap_or(DEFAULT_SEARCH_K);
+    if k == 0 || k > MAX_SEARCH_K {
+        return Err(Response::error(
+            id,
+            &WireError::new(
+                WireCode::Usage,
+                format!("k must be in 1..={MAX_SEARCH_K}, got {k}"),
+            ),
+        ));
+    }
+    Ok(SearchForward {
+        model: request.model,
+        record,
+        k,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// forwarding (already validated and admitted)
 
 /// Outcome of one forwarding attempt against one replica.
 enum Forward {
@@ -439,56 +826,11 @@ enum Forward {
     Retry { alive: bool },
 }
 
-fn forward_via_replicas(
-    id: u64,
-    request: Request,
-    ctx: &RouterCtx,
-    jitter: &mut Jitter,
-) -> Response {
-    let op_name = request.op.clone();
-    let record = match request.graph {
-        Some(r) => r,
-        None => {
-            return Response::error(
-                id,
-                &WireError::new(
-                    WireCode::Usage,
-                    format!("{op_name:?} requires a \"graph\" payload"),
-                ),
-            )
-        }
-    };
-    // validate and hash locally so malformed payloads are rejected at the
-    // edge and well-formed ones shard deterministically
-    let graph = match record.clone().into_graph() {
-        Ok(g) => g,
-        Err(e) => return Response::error(id, &WireError::from(&e)),
-    };
-    if graph.num_nodes() == 0 {
-        return Response::error(
-            id,
-            &WireError::new(WireCode::InvalidData, "cannot embed an empty graph"),
-        );
-    }
-
-    if ctx.config.max_inflight > 0 {
-        let prev = ctx.inflight.fetch_add(1, Ordering::SeqCst);
-        if prev >= ctx.config.max_inflight {
-            ctx.inflight.fetch_sub(1, Ordering::SeqCst);
-            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
-            return Response::error(
-                id,
-                &WireError::new(
-                    WireCode::Overloaded,
-                    format!("router at {} in-flight requests", ctx.config.max_inflight),
-                ),
-            );
-        }
-    }
-    let _guard = (ctx.config.max_inflight > 0).then(|| InflightGuard(&ctx.inflight));
-
-    let ranking = rank_replicas(content_hash(&graph).0, ctx.replicas.len());
-    let model = request.model;
+/// Walks the rendezvous ranking with bounded retries until a replica
+/// answers. The caller has already validated the payload and taken an
+/// in-flight slot.
+fn forward_admitted(id: u64, f: ShardForward, ctx: &RouterCtx, jitter: &mut Jitter) -> Response {
+    let ranking = rank_replicas(f.shard_key, ctx.replicas.len());
     let mut attempt: u32 = 0;
     loop {
         // re-filter each attempt: ejections during the walk change the
@@ -508,9 +850,9 @@ fn forward_via_replicas(
         let target = healthy[attempt as usize % healthy.len()];
         let forward_request = Request {
             id,
-            op: op_name.clone(),
-            model: model.clone(),
-            graph: Some(record.clone()),
+            op: f.op_name.clone(),
+            model: f.model.clone(),
+            graph: Some(f.record.clone()),
             k: None,
         };
         match forward_once(ctx, target, forward_request) {
@@ -560,58 +902,7 @@ fn forward_via_replicas(
 /// the merge: the reply is built from survivors only, so it never
 /// contains an incorrect hit, merely fewer candidates. Only when *no*
 /// replica answers does the router reply `Unavailable`.
-fn search_via_replicas(
-    id: u64,
-    request: Request,
-    ctx: &RouterCtx,
-    jitter: &mut Jitter,
-) -> Response {
-    let record = match request.graph {
-        Some(r) => r,
-        None => {
-            return Response::error(
-                id,
-                &WireError::new(WireCode::Usage, "\"search\" requires a \"graph\" payload"),
-            )
-        }
-    };
-    let graph = match record.clone().into_graph() {
-        Ok(g) => g,
-        Err(e) => return Response::error(id, &WireError::from(&e)),
-    };
-    if graph.num_nodes() == 0 {
-        return Response::error(
-            id,
-            &WireError::new(WireCode::InvalidData, "cannot embed an empty graph"),
-        );
-    }
-    let k = request.k.unwrap_or(DEFAULT_SEARCH_K);
-    if k == 0 || k > MAX_SEARCH_K {
-        return Response::error(
-            id,
-            &WireError::new(
-                WireCode::Usage,
-                format!("k must be in 1..={MAX_SEARCH_K}, got {k}"),
-            ),
-        );
-    }
-
-    if ctx.config.max_inflight > 0 {
-        let prev = ctx.inflight.fetch_add(1, Ordering::SeqCst);
-        if prev >= ctx.config.max_inflight {
-            ctx.inflight.fetch_sub(1, Ordering::SeqCst);
-            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
-            return Response::error(
-                id,
-                &WireError::new(
-                    WireCode::Overloaded,
-                    format!("router at {} in-flight requests", ctx.config.max_inflight),
-                ),
-            );
-        }
-    }
-    let _guard = (ctx.config.max_inflight > 0).then(|| InflightGuard(&ctx.inflight));
-
+fn search_admitted(id: u64, s: SearchForward, ctx: &RouterCtx, jitter: &mut Jitter) -> Response {
     // best score per hash across replicas; shards are disjoint in steady
     // state, but after an ejection/re-admission cycle a vector can live
     // on two replicas — keep the max (scores are bit-identical anyway)
@@ -640,9 +931,9 @@ fn search_via_replicas(
             let forward_request = Request {
                 id,
                 op: op::SEARCH.to_string(),
-                model: request.model.clone(),
-                graph: Some(record.clone()),
-                k: Some(k),
+                model: s.model.clone(),
+                graph: Some(s.record.clone()),
+                k: Some(s.k),
             };
             match forward_once(ctx, target, forward_request) {
                 Forward::Answered(response) => {
@@ -651,7 +942,7 @@ fn search_via_replicas(
                         answered += 1;
                         for hit in response.results.clone().unwrap_or_default() {
                             best.entry(hit.hash)
-                                .and_modify(|s| *s = s.max(hit.score))
+                                .and_modify(|score| *score = score.max(hit.score))
                                 .or_insert(hit.score);
                         }
                         if first_ok.is_none() {
@@ -711,7 +1002,7 @@ fn search_via_replicas(
             .total_cmp(&a.score)
             .then_with(|| a.hash.cmp(&b.hash))
     });
-    merged.truncate(k);
+    merged.truncate(s.k);
 
     let first = first_ok.expect("answered > 0 implies a success reply");
     let mut response = Response::ok(id);

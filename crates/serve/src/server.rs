@@ -1,13 +1,27 @@
-//! The TCP server: accept loop, per-connection handlers, worker pool,
-//! and graceful shutdown.
+//! The TCP server: connection handling (event-loop or thread-per-conn),
+//! worker pool, and graceful shutdown.
 //!
-//! Each connection is handled by one thread that reads request lines,
-//! validates them, and either answers from the cache or parks on a reply
-//! channel while the micro-batcher embeds. Shutdown (the `shutdown`
-//! operation, or [`ServerHandle::stop`]) flips one flag: the accept loop
-//! stops taking connections, connection threads notice at their next read
-//! timeout and exit, and the batcher drains queued work before the
-//! workers stop.
+//! Request handling is split into two phases so both net drivers share
+//! one protocol implementation:
+//!
+//! * **phase A** ([`begin_request`]) — parse, validate, resolve the
+//!   model, probe the cache. Cheap and non-blocking; the event driver
+//!   runs it directly on the reactor thread.
+//! * **phase B** ([`respond_obtained`]) — turn an embedding (or the
+//!   worker pool's typed error) into the operation's reply: the raw
+//!   vector for `embed`, an index insertion for `index_add`, a
+//!   neighbour query for `search`.
+//!
+//! Requests that miss the cache park between the phases while the
+//! micro-batcher embeds. Under `--net threads` the connection thread
+//! blocks on an mpsc channel; under `--net event` (the default) the
+//! reactor parks the connection and a worker finishes phase B through a
+//! completion hook — no thread ever waits.
+//!
+//! Shutdown (the `shutdown` operation, or [`ServerHandle::stop`]) is the
+//! same graceful drain in both drivers: no new connections, in-flight
+//! requests finish, the batcher queue drains, then the workers exit and
+//! the index flushes.
 
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -18,16 +32,18 @@ use std::time::{Duration, Instant};
 
 use sgcl_common::proto::{op, WireCode, WireError, PROTOCOL_VERSION};
 use sgcl_common::SgclError;
-use sgcl_graph::content_hash;
+use sgcl_graph::{content_hash, ContentHash};
 
-use crate::batcher::{Batcher, Job};
+use crate::batcher::{Batcher, Job, JobReply, ReplySink};
 use crate::cache::LruCache;
 use crate::index::ServeIndex;
 use crate::key::hash_to_hex;
-use crate::net::{read_line_polled, write_line, POLL_INTERVAL};
-use crate::protocol::{parse_request, InfoBody, ModelInfo, Request, Response, SearchHitBody};
+use crate::net::{read_line_polled, reap_finished, write_line, LineLimits, POLL_INTERVAL};
+use crate::protocol::{
+    encode_response, parse_request, InfoBody, ModelInfo, Request, Response, SearchHitBody,
+};
 use crate::registry::ModelRegistry;
-use crate::{ServeConfig, ServeStats};
+use crate::{NetDriver, ServeConfig, ServeStats};
 
 /// Result count for `search` requests that omit `k` (shared with the
 /// router so both tiers truncate identically).
@@ -37,12 +53,11 @@ pub(crate) const DEFAULT_SEARCH_K: usize = 10;
 /// arbitrarily large reply line.
 pub(crate) const MAX_SEARCH_K: usize = 10_000;
 
-/// Fixed tail of the reply-wait window: once a connection thread has
-/// waited the full queue deadline *plus half again* (worst-case embed
-/// time of a batch picked up just before the deadline) *plus this
-/// grace*, the reply channel is abandoned with `DeadlineExceeded`. See
-/// DESIGN.md §12 ("reply-wait policy") for the rationale behind the
-/// formula.
+/// Fixed tail of the reply-wait window: once a caller has waited the full
+/// queue deadline *plus half again* (worst-case embed time of a batch
+/// picked up just before the deadline) *plus this grace*, the reply is
+/// abandoned with `DeadlineExceeded`. See DESIGN.md §12 ("reply-wait
+/// policy") for the rationale behind the formula.
 const REPLY_GRACE: Duration = Duration::from_millis(50);
 
 /// The full wait budget for a queued request's reply under deadline `d`.
@@ -59,6 +74,7 @@ pub(crate) struct ServerCtx {
     pub(crate) shutdown: AtomicBool,
     deadline: Option<Duration>,
     index: Option<ServeIndex>,
+    limits: LineLimits,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -67,6 +83,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     ctx: Arc<ServerCtx>,
     accept: JoinHandle<()>,
+    #[cfg(unix)]
+    waker: Option<Arc<crate::reactor::Waker>>,
 }
 
 impl ServerHandle {
@@ -78,23 +96,16 @@ impl ServerHandle {
     /// Summaries of the served models, in registry order (first is the
     /// default model).
     pub fn models(&self) -> Vec<ModelInfo> {
-        self.ctx
-            .registry
-            .entries()
-            .iter()
-            .map(|e| ModelInfo {
-                name: e.name.clone(),
-                method: e.method.clone(),
-                input_dim: e.input_dim,
-                hidden_dim: e.hidden_dim,
-                num_layers: e.num_layers,
-            })
-            .collect()
+        model_infos(&self.ctx.registry)
     }
 
     /// Requests shutdown and waits for connections and workers to finish.
     pub fn stop(self) {
         self.ctx.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         self.join();
     }
 
@@ -105,14 +116,36 @@ impl ServerHandle {
     }
 }
 
-/// Binds, loads every model, and starts the accept loop plus worker pool.
+fn model_infos(registry: &ModelRegistry) -> Vec<ModelInfo> {
+    registry
+        .entries()
+        .iter()
+        .map(|e| ModelInfo {
+            name: e.name.clone(),
+            method: e.method.clone(),
+            input_dim: e.input_dim,
+            hidden_dim: e.hidden_dim,
+            num_layers: e.num_layers,
+        })
+        .collect()
+}
+
+/// Binds, loads every model from disk, and starts the configured net
+/// driver plus worker pool.
 pub fn start(config: ServeConfig) -> Result<ServerHandle, SgclError> {
     let registry = ModelRegistry::load(&config.models)?;
+    start_with_registry(config, registry)
+}
+
+/// Like [`start`], but serves an already-built registry — the path used
+/// by tests and the bench harness to serve in-memory models without
+/// checkpoint files (`config.models` is ignored).
+pub fn start_with_registry(
+    config: ServeConfig,
+    registry: ModelRegistry,
+) -> Result<ServerHandle, SgclError> {
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| SgclError::io(format!("bind {}", config.addr), e))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| SgclError::io("set listener non-blocking", e))?;
     let addr = listener
         .local_addr()
         .map_err(|e| SgclError::io("query bound address", e))?;
@@ -131,6 +164,11 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, SgclError> {
         shutdown: AtomicBool::new(false),
         deadline: (config.deadline_ms > 0).then(|| Duration::from_millis(config.deadline_ms)),
         index,
+        limits: LineLimits {
+            max_line_bytes: config.max_line_bytes.max(1),
+            idle_timeout: (config.idle_timeout_ms > 0)
+                .then(|| Duration::from_millis(config.idle_timeout_ms)),
+        },
     });
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
@@ -143,13 +181,236 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, SgclError> {
         })
         .collect();
 
+    #[cfg(unix)]
+    if config.net == NetDriver::Event {
+        return start_event_driver(listener, addr, ctx, workers);
+    }
+    let _ = config.net; // non-Unix targets always run the threads driver
+
     let accept_ctx = Arc::clone(&ctx);
     let accept = std::thread::spawn(move || {
+        let _ = listener.set_nonblocking(true);
         accept_loop(listener, accept_ctx, workers);
     });
 
-    Ok(ServerHandle { addr, ctx, accept })
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        accept,
+        #[cfg(unix)]
+        waker: None,
+    })
 }
+
+/// Shared tail of both drivers' shutdown: drain the batcher queue, stop
+/// the workers, then seal pending index vectors (everything embedded by
+/// the drain is in memory by then, and flush is the only lossy step to
+/// skip).
+fn drain_workers(ctx: &ServerCtx, workers: Vec<JoinHandle<()>>) {
+    ctx.batcher.shutdown();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    if let Some(index) = &ctx.index {
+        if let Err(e) = index.flush() {
+            eprintln!("sgcl-serve: index flush at shutdown failed: {e}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// event driver
+
+/// Starts the reactor-based driver: one event-loop thread multiplexes
+/// every connection; cache misses park and are completed by the worker
+/// pool through the reactor's completion queue.
+#[cfg(unix)]
+fn start_event_driver(
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    workers: Vec<JoinHandle<()>>,
+) -> Result<ServerHandle, SgclError> {
+    use crate::reactor::{BackendKind, Reactor, ReactorConfig};
+
+    let reactor_config = ReactorConfig {
+        idle_timeout: ctx.limits.idle_timeout,
+        max_line_bytes: ctx.limits.max_line_bytes,
+        idle_reply: encode_response(&ctx.limits.idle_reply()),
+        oversize_reply: encode_response(&ctx.limits.oversize_reply()),
+        backend: BackendKind::Auto,
+    };
+    let mut reactor = Reactor::new(listener, reactor_config)
+        .map_err(|e| SgclError::io("start event reactor", e))?;
+    let waker = reactor.waker();
+
+    // line workers: full request dispatch for lines the reactor sheds
+    // under pressure (see Park::pressure). Sized with the embed pool —
+    // parse/cache-probe work is much lighter than a forward pass, and a
+    // saturated queue falls back to inline handling anyway.
+    let line_pool: Arc<crate::pool::WorkPool<()>> =
+        Arc::new(crate::pool::WorkPool::new(LINE_QUEUE_CAP));
+    let line_workers: Vec<JoinHandle<()>> = (0..workers.len().max(2))
+        .map(|_| {
+            let pool = Arc::clone(&line_pool);
+            std::thread::spawn(move || pool.run_worker(&mut ()))
+        })
+        .collect();
+
+    let run_ctx = Arc::clone(&ctx);
+    let accept = std::thread::spawn(move || {
+        let service = NodeService {
+            ctx: Arc::clone(&run_ctx),
+            pool: Arc::clone(&line_pool),
+        };
+        reactor.run(&service, &run_ctx.shutdown);
+        // the loop also exits on a shutdown *request* line; make the flag
+        // agree so late submit() callers see ShuttingDown
+        run_ctx.shutdown.store(true, Ordering::SeqCst);
+        line_pool.shutdown();
+        for worker in line_workers {
+            let _ = worker.join();
+        }
+        drain_workers(&run_ctx, workers);
+    });
+
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        accept,
+        waker: Some(waker),
+    })
+}
+
+/// Waiting shed lines past this bounce back to inline handling — the
+/// bound only exists so a wedged pool cannot buffer lines forever.
+#[cfg(unix)]
+const LINE_QUEUE_CAP: usize = 1024;
+
+/// Protocol glue between the reactor and the shared request phases.
+#[cfg(unix)]
+struct NodeService {
+    ctx: Arc<ServerCtx>,
+    pool: Arc<crate::pool::WorkPool<()>>,
+}
+
+#[cfg(unix)]
+impl crate::reactor::Service for NodeService {
+    fn on_line(&self, line: &str, park: crate::reactor::Park<'_>) -> crate::reactor::LineOutcome {
+        use crate::reactor::{LineOutcome, ParkDeadline};
+
+        self.ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if park.pressure() >= crate::reactor::INLINE_LINE_BUDGET {
+            // deep wakeup: connections are waiting behind this one.
+            // Everything — parse, cache probe, reply rendering — moves to
+            // a line worker; the reactor goes back to shuffling bytes.
+            let drop_reply = encode_response(&Response::error(
+                0,
+                &WireError::new(WireCode::Internal, "worker pool dropped the request"),
+            ));
+            let completer = park.completer(drop_reply);
+            let ctx = Arc::clone(&self.ctx);
+            let owned = line.to_string();
+            let task: crate::pool::Task<()> =
+                Box::new(move |_| pooled_line(&owned, &ctx, completer));
+            if let Err(task) = self.pool.submit(task) {
+                // pool saturated: absorb the spike inline — the completion
+                // still routes through the queue, so exactly one reply
+                task(&mut ());
+            }
+            return LineOutcome::Parked { deadline: None };
+        }
+        match begin_request(line, &self.ctx) {
+            Begin::Ready { response, stop } => LineOutcome::Respond {
+                line: render_reply(&response, &self.ctx.stats),
+                stop,
+            },
+            Begin::NeedEmbed { pending, validated } => {
+                let id = pending.id;
+                // if the worker pool tears down without answering, the
+                // dropped completer delivers this fallback instead of
+                // leaving the connection parked forever
+                let drop_reply = encode_response(&Response::error(
+                    id,
+                    &WireError::new(WireCode::Internal, "worker pool dropped the request"),
+                ));
+                let completer = park.completer(drop_reply);
+                let hook_ctx = Arc::clone(&self.ctx);
+                let kind = pending.kind;
+                let sink = ReplySink::Hook(Box::new(move |reply: JobReply| {
+                    let result = reply.map(Obtained::from);
+                    let response = respond_obtained(id, kind, result, &hook_ctx);
+                    completer.complete(render_reply(&response, &hook_ctx.stats));
+                }));
+                // the reactor answers DeadlineExceeded on its own if the
+                // pool stays silent past the full reply-wait budget; a
+                // later completion then fails the generation check
+                let deadline = self.ctx.deadline.map(|d| ParkDeadline {
+                    at: Instant::now() + reply_wait(d),
+                    reply: encode_response(&Response::error(
+                        id,
+                        &WireError::new(
+                            WireCode::DeadlineExceeded,
+                            "request deadline exceeded while waiting for the worker pool",
+                        ),
+                    )),
+                });
+                if let Err((e, job)) = submit_job(validated, sink, &self.ctx) {
+                    // shed: deliver the typed rejection through the hook
+                    // so it flows back over the same completion path
+                    job.reply.send(Err(e));
+                }
+                LineOutcome::Parked { deadline }
+            }
+        }
+    }
+}
+
+/// Renders one reply line, counting error replies — the event driver's
+/// analogue of [`write_response`]. Reactor-delivered idle, oversize, and
+/// deadline replies bypass this (they are pre-rendered before anyone
+/// knows whether they will be sent) and are not counted in `errors`.
+fn render_reply(response: &Response, stats: &ServeStats) -> String {
+    if !response.ok {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    encode_response(response)
+}
+
+/// One pressure-shed line, end to end, on a line worker: phase A, and on
+/// a cache miss the batcher hand-off whose hook finishes phase B. The
+/// queue deadline inside [`submit_job`] keeps shed embeds
+/// deadline-protected (the reactor-side park deadline needs the request
+/// id, which is unknown before the parse happens here).
+#[cfg(unix)]
+fn pooled_line(line: &str, ctx: &Arc<ServerCtx>, completer: crate::reactor::Completer) {
+    match begin_request(line, ctx) {
+        Begin::Ready { response, stop } => {
+            if stop {
+                // the completion push wakes the reactor, which sees the
+                // flag and drains exactly as for an inline stop
+                ctx.shutdown.store(true, Ordering::SeqCst);
+            }
+            completer.complete(render_reply(&response, &ctx.stats));
+        }
+        Begin::NeedEmbed { pending, validated } => {
+            let id = pending.id;
+            let kind = pending.kind;
+            let hook_ctx = Arc::clone(ctx);
+            let sink = ReplySink::Hook(Box::new(move |reply: JobReply| {
+                let result = reply.map(Obtained::from);
+                let response = respond_obtained(id, kind, result, &hook_ctx);
+                completer.complete(render_reply(&response, &hook_ctx.stats));
+            }));
+            if let Err((e, job)) = submit_job(validated, sink, ctx) {
+                job.reply.send(Err(e));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// threads driver
 
 fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>, workers: Vec<JoinHandle<()>>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
@@ -164,24 +425,14 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>, workers: Vec<JoinHand
             }
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
-        conns.retain(|h| !h.is_finished());
+        reap_finished(&mut conns);
     }
     // teardown order matters: connections first (no more submissions),
     // then the batcher drains, then the workers exit
     for conn in conns {
         let _ = conn.join();
     }
-    ctx.batcher.shutdown();
-    for worker in workers {
-        let _ = worker.join();
-    }
-    // seal pending index vectors last: everything embedded by the drain
-    // above is in memory by now, and flush is the only lossy step to skip
-    if let Some(index) = &ctx.index {
-        if let Err(e) = index.flush() {
-            eprintln!("sgcl-serve: index flush at shutdown failed: {e}");
-        }
-    }
+    drain_workers(&ctx, workers);
 }
 
 fn handle_conn(mut stream: TcpStream, ctx: &ServerCtx) {
@@ -189,12 +440,12 @@ fn handle_conn(mut stream: TcpStream, ctx: &ServerCtx) {
     let _ = stream.set_nodelay(true);
     let mut pending: Vec<u8> = Vec::new();
     loop {
-        let line = match read_line_polled(&mut stream, &mut pending, &ctx.shutdown) {
+        let line = match read_line_polled(&mut stream, &mut pending, &ctx.shutdown, &ctx.limits) {
             Ok(Some(line)) => line,
             Ok(None) => return, // EOF or server shutdown
             Err(reply) => {
-                // oversized line: reply once, then drop the connection
-                // (framing is lost, so it cannot be resynchronised)
+                // oversized line (framing is lost, cannot resynchronise)
+                // or idle timeout: reply once, then drop the connection
                 write_response(&mut stream, &reply, &ctx.stats);
                 return;
             }
@@ -223,85 +474,199 @@ fn write_response(stream: &mut TcpStream, response: &Response, stats: &ServeStat
     write_line(stream, response)
 }
 
-/// Dispatches one parsed request. The bool asks the connection loop to
-/// initiate server shutdown after replying.
+/// One request end-to-end on the connection thread: phase A, then (on a
+/// cache miss) a blocking wait for the pool, then phase B. The bool asks
+/// the connection loop to initiate server shutdown after replying.
 fn handle_request(line: &str, ctx: &ServerCtx) -> (Response, bool) {
+    match begin_request(line, ctx) {
+        Begin::Ready { response, stop } => (response, stop),
+        Begin::NeedEmbed { pending, validated } => {
+            let result = obtain_blocking(validated, ctx);
+            (
+                respond_obtained(pending.id, pending.kind, result, ctx),
+                false,
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// phase A: parse / validate / cache probe (shared by both drivers)
+
+/// What phase B needs to finish an operation once the embedding exists.
+enum PendingKind {
+    Embed {
+        model_name: String,
+    },
+    IndexAdd {
+        model_name: String,
+        hash: ContentHash,
+    },
+    Search {
+        model_name: String,
+        hash: ContentHash,
+        k: usize,
+    },
+}
+
+/// An operation waiting on the worker pool.
+struct PendingOp {
+    id: u64,
+    kind: PendingKind,
+}
+
+/// Phase A's verdict on one request line.
+enum Begin {
+    /// Answerable right now (errors, metadata ops, cache hits, index
+    /// short-circuits). `stop` requests a graceful server drain.
+    Ready { response: Response, stop: bool },
+    /// A cache miss: the graph must go through the micro-batcher before
+    /// phase B can build the reply.
+    NeedEmbed {
+        pending: PendingOp,
+        validated: ValidatedGraph,
+    },
+}
+
+fn ready(response: Response) -> Begin {
+    Begin::Ready {
+        response,
+        stop: false,
+    }
+}
+
+/// Parses and validates one request line, answering everything that needs
+/// no embedding. Fast and non-blocking — the event driver runs this on
+/// the reactor thread.
+fn begin_request(line: &str, ctx: &ServerCtx) -> Begin {
     let request = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return (Response::error(0, &e), false),
+        Err(e) => return ready(Response::error(0, &e)),
     };
     let id = request.id;
     match request.op.as_str() {
-        op::PING => (Response::ok(id), false),
-        op::INFO => (info_response(id, ctx), false),
+        op::PING => ready(Response::ok(id)),
+        op::INFO => ready(info_response(id, ctx)),
         // both stop the server the same graceful way: no new connections,
         // in-flight requests finish, the queue drains, then exit 0 —
         // `drain` exists so orchestrators can name the intent explicitly
-        op::SHUTDOWN | op::DRAIN => (Response::ok(id), true),
-        op::EMBED => (embed_response(id, request, ctx), false),
-        op::INDEX_ADD => (finish(id, try_index_add(request, ctx)), false),
-        op::SEARCH => (finish(id, try_search(request, ctx)), false),
-        other => (
-            Response::error(
-                id,
-                &WireError::new(WireCode::Usage, format!("unknown operation {other:?}")),
+        op::SHUTDOWN | op::DRAIN => Begin::Ready {
+            response: Response::ok(id),
+            stop: true,
+        },
+        op::EMBED => begin_embed(id, request, ctx),
+        op::INDEX_ADD => begin_index_add(id, request, ctx),
+        op::SEARCH => begin_search(id, request, ctx),
+        other => ready(Response::error(
+            id,
+            &WireError::new(WireCode::Usage, format!("unknown operation {other:?}")),
+        )),
+    }
+}
+
+fn begin_embed(id: u64, mut request: Request, ctx: &ServerCtx) -> Begin {
+    let validated = match validate_graph(&mut request, ctx) {
+        Ok(v) => v,
+        Err(e) => return ready(Response::error(id, &e)),
+    };
+    let kind = PendingKind::Embed {
+        model_name: validated.model_name.clone(),
+    };
+    probe_or_park(id, kind, validated, ctx)
+}
+
+fn begin_index_add(id: u64, mut request: Request, ctx: &ServerCtx) -> Begin {
+    let index = match require_index(ctx, op::INDEX_ADD) {
+        Ok(i) => i,
+        Err(e) => return ready(Response::error(id, &e)),
+    };
+    let validated = match validate_graph(&mut request, ctx) {
+        Ok(v) => v,
+        Err(e) => return ready(Response::error(id, &e)),
+    };
+    // idempotence short-circuit: a graph we already indexed needs no
+    // embed at all — cheaper than even a cache hit
+    if index.contains(&validated.model_name, validated.hash) {
+        let mut response = Response::ok(id);
+        response.hash = Some(hash_to_hex(validated.hash));
+        response.model = Some(validated.model_name);
+        response.indexed = Some(false);
+        response.cached = Some(true);
+        response.batch_size = Some(0);
+        return ready(response);
+    }
+    let kind = PendingKind::IndexAdd {
+        model_name: validated.model_name.clone(),
+        hash: validated.hash,
+    };
+    probe_or_park(id, kind, validated, ctx)
+}
+
+fn begin_search(id: u64, mut request: Request, ctx: &ServerCtx) -> Begin {
+    if let Err(e) = require_index(ctx, op::SEARCH) {
+        return ready(Response::error(id, &e));
+    }
+    let k = request.k.unwrap_or(DEFAULT_SEARCH_K);
+    if k == 0 || k > MAX_SEARCH_K {
+        return ready(Response::error(
+            id,
+            &WireError::new(
+                WireCode::Usage,
+                format!("k must be in 1..={MAX_SEARCH_K}, got {k}"),
             ),
-            false,
-        ),
+        ));
+    }
+    let validated = match validate_graph(&mut request, ctx) {
+        Ok(v) => v,
+        Err(e) => return ready(Response::error(id, &e)),
+    };
+    let kind = PendingKind::Search {
+        model_name: validated.model_name.clone(),
+        hash: validated.hash,
+        k,
+    };
+    probe_or_park(id, kind, validated, ctx)
+}
+
+/// The cache probe between the phases: a hit finishes phase B
+/// immediately; a miss parks the operation for the worker pool.
+fn probe_or_park(id: u64, kind: PendingKind, validated: ValidatedGraph, ctx: &ServerCtx) -> Begin {
+    if let Some(row) = ctx
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .get(&(validated.model_idx, validated.hash))
+    {
+        let obtained = Obtained {
+            embedding: row.to_vec(),
+            cached: true,
+            batch_size: 0,
+        };
+        return ready(respond_obtained(id, kind, Ok(obtained), ctx));
+    }
+    Begin::NeedEmbed {
+        pending: PendingOp { id, kind },
+        validated,
     }
 }
 
 fn info_response(id: u64, ctx: &ServerCtx) -> Response {
-    let models = ctx
-        .registry
-        .entries()
-        .iter()
-        .map(|e| ModelInfo {
-            name: e.name.clone(),
-            method: e.method.clone(),
-            input_dim: e.input_dim,
-            hidden_dim: e.hidden_dim,
-            num_layers: e.num_layers,
-        })
-        .collect();
     let (hits, misses) = ctx.cache.lock().expect("cache lock poisoned").counters();
     let mut response = Response::ok(id);
     response.info = Some(InfoBody {
         protocol: PROTOCOL_VERSION,
         simd: sgcl_tensor::simd::active().name().to_string(),
-        models,
+        models: model_infos(&ctx.registry),
         stats: ctx.stats.snapshot(hits, misses),
         index: ctx.index.as_ref().map(ServeIndex::stats),
     });
     response
 }
 
-fn embed_response(id: u64, request: Request, ctx: &ServerCtx) -> Response {
-    match try_embed(request, ctx) {
-        Ok(response) => {
-            let mut response = response;
-            response.id = id;
-            response
-        }
-        Err(e) => Response::error(id, &e),
-    }
-}
-
-/// Stamps the correlation id onto a handler result.
-fn finish(id: u64, result: Result<Response, WireError>) -> Response {
-    match result {
-        Ok(mut response) => {
-            response.id = id;
-            response
-        }
-        Err(e) => Response::error(id, &e),
-    }
-}
-
 /// A request graph validated against the served model it targets.
 struct ValidatedGraph {
     graph: sgcl_graph::Graph,
-    hash: sgcl_graph::ContentHash,
+    hash: ContentHash,
     model_idx: usize,
     model_name: String,
 }
@@ -347,76 +712,6 @@ fn validate_graph(request: &mut Request, ctx: &ServerCtx) -> Result<ValidatedGra
     })
 }
 
-/// An embedding plus how it was produced.
-struct Obtained {
-    embedding: Vec<f32>,
-    cached: bool,
-    batch_size: usize,
-}
-
-/// Shared back half: answer from the cache, or park on the micro-batcher
-/// until the worker pool embeds the graph.
-fn obtain_embedding(v: ValidatedGraph, ctx: &ServerCtx) -> Result<Obtained, WireError> {
-    if let Some(row) = ctx
-        .cache
-        .lock()
-        .expect("cache lock poisoned")
-        .get(&(v.model_idx, v.hash))
-    {
-        return Ok(Obtained {
-            embedding: row.to_vec(),
-            cached: true,
-            batch_size: 0,
-        });
-    }
-
-    let (tx, rx) = mpsc::channel();
-    let deadline = ctx.deadline.map(|d| Instant::now() + d);
-    let job = Job {
-        model: v.model_idx,
-        graph: v.graph,
-        hash: v.hash,
-        deadline,
-        reply: tx,
-    };
-    ctx.batcher.submit(job).map_err(|e| {
-        if e.code == WireCode::Overloaded {
-            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
-        }
-        e
-    })?;
-
-    let reply = match ctx.deadline {
-        Some(d) => rx.recv_timeout(reply_wait(d)).map_err(|_| {
-            WireError::new(
-                WireCode::DeadlineExceeded,
-                "request deadline exceeded while waiting for the worker pool",
-            )
-        })?,
-        None => rx
-            .recv()
-            .map_err(|_| WireError::new(WireCode::Internal, "worker pool dropped the request"))?,
-    };
-    let embedded = reply?;
-    Ok(Obtained {
-        embedding: embedded.embedding,
-        cached: embedded.cached,
-        batch_size: embedded.batch_size,
-    })
-}
-
-fn try_embed(mut request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
-    let validated = validate_graph(&mut request, ctx)?;
-    let model_name = validated.model_name.clone();
-    let obtained = obtain_embedding(validated, ctx)?;
-    let mut response = Response::ok(0);
-    response.model = Some(model_name);
-    response.embedding = Some(obtained.embedding);
-    response.cached = Some(obtained.cached);
-    response.batch_size = Some(obtained.batch_size);
-    Ok(response)
-}
-
 /// The replica's similarity index, or a deterministic `Usage` rejection
 /// when the server was started without one.
 fn require_index<'a>(ctx: &'a ServerCtx, op_name: &str) -> Result<&'a ServeIndex, WireError> {
@@ -428,63 +723,139 @@ fn require_index<'a>(ctx: &'a ServerCtx, op_name: &str) -> Result<&'a ServeIndex
     })
 }
 
-fn try_index_add(mut request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
-    let index = require_index(ctx, op::INDEX_ADD)?;
-    let validated = validate_graph(&mut request, ctx)?;
-    let hash = validated.hash;
-    let model_name = validated.model_name.clone();
+// ---------------------------------------------------------------------------
+// parking between the phases
 
-    // idempotence short-circuit: a graph we already indexed needs no
-    // embed at all — cheaper than even a cache hit
-    if index.contains(&model_name, hash) {
-        let mut response = Response::ok(0);
-        response.model = Some(model_name);
-        response.hash = Some(hash_to_hex(hash));
-        response.indexed = Some(false);
-        response.cached = Some(true);
-        response.batch_size = Some(0);
-        return Ok(response);
-    }
-
-    let obtained = obtain_embedding(validated, ctx)?;
-    let added = index
-        .add(&model_name, hash, obtained.embedding)
-        .map_err(|e| WireError::from(&e))?;
-    let mut response = Response::ok(0);
-    response.model = Some(model_name);
-    response.hash = Some(hash_to_hex(hash));
-    response.indexed = Some(added);
-    response.cached = Some(obtained.cached);
-    response.batch_size = Some(obtained.batch_size);
-    Ok(response)
+/// An embedding plus how it was produced.
+struct Obtained {
+    embedding: Vec<f32>,
+    cached: bool,
+    batch_size: usize,
 }
 
-fn try_search(mut request: Request, ctx: &ServerCtx) -> Result<Response, WireError> {
-    let index = require_index(ctx, op::SEARCH)?;
-    let k = request.k.unwrap_or(DEFAULT_SEARCH_K);
-    if k == 0 || k > MAX_SEARCH_K {
-        return Err(WireError::new(
-            WireCode::Usage,
-            format!("k must be in 1..={MAX_SEARCH_K}, got {k}"),
-        ));
+impl From<crate::batcher::Embedded> for Obtained {
+    fn from(e: crate::batcher::Embedded) -> Obtained {
+        Obtained {
+            embedding: e.embedding,
+            cached: e.cached,
+            batch_size: e.batch_size,
+        }
     }
-    let validated = validate_graph(&mut request, ctx)?;
-    let hash = validated.hash;
-    let model_name = validated.model_name.clone();
-    let obtained = obtain_embedding(validated, ctx)?;
-    let hits = index.search(&model_name, &obtained.embedding, k);
-    let mut response = Response::ok(0);
-    response.model = Some(model_name);
-    response.hash = Some(hash_to_hex(hash));
-    response.cached = Some(obtained.cached);
-    response.batch_size = Some(obtained.batch_size);
-    response.results = Some(
-        hits.into_iter()
-            .map(|h| SearchHitBody {
-                hash: hash_to_hex(h.hash),
-                score: h.score,
-            })
-            .collect(),
-    );
-    Ok(response)
+}
+
+/// Builds the job and submits it to the micro-batcher, counting sheds. On
+/// rejection the job comes back so the caller can answer through its
+/// reply sink.
+fn submit_job(
+    v: ValidatedGraph,
+    reply: ReplySink,
+    ctx: &ServerCtx,
+) -> Result<(), (WireError, Job)> {
+    let deadline = ctx.deadline.map(|d| Instant::now() + d);
+    let job = Job {
+        model: v.model_idx,
+        graph: v.graph,
+        hash: v.hash,
+        deadline,
+        reply,
+    };
+    ctx.batcher.submit(job).map_err(|(e, job)| {
+        if e.code == WireCode::Overloaded {
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        (e, job)
+    })
+}
+
+/// Threads-driver wait: submit, then block this connection thread on the
+/// reply channel until the pool answers or the reply-wait budget runs out.
+fn obtain_blocking(v: ValidatedGraph, ctx: &ServerCtx) -> Result<Obtained, WireError> {
+    let (tx, rx) = mpsc::channel();
+    if let Err((e, _job)) = submit_job(v, ReplySink::Channel(tx), ctx) {
+        return Err(e);
+    }
+    let reply = match ctx.deadline {
+        Some(d) => rx.recv_timeout(reply_wait(d)).map_err(|_| {
+            WireError::new(
+                WireCode::DeadlineExceeded,
+                "request deadline exceeded while waiting for the worker pool",
+            )
+        })?,
+        None => rx
+            .recv()
+            .map_err(|_| WireError::new(WireCode::Internal, "worker pool dropped the request"))?,
+    };
+    Ok(Obtained::from(reply?))
+}
+
+// ---------------------------------------------------------------------------
+// phase B: finish the operation from an embedding (shared by both drivers)
+
+/// Turns the obtained embedding (or the pool's typed error) into the
+/// operation's reply. Runs on the connection thread under `--net threads`
+/// and inside the worker's completion hook under `--net event` — never on
+/// the reactor thread, except for cache hits resolved in phase A.
+fn respond_obtained(
+    id: u64,
+    kind: PendingKind,
+    result: Result<Obtained, WireError>,
+    ctx: &ServerCtx,
+) -> Response {
+    let obtained = match result {
+        Ok(o) => o,
+        Err(e) => return Response::error(id, &e),
+    };
+    match kind {
+        PendingKind::Embed { model_name } => {
+            let mut response = Response::ok(id);
+            response.model = Some(model_name);
+            response.embedding = Some(obtained.embedding);
+            response.cached = Some(obtained.cached);
+            response.batch_size = Some(obtained.batch_size);
+            response
+        }
+        PendingKind::IndexAdd { model_name, hash } => {
+            let index = match require_index(ctx, op::INDEX_ADD) {
+                Ok(i) => i,
+                Err(e) => return Response::error(id, &e),
+            };
+            match index.add(&model_name, hash, obtained.embedding) {
+                Ok(added) => {
+                    let mut response = Response::ok(id);
+                    response.model = Some(model_name);
+                    response.hash = Some(hash_to_hex(hash));
+                    response.indexed = Some(added);
+                    response.cached = Some(obtained.cached);
+                    response.batch_size = Some(obtained.batch_size);
+                    response
+                }
+                Err(e) => Response::error(id, &WireError::from(&e)),
+            }
+        }
+        PendingKind::Search {
+            model_name,
+            hash,
+            k,
+        } => {
+            let index = match require_index(ctx, op::SEARCH) {
+                Ok(i) => i,
+                Err(e) => return Response::error(id, &e),
+            };
+            let hits = index.search(&model_name, &obtained.embedding, k);
+            let mut response = Response::ok(id);
+            response.model = Some(model_name);
+            response.hash = Some(hash_to_hex(hash));
+            response.cached = Some(obtained.cached);
+            response.batch_size = Some(obtained.batch_size);
+            response.results = Some(
+                hits.into_iter()
+                    .map(|h| SearchHitBody {
+                        hash: hash_to_hex(h.hash),
+                        score: h.score,
+                    })
+                    .collect(),
+            );
+            response
+        }
+    }
 }

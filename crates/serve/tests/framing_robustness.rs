@@ -1,0 +1,237 @@
+//! Adversarial framing tests, run against **both** net drivers: requests
+//! dribbled one byte at a time with pauses, oversized lines against a
+//! small `max_line_bytes`, mid-frame disconnects, idle timeouts, and
+//! pipelined bursts. A server must survive all of it with typed errors
+//! and unharmed neighbours — whichever connection driver the operator
+//! picked.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgcl_core::{SgclConfig, SgclModel};
+use sgcl_data::io::GraphRecord;
+use sgcl_gnn::{EncoderConfig, EncoderKind};
+use sgcl_graph::Graph;
+use sgcl_serve::protocol::{encode_request, Request};
+use sgcl_serve::registry::{ModelEntry, ModelRegistry};
+use sgcl_serve::{start_with_registry, NetDriver, ServeConfig, ServerHandle};
+use sgcl_tensor::Matrix;
+
+const INPUT_DIM: usize = 4;
+const DRIVERS: [NetDriver; 2] = [NetDriver::Event, NetDriver::Threads];
+
+fn tiny_graph() -> Graph {
+    let n = 5;
+    let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+    let data = (0..n * INPUT_DIM).map(|i| (i as f32).sin()).collect();
+    Graph::new(n, edges, Matrix::from_vec(n, INPUT_DIM, data))
+}
+
+/// An in-memory server (no checkpoint files) with tight limits, under the
+/// given driver.
+fn start_server(driver: NetDriver, idle_timeout_ms: u64, max_line_bytes: usize) -> ServerHandle {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = SgclModel::new(
+        SgclConfig {
+            encoder: EncoderConfig {
+                kind: EncoderKind::Gin,
+                input_dim: INPUT_DIM,
+                hidden_dim: 8,
+                num_layers: 2,
+            },
+            ..SgclConfig::paper_unsupervised(INPUT_DIM)
+        },
+        &mut rng,
+    );
+    let registry =
+        ModelRegistry::from_entries(vec![ModelEntry::from_sgcl("m", model)]).expect("registry");
+    start_with_registry(
+        ServeConfig {
+            max_batch: 4,
+            max_wait_ms: 1,
+            workers: 1,
+            net: driver,
+            idle_timeout_ms,
+            max_line_bytes,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("start server")
+}
+
+/// The exact wire line of a valid embed request (no trailing newline).
+fn embed_line(id: u64) -> String {
+    encode_request(&Request {
+        id,
+        op: "embed".to_string(),
+        model: None,
+        graph: Some(GraphRecord::from(&tiny_graph())),
+        k: None,
+    })
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply line");
+    line
+}
+
+#[test]
+fn byte_by_byte_request_with_pauses_still_answers() {
+    for driver in DRIVERS {
+        let handle = start_server(driver, 0, 1 << 20);
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+
+        // dribble a full embed request one byte at a time, pausing every
+        // few bytes — the server must buffer the partial frame without
+        // blocking a reactor tick or misparsing
+        let line = format!("{}\n", embed_line(7));
+        for (i, b) in line.as_bytes().iter().enumerate() {
+            writer
+                .write_all(std::slice::from_ref(b))
+                .expect("write byte");
+            if i % 16 == 0 {
+                writer.flush().expect("flush");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        writer.flush().expect("flush");
+
+        let reply = read_reply(&mut reader);
+        assert!(
+            reply.contains("\"ok\":true") && reply.contains("\"id\":7"),
+            "driver {}: dribbled request not answered: {reply}",
+            driver.as_str()
+        );
+        handle.stop();
+    }
+}
+
+#[test]
+fn oversized_line_gets_typed_parse_error_then_close() {
+    for driver in DRIVERS {
+        let handle = start_server(driver, 0, 256);
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+
+        // far past max_line_bytes without ever sending the newline: the
+        // limit must trip on buffered bytes, not on completed lines
+        // (a slow-loris sender would otherwise grow the buffer forever)
+        let junk = vec![b'x'; 4096];
+        let _ = writer.write_all(&junk);
+        let _ = writer.flush();
+
+        let reply = read_reply(&mut reader);
+        assert!(
+            reply.contains("\"code\":4"),
+            "driver {}: expected Parse error for oversized line, got: {reply}",
+            driver.as_str()
+        );
+        // after the typed reply the server closes the connection
+        let mut rest = String::new();
+        reader.read_line(&mut rest).expect("read after error");
+        assert!(
+            rest.is_empty(),
+            "driver {}: connection not closed after oversize error",
+            driver.as_str()
+        );
+
+        // and the server itself is unharmed
+        let mut client = sgcl_serve::Client::connect(handle.addr()).expect("reconnect");
+        assert!(client.ping().expect("ping").ok);
+        handle.stop();
+    }
+}
+
+#[test]
+fn mid_frame_disconnect_leaves_server_healthy() {
+    for driver in DRIVERS {
+        let handle = start_server(driver, 0, 1 << 20);
+        {
+            let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+            // half an embed request, then vanish
+            let line = embed_line(9);
+            stream
+                .write_all(&line.as_bytes()[..line.len() / 2])
+                .expect("write half");
+            stream.flush().expect("flush");
+        } // dropped: RST/EOF mid-frame
+
+        // other connections are unaffected, before and after
+        let mut client = sgcl_serve::Client::connect(handle.addr()).expect("connect client");
+        let resp = client
+            .embed(None, &tiny_graph())
+            .expect("embed after mid-frame disconnect");
+        assert!(resp.ok, "driver {}: {:?}", driver.as_str(), resp.error);
+        handle.stop();
+    }
+}
+
+#[test]
+fn idle_connection_gets_typed_timeout_then_close() {
+    for driver in DRIVERS {
+        let handle = start_server(driver, 150, 1 << 20);
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let mut reader = BufReader::new(stream);
+
+        // send nothing: after idle_timeout_ms the server must reply with
+        // the typed Timeout error and close
+        let reply = read_reply(&mut reader);
+        assert!(
+            reply.contains("\"code\":14"),
+            "driver {}: expected Timeout error for idle connection, got: {reply}",
+            driver.as_str()
+        );
+        let mut rest = String::new();
+        reader.read_line(&mut rest).expect("read after timeout");
+        assert!(
+            rest.is_empty(),
+            "driver {}: connection not closed after idle timeout",
+            driver.as_str()
+        );
+        handle.stop();
+    }
+}
+
+#[test]
+fn pipelined_burst_is_answered_in_order() {
+    for driver in DRIVERS {
+        let handle = start_server(driver, 0, 1 << 20);
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+
+        // many requests in one write — several complete frames land in a
+        // single read on the server side, plus blank lines as noise
+        let mut burst = String::new();
+        for id in 1..=20u64 {
+            if id % 5 == 0 {
+                burst.push('\n');
+            }
+            burst.push_str(&embed_line(id));
+            burst.push('\n');
+        }
+        writer.write_all(burst.as_bytes()).expect("write burst");
+        writer.flush().expect("flush");
+
+        for id in 1..=20u64 {
+            let reply = read_reply(&mut reader);
+            assert!(
+                reply.contains("\"ok\":true") && reply.contains(&format!("\"id\":{id}")),
+                "driver {}: reply {id} out of order or failed: {reply}",
+                driver.as_str()
+            );
+        }
+        handle.stop();
+    }
+}
